@@ -1,0 +1,85 @@
+"""Benchmarks: ablations over Auric's design choices (DESIGN.md §6).
+
+Expected shapes:
+
+* raising the support threshold lowers confident coverage but raises
+  confident-subset accuracy,
+* the p-value/effect-floor knobs move the dependent-attribute count in
+  the expected direction without collapsing accuracy,
+* 1-hop local voting beats global; 2-hop sits between (diluted locality).
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments import ablations
+
+
+def test_support_threshold_sweep(benchmark, four_market_dataset, results_dir):
+    result = benchmark.pedantic(
+        ablations.run_support_threshold_sweep,
+        kwargs={"dataset": four_market_dataset, "max_targets": 400},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "ablation_support_threshold", result.render())
+    coverage = [p.confident_coverage for p in result.points]
+    assert coverage == sorted(coverage, reverse=True)  # stricter -> fewer
+    # The confident subset is at least as accurate as the overall vote.
+    for point in result.points:
+        assert point.confident_accuracy >= point.accuracy - 0.01
+
+
+def test_p_value_sweep(benchmark, four_market_dataset, results_dir):
+    result = benchmark.pedantic(
+        ablations.run_p_value_sweep,
+        kwargs={"dataset": four_market_dataset, "max_targets": 400},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "ablation_p_value", result.render())
+    deps = [p.mean_dependent_attributes for p in result.points]
+    # Looser significance admits at least as many attributes.
+    assert deps == sorted(deps)
+    assert all(p.accuracy > 0.8 for p in result.points)
+
+
+def test_effect_size_sweep(benchmark, four_market_dataset, results_dir):
+    result = benchmark.pedantic(
+        ablations.run_effect_size_sweep,
+        kwargs={"dataset": four_market_dataset, "max_targets": 400},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "ablation_effect_size", result.render())
+    deps = [p.mean_dependent_attributes for p in result.points]
+    assert deps == sorted(deps, reverse=True)  # higher floor -> fewer attrs
+
+
+def test_proximity_sweep(benchmark, four_market_dataset, results_dir):
+    result = benchmark.pedantic(
+        ablations.run_proximity_sweep,
+        kwargs={"dataset": four_market_dataset, "max_targets": 400},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "ablation_proximity", result.render())
+    by_label = {p.setting: p.accuracy for p in result.points}
+    # Geographical proximity helps: 1-hop beats global voting.
+    assert by_label["1-hop"] >= by_label["global"]
+
+
+def test_selection_strategy_sweep(benchmark, four_market_dataset, results_dir):
+    result = benchmark.pedantic(
+        ablations.run_selection_strategy_sweep,
+        kwargs={"dataset": four_market_dataset, "max_targets": 400},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "ablation_selection", result.render())
+    by_label = {p.setting: p for p in result.points}
+    # Conditional selection keeps fewer attributes and at least matches
+    # marginal selection on accuracy.
+    assert (
+        by_label["conditional"].mean_dependent_attributes
+        <= by_label["marginal"].mean_dependent_attributes
+    )
+    assert by_label["conditional"].accuracy >= by_label["marginal"].accuracy - 0.01

@@ -1,0 +1,48 @@
+"""Benchmark: Fig 10 — per-parameter accuracy of the five learners.
+
+Paper shape: accuracy falls as variability rises (negative rank
+correlation), and learners correlate with each other across parameters.
+Uses a smaller parameter slice than Table 4 to keep runtime bounded.
+"""
+
+import numpy as np
+from scipy import stats
+
+from benchmarks.conftest import publish
+from repro.experiments import fig10_accuracy_by_parameter
+from repro.experiments.parameter_selection import evaluation_parameters
+from repro.learners.registry import PAPER_LEARNER_ORDER
+
+
+def test_fig10_accuracy_by_parameter(benchmark, four_market_dataset, results_dir):
+    parameters = evaluation_parameters(four_market_dataset, requested="10")
+    result = benchmark.pedantic(
+        fig10_accuracy_by_parameter.run,
+        kwargs={
+            "dataset": four_market_dataset,
+            "parameters": parameters,
+            "fast": True,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "fig10", result.render())
+
+    # Accuracy falls with variability for the classic learners.
+    correlations = {
+        name: result.variability_accuracy_correlation(name)
+        for name in PAPER_LEARNER_ORDER
+    }
+    negative = sum(1 for rho in correlations.values() if rho < 0)
+    assert negative >= 3, correlations
+
+    # Learners correlate across parameters ("if prediction is hard for
+    # one, it is no different for the others").
+    cf_series = result.scores.by_parameter("collaborative-filtering")
+    dt_series = result.scores.by_parameter("decision-tree")
+    shared = sorted(set(cf_series) & set(dt_series))
+    if len(shared) >= 5:
+        rho, _ = stats.spearmanr(
+            [cf_series[p] for p in shared], [dt_series[p] for p in shared]
+        )
+        assert rho > 0.0

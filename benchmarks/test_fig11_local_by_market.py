@@ -1,0 +1,33 @@
+"""Benchmark: Fig 11 — local-learner accuracy per market for the four
+highest-variability parameters.
+
+Paper shape: per-market accuracy varies with per-market variability;
+high-variability parameters stay predictable in most markets.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.experiments import fig11_local_by_market
+
+
+def test_fig11_local_by_market(benchmark, full_network_dataset, results_dir):
+    result = benchmark.pedantic(
+        fig11_local_by_market.run,
+        kwargs={
+            "dataset": full_network_dataset,
+            "top_parameters": 4,
+            "max_targets_per_market": 250,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "fig11", result.render())
+    assert len(result.parameters) == 4
+    for parameter in result.parameters:
+        accuracies = list(result.accuracy[parameter].values())
+        # Covered in (nearly) all 28 markets.
+        assert len(accuracies) >= 26
+        # Accuracy stays high on average but varies across markets.
+        assert np.mean(accuracies) > 0.8
+        assert max(accuracies) - min(accuracies) > 0.0

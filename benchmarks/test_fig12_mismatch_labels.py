@@ -1,0 +1,45 @@
+"""Benchmark: Fig 12 — engineer labeling of recommendation mismatches.
+
+Paper shape: mismatches are ~4% of recommendations; of those, the
+dominant label is inconclusive (67%), a material slice are good
+recommendations that become config changes (28%), and a small slice are
+update-learner cases (5%).
+"""
+
+from benchmarks.conftest import publish
+from repro.eval.engineers import MismatchLabel
+from repro.experiments import fig12_mismatch_labels
+
+
+def test_fig12_mismatch_labels(
+    benchmark,
+    full_network_dataset,
+    full_network_parameters,
+    full_network_engine,
+    results_dir,
+):
+    result = benchmark.pedantic(
+        fig12_mismatch_labels.run,
+        kwargs={
+            "dataset": full_network_dataset,
+            "parameters": full_network_parameters,
+            "engine": full_network_engine,
+            "max_targets_per_parameter": 1000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "fig12", result.render())
+    shares = result.shares()
+    # Mismatch rate in the paper's ballpark (~4%).
+    assert 0.01 < result.mismatch_rate() < 0.12
+    # Label ordering: inconclusive > good recommendation > update learner.
+    assert (
+        shares[MismatchLabel.INCONCLUSIVE]
+        > shares[MismatchLabel.GOOD_RECOMMENDATION]
+        > shares[MismatchLabel.UPDATE_LEARNER]
+    )
+    # The good-recommendation slice is material (paper: 28%).
+    assert shares[MismatchLabel.GOOD_RECOMMENDATION] > 0.10
+    # Update-learner cases are a small minority (paper: 5%).
+    assert shares[MismatchLabel.UPDATE_LEARNER] < 0.20

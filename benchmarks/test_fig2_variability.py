@@ -1,0 +1,20 @@
+"""Benchmark: Fig 2 — distinct values per parameter (network-wide)."""
+
+from benchmarks.conftest import publish
+from repro.experiments import fig2_variability
+
+
+def test_fig2_variability(benchmark, full_network_dataset, results_dir):
+    result = benchmark.pedantic(
+        fig2_variability.run,
+        kwargs={"dataset": full_network_dataset},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "fig2", result.render())
+    # Paper shape: 65 parameters, several with >10 distinct values, one
+    # clear high-variability outlier.
+    assert len(result.counts) == 65
+    assert result.parameters_above_10 >= 5
+    second_largest = sorted(result.counts.values())[-2]
+    assert result.max_distinct >= 1.5 * second_largest

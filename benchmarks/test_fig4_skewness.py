@@ -1,0 +1,20 @@
+"""Benchmark: Fig 4 — skewness of parameter values (33 high / 12 moderate)."""
+
+from benchmarks.conftest import publish
+from repro.experiments import fig4_skewness
+
+
+def test_fig4_skewness(benchmark, full_network_dataset, results_dir):
+    result = benchmark.pedantic(
+        fig4_skewness.run,
+        kwargs={"dataset": full_network_dataset},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "fig4", result.render())
+    counts = result.counts()
+    # Paper shape: a majority of the 65 parameters skewed (33 high + 12
+    # moderate in the paper); symmetric parameters are the minority.
+    assert counts["high"] >= 20
+    assert counts["high"] + counts["moderate"] >= 33
+    assert counts["symmetric"] <= 25

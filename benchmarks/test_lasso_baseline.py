@@ -1,0 +1,19 @@
+"""Benchmark: section 3.2 — lasso regression vs collaborative filtering.
+
+Expected shape: CF wins comfortably on categorical skewed parameters.
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments import lasso_baseline
+
+
+def test_lasso_baseline(benchmark, four_market_dataset, results_dir):
+    result = benchmark.pedantic(
+        lasso_baseline.run,
+        kwargs={"dataset": four_market_dataset, "folds": 2},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "lasso_baseline", result.render())
+    assert result.mean_cf() > result.mean_lasso()
+    assert result.mean_lasso() > 0.2  # snapped regression is not random

@@ -1,0 +1,68 @@
+"""Benchmark: fit/predict throughput of the five learners.
+
+Timing benchmarks (multiple rounds) rather than experiment
+reproductions — useful to track performance regressions in the
+from-scratch learner implementations.
+"""
+
+import pytest
+
+from repro.eval.dataset import LearningView
+from repro.learners.registry import make_paper_learner
+
+N_TRAIN = 1500
+N_TEST = 300
+
+
+@pytest.fixture(scope="module")
+def training_data(four_market_dataset):
+    view = LearningView(four_market_dataset.network, four_market_dataset.store)
+    samples = view.samples("qHyst")
+    rows = samples.rows[: N_TRAIN + N_TEST]
+    labels = samples.labels[: N_TRAIN + N_TEST]
+    return (
+        rows[:N_TRAIN],
+        labels[:N_TRAIN],
+        rows[N_TRAIN:],
+    )
+
+
+@pytest.mark.parametrize(
+    "learner_name",
+    [
+        "decision-tree",
+        "random-forest",
+        "k-nearest-neighbors",
+        "collaborative-filtering",
+    ],
+)
+def test_fit_throughput(benchmark, training_data, learner_name):
+    train_rows, train_labels, _ = training_data
+
+    def fit():
+        return make_paper_learner(learner_name, fast=True).fit(
+            train_rows, train_labels
+        )
+
+    learner = benchmark.pedantic(fit, rounds=3, iterations=1)
+    assert learner.is_fitted
+
+
+@pytest.mark.parametrize(
+    "learner_name",
+    [
+        "decision-tree",
+        "random-forest",
+        "k-nearest-neighbors",
+        "collaborative-filtering",
+    ],
+)
+def test_predict_throughput(benchmark, training_data, learner_name):
+    train_rows, train_labels, test_rows = training_data
+    learner = make_paper_learner(learner_name, fast=True).fit(
+        train_rows, train_labels
+    )
+    predictions = benchmark.pedantic(
+        lambda: learner.predict(test_rows), rounds=3, iterations=1
+    )
+    assert len(predictions) == len(test_rows)

@@ -1,0 +1,25 @@
+"""Benchmark: the motivation analysis — carrier & traffic growth.
+
+Expected shape: monotone growth in both series, traffic outpacing the
+carrier count (per-carrier demand compounds).
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments import motivation_growth
+
+
+def test_motivation_growth(benchmark, full_network_dataset, results_dir):
+    result = benchmark.pedantic(
+        motivation_growth.run,
+        kwargs={"dataset": full_network_dataset},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "motivation_growth", result.render())
+    timeline = result.timeline
+    carriers = timeline.carriers_per_quarter
+    traffic = timeline.traffic_per_quarter
+    assert carriers == sorted(carriers)
+    assert traffic == sorted(traffic)
+    assert timeline.traffic_growth_factor() > timeline.carriers_growth_factor()
+    assert timeline.carriers_growth_factor() > 2.0

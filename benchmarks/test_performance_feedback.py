@@ -1,0 +1,23 @@
+"""Benchmark: section 6 extension — performance-feedback weighted voting.
+
+Expected shape: down-weighting carriers whose simulated KPI history is
+degraded recovers part of the trial-leftover error, so weighted local
+accuracy is at least the unweighted accuracy.
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments import performance_feedback
+
+
+def test_performance_feedback(benchmark, four_market_dataset, results_dir):
+    result = benchmark.pedantic(
+        performance_feedback.run,
+        kwargs={"dataset": four_market_dataset, "max_targets_per_parameter": 700},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "performance_feedback", result.render())
+    assert result.improvement >= -0.002
+    # With a 70% detection rate over ~1.2% trial noise the recovery is
+    # bounded but should be visible.
+    assert result.improvement <= 0.05

@@ -1,0 +1,33 @@
+"""Benchmark: radio simulator timing (engineering benchmark)."""
+
+import pytest
+
+from repro.radio import RadioSimulator
+from repro.radio.mobility import MobilitySimulator, straight_path
+
+
+def test_radio_simulation_throughput(benchmark, four_market_dataset):
+    market = four_market_dataset.network.markets[0]
+    scope = market.enodebs[:20]
+    simulator = RadioSimulator(
+        four_market_dataset.network,
+        four_market_dataset.store,
+        enodebs=scope,
+        seed=1,
+    )
+    report = benchmark.pedantic(simulator.run, rounds=3, iterations=1)
+    assert report.users_total > 0
+
+
+def test_mobility_walk_throughput(benchmark, four_market_dataset):
+    network = four_market_dataset.network
+    market = network.markets[0]
+    carriers = [c for e in market.enodebs[:10] for c in e.carriers()]
+    simulator = MobilitySimulator(
+        network, four_market_dataset.store, carriers=carriers
+    )
+    a = market.enodebs[0].location
+    b = market.enodebs[9].location
+    path = straight_path(a, b, 500)
+    result = benchmark.pedantic(lambda: simulator.walk(path), rounds=3, iterations=1)
+    assert result.steps == 500

@@ -1,0 +1,24 @@
+"""Benchmark: Table 3 — the four-market dataset summary."""
+
+from benchmarks.conftest import publish
+from repro.experiments import table3_dataset
+
+
+def test_table3_dataset(benchmark, four_market_dataset, results_dir):
+    result = benchmark.pedantic(
+        table3_dataset.run,
+        kwargs={"dataset": four_market_dataset},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "table3", result.render())
+    rows = {r.market: r for r in result.rows}
+    # Paper shape: Eastern is the largest market; eNodeB counts follow
+    # the 1791/1521/2643/1679 proportions; parameter values ~= 39 per
+    # carrier minus the ~1.7% missing cells.
+    assert rows["Eastern-1"].carriers == max(r.carriers for r in result.rows)
+    for row in result.rows:
+        assert row.parameter_values <= 39 * row.carriers
+        assert row.parameter_values >= 0.95 * 39 * row.carriers
+    timezones = {r.timezone for r in result.rows}
+    assert timezones == {"Eastern", "Central", "Mountain", "Pacific"}

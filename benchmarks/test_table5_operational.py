@@ -1,0 +1,35 @@
+"""Benchmark: Table 5 — two months of SmartLaunch operation.
+
+Paper shape: of 1251 launches, ~11% get changes recommended, most are
+implemented successfully, and a small number of fall-outs split between
+premature off-band unlocks and EMS timeouts.
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments import table5_operational
+from repro.ops.smartlaunch import LaunchOutcome
+
+
+def test_table5_operational(benchmark, four_market_dataset, results_dir):
+    result = benchmark.pedantic(
+        table5_operational.run,
+        kwargs={"dataset": four_market_dataset, "launches": 1251},
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "table5", result.render())
+    stats = result.stats
+    assert stats.launched == 1251
+    # A minority of launches get changes (paper: 11.4%).
+    change_rate = stats.changes_recommended / stats.launched
+    assert 0.03 < change_rate < 0.35
+    # Most recommended changes land (paper: 114 of 143).
+    assert stats.changes_implemented >= 0.5 * stats.changes_recommended
+    # Fall-outs are a small minority and include the two paper causes.
+    assert stats.fallouts < 0.1 * stats.launched
+    outcomes = stats.outcome_counts()
+    if stats.fallouts:
+        assert (
+            outcomes[LaunchOutcome.FALLOUT_PREMATURE_UNLOCK]
+            + outcomes[LaunchOutcome.FALLOUT_EMS_TIMEOUT]
+        ) >= 1

@@ -1,0 +1,94 @@
+"""Pair-wise handover parameters in action.
+
+The paper's 26 pair-wise parameters manage user mobility.  This example
+shows why their values matter and how Auric fills them: a UE drives a
+corridor between two cells under (a) the network's configured handover
+parameters recommended by Auric's pair-wise voting, and (b) a corrupted
+configuration (no hysteresis, no time-to-trigger) — then compares
+handover quality.
+
+Run:  python examples/handover_tuning.py
+"""
+
+from repro.config.store import PairKey
+from repro.core import AuricEngine
+from repro.datagen import four_markets_workload
+from repro.netmodel.geo import GeoPoint
+from repro.radio import MobilitySimulator, straight_path
+
+
+def main() -> None:
+    dataset = four_markets_workload(scale=0.01)
+    network, store = dataset.network, dataset.store
+
+    # 1. Auric recommends pair-wise handover settings for a relation.
+    engine = AuricEngine(network, store).fit(
+        ["a3Offset", "hysA3Offset", "timeToTriggerA3"]
+    )
+    values = store.pairwise_values("hysA3Offset")
+    # An intra-frequency relation between two different eNodeBs — the
+    # geometry where the A3 handover actually plays out.
+    pair = next(
+        k for k in sorted(values) if k.carrier.enodeb != k.neighbor.enodeb
+    )
+    print(f"handover relation {pair.carrier} -> {pair.neighbor}:")
+    for name in ("a3Offset", "hysA3Offset", "timeToTriggerA3"):
+        rec = engine.recommend_for_pair(name, pair)
+        current = store.get_pairwise(pair, name)
+        print(f"  {rec}  (current {current!r})")
+
+    # 2. Drive a UE between the two cells under the configured values.
+    source = network.carrier(pair.carrier)
+    target = network.carrier(pair.neighbor)
+    # Scope the measurement to the relation's frequency layer so the
+    # walk exercises exactly this handover pair.
+    simulator = MobilitySimulator(network, store, carriers=[source, target])
+    margin = GeoPoint(
+        source.location.lat, source.location.lon
+    ).offset_km(0.0, -0.5)
+    path = straight_path(margin, target.location.offset_km(0.0, 0.5), 300)
+    tuned = simulator.walk(path)
+    print(
+        f"\nconfigured handover params: {tuned.handover_count} handovers, "
+        f"{tuned.ping_pong_count} ping-pongs, "
+        f"{tuned.radio_link_failures} radio-link failures"
+    )
+
+    # 3. The hard case: a UE lingering at the cell edge (stop-and-go
+    #    traffic on a boundary road).  Sane margins keep it stable.
+    def edge_lingering_walk():
+        midpoint = GeoPoint(
+            (source.location.lat + target.location.lat) / 2,
+            (source.location.lon + target.location.lon) / 2,
+        )
+        points = []
+        for i in range(240):
+            wobble = 0.2 if i % 24 < 12 else -0.2
+            points.append(midpoint.offset_km(wobble, wobble))
+        return simulator.walk(points)
+
+    stable = edge_lingering_walk()
+    print(
+        f"edge lingering, tuned:     {stable.handover_count} handovers, "
+        f"{stable.ping_pong_count} ping-pongs"
+    )
+
+    # 4. Corrupt the relation: margins to zero in both directions.
+    for key in (pair, pair.reversed()):
+        store.set_pairwise(key, "a3Offset", -15)
+        store.set_pairwise(key, "hysA3Offset", 0)
+        store.set_pairwise(key, "timeToTriggerA3", 0)
+    sloppy = edge_lingering_walk()
+    print(
+        f"edge lingering, zeroed:    {sloppy.handover_count} handovers, "
+        f"{sloppy.ping_pong_count} ping-pongs"
+    )
+    print(
+        "\nthe configured (Auric-recommendable) values give clean mobility;"
+        "\nzeroed margins churn the UE between cells — the tuning Auric"
+        "\npreserves when new carriers launch."
+    )
+
+
+if __name__ == "__main__":
+    main()

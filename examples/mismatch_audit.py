@@ -1,0 +1,66 @@
+"""Configuration audit: find and label mismatches across a market.
+
+The section 4.3.3 workflow: run the local learner over every configured
+value, collect the recommendations that disagree with the current
+network, and label them the way the market engineers did — good
+recommendations become config changes, update-learner cases become
+model work items, the rest get queued for field trials.
+
+Run:  python examples/mismatch_audit.py
+"""
+
+from collections import Counter
+
+from repro.core import AuricEngine
+from repro.datagen import four_markets_workload
+from repro.eval.engineers import MismatchLabel, label_mismatches
+from repro.eval.runner import EvaluationRunner
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    dataset = four_markets_workload(scale=0.01)
+    parameters = ["pMax", "sFreqPrio", "qrxlevmin", "qHyst", "lbCapacityThreshold"]
+    engine = AuricEngine(dataset.network, dataset.store).fit(parameters)
+    runner = EvaluationRunner(dataset)
+
+    result = runner.loo_accuracy(
+        engine, parameters, max_targets_per_parameter=800, scopes=("local",)
+    )
+    print(
+        f"audited {result.evaluated} configuration values; "
+        f"{len(result.mismatches_local)} mismatches "
+        f"({len(result.mismatches_local) / max(result.evaluated, 1):.1%})"
+    )
+
+    labeled, counts = label_mismatches(dataset.provenance, result.mismatches_local)
+    total = max(len(labeled), 1)
+    print(
+        format_table(
+            ["label", "count", "share"],
+            [
+                (label.value, counts[label], f"{counts[label] / total:.0%}")
+                for label in MismatchLabel
+            ],
+            title="\nengineer labeling (Fig 12 style)",
+        )
+    )
+
+    # The good recommendations are actionable config changes right now.
+    actionable = [
+        m for m in labeled if m.label is MismatchLabel.GOOD_RECOMMENDATION
+    ]
+    print(f"\n{len(actionable)} sub-optimal values to correct; first few:")
+    for mismatch in actionable[:5]:
+        print(
+            f"  {mismatch.key} {mismatch.parameter}: "
+            f"{mismatch.current!r} -> {mismatch.recommended!r}"
+        )
+
+    # Which parameters drive the mismatches?
+    per_parameter = Counter(m.parameter for m in labeled)
+    print("\nmismatches per parameter:", dict(per_parameter))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Quickstart: learn from an existing network and recommend configuration.
+
+Generates a small synthetic LTE network (the stand-in for the paper's
+proprietary production snapshot), fits Auric's collaborative-filtering
+dependency models, and recommends values for a carrier — with the
+explanation engineers see.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import AuricEngine
+from repro.core.explain import explain_recommendation
+from repro.datagen import four_markets_workload
+
+
+def main() -> None:
+    # A scaled-down four-market network (Table 3 of the paper at scale).
+    dataset = four_markets_workload(scale=0.01)
+    print(dataset.summary())
+    print()
+
+    # Fit dependency models for a few parameters (65 available).
+    parameters = ["pMax", "sFreqPrio", "qrxlevmin", "hysA3Offset"]
+    engine = AuricEngine(dataset.network, dataset.store).fit(parameters)
+
+    # Treat one carrier as new (leave-one-out) and recommend.
+    carrier_id = next(dataset.network.carriers()).carrier_id
+    print(f"recommendations for {carrier_id}:")
+    for name in ("pMax", "sFreqPrio", "qrxlevmin"):
+        recommendation = engine.recommend_for_carrier(name, carrier_id)
+        current = dataset.store.get_singular(carrier_id, name)
+        match = "matches" if recommendation.value == current else "DIFFERS from"
+        print(f"  {recommendation}  ({match} current value {current!r})")
+    print()
+
+    # The explanation an engineer reviews before trusting the system.
+    for line in explain_recommendation(engine, "pMax", carrier_id):
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Setup script.
+
+A setup.py (rather than a pure pyproject build) is kept so that
+``pip install -e .`` works in offline environments whose setuptools
+lacks PEP 660 editable-wheel support.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Auric (SIGCOMM 2021): data-driven recommendation "
+        "for cellular configuration generation"
+    ),
+    long_description=open("README.md").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy", "scipy", "networkx"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+    license="MIT",
+)

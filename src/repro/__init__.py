@@ -1,0 +1,63 @@
+"""repro — a reproduction of Auric (SIGCOMM 2021).
+
+Auric generates configuration parameter values for newly added LTE
+carriers using collaborative filtering with chi-square tests of
+independence and geographically local voting over X2 neighbor
+relations.
+
+Public API highlights:
+
+* :class:`repro.core.AuricEngine` — fit dependency models on an
+  existing network, recommend values globally or locally.
+* :class:`repro.core.RecommendationPipeline` — full new-carrier
+  recommendation with rule-book fallback.
+* :mod:`repro.datagen` — the synthetic LTE network/configuration
+  generator standing in for the proprietary production snapshot.
+* :mod:`repro.learners` — from-scratch decision tree, random forest,
+  kNN, deep neural network, lasso and the chi-square CF recommender.
+* :mod:`repro.ops` — SmartLaunch, the push controller and the EMS.
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro.datagen import four_markets_workload
+    from repro.core import AuricEngine
+
+    dataset = four_markets_workload(scale=0.02)
+    engine = AuricEngine(dataset.network, dataset.store).fit(["pMax"])
+    carrier = next(dataset.network.carriers()).carrier_id
+    print(engine.recommend_for_carrier("pMax", carrier))
+"""
+
+from repro.core import (
+    AuricConfig,
+    AuricEngine,
+    CarrierRecommendation,
+    NewCarrierRequest,
+    ParameterRecommendation,
+    RecommendationPipeline,
+)
+from repro.datagen import (
+    SyntheticDataset,
+    four_markets_workload,
+    full_network_workload,
+    generate_dataset,
+)
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuricConfig",
+    "AuricEngine",
+    "CarrierRecommendation",
+    "NewCarrierRequest",
+    "ParameterRecommendation",
+    "RecommendationPipeline",
+    "SyntheticDataset",
+    "four_markets_workload",
+    "full_network_workload",
+    "generate_dataset",
+    "ReproError",
+    "__version__",
+]

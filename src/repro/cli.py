@@ -1,0 +1,91 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list
+    python -m repro generate --workload four-markets --scale 0.02
+    python -m repro experiment fig4
+    python -m repro experiment table4 -o table4.txt
+
+``experiment`` accepts every id in :data:`repro.experiments.EXPERIMENTS`;
+results render in the paper's table/series layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.datagen import four_markets_workload, full_network_workload, tiny_workload
+from repro.experiments import EXPERIMENTS, run_experiment
+
+_WORKLOADS = {
+    "tiny": lambda scale: tiny_workload(),
+    "four-markets": lambda scale: four_markets_workload(scale=scale),
+    "full-network": lambda scale: full_network_workload(scale=scale),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Auric (SIGCOMM 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    generate = sub.add_parser("generate", help="generate a synthetic workload")
+    generate.add_argument(
+        "--workload",
+        choices=sorted(_WORKLOADS),
+        default="four-markets",
+    )
+    generate.add_argument("--scale", type=float, default=None)
+
+    experiment = sub.add_parser("experiment", help="run one paper experiment")
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument(
+        "--workload",
+        choices=sorted(_WORKLOADS),
+        default=None,
+        help="override the experiment's default workload",
+    )
+    experiment.add_argument("--scale", type=float, default=None)
+    experiment.add_argument(
+        "-o", "--output", default=None, help="also write the rendering here"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+
+    if args.command == "generate":
+        dataset = _WORKLOADS[args.workload](args.scale)
+        print(dataset.summary())
+        return 0
+
+    if args.command == "experiment":
+        kwargs = {}
+        if args.workload is not None:
+            kwargs["dataset"] = _WORKLOADS[args.workload](args.scale)
+        result = run_experiment(args.id, **kwargs)
+        text = result.render()
+        print(text)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+        return 0
+
+    return 2  # unreachable with required=True
+
+
+if __name__ == "__main__":
+    sys.exit(main())

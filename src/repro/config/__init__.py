@@ -1,0 +1,43 @@
+"""Configuration substrate.
+
+Models the carrier configuration surface of an LTE RAN: the parameter
+catalog (section 2.2 of the paper), per-carrier and per-carrier-pair
+configuration storage, the vendor managed-object schema, the operational
+rule-book baseline (section 2.4), configuration templates and diffing.
+"""
+
+from repro.config.catalog import build_default_catalog
+from repro.config.diff import ConfigDiff, DiffEntry, diff_against_recommendations
+from repro.config.managed_objects import ManagedObject, ManagedObjectSchema, build_vendor_schema
+from repro.config.parameters import (
+    ParameterCatalog,
+    ParameterCategory,
+    ParameterKind,
+    ParameterSpec,
+)
+from repro.config.rulebook import Rule, RuleBook
+from repro.config.store import ConfigurationStore, PairKey
+from repro.config.templates import ConfigTemplate, render_config_file
+from repro.config.values import quantize, validate_value
+
+__all__ = [
+    "build_default_catalog",
+    "ConfigDiff",
+    "DiffEntry",
+    "diff_against_recommendations",
+    "ManagedObject",
+    "ManagedObjectSchema",
+    "build_vendor_schema",
+    "ParameterCatalog",
+    "ParameterCategory",
+    "ParameterKind",
+    "ParameterSpec",
+    "Rule",
+    "RuleBook",
+    "ConfigurationStore",
+    "PairKey",
+    "ConfigTemplate",
+    "render_config_file",
+    "quantize",
+    "validate_value",
+]

@@ -1,0 +1,132 @@
+"""Vendor managed-object (MO) schema.
+
+Section 5 of the paper: cellular equipment vendors organize configuration
+parameters into a hierarchical structure called *managed objects* —
+analogous to interfaces on routers — and expose them through an element
+management system (EMS).  The controller renders Auric's recommendations
+into this hierarchy before pushing them.
+
+We model an MO tree whose leaves are parameter names; each vendor gets a
+different (deterministic) arrangement, mirroring the lack of cross-vendor
+standardization the paper notes in section 2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.config.parameters import ParameterCatalog, ParameterCategory
+from repro.exceptions import UnknownParameterError
+from repro.types import Vendor
+
+
+@dataclass
+class ManagedObject:
+    """A node in the managed-object hierarchy."""
+
+    name: str
+    children: List["ManagedObject"] = field(default_factory=list)
+    parameters: List[str] = field(default_factory=list)
+
+    def walk(self, prefix: str = "") -> Iterator[Tuple[str, "ManagedObject"]]:
+        """Yield (path, node) for this node and all descendants."""
+        path = f"{prefix}/{self.name}" if prefix else self.name
+        yield path, self
+        for child in self.children:
+            yield from child.walk(path)
+
+
+class ManagedObjectSchema:
+    """A vendor's MO tree with a parameter-name → MO-path index."""
+
+    def __init__(self, vendor: Vendor, root: ManagedObject):
+        self.vendor = vendor
+        self.root = root
+        self._path_by_parameter: Dict[str, str] = {}
+        for path, node in root.walk():
+            for parameter in node.parameters:
+                if parameter in self._path_by_parameter:
+                    raise ValueError(
+                        f"parameter {parameter} appears in two managed objects"
+                    )
+                self._path_by_parameter[parameter] = path
+
+    def path_for(self, parameter: str) -> str:
+        """The MO path holding ``parameter`` (e.g. ``ENodeBFunction/EUtranCell/Mobility``)."""
+        try:
+            return self._path_by_parameter[parameter]
+        except KeyError:
+            raise UnknownParameterError(parameter) from None
+
+    def parameters(self) -> List[str]:
+        return sorted(self._path_by_parameter)
+
+    def mo_count(self) -> int:
+        return sum(1 for _ in self.root.walk())
+
+
+#: How each vendor groups parameter categories into MOs.  VendorA uses a
+#: fine-grained tree, VendorB a flatter one, VendorC a two-level split —
+#: arbitrary but stable, standing in for real vendor schema diversity.
+_VENDOR_LAYOUTS: Dict[Vendor, Dict[str, Tuple[ParameterCategory, ...]]] = {
+    Vendor.VENDOR_A: {
+        "CellConnection": (ParameterCategory.RADIO_CONNECTION,),
+        "PowerControl": (ParameterCategory.POWER_CONTROL,),
+        "LinkAdaptation": (ParameterCategory.LINK_ADAPTATION,),
+        "Scheduler": (ParameterCategory.SCHEDULING,),
+        "Capacity": (ParameterCategory.CAPACITY, ParameterCategory.LOAD_BALANCING),
+        "LayerManagement": (ParameterCategory.LAYER_MANAGEMENT,),
+        "Mobility": (ParameterCategory.MOBILITY, ParameterCategory.HANDOVER),
+        "Timers": (ParameterCategory.TIMERS,),
+    },
+    Vendor.VENDOR_B: {
+        "RadioResource": (
+            ParameterCategory.RADIO_CONNECTION,
+            ParameterCategory.POWER_CONTROL,
+            ParameterCategory.LINK_ADAPTATION,
+            ParameterCategory.SCHEDULING,
+        ),
+        "TrafficManagement": (
+            ParameterCategory.CAPACITY,
+            ParameterCategory.LOAD_BALANCING,
+            ParameterCategory.LAYER_MANAGEMENT,
+        ),
+        "MobilityControl": (
+            ParameterCategory.MOBILITY,
+            ParameterCategory.HANDOVER,
+            ParameterCategory.TIMERS,
+        ),
+    },
+    Vendor.VENDOR_C: {
+        "AccessStratum": (
+            ParameterCategory.RADIO_CONNECTION,
+            ParameterCategory.TIMERS,
+            ParameterCategory.LINK_ADAPTATION,
+        ),
+        "RfManagement": (
+            ParameterCategory.POWER_CONTROL,
+            ParameterCategory.SCHEDULING,
+        ),
+        "LoadAndMobility": (
+            ParameterCategory.CAPACITY,
+            ParameterCategory.LOAD_BALANCING,
+            ParameterCategory.LAYER_MANAGEMENT,
+            ParameterCategory.MOBILITY,
+            ParameterCategory.HANDOVER,
+        ),
+    },
+}
+
+
+def build_vendor_schema(
+    vendor: Vendor, catalog: ParameterCatalog, cell_mo_name: str = "EUtranCell"
+) -> ManagedObjectSchema:
+    """Build the MO schema for one vendor over the given catalog."""
+    layout = _VENDOR_LAYOUTS[vendor]
+    cell = ManagedObject(cell_mo_name)
+    for mo_name, categories in layout.items():
+        parameters = [s.name for s in catalog if s.category in categories]
+        cell.children.append(ManagedObject(mo_name, parameters=parameters))
+    root = ManagedObject("ENodeBFunction", children=[cell])
+    return ManagedObjectSchema(vendor, root)

@@ -1,0 +1,183 @@
+"""Configuration parameter specifications.
+
+Section 2.2 of the paper describes thousands of parameters across
+functions (radio connection management, power control, link adaptation,
+scheduling, capacity/layer management, mobility).  Auric's focus is the
+65 *range* parameters that engineers tune per location: 39 are singular
+(one value per carrier) and 26 are pair-wise (one value per carrier +
+X2-neighbor pair, used for mobility/handover).
+
+A :class:`ParameterSpec` captures everything the rest of the system needs
+about one parameter: its kind, the value model (numeric range + step, or
+an enumeration of allowed values) and its functional category.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, UnknownParameterError
+from repro.types import ParameterValue
+
+
+class ParameterKind(enum.Enum):
+    """Whether a parameter is set per carrier or per carrier pair."""
+
+    SINGULAR = "singular"
+    PAIRWISE = "pairwise"
+
+
+class ParameterCategory(enum.Enum):
+    """Functional category of a parameter (section 2.2)."""
+
+    RADIO_CONNECTION = "radio-connection"
+    POWER_CONTROL = "power-control"
+    LINK_ADAPTATION = "link-adaptation"
+    SCHEDULING = "scheduling"
+    CAPACITY = "capacity"
+    LAYER_MANAGEMENT = "layer-management"
+    LOAD_BALANCING = "load-balancing"
+    MOBILITY = "mobility"
+    HANDOVER = "handover"
+    TIMERS = "timers"
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """The specification of one configuration parameter.
+
+    Range parameters carry ``minimum`` / ``maximum`` / ``step``; the set
+    of legal values is ``minimum + k*step`` for integer ``k`` up to
+    ``maximum``.  Enumeration parameters instead carry ``enum_values``.
+    """
+
+    name: str
+    kind: ParameterKind
+    category: ParameterCategory
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    step: Optional[float] = None
+    enum_values: Tuple[ParameterValue, ...] = ()
+    unit: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.is_range:
+            if self.enum_values:
+                raise ValueError(f"{self.name}: cannot have both a range and an enumeration")
+            assert self.minimum is not None and self.maximum is not None
+            if self.minimum > self.maximum:
+                raise ValueError(f"{self.name}: minimum exceeds maximum")
+            if self.step is not None and self.step <= 0:
+                raise ValueError(f"{self.name}: step must be positive")
+        elif not self.enum_values:
+            raise ValueError(f"{self.name}: needs either a range or an enumeration")
+
+    @property
+    def is_range(self) -> bool:
+        """True for range parameters (the 65 Auric targets)."""
+        return self.minimum is not None and self.maximum is not None
+
+    @property
+    def is_pairwise(self) -> bool:
+        return self.kind is ParameterKind.PAIRWISE
+
+    @property
+    def effective_step(self) -> float:
+        """The quantization step; defaults to 1 for integer-like ranges."""
+        if not self.is_range:
+            raise ConfigurationError(f"{self.name} is not a range parameter")
+        return self.step if self.step is not None else 1.0
+
+    def value_count(self) -> int:
+        """How many distinct legal values the parameter admits."""
+        if self.is_range:
+            assert self.minimum is not None and self.maximum is not None
+            span = self.maximum - self.minimum
+            return int(math.floor(span / self.effective_step + 1e-9)) + 1
+        return len(self.enum_values)
+
+    def legal_values(self, limit: Optional[int] = None) -> List[ParameterValue]:
+        """Enumerate legal values (optionally only the first ``limit``)."""
+        if not self.is_range:
+            values: List[ParameterValue] = list(self.enum_values)
+            return values[:limit] if limit is not None else values
+        assert self.minimum is not None
+        count = self.value_count()
+        if limit is not None:
+            count = min(count, limit)
+        step = self.effective_step
+        out: List[ParameterValue] = []
+        for k in range(count):
+            out.append(_normalize_number(self.minimum + k * step))
+        return out
+
+    def contains(self, value: ParameterValue) -> bool:
+        """Whether ``value`` is legal for this parameter."""
+        if not self.is_range:
+            return value in self.enum_values
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return False
+        assert self.minimum is not None and self.maximum is not None
+        if not self.minimum - 1e-9 <= float(value) <= self.maximum + 1e-9:
+            return False
+        steps = (float(value) - self.minimum) / self.effective_step
+        return abs(steps - round(steps)) < 1e-6
+
+
+def _normalize_number(x: float) -> ParameterValue:
+    """Collapse float values that are integral to ints (stable labels)."""
+    rounded = round(x, 9)
+    if abs(rounded - round(rounded)) < 1e-9:
+        return int(round(rounded))
+    return rounded
+
+
+class ParameterCatalog:
+    """An ordered, name-indexed collection of parameter specs."""
+
+    def __init__(self, specs: Sequence[ParameterSpec]):
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter names in catalog")
+        self._specs: Tuple[ParameterSpec, ...] = tuple(specs)
+        self._by_name: Dict[str, ParameterSpec] = {s.name: s for s in specs}
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[ParameterSpec]:
+        return iter(self._specs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def spec(self, name: str) -> ParameterSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownParameterError(name) from None
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self._specs)
+
+    def range_parameters(self) -> List[ParameterSpec]:
+        """The range parameters — Auric's predictees."""
+        return [s for s in self._specs if s.is_range]
+
+    def singular_parameters(self) -> List[ParameterSpec]:
+        return [s for s in self._specs if s.is_range and s.kind is ParameterKind.SINGULAR]
+
+    def pairwise_parameters(self) -> List[ParameterSpec]:
+        return [s for s in self._specs if s.is_range and s.kind is ParameterKind.PAIRWISE]
+
+    def enumeration_parameters(self) -> List[ParameterSpec]:
+        return [s for s in self._specs if not s.is_range]
+
+    def subset(self, names: Sequence[str]) -> "ParameterCatalog":
+        """A catalog restricted to the given parameter names, in that order."""
+        return ParameterCatalog([self.spec(n) for n in names])

@@ -1,0 +1,116 @@
+"""Rule-book baseline.
+
+Today's operational practice (section 2.4): domain experts maintain
+rule-books that map carrier attributes to default parameter values.  SON
+then enforces compliance with the rule-book but cannot pick a value from
+a range.  We implement the rule-book both as a comparison baseline and as
+the fallback Auric uses for unobserved attribute values (section 6,
+"bootstrapping configuration for the unobserved").
+
+A rule matches a carrier when every (attribute, value) condition it
+carries holds; the most specific matching rule (most conditions, then
+highest priority) wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.config.parameters import ParameterCatalog, ParameterSpec
+from repro.config.values import quantize, validate_value
+from repro.exceptions import UnknownParameterError
+from repro.netmodel.attributes import CarrierAttributes
+from repro.types import AttributeValue, ParameterValue
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One rule-book entry: conditions → a value for one parameter."""
+
+    parameter: str
+    value: ParameterValue
+    conditions: Tuple[Tuple[str, AttributeValue], ...] = ()
+    priority: int = 0
+    comment: str = ""
+
+    def matches(self, attributes: CarrierAttributes) -> bool:
+        return all(attributes.get(name) == value for name, value in self.conditions)
+
+    @property
+    def specificity(self) -> int:
+        return len(self.conditions)
+
+
+class RuleBook:
+    """An ordered collection of rules with most-specific-wins lookup."""
+
+    def __init__(self, catalog: ParameterCatalog, name: str = "default"):
+        self._catalog = catalog
+        self.name = name
+        self._rules_by_parameter: Dict[str, List[Rule]] = {}
+
+    @property
+    def catalog(self) -> ParameterCatalog:
+        return self._catalog
+
+    def add_rule(self, rule: Rule) -> None:
+        spec = self._catalog.spec(rule.parameter)
+        validate_value(spec, rule.value)
+        self._rules_by_parameter.setdefault(rule.parameter, []).append(rule)
+
+    def add_rules(self, rules: Iterable[Rule]) -> None:
+        for rule in rules:
+            self.add_rule(rule)
+
+    def rules_for(self, parameter: str) -> List[Rule]:
+        return list(self._rules_by_parameter.get(parameter, []))
+
+    def rule_count(self) -> int:
+        return sum(len(r) for r in self._rules_by_parameter.values())
+
+    def lookup(
+        self, parameter: str, attributes: CarrierAttributes
+    ) -> Optional[ParameterValue]:
+        """The rule-book's value for a carrier, or None without a match.
+
+        Most conditions wins; ties break on priority, then insertion
+        order (earlier wins, as engineers put canonical rules first).
+        """
+        best: Optional[Rule] = None
+        best_rank: Tuple[int, int, int] = (-1, -1, 0)
+        for index, rule in enumerate(self._rules_by_parameter.get(parameter, [])):
+            if not rule.matches(attributes):
+                continue
+            rank = (rule.specificity, rule.priority, -index)
+            if rank > best_rank:
+                best, best_rank = rule, rank
+        return best.value if best is not None else None
+
+    def default_for(self, parameter: str) -> ParameterValue:
+        """The catalog-level default used when no rule matches.
+
+        For range parameters this is the mid-range value (the paper notes
+        rule-books define an "initial default" for range parameters); for
+        enumerations it is the first listed value.
+        """
+        spec = self._catalog.spec(parameter)
+        if spec.is_range:
+            assert spec.minimum is not None and spec.maximum is not None
+            return quantize(spec, (spec.minimum + spec.maximum) / 2.0)
+        return spec.enum_values[0]
+
+    def value_for(self, parameter: str, attributes: CarrierAttributes) -> ParameterValue:
+        """Rule-book lookup with fallback to the catalog default."""
+        value = self.lookup(parameter, attributes)
+        return value if value is not None else self.default_for(parameter)
+
+    def configuration_for(
+        self, attributes: CarrierAttributes, parameters: Optional[Iterable[str]] = None
+    ) -> Dict[str, ParameterValue]:
+        """The full rule-book configuration for one carrier."""
+        names = list(parameters) if parameters is not None else list(self._catalog.names)
+        for name in names:
+            if name not in self._catalog:
+                raise UnknownParameterError(name)
+        return {name: self.value_for(name, attributes) for name in names}

@@ -1,0 +1,39 @@
+"""Value quantization and validation against parameter specs."""
+
+from __future__ import annotations
+
+from repro.config.parameters import ParameterSpec, _normalize_number
+from repro.exceptions import ConfigurationError
+from repro.types import ParameterValue
+
+
+def quantize(spec: ParameterSpec, raw: float) -> ParameterValue:
+    """Snap ``raw`` to the nearest legal value of a range parameter.
+
+    Used by the synthetic generator and by any caller holding a
+    continuous estimate (e.g. a regression output) that must become a
+    legal configuration value.
+    """
+    if not spec.is_range:
+        raise ConfigurationError(f"{spec.name} is not a range parameter")
+    assert spec.minimum is not None and spec.maximum is not None
+    clamped = min(max(float(raw), spec.minimum), spec.maximum)
+    step = spec.effective_step
+    k = round((clamped - spec.minimum) / step)
+    k = min(max(k, 0), spec.value_count() - 1)
+    return _normalize_number(spec.minimum + k * step)
+
+
+def validate_value(spec: ParameterSpec, value: ParameterValue) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is legal."""
+    if not spec.contains(value):
+        raise ConfigurationError(
+            f"value {value!r} is not legal for parameter {spec.name} "
+            f"({_describe_domain(spec)})"
+        )
+
+
+def _describe_domain(spec: ParameterSpec) -> str:
+    if spec.is_range:
+        return f"range {spec.minimum}..{spec.maximum} step {spec.effective_step}"
+    return f"enumeration {spec.enum_values}"

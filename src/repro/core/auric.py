@@ -1,0 +1,471 @@
+"""The Auric recommendation engine.
+
+Fits, per range parameter, a collaborative-filtering dependency model
+(chi-square attribute selection, section 3.2) over the existing carriers
+in a network, then recommends values for target carriers by voting —
+globally or within the 1-hop X2 neighborhood (section 3.3).
+
+The engine supports *leave-one-out* voting (``exclude`` in the recommend
+calls): the paper's evaluation treats each existing carrier as if it
+were new, with the rest of the network as the training set, so a
+carrier's own configured value must not vote for itself.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.config.parameters import ParameterCatalog, ParameterSpec
+from repro.config.store import ConfigurationStore, PairKey
+from repro.exceptions import RecommendationError, UnknownParameterError
+from repro.core.recommendation import ParameterRecommendation
+from repro.learners.collaborative_filtering import CollaborativeFilteringRecommender
+from repro.netmodel.attributes import ATTRIBUTE_SCHEMA
+from repro.netmodel.identifiers import CarrierId
+from repro.netmodel.network import Network
+from repro.rng import derive
+from repro.types import AttributeValue, ParameterValue
+
+Row = Tuple[AttributeValue, ...]
+
+
+@dataclass(frozen=True)
+class AuricConfig:
+    """Engine settings (defaults follow section 4.2 of the paper)."""
+
+    support_threshold: float = 0.75
+    p_value: float = 0.01
+    min_effect_size: float = 0.12
+    #: Attribute-selection strategy: "conditional" (default) or
+    #: "marginal" (the paper's verbatim marginal chi-square selection,
+    #: kept for the ablation).
+    selection: str = "conditional"
+    hops: int = 1
+    #: Minimum number of local voters for a local vote to stand; below
+    #: this the engine falls back to the global vote.
+    min_local_votes: int = 3
+    #: Cap on samples used for chi-square attribute selection (the vote
+    #: index always uses every sample).  None = no cap.
+    max_fit_samples: Optional[int] = 30000
+    seed: int = 7
+
+
+@dataclass
+class _ParameterModel:
+    """Fitted state for one parameter."""
+
+    spec: ParameterSpec
+    dependent_columns: Tuple[int, ...]
+    dependent_names: Tuple[str, ...]
+    cell_index: Dict[Tuple[AttributeValue, ...], Counter]
+    global_counts: Counter
+    # target key (CarrierId or PairKey) -> (cell key, label)
+    samples: Dict[Hashable, Tuple[Tuple[AttributeValue, ...], ParameterValue]]
+    # carrier -> target keys whose source side is that carrier
+    by_carrier: Dict[CarrierId, List[Hashable]]
+    # sparse vote weights (targets not listed weigh 1.0)
+    weights: Dict[Hashable, float] = field(default_factory=dict)
+    # lazily-built vote indexes for relaxed (prefix) matches; level k
+    # matches on the first k dependent attributes (strongest first)
+    _relaxed: Dict[int, Dict[Tuple[AttributeValue, ...], Counter]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def weight_of(self, key: Hashable) -> float:
+        return self.weights.get(key, 1.0)
+
+    def relaxed_index(
+        self, level: int
+    ) -> Dict[Tuple[AttributeValue, ...], Counter]:
+        """The vote index matching on the first ``level`` dependent
+        attributes (built on first use)."""
+        index = self._relaxed.get(level)
+        if index is None:
+            index = {}
+            for key, (cell, label) in self.samples.items():
+                prefix = cell[:level]
+                index.setdefault(prefix, Counter())[label] += self.weight_of(key)
+            self._relaxed[level] = index
+        return index
+
+    def cell_key(self, row: Row) -> Tuple[AttributeValue, ...]:
+        return tuple(row[c] for c in self.dependent_columns)
+
+
+class AuricEngine:
+    """Learns dependency models and recommends configuration values."""
+
+    def __init__(
+        self,
+        network: Network,
+        store: ConfigurationStore,
+        config: Optional[AuricConfig] = None,
+    ) -> None:
+        self.network = network
+        self.store = store
+        self.config = config or AuricConfig()
+        self.catalog: ParameterCatalog = store.catalog
+        self._models: Dict[str, _ParameterModel] = {}
+        self._row_cache: Dict[CarrierId, Row] = {}
+
+    # -- data access --------------------------------------------------------
+
+    def carrier_row(self, carrier_id: CarrierId) -> Row:
+        row = self._row_cache.get(carrier_id)
+        if row is None:
+            row = self.network.carrier(carrier_id).attributes.as_tuple()
+            self._row_cache[carrier_id] = row
+        return row
+
+    def pair_row(self, pair: PairKey) -> Row:
+        return self.carrier_row(pair.carrier) + self.carrier_row(pair.neighbor)
+
+    def attribute_names(self, spec: ParameterSpec) -> Tuple[str, ...]:
+        if spec.is_pairwise:
+            own = tuple(f"own.{n}" for n in ATTRIBUTE_SCHEMA.names)
+            nbr = tuple(f"nbr.{n}" for n in ATTRIBUTE_SCHEMA.names)
+            return own + nbr
+        return ATTRIBUTE_SCHEMA.names
+
+    # -- fitting --------------------------------------------------------------
+
+    def fit(
+        self,
+        parameters: Optional[Sequence[str]] = None,
+        vote_weights: Optional[Dict[Hashable, float]] = None,
+    ) -> "AuricEngine":
+        """Learn dependency models for the given (or all range) parameters.
+
+        ``vote_weights`` optionally maps target keys (carrier ids / pair
+        keys) to vote weights — the section 6 performance-feedback
+        extension: carriers whose configuration historically improved
+        service performance can carry more support than carriers whose
+        KPIs degraded after tuning.  Unlisted targets weigh 1.
+        """
+        if parameters is None:
+            specs = self.catalog.range_parameters()
+        else:
+            specs = [self.catalog.spec(name) for name in parameters]
+        for spec in specs:
+            self._models[spec.name] = self._fit_parameter(spec, vote_weights)
+        return self
+
+    def fitted_parameters(self) -> List[str]:
+        return sorted(self._models)
+
+    def _collect_samples(
+        self, spec: ParameterSpec
+    ) -> Tuple[List[Hashable], List[Row], List[ParameterValue]]:
+        if spec.is_pairwise:
+            values = self.store.pairwise_values(spec.name)
+            keys: List[Hashable] = sorted(values)
+            rows = [self.pair_row(k) for k in keys]
+        else:
+            values = self.store.singular_values(spec.name)
+            keys = sorted(values)
+            rows = [self.carrier_row(k) for k in keys]
+        labels = [values[k] for k in keys]
+        return keys, rows, labels
+
+    def _fit_parameter(
+        self,
+        spec: ParameterSpec,
+        vote_weights: Optional[Dict[Hashable, float]] = None,
+    ) -> _ParameterModel:
+        keys, rows, labels = self._collect_samples(spec)
+        if not keys:
+            raise RecommendationError(
+                f"no configured values for parameter {spec.name}; cannot fit"
+            )
+
+        fit_rows, fit_labels = rows, labels
+        cap = self.config.max_fit_samples
+        if cap is not None and len(rows) > cap:
+            rng = derive(self.config.seed, f"fit-sample:{spec.name}")
+            picked = rng.choice(len(rows), size=cap, replace=False)
+            picked.sort()
+            fit_rows = [rows[i] for i in picked]
+            fit_labels = [labels[i] for i in picked]
+
+        recommender = CollaborativeFilteringRecommender(
+            support_threshold=self.config.support_threshold,
+            p_value=self.config.p_value,
+            min_effect_size=self.config.min_effect_size,
+            selection=self.config.selection,
+        ).fit(fit_rows, fit_labels)
+        dependent = recommender.dependent_attributes
+        names = self.attribute_names(spec)
+
+        cell_index: Dict[Tuple[AttributeValue, ...], Counter] = {}
+        global_counts: Counter = Counter()
+        samples: Dict[Hashable, Tuple[Tuple[AttributeValue, ...], ParameterValue]] = {}
+        by_carrier: Dict[CarrierId, List[Hashable]] = {}
+        weights: Dict[Hashable, float] = {}
+        for key, row, label in zip(keys, rows, labels):
+            weight = 1.0
+            if vote_weights is not None:
+                weight = float(vote_weights.get(key, 1.0))
+                if weight < 0.0:
+                    raise ValueError(f"vote weight for {key} must be >= 0")
+                if weight != 1.0:
+                    weights[key] = weight
+            cell = tuple(row[c] for c in dependent)
+            cell_index.setdefault(cell, Counter())[label] += weight
+            global_counts[label] += weight
+            samples[key] = (cell, label)
+            source = key.carrier if isinstance(key, PairKey) else key
+            by_carrier.setdefault(source, []).append(key)
+
+        return _ParameterModel(
+            spec=spec,
+            dependent_columns=dependent,
+            dependent_names=tuple(names[c] for c in dependent),
+            cell_index=cell_index,
+            global_counts=global_counts,
+            samples=samples,
+            by_carrier=by_carrier,
+            weights=weights,
+        )
+
+    def _model(self, parameter: str) -> _ParameterModel:
+        try:
+            return self._models[parameter]
+        except KeyError:
+            raise UnknownParameterError(
+                f"{parameter} has not been fitted (call fit first)"
+            ) from None
+
+    # -- voting ---------------------------------------------------------------
+
+    def _vote_counter(
+        self,
+        model: _ParameterModel,
+        cell: Tuple[AttributeValue, ...],
+        exclude: Optional[Hashable],
+    ) -> Counter:
+        counter = Counter(model.cell_index.get(cell, Counter()))
+        if exclude is not None and exclude in model.samples:
+            ex_cell, ex_label = model.samples[exclude]
+            if ex_cell == cell and counter.get(ex_label, 0) > 0:
+                counter[ex_label] -= model.weight_of(exclude)
+                if counter[ex_label] <= 1e-12:
+                    del counter[ex_label]
+        return counter
+
+    def _finish(
+        self,
+        model: _ParameterModel,
+        counter: Counter,
+        scope: str,
+    ) -> ParameterRecommendation:
+        total = sum(counter.values())
+        value, top = counter.most_common(1)[0]
+        support = top / total if total else 0.0
+        return ParameterRecommendation(
+            parameter=model.spec.name,
+            value=value,
+            support=support,
+            matched=float(total),
+            confident=support >= self.config.support_threshold,
+            scope=scope,
+            dependent_attributes=model.dependent_names,
+        )
+
+    def recommend_global(
+        self, parameter: str, row: Row, exclude: Optional[Hashable] = None
+    ) -> ParameterRecommendation:
+        """Network-wide vote for one target row.
+
+        If no existing carrier matches the full dependent-attribute
+        combination (after leave-one-out exclusion), the match is
+        progressively relaxed by dropping the weakest dependency first —
+        the same fallback the CF learner applies — ending at the global
+        value distribution.
+        """
+        model = self._model(parameter)
+        cell = model.cell_key(row)
+        counter = self._vote_counter(model, cell, exclude)
+        if counter:
+            return self._finish(model, counter, "global")
+        for level in range(len(cell) - 1, 0, -1):
+            index = model.relaxed_index(level)
+            counter = Counter(index.get(cell[:level], Counter()))
+            if exclude is not None and exclude in model.samples:
+                ex_cell, ex_label = model.samples[exclude]
+                if ex_cell[:level] == cell[:level] and counter.get(ex_label, 0) > 0:
+                    counter[ex_label] -= model.weight_of(exclude)
+                    if counter[ex_label] <= 1e-12:
+                        del counter[ex_label]
+            if counter:
+                return self._finish(model, counter, "global-relaxed")
+        fallback = Counter(model.global_counts)
+        if exclude is not None and exclude in model.samples:
+            _, ex_label = model.samples[exclude]
+            fallback[ex_label] -= model.weight_of(exclude)
+            if fallback[ex_label] <= 1e-12:
+                del fallback[ex_label]
+        if not fallback:
+            raise RecommendationError(f"no votes available for {parameter}")
+        return self._finish(model, fallback, "global-fallback")
+
+    def recommend_local(
+        self,
+        parameter: str,
+        row: Row,
+        neighborhood: Set[CarrierId],
+        exclude: Optional[Hashable] = None,
+    ) -> ParameterRecommendation:
+        """1-hop-neighborhood vote, falling back to the global vote.
+
+        ``neighborhood`` is the set of *carriers* allowed to vote; for
+        pair-wise parameters the votes come from pairs sourced at those
+        carriers.
+
+        Two local signals are tried before deferring to the global vote:
+
+        1. an exact match on the dependent attributes among the
+           neighborhood's carriers (enough voters → their plurality), and
+        2. *cluster-tuning detection*: engineers tune a geographic
+           cluster to one value regardless of attribute combination.  A
+           neighborhood whose carriers agree on one value (support above
+           the confidence threshold) across two or more *different*
+           dependent-attribute cells, where that value moreover deviates
+           from the voters' own cells' network-wide majorities, is a
+           tuned cluster — its value applies to the new carrier even
+           without an exact attribute match.  The deviation requirement
+           is what separates deliberate local tuning from areas that are
+           merely uniform because the network-wide default dominates.
+        """
+        model = self._model(parameter)
+        cell = model.cell_key(row)
+        exact_counter: Counter = Counter()
+        all_counter: Counter = Counter()
+        voters_by_label: Dict[ParameterValue, List[Hashable]] = {}
+        for carrier in neighborhood:
+            for key in model.by_carrier.get(carrier, ()):
+                if key == exclude:
+                    continue
+                sample_cell, label = model.samples[key]
+                weight = model.weight_of(key)
+                all_counter[label] += weight
+                voters_by_label.setdefault(label, []).append(key)
+                if sample_cell == cell:
+                    exact_counter[label] += weight
+
+        if sum(exact_counter.values()) >= self.config.min_local_votes:
+            outcome = self._finish(model, exact_counter, "local")
+            # A handful of local voters is a weaker sample than the
+            # network-wide cell; only a confident local consensus is
+            # allowed to override the global vote.
+            if outcome.confident:
+                return outcome
+
+        if sum(all_counter.values()) >= self.config.min_local_votes:
+            outcome = self._finish(model, all_counter, "local-cluster")
+            if outcome.confident and self._is_tuned_cluster(
+                model, voters_by_label.get(outcome.value, []), outcome.value
+            ):
+                return outcome
+
+        return self.recommend_global(parameter, row, exclude)
+
+    def _is_tuned_cluster(
+        self,
+        model: _ParameterModel,
+        voters: List[Hashable],
+        value: ParameterValue,
+    ) -> bool:
+        """Whether neighborhood agreement on ``value`` looks deliberate.
+
+        Requires the agreeing voters to span at least two distinct
+        dependent-attribute cells, and a majority of them to deviate
+        from their own cell's network-wide majority — uniform areas
+        where everyone simply has the global default fail this.
+        """
+        cells = {model.samples[key][0] for key in voters}
+        if len(cells) < 2:
+            return False
+        anomalous = 0
+        evidence = 0
+        for key in voters:
+            voter_cell, _ = model.samples[key]
+            counter = Counter(model.cell_index[voter_cell])
+            counter[value] -= model.weight_of(key)  # the voter's own vote
+            if counter[value] <= 1e-12:
+                del counter[value]
+            if not counter:
+                # A singleton cell says nothing about the network norm;
+                # it is neither evidence for nor against tuning.
+                continue
+            evidence += 1
+            if counter.most_common(1)[0][0] != value:
+                anomalous += 1
+        if evidence < 2:
+            return False
+        return anomalous >= 0.5 * evidence
+
+    # -- carrier-level API ------------------------------------------------------
+
+    def neighborhood_of(self, carrier_id: CarrierId) -> Set[CarrierId]:
+        return self.network.x2.carrier_neighborhood(
+            carrier_id, hops=self.config.hops
+        )
+
+    def recommend_for_carrier(
+        self,
+        parameter: str,
+        carrier_id: CarrierId,
+        local: bool = True,
+        leave_one_out: bool = True,
+    ) -> ParameterRecommendation:
+        """Recommend a singular parameter for an existing carrier.
+
+        With ``leave_one_out`` the carrier's own configured value does
+        not vote — the paper's evaluation methodology.
+        """
+        model = self._model(parameter)
+        if model.spec.is_pairwise:
+            raise RecommendationError(
+                f"{parameter} is pair-wise; use recommend_for_pair"
+            )
+        row = self.carrier_row(carrier_id)
+        exclude = carrier_id if leave_one_out else None
+        if local:
+            return self.recommend_local(
+                parameter, row, self.neighborhood_of(carrier_id), exclude
+            )
+        return self.recommend_global(parameter, row, exclude)
+
+    def recommend_for_pair(
+        self,
+        parameter: str,
+        pair: PairKey,
+        local: bool = True,
+        leave_one_out: bool = True,
+    ) -> ParameterRecommendation:
+        """Recommend a pair-wise parameter for a (carrier, neighbor) pair."""
+        model = self._model(parameter)
+        if not model.spec.is_pairwise:
+            raise RecommendationError(
+                f"{parameter} is singular; use recommend_for_carrier"
+            )
+        row = self.pair_row(pair)
+        exclude = pair if leave_one_out else None
+        if local:
+            # The source carrier's other pairs are legitimate voters too.
+            neighborhood = self.neighborhood_of(pair.carrier)
+            neighborhood.add(pair.carrier)
+            return self.recommend_local(parameter, row, neighborhood, exclude)
+        return self.recommend_global(parameter, row, exclude)
+
+    # -- introspection ----------------------------------------------------------
+
+    def dependent_attribute_names(self, parameter: str) -> Tuple[str, ...]:
+        return self._model(parameter).dependent_names
+
+    def cell_count(self, parameter: str) -> int:
+        return len(self._model(parameter).cell_index)

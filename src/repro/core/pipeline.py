@@ -1,0 +1,108 @@
+"""End-to-end recommendation pipeline for genuinely new carriers.
+
+A *new* carrier is not yet in the network snapshot: it has attributes
+(known at activation time, section 3) and a launch location — from which
+its future X2 neighborhood can be predicted (co-sited carriers plus
+carriers on nearby eNodeBs).  The pipeline runs the Auric engine for
+every range parameter (local vote first, global fallback) and fills
+enumeration parameters and cold-start cases from the operational
+rule-book, exactly the deployment behaviour described in sections 5-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.config.rulebook import RuleBook
+from repro.core.auric import AuricEngine
+from repro.core.recommendation import CarrierRecommendation, ParameterRecommendation
+from repro.exceptions import RecommendationError
+from repro.netmodel.attributes import CarrierAttributes
+from repro.netmodel.identifiers import CarrierId, ENodeBId
+
+
+@dataclass(frozen=True)
+class NewCarrierRequest:
+    """Everything known about a carrier at launch time."""
+
+    attributes: CarrierAttributes
+    #: The eNodeB the carrier is installed on (its co-sited and X2
+    #: neighbor carriers become the local voters).
+    enodeb_id: Optional[ENodeBId] = None
+    #: Explicit neighbor carriers, if ANR data is already available.
+    neighbor_carriers: Tuple[CarrierId, ...] = ()
+
+    def label(self) -> str:
+        if self.enodeb_id is not None:
+            return f"new-carrier@{self.enodeb_id}"
+        return "new-carrier"
+
+
+class RecommendationPipeline:
+    """Auric engine + rule-book fallback, packaged for launch workflows."""
+
+    def __init__(self, engine: AuricEngine, rulebook: Optional[RuleBook] = None):
+        self.engine = engine
+        self.rulebook = rulebook
+
+    def _neighborhood(self, request: NewCarrierRequest) -> Set[CarrierId]:
+        voters: Set[CarrierId] = set(request.neighbor_carriers)
+        if request.enodeb_id is not None:
+            enodeb = self.engine.network.enodeb(request.enodeb_id)
+            for carrier in enodeb.carriers():
+                voters.add(carrier.carrier_id)
+                voters |= self.engine.neighborhood_of(carrier.carrier_id)
+        return voters
+
+    def recommend(
+        self,
+        request: NewCarrierRequest,
+        parameters: Optional[Sequence[str]] = None,
+        include_enumerations: bool = True,
+    ) -> CarrierRecommendation:
+        """The full configuration recommendation for a new carrier."""
+        catalog = self.engine.catalog
+        if parameters is None:
+            names = [s.name for s in catalog.singular_parameters()]
+            if include_enumerations and self.rulebook is not None:
+                names += [
+                    s.name
+                    for s in catalog.enumeration_parameters()
+                    if s.kind.value == "singular"
+                ]
+        else:
+            names = list(parameters)
+
+        row = request.attributes.as_tuple()
+        neighborhood = self._neighborhood(request)
+        result = CarrierRecommendation(target=request.label())
+        for name in names:
+            spec = catalog.spec(name)
+            if spec.is_range and name in self.engine.fitted_parameters():
+                try:
+                    if neighborhood:
+                        rec = self.engine.recommend_local(
+                            name, row, neighborhood, exclude=None
+                        )
+                    else:
+                        rec = self.engine.recommend_global(name, row, exclude=None)
+                    result.add(rec)
+                    continue
+                except RecommendationError:
+                    pass  # fall through to the rule-book
+            if self.rulebook is None:
+                raise RecommendationError(
+                    f"cannot recommend {name}: not fitted and no rule-book fallback"
+                )
+            result.add(
+                ParameterRecommendation(
+                    parameter=name,
+                    value=self.rulebook.value_for(name, request.attributes),
+                    support=1.0,
+                    matched=0.0,
+                    confident=False,
+                    scope="rulebook",
+                )
+            )
+        return result

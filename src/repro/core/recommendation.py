@@ -1,0 +1,73 @@
+"""Recommendation result types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.types import ParameterValue
+
+
+@dataclass(frozen=True)
+class ParameterRecommendation:
+    """Auric's recommendation for one parameter on one target.
+
+    ``scope`` records which vote produced the value: ``"local"`` (1-hop
+    X2 voting), ``"global"`` (network-wide voting) or ``"rulebook"``
+    (cold-start fallback to the operational rule-book).  ``support`` is
+    the winning value's share of the vote, ``matched`` the number of
+    carriers that voted.  ``confident`` is True when support reaches the
+    engine's threshold (75% in the paper).
+    """
+
+    parameter: str
+    value: ParameterValue
+    support: float
+    matched: float
+    confident: bool
+    scope: str
+    dependent_attributes: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        marker = "" if self.confident else " (low support)"
+        return (
+            f"{self.parameter} = {self.value!r} "
+            f"[{self.scope}, {self.support:.0%} of {self.matched:g}]{marker}"
+        )
+
+
+@dataclass
+class CarrierRecommendation:
+    """The full set of parameter recommendations for one carrier."""
+
+    target: str
+    recommendations: Dict[str, ParameterRecommendation] = field(default_factory=dict)
+
+    def add(self, recommendation: ParameterRecommendation) -> None:
+        self.recommendations[recommendation.parameter] = recommendation
+
+    def value_map(self, confident_only: bool = False) -> Dict[str, ParameterValue]:
+        """parameter → value, optionally restricted to confident votes."""
+        return {
+            name: rec.value
+            for name, rec in self.recommendations.items()
+            if rec.confident or not confident_only
+        }
+
+    def mismatches_against(
+        self, current: Mapping[str, ParameterValue]
+    ) -> List[ParameterRecommendation]:
+        """Recommendations that differ from the current configuration."""
+        return [
+            rec
+            for name, rec in sorted(self.recommendations.items())
+            if name in current and current[name] != rec.value
+        ]
+
+    def __len__(self) -> int:
+        return len(self.recommendations)
+
+    def __str__(self) -> str:
+        lines = [f"recommendations for {self.target}:"]
+        lines.extend(f"  {rec}" for _, rec in sorted(self.recommendations.items()))
+        return "\n".join(lines)

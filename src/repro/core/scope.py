@@ -1,0 +1,51 @@
+"""Voting scopes: global vs geographically local.
+
+Section 3.3 of the paper: the *local learner* restricts the carriers
+used for recommendation to the 1-hop X2 neighborhood of the new carrier;
+the *global learner* uses the whole network.  Section 4.3.2 evaluates
+"collaborative filtering with local voting" against "collaborative
+filtering with global voting" — the dependency model (which attributes
+matter) is learned globally in both; only the *vote* is scoped.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Set
+
+from repro.netmodel.identifiers import CarrierId
+from repro.netmodel.topology import X2Graph
+
+
+class Scope(abc.ABC):
+    """Which existing carriers may vote for a given target carrier."""
+
+    name: str = "scope"
+
+    @abc.abstractmethod
+    def voters_for(self, carrier_id: CarrierId) -> Optional[Set[CarrierId]]:
+        """The carrier ids allowed to vote, or None for "everyone"."""
+
+
+class GlobalScope(Scope):
+    """The whole network votes."""
+
+    name = "global"
+
+    def voters_for(self, carrier_id: CarrierId) -> Optional[Set[CarrierId]]:
+        return None
+
+
+class LocalScope(Scope):
+    """Only the ``hops``-hop X2 neighborhood votes (1 hop in the paper)."""
+
+    name = "local"
+
+    def __init__(self, x2: X2Graph, hops: int = 1):
+        if hops < 1:
+            raise ValueError("hops must be >= 1")
+        self._x2 = x2
+        self.hops = hops
+
+    def voters_for(self, carrier_id: CarrierId) -> Optional[Set[CarrierId]]:
+        return self._x2.carrier_neighborhood(carrier_id, hops=self.hops)

@@ -1,0 +1,51 @@
+"""Synthetic LTE configuration data generator.
+
+The paper's dataset — a production snapshot of 400K+ carriers across 28
+markets — is proprietary.  This package generates a synthetic network
+whose *statistical structure* matches everything the paper reports about
+its data (see DESIGN.md section 2 for the substitution argument):
+
+* 28 markets with Table 3-like sizes (a ``scale`` knob shrinks them),
+* carrier attributes per Table 1, with realistic correlations,
+* ground-truth configuration produced by latent rules over a small set
+  of dependent attributes, layered with market-level overrides,
+  geographically local tuning, leftover trial values, in-flight rollout
+  values and hidden-factor (terrain) effects,
+* per-value provenance so the evaluation layer can label mismatches the
+  way the paper's engineers did (Fig 12).
+
+No learner ever sees the latent rules; they see only the emitted
+attribute vectors and configured values.
+"""
+
+from repro.datagen.generator import SyntheticDataset, generate_dataset
+from repro.datagen.latent_rules import LatentRule, build_latent_rules
+from repro.datagen.profiles import (
+    GenerationProfile,
+    MarketProfile,
+    four_market_profile,
+    full_network_profile,
+)
+from repro.datagen.provenance import Provenance, ProvenanceMap, ProvenanceRecord
+from repro.datagen.workloads import (
+    four_markets_workload,
+    full_network_workload,
+    tiny_workload,
+)
+
+__all__ = [
+    "SyntheticDataset",
+    "generate_dataset",
+    "LatentRule",
+    "build_latent_rules",
+    "GenerationProfile",
+    "MarketProfile",
+    "four_market_profile",
+    "full_network_profile",
+    "Provenance",
+    "ProvenanceMap",
+    "ProvenanceRecord",
+    "four_markets_workload",
+    "full_network_workload",
+    "tiny_workload",
+]

@@ -1,0 +1,354 @@
+"""The synthetic dataset generator.
+
+``generate_dataset(profile)`` produces a :class:`SyntheticDataset`: a
+network (markets → eNodeBs → carriers with Table 1 attributes), the X2
+topology, a fully-painted configuration store for every range parameter,
+and the per-value provenance map.
+
+Everything is deterministic in ``profile.seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config.catalog import build_default_catalog
+from repro.config.parameters import ParameterCatalog
+from repro.config.store import ConfigurationStore, PairKey
+from repro.datagen.latent_rules import LatentRule, build_latent_rules
+from repro.datagen.profiles import GenerationProfile, MarketProfile
+from repro.datagen.provenance import ProvenanceMap
+from repro.datagen.tuning import ParameterPainter, local_tuning_values
+from repro.netmodel.attributes import ATTRIBUTE_SCHEMA, CarrierAttributes
+from repro.netmodel.bands import band_for_frequency_mhz
+from repro.netmodel.carrier import Carrier
+from repro.netmodel.enodeb import ENodeB, FACES_PER_ENODEB
+from repro.netmodel.geo import GeoPoint
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.netmodel.market import Market
+from repro.netmodel.network import Network
+from repro.netmodel.topology import build_x2_graph
+from repro.rng import derive
+from repro.types import AttributeValue, Band
+
+_BANDWIDTH_BY_FREQUENCY = {
+    700: (10,),
+    850: (10, 15),
+    1700: (15, 20),
+    1900: (15, 20),
+    2100: (15, 20),
+    2300: (20,),
+    2500: (20,),
+}
+_FREQUENCIES = tuple(sorted(_BANDWIDTH_BY_FREQUENCY))
+_NEIGHBOR_CHANNELS = (444, 555, 666)
+_SOFTWARE_VERSIONS = ("RAN20Q1", "RAN20Q2", "RAN21Q1")
+_HARDWARE = ("RRH1", "RRH2", "RRH3")
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated network snapshot plus its private ground truth."""
+
+    network: Network
+    store: ConfigurationStore
+    catalog: ParameterCatalog
+    provenance: ProvenanceMap
+    rules: Dict[str, LatentRule]
+    profile: GenerationProfile
+    terrain: Dict[ENodeBId, bool]
+    _row_cache: Dict[CarrierId, Tuple[AttributeValue, ...]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def carrier_row(self, carrier_id: CarrierId) -> Tuple[AttributeValue, ...]:
+        """The carrier's attribute vector in schema order (cached)."""
+        row = self._row_cache.get(carrier_id)
+        if row is None:
+            carrier = self.network.carrier(carrier_id)
+            row = carrier.attributes.as_tuple()
+            self._row_cache[carrier_id] = row
+        return row
+
+    def pair_row(self, pair: PairKey) -> Tuple[AttributeValue, ...]:
+        """Concatenated (carrier, neighbor) attribute vector."""
+        return self.carrier_row(pair.carrier) + self.carrier_row(pair.neighbor)
+
+    def market_name_of(self, carrier_id: CarrierId) -> str:
+        return str(self.network.carrier(carrier_id).attributes["market"])
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        return ATTRIBUTE_SCHEMA.names
+
+    @property
+    def pair_attribute_names(self) -> Tuple[str, ...]:
+        own = tuple(f"own.{n}" for n in ATTRIBUTE_SCHEMA.names)
+        nbr = tuple(f"nbr.{n}" for n in ATTRIBUTE_SCHEMA.names)
+        return own + nbr
+
+    def summary(self) -> str:
+        singular, pairwise = self.store.value_counts()
+        return (
+            f"{self.network.summary()} | configuration values: "
+            f"{singular} singular + {pairwise} pair-wise"
+        )
+
+
+def generate_dataset(profile: GenerationProfile) -> SyntheticDataset:
+    """Generate the full synthetic dataset for a profile."""
+    catalog = build_default_catalog()
+    rules = build_latent_rules(catalog, profile.seed)
+
+    network = Network()
+    for index, market_profile in enumerate(profile.markets):
+        network.add_market(_build_market(profile, market_profile, index))
+
+    all_enodebs = [e for market in network.markets for e in market.enodebs]
+    network.x2 = build_x2_graph(
+        all_enodebs, radius_km=profile.x2_radius_km, max_degree=profile.x2_max_degree
+    )
+
+    terrain = _assign_terrain(network, profile)
+    store, provenance = _paint_configuration(network, catalog, rules, profile, terrain)
+    return SyntheticDataset(
+        network=network,
+        store=store,
+        catalog=catalog,
+        provenance=provenance,
+        rules=rules,
+        profile=profile,
+        terrain=terrain,
+    )
+
+
+# --------------------------------------------------------------------------
+# Network synthesis
+# --------------------------------------------------------------------------
+
+
+def _build_market(
+    profile: GenerationProfile, mp: MarketProfile, index: int
+) -> Market:
+    rng = derive(profile.seed, f"market:{mp.name}")
+    market_id = MarketId(index)
+    market = Market(market_id, mp.name, mp.timezone, mp.center)
+
+    # Per-market engineering conventions: preferred bandwidth picks and a
+    # dominant software release (dynamic attribute, ~20% of eNodeBs ahead).
+    bandwidth_pick = {
+        f: options[int(rng.integers(0, len(options)))]
+        for f, options in _BANDWIDTH_BY_FREQUENCY.items()
+    }
+    base_sw = _SOFTWARE_VERSIONS[int(rng.integers(0, len(_SOFTWARE_VERSIONS) - 1))]
+    next_sw = _SOFTWARE_VERSIONS[_SOFTWARE_VERSIONS.index(base_sw) + 1]
+    hardware_weights = rng.dirichlet(np.ones(len(_HARDWARE)) * 2.0)
+
+    n_freq_mean = mp.carriers_per_enodeb / FACES_PER_ENODEB
+    urban_radius = mp.extent_km * 0.15
+    suburb_radius = mp.extent_km * 0.45
+
+    for e_index in range(mp.enodeb_count):
+        # Placement: urban core / suburban ring / rural spread.
+        zone_draw = rng.random()
+        if zone_draw < mp.urban_fraction:
+            morphology = "urban"
+            radius = abs(rng.normal(0.0, urban_radius))
+        elif zone_draw < mp.urban_fraction + (1.0 - mp.urban_fraction) * 0.6:
+            morphology = "suburban"
+            radius = urban_radius + abs(rng.normal(0.0, suburb_radius - urban_radius))
+        else:
+            morphology = "rural"
+            radius = suburb_radius + rng.uniform(0.0, mp.extent_km - suburb_radius)
+        angle = rng.uniform(0.0, 2.0 * np.pi)
+        location = mp.center.offset_km(
+            float(radius * np.sin(angle)), float(radius * np.cos(angle))
+        )
+
+        enodeb_id = ENodeBId(market_id, e_index)
+        enodeb = ENodeB(enodeb_id, location)
+
+        hardware = _HARDWARE[int(rng.choice(len(_HARDWARE), p=hardware_weights))]
+        software = next_sw if rng.random() < 0.08 else base_sw
+        # Tracking areas partition the market into 4 angular sectors —
+        # coarse, geography-aligned groupings like real TAC planning.
+        # Deliberately much coarser than an X2 neighborhood: tracking
+        # areas span whole districts, while engineers tune parameter
+        # values at the scale of a handful of adjacent eNodeBs, which is
+        # why geographic proximity adds signal no attribute carries.
+        sector = int(angle / (2.0 * np.pi) * 4) % 4
+        tac = 1000 * (index + 1) + sector
+        neighbor_channel = _NEIGHBOR_CHANNELS[
+            int(rng.choice(len(_NEIGHBOR_CHANNELS), p=[0.7, 0.2, 0.1]))
+        ]
+        # Deployment-context flag at eNodeB granularity: a 5G-colocated
+        # or border site applies to all its carriers.
+        if radius > 0.8 * mp.extent_km:
+            enodeb_info = "border"
+        elif rng.random() < 0.12:
+            enodeb_info = "5G-colocated"
+        else:
+            enodeb_info = "none"
+
+        # Frequency plan: each eNodeB runs n distinct frequencies, the
+        # same set on all three faces (typical deployments mirror faces).
+        n_freq = int(np.clip(round(n_freq_mean + rng.normal(0.0, 0.7)), 2,
+                             len(_FREQUENCIES)))
+        freq_indices = sorted(rng.choice(len(_FREQUENCIES), size=n_freq, replace=False))
+        frequencies = [_FREQUENCIES[i] for i in freq_indices]
+        neighbor_count = n_freq * FACES_PER_ENODEB - 1
+
+        for face in range(FACES_PER_ENODEB):
+            for slot, frequency in enumerate(frequencies):
+                band = band_for_frequency_mhz(frequency)
+                carrier_type = "standard"
+                if frequency == 700 and rng.random() < 0.25:
+                    carrier_type = "FirstNet"
+                elif frequency in (700, 850) and rng.random() < 0.05:
+                    carrier_type = "NB-IoT"
+                carrier_info = enodeb_info
+                attributes = CarrierAttributes(
+                    {
+                        "carrier_frequency": frequency,
+                        "carrier_type": carrier_type,
+                        "carrier_info": carrier_info,
+                        "morphology": morphology,
+                        "channel_bandwidth": bandwidth_pick[frequency],
+                        "dl_mimo_mode": _mimo_mode(band, hardware, rng),
+                        "hardware": hardware,
+                        "cell_size": _cell_size(morphology, band, rng),
+                        "tracking_area_code": tac,
+                        "market": mp.name,
+                        "vendor": mp.vendor,
+                        "neighbor_channel": neighbor_channel,
+                        "neighbor_count": neighbor_count,
+                        "software_version": software,
+                    }
+                )
+                carrier = Carrier(
+                    carrier_id=CarrierId(enodeb_id, face, slot),
+                    attributes=attributes,
+                    location=location,
+                )
+                enodeb.add_carrier(carrier)
+        market.add_enodeb(enodeb)
+    return market
+
+
+def _mimo_mode(band: Band, hardware: str, rng: np.random.Generator) -> str:
+    """MIMO mode: strongly tracks band/hardware with occasional
+    site-specific deviations (real deployments are mostly uniform per
+    hardware generation, with exceptions)."""
+    if band is Band.HIGH:
+        canonical = "4x4"
+        deviation = "closed-loop"
+    elif hardware == "RRH1":
+        canonical, deviation = "closed-loop", "open-loop"
+    else:
+        canonical, deviation = "open-loop", "closed-loop"
+    return canonical if rng.random() < 0.75 else deviation
+
+
+def _cell_size(morphology: str, band: Band, rng: np.random.Generator) -> int:
+    """Expected cell size in miles: morphology/band-driven with
+    occasional site-survey deviations."""
+    if morphology == "urban":
+        base = 1
+    elif morphology == "suburban":
+        base = 2 if band is not Band.LOW else 3
+    else:
+        base = 3 if band is not Band.LOW else 5
+    return base if rng.random() < 0.7 else base + 1
+
+
+def _assign_terrain(network: Network, profile: GenerationProfile) -> Dict[ENodeBId, bool]:
+    """Per-eNodeB hidden terrain flag (facing mountains / tall buildings).
+
+    Terrain is real but unmodelled: no carrier attribute exposes it, so
+    parameters that depend on it are partially unpredictable — the
+    paper's "missing carrier attributes" mismatch cause.
+    """
+    rng = derive(profile.seed, "terrain")
+    return {
+        enodeb.enodeb_id: bool(rng.random() < profile.hidden_terrain_fraction)
+        for enodeb in network.enodebs()
+    }
+
+
+# --------------------------------------------------------------------------
+# Configuration painting
+# --------------------------------------------------------------------------
+
+
+def _paint_configuration(
+    network: Network,
+    catalog: ParameterCatalog,
+    rules: Dict[str, LatentRule],
+    profile: GenerationProfile,
+    terrain: Dict[ENodeBId, bool],
+) -> Tuple[ConfigurationStore, ProvenanceMap]:
+    store = ConfigurationStore(catalog)
+    provenance = ProvenanceMap()
+    enodebs_by_id = {e.enodeb_id: e for e in network.enodebs()}
+
+    carriers = list(network.carriers())
+    ordered_pairs = _ordered_pairs(network)
+    attributes_of = {c.carrier_id: c.attributes for c in carriers}
+
+    for spec in catalog.range_parameters():
+        rule = rules[spec.name]
+        local_values = local_tuning_values(
+            profile, rule, enodebs_by_id, network.x2.enodeb_neighbors
+        )
+        painter = ParameterPainter(profile, rule, local_values, terrain)
+        coverage_rng = derive(profile.seed, f"coverage:{spec.name}")
+
+        if spec.is_pairwise:
+            for pair in ordered_pairs:
+                if coverage_rng.random() >= profile.pairwise_coverage:
+                    continue
+                combo = _pair_combo(rule, attributes_of[pair.carrier],
+                                    attributes_of[pair.neighbor])
+                market = str(attributes_of[pair.carrier]["market"])
+                value, record = painter.paint(combo, market, pair.carrier.enodeb)
+                store.set_pairwise(pair, spec.name, value)
+                provenance.set(spec.name, pair, record)
+        else:
+            for carrier in carriers:
+                if coverage_rng.random() < profile.missing_singular_rate:
+                    continue
+                combo = tuple(
+                    carrier.attributes[a] for a in rule.dependent_attributes
+                )
+                market = str(carrier.attributes["market"])
+                value, record = painter.paint(combo, market, carrier.enodeb)
+                store.set_singular(carrier.carrier_id, spec.name, value)
+                provenance.set(spec.name, carrier.carrier_id, record)
+    return store, provenance
+
+
+def _ordered_pairs(network: Network) -> List[PairKey]:
+    """Both directions of every X2 carrier relation, in sorted order."""
+    pairs: List[PairKey] = []
+    for a, b in network.x2.carrier_pairs():
+        pairs.append(PairKey(a, b))
+        pairs.append(PairKey(b, a))
+    pairs.sort()
+    return pairs
+
+
+def _pair_combo(
+    rule: LatentRule,
+    own: CarrierAttributes,
+    neighbor: CarrierAttributes,
+) -> Tuple[AttributeValue, ...]:
+    """The dependent-attribute combination for a pair-wise rule."""
+    combo: List[AttributeValue] = []
+    for name in rule.dependent_attributes:
+        side, _, attribute = name.partition(".")
+        source = own if side == "own" else neighbor
+        combo.append(source[attribute])
+    return tuple(combo)

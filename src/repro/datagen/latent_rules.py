@@ -1,0 +1,212 @@
+"""Latent ground-truth rules for configuration parameters.
+
+Each range parameter gets a :class:`LatentRule`: a small set of
+*dependent attributes* and a deterministic mapping from dependent-
+attribute combinations to values drawn from a skewed pool.  The rules
+are the "engineering intent" the paper's engineers encode by hand; Auric
+must rediscover them from data.
+
+Design choices that reproduce the paper's data statistics:
+
+* **Variability (Fig 2).**  Pool sizes are tiered: most parameters admit
+  2-10 distinct values, a band admits 10-60, and ``inactivityTimer`` (the
+  parameter with a 65535-value range) gets a ~200-value pool — matching
+  the one ~200-distinct-value parameter in Fig 2.
+* **Skewness (Fig 4).**  Values are drawn from the pool with Zipf-like
+  weights (exponent drawn per parameter), so a few values dominate and
+  the per-market distributions come out mostly moderately-to-highly
+  skewed, like the paper's 45-of-65.
+* **Sparse dependency (section 3.2).**  Each rule depends on 1-3
+  attributes out of 14 (28 for pair-wise), so most attributes are
+  irrelevant — the property that separates chi-square-filtered CF from
+  distance-based kNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.config.parameters import ParameterCatalog, ParameterKind, ParameterSpec
+from repro.rng import derive, derive_seed
+from repro.types import AttributeValue, ParameterValue
+
+#: Attributes a singular rule may depend on.  Deliberately excludes the
+#: identifiers engineers would never key a rule on (tracking area code,
+#: neighbor channel, neighbor count, software version) — those stay in
+#: the learner input as irrelevant attributes.
+SINGULAR_RULE_ATTRIBUTES: Tuple[str, ...] = (
+    "carrier_frequency",
+    "morphology",
+    "channel_bandwidth",
+    "carrier_type",
+    "hardware",
+    "cell_size",
+    "dl_mimo_mode",
+)
+
+#: For pair-wise parameters, rules may additionally depend on the
+#: neighbor's frequency/bandwidth (handover settings are tuned per layer
+#: pair).  Names are prefixed to disambiguate the two sides.
+PAIRWISE_OWN_ATTRIBUTES: Tuple[str, ...] = (
+    "carrier_frequency",
+    "morphology",
+    "channel_bandwidth",
+    "cell_size",
+)
+PAIRWISE_NEIGHBOR_ATTRIBUTES: Tuple[str, ...] = (
+    "carrier_frequency",
+    "channel_bandwidth",
+)
+
+
+@dataclass
+class LatentRule:
+    """Ground truth for one parameter."""
+
+    spec: ParameterSpec
+    dependent_attributes: Tuple[str, ...]
+    pool: Tuple[ParameterValue, ...]
+    weights: np.ndarray
+    seed: int
+    _combo_cache: Dict[Tuple[str, Tuple[AttributeValue, ...]], ParameterValue] = field(
+        default_factory=dict, repr=False
+    )
+
+    def value_for(
+        self, combo: Tuple[AttributeValue, ...], variant: str = "base"
+    ) -> ParameterValue:
+        """The rule's value for a dependent-attribute combination.
+
+        ``variant`` derives an alternative mapping from the same pool —
+        used for market overrides (variant = market name), terrain
+        effects (variant = "terrain") and rollout values.  Deterministic
+        in (seed, parameter, variant, combo).
+        """
+        key = (variant, combo)
+        cached = self._combo_cache.get(key)
+        if cached is not None:
+            return cached
+        rng = derive(self.seed, f"rule:{self.spec.name}:{variant}:{combo!r}")
+        value = self.pool[int(rng.choice(len(self.pool), p=self.weights))]
+        self._combo_cache[key] = value
+        return value
+
+    def uniform_value(self, variant: str) -> ParameterValue:
+        """A deterministic *uniform* pool draw for an override variant.
+
+        Overrides (local tuning, terrain effects, rollouts) use uniform
+        rather than Zipf weights: an engineer tuning a cluster picks the
+        value the area needs, not the network's most popular one — with
+        Zipf draws roughly half of all overrides would coincide with the
+        base value and carry no signal.
+        """
+        key = ("uniform", (variant,))
+        cached = self._combo_cache.get(key)
+        if cached is not None:
+            return cached
+        rng = derive(self.seed, f"rule-uniform:{self.spec.name}:{variant}")
+        value = self.pool[int(rng.integers(0, len(self.pool)))]
+        self._combo_cache[key] = value
+        return value
+
+    def random_pool_value(
+        self, rng: np.random.Generator, exclude: ParameterValue
+    ) -> ParameterValue:
+        """A uniform pool draw different from ``exclude`` (trial noise).
+
+        With a single-value pool the excluded value is returned — a
+        degenerate rule cannot produce visible noise.
+        """
+        if len(self.pool) == 1:
+            return self.pool[0]
+        while True:
+            value = self.pool[int(rng.integers(0, len(self.pool)))]
+            if value != exclude:
+                return value
+
+    @property
+    def pool_size(self) -> int:
+        return len(self.pool)
+
+
+def _pool_size_for(spec: ParameterSpec, rng: np.random.Generator) -> int:
+    """Tiered pool sizes reproducing the Fig 2 variability profile."""
+    if spec.name == "inactivityTimer":
+        return 200
+    legal = spec.value_count()
+    tier = rng.random()
+    if tier < 0.55:
+        size = int(rng.integers(2, 8))       # low variability
+    elif tier < 0.85:
+        size = int(rng.integers(8, 20))      # medium
+    else:
+        size = int(rng.integers(20, 60))     # high
+    return max(2, min(size, legal))
+
+
+def _make_pool(
+    spec: ParameterSpec, size: int, rng: np.random.Generator
+) -> Tuple[ParameterValue, ...]:
+    """``size`` distinct legal values, spread over the parameter's range."""
+    legal_count = spec.value_count()
+    if size >= legal_count:
+        return tuple(spec.legal_values())
+    positions = sorted(rng.choice(legal_count, size=size, replace=False))
+    assert spec.minimum is not None
+    step = spec.effective_step
+    from repro.config.parameters import _normalize_number
+
+    return tuple(_normalize_number(spec.minimum + int(p) * step) for p in positions)
+
+
+def _zipf_weights(size: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, size + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def _pick_dependents(
+    spec: ParameterSpec, rng: np.random.Generator
+) -> Tuple[str, ...]:
+    if spec.kind is ParameterKind.PAIRWISE:
+        own = rng.choice(
+            len(PAIRWISE_OWN_ATTRIBUTES),
+            size=int(rng.integers(2, 4)),
+            replace=False,
+        )
+        neighbor = rng.choice(
+            len(PAIRWISE_NEIGHBOR_ATTRIBUTES),
+            size=int(rng.integers(1, 3)),
+            replace=False,
+        )
+        names = [f"own.{PAIRWISE_OWN_ATTRIBUTES[i]}" for i in sorted(own)]
+        names += [
+            f"nbr.{PAIRWISE_NEIGHBOR_ATTRIBUTES[i]}" for i in sorted(neighbor)
+        ]
+        return tuple(names)
+    count = int(rng.integers(2, 5))
+    picked = rng.choice(len(SINGULAR_RULE_ATTRIBUTES), size=count, replace=False)
+    return tuple(SINGULAR_RULE_ATTRIBUTES[i] for i in sorted(picked))
+
+
+def build_latent_rules(
+    catalog: ParameterCatalog, seed: int
+) -> Dict[str, LatentRule]:
+    """One latent rule per range parameter, deterministic in ``seed``."""
+    rules: Dict[str, LatentRule] = {}
+    for spec in catalog.range_parameters():
+        rng = derive(seed, f"rule-shape:{spec.name}")
+        pool_size = _pool_size_for(spec, rng)
+        pool = _make_pool(spec, pool_size, rng)
+        exponent = float(rng.uniform(0.8, 1.6))
+        rules[spec.name] = LatentRule(
+            spec=spec,
+            dependent_attributes=_pick_dependents(spec, rng),
+            pool=pool,
+            weights=_zipf_weights(len(pool), exponent),
+            seed=derive_seed(seed, f"rule-values:{spec.name}"),
+        )
+    return rules

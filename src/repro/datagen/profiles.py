@@ -1,0 +1,194 @@
+"""Generation profiles: the shape of the synthetic network.
+
+A :class:`MarketProfile` describes one market (size, location, urban
+mix); a :class:`GenerationProfile` bundles the markets with the noise
+and tuning rates that drive the experiments.
+
+Two named profiles reproduce the paper's datasets:
+
+* :func:`four_market_profile` — the Table 3 in-depth set: one market per
+  US timezone with eNodeB counts in the paper's 1791/1521/2643/1679
+  proportions, scaled by ``scale``.
+* :func:`full_network_profile` — all 28 markets (the four above plus 24
+  more with sizes drawn deterministically around the same mean), scaled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.exceptions import GenerationError
+from repro.netmodel.geo import GeoPoint
+from repro.rng import DEFAULT_SEED, derive
+from repro.types import Timezone
+
+#: (name, timezone, paper eNodeB count, carriers per eNodeB, center, urban mix)
+#: The four Table 3 markets; centers are rough metro anchors in each timezone.
+_TABLE3_MARKETS = (
+    ("Mountain-1", Timezone.MOUNTAIN, 1791, 13.5, GeoPoint(39.74, -104.99), 0.35),
+    ("Central-1", Timezone.CENTRAL, 1521, 15.0, GeoPoint(32.78, -96.80), 0.40),
+    ("Eastern-1", Timezone.EASTERN, 2643, 17.1, GeoPoint(40.71, -74.01), 0.55),
+    ("Pacific-1", Timezone.PACIFIC, 1679, 14.2, GeoPoint(34.05, -118.24), 0.50),
+)
+
+_EXTRA_TIMEZONES = (
+    Timezone.EASTERN,
+    Timezone.CENTRAL,
+    Timezone.MOUNTAIN,
+    Timezone.PACIFIC,
+)
+
+FULL_NETWORK_MARKET_COUNT = 28
+
+
+@dataclass(frozen=True)
+class MarketProfile:
+    """Static description of one market to generate."""
+
+    name: str
+    timezone: Timezone
+    enodeb_count: int
+    carriers_per_enodeb: float
+    center: GeoPoint
+    urban_fraction: float
+    extent_km: float = 60.0
+    vendor: str = "VendorA"
+
+    def __post_init__(self) -> None:
+        if self.enodeb_count < 1:
+            raise GenerationError(f"market {self.name}: needs >= 1 eNodeB")
+        if self.carriers_per_enodeb < 3.0:
+            raise GenerationError(
+                f"market {self.name}: needs >= 3 carriers per eNodeB (one per face)"
+            )
+        if not 0.0 <= self.urban_fraction <= 1.0:
+            raise GenerationError(f"market {self.name}: bad urban_fraction")
+
+
+@dataclass(frozen=True)
+class GenerationProfile:
+    """Everything the generator needs: markets plus behaviour rates.
+
+    The rates correspond to real-world phenomena the paper describes:
+
+    * ``market_override_rate`` — probability a (parameter, market) pair
+      carries market-specific engineering (section 2.6's per-market
+      variability),
+    * ``local_tuning_rate`` — fraction of eNodeBs seeding a geographic
+      tuning cluster per tuned parameter (what geographical proximity
+      recovers, section 3.3),
+    * ``trial_noise_rate`` — fraction of values left in a sub-optimal
+      state by past trials (the Fig 12 "good recommendation" mass),
+    * ``engineer_tuning_rate`` — fraction of values an engineer tuned
+      individually for reasons outside the attribute model; they are
+      intentional, so a differing recommendation is *inconclusive*
+      (the Fig 12 67% mass),
+    * ``rollout_rate`` — probability a (parameter, market) has an
+      in-flight certified rollout not yet in the majority (the Fig 12
+      "update learner" mass),
+    * ``hidden_factor_rate`` — fraction of parameters additionally
+      depending on an unmodelled terrain attribute (the missing-attribute
+      mismatch cause),
+    * ``missing_singular_rate`` — fraction of (carrier, parameter) cells
+      with no configured value (Table 3's ~1.7% shortfall from
+      carriers x 39).
+    """
+
+    markets: Tuple[MarketProfile, ...]
+    seed: int = DEFAULT_SEED
+    market_override_rate: float = 0.35
+    local_tuning_rate: float = 0.003
+    trial_noise_rate: float = 0.012
+    engineer_tuning_rate: float = 0.025
+    rollout_rate: float = 0.008
+    rollout_adoption: float = 0.20
+    hidden_factor_rate: float = 0.02
+    hidden_terrain_fraction: float = 0.10
+    missing_singular_rate: float = 0.017
+    pairwise_coverage: float = 0.6
+    x2_radius_km: float = 6.0
+    x2_max_degree: int = 6
+
+    def __post_init__(self) -> None:
+        if not self.markets:
+            raise GenerationError("profile needs at least one market")
+        for rate_name in (
+            "market_override_rate",
+            "local_tuning_rate",
+            "trial_noise_rate",
+            "engineer_tuning_rate",
+            "rollout_rate",
+            "rollout_adoption",
+            "hidden_factor_rate",
+            "hidden_terrain_fraction",
+            "missing_singular_rate",
+            "pairwise_coverage",
+        ):
+            value = getattr(self, rate_name)
+            if not 0.0 <= value <= 1.0:
+                raise GenerationError(f"{rate_name} must be in [0, 1], got {value}")
+
+    def with_seed(self, seed: int) -> "GenerationProfile":
+        return replace(self, seed=seed)
+
+
+def _scaled(count: int, scale: float) -> int:
+    if scale <= 0:
+        raise GenerationError("scale must be positive")
+    return max(3, int(round(count * scale)))
+
+
+def four_market_profile(
+    scale: float = 0.05, seed: int = DEFAULT_SEED
+) -> GenerationProfile:
+    """The Table 3 four-market dataset, scaled.
+
+    At ``scale=1.0`` the eNodeB counts equal the paper's exactly
+    (1791/1521/2643/1679); the default 0.05 yields a few thousand
+    carriers per run — big enough for stable accuracy statistics, small
+    enough for the from-scratch learners.
+    """
+    markets = tuple(
+        MarketProfile(
+            name=name,
+            timezone=tz,
+            enodeb_count=_scaled(enodebs, scale),
+            carriers_per_enodeb=cpe,
+            center=center,
+            urban_fraction=urban,
+            vendor="VendorA",
+        )
+        for name, tz, enodebs, cpe, center, urban in _TABLE3_MARKETS
+    )
+    return GenerationProfile(markets=markets, seed=seed)
+
+
+def full_network_profile(
+    scale: float = 0.02, seed: int = DEFAULT_SEED
+) -> GenerationProfile:
+    """All 28 markets of the paper's production dataset, scaled.
+
+    The four Table 3 markets keep their identities; the other 24 draw
+    sizes, urban mixes and centers deterministically from the seed so
+    per-market variability (Fig 3) differs across markets, as observed.
+    """
+    rng = derive(seed, "profile:full-network")
+    markets = list(four_market_profile(scale, seed).markets)
+    for i in range(FULL_NETWORK_MARKET_COUNT - len(markets)):
+        tz = _EXTRA_TIMEZONES[i % len(_EXTRA_TIMEZONES)]
+        enodebs = int(rng.integers(800, 2400))
+        markets.append(
+            MarketProfile(
+                name=f"{tz.value}-{2 + i // len(_EXTRA_TIMEZONES)}",
+                timezone=tz,
+                enodeb_count=_scaled(enodebs, scale),
+                carriers_per_enodeb=float(rng.uniform(12.0, 18.0)),
+                center=GeoPoint(
+                    float(rng.uniform(30.0, 47.0)), float(rng.uniform(-122.0, -72.0))
+                ),
+                urban_fraction=float(rng.uniform(0.2, 0.6)),
+                vendor="VendorA",
+            )
+        )
+    return GenerationProfile(markets=tuple(markets), seed=seed)

@@ -1,0 +1,93 @@
+"""Provenance of generated configuration values.
+
+Every value the generator emits carries a provenance code recording
+*why* it has the value it has.  Provenance is the generator's private
+ground truth: learners never see it, but the engineer-validation oracle
+(:mod:`repro.eval.engineers`) uses it to label recommendation mismatches
+exactly the way the paper's market engineers did (Fig 12):
+
+* a mismatch on a ``TRIAL_LEFTOVER`` value where Auric recommended the
+  intended value is a *good recommendation* (the network was left
+  sub-optimal by a past trial),
+* a mismatch on a ``ROLLOUT_INFLIGHT`` or ``HIDDEN_FACTOR`` value is
+  *update learner* (an in-flight certified rollout not yet in the
+  majority, or a dependency on an attribute Auric does not model),
+* any other mismatch — including ``ENGINEER_TUNED`` values, where an
+  engineer deliberately tuned an individual carrier for reasons outside
+  the attribute model — is *inconclusive* (needs a field trial to
+  resolve).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, Optional, Tuple
+
+from repro.types import ParameterValue
+
+
+class Provenance(enum.Enum):
+    """Why a configured value is what it is."""
+
+    BASE = "base"
+    MARKET_TUNED = "market-tuned"
+    LOCAL_TUNED = "local-tuned"
+    HIDDEN_FACTOR = "hidden-factor"
+    ROLLOUT_INFLIGHT = "rollout-inflight"
+    TRIAL_LEFTOVER = "trial-leftover"
+    ENGINEER_TUNED = "engineer-tuned"
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """Provenance plus, for noisy values, the value that *should* be set.
+
+    ``intended`` is None when the current value is the intended one; for
+    ``TRIAL_LEFTOVER`` it holds the pre-trial value a correct
+    recommendation would restore.
+    """
+
+    provenance: Provenance
+    intended: Optional[ParameterValue] = None
+
+    @property
+    def current_is_intended(self) -> bool:
+        return self.intended is None
+
+
+_BASE_RECORD = ProvenanceRecord(Provenance.BASE)
+
+#: Key identifying one configured value: a CarrierId for singular
+#: parameters, a PairKey for pair-wise ones.
+TargetKey = Hashable
+
+
+class ProvenanceMap:
+    """Sparse provenance store: only non-BASE records are kept."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, Dict[TargetKey, ProvenanceRecord]] = {}
+
+    def set(self, parameter: str, key: TargetKey, record: ProvenanceRecord) -> None:
+        if record.provenance is Provenance.BASE and record.intended is None:
+            return  # BASE is the implicit default; keep the map sparse
+        self._records.setdefault(parameter, {})[key] = record
+
+    def get(self, parameter: str, key: TargetKey) -> ProvenanceRecord:
+        return self._records.get(parameter, {}).get(key, _BASE_RECORD)
+
+    def records_for(self, parameter: str) -> Dict[TargetKey, ProvenanceRecord]:
+        return dict(self._records.get(parameter, {}))
+
+    def iter_all(self) -> Iterator[Tuple[str, TargetKey, ProvenanceRecord]]:
+        for parameter, records in self._records.items():
+            for key, record in records.items():
+                yield parameter, key, record
+
+    def count_by_provenance(self) -> Dict[Provenance, int]:
+        """Counts of non-BASE records, for generator diagnostics."""
+        counts: Dict[Provenance, int] = {}
+        for _, _, record in self.iter_all():
+            counts[record.provenance] = counts.get(record.provenance, 0) + 1
+        return counts

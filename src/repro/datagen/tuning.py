@@ -1,0 +1,191 @@
+"""Layered value assignment: base rule → market → local → hidden →
+rollout → trial noise.
+
+The :class:`ParameterPainter` composes, for one parameter, every
+real-world effect the paper attributes to its data:
+
+1. **Base rule** — the network-wide engineering intent (latent rule).
+2. **Market override** — markets tune a parameter differently for some
+   attribute combinations (section 2.6's per-market variability; since
+   "market" is itself a carrier attribute, this layer is learnable by
+   every learner).
+3. **Local tuning** — geographic clusters (an eNodeB and its X2
+   neighbors) carry an override not predictable from any attribute;
+   only geographical proximity recovers it (section 3.3).
+4. **Hidden factor** — a few parameters additionally depend on terrain,
+   which is *not* a modelled attribute (the paper's missing-attribute
+   mismatch cause, section 4.3.3(i)).
+5. **Rollout in-flight** — a certified new value being trialed in a
+   market, not yet in the voting majority (mismatch cause 4.3.3(ii)).
+6. **Trial leftover** — individual values left sub-optimal by past
+   trial-and-observe tuning; a correct recommendation restores the
+   intended value (the Fig 12 "good recommendation" mass).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.datagen.latent_rules import LatentRule
+from repro.datagen.profiles import GenerationProfile
+from repro.datagen.provenance import Provenance, ProvenanceRecord
+from repro.netmodel.identifiers import ENodeBId
+from repro.rng import derive
+from repro.types import AttributeValue, ParameterValue
+
+
+def _hash_bernoulli(seed: int, label: str, rate: float) -> bool:
+    """A deterministic Bernoulli draw keyed by a label."""
+    if rate <= 0.0:
+        return False
+    if rate >= 1.0:
+        return True
+    return float(derive(seed, label).random()) < rate
+
+
+class ParameterPainter:
+    """Assigns ground-truth values for one parameter across targets.
+
+    Per-target randomness (rollout adoption, trial noise) is consumed
+    from a single derived stream, so the assignment is deterministic for
+    a fixed target iteration order.
+    """
+
+    def __init__(
+        self,
+        profile: GenerationProfile,
+        rule: LatentRule,
+        local_values: Dict[ENodeBId, ParameterValue],
+        terrain: Dict[ENodeBId, bool],
+    ) -> None:
+        self._profile = profile
+        self._rule = rule
+        self._local_values = local_values
+        self._terrain = terrain
+        self._rng = derive(profile.seed, f"paint:{rule.spec.name}")
+        # Engineers tune rich-range parameters more: a knob with dozens
+        # of plausible settings sees more trial-and-observe churn than a
+        # two-value one.  Scaling the per-target noise rates with pool
+        # size is what makes high-variability parameters *harder* to
+        # predict — the Fig 10 finding that accuracy falls as the number
+        # of distinct values rises.
+        self._noise_scale = min(2.5, 0.4 + rule.pool_size / 25.0)
+        self._market_override_cache: Dict[
+            Tuple[str, Tuple[AttributeValue, ...]], Optional[ParameterValue]
+        ] = {}
+
+        seed = profile.seed
+        name = rule.spec.name
+        self._overridden_markets: Set[str] = {
+            m.name
+            for m in profile.markets
+            if _hash_bernoulli(seed, f"market-override?:{name}:{m.name}",
+                               profile.market_override_rate)
+        }
+        self._hidden_active = _hash_bernoulli(
+            seed, f"hidden?:{name}", profile.hidden_factor_rate
+        )
+        self._rollouts: Dict[str, ParameterValue] = {}
+        for m in profile.markets:
+            if _hash_bernoulli(seed, f"rollout?:{name}:{m.name}", profile.rollout_rate):
+                self._rollouts[m.name] = rule.uniform_value(f"rollout:{m.name}")
+
+    @property
+    def hidden_factor_active(self) -> bool:
+        return self._hidden_active
+
+    @property
+    def rollout_markets(self) -> Dict[str, ParameterValue]:
+        return dict(self._rollouts)
+
+    def _market_value(
+        self, market: str, combo: Tuple[AttributeValue, ...]
+    ) -> Optional[ParameterValue]:
+        if market not in self._overridden_markets:
+            return None
+        key = (market, combo)
+        if key in self._market_override_cache:
+            return self._market_override_cache[key]
+        name = self._rule.spec.name
+        # Within an overridden market, roughly half the attribute combos
+        # actually deviate from the network-wide rule.
+        if _hash_bernoulli(
+            self._profile.seed, f"combo-override?:{name}:{market}:{combo!r}", 0.5
+        ):
+            value: Optional[ParameterValue] = self._rule.value_for(combo, variant=market)
+        else:
+            value = None
+        self._market_override_cache[key] = value
+        return value
+
+    def paint(
+        self,
+        combo: Tuple[AttributeValue, ...],
+        market: str,
+        enodeb: ENodeBId,
+    ) -> Tuple[ParameterValue, ProvenanceRecord]:
+        """The configured value and provenance for one target."""
+        value = self._rule.value_for(combo)
+        provenance = Provenance.BASE
+
+        market_value = self._market_value(market, combo)
+        if market_value is not None:
+            value, provenance = market_value, Provenance.MARKET_TUNED
+
+        local_value = self._local_values.get(enodeb)
+        if local_value is not None:
+            value, provenance = local_value, Provenance.LOCAL_TUNED
+
+        if self._hidden_active and self._terrain.get(enodeb, False):
+            hidden_value = self._rule.uniform_value(f"terrain:{combo!r}")
+            if hidden_value != value:
+                value, provenance = hidden_value, Provenance.HIDDEN_FACTOR
+
+        rollout_value = self._rollouts.get(market)
+        if rollout_value is not None:
+            if self._rng.random() < self._profile.rollout_adoption:
+                if rollout_value != value:
+                    value, provenance = rollout_value, Provenance.ROLLOUT_INFLIGHT
+
+        if self._rng.random() < self._profile.engineer_tuning_rate * self._noise_scale:
+            tuned = self._rule.random_pool_value(self._rng, exclude=value)
+            if tuned != value:
+                # Deliberate one-off engineering: the current value is the
+                # intended one, so no `intended` override is recorded.
+                return tuned, ProvenanceRecord(Provenance.ENGINEER_TUNED)
+
+        if self._rng.random() < self._profile.trial_noise_rate * self._noise_scale:
+            noisy = self._rule.random_pool_value(self._rng, exclude=value)
+            if noisy != value:
+                return noisy, ProvenanceRecord(Provenance.TRIAL_LEFTOVER, intended=value)
+
+        return value, ProvenanceRecord(provenance)
+
+
+def local_tuning_values(
+    profile: GenerationProfile,
+    rule: LatentRule,
+    enodebs_by_id: Dict[ENodeBId, object],
+    enodeb_neighbors,
+) -> Dict[ENodeBId, ParameterValue]:
+    """The local-tuning override map for one parameter.
+
+    A fraction ``local_tuning_rate`` of eNodeBs seed a tuning cluster;
+    the cluster is the seed plus its X2-adjacent eNodeBs, all sharing one
+    locally-chosen value.  Seeds are processed in sorted order so
+    overlapping clusters resolve deterministically (later seed wins).
+    """
+    name = rule.spec.name
+    values: Dict[ENodeBId, ParameterValue] = {}
+    for enodeb_id in sorted(enodebs_by_id):
+        if not _hash_bernoulli(
+            profile.seed, f"local-seed?:{name}:{enodeb_id}", profile.local_tuning_rate
+        ):
+            continue
+        local_value = rule.uniform_value(f"local:{enodeb_id}")
+        values[enodeb_id] = local_value
+        for neighbor in enodeb_neighbors(enodeb_id):
+            values[neighbor] = local_value
+    return values

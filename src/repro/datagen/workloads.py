@@ -1,0 +1,81 @@
+"""Named workloads: the generated datasets the experiments run on.
+
+Scales default from environment variables so benchmarks can be cranked
+up or down without code edits:
+
+* ``REPRO_FOUR_MARKET_SCALE`` (default 0.05)
+* ``REPRO_FULL_NETWORK_SCALE`` (default 0.012)
+
+Datasets are memoized per (profile) so a benchmark session generates
+each workload once.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.datagen.generator import SyntheticDataset, generate_dataset
+from repro.datagen.profiles import (
+    GenerationProfile,
+    four_market_profile,
+    full_network_profile,
+)
+from repro.rng import DEFAULT_SEED
+
+DEFAULT_FOUR_MARKET_SCALE = 0.05
+DEFAULT_FULL_NETWORK_SCALE = 0.02
+
+_CACHE: Dict[GenerationProfile, SyntheticDataset] = {}
+
+
+def _env_scale(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = float(raw)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {raw}")
+    return value
+
+
+def _cached(profile: GenerationProfile) -> SyntheticDataset:
+    dataset = _CACHE.get(profile)
+    if dataset is None:
+        dataset = generate_dataset(profile)
+        _CACHE[profile] = dataset
+    return dataset
+
+
+def four_markets_workload(
+    scale: Optional[float] = None, seed: int = DEFAULT_SEED
+) -> SyntheticDataset:
+    """The Table 3 four-market dataset (one market per timezone)."""
+    if scale is None:
+        scale = _env_scale("REPRO_FOUR_MARKET_SCALE", DEFAULT_FOUR_MARKET_SCALE)
+    return _cached(four_market_profile(scale=scale, seed=seed))
+
+
+def full_network_workload(
+    scale: Optional[float] = None, seed: int = DEFAULT_SEED
+) -> SyntheticDataset:
+    """The full 28-market network (the paper's 400K+ carrier census,
+    scaled)."""
+    if scale is None:
+        scale = _env_scale("REPRO_FULL_NETWORK_SCALE", DEFAULT_FULL_NETWORK_SCALE)
+    return _cached(full_network_profile(scale=scale, seed=seed))
+
+
+def tiny_workload(seed: int = DEFAULT_SEED) -> SyntheticDataset:
+    """A two-market micro dataset for unit tests (hundreds of carriers)."""
+    profile = four_market_profile(scale=0.004, seed=seed)
+    profile = GenerationProfile(
+        markets=profile.markets[:2],
+        seed=profile.seed,
+    )
+    return _cached(profile)
+
+
+def clear_workload_cache() -> None:
+    """Drop memoized datasets (tests that tweak env scales use this)."""
+    _CACHE.clear()

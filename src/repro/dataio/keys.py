@@ -1,0 +1,39 @@
+"""Compact string forms for carrier and pair keys in serialized data."""
+
+from __future__ import annotations
+
+from repro.config.store import PairKey
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+
+_PAIR_SEPARATOR = "|"
+
+
+def carrier_key_to_str(carrier_id: CarrierId) -> str:
+    """``market.enodeb.face.slot`` — stable and order-preserving."""
+    return (
+        f"{carrier_id.market.index}.{carrier_id.enodeb.index}"
+        f".{carrier_id.face}.{carrier_id.slot}"
+    )
+
+
+def carrier_key_from_str(text: str) -> CarrierId:
+    try:
+        market, enodeb, face, slot = (int(part) for part in text.split("."))
+    except ValueError:
+        raise ValueError(f"malformed carrier key {text!r}") from None
+    return CarrierId(ENodeBId(MarketId(market), enodeb), face, slot)
+
+
+def pair_key_to_str(pair: PairKey) -> str:
+    return (
+        carrier_key_to_str(pair.carrier)
+        + _PAIR_SEPARATOR
+        + carrier_key_to_str(pair.neighbor)
+    )
+
+
+def pair_key_from_str(text: str) -> PairKey:
+    left, separator, right = text.partition(_PAIR_SEPARATOR)
+    if not separator:
+        raise ValueError(f"malformed pair key {text!r}")
+    return PairKey(carrier_key_from_str(left), carrier_key_from_str(right))

@@ -1,0 +1,102 @@
+"""Load a serialized snapshot back into Network + ConfigurationStore."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config.catalog import build_default_catalog
+from repro.config.store import ConfigurationStore
+from repro.dataio.keys import carrier_key_from_str, pair_key_from_str
+from repro.exceptions import GenerationError
+from repro.netmodel.attributes import CarrierAttributes
+from repro.netmodel.carrier import Carrier
+from repro.netmodel.enodeb import ENodeB
+from repro.netmodel.geo import GeoPoint
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.netmodel.market import Market
+from repro.netmodel.network import Network
+from repro.types import Timezone
+
+
+@dataclass
+class LoadedSnapshot:
+    """A deserialized network + configuration snapshot."""
+
+    network: Network
+    store: ConfigurationStore
+
+
+def snapshot_from_dict(payload: Dict) -> LoadedSnapshot:
+    """Rebuild a snapshot from :func:`repro.dataio.export.dataset_to_dict`."""
+    version = payload.get("schema_version")
+    if version != 1:
+        raise GenerationError(f"unsupported snapshot schema version {version!r}")
+
+    network = Network()
+    timezones = {tz.value: tz for tz in Timezone}
+    for market_data in payload["markets"]:
+        market_id = MarketId(market_data["index"])
+        center = GeoPoint(*market_data["center"])
+        market = Market(
+            market_id,
+            market_data["name"],
+            timezones[market_data["timezone"]],
+            center,
+        )
+        for enodeb_data in market_data["enodebs"]:
+            enodeb_id = ENodeBId(market_id, enodeb_data["index"])
+            location = GeoPoint(enodeb_data["lat"], enodeb_data["lon"])
+            enodeb = ENodeB(enodeb_id, location)
+            for carrier_data in enodeb_data["carriers"]:
+                # JSON round-trips tuple-valued attributes as-is since
+                # all attribute values are strings or ints.
+                attributes = CarrierAttributes(carrier_data["attributes"])
+                enodeb.add_carrier(
+                    Carrier(
+                        carrier_id=CarrierId(
+                            enodeb_id,
+                            carrier_data["face"],
+                            carrier_data["slot"],
+                        ),
+                        attributes=attributes,
+                        location=location,
+                    )
+                )
+            market.add_enodeb(enodeb)
+        network.add_market(market)
+
+    for carrier in network.carriers():
+        network.x2.add_carrier(carrier.carrier_id)
+    for enodeb in network.enodebs():
+        network.x2.add_enodeb(enodeb.enodeb_id)
+    for a_text, b_text in payload.get("x2_carrier_edges", []):
+        network.x2.add_carrier_relation(
+            carrier_key_from_str(a_text), carrier_key_from_str(b_text)
+        )
+    for a_text, b_text in payload.get("x2_enodeb_edges", []):
+        a_market, a_index = (int(p) for p in a_text.split("."))
+        b_market, b_index = (int(p) for p in b_text.split("."))
+        network.x2.add_enodeb_relation(
+            ENodeBId(MarketId(a_market), a_index),
+            ENodeBId(MarketId(b_market), b_index),
+        )
+
+    store = ConfigurationStore(build_default_catalog())
+    config = payload.get("config", {})
+    for parameter, values in config.get("singular", {}).items():
+        for key_text, value in values.items():
+            store.set_singular(carrier_key_from_str(key_text), parameter, value)
+    for parameter, values in config.get("pairwise", {}).items():
+        for key_text, value in values.items():
+            store.set_pairwise(pair_key_from_str(key_text), parameter, value)
+
+    return LoadedSnapshot(network=network, store=store)
+
+
+def load_dataset_json(path: str) -> LoadedSnapshot:
+    """Load a snapshot file written by :func:`export_dataset_json`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return snapshot_from_dict(payload)

@@ -1,0 +1,35 @@
+"""Evaluation harness.
+
+Implements the paper's methodology (section 4.2): every carrier is
+treated as a new carrier with the rest of the network as training data;
+accuracy is the fraction of recommendations matching the currently
+configured values.  Also provides the data analyses of section 2.6
+(variability, skewness) and the engineer-validation oracle for labeling
+mismatches (section 4.3.3 / Fig 12).
+"""
+
+from repro.eval.accuracy import LearnerScore, ParameterAccuracy
+from repro.eval.dataset import LearningView, ParameterSamples
+from repro.eval.engineers import MismatchLabel, label_mismatches
+from repro.eval.runner import EvaluationRunner, LocalVsGlobalResult
+from repro.eval.skewness import skewness, skewness_classification, skewness_per_parameter
+from repro.eval.splits import kfold_indices, stratified_sample_indices
+from repro.eval.variability import distinct_values_per_parameter, variability_by_market
+
+__all__ = [
+    "LearnerScore",
+    "ParameterAccuracy",
+    "LearningView",
+    "ParameterSamples",
+    "MismatchLabel",
+    "label_mismatches",
+    "EvaluationRunner",
+    "LocalVsGlobalResult",
+    "skewness",
+    "skewness_classification",
+    "skewness_per_parameter",
+    "kfold_indices",
+    "stratified_sample_indices",
+    "distinct_values_per_parameter",
+    "variability_by_market",
+]

@@ -1,0 +1,52 @@
+"""Accuracy record types for learner comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class LearnerScore:
+    """One learner's accuracy on one parameter (one market, one split)."""
+
+    learner: str
+    parameter: str
+    accuracy: float
+    samples: int
+    distinct_values: int
+    market: Optional[str] = None
+
+
+@dataclass
+class ParameterAccuracy:
+    """Aggregate of learner scores, grouped however a figure needs."""
+
+    scores: List[LearnerScore] = field(default_factory=list)
+
+    def add(self, score: LearnerScore) -> None:
+        self.scores.append(score)
+
+    def mean_by_learner(self) -> Dict[str, float]:
+        """Learner → unweighted mean accuracy across parameters."""
+        sums: Dict[str, List[float]] = {}
+        for score in self.scores:
+            sums.setdefault(score.learner, []).append(score.accuracy)
+        return {name: sum(v) / len(v) for name, v in sums.items()}
+
+    def mean_by_learner_and_market(self) -> Dict[str, Dict[str, float]]:
+        """market → learner → mean accuracy (the Table 4 layout)."""
+        grouped: Dict[str, ParameterAccuracy] = {}
+        for score in self.scores:
+            market = score.market or "all"
+            grouped.setdefault(market, ParameterAccuracy()).add(score)
+        return {m: acc.mean_by_learner() for m, acc in grouped.items()}
+
+    def by_parameter(self, learner: str) -> Dict[str, float]:
+        """parameter → accuracy for one learner (the Fig 10 series)."""
+        return {
+            s.parameter: s.accuracy for s in self.scores if s.learner == learner
+        }
+
+    def __len__(self) -> int:
+        return len(self.scores)

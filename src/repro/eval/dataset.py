@@ -1,0 +1,101 @@
+"""Learning views over a dataset: per-parameter (keys, rows, labels).
+
+The view turns a network + configuration store into the matrices of the
+paper's formulation (Fig 6): predictor rows X (carrier attributes — for
+pair-wise parameters, the concatenated attributes of both carriers) and
+the predictee vector Y (one configuration parameter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.config.parameters import ParameterSpec
+from repro.config.store import ConfigurationStore, PairKey
+from repro.netmodel.attributes import ATTRIBUTE_SCHEMA
+from repro.netmodel.identifiers import CarrierId, MarketId
+from repro.netmodel.network import Network
+from repro.types import AttributeValue, ParameterValue
+
+Row = Tuple[AttributeValue, ...]
+
+
+@dataclass
+class ParameterSamples:
+    """All samples of one parameter: aligned keys, rows and labels."""
+
+    parameter: str
+    keys: List[Hashable]
+    rows: List[Row]
+    labels: List[ParameterValue]
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def subset(self, indices: Sequence[int]) -> "ParameterSamples":
+        return ParameterSamples(
+            parameter=self.parameter,
+            keys=[self.keys[i] for i in indices],
+            rows=[self.rows[i] for i in indices],
+            labels=[self.labels[i] for i in indices],
+        )
+
+
+class LearningView:
+    """Builds and caches per-parameter sample sets from a network."""
+
+    def __init__(self, network: Network, store: ConfigurationStore):
+        self.network = network
+        self.store = store
+        self._row_cache: dict = {}
+
+    def carrier_row(self, carrier_id: CarrierId) -> Row:
+        row = self._row_cache.get(carrier_id)
+        if row is None:
+            row = self.network.carrier(carrier_id).attributes.as_tuple()
+            self._row_cache[carrier_id] = row
+        return row
+
+    def pair_row(self, pair: PairKey) -> Row:
+        return self.carrier_row(pair.carrier) + self.carrier_row(pair.neighbor)
+
+    def column_names(self, spec: ParameterSpec) -> Tuple[str, ...]:
+        if spec.is_pairwise:
+            return tuple(f"own.{n}" for n in ATTRIBUTE_SCHEMA.names) + tuple(
+                f"nbr.{n}" for n in ATTRIBUTE_SCHEMA.names
+            )
+        return ATTRIBUTE_SCHEMA.names
+
+    def samples(
+        self,
+        parameter: str,
+        market_id: Optional[MarketId] = None,
+    ) -> ParameterSamples:
+        """Samples of one parameter, optionally restricted to a market.
+
+        For pair-wise parameters the market filter applies to the source
+        carrier of each pair (the carrier on which the value is
+        configured).
+        """
+        spec = self.store.catalog.spec(parameter)
+        if spec.is_pairwise:
+            values = self.store.pairwise_values(parameter)
+            keys: List[Hashable] = sorted(
+                k
+                for k in values
+                if market_id is None or k.carrier.market == market_id
+            )
+            rows = [self.pair_row(k) for k in keys]
+        else:
+            values = self.store.singular_values(parameter)
+            keys = sorted(
+                k for k in values if market_id is None or k.market == market_id
+            )
+            rows = [self.carrier_row(k) for k in keys]
+        return ParameterSamples(
+            parameter=parameter,
+            keys=keys,
+            rows=rows,
+            labels=[values[k] for k in keys],
+        )

@@ -1,0 +1,89 @@
+"""Engineer-validation oracle for mismatch labeling (Fig 12).
+
+Section 4.3.3: market engineers labeled a sample of ~55K recommendation
+mismatches into three categories — (a) *update learner* (Auric was
+missing attributes like terrain, or the current value was an in-flight
+certified rollout not yet in the voting majority), (b) *good
+recommendation* (the network had been left in a sub-optimal state by a
+past trial; the recommendation was pushed as a config change), and (c)
+*inconclusive* (a field trial would be needed to judge).
+
+With real engineers unavailable, the oracle consults the generator's
+value provenance — which encodes exactly those three causes — and labels
+each mismatch the way the corresponding engineer would:
+
+* ``TRIAL_LEFTOVER`` value and the recommendation equals the intended
+  (pre-trial) value → *good recommendation*;
+* ``ROLLOUT_INFLIGHT`` or ``HIDDEN_FACTOR`` value → *update learner*;
+* everything else (engineer-tuned one-offs, locally-tuned cells the vote
+  diluted, plain model error) → *inconclusive*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Tuple
+
+from repro.datagen.provenance import Provenance, ProvenanceMap
+from repro.types import ParameterValue
+
+
+class MismatchLabel(enum.Enum):
+    """The three Fig 12 labels."""
+
+    UPDATE_LEARNER = "update-learner"
+    GOOD_RECOMMENDATION = "good-recommendation"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass(frozen=True)
+class LabeledMismatch:
+    """One labeled mismatch."""
+
+    parameter: str
+    key: Hashable
+    current: ParameterValue
+    recommended: ParameterValue
+    label: MismatchLabel
+
+
+def label_mismatch(
+    provenance: ProvenanceMap,
+    parameter: str,
+    key: Hashable,
+    current: ParameterValue,
+    recommended: ParameterValue,
+) -> MismatchLabel:
+    """Label a single (current != recommended) mismatch."""
+    if current == recommended:
+        raise ValueError("not a mismatch: current equals recommended")
+    record = provenance.get(parameter, key)
+    if (
+        record.provenance is Provenance.TRIAL_LEFTOVER
+        and record.intended == recommended
+    ):
+        return MismatchLabel.GOOD_RECOMMENDATION
+    if record.provenance in (
+        Provenance.ROLLOUT_INFLIGHT,
+        Provenance.HIDDEN_FACTOR,
+    ):
+        return MismatchLabel.UPDATE_LEARNER
+    return MismatchLabel.INCONCLUSIVE
+
+
+def label_mismatches(
+    provenance: ProvenanceMap,
+    mismatches: List[Tuple[str, Hashable, ParameterValue, ParameterValue]],
+) -> Tuple[List[LabeledMismatch], Dict[MismatchLabel, int]]:
+    """Label a batch of (parameter, key, current, recommended) mismatches.
+
+    Returns the labeled list plus the Fig 12 label counts.
+    """
+    labeled: List[LabeledMismatch] = []
+    counts: Dict[MismatchLabel, int] = {label: 0 for label in MismatchLabel}
+    for parameter, key, current, recommended in mismatches:
+        label = label_mismatch(provenance, parameter, key, current, recommended)
+        labeled.append(LabeledMismatch(parameter, key, current, recommended, label))
+        counts[label] += 1
+    return labeled, counts

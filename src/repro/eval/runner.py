@@ -1,0 +1,211 @@
+"""The evaluation runner: learner comparisons and LOO accuracy.
+
+Two evaluation modes, matching the paper's two experiments:
+
+* :meth:`EvaluationRunner.compare_learners` — k-fold cross-validation of
+  the five global learners on each parameter (Table 4, Fig 10).
+* :meth:`EvaluationRunner.loo_accuracy` — leave-one-out accuracy of the
+  Auric engine (CF), globally or locally scoped (section 4.3.2, Fig 11),
+  collecting mismatches for the Fig 12 labeling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.auric import AuricEngine
+from repro.datagen.generator import SyntheticDataset
+from repro.eval.accuracy import LearnerScore, ParameterAccuracy
+from repro.eval.dataset import LearningView, ParameterSamples
+from repro.eval.splits import kfold_indices, uniform_sample_indices
+from repro.learners.base import Learner
+from repro.learners.metrics import accuracy_score
+from repro.netmodel.identifiers import MarketId
+from repro.rng import derive
+from repro.types import ParameterValue
+
+Mismatch = Tuple[str, Hashable, ParameterValue, ParameterValue]
+
+
+@dataclass
+class LocalVsGlobalResult:
+    """LOO accuracy of the CF engine, local vs global voting."""
+
+    parameter_accuracy_local: Dict[str, float] = field(default_factory=dict)
+    parameter_accuracy_global: Dict[str, float] = field(default_factory=dict)
+    mismatches_local: List[Mismatch] = field(default_factory=list)
+    mismatches_global: List[Mismatch] = field(default_factory=list)
+    evaluated: int = 0
+
+    def mean_local(self) -> float:
+        values = list(self.parameter_accuracy_local.values())
+        return sum(values) / len(values) if values else float("nan")
+
+    def mean_global(self) -> float:
+        values = list(self.parameter_accuracy_global.values())
+        return sum(values) / len(values) if values else float("nan")
+
+
+class EvaluationRunner:
+    """Runs the paper's evaluations over a synthetic dataset."""
+
+    def __init__(self, dataset: SyntheticDataset, seed: int = 11):
+        self.dataset = dataset
+        self.view = LearningView(dataset.network, dataset.store)
+        self.seed = seed
+
+    # -- global-learner comparison (Table 4 / Fig 10) ----------------------
+
+    def compare_learners(
+        self,
+        factories: Mapping[str, Callable[[], Learner]],
+        parameters: Sequence[str],
+        market_id: Optional[MarketId] = None,
+        folds: int = 3,
+        max_samples_per_parameter: Optional[int] = 4000,
+    ) -> ParameterAccuracy:
+        """k-fold accuracy of each learner on each parameter.
+
+        ``max_samples_per_parameter`` caps per-parameter sample counts
+        with a *uniform* subsample: the paper's accuracy is an
+        all-carriers population metric, so the estimator must not skew
+        the label distribution.
+        """
+        market_name = (
+            self.dataset.network.market(market_id).name
+            if market_id is not None
+            else None
+        )
+        results = ParameterAccuracy()
+        for parameter in parameters:
+            samples = self.view.samples(parameter, market_id)
+            if len(samples) < folds * 2:
+                continue
+            if (
+                max_samples_per_parameter is not None
+                and len(samples) > max_samples_per_parameter
+            ):
+                picked = uniform_sample_indices(
+                    len(samples), max_samples_per_parameter, seed=self.seed
+                )
+                samples = samples.subset(picked)
+            distinct = len(set(samples.labels))
+            for learner_name, factory in factories.items():
+                hits = 0
+                total = 0
+                for train, test in kfold_indices(len(samples), folds, self.seed):
+                    learner = factory()
+                    learner.fit(
+                        [samples.rows[i] for i in train],
+                        [samples.labels[i] for i in train],
+                    )
+                    predictions = learner.predict([samples.rows[i] for i in test])
+                    hits += sum(
+                        1
+                        for i, p in zip(test, predictions)
+                        if p == samples.labels[i]
+                    )
+                    total += len(test)
+                results.add(
+                    LearnerScore(
+                        learner=learner_name,
+                        parameter=parameter,
+                        accuracy=hits / total,
+                        samples=len(samples),
+                        distinct_values=distinct,
+                        market=market_name,
+                    )
+                )
+        return results
+
+    # -- leave-one-out CF evaluation (sections 4.3.2-4.3.3) -----------------
+
+    def loo_accuracy(
+        self,
+        engine: AuricEngine,
+        parameters: Sequence[str],
+        market_id: Optional[MarketId] = None,
+        max_targets_per_parameter: Optional[int] = 2000,
+        scopes: Tuple[str, ...] = ("local", "global"),
+    ) -> LocalVsGlobalResult:
+        """Leave-one-out accuracy of the fitted Auric engine.
+
+        Each evaluated target's own value is excluded from the vote; the
+        recommendation is compared against the currently configured
+        value.  Mismatches are collected per scope for Fig 12 labeling.
+        """
+        from repro.config.store import PairKey  # local import to avoid cycle
+
+        result = LocalVsGlobalResult()
+        for parameter in parameters:
+            samples = self.view.samples(parameter, market_id)
+            if not len(samples):
+                continue
+            indices = list(range(len(samples)))
+            if (
+                max_targets_per_parameter is not None
+                and len(indices) > max_targets_per_parameter
+            ):
+                indices = uniform_sample_indices(
+                    len(indices), max_targets_per_parameter,
+                    seed=self.seed + hash(parameter) % 1000,
+                )
+            spec = self.dataset.catalog.spec(parameter)
+            hits = {scope: 0 for scope in scopes}
+            for i in indices:
+                key = samples.keys[i]
+                truth = samples.labels[i]
+                for scope in scopes:
+                    local = scope == "local"
+                    if spec.is_pairwise:
+                        rec = engine.recommend_for_pair(
+                            parameter, key, local=local, leave_one_out=True
+                        )
+                    else:
+                        rec = engine.recommend_for_carrier(
+                            parameter, key, local=local, leave_one_out=True
+                        )
+                    if rec.value == truth:
+                        hits[scope] += 1
+                    else:
+                        mismatch = (parameter, key, truth, rec.value)
+                        if local:
+                            result.mismatches_local.append(mismatch)
+                        else:
+                            result.mismatches_global.append(mismatch)
+            n = len(indices)
+            if "local" in scopes:
+                result.parameter_accuracy_local[parameter] = hits["local"] / n
+            if "global" in scopes:
+                result.parameter_accuracy_global[parameter] = hits["global"] / n
+            result.evaluated += n
+        return result
+
+    def loo_accuracy_by_market(
+        self,
+        engine: AuricEngine,
+        parameter: str,
+        max_targets_per_market: int = 500,
+        scope: str = "local",
+    ) -> Dict[str, float]:
+        """LOO accuracy of one parameter per market (the Fig 11 series)."""
+        out: Dict[str, float] = {}
+        for market in self.dataset.network.markets:
+            result = self.loo_accuracy(
+                engine,
+                [parameter],
+                market_id=market.market_id,
+                max_targets_per_parameter=max_targets_per_market,
+                scopes=(scope,),
+            )
+            accuracy = (
+                result.parameter_accuracy_local
+                if scope == "local"
+                else result.parameter_accuracy_global
+            ).get(parameter)
+            if accuracy is not None:
+                out[market.name] = accuracy
+        return out

@@ -1,0 +1,78 @@
+"""Skewness analysis (section 2.6 / Fig 4).
+
+The paper computes, per parameter, the skewness of the distribution of
+its values across the 28 markets, using the standard third-moment
+formula, and classifies |skew| > 1 as highly skewed, 0.5 < |skew| <= 1
+as moderately skewed, and |skew| <= 0.5 as approximately symmetric.
+The paper reports 33 of 65 parameters highly skewed and 12 moderately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.config.store import ConfigurationStore
+
+HIGH_SKEW_THRESHOLD = 1.0
+MODERATE_SKEW_THRESHOLD = 0.5
+
+
+def skewness(values: Sequence[float]) -> float:
+    """Population skewness: E[(X-mean)^3] / std^3 (the paper's formula)."""
+    x = np.asarray(values, dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("cannot compute skewness of zero values")
+    centered = x - x.mean()
+    second = float(np.mean(centered**2))
+    denominator = second**1.5
+    # Guard both exact-zero variance and subnormal underflow of the
+    # 3/2 power (hypothesis found values like 5e-135 whose squared mean
+    # is positive but whose 1.5 power underflows to zero).
+    if denominator <= 0.0:
+        return 0.0
+    third = float(np.mean(centered**3))
+    return third / denominator
+
+
+def skewness_classification(value: float) -> str:
+    """"high" / "moderate" / "symmetric" per the paper's thresholds."""
+    magnitude = abs(value)
+    if magnitude > HIGH_SKEW_THRESHOLD:
+        return "high"
+    if magnitude > MODERATE_SKEW_THRESHOLD:
+        return "moderate"
+    return "symmetric"
+
+
+def skewness_per_parameter(
+    store: ConfigurationStore,
+    parameters: Optional[Iterable[str]] = None,
+) -> Dict[str, float]:
+    """parameter → skewness of its configured numeric values (Fig 4)."""
+    names = (
+        list(parameters)
+        if parameters is not None
+        else [s.name for s in store.catalog.range_parameters()]
+    )
+    out: Dict[str, float] = {}
+    for name in names:
+        spec = store.catalog.spec(name)
+        mapping = (
+            store.pairwise_values(name)
+            if spec.is_pairwise
+            else store.singular_values(name)
+        )
+        values = [float(v) for v in mapping.values()]
+        if values:
+            out[name] = skewness(values)
+    return out
+
+
+def classification_counts(skews: Dict[str, float]) -> Dict[str, int]:
+    """Counts of high / moderate / symmetric parameters."""
+    counts = {"high": 0, "moderate": 0, "symmetric": 0}
+    for value in skews.values():
+        counts[skewness_classification(value)] += 1
+    return counts

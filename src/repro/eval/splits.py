@@ -1,0 +1,86 @@
+"""Cross-validation splits and sampling helpers."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.rng import derive
+
+
+def kfold_indices(
+    n: int, k: int, seed: int = 0
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (train, test) index arrays for k-fold cross-validation.
+
+    The paper uses "the standard machine learning cross-validation
+    approach" for the global-learner comparison.  Folds partition a
+    shuffled permutation; every sample appears in exactly one test fold.
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if n < k:
+        raise ValueError(f"cannot make {k} folds from {n} samples")
+    order = derive(seed, "kfold").permutation(n)
+    folds = np.array_split(order, k)
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        yield train, test
+
+
+def uniform_sample_indices(n: int, size: int, seed: int = 0) -> List[int]:
+    """A uniform random sample of at most ``size`` indices out of ``n``.
+
+    This is the estimator the accuracy evaluations use: the paper's
+    accuracy is over *all* carriers, so a subsample must be uniform —
+    stratifying by label would over-represent rare values and bias the
+    estimate down.
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    if size >= n:
+        return list(range(n))
+    rng = derive(seed, "uniform-sample")
+    picked = rng.choice(n, size=size, replace=False)
+    return sorted(int(i) for i in picked)
+
+
+def stratified_sample_indices(
+    labels: Sequence[object], size: int, seed: int = 0
+) -> List[int]:
+    """A label-stratified sample of at most ``size`` indices.
+
+    Every label keeps at least one representative, and remaining slots
+    are allocated proportionally — so rare parameter values stay in the
+    evaluation sample, which matters for skewed predictees.
+    """
+    n = len(labels)
+    if size >= n:
+        return list(range(n))
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    rng = derive(seed, "stratified-sample")
+    by_label: dict = {}
+    for i, label in enumerate(labels):
+        by_label.setdefault(label, []).append(i)
+    if size < len(by_label):
+        # Not even one slot per label: sample labels uniformly.
+        picked_labels = rng.choice(len(by_label), size=size, replace=False)
+        label_list = list(by_label)
+        return sorted(
+            by_label[label_list[i]][int(rng.integers(0, len(by_label[label_list[i]])))]
+            for i in picked_labels
+        )
+    out: List[int] = []
+    # One guaranteed representative per label.
+    for indices in by_label.values():
+        out.append(indices[int(rng.integers(0, len(indices)))])
+    taken = set(out)
+    remaining = [i for i in range(n) if i not in taken]
+    extra = size - len(out)
+    if extra > 0:
+        picked = rng.choice(len(remaining), size=extra, replace=False)
+        out.extend(remaining[int(i)] for i in picked)
+    return sorted(out)

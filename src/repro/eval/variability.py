@@ -1,0 +1,67 @@
+"""Variability analysis: distinct values per configuration parameter.
+
+Section 2.6 / Figs 2-3 of the paper: the number of distinct values a
+parameter takes, network-wide and per market.  High variability is what
+makes rule-books insufficient and recommendation necessary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.config.store import ConfigurationStore
+from repro.netmodel.identifiers import MarketId
+from repro.netmodel.network import Network
+
+
+def _values_for(store: ConfigurationStore, parameter: str) -> Iterable:
+    spec = store.catalog.spec(parameter)
+    if spec.is_pairwise:
+        return store.pairwise_values(parameter).items()
+    return store.singular_values(parameter).items()
+
+
+def distinct_values_per_parameter(
+    store: ConfigurationStore,
+    parameters: Optional[Iterable[str]] = None,
+) -> Dict[str, int]:
+    """parameter → number of distinct configured values (Fig 2)."""
+    names = (
+        list(parameters)
+        if parameters is not None
+        else [s.name for s in store.catalog.range_parameters()]
+    )
+    return {
+        name: len({value for _, value in _values_for(store, name)})
+        for name in names
+    }
+
+
+def variability_by_market(
+    network: Network,
+    store: ConfigurationStore,
+    parameters: Optional[Iterable[str]] = None,
+) -> Dict[str, Dict[str, int]]:
+    """market name → parameter → distinct values in that market (Fig 3).
+
+    For pair-wise parameters a value belongs to the market of the source
+    carrier of its pair.
+    """
+    names = (
+        list(parameters)
+        if parameters is not None
+        else [s.name for s in store.catalog.range_parameters()]
+    )
+    market_names = {m.market_id: m.name for m in network.markets}
+    out: Dict[str, Dict[str, int]] = {
+        m.name: {} for m in network.markets
+    }
+    for parameter in names:
+        spec = store.catalog.spec(parameter)
+        per_market: Dict[MarketId, set] = {}
+        for key, value in _values_for(store, parameter):
+            market = key.carrier.market if spec.is_pairwise else key.market
+            per_market.setdefault(market, set()).add(value)
+        for market_id, values in per_market.items():
+            out[market_names[market_id]][parameter] = len(values)
+    return out

@@ -1,0 +1,11 @@
+"""Experiment reproductions: one module per table/figure of the paper.
+
+Every module exposes ``run(...)`` returning a result object with a
+``render()`` method that prints the same rows/series the paper reports.
+The registry maps experiment ids ("fig2", "table4", ...) to their run
+functions; benchmarks call through it.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,91 @@
+"""Fig 10a-d: per-parameter accuracy of the five global learners.
+
+The figures plot, for each of four markets, the accuracy of every
+learner per parameter with parameters reverse-sorted by variability
+(distinct-value count).  The paper's findings: accuracy falls as
+variability rises; learners correlate (a parameter hard for one is hard
+for all).  This experiment reuses the Table 4 scores and renders the
+sorted series, plus the rank correlation that quantifies the paper's
+"accuracy goes down when variability goes up" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.datagen.generator import SyntheticDataset
+from repro.eval.accuracy import ParameterAccuracy
+from repro.experiments import table4_global_learners
+from repro.learners.registry import PAPER_LEARNER_ORDER
+from repro.reporting.series import format_series
+
+
+@dataclass
+class Fig10Result:
+    """Per-market series of (parameter, variability, accuracy per learner)."""
+
+    scores: ParameterAccuracy
+    markets: List[str]
+
+    def market_series(self, market: str):
+        """Parameters sorted by variability desc, with per-learner accuracy."""
+        rows = [s for s in self.scores.scores if s.market == market]
+        by_parameter: Dict[str, Dict[str, float]] = {}
+        variability: Dict[str, int] = {}
+        for score in rows:
+            by_parameter.setdefault(score.parameter, {})[score.learner] = (
+                score.accuracy
+            )
+            variability[score.parameter] = score.distinct_values
+        order = sorted(variability, key=lambda p: (-variability[p], p))
+        series = {
+            learner: [by_parameter[p].get(learner, float("nan")) for p in order]
+            for learner in PAPER_LEARNER_ORDER
+        }
+        series["distinct"] = [float(variability[p]) for p in order]
+        return order, series
+
+    def variability_accuracy_correlation(self, learner: str) -> float:
+        """Spearman correlation between distinct-value count and accuracy.
+
+        The paper's claim corresponds to a *negative* correlation.
+        """
+        xs = [s.distinct_values for s in self.scores.scores if s.learner == learner]
+        ys = [s.accuracy for s in self.scores.scores if s.learner == learner]
+        if len(set(xs)) < 2:
+            return 0.0
+        rho, _ = stats.spearmanr(xs, ys)
+        return float(rho)
+
+    def render(self) -> str:
+        sections = []
+        for market in self.markets:
+            order, series = self.market_series(market)
+            sections.append(
+                format_series(
+                    "parameter",
+                    order,
+                    series,
+                    title=f"Fig 10 — per-parameter accuracy, {market} "
+                    "(sorted by variability desc)",
+                )
+            )
+        correlations = ", ".join(
+            f"{name}: {self.variability_accuracy_correlation(name):+.2f}"
+            for name in PAPER_LEARNER_ORDER
+        )
+        sections.append(f"Spearman(variability, accuracy): {correlations}")
+        return "\n\n".join(sections)
+
+
+def run(
+    dataset: Optional[SyntheticDataset] = None,
+    parameters: Optional[Sequence[str]] = None,
+    fast: bool = True,
+) -> Fig10Result:
+    table4 = table4_global_learners.run(dataset, parameters=parameters, fast=fast)
+    return Fig10Result(scores=table4.scores, markets=table4.markets)

@@ -1,0 +1,80 @@
+"""Fig 11a-d: local-learner accuracy per market for the four
+highest-variability parameters.
+
+The paper plots, for each of the 4 most variable of the 65 parameters,
+the local learner's prediction accuracy across all 28 markets alongside
+each market's distinct-value count.  Findings: variability differs per
+market and accuracy tracks it; some markets underperform even at similar
+variability (missing attributes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.auric import AuricEngine
+from repro.datagen.generator import SyntheticDataset
+from repro.datagen.workloads import full_network_workload
+from repro.eval.runner import EvaluationRunner
+from repro.eval.variability import distinct_values_per_parameter, variability_by_market
+from repro.reporting.series import format_series
+
+
+@dataclass
+class Fig11Result:
+    """parameter → market → (accuracy, distinct values)."""
+
+    parameters: List[str]
+    accuracy: Dict[str, Dict[str, float]]
+    variability: Dict[str, Dict[str, int]]
+
+    def render(self) -> str:
+        sections = []
+        for parameter in self.parameters:
+            markets = sorted(self.accuracy.get(parameter, {}))
+            if not markets:
+                continue
+            sections.append(
+                format_series(
+                    "market",
+                    markets,
+                    {
+                        "local accuracy": [
+                            self.accuracy[parameter][m] for m in markets
+                        ],
+                        "distinct values": [
+                            float(self.variability.get(m, {}).get(parameter, 0))
+                            for m in markets
+                        ],
+                    },
+                    title=f"Fig 11 — local-learner accuracy by market: {parameter}",
+                )
+            )
+        return "\n\n".join(sections)
+
+
+def run(
+    dataset: Optional[SyntheticDataset] = None,
+    top_parameters: int = 4,
+    max_targets_per_market: int = 300,
+    engine: Optional[AuricEngine] = None,
+) -> Fig11Result:
+    """Evaluate the local learner per market on the most variable params."""
+    if dataset is None:
+        dataset = full_network_workload()
+    distinct = distinct_values_per_parameter(dataset.store)
+    parameters = sorted(distinct, key=lambda p: -distinct[p])[:top_parameters]
+    if engine is None:
+        engine = AuricEngine(dataset.network, dataset.store).fit(parameters)
+    runner = EvaluationRunner(dataset)
+    accuracy = {
+        parameter: runner.loo_accuracy_by_market(
+            engine, parameter, max_targets_per_market=max_targets_per_market
+        )
+        for parameter in parameters
+    }
+    variability = variability_by_market(dataset.network, dataset.store, parameters)
+    return Fig11Result(
+        parameters=parameters, accuracy=accuracy, variability=variability
+    )

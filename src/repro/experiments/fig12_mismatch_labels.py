@@ -1,0 +1,98 @@
+"""Fig 12: engineer labeling of recommendation mismatches.
+
+The paper sampled 54,915 mismatches between Auric's local-learner
+recommendations and the current network configuration; market engineers
+labeled 5% "update learner", 28% "good recommendation" (15K+ pushed as
+config changes) and 67% "inconclusive".
+
+This experiment collects the local learner's LOO mismatches and labels
+them with the provenance oracle (see :mod:`repro.eval.engineers`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.auric import AuricEngine
+from repro.datagen.generator import SyntheticDataset
+from repro.datagen.workloads import full_network_workload
+from repro.eval.engineers import LabeledMismatch, MismatchLabel, label_mismatches
+from repro.eval.runner import EvaluationRunner
+from repro.experiments.parameter_selection import evaluation_parameters
+from repro.reporting.tables import format_table
+
+PAPER_SHARES = {
+    MismatchLabel.UPDATE_LEARNER: 0.05,
+    MismatchLabel.GOOD_RECOMMENDATION: 0.28,
+    MismatchLabel.INCONCLUSIVE: 0.67,
+}
+
+
+@dataclass
+class Fig12Result:
+    """Labeled mismatches plus the label distribution."""
+
+    labeled: List[LabeledMismatch]
+    counts: Dict[MismatchLabel, int]
+    total_evaluated: int
+
+    @property
+    def total_mismatches(self) -> int:
+        return len(self.labeled)
+
+    def shares(self) -> Dict[MismatchLabel, float]:
+        total = max(self.total_mismatches, 1)
+        return {label: count / total for label, count in self.counts.items()}
+
+    def mismatch_rate(self) -> float:
+        if self.total_evaluated == 0:
+            return 0.0
+        return self.total_mismatches / self.total_evaluated
+
+    def render(self) -> str:
+        shares = self.shares()
+        rows = [
+            (
+                label.value,
+                self.counts[label],
+                100.0 * shares[label],
+                100.0 * PAPER_SHARES[label],
+            )
+            for label in MismatchLabel
+        ]
+        table = format_table(
+            ["label", "mismatches", "share (%)", "paper share (%)"],
+            rows,
+            title="Fig 12 — engineer labeling of recommendation mismatches",
+        )
+        return table + (
+            f"\n{self.total_mismatches} mismatches out of "
+            f"{self.total_evaluated} recommendations "
+            f"({100.0 * self.mismatch_rate():.1f}% mismatch rate; paper ~4%)"
+        )
+
+
+def run(
+    dataset: Optional[SyntheticDataset] = None,
+    parameters: Optional[Sequence[str]] = None,
+    max_targets_per_parameter: int = 1500,
+    engine: Optional[AuricEngine] = None,
+) -> Fig12Result:
+    if dataset is None:
+        dataset = full_network_workload()
+    if parameters is None:
+        parameters = evaluation_parameters(dataset)
+    if engine is None:
+        engine = AuricEngine(dataset.network, dataset.store).fit(parameters)
+    runner = EvaluationRunner(dataset)
+    result = runner.loo_accuracy(
+        engine,
+        parameters,
+        max_targets_per_parameter=max_targets_per_parameter,
+        scopes=("local",),
+    )
+    labeled, counts = label_mismatches(dataset.provenance, result.mismatches_local)
+    return Fig12Result(
+        labeled=labeled, counts=counts, total_evaluated=result.evaluated
+    )

@@ -1,0 +1,57 @@
+"""Fig 3: distinct values per configuration parameter, per market.
+
+The paper's finding: variability is not uniform — some markets show
+many more distinct values for some parameter groups than others.  The
+figure is a heat-map-like chart; we render per-market totals plus the
+top parameters in each market.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.datagen.generator import SyntheticDataset
+from repro.datagen.workloads import full_network_workload
+from repro.eval.variability import variability_by_market
+from repro.reporting.tables import format_table
+
+
+@dataclass
+class Fig3Result:
+    """market → parameter → distinct values."""
+
+    by_market: Dict[str, Dict[str, int]]
+
+    def market_totals(self) -> Dict[str, int]:
+        """market → sum of distinct-value counts over all parameters."""
+        return {
+            market: sum(counts.values())
+            for market, counts in self.by_market.items()
+        }
+
+    def market_high_variability_counts(self, threshold: int = 10) -> Dict[str, int]:
+        """market → number of parameters above the variability threshold."""
+        return {
+            market: sum(1 for v in counts.values() if v > threshold)
+            for market, counts in self.by_market.items()
+        }
+
+    def render(self) -> str:
+        totals = self.market_totals()
+        high = self.market_high_variability_counts()
+        rows = [
+            (market, totals[market], high[market])
+            for market in sorted(totals, key=lambda m: -totals[m])
+        ]
+        return format_table(
+            ["market", "total distinct values (65 params)", "params with >10 distinct"],
+            rows,
+            title="Fig 3 — variability across configuration parameters per market",
+        )
+
+
+def run(dataset: Optional[SyntheticDataset] = None) -> Fig3Result:
+    if dataset is None:
+        dataset = full_network_workload()
+    return Fig3Result(variability_by_market(dataset.network, dataset.store))

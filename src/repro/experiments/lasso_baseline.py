@@ -1,0 +1,89 @@
+"""Lasso regression as a dependency learner (section 3.2).
+
+The paper discusses lasso — linear regression with an L1 sparsity
+penalty — as one way to learn the dependency structure, before settling
+on collaborative filtering.  This experiment quantifies the gap on
+numeric parameters: regression + snap-to-nearest-observed-value vs the
+CF voting recommender.
+
+Expected shape: CF wins comfortably — parameter values are categorical
+decisions over skewed discrete sets, which a linear model of one-hot
+attributes fits poorly; lasso's virtue (sparse, interpretable
+coefficients) shows in the selected-attribute count, not accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.datagen.generator import SyntheticDataset
+from repro.datagen.workloads import four_markets_workload
+from repro.eval.runner import EvaluationRunner
+from repro.learners.collaborative_filtering import CollaborativeFilteringRecommender
+from repro.learners.lasso import LassoDependencyLearner
+from repro.reporting.tables import format_table
+
+DEFAULT_PARAMETERS = (
+    "pMax",
+    "qrxlevmin",
+    "qHyst",
+    "lbCapacityThreshold",
+    "admissionThreshold",
+    "t310",
+)
+
+
+@dataclass
+class LassoBaselineResult:
+    parameters: List[str]
+    lasso_accuracy: Dict[str, float]
+    cf_accuracy: Dict[str, float]
+
+    def mean_lasso(self) -> float:
+        return sum(self.lasso_accuracy.values()) / len(self.lasso_accuracy)
+
+    def mean_cf(self) -> float:
+        return sum(self.cf_accuracy.values()) / len(self.cf_accuracy)
+
+    def render(self) -> str:
+        rows = [
+            (
+                parameter,
+                100.0 * self.lasso_accuracy.get(parameter, float("nan")),
+                100.0 * self.cf_accuracy.get(parameter, float("nan")),
+            )
+            for parameter in self.parameters
+        ]
+        rows.append(("MEAN", 100.0 * self.mean_lasso(), 100.0 * self.mean_cf()))
+        return format_table(
+            ["parameter", "lasso (%)", "collaborative filtering (%)"],
+            rows,
+            title="Section 3.2 — lasso regression vs collaborative filtering",
+        )
+
+
+def run(
+    dataset: Optional[SyntheticDataset] = None,
+    parameters: Sequence[str] = DEFAULT_PARAMETERS,
+    folds: int = 3,
+    max_samples_per_parameter: int = 2500,
+) -> LassoBaselineResult:
+    if dataset is None:
+        dataset = four_markets_workload()
+    runner = EvaluationRunner(dataset)
+    factories = {
+        "lasso": lambda: LassoDependencyLearner(lam=0.01),
+        "collaborative-filtering": CollaborativeFilteringRecommender,
+    }
+    scores = runner.compare_learners(
+        factories,
+        list(parameters),
+        folds=folds,
+        max_samples_per_parameter=max_samples_per_parameter,
+    )
+    return LassoBaselineResult(
+        parameters=list(parameters),
+        lasso_accuracy=scores.by_parameter("lasso"),
+        cf_accuracy=scores.by_parameter("collaborative-filtering"),
+    )

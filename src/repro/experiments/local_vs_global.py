@@ -1,0 +1,89 @@
+"""Section 4.3.2: collaborative filtering with local vs global voting.
+
+Paper numbers: on the four Table 3 markets, CF-local 96.14% vs
+CF-global 95.48%; on all 28 markets (15M+ values), 96.9% vs 96.5%.
+Expected shape: the local learner beats the global learner by a small
+margin, because carrier tuning has local geographic dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.auric import AuricConfig, AuricEngine
+from repro.datagen.generator import SyntheticDataset
+from repro.datagen.workloads import four_markets_workload, full_network_workload
+from repro.eval.runner import EvaluationRunner, LocalVsGlobalResult
+from repro.experiments.parameter_selection import evaluation_parameters
+from repro.reporting.tables import format_table
+
+
+@dataclass
+class LocalVsGlobalExperiment:
+    """The local-vs-global accuracy comparison plus the raw mismatches."""
+
+    workload: str
+    result: LocalVsGlobalResult
+    parameters: List[str]
+
+    @property
+    def improvement(self) -> float:
+        return self.result.mean_local() - self.result.mean_global()
+
+    def render(self) -> str:
+        rows = [
+            (
+                parameter,
+                100.0 * self.result.parameter_accuracy_global[parameter],
+                100.0 * self.result.parameter_accuracy_local[parameter],
+            )
+            for parameter in self.parameters
+            if parameter in self.result.parameter_accuracy_local
+        ]
+        rows.append(
+            (
+                "MEAN",
+                100.0 * self.result.mean_global(),
+                100.0 * self.result.mean_local(),
+            )
+        )
+        table = format_table(
+            ["parameter", "CF global voting (%)", "CF local voting (%)"],
+            rows,
+            title=f"Section 4.3.2 — local vs global voting ({self.workload})",
+        )
+        return (
+            table
+            + f"\nlocal - global improvement: {100.0 * self.improvement:+.2f} points"
+            " (paper: +0.66 on four markets, +0.4 on 28)"
+        )
+
+
+def run(
+    dataset: Optional[SyntheticDataset] = None,
+    workload: str = "four-markets",
+    parameters: Optional[Sequence[str]] = None,
+    max_targets_per_parameter: int = 1500,
+    engine: Optional[AuricEngine] = None,
+) -> LocalVsGlobalExperiment:
+    """Run the LOO local-vs-global comparison on a workload."""
+    if dataset is None:
+        dataset = (
+            full_network_workload()
+            if workload == "full-network"
+            else four_markets_workload()
+        )
+    if parameters is None:
+        parameters = evaluation_parameters(dataset)
+    if engine is None:
+        engine = AuricEngine(dataset.network, dataset.store).fit(parameters)
+    runner = EvaluationRunner(dataset)
+    result = runner.loo_accuracy(
+        engine,
+        parameters,
+        max_targets_per_parameter=max_targets_per_parameter,
+    )
+    return LocalVsGlobalExperiment(
+        workload=workload, result=result, parameters=list(parameters)
+    )

@@ -1,0 +1,55 @@
+"""The paper's motivation: traffic and carrier growth over three years.
+
+Section 1/2: the provider observed a "tremendous increase in traffic,
+and numbers of carriers" over three years — the reason carriers keep
+being added and their configuration keeps needing generation.  This
+experiment renders the growth series from the synthetic deployment
+timeline.  Expected shape: both series grow monotonically, and traffic
+grows faster than the carrier count (per-carrier demand also grows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.datagen.generator import SyntheticDataset
+from repro.datagen.growth import GrowthTimeline, build_growth_timeline
+from repro.datagen.workloads import full_network_workload
+from repro.reporting.series import format_series
+
+
+@dataclass
+class MotivationGrowthResult:
+    timeline: GrowthTimeline
+
+    def render(self) -> str:
+        quarters = list(range(self.timeline.quarters))
+        normalized_traffic = [
+            t / max(self.timeline.traffic_per_quarter[0], 1e-9)
+            for t in self.timeline.traffic_per_quarter
+        ]
+        table = format_series(
+            "quarter",
+            quarters,
+            {
+                "carriers": [float(c) for c in self.timeline.carriers_per_quarter],
+                "traffic (normalized)": normalized_traffic,
+            },
+            title="Motivation — carrier and traffic growth over three years",
+        )
+        return table + (
+            f"\ncarrier growth x{self.timeline.carriers_growth_factor():.1f}, "
+            f"traffic growth x{self.timeline.traffic_growth_factor():.1f} "
+            "over the horizon"
+        )
+
+
+def run(
+    dataset: Optional[SyntheticDataset] = None, seed: int = 0
+) -> MotivationGrowthResult:
+    if dataset is None:
+        dataset = full_network_workload()
+    return MotivationGrowthResult(
+        timeline=build_growth_timeline(dataset.network, seed=seed)
+    )

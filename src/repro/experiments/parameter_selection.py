@@ -1,0 +1,62 @@
+"""Parameter subsets for the learner-comparison experiments.
+
+The paper evaluates all 65 range parameters.  At benchmark scale the
+deep-neural-network fits dominate runtime, so the default evaluation
+subset is a variability-stratified selection controlled by the
+``REPRO_TABLE4_PARAMS`` environment variable:
+
+* unset → 20 parameters (13 singular + 7 pair-wise), stratified by
+  distinct-value count so low/medium/high-variability parameters are all
+  represented;
+* an integer → that many parameters, same stratification;
+* ``all`` → the full 65.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.datagen.generator import SyntheticDataset
+from repro.eval.variability import distinct_values_per_parameter
+
+DEFAULT_PARAMETER_COUNT = 20
+
+
+def _stratified_pick(names_by_variability: List[str], count: int) -> List[str]:
+    """Pick ``count`` names spread evenly across the variability order."""
+    n = len(names_by_variability)
+    if count >= n:
+        return list(names_by_variability)
+    step = n / count
+    return [names_by_variability[int(i * step)] for i in range(count)]
+
+
+def evaluation_parameters(
+    dataset: SyntheticDataset, requested: Optional[str] = None
+) -> List[str]:
+    """The parameter subset for Table 4 / Fig 10 style experiments."""
+    if requested is None:
+        requested = os.environ.get("REPRO_TABLE4_PARAMS", "")
+    specs = dataset.catalog.range_parameters()
+    if requested.strip().lower() == "all":
+        return [s.name for s in specs]
+    count = int(requested) if requested.strip() else DEFAULT_PARAMETER_COUNT
+    count = max(2, min(count, len(specs)))
+
+    distinct = distinct_values_per_parameter(dataset.store)
+    singular = sorted(
+        (s.name for s in dataset.catalog.singular_parameters()),
+        key=lambda n: -distinct.get(n, 0),
+    )
+    pairwise = sorted(
+        (s.name for s in dataset.catalog.pairwise_parameters()),
+        key=lambda n: -distinct.get(n, 0),
+    )
+    # Keep the paper's 39:26 singular:pairwise proportion.
+    n_singular = max(1, round(count * 39 / 65))
+    n_pairwise = max(1, count - n_singular)
+    picked = _stratified_pick(singular, n_singular) + _stratified_pick(
+        pairwise, n_pairwise
+    )
+    return picked

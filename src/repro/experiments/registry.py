@@ -1,0 +1,54 @@
+"""Experiment registry: id → run function."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    lasso_baseline,
+    motivation_growth,
+    fig2_variability,
+    fig3_market_variability,
+    fig4_skewness,
+    fig10_accuracy_by_parameter,
+    fig11_local_by_market,
+    fig12_mismatch_labels,
+    local_vs_global,
+    performance_feedback,
+    table3_dataset,
+    table4_global_learners,
+    table5_operational,
+)
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig2": fig2_variability.run,
+    "fig3": fig3_market_variability.run,
+    "fig4": fig4_skewness.run,
+    "fig10": fig10_accuracy_by_parameter.run,
+    "fig11": fig11_local_by_market.run,
+    "fig12": fig12_mismatch_labels.run,
+    "local-vs-global": local_vs_global.run,
+    "table3": table3_dataset.run,
+    "table4": table4_global_learners.run,
+    "table5": table5_operational.run,
+    "ablation-support-threshold": ablations.run_support_threshold_sweep,
+    "ablation-p-value": ablations.run_p_value_sweep,
+    "ablation-effect-size": ablations.run_effect_size_sweep,
+    "ablation-proximity": ablations.run_proximity_sweep,
+    "ablation-selection": ablations.run_selection_strategy_sweep,
+    "performance-feedback": performance_feedback.run,
+    "lasso-baseline": lasso_baseline.run,
+    "motivation-growth": motivation_growth.run,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    """Run one experiment by its id (e.g. ``"table4"``)."""
+    try:
+        run = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return run(**kwargs)

@@ -1,0 +1,55 @@
+"""Dependency-model learners.
+
+Implements, from scratch on numpy, the five learners evaluated in the
+paper (section 4.2) plus the lasso regression option of section 3.2:
+
+* decision tree (Gini, grown until leaves are pure),
+* random forest (100 trees),
+* k-nearest neighbors (k=5, Euclidean, equal weights),
+* deep neural network (7 hidden layers 100/100/100/50/50/50/10, adam,
+  relu, L2 1e-5),
+* collaborative filtering with chi-square tests of independence and a
+  75%-support voting recommender,
+* lasso regression (coordinate descent).
+
+All learners share one interface (:class:`~repro.learners.base.Learner`)
+over *categorical* attribute rows; numeric learners one-hot encode
+internally, exactly as the paper's methodology prescribes.
+"""
+
+from repro.learners.base import Learner
+from repro.learners.chi_square import (
+    ChiSquareResult,
+    chi_square_statistic,
+    contingency_table,
+    test_independence,
+)
+from repro.learners.collaborative_filtering import CollaborativeFilteringRecommender
+from repro.learners.decision_tree import DecisionTreeLearner
+from repro.learners.encoding import LabelCodec, OneHotEncoder
+from repro.learners.knn import KNearestNeighborsLearner
+from repro.learners.lasso import LassoRegression
+from repro.learners.metrics import accuracy_score, gini_impurity
+from repro.learners.neural_net import DeepNeuralNetworkLearner
+from repro.learners.random_forest import RandomForestLearner
+from repro.learners.registry import paper_learner_factories, make_paper_learner
+
+__all__ = [
+    "Learner",
+    "ChiSquareResult",
+    "chi_square_statistic",
+    "contingency_table",
+    "test_independence",
+    "CollaborativeFilteringRecommender",
+    "DecisionTreeLearner",
+    "LabelCodec",
+    "OneHotEncoder",
+    "KNearestNeighborsLearner",
+    "LassoRegression",
+    "accuracy_score",
+    "gini_impurity",
+    "DeepNeuralNetworkLearner",
+    "RandomForestLearner",
+    "paper_learner_factories",
+    "make_paper_learner",
+]

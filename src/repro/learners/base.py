@@ -1,0 +1,70 @@
+"""The learner interface.
+
+A learner consumes *categorical attribute rows* — tuples of attribute
+values in a fixed column order — and hashable labels (configuration
+parameter values).  This matches the paper's formulation: the predictor
+matrix X holds carrier attributes, the predictee vector Y holds one
+configuration parameter, and one-hot encoding happens inside the learner
+before model fitting (section 4.2).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, List, Sequence, Tuple
+
+from repro.exceptions import NotFittedError
+from repro.types import AttributeValue
+
+Row = Tuple[AttributeValue, ...]
+Label = Hashable
+
+
+class Learner(abc.ABC):
+    """Abstract base class for all dependency-model learners."""
+
+    #: Human-readable learner name, set by subclasses.
+    name: str = "learner"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def fit(self, rows: Sequence[Row], labels: Sequence[Label]) -> "Learner":
+        """Learn the dependency model from existing carriers."""
+        if len(rows) != len(labels):
+            raise ValueError(
+                f"rows and labels disagree in length: {len(rows)} vs {len(labels)}"
+            )
+        if not rows:
+            raise ValueError("cannot fit a learner on an empty dataset")
+        widths = {len(r) for r in rows}
+        if len(widths) != 1:
+            raise ValueError(f"rows have inconsistent widths: {sorted(widths)}")
+        self._fit(rows, labels)
+        self._fitted = True
+        return self
+
+    def predict(self, rows: Sequence[Row]) -> List[Label]:
+        """Recommend a label for each row."""
+        self._require_fitted()
+        return self._predict(rows)
+
+    def predict_one(self, row: Row) -> Label:
+        """Recommend a label for a single row."""
+        return self.predict([row])[0]
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{self.name} has not been fitted")
+
+    @abc.abstractmethod
+    def _fit(self, rows: Sequence[Row], labels: Sequence[Label]) -> None:
+        """Subclass fitting logic (inputs already validated)."""
+
+    @abc.abstractmethod
+    def _predict(self, rows: Sequence[Row]) -> List[Label]:
+        """Subclass prediction logic (fit already checked)."""

@@ -1,0 +1,186 @@
+"""Chi-square test of independence between attributes and parameters.
+
+Implements equations (3) and (4) of the paper: a contingency table lays
+out counts for each (attribute value, parameter value) pair; the test
+statistic is the normalized squared deviation of observed from expected
+counts, compared against the chi-square critical value at degrees of
+freedom (R-1)(C-1) and the chosen significance level (p = 0.01 in the
+paper's evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+
+def contingency_table(
+    xs: Sequence[Hashable], ys: Sequence[Hashable]
+) -> Tuple[np.ndarray, List[Hashable], List[Hashable]]:
+    """Build the observed-count table O for two categorical sequences.
+
+    Returns ``(table, row_values, col_values)`` where ``table[a, b]`` is
+    the number of samples with ``xs == row_values[a]`` and
+    ``ys == col_values[b]``.  Row/column orders follow first appearance,
+    which keeps tables deterministic for a fixed dataset order.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        raise ValueError("cannot build a contingency table from zero samples")
+    row_index: Dict[Hashable, int] = {}
+    col_index: Dict[Hashable, int] = {}
+    cells: Dict[Tuple[int, int], int] = {}
+    for x, y in zip(xs, ys):
+        r = row_index.setdefault(x, len(row_index))
+        c = col_index.setdefault(y, len(col_index))
+        cells[(r, c)] = cells.get((r, c), 0) + 1
+    table = np.zeros((len(row_index), len(col_index)), dtype=np.float64)
+    for (r, c), count in cells.items():
+        table[r, c] = count
+    rows = [None] * len(row_index)
+    cols = [None] * len(col_index)
+    for value, index in row_index.items():
+        rows[index] = value
+    for value, index in col_index.items():
+        cols[index] = value
+    return table, rows, cols
+
+
+def chi_square_statistic(table: np.ndarray) -> float:
+    """The chi-square statistic of an observed-count table (equation 3).
+
+    Expected counts come from the marginals (equation 4).  Cells whose
+    expected count is zero (an all-zero row or column) contribute nothing.
+    """
+    if table.ndim != 2:
+        raise ValueError("contingency table must be 2-dimensional")
+    total = table.sum()
+    if total <= 0:
+        raise ValueError("contingency table has no observations")
+    row_sums = table.sum(axis=1, keepdims=True)
+    col_sums = table.sum(axis=0, keepdims=True)
+    expected = row_sums @ col_sums / total
+    mask = expected > 0
+    deviation = np.zeros_like(table)
+    deviation[mask] = (table[mask] - expected[mask]) ** 2 / expected[mask]
+    return float(deviation.sum())
+
+
+@dataclass(frozen=True)
+class ChiSquareResult:
+    """Outcome of one independence test.
+
+    ``cramers_v`` is the Cramér's V effect size in [0, 1]: with very
+    large samples the chi-square test flags even negligible associations
+    as significant, so association *strength* must be judged separately.
+    """
+
+    statistic: float
+    dof: int
+    critical_value: float
+    p_value: float
+    dependent: bool
+    cramers_v: float = 0.0
+
+
+#: Strata smaller than this are excluded from the stratified test: in a
+#: 2-3 sample stratum almost any pair of variables looks perfectly
+#: associated, and summing thousands of such strata manufactures a
+#: spuriously "significant" dependence (with Cramér's V near 1).
+DEFAULT_MIN_STRATUM_SIZE = 8
+
+
+def test_conditional_independence(
+    xs: Sequence[Hashable],
+    ys: Sequence[Hashable],
+    strata: Sequence[Hashable],
+    p_value: float = 0.01,
+    min_stratum_size: int = DEFAULT_MIN_STRATUM_SIZE,
+) -> ChiSquareResult:
+    """Chi-square test of ``xs`` vs ``ys`` *conditioned on* ``strata``.
+
+    A Cochran–Mantel–Haenszel-style stratified test: within each stratum
+    (each distinct value of ``strata``) the ordinary chi-square statistic
+    is computed, and statistics and degrees of freedom are summed across
+    strata.  An attribute whose marginal association with the parameter
+    flows entirely through already-selected attributes comes out
+    independent here — exactly the redundancy the recommender must not
+    match on.
+
+    Degenerate strata (a single distinct x or y value) contribute zero
+    statistic and zero degrees of freedom.  The pooled Cramér's V uses
+    the number of samples in non-degenerate strata.
+    """
+    if not (len(xs) == len(ys) == len(strata)):
+        raise ValueError("xs, ys and strata must have equal length")
+    if not 0.0 < p_value < 1.0:
+        raise ValueError("p_value must be in (0, 1)")
+    groups: Dict[Hashable, List[int]] = {}
+    for i, stratum in enumerate(strata):
+        groups.setdefault(stratum, []).append(i)
+
+    total_statistic = 0.0
+    total_dof = 0
+    effective_n = 0
+    min_dim_weighted = 0.0
+    for indices in groups.values():
+        if len(indices) < min_stratum_size:
+            continue
+        sub_x = [xs[i] for i in indices]
+        sub_y = [ys[i] for i in indices]
+        table, rows, cols = contingency_table(sub_x, sub_y)
+        dof = (len(rows) - 1) * (len(cols) - 1)
+        if dof == 0:
+            continue
+        total_statistic += chi_square_statistic(table)
+        total_dof += dof
+        effective_n += len(indices)
+        min_dim_weighted += len(indices) * min(len(rows) - 1, len(cols) - 1)
+    if total_dof == 0 or effective_n == 0:
+        return ChiSquareResult(0.0, 0, float("inf"), p_value, False, 0.0)
+    critical = float(stats.chi2.ppf(1.0 - p_value, total_dof))
+    mean_min_dim = max(min_dim_weighted / effective_n, 1.0)
+    v = float(np.sqrt(total_statistic / (effective_n * mean_min_dim)))
+    return ChiSquareResult(
+        total_statistic,
+        total_dof,
+        critical,
+        p_value,
+        total_statistic > critical,
+        min(v, 1.0),
+    )
+
+
+def test_independence(  # noqa: PT028 - library function, not a pytest test
+    xs: Sequence[Hashable], ys: Sequence[Hashable], p_value: float = 0.01
+) -> ChiSquareResult:
+    """Chi-square test of independence between two categorical variables.
+
+    ``dependent`` is True when the statistic exceeds the critical value,
+    i.e. the null hypothesis of independence is rejected at significance
+    ``p_value``.  A degenerate table (single distinct value on either
+    side) has zero degrees of freedom and can never reject the null.
+    """
+    if not 0.0 < p_value < 1.0:
+        raise ValueError("p_value must be in (0, 1)")
+    table, rows, cols = contingency_table(xs, ys)
+    dof = (len(rows) - 1) * (len(cols) - 1)
+    if dof == 0:
+        return ChiSquareResult(0.0, 0, float("inf"), p_value, False)
+    statistic = chi_square_statistic(table)
+    critical = float(stats.chi2.ppf(1.0 - p_value, dof))
+    n = float(table.sum())
+    v = float(np.sqrt(statistic / (n * min(len(rows) - 1, len(cols) - 1))))
+    return ChiSquareResult(
+        statistic, dof, critical, p_value, statistic > critical, min(v, 1.0)
+    )
+
+
+# These are statistical tests, not pytest tests; prevent collection when
+# imported into test modules.
+test_independence.__test__ = False  # type: ignore[attr-defined]
+test_conditional_independence.__test__ = False  # type: ignore[attr-defined]

@@ -1,0 +1,300 @@
+"""Collaborative filtering with chi-square independence tests and voting.
+
+Auric's primary learner (section 3.2).  Fitting:
+
+1. For each attribute column, run a chi-square test of independence
+   against the parameter values; keep the *dependent* attributes.  This
+   "eliminates the irrelevant attributes with respect to the parameter
+   values" — the failure mode that hurts kNN.
+2. Index the training carriers by their values on the dependent
+   attributes.
+
+Recommending for a new carrier: find the carriers that exactly match on
+the dependent attributes and vote; the recommendation is the value with
+maximum support, accepted when its support reaches the threshold (75% in
+the paper's implementation).
+
+Two extensions from section 6 are built in as options:
+
+* per-sample voting weights (performance-feedback weighting), and
+* a fallback policy for carriers whose dependent-attribute combination
+  was never observed (the cold-start / "bootstrapping the unobserved"
+  limitation): ``"plurality"`` falls back progressively — first dropping
+  the least-dependent attributes, finally the global mode — while
+  ``"error"`` raises :class:`~repro.exceptions.ColdStartError`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ColdStartError
+from repro.learners.base import Label, Learner, Row
+from repro.learners.chi_square import (
+    ChiSquareResult,
+    test_conditional_independence,
+    test_independence,
+)
+from repro.types import AttributeValue
+
+DEFAULT_SUPPORT_THRESHOLD = 0.75
+DEFAULT_P_VALUE = 0.01
+
+
+@dataclass(frozen=True)
+class VoteOutcome:
+    """Detailed result of one recommendation vote."""
+
+    value: Label
+    support: float
+    matched_weight: float
+    confident: bool
+    dependent_attributes: Tuple[int, ...]
+    fallback_used: bool
+
+    def __str__(self) -> str:
+        marker = "" if self.confident else " (below support threshold)"
+        return (
+            f"recommend {self.value!r} with {self.support:.0%} support over "
+            f"{self.matched_weight:g} matching carriers{marker}"
+        )
+
+
+class CollaborativeFilteringRecommender(Learner):
+    """Chi-square-filtered exact-match voting recommender."""
+
+    name = "collaborative-filtering"
+
+    def __init__(
+        self,
+        support_threshold: float = DEFAULT_SUPPORT_THRESHOLD,
+        p_value: float = DEFAULT_P_VALUE,
+        fallback: str = "plurality",
+        min_matched: float = 1.0,
+        min_effect_size: float = 0.12,
+        selection: str = "conditional",
+    ) -> None:
+        super().__init__()
+        if not 0.0 < support_threshold <= 1.0:
+            raise ValueError("support_threshold must be in (0, 1]")
+        if fallback not in ("plurality", "error"):
+            raise ValueError("fallback must be 'plurality' or 'error'")
+        if min_matched < 1.0:
+            raise ValueError("min_matched must be >= 1")
+        if not 0.0 <= min_effect_size <= 1.0:
+            raise ValueError("min_effect_size must be in [0, 1]")
+        if selection not in ("conditional", "marginal"):
+            raise ValueError("selection must be 'conditional' or 'marginal'")
+        #: Attribute-selection strategy: "conditional" (stepwise forward
+        #: selection with stratified chi-square tests — the default) or
+        #: "marginal" (the paper's verbatim formulation: every attribute
+        #: whose marginal test rejects independence is dependent).  The
+        #: marginal mode exists for the ablation that quantifies why the
+        #: conditional refinement is needed at realistic sample sizes.
+        self.selection = selection
+        self.support_threshold = support_threshold
+        self.p_value = p_value
+        self.fallback = fallback
+        #: Minimum Cramér's V for an attribute to count as dependent.  At
+        #: production sample sizes the chi-square test alone flags even
+        #: negligible associations as significant; the effect-size floor
+        #: keeps the "eliminate irrelevant attributes" property the paper
+        #: relies on.
+        self.min_effect_size = min_effect_size
+        #: Minimum total vote weight a matching cell must carry; thinner
+        #: cells are noise-dominated, so the vote relaxes to a coarser
+        #: attribute match instead (dropping the weakest dependency
+        #: first).  The final, unconditioned level always qualifies.
+        self.min_matched = min_matched
+        self._dependent: Tuple[int, ...] = ()
+        self._test_results: List[ChiSquareResult] = []
+        # One vote index per progressively-relaxed dependent-attribute
+        # prefix; index 0 is the full dependent set, the last is () — the
+        # global vote.  Prefixes are ordered by decreasing chi-square
+        # statistic, so relaxation drops the *least* dependent attribute
+        # first.
+        self._indexes: List[Dict[Tuple[AttributeValue, ...], Counter]] = []
+        self._prefixes: List[Tuple[int, ...]] = []
+
+    # -- fitting ----------------------------------------------------------
+
+    def _fit(self, rows: Sequence[Row], labels: Sequence[Label]) -> None:
+        self.fit_weighted(rows, labels, weights=None)
+
+    def fit_weighted(
+        self,
+        rows: Sequence[Row],
+        labels: Sequence[Label],
+        weights: Optional[Sequence[float]] = None,
+    ) -> "CollaborativeFilteringRecommender":
+        """Fit with optional per-carrier voting weights (section 6).
+
+        A carrier whose configuration historically improved service
+        performance can be given weight > 1 so its values carry more
+        support in the vote.
+        """
+        if weights is not None and len(weights) != len(rows):
+            raise ValueError("weights length must match rows")
+        n_columns = len(rows[0])
+        labels = list(labels)
+
+        # Marginal tests: candidate ranking plus per-column diagnostics.
+        ranked: List[Tuple[float, int]] = []
+        self._test_results = []
+        for col in range(n_columns):
+            result = test_independence(
+                [row[col] for row in rows], labels, self.p_value
+            )
+            self._test_results.append(result)
+            # Candidacy needs only statistical dependence; the effect-size
+            # floor is applied at the conditional stage, where a weak
+            # marginal association can still prove strong once dominant
+            # attributes are absorbed (e.g. a carrier type that only
+            # matters on low-band carriers).
+            if result.dependent:
+                ranked.append((result.statistic, col))
+        ranked.sort(key=lambda item: (-item[0], item[1]))
+
+        if self.selection == "marginal":
+            self._dependent = tuple(
+                col
+                for _, col in ranked
+                if self._test_results[col].cramers_v >= self.min_effect_size
+            )
+            self._build_indexes(rows, labels, weights)
+            self._fitted = True
+            return self
+
+        # Stepwise forward selection with conditional chi-square tests:
+        # each round, every remaining candidate is tested for association
+        # with the parameter *within* the cells formed by the attributes
+        # selected so far, and the strongest still-dependent candidate
+        # joins the set.  This removes attributes whose marginal
+        # association merely mirrors an already-selected one (e.g. a MIMO
+        # mode that tracks the carrier frequency) — matching on them
+        # would fragment the vote cells without adding signal — while
+        # still finding weak-marginal but real dependencies once the
+        # dominant ones are absorbed.
+        selected: List[int] = []
+        remaining = [col for _, col in ranked]
+        while remaining:
+            strata = [tuple(row[c] for c in selected) for row in rows]
+            best_col = None
+            best_statistic = 0.0
+            for col in remaining:
+                result = test_conditional_independence(
+                    [row[col] for row in rows], labels, strata, self.p_value
+                )
+                if not result.dependent or result.cramers_v < self.min_effect_size:
+                    continue
+                if result.statistic > best_statistic:
+                    best_col, best_statistic = col, result.statistic
+            if best_col is None:
+                break
+            selected.append(best_col)
+            remaining.remove(best_col)
+        self._dependent = tuple(selected)
+        self._build_indexes(rows, labels, weights)
+        self._fitted = True
+        return self
+
+    def _build_indexes(
+        self,
+        rows: Sequence[Row],
+        labels: Sequence[Label],
+        weights: Optional[Sequence[float]],
+    ) -> None:
+        self._prefixes = [
+            self._dependent[:length]
+            for length in range(len(self._dependent), -1, -1)
+        ]
+        self._indexes = []
+        for prefix in self._prefixes:
+            index: Dict[Tuple[AttributeValue, ...], Counter] = {}
+            for i, row in enumerate(rows):
+                key = tuple(row[col] for col in prefix)
+                counter = index.setdefault(key, Counter())
+                counter[labels[i]] += 1.0 if weights is None else float(weights[i])
+            self._indexes.append(index)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def dependent_attributes(self) -> Tuple[int, ...]:
+        """Indices of attribute columns the parameter depends on,
+        strongest dependency first."""
+        self._require_fitted()
+        return self._dependent
+
+    def test_result(self, column: int) -> ChiSquareResult:
+        """The chi-square outcome for one attribute column."""
+        self._require_fitted()
+        return self._test_results[column]
+
+    def explain_one(self, row: Row, column_names: Sequence[str]) -> List[str]:
+        """Human-readable explanation of one recommendation."""
+        outcome = self.vote(row)
+        conditions = [
+            f"{column_names[col]}={row[col]}" for col in outcome.dependent_attributes
+        ]
+        lines = [
+            "dependent attributes (chi-square, p<"
+            f"{self.p_value}): {', '.join(conditions) if conditions else '(none)'}",
+            str(outcome),
+        ]
+        if outcome.fallback_used:
+            lines.append("note: exact match not found; relaxed match used")
+        return lines
+
+    # -- prediction -------------------------------------------------------
+
+    def vote(self, row: Row) -> VoteOutcome:
+        """Run the voting procedure for one new carrier."""
+        self._require_fitted()
+        last_level = len(self._prefixes) - 1
+        exact_match_exists = bool(
+            self._indexes
+            and self._indexes[0].get(tuple(row[col] for col in self._prefixes[0]))
+        )
+        for level, (prefix, index) in enumerate(zip(self._prefixes, self._indexes)):
+            key = tuple(row[col] for col in prefix)
+            counter = index.get(key)
+            if not counter:
+                continue
+            if level < last_level and sum(counter.values()) < self.min_matched:
+                continue
+            if level > 0 and not exact_match_exists and self.fallback == "error":
+                raise ColdStartError(
+                    "no existing carrier matches the dependent attributes "
+                    f"{self._prefixes[0]} of the new carrier"
+                )
+            total = sum(counter.values())
+            value, top = counter.most_common(1)[0]
+            support = top / total if total > 0 else 0.0
+            return VoteOutcome(
+                value=value,
+                support=support,
+                matched_weight=total,
+                confident=support >= self.support_threshold,
+                dependent_attributes=prefix,
+                fallback_used=level > 0,
+            )
+        raise ColdStartError("the recommender has no training data to vote with")
+
+    def _predict(self, rows: Sequence[Row]) -> List[Label]:
+        return [self.vote(row).value for row in rows]
+
+    def predict_confident(self, rows: Sequence[Row]) -> List[Optional[Label]]:
+        """Like predict, but None where support misses the threshold.
+
+        The operational layer (section 5) only pushes confident
+        recommendations; an unconfident vote leaves the vendor value.
+        """
+        self._require_fitted()
+        out: List[Optional[Label]] = []
+        for row in rows:
+            outcome = self.vote(row)
+            out.append(outcome.value if outcome.confident else None)
+        return out

@@ -1,0 +1,219 @@
+"""Decision tree learner (CART, Gini).
+
+Paper configuration (section 4.2): "We use Gini score to determine how to
+split and the tree is expanded until all leaves are pure (i.e., all data
+points contain the same label)."
+
+Because inputs are one-hot encoded, every feature is binary and a split
+is simply ``feature == 0`` vs ``feature == 1``.  The per-node split
+search is vectorized: with ``C`` the (n, K) class-indicator matrix and
+``X`` the (n, d) feature matrix, the class counts on the feature==1 side
+of every candidate split are computed at once as ``X.T @ C``.
+
+The tree also provides path explanations (Fig 8 of the paper shows the
+engineers' preferred decision-tree explanation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.learners.base import Label, Learner, Row
+from repro.learners.encoding import LabelCodec, OneHotEncoder
+
+
+@dataclass
+class _Node:
+    """A tree node: either a leaf (prediction) or an internal split."""
+
+    prediction: int
+    feature: Optional[int] = None
+    left: Optional["_Node"] = None  # feature == 0
+    right: Optional["_Node"] = None  # feature == 1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class DecisionTreeLearner(Learner):
+    """CART classifier over one-hot encoded attributes.
+
+    ``max_depth=None`` and ``min_samples_split=2`` grow the tree to pure
+    leaves, matching the paper.  ``max_features`` enables per-node feature
+    subsampling (used by the random forest); ``rng`` only matters when
+    ``max_features`` is set.
+    """
+
+    name = "decision-tree"
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        max_features: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if max_features is not None and max_features < 1:
+            raise ValueError("max_features must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._encoder = OneHotEncoder()
+        self._codec = LabelCodec()
+        self._root: Optional[_Node] = None
+        self._node_count = 0
+        self._feature_names: Optional[List[str]] = None
+
+    # -- fitting ----------------------------------------------------------
+
+    def _fit(self, rows: Sequence[Row], labels: Sequence[Label]) -> None:
+        X = self._encoder.fit_transform(rows)
+        self._codec = LabelCodec().fit(labels)
+        y = self._codec.encode(labels)
+        self._node_count = 0
+        self._root = self._build(X, y, depth=0)
+
+    def fit_encoded(self, X: np.ndarray, y: np.ndarray, codec: LabelCodec,
+                    encoder: OneHotEncoder) -> "DecisionTreeLearner":
+        """Fit from pre-encoded data (used by the random forest to avoid
+        re-encoding per tree)."""
+        self._encoder = encoder
+        self._codec = codec
+        self._node_count = 0
+        self._root = self._build(X, y, depth=0)
+        self._fitted = True
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        self._node_count += 1
+        n_classes = self._codec.n_classes
+        counts = np.bincount(y, minlength=n_classes).astype(np.float64)
+        majority = int(np.argmax(counts))
+
+        if (
+            counts.max() == counts.sum()  # pure leaf
+            or len(y) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return _Node(prediction=majority)
+
+        feature, mask_right = self._best_split(X, y, counts)
+        if feature is None:
+            return _Node(prediction=majority)
+
+        assert mask_right is not None
+        mask_left = ~mask_right
+        left = self._build(X[mask_left], y[mask_left], depth + 1)
+        right = self._build(X[mask_right], y[mask_right], depth + 1)
+        return _Node(prediction=majority, feature=feature, left=left, right=right)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray, total_counts: np.ndarray):
+        n = X.shape[0]
+        n_features = X.shape[1]
+
+        if self.max_features is not None and self.max_features < n_features:
+            candidates = self._rng.choice(
+                n_features, size=self.max_features, replace=False
+            )
+        else:
+            candidates = np.arange(n_features)
+
+        Xc = X[:, candidates]
+        # Class counts on the feature==1 side of every candidate at once.
+        C = np.zeros((n, len(total_counts)), dtype=np.float64)
+        C[np.arange(n), y] = 1.0
+        right_counts = Xc.T @ C  # (n_candidates, K)
+        left_counts = total_counts[None, :] - right_counts
+
+        n_right = right_counts.sum(axis=1)
+        n_left = n - n_right
+        valid = (n_right > 0) & (n_left > 0)
+        if not np.any(valid):
+            return None, None
+
+        gini_right = _gini_rows(right_counts, n_right)
+        gini_left = _gini_rows(left_counts, n_left)
+        weighted = (n_left * gini_left + n_right * gini_right) / n
+
+        parent_gini = _gini_rows(total_counts[None, :], np.array([float(n)]))[0]
+        gains = np.where(valid, parent_gini - weighted, -np.inf)
+        best = int(np.argmax(gains))
+        if gains[best] <= 1e-12:
+            return None, None
+        feature = int(candidates[best])
+        return feature, X[:, feature] > 0.5
+
+    # -- prediction -------------------------------------------------------
+
+    def _predict(self, rows: Sequence[Row]) -> List[Label]:
+        X = self._encoder.transform(rows)
+        return self._codec.decode([self._walk(x) for x in X])
+
+    def predict_encoded(self, X: np.ndarray) -> np.ndarray:
+        """Class indices for pre-encoded rows (random-forest fast path)."""
+        self._require_fitted()
+        return np.array([self._walk(x) for x in X], dtype=np.int64)
+
+    def _walk(self, x: np.ndarray) -> int:
+        node = self._root
+        assert node is not None
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            node = node.right if x[node.feature] > 0.5 else node.left
+        return node.prediction
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    def depth(self) -> int:
+        """Maximum depth of the fitted tree (0 for a single leaf)."""
+        self._require_fitted()
+
+        def _depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        assert self._root is not None
+        return _depth(self._root)
+
+    def explain_one(self, row: Row, column_names: Sequence[str]) -> List[str]:
+        """The decision path for one row as human-readable conditions.
+
+        This is the Fig 8 style explanation engineers found intuitive:
+        e.g. ``["morphology=urban is true", "hardware=RRH2 is false"]``.
+        """
+        self._require_fitted()
+        names = self._encoder.feature_names(column_names)
+        x = self._encoder.transform([row])[0]
+        node = self._root
+        assert node is not None
+        path: List[str] = []
+        while not node.is_leaf:
+            taken = x[node.feature] > 0.5
+            path.append(f"{names[node.feature]} is {'true' if taken else 'false'}")
+            assert node.left is not None and node.right is not None
+            node = node.right if taken else node.left
+        path.append(f"recommend {self._codec.decode_one(node.prediction)!r}")
+        return path
+
+
+def _gini_rows(counts: np.ndarray, totals: np.ndarray) -> np.ndarray:
+    """Row-wise Gini impurity for a (m, K) count matrix with row totals."""
+    safe = np.maximum(totals, 1e-12)
+    p = counts / safe[:, None]
+    return 1.0 - np.sum(p * p, axis=1)

@@ -1,0 +1,143 @@
+"""One-hot encoding of categorical attribute rows and label indexing.
+
+Section 3.1: "Since X and Y can contain nominal variables, we use one-hot
+encoding to translate them" — a hardware attribute with values H1, H2, H3
+becomes three binary columns whose per-row sum is 1.
+
+Unseen categories at transform time encode to all-zeros for that
+attribute (the new carrier contributes no evidence on that column group);
+callers that need hard cold-start detection can ask the encoder directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EncodingError, NotFittedError
+from repro.learners.base import Label, Row
+from repro.types import AttributeValue
+
+
+class OneHotEncoder:
+    """Column-wise one-hot encoder for categorical rows."""
+
+    def __init__(self) -> None:
+        self._categories: List[Dict[AttributeValue, int]] = []
+        self._offsets: List[int] = []
+        self._width = 0
+        self._fitted = False
+
+    @property
+    def width(self) -> int:
+        """Number of output columns after encoding."""
+        self._require_fitted()
+        return self._width
+
+    @property
+    def n_columns_in(self) -> int:
+        self._require_fitted()
+        return len(self._categories)
+
+    def fit(self, rows: Sequence[Row]) -> "OneHotEncoder":
+        if not rows:
+            raise EncodingError("cannot fit an encoder on zero rows")
+        n_cols = len(rows[0])
+        self._categories = [{} for _ in range(n_cols)]
+        for row in rows:
+            if len(row) != n_cols:
+                raise EncodingError("inconsistent row widths")
+            for col, value in enumerate(row):
+                mapping = self._categories[col]
+                if value not in mapping:
+                    mapping[value] = len(mapping)
+        self._offsets = []
+        offset = 0
+        for mapping in self._categories:
+            self._offsets.append(offset)
+            offset += len(mapping)
+        self._width = offset
+        self._fitted = True
+        return self
+
+    def transform(self, rows: Sequence[Row]) -> np.ndarray:
+        """Encode rows into a dense (n, width) float64 matrix."""
+        self._require_fitted()
+        out = np.zeros((len(rows), self._width), dtype=np.float64)
+        for i, row in enumerate(rows):
+            if len(row) != len(self._categories):
+                raise EncodingError(
+                    f"row {i} has {len(row)} columns, expected {len(self._categories)}"
+                )
+            for col, value in enumerate(row):
+                index = self._categories[col].get(value)
+                if index is not None:
+                    out[i, self._offsets[col] + index] = 1.0
+        return out
+
+    def fit_transform(self, rows: Sequence[Row]) -> np.ndarray:
+        return self.fit(rows).transform(rows)
+
+    def is_known(self, row: Row) -> bool:
+        """Whether every value in ``row`` was seen during fitting."""
+        self._require_fitted()
+        if len(row) != len(self._categories):
+            return False
+        return all(
+            value in self._categories[col] for col, value in enumerate(row)
+        )
+
+    def unseen_columns(self, row: Row) -> List[int]:
+        """Input-column indices whose value was never seen in training."""
+        self._require_fitted()
+        return [
+            col for col, value in enumerate(row)
+            if value not in self._categories[col]
+        ]
+
+    def feature_names(self, column_names: Sequence[str]) -> List[str]:
+        """Names for each encoded column, e.g. ``hardware=RRH2``."""
+        self._require_fitted()
+        if len(column_names) != len(self._categories):
+            raise EncodingError("column_names length mismatch")
+        names = [""] * self._width
+        for col, mapping in enumerate(self._categories):
+            for value, index in mapping.items():
+                names[self._offsets[col] + index] = f"{column_names[col]}={value}"
+        return names
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("OneHotEncoder has not been fitted")
+
+
+class LabelCodec:
+    """Bidirectional mapping between hashable labels and class indices."""
+
+    def __init__(self) -> None:
+        self._to_index: Dict[Label, int] = {}
+        self._to_label: List[Label] = []
+
+    def fit(self, labels: Sequence[Label]) -> "LabelCodec":
+        for label in labels:
+            if label not in self._to_index:
+                self._to_index[label] = len(self._to_label)
+                self._to_label.append(label)
+        return self
+
+    @property
+    def n_classes(self) -> int:
+        return len(self._to_label)
+
+    def encode(self, labels: Sequence[Label]) -> np.ndarray:
+        try:
+            return np.array([self._to_index[l] for l in labels], dtype=np.int64)
+        except KeyError as exc:
+            raise EncodingError(f"unknown label {exc.args[0]!r}") from None
+
+    def decode(self, indices: Sequence[int]) -> List[Label]:
+        return [self._to_label[int(i)] for i in indices]
+
+    def decode_one(self, index: int) -> Label:
+        return self._to_label[int(index)]

@@ -1,0 +1,43 @@
+"""Shared metrics: impurity measures and accuracy.
+
+Accuracy is the paper's sole evaluation metric (section 4.2): the number
+of recommendations matching the current configured value divided by the
+total number of recommendations.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+def gini_impurity(class_counts: np.ndarray) -> float:
+    """Gini impurity of a node given its per-class counts."""
+    total = float(class_counts.sum())
+    if total <= 0.0:
+        return 0.0
+    p = class_counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+def entropy(class_counts: np.ndarray) -> float:
+    """Shannon entropy (bits) of a node given its per-class counts."""
+    total = float(class_counts.sum())
+    if total <= 0.0:
+        return 0.0
+    p = class_counts / total
+    p = p[p > 0.0]
+    return float(-np.sum(p * np.log2(p)))
+
+
+def accuracy_score(
+    truth: Sequence[Hashable], predicted: Sequence[Hashable]
+) -> float:
+    """Fraction of predictions equal to the truth."""
+    if len(truth) != len(predicted):
+        raise ValueError("truth and predicted lengths differ")
+    if not truth:
+        raise ValueError("cannot score zero predictions")
+    hits = sum(1 for t, p in zip(truth, predicted) if t == p)
+    return hits / len(truth)

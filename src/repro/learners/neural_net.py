@@ -1,0 +1,176 @@
+"""Deep neural network learner (multi-layer perceptron).
+
+Paper configuration (section 4.2): 7 hidden layers sized
+100/100/100/50/50/50/10, adam optimizer, relu activations, L2 penalty
+1e-5, random state 1, maximum iteration 10000.
+
+Implemented directly on numpy: dense layers, relu, softmax
+cross-entropy, adam with minibatches, L2 weight decay in the gradient,
+and early stopping when the training loss plateaus (so the 10000-epoch
+cap of the paper stays a cap, not a cost).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.learners.base import Label, Learner, Row
+from repro.learners.encoding import LabelCodec, OneHotEncoder
+
+PAPER_HIDDEN_LAYERS: Tuple[int, ...] = (100, 100, 100, 50, 50, 50, 10)
+
+
+class DeepNeuralNetworkLearner(Learner):
+    """MLP classifier with relu hidden layers and adam training."""
+
+    name = "deep-neural-network"
+
+    def __init__(
+        self,
+        hidden_layers: Sequence[int] = PAPER_HIDDEN_LAYERS,
+        alpha: float = 1e-5,
+        learning_rate: float = 1e-3,
+        batch_size: int = 128,
+        max_iter: int = 10000,
+        tol: float = 1e-4,
+        n_iter_no_change: int = 10,
+        random_state: int = 1,
+    ) -> None:
+        super().__init__()
+        if any(h < 1 for h in hidden_layers):
+            raise ValueError("hidden layer sizes must be positive")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.hidden_layers = tuple(hidden_layers)
+        self.alpha = alpha
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.max_iter = max_iter
+        self.tol = tol
+        self.n_iter_no_change = n_iter_no_change
+        self.random_state = random_state
+        self._encoder = OneHotEncoder()
+        self._codec = LabelCodec()
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        self.n_iter_: int = 0
+        self.loss_: float = float("inf")
+
+    # -- fitting ----------------------------------------------------------
+
+    def _fit(self, rows: Sequence[Row], labels: Sequence[Label]) -> None:
+        X = self._encoder.fit_transform(rows)
+        self._codec = LabelCodec().fit(labels)
+        y = self._codec.encode(labels)
+        n, d = X.shape
+        n_classes = max(self._codec.n_classes, 2)
+
+        rng = np.random.default_rng(self.random_state)
+        sizes = [d, *self.hidden_layers, n_classes]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            # He initialization suits relu layers.
+            scale = np.sqrt(2.0 / fan_in)
+            self._weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+        # Adam state.
+        m_w = [np.zeros_like(w) for w in self._weights]
+        v_w = [np.zeros_like(w) for w in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        batch = min(self.batch_size, n)
+        best_loss = float("inf")
+        stale_epochs = 0
+
+        for epoch in range(self.max_iter):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                idx = order[start:start + batch]
+                xb, yb = X[idx], y[idx]
+                loss, grads_w, grads_b = self._backprop(xb, yb)
+                epoch_loss += loss * len(idx)
+                step += 1
+                for layer in range(len(self._weights)):
+                    gw = grads_w[layer] + self.alpha * self._weights[layer]
+                    gb = grads_b[layer]
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * gw
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * gw * gw
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * gb
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * gb * gb
+                    m_hat_w = m_w[layer] / (1 - beta1**step)
+                    v_hat_w = v_w[layer] / (1 - beta2**step)
+                    m_hat_b = m_b[layer] / (1 - beta1**step)
+                    v_hat_b = v_b[layer] / (1 - beta2**step)
+                    self._weights[layer] -= (
+                        self.learning_rate * m_hat_w / (np.sqrt(v_hat_w) + eps)
+                    )
+                    self._biases[layer] -= (
+                        self.learning_rate * m_hat_b / (np.sqrt(v_hat_b) + eps)
+                    )
+            epoch_loss /= n
+            self.loss_ = epoch_loss
+            self.n_iter_ = epoch + 1
+            if epoch_loss < best_loss - self.tol:
+                best_loss = epoch_loss
+                stale_epochs = 0
+            else:
+                stale_epochs += 1
+                if stale_epochs >= self.n_iter_no_change:
+                    break
+
+    def _forward(self, X: np.ndarray) -> List[np.ndarray]:
+        """Activations per layer; the last entry is the softmax output."""
+        activations = [X]
+        a = X
+        last = len(self._weights) - 1
+        for layer, (w, b) in enumerate(zip(self._weights, self._biases)):
+            z = a @ w + b
+            a = _softmax(z) if layer == last else np.maximum(z, 0.0)
+            activations.append(a)
+        return activations
+
+    def _backprop(self, X: np.ndarray, y: np.ndarray):
+        activations = self._forward(X)
+        probs = activations[-1]
+        n = X.shape[0]
+        loss = -float(np.mean(np.log(probs[np.arange(n), y] + 1e-12)))
+
+        grads_w: List[np.ndarray] = [np.empty(0)] * len(self._weights)
+        grads_b: List[np.ndarray] = [np.empty(0)] * len(self._biases)
+
+        delta = probs.copy()
+        delta[np.arange(n), y] -= 1.0
+        delta /= n
+        for layer in range(len(self._weights) - 1, -1, -1):
+            grads_w[layer] = activations[layer].T @ delta
+            grads_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = (delta @ self._weights[layer].T) * (activations[layer] > 0.0)
+        return loss, grads_w, grads_b
+
+    # -- prediction -------------------------------------------------------
+
+    def _predict(self, rows: Sequence[Row]) -> List[Label]:
+        X = self._encoder.transform(rows)
+        probs = self._forward(X)[-1]
+        return self._codec.decode(np.argmax(probs, axis=1))
+
+    def predict_proba(self, rows: Sequence[Row]) -> np.ndarray:
+        """Class probabilities in label-codec order."""
+        self._require_fitted()
+        X = self._encoder.transform(rows)
+        return self._forward(X)[-1]
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    shifted = z - z.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=1, keepdims=True)

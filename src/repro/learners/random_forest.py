@@ -1,0 +1,73 @@
+"""Random forest learner.
+
+Paper configuration (section 4.2): "We use 100 trees in the forest, and
+Gini score for decision to split. Tree is expanded until all leaves are
+pure."  Standard bagging: each tree sees a bootstrap resample and
+considers sqrt(d) features per split; the forest predicts the majority
+class over trees.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.learners.base import Label, Learner, Row
+from repro.learners.decision_tree import DecisionTreeLearner
+from repro.learners.encoding import LabelCodec, OneHotEncoder
+
+
+class RandomForestLearner(Learner):
+    """Bagged ensemble of Gini decision trees with majority voting."""
+
+    name = "random-forest"
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.seed = seed
+        self._encoder = OneHotEncoder()
+        self._codec = LabelCodec()
+        self._trees: List[DecisionTreeLearner] = []
+
+    def _fit(self, rows: Sequence[Row], labels: Sequence[Label]) -> None:
+        X = self._encoder.fit_transform(rows)
+        self._codec = LabelCodec().fit(labels)
+        y = self._codec.encode(labels)
+        n, d = X.shape
+        max_features = max(1, int(math.sqrt(d)))
+        rng = np.random.default_rng(self.seed)
+
+        self._trees = []
+        for _ in range(self.n_estimators):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTreeLearner(
+                max_depth=self.max_depth,
+                max_features=max_features,
+                rng=np.random.default_rng(rng.integers(0, 2**63 - 1)),
+            )
+            tree.fit_encoded(X[sample], y[sample], self._codec, self._encoder)
+            self._trees.append(tree)
+
+    def _predict(self, rows: Sequence[Row]) -> List[Label]:
+        X = self._encoder.transform(rows)
+        n_classes = self._codec.n_classes
+        votes = np.zeros((X.shape[0], n_classes), dtype=np.int64)
+        for tree in self._trees:
+            predictions = tree.predict_encoded(X)
+            votes[np.arange(X.shape[0]), predictions] += 1
+        return self._codec.decode(np.argmax(votes, axis=1))
+
+    @property
+    def tree_count(self) -> int:
+        return len(self._trees)

@@ -1,0 +1,42 @@
+"""LTE network object model.
+
+This package models the slice of an LTE radio access network that Auric
+needs: markets, eNodeBs (with three faces), carriers with their attribute
+vectors (Table 1 of the paper), frequency bands, geographic placement and
+the X2 neighbor-relation graph used as the geographical-proximity oracle.
+"""
+
+from repro.netmodel.attributes import (
+    ATTRIBUTE_SCHEMA,
+    AttributeField,
+    AttributeSchema,
+    CarrierAttributes,
+)
+from repro.netmodel.bands import band_for_frequency_mhz
+from repro.netmodel.carrier import Carrier
+from repro.netmodel.enodeb import ENodeB, Face
+from repro.netmodel.geo import GeoPoint, haversine_km
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.netmodel.market import Market
+from repro.netmodel.network import Network
+from repro.netmodel.topology import X2Graph, build_x2_graph
+
+__all__ = [
+    "ATTRIBUTE_SCHEMA",
+    "AttributeField",
+    "AttributeSchema",
+    "CarrierAttributes",
+    "band_for_frequency_mhz",
+    "Carrier",
+    "ENodeB",
+    "Face",
+    "GeoPoint",
+    "haversine_km",
+    "CarrierId",
+    "ENodeBId",
+    "MarketId",
+    "Market",
+    "Network",
+    "X2Graph",
+    "build_x2_graph",
+]

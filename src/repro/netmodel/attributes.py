@@ -1,0 +1,157 @@
+"""Carrier attributes (Table 1 of the paper).
+
+An *attribute* describes a carrier: its frequency, type, morphology,
+bandwidth, hardware, market, vendor and so on.  Attributes are the
+predictor variables of Auric's dependency models.  Some are static (never
+change for a carrier), some are dynamic (drift slowly — software version,
+neighbor count).
+
+The schema here mirrors Table 1 exactly; the generator and the learners
+both consume it, so attribute names are defined once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import GenerationError
+from repro.types import AttributeValue
+
+
+@dataclass(frozen=True)
+class AttributeField:
+    """One carrier attribute: name, static/dynamic flag and example domain.
+
+    ``domain`` is advisory — it documents the values the synthetic
+    generator emits; the learners treat every attribute as categorical and
+    never rely on the domain being closed.
+    """
+
+    name: str
+    static: bool
+    domain: Tuple[AttributeValue, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+
+
+class AttributeSchema:
+    """An ordered, named collection of :class:`AttributeField`."""
+
+    def __init__(self, fields: Sequence[AttributeField]):
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate attribute names in schema")
+        self._fields: Tuple[AttributeField, ...] = tuple(fields)
+        self._by_name: Dict[str, AttributeField] = {f.name: f for f in fields}
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self._fields)
+
+    @property
+    def static_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self._fields if f.static)
+
+    @property
+    def dynamic_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self._fields if not f.static)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self) -> Iterator[AttributeField]:
+        return iter(self._fields)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def field(self, name: str) -> AttributeField:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown attribute {name!r}") from None
+
+
+#: The attribute set of Table 1.  Neighbor-channel and same-eNodeB neighbor
+#: count are included; carrier-specific identifiers (IP address, carrier id)
+#: are deliberately absent, as the paper excludes them.
+ATTRIBUTE_SCHEMA = AttributeSchema(
+    [
+        AttributeField("carrier_frequency", True, (700, 850, 1700, 1900, 2100, 2300, 2500),
+                       "Center frequency of the carrier in MHz"),
+        AttributeField("carrier_type", True, ("standard", "FirstNet", "NB-IoT"),
+                       "Service type of the carrier"),
+        AttributeField("carrier_info", True, ("none", "5G-colocated", "border"),
+                       "Deployment context flags"),
+        AttributeField("morphology", True, ("urban", "suburban", "rural"),
+                       "Morphology of the served area"),
+        AttributeField("channel_bandwidth", True, (5, 10, 15, 20),
+                       "Downlink channel bandwidth in MHz"),
+        AttributeField("dl_mimo_mode", True, ("closed-loop", "open-loop", "4x4"),
+                       "Downlink MIMO mode"),
+        AttributeField("hardware", True, ("RRH1", "RRH2", "RRH3"),
+                       "Remote radio head hardware configuration"),
+        AttributeField("cell_size", True, (1, 2, 3, 5),
+                       "Expected cell size in miles"),
+        AttributeField("tracking_area_code", True, (),
+                       "Tracking area code (market-derived)"),
+        AttributeField("market", True, (),
+                       "Operational market the carrier belongs to"),
+        AttributeField("vendor", True, ("VendorA", "VendorB", "VendorC"),
+                       "Radio equipment vendor"),
+        AttributeField("neighbor_channel", True, (444, 555, 666),
+                       "Dominant neighboring channel number"),
+        AttributeField("neighbor_count", False, (),
+                       "Number of neighbor carriers on the same eNodeB (dynamic)"),
+        AttributeField("software_version", False, ("RAN20Q1", "RAN20Q2", "RAN21Q1"),
+                       "RAN software release (dynamic)"),
+    ]
+)
+
+
+@dataclass(frozen=True)
+class CarrierAttributes:
+    """An immutable attribute vector for one carrier.
+
+    Stored as a mapping keyed by attribute name and validated against a
+    schema at construction time, so downstream code can index attributes
+    without defensive checks.
+    """
+
+    values: Mapping[str, AttributeValue]
+    schema: AttributeSchema = field(default=ATTRIBUTE_SCHEMA, repr=False)
+
+    def __post_init__(self) -> None:
+        missing = [n for n in self.schema.names if n not in self.values]
+        if missing:
+            raise GenerationError(f"attribute vector missing fields: {missing}")
+        extra = [n for n in self.values if n not in self.schema]
+        if extra:
+            raise GenerationError(f"attribute vector has unknown fields: {extra}")
+        # Freeze the mapping so the dataclass is genuinely immutable.
+        object.__setattr__(self, "values", dict(self.values))
+
+    def __getitem__(self, name: str) -> AttributeValue:
+        return self.values[name]
+
+    def get(self, name: str, default: Optional[AttributeValue] = None) -> Optional[AttributeValue]:
+        return self.values.get(name, default)
+
+    def as_tuple(self, names: Optional[Sequence[str]] = None) -> Tuple[AttributeValue, ...]:
+        """The attribute values in schema order (or a chosen sub-order)."""
+        if names is None:
+            names = self.schema.names
+        return tuple(self.values[n] for n in names)
+
+    def replace(self, **updates: AttributeValue) -> "CarrierAttributes":
+        """A copy with some attribute values replaced (dynamic drift)."""
+        merged = dict(self.values)
+        for name, value in updates.items():
+            if name not in self.schema:
+                raise KeyError(f"unknown attribute {name!r}")
+            merged[name] = value
+        return CarrierAttributes(merged, self.schema)

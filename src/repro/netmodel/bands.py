@@ -1,0 +1,39 @@
+"""Frequency band helpers for carrier layer management.
+
+Section 2.1 of the paper: carriers within a face operate on low, mid or
+high bands; users are steered high-band-first.  We use the conventional
+LTE groupings: below 1 GHz is low band, 1-2.3 GHz is mid band, above is
+high band.
+"""
+
+from __future__ import annotations
+
+from repro.types import Band
+
+#: Carrier frequencies (MHz) used by the synthetic generator.  These are
+#: real LTE deployment frequencies in the US (700/850 low, AWS/PCS mid,
+#: 2300/2500 high), matching the example values in Table 1.
+KNOWN_FREQUENCIES_MHZ = (700, 850, 1700, 1900, 2100, 2300, 2500)
+
+LOW_BAND_MAX_MHZ = 1000
+MID_BAND_MAX_MHZ = 2300
+
+
+def band_for_frequency_mhz(frequency_mhz: int) -> Band:
+    """Classify a carrier frequency into its LB/MB/HB layer group."""
+    if frequency_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_mhz}")
+    if frequency_mhz < LOW_BAND_MAX_MHZ:
+        return Band.LOW
+    if frequency_mhz < MID_BAND_MAX_MHZ:
+        return Band.MID
+    return Band.HIGH
+
+
+def layer_priority(band: Band) -> int:
+    """Connection priority for carrier layer management (lower = try first).
+
+    High band is tried first; users spill to mid then low as higher bands
+    congest or run out of coverage.
+    """
+    return {Band.HIGH: 0, Band.MID: 1, Band.LOW: 2}[band]

@@ -1,0 +1,55 @@
+"""The carrier: a radio channel on an eNodeB face.
+
+Carriers are the unit of configuration in Auric.  Each carrier has an
+identifier, an attribute vector, a geographic location (inherited from
+its eNodeB) and a lock state used by the operational layer (a locked
+carrier is off-air and can be reconfigured freely; unlocking it puts it
+in service).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netmodel.attributes import CarrierAttributes
+from repro.netmodel.bands import band_for_frequency_mhz
+from repro.netmodel.geo import GeoPoint
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.types import Band
+
+
+@dataclass
+class Carrier:
+    """A carrier (radio channel) on an eNodeB face."""
+
+    carrier_id: CarrierId
+    attributes: CarrierAttributes
+    location: GeoPoint
+    locked: bool = field(default=False)
+
+    @property
+    def market(self) -> MarketId:
+        return self.carrier_id.market
+
+    @property
+    def enodeb(self) -> ENodeBId:
+        return self.carrier_id.enodeb
+
+    @property
+    def frequency_mhz(self) -> int:
+        return int(self.attributes["carrier_frequency"])
+
+    @property
+    def band(self) -> Band:
+        return band_for_frequency_mhz(self.frequency_mhz)
+
+    def lock(self) -> None:
+        """Take the carrier off-air (reboot-equivalent; allows reconfiguration)."""
+        self.locked = True
+
+    def unlock(self) -> None:
+        """Put the carrier in service."""
+        self.locked = False
+
+    def __str__(self) -> str:
+        return str(self.carrier_id)

@@ -1,0 +1,64 @@
+"""eNodeB model: a base station with three 120-degree faces.
+
+Section 2.1: an eNodeB divides its 360-degree coverage into three faces,
+each face carrying multiple carriers on different frequency bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.netmodel.carrier import Carrier
+from repro.netmodel.geo import GeoPoint
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+
+FACES_PER_ENODEB = 3
+
+
+@dataclass
+class Face:
+    """One 120-degree sector of an eNodeB."""
+
+    index: int
+    carriers: List[Carrier] = field(default_factory=list)
+
+    def add_carrier(self, carrier: Carrier) -> None:
+        if carrier.carrier_id.face != self.index:
+            raise ValueError(
+                f"carrier {carrier.carrier_id} belongs to face "
+                f"{carrier.carrier_id.face}, not {self.index}"
+            )
+        self.carriers.append(carrier)
+
+    def __len__(self) -> int:
+        return len(self.carriers)
+
+
+@dataclass
+class ENodeB:
+    """A base station: identifier, location and three faces of carriers."""
+
+    enodeb_id: ENodeBId
+    location: GeoPoint
+    faces: List[Face] = field(default_factory=lambda: [Face(i) for i in range(FACES_PER_ENODEB)])
+
+    @property
+    def market(self) -> MarketId:
+        return self.enodeb_id.market
+
+    def add_carrier(self, carrier: Carrier) -> None:
+        self.faces[carrier.carrier_id.face].add_carrier(carrier)
+
+    def carriers(self) -> Iterator[Carrier]:
+        for face in self.faces:
+            yield from face.carriers
+
+    def carrier_count(self) -> int:
+        return sum(len(face) for face in self.faces)
+
+    def carriers_by_id(self) -> Dict[CarrierId, Carrier]:
+        return {c.carrier_id: c for c in self.carriers()}
+
+    def __str__(self) -> str:
+        return str(self.enodeb_id)

@@ -1,0 +1,56 @@
+"""Geographic primitives for eNodeB placement.
+
+The paper uses X2 neighbor relations as its proximity signal; we derive
+X2 adjacency from geometry, so the network model carries latitude /
+longitude per eNodeB.  Distances are computed with the haversine formula,
+which is accurate to well under 0.5% at the scales of a market.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+EARTH_RADIUS_KM = 6371.0088  # mean Earth radius
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A WGS84 latitude/longitude pair in degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return haversine_km(self, other)
+
+    def offset_km(self, north_km: float, east_km: float) -> "GeoPoint":
+        """Return a point displaced by the given kilometre offsets.
+
+        Uses the local flat-earth approximation, which is fine for the
+        tens-of-kilometres extents of a market.
+        """
+        dlat = north_km / 110.574
+        # Guard against the degenerate cos() at the poles.
+        cos_lat = max(math.cos(math.radians(self.lat)), 1e-9)
+        dlon = east_km / (111.320 * cos_lat)
+        lat = min(max(self.lat + dlat, -90.0), 90.0)
+        lon = ((self.lon + dlon + 180.0) % 360.0) - 180.0
+        return GeoPoint(lat, lon)
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points in kilometres."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))

@@ -1,0 +1,61 @@
+"""Typed identifiers for network entities.
+
+Using ``NewType``-style wrappers (implemented as small frozen dataclasses
+with a string form) keeps carrier / eNodeB / market ids from being mixed
+up in dictionaries and function signatures, which plain strings invite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class MarketId:
+    """Identifier of a market (a state-sized operational region)."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("market index must be non-negative")
+
+    def __str__(self) -> str:
+        return f"market-{self.index:02d}"
+
+
+@dataclass(frozen=True, order=True)
+class ENodeBId:
+    """Identifier of an eNodeB (base station) within a market."""
+
+    market: MarketId
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("eNodeB index must be non-negative")
+
+    def __str__(self) -> str:
+        return f"{self.market}/enb-{self.index:05d}"
+
+
+@dataclass(frozen=True, order=True)
+class CarrierId:
+    """Identifier of a carrier: an eNodeB face plus a slot on that face."""
+
+    enodeb: ENodeBId
+    face: int
+    slot: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.face <= 2:
+            raise ValueError("face must be 0, 1 or 2 (three faces per eNodeB)")
+        if self.slot < 0:
+            raise ValueError("carrier slot must be non-negative")
+
+    @property
+    def market(self) -> MarketId:
+        return self.enodeb.market
+
+    def __str__(self) -> str:
+        return f"{self.enodeb}/f{self.face}/c{self.slot}"

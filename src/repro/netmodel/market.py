@@ -1,0 +1,57 @@
+"""Market model.
+
+A market is a collection of carriers managed by one group of engineers —
+think of it as a US state (section 2.6).  The paper divides its 400K+
+carriers into 28 markets; market-local engineering practice is precisely
+what makes parameter values vary geographically and what the local
+learner exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.netmodel.carrier import Carrier
+from repro.netmodel.enodeb import ENodeB
+from repro.netmodel.geo import GeoPoint
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.types import Timezone
+
+
+@dataclass
+class Market:
+    """One operational market: a named region containing eNodeBs."""
+
+    market_id: MarketId
+    name: str
+    timezone: Timezone
+    center: GeoPoint
+    enodebs: List[ENodeB] = field(default_factory=list)
+
+    def add_enodeb(self, enodeb: ENodeB) -> None:
+        if enodeb.market != self.market_id:
+            raise ValueError(
+                f"eNodeB {enodeb.enodeb_id} belongs to market "
+                f"{enodeb.market}, not {self.market_id}"
+            )
+        self.enodebs.append(enodeb)
+
+    def carriers(self) -> Iterator[Carrier]:
+        for enodeb in self.enodebs:
+            yield from enodeb.carriers()
+
+    def carrier_count(self) -> int:
+        return sum(e.carrier_count() for e in self.enodebs)
+
+    def enodeb_count(self) -> int:
+        return len(self.enodebs)
+
+    def enodebs_by_id(self) -> Dict[ENodeBId, ENodeB]:
+        return {e.enodeb_id: e for e in self.enodebs}
+
+    def carriers_by_id(self) -> Dict[CarrierId, Carrier]:
+        return {c.carrier_id: c for c in self.carriers()}
+
+    def __str__(self) -> str:
+        return f"{self.market_id} ({self.name}, {self.timezone.value})"

@@ -1,0 +1,109 @@
+"""The Network container: markets, eNodeBs, carriers and X2 topology.
+
+This is the top-level object the rest of the library consumes.  It gives
+O(1) lookup of carriers / eNodeBs / markets by id, iteration in a stable
+order, and holds the X2 graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.exceptions import UnknownCarrierError, UnknownMarketError
+from repro.netmodel.carrier import Carrier
+from repro.netmodel.enodeb import ENodeB
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.netmodel.market import Market
+from repro.netmodel.topology import X2Graph
+
+
+@dataclass
+class Network:
+    """A cellular network snapshot."""
+
+    markets: List[Market] = field(default_factory=list)
+    x2: X2Graph = field(default_factory=X2Graph)
+    _carrier_index: Dict[CarrierId, Carrier] = field(default_factory=dict, repr=False)
+    _enodeb_index: Dict[ENodeBId, ENodeB] = field(default_factory=dict, repr=False)
+    _market_index: Dict[MarketId, Market] = field(default_factory=dict, repr=False)
+
+    def add_market(self, market: Market) -> None:
+        if market.market_id in self._market_index:
+            raise ValueError(f"duplicate market {market.market_id}")
+        self.markets.append(market)
+        self._market_index[market.market_id] = market
+        for enodeb in market.enodebs:
+            self._register_enodeb(enodeb)
+
+    def _register_enodeb(self, enodeb: ENodeB) -> None:
+        if enodeb.enodeb_id in self._enodeb_index:
+            raise ValueError(f"duplicate eNodeB {enodeb.enodeb_id}")
+        self._enodeb_index[enodeb.enodeb_id] = enodeb
+        for carrier in enodeb.carriers():
+            if carrier.carrier_id in self._carrier_index:
+                raise ValueError(f"duplicate carrier {carrier.carrier_id}")
+            self._carrier_index[carrier.carrier_id] = carrier
+
+    # -- lookups ----------------------------------------------------------
+
+    def market(self, market_id: MarketId) -> Market:
+        try:
+            return self._market_index[market_id]
+        except KeyError:
+            raise UnknownMarketError(str(market_id)) from None
+
+    def enodeb(self, enodeb_id: ENodeBId) -> ENodeB:
+        try:
+            return self._enodeb_index[enodeb_id]
+        except KeyError:
+            raise UnknownCarrierError(str(enodeb_id)) from None
+
+    def carrier(self, carrier_id: CarrierId) -> Carrier:
+        try:
+            return self._carrier_index[carrier_id]
+        except KeyError:
+            raise UnknownCarrierError(str(carrier_id)) from None
+
+    def has_carrier(self, carrier_id: CarrierId) -> bool:
+        return carrier_id in self._carrier_index
+
+    # -- iteration --------------------------------------------------------
+
+    def carriers(self, market_id: Optional[MarketId] = None) -> Iterator[Carrier]:
+        if market_id is not None:
+            yield from self.market(market_id).carriers()
+            return
+        for market in self.markets:
+            yield from market.carriers()
+
+    def enodebs(self, market_id: Optional[MarketId] = None) -> Iterator[ENodeB]:
+        markets = [self.market(market_id)] if market_id is not None else self.markets
+        for market in markets:
+            yield from market.enodebs
+
+    # -- counts -----------------------------------------------------------
+
+    def carrier_count(self, market_id: Optional[MarketId] = None) -> int:
+        if market_id is not None:
+            return self.market(market_id).carrier_count()
+        return len(self._carrier_index)
+
+    def enodeb_count(self, market_id: Optional[MarketId] = None) -> int:
+        if market_id is not None:
+            return self.market(market_id).enodeb_count()
+        return len(self._enodeb_index)
+
+    def market_count(self) -> int:
+        return len(self.markets)
+
+    def market_ids(self) -> List[MarketId]:
+        return [m.market_id for m in self.markets]
+
+    def summary(self) -> str:
+        """One-line human-readable description of the network size."""
+        return (
+            f"Network({self.market_count()} markets, "
+            f"{self.enodeb_count()} eNodeBs, {self.carrier_count()} carriers, "
+            f"{self.x2.carrier_relation_count()} X2 carrier relations)"
+        )

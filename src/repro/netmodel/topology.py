@@ -1,0 +1,209 @@
+"""X2 neighbor topology.
+
+Between two eNodeBs, the X2 interface carries handover control and data
+traffic (section 2.1).  Auric uses X2 neighbor relations as its proximity
+oracle: the *local learner* restricts the carriers used for voting to the
+1-hop X2 neighborhood of the new carrier (section 3.3).
+
+In production the X2 relations are measured; here they are derived from
+eNodeB geometry: each eNodeB is X2-adjacent to its nearest eNodeBs within
+a radius.  Carrier-level neighbor relations (needed both for pair-wise
+handover parameters and for proximity scoping) are then induced:
+
+* carriers on the *same* eNodeB are neighbors when they share a face
+  (inter-frequency overlay cells) or a frequency (inter-face handover),
+* carriers on X2-adjacent eNodeBs are neighbors when they share both the
+  carrier frequency and the face index (intra-frequency handover
+  relations dominate the pair-wise parameter set; the face restriction
+  stands in for the azimuth alignment real ANR would measure).
+
+A simple uniform-grid spatial index keeps construction near-linear in
+the number of eNodeBs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.netmodel.carrier import Carrier
+from repro.netmodel.enodeb import ENodeB
+from repro.netmodel.geo import GeoPoint, haversine_km
+from repro.netmodel.identifiers import CarrierId, ENodeBId
+
+DEFAULT_X2_RADIUS_KM = 5.0
+DEFAULT_MAX_X2_DEGREE = 6
+
+
+class X2Graph:
+    """The X2 neighbor relations at eNodeB and carrier granularity."""
+
+    def __init__(self) -> None:
+        self.enodeb_graph: "nx.Graph" = nx.Graph()
+        self.carrier_graph: "nx.Graph" = nx.Graph()
+
+    # -- construction -----------------------------------------------------
+
+    def add_enodeb(self, enodeb_id: ENodeBId) -> None:
+        self.enodeb_graph.add_node(enodeb_id)
+
+    def add_carrier(self, carrier_id: CarrierId) -> None:
+        self.carrier_graph.add_node(carrier_id)
+
+    def add_enodeb_relation(self, a: ENodeBId, b: ENodeBId) -> None:
+        if a == b:
+            raise ValueError("an eNodeB cannot be its own X2 neighbor")
+        self.enodeb_graph.add_edge(a, b)
+
+    def add_carrier_relation(self, a: CarrierId, b: CarrierId) -> None:
+        if a == b:
+            raise ValueError("a carrier cannot be its own neighbor")
+        self.carrier_graph.add_edge(a, b)
+
+    # -- queries ----------------------------------------------------------
+
+    def enodeb_neighbors(self, enodeb_id: ENodeBId) -> List[ENodeBId]:
+        if enodeb_id not in self.enodeb_graph:
+            return []
+        return sorted(self.enodeb_graph.neighbors(enodeb_id))
+
+    def carrier_neighbors(self, carrier_id: CarrierId) -> List[CarrierId]:
+        """The 1-hop carrier neighborhood used by the local learner."""
+        if carrier_id not in self.carrier_graph:
+            return []
+        return sorted(self.carrier_graph.neighbors(carrier_id))
+
+    def carrier_neighborhood(self, carrier_id: CarrierId, hops: int = 1) -> Set[CarrierId]:
+        """Carriers within ``hops`` X2 hops of ``carrier_id`` (excluded itself)."""
+        if hops < 1:
+            raise ValueError("hops must be >= 1")
+        if carrier_id not in self.carrier_graph:
+            return set()
+        frontier = {carrier_id}
+        seen = {carrier_id}
+        for _ in range(hops):
+            frontier = {
+                n for c in frontier for n in self.carrier_graph.neighbors(c)
+            } - seen
+            if not frontier:
+                break
+            seen |= frontier
+        seen.discard(carrier_id)
+        return seen
+
+    def carrier_pairs(self) -> Iterable[Tuple[CarrierId, CarrierId]]:
+        """All carrier neighbor pairs (each unordered pair once)."""
+        return self.carrier_graph.edges()
+
+    def carrier_degree(self, carrier_id: CarrierId) -> int:
+        if carrier_id not in self.carrier_graph:
+            return 0
+        return self.carrier_graph.degree(carrier_id)
+
+    def enodeb_count(self) -> int:
+        return self.enodeb_graph.number_of_nodes()
+
+    def carrier_relation_count(self) -> int:
+        return self.carrier_graph.number_of_edges()
+
+
+class _GridIndex:
+    """Uniform lat/lon grid for near-linear radius queries."""
+
+    def __init__(self, cell_km: float):
+        self._cell_km = cell_km
+        self._cells: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        self._points: List[GeoPoint] = []
+
+    def _key(self, point: GeoPoint) -> Tuple[int, int]:
+        # ~111 km per degree of latitude; longitude compressed by cos(lat).
+        row = int(point.lat * 111.0 / self._cell_km)
+        col = int(point.lon * 111.0 * max(math.cos(math.radians(point.lat)), 1e-9)
+                  / self._cell_km)
+        return row, col
+
+    def insert(self, index: int, point: GeoPoint) -> None:
+        if index != len(self._points):
+            raise ValueError("points must be inserted in index order")
+        self._points.append(point)
+        self._cells[self._key(point)].append(index)
+
+    def within(self, point: GeoPoint, radius_km: float) -> List[int]:
+        """Indices of points within ``radius_km`` of ``point``."""
+        row, col = self._key(point)
+        reach = int(math.ceil(radius_km / self._cell_km)) + 1
+        hits: List[int] = []
+        for dr in range(-reach, reach + 1):
+            for dc in range(-reach, reach + 1):
+                for idx in self._cells.get((row + dr, col + dc), ()):
+                    if haversine_km(point, self._points[idx]) <= radius_km:
+                        hits.append(idx)
+        return hits
+
+
+def build_x2_graph(
+    enodebs: Sequence[ENodeB],
+    radius_km: float = DEFAULT_X2_RADIUS_KM,
+    max_degree: int = DEFAULT_MAX_X2_DEGREE,
+) -> X2Graph:
+    """Derive X2 adjacency from eNodeB geometry.
+
+    Each eNodeB is connected to its ``max_degree`` nearest eNodeBs within
+    ``radius_km``.  Carrier relations are induced as described in the
+    module docstring.
+    """
+    if radius_km <= 0:
+        raise ValueError("radius_km must be positive")
+    if max_degree < 1:
+        raise ValueError("max_degree must be >= 1")
+
+    graph = X2Graph()
+    index = _GridIndex(cell_km=max(radius_km, 0.5))
+    for i, enodeb in enumerate(enodebs):
+        index.insert(i, enodeb.location)
+        graph.add_enodeb(enodeb.enodeb_id)
+        for carrier in enodeb.carriers():
+            graph.add_carrier(carrier.carrier_id)
+
+    # eNodeB adjacency: k nearest within radius.
+    for i, enodeb in enumerate(enodebs):
+        candidates = [
+            (haversine_km(enodeb.location, enodebs[j].location), j)
+            for j in index.within(enodeb.location, radius_km)
+            if j != i
+        ]
+        candidates.sort()
+        for _, j in candidates[:max_degree]:
+            graph.add_enodeb_relation(enodeb.enodeb_id, enodebs[j].enodeb_id)
+
+    # Carrier adjacency.
+    by_id: Dict[ENodeBId, ENodeB] = {e.enodeb_id: e for e in enodebs}
+    for enodeb in enodebs:
+        carriers = list(enodeb.carriers())
+        # Co-eNodeB: same face (overlay cells) or same frequency (faces).
+        for a in range(len(carriers)):
+            for b in range(a + 1, len(carriers)):
+                ca, cb = carriers[a], carriers[b]
+                if (
+                    ca.carrier_id.face == cb.carrier_id.face
+                    or ca.frequency_mhz == cb.frequency_mhz
+                ):
+                    graph.add_carrier_relation(ca.carrier_id, cb.carrier_id)
+        # Cross-eNodeB: same frequency and same face index.
+        for neighbor_id in graph.enodeb_neighbors(enodeb.enodeb_id):
+            if neighbor_id <= enodeb.enodeb_id:
+                continue  # handle each eNodeB pair once
+            neighbor = by_id[neighbor_id]
+            for mine in carriers:
+                for theirs in neighbor.carriers():
+                    if (
+                        mine.frequency_mhz == theirs.frequency_mhz
+                        and mine.carrier_id.face == theirs.carrier_id.face
+                    ):
+                        graph.add_carrier_relation(
+                            mine.carrier_id, theirs.carrier_id
+                        )
+    return graph

@@ -1,0 +1,53 @@
+"""Operational layer: SmartLaunch, the push controller and the EMS.
+
+Models the production integration of section 5 of the paper: Auric's
+recommendations are diffed against the vendor's initial configuration,
+validated (optionally) by an engineer, rendered through the vendor
+template, and pushed through the element management system into the
+base station — all *before* the carrier is unlocked, because changing
+some parameters on a live carrier requires a service-disrupting lock.
+"""
+
+from repro.ops.controller import ConfigPushController, PushOutcome, PushResult
+from repro.ops.ems import ElementManagementSystem, EMSConfig
+from repro.ops.monitoring import KPIMonitor, KPIReport, SimulationKPIMonitor
+from repro.ops.history import ChangeLog, ChangeRecord, ChangeSource
+from repro.ops.prechecks import PrecheckResult, run_prechecks
+from repro.ops.son import (
+    ComplianceReport,
+    ComplianceViolation,
+    SONComplianceChecker,
+    ViolationKind,
+)
+from repro.ops.smartlaunch import (
+    LaunchOutcome,
+    LaunchRecord,
+    LaunchStats,
+    SmartLaunch,
+    SmartLaunchConfig,
+)
+
+__all__ = [
+    "ConfigPushController",
+    "PushOutcome",
+    "PushResult",
+    "ElementManagementSystem",
+    "EMSConfig",
+    "KPIMonitor",
+    "KPIReport",
+    "SimulationKPIMonitor",
+    "ComplianceReport",
+    "ComplianceViolation",
+    "SONComplianceChecker",
+    "ViolationKind",
+    "ChangeLog",
+    "ChangeRecord",
+    "ChangeSource",
+    "PrecheckResult",
+    "run_prechecks",
+    "LaunchOutcome",
+    "LaunchRecord",
+    "LaunchStats",
+    "SmartLaunch",
+    "SmartLaunchConfig",
+]

@@ -1,0 +1,116 @@
+"""Element management system (EMS) simulator.
+
+The EMS is the vendor-provided interface through which configuration
+reaches the base station hardware (section 5).  Two of its production
+behaviours matter for reproducing Table 5:
+
+* configuration changes to lock-required parameters are rejected on an
+  unlocked (live) carrier — the controller's conservative policy is to
+  skip such carriers rather than disrupt service, and
+* large change batches can time out: the paper reports fall-outs from
+  "EMS restrictions [that] limited us in how many concurrent executions
+  of parameters were supported".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.config.store import ConfigurationStore
+from repro.config.templates import parse_config_file
+from repro.exceptions import CarrierLockedError, EMSTimeoutError
+from repro.netmodel.identifiers import CarrierId
+from repro.netmodel.network import Network
+from repro.rng import derive
+from repro.types import ParameterValue
+
+
+@dataclass(frozen=True)
+class EMSConfig:
+    """EMS behaviour knobs."""
+
+    #: Batches larger than this always time out (hard vendor limit).
+    max_batch_size: int = 120
+    #: Baseline probability that any push batch times out.
+    base_timeout_rate: float = 0.01
+    #: Additional timeout probability per parameter in the batch.
+    per_parameter_timeout_rate: float = 0.0005
+    seed: int = 99
+
+
+class ElementManagementSystem:
+    """Applies configuration files to carriers, enforcing lock rules."""
+
+    def __init__(
+        self,
+        network: Network,
+        store: ConfigurationStore,
+        config: Optional[EMSConfig] = None,
+    ) -> None:
+        self.network = network
+        self.store = store
+        self.config = config or EMSConfig()
+        self._rng = derive(self.config.seed, "ems")
+        self.pushed_batches = 0
+        self.pushed_parameters = 0
+        self.timeouts = 0
+
+    # -- lock management ---------------------------------------------------
+
+    def lock_carrier(self, carrier_id: CarrierId) -> None:
+        """Take a carrier off-air (reboot-equivalent)."""
+        self.network.carrier(carrier_id).lock()
+
+    def unlock_carrier(self, carrier_id: CarrierId) -> None:
+        """Put a carrier in service."""
+        self.network.carrier(carrier_id).unlock()
+
+    def is_locked(self, carrier_id: CarrierId) -> bool:
+        return self.network.carrier(carrier_id).locked
+
+    # -- configuration push --------------------------------------------------
+
+    def apply_config_file(self, carrier_id: CarrierId, config_file: str) -> int:
+        """Parse and apply a rendered config file to a locked carrier.
+
+        Returns the number of parameters applied.  Raises
+        :class:`CarrierLockedError` if the carrier is live and
+        :class:`EMSTimeoutError` on a (size-dependent) timeout.
+        """
+        values = parse_config_file(config_file)
+        return self.apply_values(carrier_id, values)
+
+    def apply_values(
+        self, carrier_id: CarrierId, values: Mapping[str, ParameterValue]
+    ) -> int:
+        if not self.is_locked(carrier_id):
+            raise CarrierLockedError(
+                f"{carrier_id} is unlocked (live); refusing a disruptive change"
+            )
+        batch_size = len(values)
+        if batch_size == 0:
+            return 0
+        timeout_probability = (
+            self.config.base_timeout_rate
+            + self.config.per_parameter_timeout_rate * batch_size
+        )
+        if batch_size > self.config.max_batch_size or (
+            self._rng.random() < timeout_probability
+        ):
+            self.timeouts += 1
+            raise EMSTimeoutError(
+                f"EMS timed out applying {batch_size} parameters to {carrier_id}"
+            )
+        applied = 0
+        for name, value in values.items():
+            spec = self.store.catalog.spec(name)
+            if spec.is_pairwise:
+                continue  # pair-wise pushes go through apply_pairwise
+            self.store.set_singular(carrier_id, name, value)
+            applied += 1
+        self.pushed_batches += 1
+        self.pushed_parameters += applied
+        return applied

@@ -1,0 +1,53 @@
+"""Launch pre-checks.
+
+Before pushing configuration and unlocking a new carrier, SmartLaunch
+verifies the preconditions the paper lists: the carrier must still be
+locked (engineers sometimes unlock prematurely through off-band
+interfaces — the first fall-out cause of Table 5), its eNodeB must be
+reachable, and the attribute record must be complete enough for
+recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.netmodel.attributes import ATTRIBUTE_SCHEMA
+from repro.netmodel.identifiers import CarrierId
+from repro.netmodel.network import Network
+
+
+@dataclass
+class PrecheckResult:
+    """Outcome of the pre-checks for one carrier."""
+
+    carrier_id: CarrierId
+    passed: bool
+    failures: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        if self.passed:
+            return f"{self.carrier_id}: prechecks passed"
+        return f"{self.carrier_id}: prechecks FAILED ({'; '.join(self.failures)})"
+
+
+def run_prechecks(network: Network, carrier_id: CarrierId) -> PrecheckResult:
+    """Run all pre-checks for one carrier about to be configured."""
+    failures: List[str] = []
+    carrier = network.carrier(carrier_id)
+    if not carrier.locked:
+        failures.append("carrier is already unlocked (premature off-band unlock)")
+    missing = [
+        name for name in ATTRIBUTE_SCHEMA.names if carrier.attributes.get(name) is None
+    ]
+    if missing:
+        failures.append(f"attribute record incomplete: {missing}")
+    if not network.x2.carrier_neighbors(carrier_id):
+        # A brand-new carrier may legitimately have no measured X2
+        # relations yet; flag it as a warning-grade failure only if it
+        # also has no co-sited carriers to vote with.
+        enodeb = network.enodeb(carrier.enodeb)
+        if enodeb.carrier_count() <= 1:
+            failures.append("no neighbor relations and no co-sited carriers")
+    return PrecheckResult(carrier_id, passed=not failures, failures=failures)

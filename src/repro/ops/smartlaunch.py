@@ -1,0 +1,236 @@
+"""SmartLaunch: the automated carrier-launch workflow.
+
+The production workflow of section 5: vendors physically integrate a new
+carrier and set its initial software configuration; SmartLaunch then
+runs pre-checks, generates Auric's recommendation, pushes only the
+mismatches through the EMS *while the carrier is still locked*, unlocks
+the carrier, and monitors alarms/KPIs as post-checks (rolling back on
+degradation).
+
+The two fall-out causes the paper reports are both modelled:
+
+* **premature unlock** — an engineer unlocks the carrier through an
+  off-band interface between the recommendation and the push, so the
+  conservative controller skips it, and
+* **EMS timeout** — large parameter batches exceed what the EMS can
+  execute concurrently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.recommendation import CarrierRecommendation
+from repro.netmodel.identifiers import CarrierId
+from repro.ops.controller import ConfigPushController, PushOutcome, PushResult
+from repro.ops.monitoring import KPIMonitor
+from repro.ops.prechecks import run_prechecks
+from repro.rng import derive
+from repro.types import ParameterValue
+
+
+class LaunchOutcome(enum.Enum):
+    """Final status of one carrier launch."""
+
+    LAUNCHED_NO_CHANGES = "launched-no-changes"
+    LAUNCHED_WITH_CHANGES = "launched-with-changes"
+    FALLOUT_PREMATURE_UNLOCK = "fallout-premature-unlock"
+    FALLOUT_EMS_TIMEOUT = "fallout-ems-timeout"
+    FALLOUT_PRECHECK = "fallout-precheck"
+    ROLLED_BACK = "rolled-back"
+
+
+#: Outcomes counted as fall-outs in Table 5.
+FALLOUT_OUTCOMES = frozenset(
+    {
+        LaunchOutcome.FALLOUT_PREMATURE_UNLOCK,
+        LaunchOutcome.FALLOUT_EMS_TIMEOUT,
+        LaunchOutcome.FALLOUT_PRECHECK,
+    }
+)
+
+
+@dataclass(frozen=True)
+class SmartLaunchConfig:
+    """Workflow behaviour knobs."""
+
+    #: Probability an engineer unlocks the carrier off-band before the
+    #: controller's push lands.
+    premature_unlock_rate: float = 0.10
+    seed: int = 314
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.premature_unlock_rate <= 1.0:
+            raise ValueError("premature_unlock_rate must be in [0, 1]")
+
+
+@dataclass
+class LaunchRecord:
+    """Everything that happened for one launch."""
+
+    carrier_id: CarrierId
+    outcome: LaunchOutcome
+    changes_recommended: int
+    parameters_pushed: int
+    push_result: Optional[PushResult] = None
+
+
+@dataclass
+class LaunchStats:
+    """Aggregate over a launch campaign — the Table 5 rows."""
+
+    records: List[LaunchRecord] = field(default_factory=list)
+
+    def add(self, record: LaunchRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def launched(self) -> int:
+        return len(self.records)
+
+    @property
+    def changes_recommended(self) -> int:
+        """Carriers for which Auric recommended at least one change."""
+        return sum(1 for r in self.records if r.changes_recommended > 0)
+
+    @property
+    def changes_implemented(self) -> int:
+        """Carriers whose changes were successfully pushed."""
+        return sum(
+            1 for r in self.records if r.outcome is LaunchOutcome.LAUNCHED_WITH_CHANGES
+        )
+
+    @property
+    def parameters_changed(self) -> int:
+        return sum(r.parameters_pushed for r in self.records)
+
+    @property
+    def fallouts(self) -> int:
+        return sum(1 for r in self.records if r.outcome in FALLOUT_OUTCOMES)
+
+    @property
+    def rollbacks(self) -> int:
+        return sum(1 for r in self.records if r.outcome is LaunchOutcome.ROLLED_BACK)
+
+    def outcome_counts(self) -> Dict[LaunchOutcome, int]:
+        counts: Dict[LaunchOutcome, int] = {o: 0 for o in LaunchOutcome}
+        for record in self.records:
+            counts[record.outcome] += 1
+        return counts
+
+    def table5_rows(self) -> List[tuple]:
+        """(label, count, percent-of-launches) rows, Table 5 layout."""
+        n = max(self.launched, 1)
+        return [
+            ("New carriers launched", self.launched, 100.0),
+            (
+                "Changes recommended by Auric",
+                self.changes_recommended,
+                100.0 * self.changes_recommended / n,
+            ),
+            (
+                "Changes implemented successfully",
+                self.changes_implemented,
+                100.0 * self.changes_implemented / n,
+            ),
+        ]
+
+
+class SmartLaunch:
+    """The launch workflow orchestrator."""
+
+    def __init__(
+        self,
+        controller: ConfigPushController,
+        monitor: KPIMonitor,
+        config: Optional[SmartLaunchConfig] = None,
+    ) -> None:
+        self.controller = controller
+        self.monitor = monitor
+        self.config = config or SmartLaunchConfig()
+        self._rng = derive(self.config.seed, "smartlaunch")
+
+    def launch(
+        self,
+        carrier_id: CarrierId,
+        vendor_config: Dict[str, ParameterValue],
+        recommendation: CarrierRecommendation,
+    ) -> LaunchRecord:
+        """Run the full workflow for one new carrier.
+
+        ``vendor_config`` is the initial configuration the integration
+        vendor set; the controller pushes only Auric's confident
+        mismatches against it.
+        """
+        ems = self.controller.ems
+        network = ems.network
+        ems.lock_carrier(carrier_id)  # new carriers arrive locked
+
+        precheck = run_prechecks(network, carrier_id)
+        diff = self.controller.plan(carrier_id, vendor_config, recommendation)
+        changes_recommended = len(diff)
+        if not precheck.passed:
+            ems.unlock_carrier(carrier_id)
+            return LaunchRecord(
+                carrier_id, LaunchOutcome.FALLOUT_PRECHECK, changes_recommended, 0
+            )
+
+        # An engineer may unlock the carrier off-band before our push.
+        if (
+            changes_recommended > 0
+            and self._rng.random() < self.config.premature_unlock_rate
+        ):
+            ems.unlock_carrier(carrier_id)
+
+        self.monitor.snapshot(carrier_id)
+        push = self.controller.push(carrier_id, vendor_config, recommendation)
+        ems.unlock_carrier(carrier_id)
+
+        if push.outcome is PushOutcome.SKIPPED_UNLOCKED:
+            return LaunchRecord(
+                carrier_id,
+                LaunchOutcome.FALLOUT_PREMATURE_UNLOCK,
+                changes_recommended,
+                0,
+                push,
+            )
+        if push.outcome is PushOutcome.EMS_TIMEOUT:
+            return LaunchRecord(
+                carrier_id,
+                LaunchOutcome.FALLOUT_EMS_TIMEOUT,
+                changes_recommended,
+                0,
+                push,
+            )
+
+        changed = push.outcome is PushOutcome.PUSHED
+        report = self.monitor.observe(carrier_id, changed=changed)
+        if changed and not report.healthy:
+            self.monitor.rollback(carrier_id)
+            return LaunchRecord(
+                carrier_id,
+                LaunchOutcome.ROLLED_BACK,
+                changes_recommended,
+                push.parameters_pushed,
+                push,
+            )
+        outcome = (
+            LaunchOutcome.LAUNCHED_WITH_CHANGES
+            if changed
+            else LaunchOutcome.LAUNCHED_NO_CHANGES
+        )
+        return LaunchRecord(
+            carrier_id, outcome, changes_recommended, push.parameters_pushed, push
+        )
+
+    def run_campaign(
+        self,
+        launches: Iterable[tuple],
+    ) -> LaunchStats:
+        """Launch a sequence of (carrier_id, vendor_config, recommendation)."""
+        stats = LaunchStats()
+        for carrier_id, vendor_config, recommendation in launches:
+            stats.add(self.launch(carrier_id, vendor_config, recommendation))
+        return stats

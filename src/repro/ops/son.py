@@ -1,0 +1,161 @@
+"""SON-style rule-book compliance auditing.
+
+Section 2.4: "even with SON, the rule-books are created and maintained
+using domain knowledge.  When new carriers are integrated, SON only
+ensures the configured values are compliant with the rulebook ...  SON
+is still unable to determine an appropriate value in case a parameter
+has a range to choose from."
+
+This module is that compliance layer: it verifies every configured
+value against the catalog's legal domain and, where a rule-book entry
+pins a value, against the book — and reports the violations, exactly
+the capability (and the limitation) the paper contrasts Auric with.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.config.rulebook import RuleBook
+from repro.config.store import ConfigurationStore
+from repro.netmodel.identifiers import CarrierId
+from repro.netmodel.network import Network
+from repro.types import ParameterValue
+
+
+class ViolationKind(enum.Enum):
+    """What a compliance finding means."""
+
+    OUT_OF_DOMAIN = "out-of-domain"
+    RULEBOOK_DEVIATION = "rulebook-deviation"
+    MISSING_VALUE = "missing-value"
+
+
+@dataclass(frozen=True)
+class ComplianceViolation:
+    carrier_id: CarrierId
+    parameter: str
+    kind: ViolationKind
+    current: Optional[ParameterValue]
+    expected: Optional[ParameterValue] = None
+
+    def __str__(self) -> str:
+        if self.kind is ViolationKind.RULEBOOK_DEVIATION:
+            return (
+                f"{self.carrier_id} {self.parameter}: {self.current!r} "
+                f"deviates from rule-book value {self.expected!r}"
+            )
+        if self.kind is ViolationKind.MISSING_VALUE:
+            return f"{self.carrier_id} {self.parameter}: not configured"
+        return f"{self.carrier_id} {self.parameter}: {self.current!r} out of domain"
+
+
+@dataclass
+class ComplianceReport:
+    """The audit result for a set of carriers."""
+
+    carriers_audited: int
+    values_audited: int
+    violations: List[ComplianceViolation] = field(default_factory=list)
+
+    @property
+    def compliant(self) -> bool:
+        return not self.violations
+
+    def by_kind(self) -> Dict[ViolationKind, int]:
+        counts = {kind: 0 for kind in ViolationKind}
+        for violation in self.violations:
+            counts[violation.kind] += 1
+        return counts
+
+    def summary(self) -> str:
+        counts = self.by_kind()
+        return (
+            f"audited {self.values_audited} values on "
+            f"{self.carriers_audited} carriers: "
+            f"{len(self.violations)} violations ("
+            f"{counts[ViolationKind.OUT_OF_DOMAIN]} out-of-domain, "
+            f"{counts[ViolationKind.RULEBOOK_DEVIATION]} rule-book deviations, "
+            f"{counts[ViolationKind.MISSING_VALUE]} missing)"
+        )
+
+
+class SONComplianceChecker:
+    """Audits carrier configuration against the catalog and a rule-book.
+
+    Like production SON, it verifies but does not recommend: a range
+    parameter whose value is legal passes even when a better value
+    exists — picking from the range is exactly what Auric adds.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        store: ConfigurationStore,
+        rulebook: Optional[RuleBook] = None,
+        required_parameters: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.network = network
+        self.store = store
+        self.rulebook = rulebook
+        self.required_parameters = (
+            list(required_parameters) if required_parameters is not None else None
+        )
+
+    def audit_carrier(self, carrier_id: CarrierId) -> List[ComplianceViolation]:
+        carrier = self.network.carrier(carrier_id)
+        configured = self.store.carrier_config(carrier_id)
+        violations: List[ComplianceViolation] = []
+
+        for name, value in configured.items():
+            spec = self.store.catalog.spec(name)
+            if not spec.contains(value):
+                violations.append(
+                    ComplianceViolation(
+                        carrier_id, name, ViolationKind.OUT_OF_DOMAIN, value
+                    )
+                )
+                continue
+            if self.rulebook is not None and not spec.is_range:
+                # Enumeration parameters are fully pinned by the book.
+                expected = self.rulebook.lookup(name, carrier.attributes)
+                if expected is not None and expected != value:
+                    violations.append(
+                        ComplianceViolation(
+                            carrier_id,
+                            name,
+                            ViolationKind.RULEBOOK_DEVIATION,
+                            value,
+                            expected,
+                        )
+                    )
+
+        if self.required_parameters is not None:
+            for name in self.required_parameters:
+                if name not in configured:
+                    violations.append(
+                        ComplianceViolation(
+                            carrier_id, name, ViolationKind.MISSING_VALUE, None
+                        )
+                    )
+        return violations
+
+    def audit(
+        self, carrier_ids: Optional[Iterable[CarrierId]] = None
+    ) -> ComplianceReport:
+        """Audit the given carriers (default: every carrier)."""
+        if carrier_ids is None:
+            carrier_ids = [c.carrier_id for c in self.network.carriers()]
+        carrier_ids = list(carrier_ids)
+        violations: List[ComplianceViolation] = []
+        values = 0
+        for carrier_id in carrier_ids:
+            values += len(self.store.carrier_config(carrier_id))
+            violations.extend(self.audit_carrier(carrier_id))
+        return ComplianceReport(
+            carriers_audited=len(carrier_ids),
+            values_audited=values,
+            violations=violations,
+        )

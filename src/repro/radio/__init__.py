@@ -1,0 +1,45 @@
+"""Radio-layer simulation substrate.
+
+Section 2.1 of the paper describes what the configuration *does*: users
+connect to carriers by signal level (``qrxlevmin``), are steered
+high-band-first (*carrier layer management*, ``cellReselectionPriority``
+/ ``sFreqPrio``), spill to lower bands as capacity thresholds trip
+(``admissionThreshold``, ``maxNumRrcConnections``) and are shifted
+between carriers by inter-frequency load balancing
+(``actInterFreqLB`` / ``lbCapacityThreshold``).
+
+This package simulates that behaviour so configuration has observable
+consequences: KPIs (throughput, drop rate, admission rate) emerge from
+user placement + the configured values, which gives SmartLaunch's
+post-checks and the performance-feedback extension a physical basis
+instead of a coin flip.
+"""
+
+from repro.radio.kpi import CarrierKPI, network_kpis
+from repro.radio.mobility import (
+    HandoverEvent,
+    MobilitySimulator,
+    WalkResult,
+    straight_path,
+)
+from repro.radio.selection import CandidateEvaluation, select_carrier
+from repro.radio.signal import received_power_dbm, path_loss_db
+from repro.radio.simulator import RadioSimulator, SimulationReport
+from repro.radio.users import UserEquipment, place_users
+
+__all__ = [
+    "CarrierKPI",
+    "network_kpis",
+    "HandoverEvent",
+    "MobilitySimulator",
+    "WalkResult",
+    "straight_path",
+    "CandidateEvaluation",
+    "select_carrier",
+    "received_power_dbm",
+    "path_loss_db",
+    "RadioSimulator",
+    "SimulationReport",
+    "UserEquipment",
+    "place_users",
+]

@@ -1,0 +1,108 @@
+"""KPIs from a simulated assignment.
+
+The post-launch indicators the paper's engineers watch (section 4.3.3):
+data throughput, drops, and call admissions — here computed from the
+UE→carrier assignment the simulator produced under the configured
+parameter values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.config.store import ConfigurationStore
+from repro.netmodel.carrier import Carrier
+from repro.netmodel.identifiers import CarrierId
+from repro.radio.loadbalance import Assignment
+from repro.radio.users import UserEquipment
+
+#: Spectral efficiency in Mbps per MHz of bandwidth shared by the cell.
+_MBPS_PER_MHZ = 15.0
+
+
+@dataclass(frozen=True)
+class CarrierKPI:
+    """Post-launch KPIs for one carrier."""
+
+    carrier_id: CarrierId
+    connected_users: int
+    offered_users: int
+    mean_throughput_mbps: float
+    drop_rate: float
+    admission_rate: float
+
+    @property
+    def healthy(self) -> bool:
+        """The same health bar the operational monitor applies."""
+        if self.connected_users == 0:
+            return True  # an idle carrier is not degraded
+        return (
+            self.mean_throughput_mbps >= 3.0
+            and self.drop_rate <= 0.05
+            and self.admission_rate >= 0.9
+        )
+
+
+def carrier_kpi(
+    carrier: Carrier,
+    store: ConfigurationStore,
+    users: Mapping[int, UserEquipment],
+    assignment: Assignment,
+    offered: int,
+) -> CarrierKPI:
+    """KPIs for one carrier given the final assignment.
+
+    Throughput: the cell's capacity (bandwidth x spectral efficiency) is
+    shared across connected users, capped by each user's demand.  Drops:
+    demand beyond what the share can carry counts proportionally as
+    dropped traffic.  Admission rate: connected / offered.
+    """
+    members = assignment.users_by_carrier.get(carrier.carrier_id, [])
+    connected = len(members)
+    if connected == 0:
+        return CarrierKPI(carrier.carrier_id, 0, offered, 0.0, 0.0, 1.0)
+
+    bandwidth_mhz = float(carrier.attributes["channel_bandwidth"])
+    cell_mbps = bandwidth_mhz * _MBPS_PER_MHZ
+    fair_share = cell_mbps / connected
+    served: List[float] = []
+    dropped = 0.0
+    demanded = 0.0
+    for index in members:
+        demand = users[index].demand_mbps
+        got = min(demand, fair_share)
+        served.append(got)
+        demanded += demand
+        dropped += demand - got
+    admission = connected / offered if offered else 1.0
+    return CarrierKPI(
+        carrier_id=carrier.carrier_id,
+        connected_users=connected,
+        offered_users=offered,
+        mean_throughput_mbps=sum(served) / connected,
+        drop_rate=dropped / demanded if demanded else 0.0,
+        admission_rate=min(admission, 1.0),
+    )
+
+
+def network_kpis(
+    carriers: Sequence[Carrier],
+    store: ConfigurationStore,
+    users: Sequence[UserEquipment],
+    assignment: Assignment,
+    offered_by_carrier: Optional[Mapping[CarrierId, int]] = None,
+) -> Dict[CarrierId, CarrierKPI]:
+    """KPIs for every carrier in one pass."""
+    users_by_index = {u.index: u for u in users}
+    out: Dict[CarrierId, CarrierKPI] = {}
+    for carrier in carriers:
+        offered = (
+            offered_by_carrier.get(carrier.carrier_id, 0)
+            if offered_by_carrier is not None
+            else len(assignment.users_by_carrier.get(carrier.carrier_id, ()))
+        )
+        out[carrier.carrier_id] = carrier_kpi(
+            carrier, store, users_by_index, assignment, offered
+        )
+    return out

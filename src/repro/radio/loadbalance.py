@@ -1,0 +1,134 @@
+"""Inter-frequency load balancing (IFLB).
+
+Section 2.2: with ``actInterFreqLB`` active, the eNodeB measures
+per-carrier load and hands users over to under-utilized overlapping or
+neighboring carriers on other frequencies.  ``lbCapacityThreshold``
+(the paper's example range parameter) sets the utilization above which
+a carrier starts shedding load; ``lbCeiling`` caps how much a receiving
+carrier may be filled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.config.store import ConfigurationStore
+from repro.netmodel.carrier import Carrier
+from repro.netmodel.identifiers import CarrierId
+from repro.netmodel.network import Network
+from repro.radio.selection import practical_capacity
+from repro.radio.signal import received_power_dbm
+from repro.radio.users import UserEquipment
+
+_DEFAULT_LB_THRESHOLD = 80.0
+_DEFAULT_LB_CEILING = 90.0
+
+
+@dataclass
+class Assignment:
+    """The mutable UE → carrier assignment the balancer operates on."""
+
+    user_to_carrier: Dict[int, CarrierId] = field(default_factory=dict)
+    users_by_carrier: Dict[CarrierId, List[int]] = field(default_factory=dict)
+
+    def assign(self, user_index: int, carrier_id: CarrierId) -> None:
+        previous = self.user_to_carrier.get(user_index)
+        if previous is not None:
+            self.users_by_carrier[previous].remove(user_index)
+        self.user_to_carrier[user_index] = carrier_id
+        self.users_by_carrier.setdefault(carrier_id, []).append(user_index)
+
+    def load_of(self, carrier_id: CarrierId, capacity: int) -> float:
+        """Utilization in percent of connection capacity."""
+        if capacity <= 0:
+            return 100.0
+        count = len(self.users_by_carrier.get(carrier_id, ()))
+        return 100.0 * count / capacity
+
+
+def _iflb_active(store: ConfigurationStore, carrier: Carrier) -> bool:
+    value = store.carrier_config(carrier.carrier_id).get("actInterFreqLB")
+    return bool(value) if value is not None else True
+
+
+def rebalance(
+    network: Network,
+    store: ConfigurationStore,
+    users: Sequence[UserEquipment],
+    assignment: Assignment,
+    rounds: int = 2,
+) -> int:
+    """Run IFLB rounds over the current assignment.
+
+    Returns the number of users moved.  For each overloaded carrier
+    (load above its ``lbCapacityThreshold``) with IFLB active, users are
+    offered to X2-neighbor carriers on other frequencies that cover them
+    and sit below their ``lbCeiling``.
+    """
+    users_by_index = {u.index: u for u in users}
+    moved = 0
+    for _ in range(rounds):
+        moved_this_round = 0
+        for carrier_id, members in list(assignment.users_by_carrier.items()):
+            if not members:
+                continue
+            carrier = network.carrier(carrier_id)
+            if not _iflb_active(store, carrier):
+                continue
+            values = store.carrier_config(carrier_id)
+            threshold = float(
+                values.get("lbCapacityThreshold", _DEFAULT_LB_THRESHOLD)
+            )
+            capacity = practical_capacity(store, carrier)
+            if assignment.load_of(carrier_id, capacity) <= threshold:
+                continue
+
+            neighbors = [
+                network.carrier(n)
+                for n in network.x2.carrier_neighbors(carrier_id)
+            ]
+            targets = [
+                n for n in neighbors if n.frequency_mhz != carrier.frequency_mhz
+            ]
+            # Shed the most recently attached users first.
+            for user_index in list(reversed(members)):
+                if assignment.load_of(carrier_id, capacity) <= threshold:
+                    break
+                user = users_by_index[user_index]
+                destination = _best_target(user, targets, store, assignment)
+                if destination is None:
+                    continue
+                assignment.assign(user_index, destination.carrier_id)
+                moved_this_round += 1
+        moved += moved_this_round
+        if moved_this_round == 0:
+            break
+    return moved
+
+
+def _best_target(
+    user: UserEquipment,
+    targets: Sequence[Carrier],
+    store: ConfigurationStore,
+    assignment: Assignment,
+):
+    best = None
+    best_load = None
+    for target in targets:
+        values = store.carrier_config(target.carrier_id)
+        qrxlevmin = float(values.get("qrxlevmin", -120.0))
+        pmax = float(values.get("pMax", 30.0))
+        received = received_power_dbm(
+            pmax, target.band, user.location.distance_km(target.location)
+        )
+        if received < qrxlevmin:
+            continue
+        capacity = practical_capacity(store, target)
+        ceiling = float(values.get("lbCeiling", _DEFAULT_LB_CEILING))
+        load = assignment.load_of(target.carrier_id, capacity)
+        if load >= ceiling:
+            continue
+        if best_load is None or load < best_load:
+            best, best_load = target, load
+    return best

@@ -1,0 +1,240 @@
+"""User mobility and handover simulation.
+
+The 26 pair-wise parameters exist to manage handovers (section 4.1 of
+the paper: "these parameters are used to deal with user mobility and
+handovers across carriers").  This module gives them semantics: a UE
+walks a path; at each step the serving carrier's signal is compared
+against same-frequency neighbors using the LTE A3 event —
+
+    neighbor RSRP > serving RSRP + a3Offset + hysA3Offset
+                    - cellIndividualOffset(serving → neighbor)
+
+— and a handover fires once the condition holds for ``timeToTriggerA3``
+milliseconds.  Badly tuned pairs show up exactly as they do in real
+networks: zero hysteresis causes ping-pong, excessive hysteresis drags
+the UE into radio-link failure at the cell edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config.store import ConfigurationStore, PairKey
+from repro.netmodel.carrier import Carrier
+from repro.netmodel.geo import GeoPoint
+from repro.netmodel.identifiers import CarrierId
+from repro.netmodel.network import Network
+from repro.radio.signal import received_power_dbm
+
+#: Simulation step length in milliseconds (UE measurement period).
+STEP_MS = 100
+
+#: Defaults when a pair has no configured value (catalog mid-range-ish).
+_DEFAULT_A3_OFFSET = 2.0
+_DEFAULT_HYSTERESIS = 1.0
+_DEFAULT_TIME_TO_TRIGGER_MS = 160.0
+_DEFAULT_CIO = 0.0
+_DEFAULT_PMAX = 30.0
+_DEFAULT_QRXLEVMIN = -120.0
+
+#: A handover back to a carrier left less than this long ago (in steps)
+#: counts as a ping-pong.
+PING_PONG_WINDOW_STEPS = 30
+
+
+@dataclass(frozen=True)
+class HandoverEvent:
+    """One handover along a walk."""
+
+    step: int
+    source: CarrierId
+    target: CarrierId
+    ping_pong: bool
+
+
+@dataclass
+class WalkResult:
+    """Everything one simulated walk produced."""
+
+    steps: int
+    serving_history: List[Optional[CarrierId]]
+    handovers: List[HandoverEvent] = field(default_factory=list)
+    radio_link_failures: int = 0
+
+    @property
+    def handover_count(self) -> int:
+        return len(self.handovers)
+
+    @property
+    def ping_pong_count(self) -> int:
+        return sum(1 for h in self.handovers if h.ping_pong)
+
+    @property
+    def ping_pong_rate(self) -> float:
+        if not self.handovers:
+            return 0.0
+        return self.ping_pong_count / len(self.handovers)
+
+
+def straight_path(
+    start: GeoPoint, end: GeoPoint, steps: int
+) -> List[GeoPoint]:
+    """A constant-speed straight walk sampled at ``steps`` points."""
+    if steps < 2:
+        raise ValueError("a path needs at least 2 steps")
+    out = []
+    for i in range(steps):
+        t = i / (steps - 1)
+        out.append(
+            GeoPoint(
+                start.lat + (end.lat - start.lat) * t,
+                start.lon + (end.lon - start.lon) * t,
+            )
+        )
+    return out
+
+
+class MobilitySimulator:
+    """Walks a UE through the network and applies A3 handover logic."""
+
+    def __init__(
+        self,
+        network: Network,
+        store: ConfigurationStore,
+        carriers: Optional[Sequence[Carrier]] = None,
+    ) -> None:
+        self.network = network
+        self.store = store
+        self._carriers = (
+            list(carriers)
+            if carriers is not None
+            else list(network.carriers())
+        )
+        #: Measurement scope: a UE only evaluates carriers in the
+        #: simulated set (all of them by default).
+        self._carrier_ids = {c.carrier_id for c in self._carriers}
+
+    # -- configuration lookups ---------------------------------------------
+
+    def _pair_value(
+        self, serving: CarrierId, neighbor: CarrierId, name: str, default: float
+    ) -> float:
+        value = self.store.get_pairwise(PairKey(serving, neighbor), name)
+        return float(value) if value is not None else default
+
+    def _carrier_value(self, carrier_id: CarrierId, name: str, default: float) -> float:
+        value = self.store.get_singular(carrier_id, name)
+        return float(value) if value is not None else default
+
+    def _rsrp(self, carrier: Carrier, location: GeoPoint) -> float:
+        pmax = self._carrier_value(carrier.carrier_id, "pMax", _DEFAULT_PMAX)
+        return received_power_dbm(
+            pmax, carrier.band, location.distance_km(carrier.location)
+        )
+
+    # -- walk ---------------------------------------------------------------
+
+    def _initial_carrier(self, location: GeoPoint) -> Optional[Carrier]:
+        best = None
+        best_rsrp = None
+        for carrier in self._carriers:
+            rsrp = self._rsrp(carrier, location)
+            qrx = self._carrier_value(
+                carrier.carrier_id, "qrxlevmin", _DEFAULT_QRXLEVMIN
+            )
+            if rsrp < qrx:
+                continue
+            if best_rsrp is None or rsrp > best_rsrp:
+                best, best_rsrp = carrier, rsrp
+        return best
+
+    def _neighbors_of(self, serving: Carrier) -> List[Carrier]:
+        return [
+            self.network.carrier(n)
+            for n in self.network.x2.carrier_neighbors(serving.carrier_id)
+            if n in self._carrier_ids
+            and self.network.carrier(n).frequency_mhz == serving.frequency_mhz
+        ]
+
+    def walk(self, path: Sequence[GeoPoint]) -> WalkResult:
+        """Simulate one UE along ``path`` (one step per point)."""
+        result = WalkResult(steps=len(path), serving_history=[])
+        serving = self._initial_carrier(path[0])
+        # Per-neighbor count of consecutive steps the A3 condition held.
+        a3_timers: Dict[CarrierId, int] = {}
+        last_left: Dict[CarrierId, int] = {}
+
+        for step, location in enumerate(path):
+            if serving is None:
+                serving = self._initial_carrier(location)
+                result.serving_history.append(
+                    serving.carrier_id if serving else None
+                )
+                continue
+
+            serving_rsrp = self._rsrp(serving, location)
+            serving_qrx = self._carrier_value(
+                serving.carrier_id, "qrxlevmin", _DEFAULT_QRXLEVMIN
+            )
+
+            # A3 measurement against every same-frequency neighbor.
+            fired: Optional[Carrier] = None
+            for neighbor in self._neighbors_of(serving):
+                neighbor_rsrp = self._rsrp(neighbor, location)
+                bar = (
+                    serving_rsrp
+                    + self._pair_value(
+                        serving.carrier_id, neighbor.carrier_id,
+                        "a3Offset", _DEFAULT_A3_OFFSET,
+                    )
+                    + self._pair_value(
+                        serving.carrier_id, neighbor.carrier_id,
+                        "hysA3Offset", _DEFAULT_HYSTERESIS,
+                    )
+                    - self._pair_value(
+                        serving.carrier_id, neighbor.carrier_id,
+                        "cellIndividualOffset", _DEFAULT_CIO,
+                    )
+                )
+                if neighbor_rsrp > bar:
+                    a3_timers[neighbor.carrier_id] = (
+                        a3_timers.get(neighbor.carrier_id, 0) + 1
+                    )
+                    ttt_ms = self._pair_value(
+                        serving.carrier_id, neighbor.carrier_id,
+                        "timeToTriggerA3", _DEFAULT_TIME_TO_TRIGGER_MS,
+                    )
+                    if a3_timers[neighbor.carrier_id] * STEP_MS >= ttt_ms:
+                        fired = neighbor
+                        break
+                else:
+                    a3_timers.pop(neighbor.carrier_id, None)
+
+            if fired is not None:
+                ping_pong = (
+                    fired.carrier_id in last_left
+                    and step - last_left[fired.carrier_id]
+                    <= PING_PONG_WINDOW_STEPS
+                )
+                result.handovers.append(
+                    HandoverEvent(
+                        step=step,
+                        source=serving.carrier_id,
+                        target=fired.carrier_id,
+                        ping_pong=ping_pong,
+                    )
+                )
+                last_left[serving.carrier_id] = step
+                serving = fired
+                a3_timers.clear()
+            elif serving_rsrp < serving_qrx:
+                # Out of coverage with no handover fired: radio link failure.
+                result.radio_link_failures += 1
+                serving = self._initial_carrier(location)
+                a3_timers.clear()
+
+            result.serving_history.append(
+                serving.carrier_id if serving else None
+            )
+        return result

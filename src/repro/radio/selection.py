@@ -1,0 +1,135 @@
+"""Cell selection and carrier layer management.
+
+Implements the connection behaviour of section 2.1: a UE considers the
+carriers that cover it (received power above the carrier's configured
+``qrxlevmin``), and the network steers it high-band-first —
+``cellReselectionPriority`` orders the layers (higher value preferred
+here), ties break toward higher bands, then ``sFreqPrio`` (lower =
+higher priority) and finally signal strength.  A carrier at its
+admission limits rejects the UE and the next candidate is tried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config.store import ConfigurationStore
+from repro.netmodel.bands import layer_priority
+from repro.netmodel.carrier import Carrier
+from repro.radio.signal import received_power_dbm
+from repro.radio.users import UserEquipment
+
+#: Fallbacks when a carrier lacks a configured value (rule-book
+#: mid-range defaults keep the simulator total).
+_DEFAULT_QRXLEVMIN = -120.0
+_DEFAULT_PMAX = 30.0
+_DEFAULT_PRIORITY = 4
+_DEFAULT_SFREQPRIO = 5000
+_DEFAULT_MAX_CONNECTIONS = 2000
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """One carrier's suitability for one UE."""
+
+    carrier: Carrier
+    received_dbm: float
+    covered: bool
+    priority_key: tuple
+
+    def __str__(self) -> str:
+        state = "covers" if self.covered else "out of range"
+        return f"{self.carrier.carrier_id}: {self.received_dbm:.1f} dBm ({state})"
+
+
+def _config(store: ConfigurationStore, carrier: Carrier) -> Dict[str, float]:
+    values = store.carrier_config(carrier.carrier_id)
+    return {
+        "pMax": float(values.get("pMax", _DEFAULT_PMAX)),
+        "qrxlevmin": float(values.get("qrxlevmin", _DEFAULT_QRXLEVMIN)),
+        "cellReselectionPriority": float(
+            values.get("cellReselectionPriority", _DEFAULT_PRIORITY)
+        ),
+        "sFreqPrio": float(values.get("sFreqPrio", _DEFAULT_SFREQPRIO)),
+    }
+
+
+def evaluate_candidates(
+    user: UserEquipment,
+    carriers: Sequence[Carrier],
+    store: ConfigurationStore,
+) -> List[CandidateEvaluation]:
+    """Evaluate every carrier for one UE, best candidate first.
+
+    The priority key implements layer management: reselection priority
+    (descending), band (high first), ``sFreqPrio`` (ascending — 1 is the
+    highest priority in the paper), then received power (descending).
+    """
+    evaluations: List[CandidateEvaluation] = []
+    for carrier in carriers:
+        config = _config(store, carrier)
+        received = received_power_dbm(
+            config["pMax"],
+            carrier.band,
+            user.location.distance_km(carrier.location),
+        )
+        covered = received >= config["qrxlevmin"]
+        key = (
+            -config["cellReselectionPriority"],
+            layer_priority(carrier.band),
+            config["sFreqPrio"],
+            -received,
+        )
+        evaluations.append(
+            CandidateEvaluation(
+                carrier=carrier,
+                received_dbm=received,
+                covered=covered,
+                priority_key=key,
+            )
+        )
+    evaluations.sort(key=lambda e: e.priority_key)
+    return evaluations
+
+
+def practical_capacity(store: ConfigurationStore, carrier: Carrier) -> int:
+    """Connections a carrier can realistically serve.
+
+    Scales with channel bandwidth (a 20 MHz cell carries more users at
+    acceptable quality than a 5 MHz one) and is capped by the configured
+    ``maxNumRrcConnections``.
+    """
+    bandwidth = int(carrier.attributes["channel_bandwidth"])
+    natural = bandwidth * 4
+    values = store.carrier_config(carrier.carrier_id)
+    limit = int(values.get("maxNumRrcConnections", _DEFAULT_MAX_CONNECTIONS))
+    return max(1, min(natural, limit))
+
+
+def select_carrier(
+    user: UserEquipment,
+    carriers: Sequence[Carrier],
+    store: ConfigurationStore,
+    connections: Mapping[object, int],
+) -> Tuple[Optional[Carrier], Optional[Carrier]]:
+    """(connected carrier, first-choice carrier) for one UE.
+
+    The first-choice carrier is the best covering candidate in layer-
+    management order — the cell the UE is *offered* to.  If that cell
+    (or subsequent candidates) is at practical capacity, the UE spills
+    down the candidate list; it connects to the first candidate with
+    room, or to nothing when every covering carrier is full.
+    """
+    first_choice: Optional[Carrier] = None
+    for evaluation in evaluate_candidates(user, carriers, store):
+        if not evaluation.covered:
+            continue
+        carrier = evaluation.carrier
+        if first_choice is None:
+            first_choice = carrier
+        capacity = practical_capacity(store, carrier)
+        if connections.get(carrier.carrier_id, 0) >= capacity:
+            continue
+        return carrier, first_choice
+    return None, first_choice

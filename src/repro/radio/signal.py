@@ -1,0 +1,56 @@
+"""Signal propagation: a log-distance path-loss model per band.
+
+Deliberately simple — the simulator needs monotone, band-dependent
+signal behaviour (low band reaches further; higher transmit power
+reaches further), not a calibrated channel model.  Constants follow the
+common log-distance form ``PL(d) = PL0 + 10 n log10(d / d0)`` with a
+band-dependent exponent and 1 km reference losses in the right ballpark
+for macro cells.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.types import Band
+
+#: Reference path loss at 1 km, dB (roughly free space + margin @ band).
+_REFERENCE_LOSS_DB = {
+    Band.LOW: 100.0,
+    Band.MID: 108.0,
+    Band.HIGH: 114.0,
+}
+
+#: Path-loss exponents: low band propagates best.
+_EXPONENT = {
+    Band.LOW: 3.2,
+    Band.MID: 3.5,
+    Band.HIGH: 3.8,
+}
+
+_MIN_DISTANCE_KM = 0.02  # clamp: inside ~20 m everything saturates
+
+
+def path_loss_db(band: Band, distance_km: float) -> float:
+    """Log-distance path loss in dB at ``distance_km``."""
+    if distance_km < 0.0:
+        raise ValueError("distance must be non-negative")
+    d = max(distance_km, _MIN_DISTANCE_KM)
+    return _REFERENCE_LOSS_DB[band] + 10.0 * _EXPONENT[band] * math.log10(d)
+
+
+def received_power_dbm(
+    transmit_power_dbm: float, band: Band, distance_km: float
+) -> float:
+    """Received signal power (RSRP-like) in dBm."""
+    return transmit_power_dbm - path_loss_db(band, distance_km)
+
+
+def covers(
+    transmit_power_dbm: float,
+    band: Band,
+    distance_km: float,
+    qrxlevmin_dbm: float,
+) -> bool:
+    """Whether a carrier covers a point: received power >= qrxlevmin."""
+    return received_power_dbm(transmit_power_dbm, band, distance_km) >= qrxlevmin_dbm

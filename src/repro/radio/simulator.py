@@ -1,0 +1,114 @@
+"""The radio simulator: users → selection → load balancing → KPIs.
+
+Scopes to a set of eNodeBs (a whole market or a launch neighborhood),
+places a UE population, connects each UE per carrier layer management,
+runs IFLB rounds, and reports per-carrier KPIs.  Deterministic per
+seed, so a pre-change/post-change comparison isolates the effect of the
+configuration delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config.store import ConfigurationStore
+from repro.netmodel.carrier import Carrier
+from repro.netmodel.enodeb import ENodeB
+from repro.netmodel.identifiers import CarrierId
+from repro.netmodel.network import Network
+from repro.radio.kpi import CarrierKPI, network_kpis
+from repro.radio.loadbalance import Assignment, rebalance
+from repro.radio.selection import select_carrier
+from repro.radio.users import UserEquipment, place_users
+
+
+@dataclass
+class SimulationReport:
+    """Everything one simulation run produced."""
+
+    kpis: Dict[CarrierId, CarrierKPI]
+    users_total: int
+    users_connected: int
+    users_unserved: int
+    handovers: int
+
+    @property
+    def connection_rate(self) -> float:
+        if self.users_total == 0:
+            return 1.0
+        return self.users_connected / self.users_total
+
+    def unhealthy_carriers(self) -> List[CarrierId]:
+        return [cid for cid, kpi in self.kpis.items() if not kpi.healthy]
+
+    def kpi_of(self, carrier_id: CarrierId) -> Optional[CarrierKPI]:
+        return self.kpis.get(carrier_id)
+
+
+class RadioSimulator:
+    """Simulates the radio behaviour of a set of eNodeBs."""
+
+    def __init__(
+        self,
+        network: Network,
+        store: ConfigurationStore,
+        enodebs: Optional[Sequence[ENodeB]] = None,
+        seed: int = 0,
+        density_factor: float = 1.0,
+    ) -> None:
+        self.network = network
+        self.store = store
+        self.enodebs = list(enodebs) if enodebs is not None else list(
+            network.enodebs()
+        )
+        self.seed = seed
+        self.density_factor = density_factor
+        self._carriers: List[Carrier] = [
+            carrier for enodeb in self.enodebs for carrier in enodeb.carriers()
+        ]
+
+    @property
+    def carriers(self) -> List[Carrier]:
+        return list(self._carriers)
+
+    def run(self, lb_rounds: int = 2) -> SimulationReport:
+        """One full simulation pass."""
+        users = place_users(
+            self.enodebs, seed=self.seed, density_factor=self.density_factor
+        )
+        assignment = Assignment()
+        offered: Dict[CarrierId, int] = {}
+        connections: Dict[CarrierId, int] = {}
+        unserved = 0
+        for user in users:
+            connected, first_choice = select_carrier(
+                user, self._carriers, self.store, connections
+            )
+            if first_choice is not None:
+                # "Offered" tracks the cell layer management steered the
+                # UE to first, whether or not it had room.
+                offered[first_choice.carrier_id] = (
+                    offered.get(first_choice.carrier_id, 0) + 1
+                )
+            if connected is None:
+                unserved += 1
+                continue
+            assignment.assign(user.index, connected.carrier_id)
+            connections[connected.carrier_id] = (
+                connections.get(connected.carrier_id, 0) + 1
+            )
+
+        handovers = rebalance(
+            self.network, self.store, users, assignment, rounds=lb_rounds
+        )
+        kpis = network_kpis(
+            self._carriers, self.store, users, assignment, offered
+        )
+        return SimulationReport(
+            kpis=kpis,
+            users_total=len(users),
+            users_connected=len(users) - unserved,
+            users_unserved=unserved,
+            handovers=handovers,
+        )

@@ -1,0 +1,71 @@
+"""User-equipment placement.
+
+Users cluster where eNodeBs cluster (that is why the eNodeBs are
+there): each UE is drawn by picking an eNodeB and offsetting by a
+morphology-dependent radius, with urban sites attracting more users.
+Every UE carries a demand in Mbps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.netmodel.enodeb import ENodeB
+from repro.netmodel.geo import GeoPoint
+from repro.rng import derive
+
+#: Mean users drawn per eNodeB by morphology (urban areas are busiest).
+_USERS_PER_ENODEB = {"urban": 30.0, "suburban": 18.0, "rural": 8.0}
+
+#: UE scatter radius around the site, km.
+_SCATTER_KM = {"urban": 0.8, "suburban": 1.8, "rural": 4.0}
+
+
+@dataclass(frozen=True)
+class UserEquipment:
+    """One simulated user: a location and a downlink demand."""
+
+    index: int
+    location: GeoPoint
+    demand_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.demand_mbps <= 0:
+            raise ValueError("demand must be positive")
+
+
+def _morphology_of(enodeb: ENodeB) -> str:
+    return str(next(enodeb.carriers()).attributes["morphology"])
+
+
+def place_users(
+    enodebs: Sequence[ENodeB],
+    seed: int = 0,
+    density_factor: float = 1.0,
+) -> List[UserEquipment]:
+    """Draw a UE population around the given eNodeBs."""
+    if density_factor <= 0:
+        raise ValueError("density_factor must be positive")
+    rng = derive(seed, "users")
+    users: List[UserEquipment] = []
+    for enodeb in enodebs:
+        if enodeb.carrier_count() == 0:
+            continue
+        morphology = _morphology_of(enodeb)
+        mean = _USERS_PER_ENODEB[morphology] * density_factor
+        count = int(rng.poisson(mean))
+        scatter = _SCATTER_KM[morphology]
+        for _ in range(count):
+            offset_north = float(rng.normal(0.0, scatter))
+            offset_east = float(rng.normal(0.0, scatter))
+            users.append(
+                UserEquipment(
+                    index=len(users),
+                    location=enodeb.location.offset_km(offset_north, offset_east),
+                    demand_mbps=float(rng.uniform(1.0, 8.0)),
+                )
+            )
+    return users

@@ -1,0 +1,6 @@
+"""Plain-text reporting: tables and figure series in the paper's layout."""
+
+from repro.reporting.tables import format_table
+from repro.reporting.series import format_series
+
+__all__ = ["format_table", "format_series"]

@@ -1,0 +1,27 @@
+"""Figure-series rendering: named (x, y...) series as aligned text."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.reporting.tables import format_table
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render figure data as a table: one row per x value, one column
+    per series — the textual equivalent of the paper's line charts."""
+    lengths = {len(v) for v in series.values()}
+    if lengths and lengths != {len(x_values)}:
+        raise ValueError("series lengths must match x_values")
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(values[i] for values in series.values())]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title, float_format=float_format)

@@ -1,0 +1,42 @@
+"""ASCII table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Column widths adapt to content.
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(rendered[r][c]) for r in range(len(rendered)))
+        for c in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * w for w in widths)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(rendered[0]))
+    out.append(separator)
+    out.extend(line(r) for r in rendered[1:])
+    return "\n".join(out)

@@ -1,0 +1,63 @@
+"""Shared light-weight types used across the library."""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+#: A configuration parameter value.  Range parameters carry numeric values
+#: (quantized to their step size); enumeration parameters carry strings or
+#: booleans.  Values are hashable so they can be vote-counted and used as
+#: classification labels.
+ParameterValue = Union[int, float, str, bool]
+
+#: Attribute values are categorical (strings) or small integers.
+AttributeValue = Union[str, int]
+
+
+class Band(enum.Enum):
+    """LTE frequency band groups used for carrier layer management.
+
+    The paper (section 2.1) distinguishes low band (broad reach, higher
+    interference exposure), mid band and high band; users are steered to
+    high band first and spill down as it congests.
+    """
+
+    LOW = "LB"
+    MID = "MB"
+    HIGH = "HB"
+
+
+class Morphology(enum.Enum):
+    """Geographic morphology of the area a carrier serves (Table 1)."""
+
+    URBAN = "urban"
+    SUBURBAN = "suburban"
+    RURAL = "rural"
+
+
+class CarrierType(enum.Enum):
+    """Carrier service type (Table 1)."""
+
+    STANDARD = "standard"
+    FIRSTNET = "FirstNet"
+    NB_IOT = "NB-IoT"
+
+
+class Vendor(enum.Enum):
+    """Radio equipment vendor.  Parameter naming is vendor-specific, so the
+    recommendation problem is formulated independently per vendor (section
+    2.2)."""
+
+    VENDOR_A = "VendorA"
+    VENDOR_B = "VendorB"
+    VENDOR_C = "VendorC"
+
+
+class Timezone(enum.Enum):
+    """US timezones used to pick the four in-depth markets (Table 3)."""
+
+    EASTERN = "Eastern"
+    CENTRAL = "Central"
+    MOUNTAIN = "Mountain"
+    PACIFIC = "Pacific"

@@ -1,0 +1,60 @@
+import pytest
+
+from repro.config.managed_objects import (
+    ManagedObject,
+    ManagedObjectSchema,
+    build_vendor_schema,
+)
+from repro.exceptions import UnknownParameterError
+from repro.types import Vendor
+
+
+class TestManagedObject:
+    def test_walk_yields_paths(self):
+        root = ManagedObject(
+            "Root",
+            children=[ManagedObject("Child", parameters=["p1"])],
+        )
+        paths = dict(root.walk())
+        assert "Root" in paths
+        assert "Root/Child" in paths
+
+    def test_duplicate_parameter_rejected(self):
+        root = ManagedObject(
+            "Root",
+            children=[
+                ManagedObject("A", parameters=["p"]),
+                ManagedObject("B", parameters=["p"]),
+            ],
+        )
+        with pytest.raises(ValueError):
+            ManagedObjectSchema(Vendor.VENDOR_A, root)
+
+
+class TestVendorSchemas:
+    @pytest.mark.parametrize("vendor", list(Vendor))
+    def test_every_parameter_mapped(self, vendor, catalog):
+        schema = build_vendor_schema(vendor, catalog)
+        assert set(schema.parameters()) == set(catalog.names)
+
+    @pytest.mark.parametrize("vendor", list(Vendor))
+    def test_paths_rooted_at_enodeb_function(self, vendor, catalog):
+        schema = build_vendor_schema(vendor, catalog)
+        for name in catalog.names:
+            assert schema.path_for(name).startswith("ENodeBFunction/EUtranCell/")
+
+    def test_vendors_have_different_layouts(self, catalog):
+        a = build_vendor_schema(Vendor.VENDOR_A, catalog)
+        b = build_vendor_schema(Vendor.VENDOR_B, catalog)
+        assert a.path_for("pMax") != b.path_for("pMax")
+        assert a.mo_count() != b.mo_count()
+
+    def test_unknown_parameter_raises(self, catalog):
+        schema = build_vendor_schema(Vendor.VENDOR_A, catalog)
+        with pytest.raises(UnknownParameterError):
+            schema.path_for("bogus")
+
+    def test_mobility_grouping_vendor_a(self, catalog):
+        schema = build_vendor_schema(Vendor.VENDOR_A, catalog)
+        assert schema.path_for("hysA3Offset").endswith("Mobility")
+        assert schema.path_for("a3Offset").endswith("Mobility")

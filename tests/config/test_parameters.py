@@ -1,0 +1,133 @@
+import pytest
+
+from repro.config.catalog import build_default_catalog
+from repro.config.parameters import (
+    ParameterCatalog,
+    ParameterCategory,
+    ParameterKind,
+    ParameterSpec,
+)
+from repro.exceptions import UnknownParameterError
+
+
+def range_spec(name="x", lo=0, hi=10, step=1.0, kind=ParameterKind.SINGULAR):
+    return ParameterSpec(
+        name=name,
+        kind=kind,
+        category=ParameterCategory.CAPACITY,
+        minimum=lo,
+        maximum=hi,
+        step=step,
+    )
+
+
+class TestParameterSpec:
+    def test_range_value_count(self):
+        assert range_spec(lo=0, hi=10, step=1.0).value_count() == 11
+        assert range_spec(lo=0, hi=15, step=0.5).value_count() == 31
+
+    def test_paper_parameter_counts(self):
+        catalog = build_default_catalog()
+        # Ranges from section 2.2 of the paper.
+        assert catalog.spec("sFreqPrio").value_count() == 10000
+        assert catalog.spec("hysA3Offset").value_count() == 31
+        assert catalog.spec("pMax").value_count() == 101
+        assert catalog.spec("inactivityTimer").value_count() == 65535
+        assert catalog.spec("qrxlevmin").minimum == -156
+        assert catalog.spec("qrxlevmin").maximum == -44
+
+    def test_legal_values_quantized(self):
+        spec = range_spec(lo=0, hi=2, step=0.5)
+        assert spec.legal_values() == [0, 0.5, 1, 1.5, 2]
+
+    def test_legal_values_limit(self):
+        spec = range_spec(lo=0, hi=100, step=1.0)
+        assert spec.legal_values(limit=3) == [0, 1, 2]
+
+    def test_contains_range(self):
+        spec = range_spec(lo=0, hi=15, step=0.5)
+        assert spec.contains(7.5)
+        assert spec.contains(0)
+        assert spec.contains(15)
+        assert not spec.contains(7.3)
+        assert not spec.contains(-0.5)
+        assert not spec.contains(15.5)
+        assert not spec.contains("seven")
+        assert not spec.contains(True)  # bools are not numeric values here
+
+    def test_contains_enumeration(self):
+        spec = ParameterSpec(
+            name="e",
+            kind=ParameterKind.SINGULAR,
+            category=ParameterCategory.MOBILITY,
+            enum_values=(True, False),
+        )
+        assert spec.contains(True)
+        assert not spec.contains("true")
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            range_spec(lo=10, hi=0)
+        with pytest.raises(ValueError):
+            range_spec(step=-1.0)
+        with pytest.raises(ValueError):
+            ParameterSpec(
+                name="bad",
+                kind=ParameterKind.SINGULAR,
+                category=ParameterCategory.MOBILITY,
+            )
+
+    def test_range_and_enum_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            ParameterSpec(
+                name="bad",
+                kind=ParameterKind.SINGULAR,
+                category=ParameterCategory.MOBILITY,
+                minimum=0,
+                maximum=1,
+                enum_values=(1, 2),
+            )
+
+
+class TestCatalog:
+    def test_paper_shape(self, catalog):
+        assert len(catalog.range_parameters()) == 65
+        assert len(catalog.singular_parameters()) == 39
+        assert len(catalog.pairwise_parameters()) == 26
+
+    def test_named_parameters_present(self, catalog):
+        for name in (
+            "actInterFreqLB",
+            "sFreqPrio",
+            "hysA3Offset",
+            "pMax",
+            "qrxlevmin",
+            "inactivityTimer",
+        ):
+            assert name in catalog
+
+    def test_unknown_parameter_raises(self, catalog):
+        with pytest.raises(UnknownParameterError):
+            catalog.spec("noSuchParameter")
+
+    def test_subset_preserves_order(self, catalog):
+        subset = catalog.subset(["pMax", "sFreqPrio"])
+        assert subset.names == ("pMax", "sFreqPrio")
+
+    def test_duplicate_names_rejected(self):
+        spec = range_spec()
+        with pytest.raises(ValueError):
+            ParameterCatalog([spec, spec])
+
+    def test_enumeration_parameters_not_in_range_set(self, catalog):
+        range_names = {s.name for s in catalog.range_parameters()}
+        assert "actInterFreqLB" not in range_names
+
+    def test_pairwise_parameters_are_mobility_related(self, catalog):
+        allowed = {
+            ParameterCategory.HANDOVER,
+            ParameterCategory.MOBILITY,
+            ParameterCategory.LOAD_BALANCING,
+        }
+        for spec in catalog.pairwise_parameters():
+            assert spec.category in allowed

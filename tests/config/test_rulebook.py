@@ -1,0 +1,105 @@
+import pytest
+
+from repro.config.rulebook import Rule, RuleBook
+from repro.exceptions import ConfigurationError, UnknownParameterError
+from repro.netmodel.attributes import CarrierAttributes
+
+from tests.netmodel.test_attributes import make_values
+
+
+@pytest.fixture()
+def attrs():
+    return CarrierAttributes(make_values())
+
+
+@pytest.fixture()
+def rulebook(catalog):
+    book = RuleBook(catalog, name="test")
+    book.add_rules(
+        [
+            Rule("pMax", 12.6, conditions=()),
+            Rule("pMax", 29.4, conditions=(("carrier_frequency", 700),)),
+            Rule(
+                "pMax",
+                49.8,
+                conditions=(("carrier_frequency", 700), ("morphology", "urban")),
+            ),
+            Rule("sFreqPrio", 1, conditions=(("carrier_type", "FirstNet"),)),
+        ]
+    )
+    return book
+
+
+class TestRuleMatching:
+    def test_rule_matches_on_all_conditions(self, attrs):
+        rule = Rule("pMax", 0, conditions=(("carrier_frequency", 700),))
+        assert rule.matches(attrs)
+        rule2 = Rule("pMax", 0, conditions=(("carrier_frequency", 1900),))
+        assert not rule2.matches(attrs)
+
+    def test_unconditional_rule_matches_everything(self, attrs):
+        assert Rule("pMax", 0).matches(attrs)
+
+    def test_specificity(self):
+        assert Rule("pMax", 0).specificity == 0
+        assert Rule("pMax", 0, conditions=(("a", 1), ("b", 2))).specificity == 2
+
+
+class TestRuleBookLookup:
+    def test_most_specific_wins(self, rulebook, attrs):
+        # attrs: frequency 700, morphology urban — the 2-condition rule wins.
+        assert rulebook.lookup("pMax", attrs) == 49.8
+
+    def test_falls_back_to_less_specific(self, rulebook, attrs):
+        rural = attrs.replace(morphology="rural")
+        assert rulebook.lookup("pMax", rural) == 29.4
+        other_freq = attrs.replace(carrier_frequency=1900)
+        assert rulebook.lookup("pMax", other_freq) == 12.6
+
+    def test_no_match_returns_none(self, rulebook, attrs):
+        assert rulebook.lookup("sFreqPrio", attrs) is None
+
+    def test_priority_breaks_specificity_ties(self, catalog, attrs):
+        book = RuleBook(catalog)
+        book.add_rule(Rule("pMax", 12.6, (("morphology", "urban"),), priority=0))
+        book.add_rule(Rule("pMax", 29.4, (("carrier_frequency", 700),), priority=5))
+        assert book.lookup("pMax", attrs) == 29.4
+
+    def test_insertion_order_breaks_full_ties(self, catalog, attrs):
+        book = RuleBook(catalog)
+        book.add_rule(Rule("pMax", 12.6, (("morphology", "urban"),)))
+        book.add_rule(Rule("pMax", 29.4, (("carrier_frequency", 700),)))
+        assert book.lookup("pMax", attrs) == 12.6
+
+
+class TestDefaultsAndConfiguration:
+    def test_default_is_mid_range(self, rulebook):
+        default = rulebook.default_for("hysA3Offset")
+        assert default == 7.5
+
+    def test_default_for_enumeration(self, rulebook):
+        assert rulebook.default_for("actInterFreqLB") is False
+
+    def test_value_for_uses_rules_then_default(self, rulebook, attrs):
+        assert rulebook.value_for("pMax", attrs) == 49.8
+        assert rulebook.value_for("qHyst", attrs) == rulebook.default_for("qHyst")
+
+    def test_configuration_for_covers_requested(self, rulebook, attrs):
+        config = rulebook.configuration_for(attrs, ["pMax", "sFreqPrio"])
+        assert set(config) == {"pMax", "sFreqPrio"}
+
+    def test_configuration_for_full_catalog(self, rulebook, attrs, catalog):
+        config = rulebook.configuration_for(attrs)
+        assert set(config) == set(catalog.names)
+
+    def test_unknown_parameter_rejected(self, rulebook, attrs):
+        with pytest.raises(UnknownParameterError):
+            rulebook.configuration_for(attrs, ["bogus"])
+
+    def test_illegal_rule_value_rejected(self, catalog):
+        book = RuleBook(catalog)
+        with pytest.raises(ConfigurationError):
+            book.add_rule(Rule("pMax", 1000))
+
+    def test_rule_count(self, rulebook):
+        assert rulebook.rule_count() == 4

@@ -1,0 +1,99 @@
+import pytest
+
+from repro.config.diff import ConfigDiff, DiffEntry, diff_against_recommendations
+from repro.config.managed_objects import build_vendor_schema
+from repro.config.templates import ConfigTemplate, parse_config_file, render_config_file
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.types import Vendor
+
+
+def cid():
+    return CarrierId(ENodeBId(MarketId(0), 1), 0, 0)
+
+
+@pytest.fixture()
+def schema(catalog):
+    return build_vendor_schema(Vendor.VENDOR_A, catalog)
+
+
+class TestTemplates:
+    def test_render_contains_instance_and_vendor(self, schema):
+        text = render_config_file(schema, cid(), {"pMax": 12.6})
+        assert str(cid()) in text
+        assert "VendorA" in text
+
+    def test_render_groups_by_mo(self, schema):
+        text = render_config_file(
+            schema, cid(), {"pMax": 12.6, "sFreqPrio": 7, "qHyst": 3}
+        )
+        assert "mo ENodeBFunction/EUtranCell/PowerControl {" in text
+        assert "set pMax = 12.6;" in text
+
+    def test_roundtrip(self, schema):
+        values = {
+            "pMax": 12.6,
+            "sFreqPrio": 7,
+            "actInterFreqLB": True,
+            "schedulingStrategy": "proportional-fair",
+        }
+        text = render_config_file(schema, cid(), values)
+        assert parse_config_file(text) == values
+
+    def test_roundtrip_booleans_and_strings(self, schema):
+        values = {"actInterFreqLB": False, "txDiversity": "open"}
+        assert parse_config_file(render_config_file(schema, cid(), values)) == values
+
+    def test_deterministic_output(self, schema):
+        values = {"qHyst": 1, "pMax": 0, "sFreqPrio": 2}
+        assert render_config_file(schema, cid(), values) == render_config_file(
+            schema, cid(), values
+        )
+
+    def test_template_render_uses_header(self, schema):
+        template = ConfigTemplate(schema, header="// custom header")
+        assert template.render(cid(), {"pMax": 0}).startswith("// custom header")
+
+    def test_parse_ignores_noise_lines(self):
+        text = "// comment\nmo X {\n  set a = 1;\n}\nnot a set line\n"
+        assert parse_config_file(text) == {"a": 1}
+
+
+class TestDiff:
+    def test_no_changes(self):
+        diff = diff_against_recommendations(cid(), {"pMax": 12.6}, {"pMax": 12.6})
+        assert diff.is_empty
+        assert len(diff) == 0
+        assert "no changes" in str(diff)
+
+    def test_changed_value_detected(self):
+        diff = diff_against_recommendations(cid(), {"pMax": 12.6}, {"pMax": 29.4})
+        assert len(diff) == 1
+        entry = diff.entries[0]
+        assert entry.parameter == "pMax"
+        assert entry.current == 12.6
+        assert entry.recommended == 29.4
+
+    def test_new_parameter_counts_as_change(self):
+        diff = diff_against_recommendations(cid(), {}, {"pMax": 29.4})
+        assert len(diff) == 1
+        assert diff.entries[0].current is None
+
+    def test_current_only_parameters_ignored(self):
+        diff = diff_against_recommendations(cid(), {"pMax": 12.6}, {})
+        assert diff.is_empty
+
+    def test_changed_values_mapping(self):
+        diff = diff_against_recommendations(
+            cid(), {"pMax": 12.6, "qHyst": 1}, {"pMax": 29.4, "qHyst": 1}
+        )
+        assert diff.changed_values() == {"pMax": 29.4}
+
+    def test_entries_sorted_by_parameter(self):
+        diff = diff_against_recommendations(
+            cid(), {}, {"zzz_like": 1, "aaa_like": 2}
+        )
+        assert [e.parameter for e in diff.entries] == ["aaa_like", "zzz_like"]
+
+    def test_str_mentions_transition(self):
+        entry = DiffEntry("pMax", 12.6, 29.4)
+        assert "12.6" in str(entry) and "29.4" in str(entry)

@@ -1,0 +1,71 @@
+import pytest
+
+from repro.config.parameters import ParameterCategory, ParameterKind, ParameterSpec
+from repro.config.values import quantize, validate_value
+from repro.exceptions import ConfigurationError
+
+
+def spec(lo=0, hi=15, step=0.5):
+    return ParameterSpec(
+        name="q",
+        kind=ParameterKind.SINGULAR,
+        category=ParameterCategory.HANDOVER,
+        minimum=lo,
+        maximum=hi,
+        step=step,
+    )
+
+
+class TestQuantize:
+    def test_snaps_to_nearest_step(self):
+        assert quantize(spec(), 7.3) == 7.5
+        assert quantize(spec(), 7.2) == 7.0
+
+    def test_clamps_to_range(self):
+        assert quantize(spec(), -100.0) == 0
+        assert quantize(spec(), 100.0) == 15
+
+    def test_integral_values_become_ints(self):
+        value = quantize(spec(step=1.0), 7.0)
+        assert isinstance(value, int)
+
+    def test_fractional_values_stay_floats(self):
+        value = quantize(spec(), 7.5)
+        assert isinstance(value, float)
+
+    def test_negative_range(self):
+        s = spec(lo=-156, hi=-44, step=2)
+        assert quantize(s, -100.5) == -100
+        assert quantize(s, -43) == -44
+
+    def test_enum_parameter_rejected(self):
+        enum_spec = ParameterSpec(
+            name="e",
+            kind=ParameterKind.SINGULAR,
+            category=ParameterCategory.MOBILITY,
+            enum_values=(1, 2),
+        )
+        with pytest.raises(ConfigurationError):
+            quantize(enum_spec, 1.0)
+
+    def test_quantized_value_is_legal(self):
+        s = spec(lo=0, hi=60, step=0.6)
+        for raw in (0.1, 0.29, 0.31, 33.33, 59.99, 60.0):
+            assert s.contains(quantize(s, raw))
+
+
+class TestValidateValue:
+    def test_valid_passes(self):
+        validate_value(spec(), 7.5)
+
+    def test_off_step_rejected(self):
+        with pytest.raises(ConfigurationError, match="not legal"):
+            validate_value(spec(), 7.3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_value(spec(), 16)
+
+    def test_error_message_describes_domain(self):
+        with pytest.raises(ConfigurationError, match="range 0..15"):
+            validate_value(spec(), 99)

@@ -1,0 +1,52 @@
+"""Shared fixtures.
+
+The tiny dataset (two markets, a couple hundred carriers) is generated
+once per session; suites that need a fitted engine share one as well.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.catalog import build_default_catalog
+from repro.core import AuricEngine
+from repro.datagen import tiny_workload
+
+#: Parameters the shared engine is fitted on — one low-variability
+#: singular, one high-variability singular, one pair-wise.
+ENGINE_PARAMETERS = ("pMax", "inactivityTimer", "hysA3Offset")
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return build_default_catalog()
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return tiny_workload()
+
+
+@pytest.fixture(scope="session")
+def network(dataset):
+    return dataset.network
+
+
+@pytest.fixture(scope="session")
+def store(dataset):
+    return dataset.store
+
+
+@pytest.fixture(scope="session")
+def engine(dataset):
+    return AuricEngine(dataset.network, dataset.store).fit(list(ENGINE_PARAMETERS))
+
+
+@pytest.fixture()
+def some_carrier(network):
+    return next(network.carriers())
+
+
+@pytest.fixture()
+def some_carrier_id(some_carrier):
+    return some_carrier.carrier_id

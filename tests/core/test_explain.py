@@ -1,0 +1,42 @@
+from repro.core.explain import explain_recommendation
+
+
+class TestExplain:
+    def test_explanation_structure(self, engine, dataset):
+        values = dataset.store.singular_values("pMax")
+        carrier_id = sorted(values)[0]
+        lines = explain_recommendation(engine, "pMax", carrier_id)
+        text = "\n".join(lines)
+        assert "pMax" in text
+        assert "depends on" in text
+        assert "vote" in text
+
+    def test_explanation_shows_dependent_values(self, engine, dataset):
+        values = dataset.store.singular_values("pMax")
+        carrier_id = sorted(values)[0]
+        row = engine.carrier_row(carrier_id)
+        lines = explain_recommendation(engine, "pMax", carrier_id)
+        dependent_line = lines[1]
+        model = engine._model("pMax")
+        for name, col in zip(model.dependent_names, model.dependent_columns):
+            assert f"{name}={row[col]}" in dependent_line
+
+    def test_runners_up_listed_when_cell_mixed(self, engine, dataset):
+        values = dataset.store.singular_values("inactivityTimer")
+        for carrier_id in sorted(values):
+            lines = explain_recommendation(engine, "inactivityTimer", carrier_id)
+            if any(l.strip().startswith("runners-up") for l in lines):
+                return  # found at least one mixed cell
+        # Mixed cells exist in any realistically noisy dataset.
+        raise AssertionError("no mixed vote cells found at all")
+
+    def test_low_support_note(self, engine, dataset):
+        values = dataset.store.singular_values("inactivityTimer")
+        for carrier_id in sorted(values):
+            rec = engine.recommend_for_carrier("inactivityTimer", carrier_id)
+            if not rec.confident:
+                lines = explain_recommendation(
+                    engine, "inactivityTimer", carrier_id
+                )
+                assert any("below" in l for l in lines)
+                return

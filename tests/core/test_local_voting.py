@@ -1,0 +1,140 @@
+"""Behavioural tests of local voting on a hand-built micro-network.
+
+A chain of eNodeBs with two frequency layers; the ground truth is
+frequency-determined except in a tuned cluster, where every carrier
+carries one override value.  The local learner must recover the cluster
+without contaminating the rest of the network.
+"""
+
+import pytest
+
+from repro.config.catalog import build_default_catalog
+from repro.config.store import ConfigurationStore
+from repro.core import AuricConfig, AuricEngine
+from repro.netmodel.attributes import CarrierAttributes
+from repro.netmodel.carrier import Carrier
+from repro.netmodel.enodeb import ENodeB
+from repro.netmodel.geo import GeoPoint
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.netmodel.market import Market
+from repro.netmodel.network import Network
+from repro.netmodel.topology import build_x2_graph
+from repro.types import Timezone
+
+from tests.netmodel.test_attributes import make_values
+
+N_ENODEBS = 12
+CLUSTER = {0, 1, 2}  # the locally tuned eNodeBs
+BASE_700 = 12.6
+BASE_1900 = 3.6
+TUNED = 29.4
+
+
+@pytest.fixture(scope="module")
+def micro():
+    """(network, store): a 12-eNodeB chain with a tuned 3-eNodeB cluster."""
+    market_id = MarketId(0)
+    market = Market(market_id, "Micro", Timezone.EASTERN, GeoPoint(40.0, -74.0))
+    enodebs = []
+    for i in range(N_ENODEBS):
+        enodeb = ENodeB(
+            ENodeBId(market_id, i),
+            GeoPoint(40.0, -74.0).offset_km(0.0, 2.0 * i),
+        )
+        for face in range(3):
+            for slot, frequency in enumerate((700, 1900)):
+                attributes = CarrierAttributes(
+                    make_values(
+                        carrier_frequency=frequency,
+                        market="Micro",
+                        tracking_area_code=1000 + i // 6,
+                    )
+                )
+                enodeb.add_carrier(
+                    Carrier(
+                        CarrierId(enodeb.enodeb_id, face, slot),
+                        attributes,
+                        enodeb.location,
+                    )
+                )
+        market.add_enodeb(enodeb)
+        enodebs.append(enodeb)
+
+    network = Network()
+    network.add_market(market)
+    network.x2 = build_x2_graph(enodebs, radius_km=3.0, max_degree=2)
+
+    store = ConfigurationStore(build_default_catalog())
+    for carrier in network.carriers():
+        enodeb_index = carrier.enodeb.index
+        if enodeb_index in CLUSTER:
+            value = TUNED
+        elif carrier.frequency_mhz == 700:
+            value = BASE_700
+        else:
+            value = BASE_1900
+        store.set_singular(carrier.carrier_id, "pMax", value)
+    return network, store
+
+
+@pytest.fixture(scope="module")
+def engine(micro):
+    network, store = micro
+    return AuricEngine(
+        network, store, AuricConfig(min_local_votes=3)
+    ).fit(["pMax"])
+
+
+def carrier_on(network, enodeb_index, frequency):
+    for carrier in network.carriers():
+        if (
+            carrier.enodeb.index == enodeb_index
+            and carrier.frequency_mhz == frequency
+        ):
+            return carrier.carrier_id
+    raise AssertionError("carrier not found")
+
+
+class TestMicroNetworkLocalVoting:
+    def test_frequency_dependence_learned(self, engine):
+        names = engine.dependent_attribute_names("pMax")
+        assert "carrier_frequency" in names
+
+    def test_base_region_predicted_globally_and_locally(self, micro, engine):
+        network, _ = micro
+        for frequency, expected in ((700, BASE_700), (1900, BASE_1900)):
+            carrier_id = carrier_on(network, 8, frequency)
+            for local in (False, True):
+                rec = engine.recommend_for_carrier(
+                    "pMax", carrier_id, local=local
+                )
+                assert rec.value == expected, (frequency, local, rec)
+
+    def test_cluster_interior_recovered_locally(self, micro, engine):
+        network, _ = micro
+        carrier_id = carrier_on(network, 1, 700)  # chain interior of cluster
+        local = engine.recommend_for_carrier("pMax", carrier_id, local=True)
+        assert local.value == TUNED
+        assert local.scope in ("local", "local-cluster")
+
+    def test_cluster_lost_globally(self, micro, engine):
+        """The global vote averages the cluster away — the contrast that
+        makes geographical proximity valuable."""
+        network, _ = micro
+        carrier_id = carrier_on(network, 1, 700)
+        global_rec = engine.recommend_for_carrier("pMax", carrier_id, local=False)
+        assert global_rec.value == BASE_700
+
+    def test_cluster_edge_does_not_poison_neighbors(self, micro, engine):
+        """The eNodeB adjacent to the cluster keeps its base value."""
+        network, _ = micro
+        carrier_id = carrier_on(network, 3, 700)
+        rec = engine.recommend_for_carrier("pMax", carrier_id, local=True)
+        assert rec.value == BASE_700
+
+    def test_far_region_unaffected(self, micro, engine):
+        network, _ = micro
+        for index in (6, 9, 11):
+            carrier_id = carrier_on(network, index, 1900)
+            rec = engine.recommend_for_carrier("pMax", carrier_id, local=True)
+            assert rec.value == BASE_1900

@@ -1,0 +1,83 @@
+import pytest
+
+from repro.config.rulebook import RuleBook
+from repro.core import NewCarrierRequest, RecommendationPipeline
+from repro.exceptions import RecommendationError
+from repro.netmodel.attributes import CarrierAttributes
+
+from tests.netmodel.test_attributes import make_values
+from tests.conftest import ENGINE_PARAMETERS
+
+
+@pytest.fixture()
+def request_for_existing_enodeb(dataset):
+    enodeb = dataset.network.markets[0].enodebs[0]
+    template_carrier = next(enodeb.carriers())
+    return NewCarrierRequest(
+        attributes=template_carrier.attributes,
+        enodeb_id=enodeb.enodeb_id,
+    )
+
+
+@pytest.fixture()
+def pipeline(engine, catalog):
+    return RecommendationPipeline(engine, RuleBook(catalog))
+
+
+class TestPipeline:
+    def test_recommends_fitted_parameters_from_votes(
+        self, pipeline, request_for_existing_enodeb
+    ):
+        result = pipeline.recommend(
+            request_for_existing_enodeb, parameters=["pMax", "inactivityTimer"]
+        )
+        assert set(result.recommendations) == {"pMax", "inactivityTimer"}
+        for rec in result.recommendations.values():
+            assert rec.scope in ("local", "global", "global-relaxed", "global-fallback")
+
+    def test_unfitted_parameter_falls_to_rulebook(
+        self, pipeline, request_for_existing_enodeb
+    ):
+        result = pipeline.recommend(
+            request_for_existing_enodeb, parameters=["qHyst"]
+        )
+        assert result.recommendations["qHyst"].scope == "rulebook"
+
+    def test_enumeration_parameters_use_rulebook(
+        self, pipeline, request_for_existing_enodeb
+    ):
+        result = pipeline.recommend(request_for_existing_enodeb)
+        assert result.recommendations["actInterFreqLB"].scope == "rulebook"
+
+    def test_default_covers_all_singular_parameters(
+        self, pipeline, request_for_existing_enodeb, catalog
+    ):
+        result = pipeline.recommend(request_for_existing_enodeb)
+        singular = {s.name for s in catalog.singular_parameters()}
+        assert singular <= set(result.recommendations)
+
+    def test_no_rulebook_raises_for_unfitted(self, engine, request_for_existing_enodeb):
+        pipeline = RecommendationPipeline(engine, rulebook=None)
+        with pytest.raises(RecommendationError):
+            pipeline.recommend(request_for_existing_enodeb, parameters=["qHyst"])
+
+    def test_values_are_legal(self, pipeline, request_for_existing_enodeb, catalog):
+        result = pipeline.recommend(request_for_existing_enodeb)
+        for name, rec in result.recommendations.items():
+            assert catalog.spec(name).contains(rec.value), name
+
+    def test_request_without_enodeb_uses_global(self, pipeline):
+        request = NewCarrierRequest(
+            attributes=CarrierAttributes(make_values(market="Mountain-1"))
+        )
+        result = pipeline.recommend(request, parameters=list(ENGINE_PARAMETERS[:1]))
+        rec = result.recommendations[ENGINE_PARAMETERS[0]]
+        assert rec.scope in ("global", "global-relaxed", "global-fallback")
+
+    def test_label(self, request_for_existing_enodeb):
+        assert str(request_for_existing_enodeb.enodeb_id) in (
+            request_for_existing_enodeb.label()
+        )
+        assert NewCarrierRequest(
+            attributes=CarrierAttributes(make_values())
+        ).label() == "new-carrier"

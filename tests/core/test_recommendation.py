@@ -1,0 +1,69 @@
+from repro.core.recommendation import (
+    CarrierRecommendation,
+    ParameterRecommendation,
+)
+
+
+def rec(name="pMax", value=12.6, support=0.9, confident=True, scope="local"):
+    return ParameterRecommendation(
+        parameter=name,
+        value=value,
+        support=support,
+        matched=20.0,
+        confident=confident,
+        scope=scope,
+    )
+
+
+class TestParameterRecommendation:
+    def test_str_mentions_value_and_scope(self):
+        text = str(rec())
+        assert "pMax" in text
+        assert "12.6" in text
+        assert "local" in text
+
+    def test_low_support_marker(self):
+        assert "low support" in str(rec(confident=False))
+        assert "low support" not in str(rec(confident=True))
+
+
+class TestCarrierRecommendation:
+    def make(self):
+        result = CarrierRecommendation(target="carrier-x")
+        result.add(rec("pMax", 12.6, confident=True))
+        result.add(rec("qHyst", 3, confident=False))
+        result.add(rec("sFreqPrio", 1, confident=True))
+        return result
+
+    def test_value_map_all(self):
+        assert self.make().value_map() == {
+            "pMax": 12.6,
+            "qHyst": 3,
+            "sFreqPrio": 1,
+        }
+
+    def test_value_map_confident_only(self):
+        assert self.make().value_map(confident_only=True) == {
+            "pMax": 12.6,
+            "sFreqPrio": 1,
+        }
+
+    def test_mismatches_against_current(self):
+        current = {"pMax": 12.6, "qHyst": 7, "sFreqPrio": 2}
+        mismatches = self.make().mismatches_against(current)
+        assert {m.parameter for m in mismatches} == {"qHyst", "sFreqPrio"}
+
+    def test_mismatches_ignore_unconfigured(self):
+        mismatches = self.make().mismatches_against({"pMax": 0})
+        assert {m.parameter for m in mismatches} == {"pMax"}
+
+    def test_add_overwrites_same_parameter(self):
+        result = self.make()
+        result.add(rec("pMax", 29.4))
+        assert result.value_map()["pMax"] == 29.4
+        assert len(result) == 3
+
+    def test_str_lists_parameters(self):
+        text = str(self.make())
+        assert "carrier-x" in text
+        assert "pMax" in text and "qHyst" in text

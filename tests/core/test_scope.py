@@ -1,0 +1,31 @@
+from repro.core.scope import GlobalScope, LocalScope
+
+import pytest
+
+
+class TestGlobalScope:
+    def test_everyone_votes(self, some_carrier_id):
+        assert GlobalScope().voters_for(some_carrier_id) is None
+
+    def test_name(self):
+        assert GlobalScope().name == "global"
+
+
+class TestLocalScope:
+    def test_matches_x2_neighborhood(self, network, some_carrier_id):
+        scope = LocalScope(network.x2, hops=1)
+        voters = scope.voters_for(some_carrier_id)
+        assert voters == network.x2.carrier_neighborhood(some_carrier_id, hops=1)
+
+    def test_two_hops_superset(self, network, some_carrier_id):
+        one = LocalScope(network.x2, hops=1).voters_for(some_carrier_id)
+        two = LocalScope(network.x2, hops=2).voters_for(some_carrier_id)
+        assert one <= two
+
+    def test_invalid_hops(self, network):
+        with pytest.raises(ValueError):
+            LocalScope(network.x2, hops=0)
+
+    def test_self_never_votes(self, network, some_carrier_id):
+        voters = LocalScope(network.x2).voters_for(some_carrier_id)
+        assert some_carrier_id not in voters

@@ -1,0 +1,164 @@
+import pytest
+
+from repro.datagen.provenance import Provenance
+from repro.netmodel.attributes import ATTRIBUTE_SCHEMA
+from repro.netmodel.bands import band_for_frequency_mhz
+from repro.types import Band
+
+
+class TestGeneratedNetwork:
+    def test_markets_match_profile(self, dataset):
+        profile_names = [m.name for m in dataset.profile.markets]
+        generated = [m.name for m in dataset.network.markets]
+        assert generated == profile_names
+
+    def test_enodeb_counts_match_profile(self, dataset):
+        for market, mp in zip(dataset.network.markets, dataset.profile.markets):
+            assert market.enodeb_count() == mp.enodeb_count
+
+    def test_carriers_per_enodeb_near_profile(self, dataset):
+        for market, mp in zip(dataset.network.markets, dataset.profile.markets):
+            mean = market.carrier_count() / market.enodeb_count()
+            assert mean == pytest.approx(mp.carriers_per_enodeb, rel=0.35)
+
+    def test_every_carrier_has_full_attributes(self, dataset):
+        for carrier in dataset.network.carriers():
+            for name in ATTRIBUTE_SCHEMA.names:
+                assert carrier.attributes.get(name) is not None
+
+    def test_market_attribute_matches_containing_market(self, dataset):
+        for market in dataset.network.markets:
+            for carrier in market.carriers():
+                assert carrier.attributes["market"] == market.name
+
+    def test_bandwidth_consistent_with_frequency(self, dataset):
+        from repro.datagen.generator import _BANDWIDTH_BY_FREQUENCY
+
+        for carrier in dataset.network.carriers():
+            frequency = carrier.attributes["carrier_frequency"]
+            bandwidth = carrier.attributes["channel_bandwidth"]
+            assert bandwidth in _BANDWIDTH_BY_FREQUENCY[frequency]
+
+    def test_firstnet_only_on_700(self, dataset):
+        for carrier in dataset.network.carriers():
+            if carrier.attributes["carrier_type"] == "FirstNet":
+                assert carrier.attributes["carrier_frequency"] == 700
+
+    def test_nbiot_only_low_band(self, dataset):
+        for carrier in dataset.network.carriers():
+            if carrier.attributes["carrier_type"] == "NB-IoT":
+                assert carrier.band is Band.LOW
+
+    def test_urban_carriers_closer_to_center(self, dataset):
+        for market in dataset.network.markets:
+            urban = [
+                e.location.distance_km(market.center)
+                for e in market.enodebs
+                if next(e.carriers()).attributes["morphology"] == "urban"
+            ]
+            rural = [
+                e.location.distance_km(market.center)
+                for e in market.enodebs
+                if next(e.carriers()).attributes["morphology"] == "rural"
+            ]
+            if urban and rural:
+                assert sum(urban) / len(urban) < sum(rural) / len(rural)
+
+    def test_neighbor_count_matches_enodeb(self, dataset):
+        for enodeb in dataset.network.enodebs():
+            for carrier in enodeb.carriers():
+                assert (
+                    carrier.attributes["neighbor_count"]
+                    == enodeb.carrier_count() - 1
+                )
+
+    def test_faces_mirror_frequency_plan(self, dataset):
+        for enodeb in dataset.network.enodebs():
+            per_face = [
+                sorted(c.frequency_mhz for c in face.carriers)
+                for face in enodeb.faces
+            ]
+            assert per_face[0] == per_face[1] == per_face[2]
+
+
+class TestGeneratedConfiguration:
+    def test_every_range_parameter_has_values(self, dataset):
+        for spec in dataset.catalog.range_parameters():
+            if spec.is_pairwise:
+                assert dataset.store.pairwise_values(spec.name)
+            else:
+                assert dataset.store.singular_values(spec.name)
+
+    def test_pairwise_coverage_rate(self, dataset):
+        total_pairs = 2 * dataset.network.x2.carrier_relation_count()
+        covered = len(dataset.store.pairwise_values("hysA3Offset"))
+        expected = dataset.profile.pairwise_coverage
+        assert covered / total_pairs == pytest.approx(expected, abs=0.08)
+
+    def test_provenance_only_for_stored_values(self, dataset):
+        values = dataset.store.singular_values("pMax")
+        for key in dataset.provenance.records_for("pMax"):
+            # Every provenance key must be a configured target.
+            if not hasattr(key, "neighbor"):
+                assert key in values
+
+    def test_trial_leftovers_have_different_intended(self, dataset):
+        for parameter, key, record in dataset.provenance.iter_all():
+            if record.provenance is Provenance.TRIAL_LEFTOVER:
+                spec = dataset.catalog.spec(parameter)
+                current = (
+                    dataset.store.get_pairwise(key, parameter)
+                    if spec.is_pairwise
+                    else dataset.store.get_singular(key, parameter)
+                )
+                assert record.intended is not None
+                assert record.intended != current
+
+    def test_noise_rates_close_to_profile(self, dataset):
+        counts = dataset.provenance.count_by_provenance()
+        total = dataset.store.total_value_count()
+        trial = counts.get(Provenance.TRIAL_LEFTOVER, 0) / total
+        engineer = counts.get(Provenance.ENGINEER_TUNED, 0) / total
+        assert trial == pytest.approx(dataset.profile.trial_noise_rate, rel=0.5)
+        assert engineer == pytest.approx(
+            dataset.profile.engineer_tuning_rate, rel=0.5
+        )
+
+    def test_determinism(self):
+        from repro.datagen.generator import generate_dataset
+        from repro.datagen.profiles import four_market_profile
+
+        profile = four_market_profile(scale=0.003)
+        a = generate_dataset(profile)
+        b = generate_dataset(profile)
+        assert a.network.carrier_count() == b.network.carrier_count()
+        assert a.store.singular_values("pMax") == b.store.singular_values("pMax")
+        assert a.store.pairwise_values("hysA3Offset") == b.store.pairwise_values(
+            "hysA3Offset"
+        )
+
+    def test_terrain_assigned_per_enodeb(self, dataset):
+        enodeb_ids = {e.enodeb_id for e in dataset.network.enodebs()}
+        assert set(dataset.terrain) == enodeb_ids
+        fraction = sum(dataset.terrain.values()) / len(dataset.terrain)
+        assert fraction < 0.5  # terrain is the minority case
+
+
+class TestDatasetHelpers:
+    def test_carrier_row_matches_schema(self, dataset, some_carrier_id):
+        row = dataset.carrier_row(some_carrier_id)
+        assert len(row) == len(ATTRIBUTE_SCHEMA)
+
+    def test_pair_row_concatenates(self, dataset):
+        pair = sorted(dataset.store.pairwise_values("hysA3Offset"))[0]
+        row = dataset.pair_row(pair)
+        assert len(row) == 2 * len(ATTRIBUTE_SCHEMA)
+        assert row[: len(ATTRIBUTE_SCHEMA)] == dataset.carrier_row(pair.carrier)
+
+    def test_market_name_of(self, dataset, some_carrier_id):
+        assert dataset.market_name_of(some_carrier_id) in {
+            m.name for m in dataset.network.markets
+        }
+
+    def test_summary_mentions_values(self, dataset):
+        assert "configuration values" in dataset.summary()

@@ -1,0 +1,54 @@
+import pytest
+
+from repro.datagen.growth import QUARTERS, build_growth_timeline
+from repro.types import Band
+
+
+@pytest.fixture(scope="module")
+def timeline(dataset):
+    return build_growth_timeline(dataset.network, seed=1)
+
+
+class TestGrowthTimeline:
+    def test_every_carrier_has_activation(self, dataset, timeline):
+        assert len(timeline.activation_quarter) == dataset.network.carrier_count()
+        assert all(0 <= q < QUARTERS for q in timeline.activation_quarter.values())
+
+    def test_series_lengths(self, timeline):
+        assert timeline.quarters == QUARTERS
+        assert len(timeline.traffic_per_quarter) == QUARTERS
+
+    def test_monotone_growth(self, timeline):
+        assert timeline.carriers_per_quarter == sorted(timeline.carriers_per_quarter)
+        assert timeline.traffic_per_quarter == sorted(timeline.traffic_per_quarter)
+
+    def test_all_carriers_active_at_end(self, dataset, timeline):
+        assert timeline.carriers_per_quarter[-1] == dataset.network.carrier_count()
+
+    def test_traffic_outgrows_carriers(self, timeline):
+        assert timeline.traffic_growth_factor() > timeline.carriers_growth_factor()
+
+    def test_low_band_deploys_earlier(self, dataset, timeline):
+        by_band = {Band.LOW: [], Band.HIGH: []}
+        for carrier in dataset.network.carriers():
+            if carrier.band in by_band:
+                by_band[carrier.band].append(
+                    timeline.activation_quarter[carrier.carrier_id]
+                )
+        if by_band[Band.LOW] and by_band[Band.HIGH]:
+            low_mean = sum(by_band[Band.LOW]) / len(by_band[Band.LOW])
+            high_mean = sum(by_band[Band.HIGH]) / len(by_band[Band.HIGH])
+            assert low_mean < high_mean
+
+    def test_deterministic(self, dataset):
+        a = build_growth_timeline(dataset.network, seed=1)
+        b = build_growth_timeline(dataset.network, seed=1)
+        assert a.activation_quarter == b.activation_quarter
+
+    def test_launched_in_partition(self, dataset, timeline):
+        total = sum(len(timeline.launched_in(q)) for q in range(QUARTERS))
+        assert total == dataset.network.carrier_count()
+
+    def test_minimum_quarters(self, dataset):
+        with pytest.raises(ValueError):
+            build_growth_timeline(dataset.network, quarters=1)

@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.config.catalog import build_default_catalog
+from repro.datagen.latent_rules import (
+    LatentRule,
+    PAIRWISE_NEIGHBOR_ATTRIBUTES,
+    PAIRWISE_OWN_ATTRIBUTES,
+    SINGULAR_RULE_ATTRIBUTES,
+    build_latent_rules,
+)
+
+
+@pytest.fixture(scope="module")
+def rules():
+    return build_latent_rules(build_default_catalog(), seed=42)
+
+
+class TestRuleShapes:
+    def test_one_rule_per_range_parameter(self, rules, catalog):
+        assert set(rules) == {s.name for s in catalog.range_parameters()}
+
+    def test_pool_values_legal(self, rules, catalog):
+        for name, rule in rules.items():
+            spec = catalog.spec(name)
+            for value in rule.pool:
+                assert spec.contains(value), (name, value)
+
+    def test_pool_values_distinct(self, rules):
+        for rule in rules.values():
+            assert len(set(rule.pool)) == len(rule.pool)
+
+    def test_inactivity_timer_has_large_pool(self, rules):
+        assert rules["inactivityTimer"].pool_size == 200
+
+    def test_most_pools_are_small(self, rules):
+        small = sum(1 for r in rules.values() if r.pool_size <= 10)
+        assert small >= len(rules) * 0.4
+
+    def test_weights_form_distribution(self, rules):
+        for rule in rules.values():
+            assert rule.weights.shape == (rule.pool_size,)
+            assert rule.weights.sum() == pytest.approx(1.0)
+            assert np.all(rule.weights > 0)
+
+    def test_weights_skewed(self, rules):
+        for rule in rules.values():
+            if rule.pool_size >= 5:
+                assert rule.weights[0] > rule.weights[-1]
+
+    def test_singular_dependents_from_allowed_set(self, rules, catalog):
+        for spec in catalog.singular_parameters():
+            rule = rules[spec.name]
+            assert 2 <= len(rule.dependent_attributes) <= 4
+            for name in rule.dependent_attributes:
+                assert name in SINGULAR_RULE_ATTRIBUTES
+
+    def test_pairwise_dependents_prefixed(self, rules, catalog):
+        for spec in catalog.pairwise_parameters():
+            rule = rules[spec.name]
+            for name in rule.dependent_attributes:
+                side, _, attribute = name.partition(".")
+                assert side in ("own", "nbr")
+                if side == "own":
+                    assert attribute in PAIRWISE_OWN_ATTRIBUTES
+                else:
+                    assert attribute in PAIRWISE_NEIGHBOR_ATTRIBUTES
+
+
+class TestRuleValues:
+    def test_value_for_deterministic(self, rules):
+        rule = rules["pMax"]
+        combo = (700, "standard")
+        assert rule.value_for(combo) == rule.value_for(combo)
+
+    def test_value_in_pool(self, rules):
+        rule = rules["pMax"]
+        assert rule.value_for((1900, "standard")) in rule.pool
+
+    def test_variants_may_differ(self, rules):
+        rule = rules["inactivityTimer"]
+        combo = ("combo",)
+        values = {rule.value_for(combo, variant=v) for v in ("base", "a", "b", "c")}
+        assert len(values) > 1  # 200-value pool: variants almost surely differ
+
+    def test_seed_changes_rules(self):
+        catalog = build_default_catalog()
+        a = build_latent_rules(catalog, seed=1)["pMax"]
+        b = build_latent_rules(catalog, seed=2)["pMax"]
+        combos = [(f, t) for f in (700, 1900, 2500) for t in ("standard", "FirstNet")]
+        assert any(a.value_for(c) != b.value_for(c) for c in combos) or (
+            a.pool != b.pool
+        )
+
+    def test_random_pool_value_excludes(self, rules):
+        rule = rules["pMax"]
+        rng = np.random.default_rng(0)
+        exclude = rule.pool[0]
+        for _ in range(20):
+            assert rule.random_pool_value(rng, exclude) != exclude
+
+    def test_random_pool_value_single_value_pool(self, catalog):
+        spec = catalog.spec("pMax")
+        rule = LatentRule(
+            spec=spec,
+            dependent_attributes=("morphology",),
+            pool=(12.6,),
+            weights=np.array([1.0]),
+            seed=0,
+        )
+        rng = np.random.default_rng(0)
+        assert rule.random_pool_value(rng, exclude=12.6) == 12.6

@@ -1,0 +1,94 @@
+import pytest
+
+from repro.datagen.profiles import (
+    FULL_NETWORK_MARKET_COUNT,
+    GenerationProfile,
+    MarketProfile,
+    four_market_profile,
+    full_network_profile,
+)
+from repro.exceptions import GenerationError
+from repro.netmodel.geo import GeoPoint
+from repro.types import Timezone
+
+
+class TestMarketProfile:
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            MarketProfile("m", Timezone.EASTERN, 0, 10.0, GeoPoint(0, 0), 0.5)
+        with pytest.raises(GenerationError):
+            MarketProfile("m", Timezone.EASTERN, 5, 1.0, GeoPoint(0, 0), 0.5)
+        with pytest.raises(GenerationError):
+            MarketProfile("m", Timezone.EASTERN, 5, 10.0, GeoPoint(0, 0), 1.5)
+
+
+class TestFourMarketProfile:
+    def test_one_market_per_timezone(self):
+        profile = four_market_profile()
+        timezones = [m.timezone for m in profile.markets]
+        assert sorted(tz.value for tz in timezones) == sorted(
+            tz.value for tz in Timezone
+        )
+
+    def test_full_scale_matches_paper_enodeb_counts(self):
+        profile = four_market_profile(scale=1.0)
+        counts = sorted(m.enodeb_count for m in profile.markets)
+        assert counts == [1521, 1679, 1791, 2643]
+
+    def test_scale_shrinks_proportionally(self):
+        full = four_market_profile(scale=1.0)
+        tenth = four_market_profile(scale=0.1)
+        for big, small in zip(full.markets, tenth.markets):
+            assert small.enodeb_count == pytest.approx(big.enodeb_count / 10, abs=1)
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(GenerationError):
+            four_market_profile(scale=0.0)
+
+    def test_minimum_three_enodebs(self):
+        profile = four_market_profile(scale=1e-9)
+        assert all(m.enodeb_count >= 3 for m in profile.markets)
+
+
+class TestFullNetworkProfile:
+    def test_28_markets(self):
+        profile = full_network_profile()
+        assert len(profile.markets) == FULL_NETWORK_MARKET_COUNT == 28
+
+    def test_market_names_unique(self):
+        profile = full_network_profile()
+        names = [m.name for m in profile.markets]
+        assert len(set(names)) == len(names)
+
+    def test_contains_four_anchor_markets(self):
+        profile = full_network_profile()
+        names = {m.name for m in profile.markets}
+        assert {"Mountain-1", "Central-1", "Eastern-1", "Pacific-1"} <= names
+
+    def test_deterministic_for_seed(self):
+        a = full_network_profile(seed=1)
+        b = full_network_profile(seed=1)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = full_network_profile(seed=1)
+        b = full_network_profile(seed=2)
+        assert a != b
+
+
+class TestGenerationProfile:
+    def test_rates_validated(self):
+        base = four_market_profile()
+        with pytest.raises(GenerationError):
+            GenerationProfile(markets=base.markets, trial_noise_rate=1.5)
+        with pytest.raises(GenerationError):
+            GenerationProfile(markets=base.markets, pairwise_coverage=-0.1)
+
+    def test_needs_markets(self):
+        with pytest.raises(GenerationError):
+            GenerationProfile(markets=())
+
+    def test_with_seed(self):
+        profile = four_market_profile()
+        assert profile.with_seed(123).seed == 123
+        assert profile.with_seed(123).markets == profile.markets

@@ -1,0 +1,60 @@
+import pytest
+
+from repro.datagen.provenance import (
+    Provenance,
+    ProvenanceMap,
+    ProvenanceRecord,
+)
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+
+
+def cid(i=0):
+    return CarrierId(ENodeBId(MarketId(0), i), 0, 0)
+
+
+class TestProvenanceRecord:
+    def test_current_is_intended(self):
+        assert ProvenanceRecord(Provenance.BASE).current_is_intended
+        assert not ProvenanceRecord(
+            Provenance.TRIAL_LEFTOVER, intended=5
+        ).current_is_intended
+
+
+class TestProvenanceMap:
+    def test_default_is_base(self):
+        pmap = ProvenanceMap()
+        record = pmap.get("pMax", cid())
+        assert record.provenance is Provenance.BASE
+        assert record.intended is None
+
+    def test_base_records_not_stored(self):
+        pmap = ProvenanceMap()
+        pmap.set("pMax", cid(), ProvenanceRecord(Provenance.BASE))
+        assert pmap.records_for("pMax") == {}
+
+    def test_non_base_stored_and_returned(self):
+        pmap = ProvenanceMap()
+        record = ProvenanceRecord(Provenance.LOCAL_TUNED)
+        pmap.set("pMax", cid(), record)
+        assert pmap.get("pMax", cid()) == record
+
+    def test_records_isolated_per_parameter(self):
+        pmap = ProvenanceMap()
+        pmap.set("pMax", cid(), ProvenanceRecord(Provenance.LOCAL_TUNED))
+        assert pmap.get("qHyst", cid()).provenance is Provenance.BASE
+
+    def test_iter_all(self):
+        pmap = ProvenanceMap()
+        pmap.set("pMax", cid(0), ProvenanceRecord(Provenance.LOCAL_TUNED))
+        pmap.set("qHyst", cid(1), ProvenanceRecord(Provenance.ENGINEER_TUNED))
+        entries = list(pmap.iter_all())
+        assert len(entries) == 2
+
+    def test_count_by_provenance(self):
+        pmap = ProvenanceMap()
+        pmap.set("pMax", cid(0), ProvenanceRecord(Provenance.LOCAL_TUNED))
+        pmap.set("pMax", cid(1), ProvenanceRecord(Provenance.LOCAL_TUNED))
+        pmap.set("qHyst", cid(0), ProvenanceRecord(Provenance.TRIAL_LEFTOVER, 3))
+        counts = pmap.count_by_provenance()
+        assert counts[Provenance.LOCAL_TUNED] == 2
+        assert counts[Provenance.TRIAL_LEFTOVER] == 1

@@ -1,0 +1,36 @@
+import pytest
+
+from repro.datagen import workloads
+
+
+class TestWorkloads:
+    def test_tiny_workload_is_cached(self):
+        a = workloads.tiny_workload()
+        b = workloads.tiny_workload()
+        assert a is b
+
+    def test_tiny_workload_two_markets(self, dataset):
+        assert dataset.network.market_count() == 2
+
+    def test_env_scale_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FOUR_MARKET_SCALE", "0.25")
+        assert workloads._env_scale("REPRO_FOUR_MARKET_SCALE", 0.05) == 0.25
+
+    def test_env_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FOUR_MARKET_SCALE", raising=False)
+        assert workloads._env_scale("REPRO_FOUR_MARKET_SCALE", 0.05) == 0.05
+
+    def test_env_scale_rejects_non_positive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FOUR_MARKET_SCALE", "0")
+        with pytest.raises(ValueError):
+            workloads._env_scale("REPRO_FOUR_MARKET_SCALE", 0.05)
+
+    def test_four_markets_explicit_scale_generates(self):
+        dataset = workloads.four_markets_workload(scale=0.003)
+        assert dataset.network.market_count() == 4
+
+    def test_clear_cache(self):
+        a = workloads.tiny_workload()
+        workloads.clear_workload_cache()
+        b = workloads.tiny_workload()
+        assert a is not b

@@ -1,0 +1,49 @@
+from repro.eval.accuracy import LearnerScore, ParameterAccuracy
+
+
+def score(learner="cf", parameter="p", accuracy=0.9, market=None, distinct=3):
+    return LearnerScore(
+        learner=learner,
+        parameter=parameter,
+        accuracy=accuracy,
+        samples=100,
+        distinct_values=distinct,
+        market=market,
+    )
+
+
+class TestParameterAccuracy:
+    def test_mean_by_learner(self):
+        acc = ParameterAccuracy()
+        acc.add(score("cf", "p1", 0.9))
+        acc.add(score("cf", "p2", 0.7))
+        acc.add(score("dt", "p1", 0.5))
+        means = acc.mean_by_learner()
+        assert means["cf"] == 0.8
+        assert means["dt"] == 0.5
+
+    def test_mean_by_learner_and_market(self):
+        acc = ParameterAccuracy()
+        acc.add(score("cf", "p1", 0.9, market="M1"))
+        acc.add(score("cf", "p1", 0.7, market="M2"))
+        grouped = acc.mean_by_learner_and_market()
+        assert grouped["M1"]["cf"] == 0.9
+        assert grouped["M2"]["cf"] == 0.7
+
+    def test_missing_market_grouped_as_all(self):
+        acc = ParameterAccuracy()
+        acc.add(score("cf", "p1", 0.9))
+        assert "all" in acc.mean_by_learner_and_market()
+
+    def test_by_parameter(self):
+        acc = ParameterAccuracy()
+        acc.add(score("cf", "p1", 0.9))
+        acc.add(score("cf", "p2", 0.8))
+        acc.add(score("dt", "p1", 0.1))
+        assert acc.by_parameter("cf") == {"p1": 0.9, "p2": 0.8}
+
+    def test_len(self):
+        acc = ParameterAccuracy()
+        assert len(acc) == 0
+        acc.add(score())
+        assert len(acc) == 1

@@ -1,0 +1,60 @@
+import pytest
+
+from repro.eval.dataset import LearningView
+from repro.netmodel.attributes import ATTRIBUTE_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def view(dataset):
+    return LearningView(dataset.network, dataset.store)
+
+
+class TestSingularSamples:
+    def test_alignment(self, view, dataset):
+        samples = view.samples("pMax")
+        values = dataset.store.singular_values("pMax")
+        assert len(samples) == len(values)
+        for key, label in zip(samples.keys, samples.labels):
+            assert values[key] == label
+
+    def test_rows_are_attribute_tuples(self, view):
+        samples = view.samples("pMax")
+        assert all(len(r) == len(ATTRIBUTE_SCHEMA) for r in samples.rows)
+
+    def test_market_filter(self, view, dataset):
+        market = dataset.network.markets[0]
+        samples = view.samples("pMax", market.market_id)
+        assert all(k.market == market.market_id for k in samples.keys)
+        assert len(samples) < len(view.samples("pMax"))
+
+    def test_keys_sorted(self, view):
+        samples = view.samples("pMax")
+        assert samples.keys == sorted(samples.keys)
+
+
+class TestPairwiseSamples:
+    def test_rows_concatenate_both_sides(self, view):
+        samples = view.samples("hysA3Offset")
+        assert all(len(r) == 2 * len(ATTRIBUTE_SCHEMA) for r in samples.rows)
+
+    def test_market_filter_applies_to_source(self, view, dataset):
+        market = dataset.network.markets[0]
+        samples = view.samples("hysA3Offset", market.market_id)
+        assert all(k.carrier.market == market.market_id for k in samples.keys)
+
+    def test_column_names(self, view, dataset):
+        spec = dataset.catalog.spec("hysA3Offset")
+        names = view.column_names(spec)
+        assert len(names) == 2 * len(ATTRIBUTE_SCHEMA)
+        assert names[0].startswith("own.")
+        assert names[-1].startswith("nbr.")
+
+
+class TestSubset:
+    def test_subset_preserves_alignment(self, view):
+        samples = view.samples("pMax")
+        subset = samples.subset([0, 2, 4])
+        assert len(subset) == 3
+        assert subset.keys[1] == samples.keys[2]
+        assert subset.labels[1] == samples.labels[2]
+        assert subset.rows[1] == samples.rows[2]

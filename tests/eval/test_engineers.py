@@ -1,0 +1,74 @@
+import pytest
+
+from repro.datagen.provenance import Provenance, ProvenanceMap, ProvenanceRecord
+from repro.eval.engineers import MismatchLabel, label_mismatch, label_mismatches
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+
+
+def cid(i=0):
+    return CarrierId(ENodeBId(MarketId(0), i), 0, 0)
+
+
+@pytest.fixture()
+def pmap():
+    pmap = ProvenanceMap()
+    pmap.set("pMax", cid(0), ProvenanceRecord(Provenance.TRIAL_LEFTOVER, intended=10))
+    pmap.set("pMax", cid(1), ProvenanceRecord(Provenance.ROLLOUT_INFLIGHT))
+    pmap.set("pMax", cid(2), ProvenanceRecord(Provenance.HIDDEN_FACTOR))
+    pmap.set("pMax", cid(3), ProvenanceRecord(Provenance.ENGINEER_TUNED))
+    pmap.set("pMax", cid(4), ProvenanceRecord(Provenance.LOCAL_TUNED))
+    return pmap
+
+
+class TestLabelMismatch:
+    def test_trial_leftover_with_intended_match_is_good(self, pmap):
+        label = label_mismatch(pmap, "pMax", cid(0), current=99, recommended=10)
+        assert label is MismatchLabel.GOOD_RECOMMENDATION
+
+    def test_trial_leftover_with_other_recommendation_inconclusive(self, pmap):
+        label = label_mismatch(pmap, "pMax", cid(0), current=99, recommended=55)
+        assert label is MismatchLabel.INCONCLUSIVE
+
+    def test_rollout_is_update_learner(self, pmap):
+        label = label_mismatch(pmap, "pMax", cid(1), current=1, recommended=2)
+        assert label is MismatchLabel.UPDATE_LEARNER
+
+    def test_hidden_factor_is_update_learner(self, pmap):
+        label = label_mismatch(pmap, "pMax", cid(2), current=1, recommended=2)
+        assert label is MismatchLabel.UPDATE_LEARNER
+
+    def test_engineer_tuned_is_inconclusive(self, pmap):
+        label = label_mismatch(pmap, "pMax", cid(3), current=1, recommended=2)
+        assert label is MismatchLabel.INCONCLUSIVE
+
+    def test_local_tuned_is_inconclusive(self, pmap):
+        label = label_mismatch(pmap, "pMax", cid(4), current=1, recommended=2)
+        assert label is MismatchLabel.INCONCLUSIVE
+
+    def test_base_value_is_inconclusive(self, pmap):
+        label = label_mismatch(pmap, "pMax", cid(9), current=1, recommended=2)
+        assert label is MismatchLabel.INCONCLUSIVE
+
+    def test_non_mismatch_rejected(self, pmap):
+        with pytest.raises(ValueError):
+            label_mismatch(pmap, "pMax", cid(0), current=5, recommended=5)
+
+
+class TestLabelMismatches:
+    def test_batch_counts(self, pmap):
+        mismatches = [
+            ("pMax", cid(0), 99, 10),
+            ("pMax", cid(1), 1, 2),
+            ("pMax", cid(3), 1, 2),
+            ("pMax", cid(9), 1, 2),
+        ]
+        labeled, counts = label_mismatches(pmap, mismatches)
+        assert len(labeled) == 4
+        assert counts[MismatchLabel.GOOD_RECOMMENDATION] == 1
+        assert counts[MismatchLabel.UPDATE_LEARNER] == 1
+        assert counts[MismatchLabel.INCONCLUSIVE] == 2
+
+    def test_empty_batch(self, pmap):
+        labeled, counts = label_mismatches(pmap, [])
+        assert labeled == []
+        assert all(v == 0 for v in counts.values())

@@ -1,0 +1,54 @@
+"""Unit tests for Fig 10 result helpers."""
+
+from repro.eval.accuracy import LearnerScore, ParameterAccuracy
+from repro.experiments.fig10_accuracy_by_parameter import Fig10Result
+
+
+def score(learner, parameter, accuracy, distinct, market="M1"):
+    return LearnerScore(
+        learner=learner,
+        parameter=parameter,
+        accuracy=accuracy,
+        samples=100,
+        distinct_values=distinct,
+        market=market,
+    )
+
+
+def build(scores):
+    acc = ParameterAccuracy()
+    for s in scores:
+        acc.add(s)
+    return Fig10Result(scores=acc, markets=["M1"])
+
+
+class TestCorrelation:
+    def test_negative_when_accuracy_falls_with_variability(self):
+        result = build(
+            [
+                score("collaborative-filtering", f"p{i}", 1.0 - 0.05 * i, i + 2)
+                for i in range(8)
+            ]
+        )
+        rho = result.variability_accuracy_correlation("collaborative-filtering")
+        assert rho < -0.9
+
+    def test_zero_variance_returns_zero(self):
+        result = build(
+            [score("decision-tree", f"p{i}", 0.9, 5) for i in range(4)]
+        )
+        assert result.variability_accuracy_correlation("decision-tree") == 0.0
+
+
+class TestMarketSeries:
+    def test_sorted_by_variability_desc(self):
+        result = build(
+            [
+                score("decision-tree", "low", 0.9, 3),
+                score("decision-tree", "high", 0.8, 40),
+                score("decision-tree", "mid", 0.85, 10),
+            ]
+        )
+        order, series = result.market_series("M1")
+        assert order == ["high", "mid", "low"]
+        assert series["distinct"] == [40.0, 10.0, 3.0]

@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.eval.splits import kfold_indices, stratified_sample_indices
+
+
+class TestKFold:
+    def test_partition_covers_everything(self):
+        n, k = 100, 4
+        seen = []
+        for train, test in kfold_indices(n, k, seed=0):
+            assert set(train) | set(test) == set(range(n))
+            assert not set(train) & set(test)
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(n))
+
+    def test_fold_count(self):
+        assert len(list(kfold_indices(50, 5))) == 5
+
+    def test_deterministic_per_seed(self):
+        a = [t.tolist() for _, t in kfold_indices(30, 3, seed=7)]
+        b = [t.tolist() for _, t in kfold_indices(30, 3, seed=7)]
+        assert a == b
+
+    def test_different_seed_shuffles(self):
+        a = [t.tolist() for _, t in kfold_indices(30, 3, seed=1)]
+        b = [t.tolist() for _, t in kfold_indices(30, 3, seed=2)]
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(10, 1))
+        with pytest.raises(ValueError):
+            list(kfold_indices(2, 3))
+
+
+class TestStratifiedSample:
+    def test_returns_all_when_size_sufficient(self):
+        assert stratified_sample_indices([1, 2, 3], 10) == [0, 1, 2]
+
+    def test_every_label_represented(self):
+        labels = ["a"] * 90 + ["b"] * 9 + ["rare"]
+        picked = stratified_sample_indices(labels, 20, seed=0)
+        assert len(picked) == 20
+        assert {labels[i] for i in picked} == {"a", "b", "rare"}
+
+    def test_size_respected(self):
+        labels = list(range(50)) * 4
+        picked = stratified_sample_indices(labels, 60, seed=1)
+        assert len(picked) == 60
+
+    def test_indices_sorted_and_unique(self):
+        labels = ["x", "y"] * 100
+        picked = stratified_sample_indices(labels, 30)
+        assert picked == sorted(set(picked))
+
+    def test_fewer_slots_than_labels(self):
+        labels = [str(i) for i in range(100)]
+        picked = stratified_sample_indices(labels, 10, seed=3)
+        assert len(picked) == 10
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            stratified_sample_indices([1, 2, 3], 0)
+
+    def test_deterministic(self):
+        labels = ["a", "b", "c"] * 40
+        assert stratified_sample_indices(labels, 20, seed=5) == (
+            stratified_sample_indices(labels, 20, seed=5)
+        )

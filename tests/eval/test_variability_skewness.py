@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.eval.skewness import (
+    classification_counts,
+    skewness,
+    skewness_classification,
+    skewness_per_parameter,
+)
+from repro.eval.variability import (
+    distinct_values_per_parameter,
+    variability_by_market,
+)
+
+
+class TestVariability:
+    def test_all_range_parameters_covered(self, dataset):
+        counts = distinct_values_per_parameter(dataset.store)
+        assert len(counts) == 65
+        assert all(v >= 1 for v in counts.values())
+
+    def test_explicit_parameter_list(self, dataset):
+        counts = distinct_values_per_parameter(dataset.store, ["pMax", "qHyst"])
+        assert set(counts) == {"pMax", "qHyst"}
+
+    def test_counts_match_store(self, dataset):
+        counts = distinct_values_per_parameter(dataset.store, ["pMax"])
+        expected = len(set(dataset.store.singular_values("pMax").values()))
+        assert counts["pMax"] == expected
+
+    def test_pairwise_counts_match_store(self, dataset):
+        counts = distinct_values_per_parameter(dataset.store, ["hysA3Offset"])
+        expected = len(set(dataset.store.pairwise_values("hysA3Offset").values()))
+        assert counts["hysA3Offset"] == expected
+
+    def test_by_market_covers_all_markets(self, dataset):
+        by_market = variability_by_market(dataset.network, dataset.store)
+        assert set(by_market) == {m.name for m in dataset.network.markets}
+
+    def test_market_counts_bounded_by_global(self, dataset):
+        global_counts = distinct_values_per_parameter(dataset.store)
+        by_market = variability_by_market(dataset.network, dataset.store)
+        for market_counts in by_market.values():
+            for name, count in market_counts.items():
+                assert count <= global_counts[name]
+
+
+class TestSkewness:
+    def test_symmetric_distribution(self):
+        assert skewness([1, 2, 3, 4, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_right_skew_positive(self):
+        values = [1] * 50 + [10] * 5
+        assert skewness(values) > 1.0
+
+    def test_left_skew_negative(self):
+        values = [10] * 50 + [1] * 5
+        assert skewness(values) < -1.0
+
+    def test_constant_distribution_zero(self):
+        assert skewness([7, 7, 7]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            skewness([])
+
+    def test_matches_scipy(self):
+        from scipy import stats
+
+        rng = np.random.default_rng(0)
+        values = rng.exponential(size=500)
+        assert skewness(values) == pytest.approx(
+            float(stats.skew(values)), rel=1e-9
+        )
+
+    def test_classification_thresholds(self):
+        assert skewness_classification(1.5) == "high"
+        assert skewness_classification(-1.5) == "high"
+        assert skewness_classification(0.7) == "moderate"
+        assert skewness_classification(-0.7) == "moderate"
+        assert skewness_classification(0.2) == "symmetric"
+
+    def test_boundaries(self):
+        assert skewness_classification(1.0) == "moderate"
+        assert skewness_classification(0.5) == "symmetric"
+
+    def test_per_parameter_covers_catalog(self, dataset):
+        skews = skewness_per_parameter(dataset.store)
+        assert len(skews) == 65
+
+    def test_classification_counts_sum(self, dataset):
+        skews = skewness_per_parameter(dataset.store)
+        counts = classification_counts(skews)
+        assert sum(counts.values()) == len(skews)
+
+    def test_majority_skewed_like_paper(self, dataset):
+        """Fig 4 shape: most parameters are moderately or highly skewed."""
+        skews = skewness_per_parameter(dataset.store)
+        counts = classification_counts(skews)
+        assert counts["high"] + counts["moderate"] > counts["symmetric"]
+
+
+class TestClassificationHelpers:
+    def test_underflow_variance_returns_zero(self):
+        # Regression test for the hypothesis-found subnormal underflow.
+        assert skewness([0.0, 5.3e-135]) == 0.0

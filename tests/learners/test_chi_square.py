@@ -1,0 +1,142 @@
+import numpy as np
+import pytest
+
+from repro.learners.chi_square import (
+    chi_square_statistic,
+    contingency_table,
+    test_conditional_independence,
+    test_independence,
+)
+
+
+class TestContingencyTable:
+    def test_counts(self):
+        xs = ["a", "a", "b", "b", "b"]
+        ys = [1, 2, 1, 1, 2]
+        table, rows, cols = contingency_table(xs, ys)
+        assert rows == ["a", "b"]
+        assert cols == [1, 2]
+        assert table.tolist() == [[1.0, 1.0], [2.0, 1.0]]
+
+    def test_total_preserved(self):
+        xs = list("aabbccdd")
+        ys = [1, 2] * 4
+        table, _, _ = contingency_table(xs, ys)
+        assert table.sum() == len(xs)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            contingency_table([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            contingency_table([], [])
+
+
+class TestChiSquareStatistic:
+    def test_independent_table_zero(self):
+        # Perfectly proportional counts: expected == observed.
+        table = np.array([[10.0, 20.0], [20.0, 40.0]])
+        assert chi_square_statistic(table) == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_2x2(self):
+        # Classic textbook 2x2: chi2 = N(ad-bc)^2 / (row/col marginals).
+        table = np.array([[20.0, 30.0], [30.0, 20.0]])
+        n = table.sum()
+        a, b, c, d = 20.0, 30.0, 30.0, 20.0
+        expected = n * (a * d - b * c) ** 2 / (50 * 50 * 50 * 50)
+        assert chi_square_statistic(table) == pytest.approx(expected)
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            chi_square_statistic(np.zeros(3))
+        with pytest.raises(ValueError):
+            chi_square_statistic(np.zeros((2, 2)))
+
+
+class TestIndependenceTest:
+    def test_strong_dependence_detected(self):
+        xs = ["a"] * 50 + ["b"] * 50
+        ys = [1] * 50 + [2] * 50
+        result = test_independence(xs, ys)
+        assert result.dependent
+        assert result.statistic > result.critical_value
+        assert result.cramers_v == pytest.approx(1.0)
+
+    def test_independent_variables_not_flagged(self):
+        rng = np.random.default_rng(3)
+        xs = rng.choice(["a", "b", "c"], size=500).tolist()
+        ys = rng.choice([1, 2, 3, 4], size=500).tolist()
+        result = test_independence(xs, ys)
+        assert not result.dependent
+
+    def test_degenerate_single_category(self):
+        result = test_independence(["a"] * 10, [1, 2] * 5)
+        assert not result.dependent
+        assert result.dof == 0
+
+    def test_dof_formula(self):
+        xs = ["a", "b", "c"] * 10
+        ys = [1, 2] * 15
+        result = test_independence(xs, ys)
+        assert result.dof == (3 - 1) * (2 - 1)
+
+    def test_p_value_validated(self):
+        with pytest.raises(ValueError):
+            test_independence(["a"], [1], p_value=0.0)
+        with pytest.raises(ValueError):
+            test_independence(["a"], [1], p_value=1.5)
+
+    def test_stricter_p_value_raises_critical(self):
+        xs = ["a", "b"] * 30
+        ys = [1, 2, 1, 1, 2, 2] * 10
+        loose = test_independence(xs, ys, p_value=0.05)
+        strict = test_independence(xs, ys, p_value=0.001)
+        assert strict.critical_value > loose.critical_value
+
+
+class TestConditionalIndependence:
+    def test_redundant_attribute_screened_out(self):
+        # z mirrors x exactly; conditioned on x, z is independent of y.
+        rng = np.random.default_rng(0)
+        xs = rng.choice(["a", "b"], size=400).tolist()
+        zs = list(xs)  # perfect copy
+        ys = [("hi" if x == "a" else "lo") for x in xs]
+        marginal = test_independence(zs, ys)
+        assert marginal.dependent  # z looks associated marginally
+        conditional = test_conditional_independence(zs, ys, strata=xs)
+        assert not conditional.dependent  # but adds nothing beyond x
+
+    def test_true_joint_dependence_survives(self):
+        # y depends on both x and z jointly.
+        rng = np.random.default_rng(1)
+        xs = rng.choice(["a", "b"], size=600)
+        zs = rng.choice(["p", "q"], size=600)
+        ys = [f"{x}{z}" for x, z in zip(xs, zs)]
+        conditional = test_conditional_independence(
+            zs.tolist(), ys, strata=xs.tolist()
+        )
+        assert conditional.dependent
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            test_conditional_independence([1], [1, 2], [1, 2])
+
+    def test_all_degenerate_strata(self):
+        # Each stratum has a single x value: no testable association.
+        xs = ["a", "a", "b", "b"]
+        ys = [1, 2, 1, 2]
+        strata = ["s1", "s1", "s2", "s2"]
+        result = test_conditional_independence(xs, ys, strata)
+        # x is constant within each stratum -> dof 0 -> independent.
+        assert not result.dependent
+
+    def test_statistic_sums_over_strata(self):
+        xs = ["a", "b"] * 50
+        ys = ["u", "v"] * 50
+        single = test_independence(xs, ys)
+        doubled = test_conditional_independence(
+            xs + xs, ys + ys, strata=["s1"] * 100 + ["s2"] * 100
+        )
+        assert doubled.statistic == pytest.approx(2 * single.statistic)
+        assert doubled.dof == 2 * single.dof

@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.learners.decision_tree import DecisionTreeLearner
+
+
+def xor_dataset(n=200, seed=0):
+    """Label = XOR of two binary attributes; a third is irrelevant."""
+    rng = np.random.default_rng(seed)
+    rows, labels = [], []
+    for _ in range(n):
+        a = rng.choice(["a0", "a1"])
+        b = rng.choice(["b0", "b1"])
+        c = rng.choice(["c0", "c1", "c2"])
+        rows.append((a, b, c))
+        labels.append("odd" if (a == "a1") != (b == "b1") else "even")
+    return rows, labels
+
+
+class TestDecisionTree:
+    def test_learns_simple_rule(self):
+        rows = [("u",), ("u",), ("r",), ("r",)]
+        labels = [1, 1, 2, 2]
+        tree = DecisionTreeLearner().fit(rows, labels)
+        assert tree.predict([("u",), ("r",)]) == [1, 2]
+
+    def test_learns_xor(self):
+        rows, labels = xor_dataset()
+        tree = DecisionTreeLearner().fit(rows, labels)
+        assert tree.predict(rows) == labels  # pure-leaf tree memorizes train
+
+    def test_generalizes_xor(self):
+        rows, labels = xor_dataset(400)
+        tree = DecisionTreeLearner().fit(rows[:300], labels[:300])
+        predictions = tree.predict(rows[300:])
+        accuracy = np.mean([p == t for p, t in zip(predictions, labels[300:])])
+        assert accuracy > 0.95
+
+    def test_single_class(self):
+        tree = DecisionTreeLearner().fit([("a",), ("b",)], [1, 1])
+        assert tree.predict([("a",)]) == [1]
+        assert tree.depth() == 0
+
+    def test_max_depth_limits_tree(self):
+        rows, labels = xor_dataset()
+        tree = DecisionTreeLearner(max_depth=1).fit(rows, labels)
+        assert tree.depth() <= 1
+
+    def test_identical_rows_mixed_labels_vote_majority(self):
+        rows = [("same",)] * 10
+        labels = [1] * 7 + [2] * 3
+        tree = DecisionTreeLearner().fit(rows, labels)
+        assert tree.predict([("same",)]) == [1]
+
+    def test_unseen_category_falls_to_zero_branch(self):
+        rows = [("a",), ("b",)] * 10
+        labels = [1, 2] * 10
+        tree = DecisionTreeLearner().fit(rows, labels)
+        # Unseen category encodes all-zero; prediction is still a known label.
+        assert tree.predict([("zzz",)])[0] in (1, 2)
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeLearner().predict([("a",)])
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            DecisionTreeLearner(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeLearner(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeLearner(max_features=0)
+
+    def test_fit_validates_inputs(self):
+        tree = DecisionTreeLearner()
+        with pytest.raises(ValueError):
+            tree.fit([], [])
+        with pytest.raises(ValueError):
+            tree.fit([("a",)], [1, 2])
+        with pytest.raises(ValueError):
+            tree.fit([("a",), ("a", "b")], [1, 2])
+
+    def test_explain_one_path(self):
+        rows, labels = xor_dataset()
+        tree = DecisionTreeLearner().fit(rows, labels)
+        path = tree.explain_one(rows[0], ["attr_a", "attr_b", "attr_c"])
+        assert path[-1].startswith("recommend")
+        assert any("attr_" in step for step in path[:-1])
+
+    def test_node_count_grows_with_data_complexity(self):
+        simple = DecisionTreeLearner().fit([("a",), ("b",)] * 5, [1, 2] * 5)
+        rows, labels = xor_dataset()
+        complex_tree = DecisionTreeLearner().fit(rows, labels)
+        assert complex_tree.node_count > simple.node_count
+
+    def test_deterministic(self):
+        rows, labels = xor_dataset()
+        a = DecisionTreeLearner().fit(rows, labels).predict(rows[:50])
+        b = DecisionTreeLearner().fit(rows, labels).predict(rows[:50])
+        assert a == b

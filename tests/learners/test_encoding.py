@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import EncodingError, NotFittedError
+from repro.learners.encoding import LabelCodec, OneHotEncoder
+
+ROWS = [("a", 1, "x"), ("b", 1, "y"), ("a", 2, "x")]
+
+
+class TestOneHotEncoder:
+    def test_width_counts_categories(self):
+        enc = OneHotEncoder().fit(ROWS)
+        # 2 + 2 + 2 categories.
+        assert enc.width == 6
+        assert enc.n_columns_in == 3
+
+    def test_rows_sum_to_column_count(self):
+        enc = OneHotEncoder().fit(ROWS)
+        X = enc.transform(ROWS)
+        assert np.all(X.sum(axis=1) == 3)
+
+    def test_one_hot_positions(self):
+        enc = OneHotEncoder().fit(ROWS)
+        X = enc.transform([("a", 1, "x")])
+        # First category of each column was 'a', 1, 'x'.
+        assert X[0].tolist() == [1, 0, 1, 0, 1, 0]
+
+    def test_unseen_category_encodes_to_zeros(self):
+        enc = OneHotEncoder().fit(ROWS)
+        X = enc.transform([("c", 1, "x")])
+        assert X[0].sum() == 2  # only two known columns hot
+
+    def test_is_known_and_unseen_columns(self):
+        enc = OneHotEncoder().fit(ROWS)
+        assert enc.is_known(("a", 2, "y"))
+        assert not enc.is_known(("c", 1, "x"))
+        assert enc.unseen_columns(("c", 3, "x")) == [0, 1]
+
+    def test_inconsistent_width_rejected(self):
+        enc = OneHotEncoder().fit(ROWS)
+        with pytest.raises(EncodingError):
+            enc.transform([("a", 1)])
+        with pytest.raises(EncodingError):
+            OneHotEncoder().fit([("a",), ("a", "b")])
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(EncodingError):
+            OneHotEncoder().fit([])
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            OneHotEncoder().transform(ROWS)
+        with pytest.raises(NotFittedError):
+            _ = OneHotEncoder().width
+
+    def test_feature_names(self):
+        enc = OneHotEncoder().fit(ROWS)
+        names = enc.feature_names(["letter", "number", "symbol"])
+        assert "letter=a" in names
+        assert "number=2" in names
+        assert len(names) == enc.width
+
+    def test_feature_names_length_mismatch(self):
+        enc = OneHotEncoder().fit(ROWS)
+        with pytest.raises(EncodingError):
+            enc.feature_names(["only-one"])
+
+    def test_fit_transform_equals_fit_then_transform(self):
+        a = OneHotEncoder().fit_transform(ROWS)
+        enc = OneHotEncoder().fit(ROWS)
+        assert np.array_equal(a, enc.transform(ROWS))
+
+
+class TestLabelCodec:
+    def test_roundtrip(self):
+        codec = LabelCodec().fit(["x", "y", "x", 3])
+        encoded = codec.encode(["x", 3, "y"])
+        assert codec.decode(encoded) == ["x", 3, "y"]
+
+    def test_n_classes(self):
+        codec = LabelCodec().fit([1, 1, 2, 3])
+        assert codec.n_classes == 3
+
+    def test_unknown_label_raises(self):
+        codec = LabelCodec().fit([1])
+        with pytest.raises(EncodingError):
+            codec.encode([2])
+
+    def test_decode_one(self):
+        codec = LabelCodec().fit(["a", "b"])
+        assert codec.decode_one(1) == "b"
+
+    def test_incremental_fit_extends(self):
+        codec = LabelCodec().fit([1]).fit([2])
+        assert codec.n_classes == 2

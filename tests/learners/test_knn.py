@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.learners.knn import KNearestNeighborsLearner
+
+
+class TestKNN:
+    def test_exact_match_wins(self):
+        rows = [("a", "x")] * 6 + [("b", "y")] * 6
+        labels = [1] * 6 + [2] * 6
+        knn = KNearestNeighborsLearner(k=5).fit(rows, labels)
+        assert knn.predict([("a", "x"), ("b", "y")]) == [1, 2]
+
+    def test_default_k_is_paper_5(self):
+        assert KNearestNeighborsLearner().k == 5
+
+    def test_k_capped_at_train_size(self):
+        knn = KNearestNeighborsLearner(k=50).fit([("a",), ("b",)], [1, 2])
+        assert knn.predict([("a",)]) == [1]
+
+    def test_majority_among_neighbors(self):
+        # Query equidistant from all training rows -> global majority wins.
+        rows = [("a",)] * 3 + [("b",)] * 2
+        labels = [1] * 3 + [2] * 2
+        knn = KNearestNeighborsLearner(k=5).fit(rows, labels)
+        assert knn.predict([("zzz",)]) == [1]
+
+    def test_partial_match_closer_than_none(self):
+        rows = [("a", "x"), ("b", "y")]
+        labels = [1, 2]
+        knn = KNearestNeighborsLearner(k=1).fit(rows, labels)
+        # ("a", "q") shares one attribute with row 0, none with row 1.
+        assert knn.predict([("a", "q")]) == [1]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNearestNeighborsLearner(k=0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            KNearestNeighborsLearner().predict([("a",)])
+
+    def test_blockwise_matches_direct(self):
+        """Predictions are identical regardless of block boundaries."""
+        rng = np.random.default_rng(2)
+        rows = [
+            (str(rng.integers(0, 4)), str(rng.integers(0, 3)))
+            for _ in range(300)
+        ]
+        labels = [r[0] for r in rows]
+        knn = KNearestNeighborsLearner(k=3).fit(rows, labels)
+        queries = rows[:600]  # larger than one block after duplication
+        predictions = knn.predict(queries + queries)
+        assert predictions[: len(queries)] == predictions[len(queries):]
+
+    def test_irrelevant_attributes_hurt(self):
+        """The paper's stated kNN weakness: irrelevant attributes distort
+        distances.  With many random attributes, accuracy drops below the
+        clean-attribute case."""
+        rng = np.random.default_rng(4)
+        n = 400
+
+        def build(extra_noise_columns):
+            rows, labels = [], []
+            for _ in range(n):
+                key = str(rng.integers(0, 3))
+                noise = tuple(
+                    str(rng.integers(0, 6)) for _ in range(extra_noise_columns)
+                )
+                rows.append((key, *noise))
+                labels.append(key)
+            return rows, labels
+
+        clean_rows, clean_labels = build(0)
+        noisy_rows, noisy_labels = build(12)
+        clean = KNearestNeighborsLearner().fit(clean_rows[:300], clean_labels[:300])
+        noisy = KNearestNeighborsLearner().fit(noisy_rows[:300], noisy_labels[:300])
+        clean_acc = np.mean(
+            [p == t for p, t in zip(clean.predict(clean_rows[300:]), clean_labels[300:])]
+        )
+        noisy_acc = np.mean(
+            [p == t for p, t in zip(noisy.predict(noisy_rows[300:]), noisy_labels[300:])]
+        )
+        assert clean_acc == 1.0
+        assert noisy_acc < clean_acc

@@ -1,0 +1,97 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.learners.lasso import LassoDependencyLearner, LassoRegression
+
+
+class TestLassoRegression:
+    def make_data(self, n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 6))
+        beta = np.array([3.0, 0.0, 0.0, -2.0, 0.0, 0.0])
+        y = X @ beta + 1.5 + 0.01 * rng.normal(size=n)
+        return X, y, beta
+
+    def test_recovers_sparse_coefficients(self):
+        X, y, beta = self.make_data()
+        model = LassoRegression(lam=0.05).fit(X, y)
+        assert model.coef_[0] == pytest.approx(3.0, abs=0.2)
+        assert model.coef_[3] == pytest.approx(-2.0, abs=0.2)
+        for j in (1, 2, 4, 5):
+            assert abs(model.coef_[j]) < 0.05
+
+    def test_intercept_recovered(self):
+        X, y, _ = self.make_data()
+        model = LassoRegression(lam=0.01).fit(X, y)
+        assert model.intercept_ == pytest.approx(1.5, abs=0.1)
+
+    def test_sparsity_increases_with_lambda(self):
+        X, y, _ = self.make_data()
+        light = LassoRegression(lam=0.001).fit(X, y)
+        heavy = LassoRegression(lam=1.0).fit(X, y)
+        assert heavy.sparsity() >= light.sparsity()
+
+    def test_huge_lambda_zeroes_everything(self):
+        X, y, _ = self.make_data()
+        model = LassoRegression(lam=1e6).fit(X, y)
+        assert model.sparsity() == 1.0
+        # Prediction collapses to the mean.
+        assert np.allclose(model.predict(X), y.mean(), atol=0.5)
+
+    def test_prediction_quality(self):
+        X, y, _ = self.make_data()
+        model = LassoRegression(lam=0.01).fit(X[:200], y[:200])
+        residual = y[200:] - model.predict(X[200:])
+        assert np.sqrt(np.mean(residual**2)) < 0.5
+
+    def test_constant_column_handled(self):
+        X = np.ones((50, 2))
+        X[:, 1] = np.arange(50)
+        y = 2.0 * X[:, 1]
+        model = LassoRegression(lam=0.001).fit(X, y)
+        assert model.coef_[1] == pytest.approx(2.0, rel=0.05)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            LassoRegression(lam=-1.0)
+        with pytest.raises(ValueError):
+            LassoRegression().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            LassoRegression().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LassoRegression().predict(np.zeros((2, 2)))
+        with pytest.raises(NotFittedError):
+            LassoRegression().sparsity()
+
+    def test_converges_and_reports_iterations(self):
+        X, y, _ = self.make_data(n=100)
+        model = LassoRegression(lam=0.01, max_iter=500).fit(X, y)
+        assert 1 <= model.n_iter_ <= 500
+
+
+class TestLassoDependencyLearner:
+    def test_snaps_to_observed_values(self):
+        rows = [("u",), ("r",)] * 20
+        labels = [10, 50] * 20
+        learner = LassoDependencyLearner(lam=0.001).fit(rows, labels)
+        for p in learner.predict([("u",), ("r",)]):
+            assert p in (10, 50)
+
+    def test_learns_two_level_rule(self):
+        rows = [("u",), ("r",)] * 50
+        labels = [10, 50] * 50
+        learner = LassoDependencyLearner(lam=0.001).fit(rows, labels)
+        assert learner.predict([("u",), ("r",)]) == [10, 50]
+
+    def test_coefficients_exposed(self):
+        rows = [("u",), ("r",)] * 10
+        labels = [10, 50] * 10
+        learner = LassoDependencyLearner().fit(rows, labels)
+        assert learner.coefficients.shape == (2,)
+
+    def test_non_numeric_labels_rejected(self):
+        with pytest.raises((TypeError, ValueError)):
+            LassoDependencyLearner().fit([("a",)], ["not-a-number"])

@@ -1,0 +1,50 @@
+import numpy as np
+import pytest
+
+from repro.learners.metrics import accuracy_score, entropy, gini_impurity
+
+
+class TestGini:
+    def test_pure_node_zero(self):
+        assert gini_impurity(np.array([10.0, 0.0])) == 0.0
+
+    def test_uniform_two_class(self):
+        assert gini_impurity(np.array([5.0, 5.0])) == pytest.approx(0.5)
+
+    def test_uniform_k_class(self):
+        k = 4
+        counts = np.full(k, 3.0)
+        assert gini_impurity(counts) == pytest.approx(1 - 1 / k)
+
+    def test_empty_node(self):
+        assert gini_impurity(np.array([0.0, 0.0])) == 0.0
+
+
+class TestEntropy:
+    def test_pure_node_zero(self):
+        assert entropy(np.array([7.0, 0.0])) == 0.0
+
+    def test_uniform_two_class_one_bit(self):
+        assert entropy(np.array([5.0, 5.0])) == pytest.approx(1.0)
+
+    def test_empty_node(self):
+        assert entropy(np.array([0.0])) == 0.0
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_none_correct(self):
+        assert accuracy_score([1, 2], [2, 1]) == 0.0
+
+    def test_partial(self):
+        assert accuracy_score(["a", "b", "c", "d"], ["a", "b", "x", "y"]) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])

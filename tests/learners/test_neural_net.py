@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.learners.neural_net import (
+    DeepNeuralNetworkLearner,
+    PAPER_HIDDEN_LAYERS,
+    _softmax,
+)
+
+from tests.learners.test_decision_tree import xor_dataset
+
+
+def small_dnn(**kwargs):
+    defaults = dict(hidden_layers=(16, 8), max_iter=120, batch_size=32)
+    defaults.update(kwargs)
+    return DeepNeuralNetworkLearner(**defaults)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        z = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        p = _softmax(z)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_numerically_stable_with_large_logits(self):
+        z = np.array([[1000.0, 1001.0]])
+        p = _softmax(z)
+        assert np.all(np.isfinite(p))
+        assert p[0, 1] > p[0, 0]
+
+
+class TestDeepNeuralNetwork:
+    def test_paper_architecture_default(self):
+        dnn = DeepNeuralNetworkLearner()
+        assert dnn.hidden_layers == PAPER_HIDDEN_LAYERS == (100, 100, 100, 50, 50, 50, 10)
+        assert dnn.alpha == 1e-5
+        assert dnn.random_state == 1
+        assert dnn.max_iter == 10000
+
+    def test_learns_simple_rule(self):
+        rows = [("u",), ("r",)] * 30
+        labels = [1, 2] * 30
+        dnn = small_dnn().fit(rows, labels)
+        assert dnn.predict([("u",), ("r",)]) == [1, 2]
+
+    def test_learns_xor(self):
+        rows, labels = xor_dataset(400)
+        dnn = small_dnn(max_iter=300).fit(rows[:300], labels[:300])
+        predictions = dnn.predict(rows[300:])
+        accuracy = np.mean([p == t for p, t in zip(predictions, labels[300:])])
+        assert accuracy > 0.9
+
+    def test_early_stopping_before_max_iter(self):
+        rows = [("a",), ("b",)] * 20
+        labels = [1, 2] * 20
+        dnn = small_dnn(max_iter=5000, n_iter_no_change=5).fit(rows, labels)
+        assert dnn.n_iter_ < 5000
+
+    def test_loss_decreases(self):
+        rows, labels = xor_dataset(200)
+        short = small_dnn(max_iter=3, n_iter_no_change=100)
+        short.fit(rows, labels)
+        loss_early = short.loss_
+        longer = small_dnn(max_iter=100, n_iter_no_change=100)
+        longer.fit(rows, labels)
+        assert longer.loss_ < loss_early
+
+    def test_deterministic_given_random_state(self):
+        rows, labels = xor_dataset(150)
+        a = small_dnn(random_state=1).fit(rows, labels).predict(rows[:30])
+        b = small_dnn(random_state=1).fit(rows, labels).predict(rows[:30])
+        assert a == b
+
+    def test_predict_proba_shape_and_simplex(self):
+        rows, labels = xor_dataset(100)
+        dnn = small_dnn().fit(rows, labels)
+        proba = dnn.predict_proba(rows[:10])
+        assert proba.shape == (10, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            DeepNeuralNetworkLearner(hidden_layers=(0,))
+        with pytest.raises(ValueError):
+            DeepNeuralNetworkLearner(max_iter=0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            small_dnn().predict([("a",)])
+        with pytest.raises(NotFittedError):
+            small_dnn().predict_proba([("a",)])
+
+    def test_single_class_degenerates_gracefully(self):
+        dnn = small_dnn().fit([("a",)] * 10, ["only"] * 10)
+        assert dnn.predict([("a",)]) == ["only"]

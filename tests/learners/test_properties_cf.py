@@ -1,0 +1,62 @@
+"""Property-based tests for the CF recommender (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.learners.collaborative_filtering import CollaborativeFilteringRecommender
+
+rows_and_labels = st.lists(
+    st.tuples(
+        st.sampled_from("abc"),
+        st.sampled_from("xyz"),
+        st.sampled_from([1, 2, 3, 4]),
+    ),
+    min_size=5,
+    max_size=120,
+).map(lambda rows: (rows, [f"{r[0]}{r[2] % 2}" for r in rows]))
+
+
+class TestCFProperties:
+    @given(rows_and_labels)
+    @settings(max_examples=40, deadline=None)
+    def test_vote_support_always_valid(self, data):
+        rows, labels = data
+        cf = CollaborativeFilteringRecommender().fit(rows, labels)
+        for row in rows[:10]:
+            outcome = cf.vote(row)
+            assert 0.0 < outcome.support <= 1.0
+            assert outcome.matched_weight >= 1
+            assert outcome.value in set(labels)
+
+    @given(rows_and_labels)
+    @settings(max_examples=40, deadline=None)
+    def test_training_rows_never_cold_start(self, data):
+        rows, labels = data
+        cf = CollaborativeFilteringRecommender().fit(rows, labels)
+        predictions = cf.predict(rows)
+        assert len(predictions) == len(rows)
+
+    @given(rows_and_labels)
+    @settings(max_examples=30, deadline=None)
+    def test_unseen_rows_still_answered_in_plurality_mode(self, data):
+        rows, labels = data
+        cf = CollaborativeFilteringRecommender().fit(rows, labels)
+        alien = ("zzz", "qqq", 999)
+        assert cf.predict_one(alien) in set(labels)
+
+    @given(rows_and_labels)
+    @settings(max_examples=30, deadline=None)
+    def test_dependent_attributes_are_valid_columns(self, data):
+        rows, labels = data
+        cf = CollaborativeFilteringRecommender().fit(rows, labels)
+        assert all(0 <= col < len(rows[0]) for col in cf.dependent_attributes)
+        assert len(set(cf.dependent_attributes)) == len(cf.dependent_attributes)
+
+    @given(rows_and_labels)
+    @settings(max_examples=25, deadline=None)
+    def test_constant_labels_always_predicted(self, data):
+        rows, _ = data
+        labels = ["only"] * len(rows)
+        cf = CollaborativeFilteringRecommender().fit(rows, labels)
+        outcome = cf.vote(rows[0])
+        assert outcome.value == "only"
+        assert outcome.support == 1.0

@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.learners.random_forest import RandomForestLearner
+
+from tests.learners.test_decision_tree import xor_dataset
+
+
+class TestRandomForest:
+    def test_learns_xor(self):
+        rows, labels = xor_dataset(400)
+        forest = RandomForestLearner(n_estimators=15).fit(rows[:300], labels[:300])
+        predictions = forest.predict(rows[300:])
+        accuracy = np.mean([p == t for p, t in zip(predictions, labels[300:])])
+        assert accuracy > 0.9
+
+    def test_tree_count(self):
+        forest = RandomForestLearner(n_estimators=7).fit(
+            [("a",), ("b",)] * 5, [1, 2] * 5
+        )
+        assert forest.tree_count == 7
+
+    def test_default_is_paper_100_trees(self):
+        assert RandomForestLearner().n_estimators == 100
+
+    def test_seed_determinism(self):
+        rows, labels = xor_dataset(200)
+        a = RandomForestLearner(n_estimators=5, seed=42).fit(rows, labels)
+        b = RandomForestLearner(n_estimators=5, seed=42).fit(rows, labels)
+        assert a.predict(rows[:50]) == b.predict(rows[:50])
+
+    def test_different_seeds_may_differ_but_stay_valid(self):
+        rows, labels = xor_dataset(100)
+        forest = RandomForestLearner(n_estimators=3, seed=7).fit(rows, labels)
+        for p in forest.predict(rows[:20]):
+            assert p in ("odd", "even")
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestLearner(n_estimators=0)
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestLearner().predict([("a",)])
+
+    def test_single_class(self):
+        forest = RandomForestLearner(n_estimators=3).fit([("a",)] * 4, [9] * 4)
+        assert forest.predict([("a",)]) == [9]
+
+    def test_robust_to_label_noise(self):
+        """Ensemble voting should beat a single tree under label noise."""
+        rng = np.random.default_rng(5)
+        rows, labels = xor_dataset(600, seed=5)
+        noisy = list(labels)
+        flip = rng.choice(len(noisy), size=60, replace=False)
+        for i in flip:
+            noisy[i] = "odd" if noisy[i] == "even" else "even"
+        forest = RandomForestLearner(n_estimators=25).fit(rows[:500], noisy[:500])
+        predictions = forest.predict(rows[500:])
+        accuracy = np.mean([p == t for p, t in zip(predictions, labels[500:])])
+        assert accuracy > 0.85

@@ -1,0 +1,50 @@
+import pytest
+
+from repro.learners.registry import (
+    PAPER_LEARNER_ORDER,
+    make_paper_learner,
+    paper_learner_factories,
+)
+
+
+class TestRegistry:
+    def test_five_learners(self):
+        factories = paper_learner_factories()
+        assert set(factories) == set(PAPER_LEARNER_ORDER)
+        assert len(factories) == 5
+
+    def test_factories_build_fresh_instances(self):
+        factory = paper_learner_factories()["decision-tree"]
+        assert factory() is not factory()
+
+    def test_paper_hyperparameters(self):
+        factories = paper_learner_factories(fast=False)
+        assert factories["random-forest"]().n_estimators == 100
+        assert factories["k-nearest-neighbors"]().k == 5
+        dnn = factories["deep-neural-network"]()
+        assert dnn.hidden_layers == (100, 100, 100, 50, 50, 50, 10)
+        assert dnn.max_iter == 10000
+        cf = factories["collaborative-filtering"]()
+        assert cf.support_threshold == 0.75
+        assert cf.p_value == 0.01
+
+    def test_fast_mode_shrinks_costly_knobs(self):
+        factories = paper_learner_factories(fast=True)
+        assert factories["random-forest"]().n_estimators < 100
+        assert factories["deep-neural-network"]().max_iter < 10000
+
+    def test_make_by_name(self):
+        learner = make_paper_learner("collaborative-filtering")
+        assert learner.name == "collaborative-filtering"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_paper_learner("gradient-boosting")
+
+    def test_all_learners_share_interface(self):
+        rows = [("a",), ("b",)] * 10
+        labels = [1, 2] * 10
+        for name in PAPER_LEARNER_ORDER:
+            learner = make_paper_learner(name, fast=True)
+            learner.fit(rows, labels)
+            assert learner.predict([("a",)]) == [1], name

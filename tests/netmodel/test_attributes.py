@@ -1,0 +1,106 @@
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.netmodel.attributes import (
+    ATTRIBUTE_SCHEMA,
+    AttributeField,
+    AttributeSchema,
+    CarrierAttributes,
+)
+
+
+def make_values(**overrides):
+    values = {
+        "carrier_frequency": 700,
+        "carrier_type": "standard",
+        "carrier_info": "none",
+        "morphology": "urban",
+        "channel_bandwidth": 10,
+        "dl_mimo_mode": "closed-loop",
+        "hardware": "RRH1",
+        "cell_size": 1,
+        "tracking_area_code": 1001,
+        "market": "TestMarket",
+        "vendor": "VendorA",
+        "neighbor_channel": 444,
+        "neighbor_count": 8,
+        "software_version": "RAN20Q1",
+    }
+    values.update(overrides)
+    return values
+
+
+class TestAttributeSchema:
+    def test_table1_has_fourteen_attributes(self):
+        assert len(ATTRIBUTE_SCHEMA) == 14
+
+    def test_static_and_dynamic_split(self):
+        static = set(ATTRIBUTE_SCHEMA.static_names)
+        dynamic = set(ATTRIBUTE_SCHEMA.dynamic_names)
+        assert "carrier_frequency" in static
+        assert "morphology" in static
+        assert "software_version" in dynamic
+        assert "neighbor_count" in dynamic
+        assert static | dynamic == set(ATTRIBUTE_SCHEMA.names)
+        assert not static & dynamic
+
+    def test_field_lookup(self):
+        field = ATTRIBUTE_SCHEMA.field("vendor")
+        assert field.name == "vendor"
+        assert field.static
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(KeyError):
+            ATTRIBUTE_SCHEMA.field("nonexistent")
+
+    def test_contains(self):
+        assert "market" in ATTRIBUTE_SCHEMA
+        assert "bogus" not in ATTRIBUTE_SCHEMA
+
+    def test_duplicate_names_rejected(self):
+        f = AttributeField("x", True)
+        with pytest.raises(ValueError):
+            AttributeSchema([f, f])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeField("", True)
+
+
+class TestCarrierAttributes:
+    def test_valid_construction_and_access(self):
+        attrs = CarrierAttributes(make_values())
+        assert attrs["carrier_frequency"] == 700
+        assert attrs.get("morphology") == "urban"
+        assert attrs.get("bogus") is None
+
+    def test_missing_field_rejected(self):
+        values = make_values()
+        del values["vendor"]
+        with pytest.raises(GenerationError, match="missing"):
+            CarrierAttributes(values)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(GenerationError, match="unknown"):
+            CarrierAttributes(make_values(extra_field=1))
+
+    def test_as_tuple_schema_order(self):
+        attrs = CarrierAttributes(make_values())
+        row = attrs.as_tuple()
+        assert len(row) == len(ATTRIBUTE_SCHEMA)
+        assert row[ATTRIBUTE_SCHEMA.names.index("market")] == "TestMarket"
+
+    def test_as_tuple_custom_order(self):
+        attrs = CarrierAttributes(make_values())
+        assert attrs.as_tuple(["vendor", "market"]) == ("VendorA", "TestMarket")
+
+    def test_replace_returns_new_object(self):
+        attrs = CarrierAttributes(make_values())
+        updated = attrs.replace(software_version="RAN21Q1")
+        assert updated["software_version"] == "RAN21Q1"
+        assert attrs["software_version"] == "RAN20Q1"
+
+    def test_replace_unknown_attribute_raises(self):
+        attrs = CarrierAttributes(make_values())
+        with pytest.raises(KeyError):
+            attrs.replace(bogus=1)

@@ -1,0 +1,43 @@
+import pytest
+
+from repro.netmodel.bands import (
+    KNOWN_FREQUENCIES_MHZ,
+    band_for_frequency_mhz,
+    layer_priority,
+)
+from repro.types import Band
+
+
+class TestBandClassification:
+    def test_low_band(self):
+        assert band_for_frequency_mhz(700) is Band.LOW
+        assert band_for_frequency_mhz(850) is Band.LOW
+
+    def test_mid_band(self):
+        assert band_for_frequency_mhz(1700) is Band.MID
+        assert band_for_frequency_mhz(1900) is Band.MID
+        assert band_for_frequency_mhz(2100) is Band.MID
+
+    def test_high_band(self):
+        assert band_for_frequency_mhz(2300) is Band.HIGH
+        assert band_for_frequency_mhz(2500) is Band.HIGH
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            band_for_frequency_mhz(0)
+        with pytest.raises(ValueError):
+            band_for_frequency_mhz(-700)
+
+    def test_all_known_frequencies_classify(self):
+        for frequency in KNOWN_FREQUENCIES_MHZ:
+            assert band_for_frequency_mhz(frequency) in Band
+
+
+class TestLayerPriority:
+    def test_high_band_tried_first(self):
+        assert layer_priority(Band.HIGH) < layer_priority(Band.MID)
+        assert layer_priority(Band.MID) < layer_priority(Band.LOW)
+
+    def test_priorities_distinct(self):
+        priorities = {layer_priority(b) for b in Band}
+        assert len(priorities) == len(Band)

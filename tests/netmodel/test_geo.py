@@ -1,0 +1,95 @@
+import math
+
+import pytest
+
+from repro.netmodel.geo import EARTH_RADIUS_KM, GeoPoint, haversine_km
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        p = GeoPoint(40.71, -74.01)
+        assert p.lat == 40.71
+        assert p.lon == -74.01
+
+    def test_latitude_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(-90.5, 0.0)
+
+    def test_longitude_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, -180.1)
+
+    def test_boundary_coordinates_accepted(self):
+        GeoPoint(90.0, 180.0)
+        GeoPoint(-90.0, -180.0)
+
+    def test_frozen(self):
+        p = GeoPoint(0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.lat = 1.0  # type: ignore[misc]
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeoPoint(40.0, -74.0)
+        assert haversine_km(p, p) == 0.0
+
+    def test_symmetric(self):
+        a = GeoPoint(40.71, -74.01)
+        b = GeoPoint(34.05, -118.24)
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    def test_known_distance_nyc_la(self):
+        # NYC to LA is roughly 3936 km great-circle.
+        a = GeoPoint(40.7128, -74.0060)
+        b = GeoPoint(34.0522, -118.2437)
+        assert haversine_km(a, b) == pytest.approx(3936, rel=0.01)
+
+    def test_one_degree_latitude(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(1.0, 0.0)
+        expected = math.pi * EARTH_RADIUS_KM / 180.0
+        assert haversine_km(a, b) == pytest.approx(expected, rel=1e-6)
+
+    def test_antipodal_is_half_circumference(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        assert haversine_km(a, b) == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_distance_km_method_matches_function(self):
+        a = GeoPoint(10.0, 20.0)
+        b = GeoPoint(-5.0, 33.0)
+        assert a.distance_km(b) == haversine_km(a, b)
+
+
+class TestOffsetKm:
+    def test_offset_north_increases_latitude(self):
+        p = GeoPoint(40.0, -74.0)
+        moved = p.offset_km(10.0, 0.0)
+        assert moved.lat > p.lat
+        assert moved.lon == pytest.approx(p.lon)
+
+    def test_offset_east_increases_longitude(self):
+        p = GeoPoint(40.0, -74.0)
+        moved = p.offset_km(0.0, 10.0)
+        assert moved.lon > p.lon
+
+    def test_offset_roundtrip_distance(self):
+        p = GeoPoint(40.0, -74.0)
+        moved = p.offset_km(3.0, 4.0)
+        # 3-4-5 triangle: the flat-earth approximation holds within 1%.
+        assert haversine_km(p, moved) == pytest.approx(5.0, rel=0.01)
+
+    def test_offset_clamps_at_poles(self):
+        p = GeoPoint(89.99, 0.0)
+        moved = p.offset_km(500.0, 0.0)
+        assert moved.lat <= 90.0
+
+    def test_offset_wraps_longitude(self):
+        p = GeoPoint(0.0, 179.99)
+        moved = p.offset_km(0.0, 50.0)
+        assert -180.0 <= moved.lon <= 180.0

@@ -1,0 +1,65 @@
+import pytest
+
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+
+
+class TestMarketId:
+    def test_str(self):
+        assert str(MarketId(3)) == "market-03"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MarketId(-1)
+
+    def test_ordering(self):
+        assert MarketId(1) < MarketId(2)
+
+    def test_hashable(self):
+        assert len({MarketId(0), MarketId(0), MarketId(1)}) == 2
+
+
+class TestENodeBId:
+    def test_str_contains_market(self):
+        e = ENodeBId(MarketId(2), 7)
+        assert "market-02" in str(e)
+        assert "enb-00007" in str(e)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            ENodeBId(MarketId(0), -1)
+
+    def test_market_accessor_via_carrier(self):
+        e = ENodeBId(MarketId(5), 0)
+        c = CarrierId(e, 1, 0)
+        assert c.market == MarketId(5)
+
+
+class TestCarrierId:
+    def test_face_bounds(self):
+        e = ENodeBId(MarketId(0), 0)
+        CarrierId(e, 0, 0)
+        CarrierId(e, 2, 5)
+        with pytest.raises(ValueError):
+            CarrierId(e, 3, 0)
+        with pytest.raises(ValueError):
+            CarrierId(e, -1, 0)
+
+    def test_slot_non_negative(self):
+        e = ENodeBId(MarketId(0), 0)
+        with pytest.raises(ValueError):
+            CarrierId(e, 0, -1)
+
+    def test_str_format(self):
+        c = CarrierId(ENodeBId(MarketId(1), 22), 2, 3)
+        assert str(c) == "market-01/enb-00022/f2/c3"
+
+    def test_ordering_is_total(self):
+        e = ENodeBId(MarketId(0), 0)
+        carriers = [CarrierId(e, 2, 0), CarrierId(e, 0, 1), CarrierId(e, 0, 0)]
+        ordered = sorted(carriers)
+        assert ordered[0] == CarrierId(e, 0, 0)
+        assert ordered[-1] == CarrierId(e, 2, 0)
+
+    def test_enodeb_accessor(self):
+        e = ENodeBId(MarketId(0), 9)
+        assert CarrierId(e, 1, 1).enodeb == e

@@ -1,0 +1,135 @@
+"""Tests for Carrier, ENodeB, Face, Market and Network."""
+
+import pytest
+
+from repro.exceptions import UnknownCarrierError, UnknownMarketError
+from repro.netmodel.carrier import Carrier
+from repro.netmodel.enodeb import ENodeB, FACES_PER_ENODEB, Face
+from repro.netmodel.geo import GeoPoint
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.netmodel.market import Market
+from repro.netmodel.network import Network
+from repro.types import Band, Timezone
+
+from tests.netmodel.test_attributes import make_values
+from repro.netmodel.attributes import CarrierAttributes
+
+
+def make_carrier(market=0, enb=0, face=0, slot=0, frequency=700):
+    cid = CarrierId(ENodeBId(MarketId(market), enb), face, slot)
+    return Carrier(
+        carrier_id=cid,
+        attributes=CarrierAttributes(make_values(carrier_frequency=frequency)),
+        location=GeoPoint(40.0, -74.0),
+    )
+
+
+class TestCarrier:
+    def test_band_derivation(self):
+        assert make_carrier(frequency=700).band is Band.LOW
+        assert make_carrier(frequency=1900).band is Band.MID
+        assert make_carrier(frequency=2500).band is Band.HIGH
+
+    def test_lock_unlock(self):
+        carrier = make_carrier()
+        assert not carrier.locked
+        carrier.lock()
+        assert carrier.locked
+        carrier.unlock()
+        assert not carrier.locked
+
+    def test_market_and_enodeb_accessors(self):
+        carrier = make_carrier(market=2, enb=5)
+        assert carrier.market == MarketId(2)
+        assert carrier.enodeb == ENodeBId(MarketId(2), 5)
+
+
+class TestENodeB:
+    def test_three_faces(self):
+        enodeb = ENodeB(ENodeBId(MarketId(0), 0), GeoPoint(0, 0))
+        assert len(enodeb.faces) == FACES_PER_ENODEB
+
+    def test_add_carrier_routes_to_face(self):
+        enodeb = ENodeB(ENodeBId(MarketId(0), 0), GeoPoint(0, 0))
+        enodeb.add_carrier(make_carrier(face=1))
+        assert len(enodeb.faces[1]) == 1
+        assert len(enodeb.faces[0]) == 0
+
+    def test_face_rejects_wrong_carrier(self):
+        face = Face(0)
+        with pytest.raises(ValueError):
+            face.add_carrier(make_carrier(face=2))
+
+    def test_carrier_count_and_iteration(self):
+        enodeb = ENodeB(ENodeBId(MarketId(0), 0), GeoPoint(0, 0))
+        for face in range(3):
+            enodeb.add_carrier(make_carrier(face=face, slot=0))
+        assert enodeb.carrier_count() == 3
+        assert len(list(enodeb.carriers())) == 3
+        assert len(enodeb.carriers_by_id()) == 3
+
+
+class TestMarket:
+    def make_market(self):
+        return Market(MarketId(0), "Test", Timezone.EASTERN, GeoPoint(40, -74))
+
+    def test_add_enodeb_checks_market(self):
+        market = self.make_market()
+        wrong = ENodeB(ENodeBId(MarketId(1), 0), GeoPoint(0, 0))
+        with pytest.raises(ValueError):
+            market.add_enodeb(wrong)
+
+    def test_counts(self):
+        market = self.make_market()
+        enodeb = ENodeB(ENodeBId(MarketId(0), 0), GeoPoint(0, 0))
+        enodeb.add_carrier(make_carrier())
+        market.add_enodeb(enodeb)
+        assert market.enodeb_count() == 1
+        assert market.carrier_count() == 1
+
+
+class TestNetworkFixture:
+    """Structural invariants of the generated tiny network."""
+
+    def test_counts_consistent(self, network):
+        assert network.carrier_count() == sum(
+            m.carrier_count() for m in network.markets
+        )
+        assert network.enodeb_count() == sum(
+            m.enodeb_count() for m in network.markets
+        )
+
+    def test_lookup_roundtrip(self, network):
+        for carrier in network.carriers():
+            assert network.carrier(carrier.carrier_id) is carrier
+            break
+
+    def test_unknown_carrier_raises(self, network):
+        bogus = CarrierId(ENodeBId(MarketId(0), 99999), 0, 0)
+        with pytest.raises(UnknownCarrierError):
+            network.carrier(bogus)
+
+    def test_unknown_market_raises(self, network):
+        with pytest.raises(UnknownMarketError):
+            network.market(MarketId(999))
+
+    def test_market_scoped_iteration(self, network):
+        market_id = network.markets[0].market_id
+        scoped = list(network.carriers(market_id))
+        assert len(scoped) == network.carrier_count(market_id)
+        assert all(c.market == market_id for c in scoped)
+
+    def test_summary_mentions_counts(self, network):
+        summary = network.summary()
+        assert str(network.market_count()) in summary
+        assert "carriers" in summary
+
+    def test_duplicate_market_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.add_market(network.markets[0])
+
+    def test_has_carrier(self, network, some_carrier_id):
+        assert network.has_carrier(some_carrier_id)
+        assert not network.has_carrier(
+            CarrierId(ENodeBId(MarketId(0), 12345), 0, 0)
+        )

@@ -1,0 +1,109 @@
+import pytest
+
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.netmodel.topology import X2Graph, build_x2_graph
+
+
+def cid(enb, face=0, slot=0):
+    return CarrierId(ENodeBId(MarketId(0), enb), face, slot)
+
+
+def eid(enb):
+    return ENodeBId(MarketId(0), enb)
+
+
+class TestX2Graph:
+    def test_self_relation_rejected(self):
+        graph = X2Graph()
+        with pytest.raises(ValueError):
+            graph.add_enodeb_relation(eid(0), eid(0))
+        with pytest.raises(ValueError):
+            graph.add_carrier_relation(cid(0), cid(0))
+
+    def test_neighbors_sorted(self):
+        graph = X2Graph()
+        graph.add_carrier_relation(cid(0), cid(2))
+        graph.add_carrier_relation(cid(0), cid(1))
+        assert graph.carrier_neighbors(cid(0)) == [cid(1), cid(2)]
+
+    def test_unknown_nodes_have_no_neighbors(self):
+        graph = X2Graph()
+        assert graph.carrier_neighbors(cid(42)) == []
+        assert graph.enodeb_neighbors(eid(42)) == []
+        assert graph.carrier_degree(cid(42)) == 0
+
+    def test_neighborhood_hops(self):
+        graph = X2Graph()
+        # chain: 0 - 1 - 2 - 3
+        for a, b in [(0, 1), (1, 2), (2, 3)]:
+            graph.add_carrier_relation(cid(a), cid(b))
+        assert graph.carrier_neighborhood(cid(0), hops=1) == {cid(1)}
+        assert graph.carrier_neighborhood(cid(0), hops=2) == {cid(1), cid(2)}
+        assert graph.carrier_neighborhood(cid(0), hops=3) == {cid(1), cid(2), cid(3)}
+
+    def test_neighborhood_excludes_self(self):
+        graph = X2Graph()
+        graph.add_carrier_relation(cid(0), cid(1))
+        graph.add_carrier_relation(cid(1), cid(0))
+        assert cid(0) not in graph.carrier_neighborhood(cid(0), hops=2)
+
+    def test_neighborhood_requires_positive_hops(self):
+        graph = X2Graph()
+        with pytest.raises(ValueError):
+            graph.carrier_neighborhood(cid(0), hops=0)
+
+    def test_neighborhood_of_unknown_carrier_empty(self):
+        assert X2Graph().carrier_neighborhood(cid(0)) == set()
+
+
+class TestBuildX2Graph:
+    def test_generated_graph_structure(self, network):
+        x2 = network.x2
+        assert x2.enodeb_count() == network.enodeb_count()
+        assert x2.carrier_relation_count() > 0
+
+    def test_max_degree_respected(self, network, dataset):
+        max_degree = dataset.profile.x2_max_degree
+        for enodeb in network.enodebs():
+            # Each eNodeB initiates at most max_degree relations, but can
+            # receive more; the bound is 2 * max_degree.
+            assert (
+                len(network.x2.enodeb_neighbors(enodeb.enodeb_id))
+                <= 2 * max_degree
+            )
+
+    def test_enodeb_relations_within_radius(self, network, dataset):
+        radius = dataset.profile.x2_radius_km
+        enodebs = {e.enodeb_id: e for e in network.enodebs()}
+        for enodeb_id, enodeb in enodebs.items():
+            for neighbor_id in network.x2.enodeb_neighbors(enodeb_id):
+                distance = enodeb.location.distance_km(
+                    enodebs[neighbor_id].location
+                )
+                assert distance <= radius + 1e-9
+
+    def test_co_enodeb_relations_share_face_or_frequency(self, network):
+        for a, b in network.x2.carrier_pairs():
+            if a.enodeb != b.enodeb:
+                continue
+            ca = network.carrier(a)
+            cb = network.carrier(b)
+            assert (
+                a.face == b.face or ca.frequency_mhz == cb.frequency_mhz
+            )
+
+    def test_cross_enodeb_relations_same_frequency_and_face(self, network):
+        for a, b in network.x2.carrier_pairs():
+            if a.enodeb == b.enodeb:
+                continue
+            ca = network.carrier(a)
+            cb = network.carrier(b)
+            assert ca.frequency_mhz == cb.frequency_mhz
+            assert a.face == b.face
+
+    def test_invalid_arguments(self, network):
+        enodebs = list(network.enodebs())
+        with pytest.raises(ValueError):
+            build_x2_graph(enodebs, radius_km=0)
+        with pytest.raises(ValueError):
+            build_x2_graph(enodebs, max_degree=0)

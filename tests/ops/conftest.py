@@ -1,0 +1,20 @@
+"""Ops tests mutate the configuration store (pushes, rollbacks, SON
+injections), so they get their own dataset instead of the session-shared
+one — otherwise value counts observed by analysis tests would drift."""
+
+import pytest
+
+from repro.datagen.generator import generate_dataset
+from repro.datagen.profiles import GenerationProfile, four_market_profile
+
+
+@pytest.fixture(scope="package")
+def dataset():
+    base = four_market_profile(scale=0.004, seed=4242)
+    profile = GenerationProfile(markets=base.markets[:2], seed=base.seed)
+    return generate_dataset(profile)
+
+
+@pytest.fixture(scope="package")
+def network(dataset):
+    return dataset.network

@@ -1,0 +1,149 @@
+import pytest
+
+from repro.config.managed_objects import build_vendor_schema
+from repro.config.templates import ConfigTemplate
+from repro.core.recommendation import CarrierRecommendation, ParameterRecommendation
+from repro.ops.controller import ConfigPushController, PushOutcome
+from repro.ops.ems import ElementManagementSystem, EMSConfig
+from repro.types import Vendor
+
+
+def make_rec(name, value, confident=True):
+    return ParameterRecommendation(
+        parameter=name,
+        value=value,
+        support=0.9 if confident else 0.5,
+        matched=10,
+        confident=confident,
+        scope="local",
+    )
+
+
+@pytest.fixture()
+def controller(dataset):
+    ems = ElementManagementSystem(
+        dataset.network,
+        dataset.store,
+        EMSConfig(base_timeout_rate=0.0, per_parameter_timeout_rate=0.0),
+    )
+    schema = build_vendor_schema(Vendor.VENDOR_A, dataset.catalog)
+    return ConfigPushController(ems, ConfigTemplate(schema))
+
+
+@pytest.fixture()
+def carrier_id(dataset):
+    return sorted(dataset.store.singular_values("pMax"))[1]
+
+
+class TestPlan:
+    def test_plan_only_mismatches(self, controller, carrier_id):
+        rec = CarrierRecommendation(str(carrier_id))
+        rec.add(make_rec("pMax", 12.6))
+        rec.add(make_rec("sFreqPrio", 7))
+        diff = controller.plan(carrier_id, {"pMax": 12.6, "sFreqPrio": 1}, rec)
+        assert diff.changed_values() == {"sFreqPrio": 7}
+
+    def test_unconfident_recommendations_not_planned(self, controller, carrier_id):
+        rec = CarrierRecommendation(str(carrier_id))
+        rec.add(make_rec("pMax", 12.6, confident=False))
+        diff = controller.plan(carrier_id, {"pMax": 0}, rec)
+        assert diff.is_empty
+
+    def test_confident_only_can_be_disabled(self, dataset, carrier_id):
+        ems = ElementManagementSystem(dataset.network, dataset.store)
+        schema = build_vendor_schema(Vendor.VENDOR_A, dataset.catalog)
+        controller = ConfigPushController(
+            ems, ConfigTemplate(schema), confident_only=False
+        )
+        rec = CarrierRecommendation(str(carrier_id))
+        rec.add(make_rec("pMax", 12.6, confident=False))
+        diff = controller.plan(carrier_id, {"pMax": 0}, rec)
+        assert not diff.is_empty
+
+
+class TestPush:
+    def test_no_changes_outcome(self, controller, carrier_id):
+        rec = CarrierRecommendation(str(carrier_id))
+        rec.add(make_rec("pMax", 12.6))
+        result = controller.push(carrier_id, {"pMax": 12.6}, rec)
+        assert result.outcome is PushOutcome.NO_CHANGES
+
+    def test_push_applies_and_renders(self, controller, dataset, carrier_id):
+        controller.ems.lock_carrier(carrier_id)
+        rec = CarrierRecommendation(str(carrier_id))
+        rec.add(make_rec("pMax", 29.4))
+        result = controller.push(carrier_id, {"pMax": 0}, rec)
+        controller.ems.unlock_carrier(carrier_id)
+        assert result.outcome is PushOutcome.PUSHED
+        assert result.parameters_pushed == 1
+        assert "set pMax = 29.4;" in result.config_file
+        assert dataset.store.get_singular(carrier_id, "pMax") == 29.4
+
+    def test_unlocked_carrier_skipped(self, controller, carrier_id):
+        controller.ems.unlock_carrier(carrier_id)
+        rec = CarrierRecommendation(str(carrier_id))
+        rec.add(make_rec("pMax", 29.4))
+        result = controller.push(carrier_id, {"pMax": 0}, rec)
+        assert result.outcome is PushOutcome.SKIPPED_UNLOCKED
+
+    def test_ems_timeout_outcome(self, dataset, carrier_id):
+        ems = ElementManagementSystem(
+            dataset.network, dataset.store, EMSConfig(base_timeout_rate=1.0)
+        )
+        schema = build_vendor_schema(Vendor.VENDOR_A, dataset.catalog)
+        controller = ConfigPushController(ems, ConfigTemplate(schema))
+        ems.lock_carrier(carrier_id)
+        rec = CarrierRecommendation(str(carrier_id))
+        rec.add(make_rec("pMax", 29.4))
+        result = controller.push(carrier_id, {"pMax": 0}, rec)
+        ems.unlock_carrier(carrier_id)
+        assert result.outcome is PushOutcome.EMS_TIMEOUT
+
+
+class TestEngineerValidation:
+    def test_hook_filters_parameters(self, dataset, carrier_id):
+        ems = ElementManagementSystem(
+            dataset.network,
+            dataset.store,
+            EMSConfig(base_timeout_rate=0.0, per_parameter_timeout_rate=0.0),
+        )
+        schema = build_vendor_schema(Vendor.VENDOR_A, dataset.catalog)
+        controller = ConfigPushController(
+            ems, ConfigTemplate(schema), validation_hook=lambda diff: ["pMax"]
+        )
+        ems.lock_carrier(carrier_id)
+        rec = CarrierRecommendation(str(carrier_id))
+        rec.add(make_rec("pMax", 29.4))
+        rec.add(make_rec("sFreqPrio", 9))
+        result = controller.push(carrier_id, {"pMax": 0, "sFreqPrio": 1}, rec)
+        ems.unlock_carrier(carrier_id)
+        assert result.outcome is PushOutcome.PUSHED
+        assert result.parameters_pushed == 1
+
+    def test_hook_rejecting_everything(self, dataset, carrier_id):
+        ems = ElementManagementSystem(dataset.network, dataset.store)
+        schema = build_vendor_schema(Vendor.VENDOR_A, dataset.catalog)
+        controller = ConfigPushController(
+            ems, ConfigTemplate(schema), validation_hook=lambda diff: []
+        )
+        rec = CarrierRecommendation(str(carrier_id))
+        rec.add(make_rec("pMax", 29.4))
+        result = controller.push(carrier_id, {"pMax": 0}, rec)
+        assert result.outcome is PushOutcome.REJECTED_BY_ENGINEER
+
+    def test_hook_returning_none_approves_all(self, dataset, carrier_id):
+        ems = ElementManagementSystem(
+            dataset.network,
+            dataset.store,
+            EMSConfig(base_timeout_rate=0.0, per_parameter_timeout_rate=0.0),
+        )
+        schema = build_vendor_schema(Vendor.VENDOR_A, dataset.catalog)
+        controller = ConfigPushController(
+            ems, ConfigTemplate(schema), validation_hook=lambda diff: None
+        )
+        ems.lock_carrier(carrier_id)
+        rec = CarrierRecommendation(str(carrier_id))
+        rec.add(make_rec("pMax", 29.4))
+        result = controller.push(carrier_id, {"pMax": 0}, rec)
+        ems.unlock_carrier(carrier_id)
+        assert result.parameters_pushed == 1

@@ -1,0 +1,99 @@
+import pytest
+
+from repro.config.managed_objects import build_vendor_schema
+from repro.config.templates import render_config_file
+from repro.exceptions import CarrierLockedError, EMSTimeoutError
+from repro.ops.ems import ElementManagementSystem, EMSConfig
+from repro.types import Vendor
+
+
+@pytest.fixture()
+def ems(dataset):
+    # Deterministic, timeout-free EMS for functional tests.
+    return ElementManagementSystem(
+        dataset.network,
+        dataset.store,
+        EMSConfig(base_timeout_rate=0.0, per_parameter_timeout_rate=0.0),
+    )
+
+
+@pytest.fixture()
+def carrier_id(dataset):
+    return sorted(dataset.store.singular_values("pMax"))[0]
+
+
+class TestLocking:
+    def test_lock_unlock_cycle(self, ems, carrier_id):
+        ems.lock_carrier(carrier_id)
+        assert ems.is_locked(carrier_id)
+        ems.unlock_carrier(carrier_id)
+        assert not ems.is_locked(carrier_id)
+
+    def test_push_to_unlocked_carrier_rejected(self, ems, carrier_id):
+        ems.unlock_carrier(carrier_id)
+        with pytest.raises(CarrierLockedError):
+            ems.apply_values(carrier_id, {"pMax": 12.6})
+
+
+class TestApply:
+    def test_values_reach_store(self, ems, dataset, carrier_id):
+        ems.lock_carrier(carrier_id)
+        applied = ems.apply_values(carrier_id, {"pMax": 12.6, "sFreqPrio": 7})
+        ems.unlock_carrier(carrier_id)
+        assert applied == 2
+        assert dataset.store.get_singular(carrier_id, "pMax") == 12.6
+        assert dataset.store.get_singular(carrier_id, "sFreqPrio") == 7
+
+    def test_empty_batch_is_noop(self, ems, carrier_id):
+        ems.lock_carrier(carrier_id)
+        assert ems.apply_values(carrier_id, {}) == 0
+        ems.unlock_carrier(carrier_id)
+
+    def test_config_file_roundtrip(self, ems, dataset, carrier_id):
+        schema = build_vendor_schema(Vendor.VENDOR_A, dataset.catalog)
+        text = render_config_file(schema, carrier_id, {"qHyst": 5})
+        ems.lock_carrier(carrier_id)
+        applied = ems.apply_config_file(carrier_id, text)
+        ems.unlock_carrier(carrier_id)
+        assert applied == 1
+        assert dataset.store.get_singular(carrier_id, "qHyst") == 5
+
+    def test_counters_updated(self, ems, carrier_id):
+        ems.lock_carrier(carrier_id)
+        before_batches = ems.pushed_batches
+        ems.apply_values(carrier_id, {"pMax": 0})
+        ems.unlock_carrier(carrier_id)
+        assert ems.pushed_batches == before_batches + 1
+        assert ems.pushed_parameters >= 1
+
+
+class TestTimeouts:
+    def test_oversized_batch_always_times_out(self, dataset, carrier_id):
+        ems = ElementManagementSystem(
+            dataset.network,
+            dataset.store,
+            EMSConfig(max_batch_size=2, base_timeout_rate=0.0,
+                      per_parameter_timeout_rate=0.0),
+        )
+        ems.lock_carrier(carrier_id)
+        with pytest.raises(EMSTimeoutError):
+            ems.apply_values(
+                carrier_id, {"pMax": 0, "sFreqPrio": 1, "qHyst": 2}
+            )
+        ems.unlock_carrier(carrier_id)
+        assert ems.timeouts == 1
+
+    def test_certain_timeout_rate(self, dataset, carrier_id):
+        ems = ElementManagementSystem(
+            dataset.network, dataset.store, EMSConfig(base_timeout_rate=1.0)
+        )
+        ems.lock_carrier(carrier_id)
+        with pytest.raises(EMSTimeoutError):
+            ems.apply_values(carrier_id, {"pMax": 0})
+        ems.unlock_carrier(carrier_id)
+
+    def test_timeout_probability_grows_with_batch(self):
+        config = EMSConfig(base_timeout_rate=0.01, per_parameter_timeout_rate=0.001)
+        small = config.base_timeout_rate + config.per_parameter_timeout_rate * 2
+        large = config.base_timeout_rate + config.per_parameter_timeout_rate * 50
+        assert large > small

@@ -1,0 +1,108 @@
+import pytest
+
+from repro.config.managed_objects import build_vendor_schema
+from repro.config.templates import ConfigTemplate
+from repro.core.recommendation import CarrierRecommendation, ParameterRecommendation
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.ops import (
+    ChangeLog,
+    ChangeSource,
+    ConfigPushController,
+    ElementManagementSystem,
+    EMSConfig,
+    KPIMonitor,
+)
+from repro.types import Vendor
+
+
+def cid(i=0):
+    return CarrierId(ENodeBId(MarketId(0), i), 0, 0)
+
+
+class TestChangeLog:
+    def test_record_and_query(self):
+        log = ChangeLog()
+        log.record(cid(0), "pMax", 12.6, 29.4, ChangeSource.MANUAL)
+        log.record(cid(0), "qHyst", 1, 2, ChangeSource.MANUAL)
+        log.record(cid(1), "pMax", 0, 3.6, ChangeSource.AURIC_PUSH)
+        assert len(log) == 3
+        assert len(log.for_carrier(cid(0))) == 2
+        assert len(log.for_parameter("pMax")) == 2
+        assert len(log.by_source(ChangeSource.AURIC_PUSH)) == 1
+
+    def test_sequence_monotonic(self):
+        log = ChangeLog()
+        a = log.record(cid(0), "pMax", 0, 1, ChangeSource.MANUAL)
+        b = log.record(cid(0), "pMax", 1, 2, ChangeSource.MANUAL)
+        assert b.sequence == a.sequence + 1
+
+    def test_last_change(self):
+        log = ChangeLog()
+        log.record(cid(0), "pMax", 0, 1, ChangeSource.MANUAL)
+        last = log.record(cid(0), "pMax", 1, 2, ChangeSource.ROLLBACK)
+        log.record(cid(0), "qHyst", 3, 4, ChangeSource.MANUAL)
+        assert log.last_change(cid(0), "pMax") == last
+        assert log.last_change(cid(0), "nothing") is None
+        assert log.last_change(cid(9), "pMax") is None
+
+    def test_batch_shares_batch_id(self):
+        log = ChangeLog()
+        records = log.record_batch(
+            cid(0),
+            [("pMax", 0, 1), ("qHyst", 2, 3)],
+            ChangeSource.AURIC_PUSH,
+            batch_id="launch-1",
+        )
+        assert all(r.batch_id == "launch-1" for r in records)
+
+    def test_churn(self):
+        log = ChangeLog()
+        log.record(cid(0), "pMax", 0, 1, ChangeSource.MANUAL)
+        log.record(cid(1), "pMax", 0, 1, ChangeSource.MANUAL)
+        log.record(cid(0), "qHyst", 0, 1, ChangeSource.MANUAL)
+        assert log.churn_by_parameter() == {"pMax": 2, "qHyst": 1}
+
+    def test_str(self):
+        log = ChangeLog()
+        record = log.record(cid(0), "pMax", 0, 1, ChangeSource.MANUAL)
+        assert "pMax" in str(record)
+        assert "manual" in str(record)
+
+
+class TestIntegrationWithOps:
+    def test_push_recorded(self, dataset):
+        log = ChangeLog()
+        ems = ElementManagementSystem(
+            dataset.network,
+            dataset.store,
+            EMSConfig(base_timeout_rate=0.0, per_parameter_timeout_rate=0.0),
+        )
+        schema = build_vendor_schema(Vendor.VENDOR_A, dataset.catalog)
+        controller = ConfigPushController(
+            ems, ConfigTemplate(schema), changelog=log
+        )
+        carrier_id = sorted(dataset.store.singular_values("pMax"))[7]
+        rec = CarrierRecommendation(str(carrier_id))
+        rec.add(
+            ParameterRecommendation("pMax", 29.4, 0.9, 10, True, "local")
+        )
+        ems.lock_carrier(carrier_id)
+        controller.push(carrier_id, {"pMax": 0}, rec)
+        ems.unlock_carrier(carrier_id)
+        records = log.by_source(ChangeSource.AURIC_PUSH)
+        assert len(records) == 1
+        assert records[0].parameter == "pMax"
+        assert records[0].new_value == 29.4
+
+    def test_rollback_recorded(self, dataset):
+        log = ChangeLog()
+        monitor = KPIMonitor(dataset.store, changelog=log)
+        carrier_id = sorted(dataset.store.singular_values("pMax"))[8]
+        original = dataset.store.get_singular(carrier_id, "pMax")
+        monitor.snapshot(carrier_id)
+        dataset.store.set_singular(carrier_id, "pMax", 0 if original != 0 else 3.6)
+        monitor.rollback(carrier_id)
+        records = log.by_source(ChangeSource.ROLLBACK)
+        assert any(
+            r.parameter == "pMax" and r.new_value == original for r in records
+        )

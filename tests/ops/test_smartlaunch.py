@@ -1,0 +1,134 @@
+import pytest
+
+from repro.config.managed_objects import build_vendor_schema
+from repro.config.templates import ConfigTemplate
+from repro.core.recommendation import CarrierRecommendation, ParameterRecommendation
+from repro.ops.controller import ConfigPushController
+from repro.ops.ems import ElementManagementSystem, EMSConfig
+from repro.ops.monitoring import KPIMonitor
+from repro.ops.smartlaunch import (
+    LaunchOutcome,
+    LaunchStats,
+    SmartLaunch,
+    SmartLaunchConfig,
+)
+from repro.types import Vendor
+
+
+def make_rec(carrier_id, value=29.4):
+    rec = CarrierRecommendation(str(carrier_id))
+    rec.add(
+        ParameterRecommendation(
+            parameter="pMax",
+            value=value,
+            support=0.95,
+            matched=20,
+            confident=True,
+            scope="local",
+        )
+    )
+    return rec
+
+
+def make_workflow(
+    dataset,
+    premature_unlock_rate=0.0,
+    degradation_rate=0.0,
+    timeout_rate=0.0,
+):
+    ems = ElementManagementSystem(
+        dataset.network,
+        dataset.store,
+        EMSConfig(base_timeout_rate=timeout_rate, per_parameter_timeout_rate=0.0),
+    )
+    schema = build_vendor_schema(Vendor.VENDOR_A, dataset.catalog)
+    controller = ConfigPushController(ems, ConfigTemplate(schema))
+    monitor = KPIMonitor(dataset.store, degradation_rate=degradation_rate)
+    return SmartLaunch(
+        controller,
+        monitor,
+        SmartLaunchConfig(premature_unlock_rate=premature_unlock_rate),
+    )
+
+
+@pytest.fixture()
+def carrier_id(dataset):
+    return sorted(dataset.store.singular_values("pMax"))[3]
+
+
+class TestSingleLaunch:
+    def test_launch_with_changes(self, dataset, carrier_id):
+        workflow = make_workflow(dataset)
+        record = workflow.launch(carrier_id, {"pMax": 0}, make_rec(carrier_id))
+        assert record.outcome is LaunchOutcome.LAUNCHED_WITH_CHANGES
+        assert record.parameters_pushed == 1
+        assert not dataset.network.carrier(carrier_id).locked
+
+    def test_launch_no_changes(self, dataset, carrier_id):
+        workflow = make_workflow(dataset)
+        record = workflow.launch(
+            carrier_id, {"pMax": 29.4}, make_rec(carrier_id, 29.4)
+        )
+        assert record.outcome is LaunchOutcome.LAUNCHED_NO_CHANGES
+        assert record.changes_recommended == 0
+
+    def test_premature_unlock_fallout(self, dataset, carrier_id):
+        workflow = make_workflow(dataset, premature_unlock_rate=1.0)
+        record = workflow.launch(carrier_id, {"pMax": 0}, make_rec(carrier_id))
+        assert record.outcome is LaunchOutcome.FALLOUT_PREMATURE_UNLOCK
+        assert record.parameters_pushed == 0
+
+    def test_ems_timeout_fallout(self, dataset, carrier_id):
+        workflow = make_workflow(dataset, timeout_rate=1.0)
+        record = workflow.launch(carrier_id, {"pMax": 0}, make_rec(carrier_id))
+        assert record.outcome is LaunchOutcome.FALLOUT_EMS_TIMEOUT
+
+    def test_degradation_rolls_back(self, dataset, carrier_id):
+        original = dataset.store.get_singular(carrier_id, "pMax")
+        workflow = make_workflow(dataset, degradation_rate=1.0)
+        record = workflow.launch(carrier_id, {"pMax": 0}, make_rec(carrier_id))
+        assert record.outcome is LaunchOutcome.ROLLED_BACK
+        assert dataset.store.get_singular(carrier_id, "pMax") == original
+
+    def test_carrier_unlocked_after_any_outcome(self, dataset, carrier_id):
+        for workflow in (
+            make_workflow(dataset),
+            make_workflow(dataset, timeout_rate=1.0),
+            make_workflow(dataset, premature_unlock_rate=1.0),
+        ):
+            workflow.launch(carrier_id, {"pMax": 0}, make_rec(carrier_id))
+            assert not dataset.network.carrier(carrier_id).locked
+
+
+class TestCampaignStats:
+    def test_run_campaign_aggregates(self, dataset):
+        workflow = make_workflow(dataset)
+        carrier_ids = sorted(dataset.store.singular_values("pMax"))[:10]
+        launches = [
+            (cid, {"pMax": 0 if i % 2 else 29.4}, make_rec(cid))
+            for i, cid in enumerate(carrier_ids)
+        ]
+        stats = workflow.run_campaign(launches)
+        assert stats.launched == 10
+        assert stats.changes_recommended == 5
+        assert stats.changes_implemented == 5
+        assert stats.parameters_changed == 5
+        assert stats.fallouts == 0
+
+    def test_table5_rows_structure(self, dataset):
+        stats = LaunchStats()
+        rows = stats.table5_rows()
+        assert rows[0][0] == "New carriers launched"
+        assert len(rows) == 3
+
+    def test_outcome_counts_complete(self, dataset, carrier_id):
+        workflow = make_workflow(dataset)
+        stats = workflow.run_campaign(
+            [(carrier_id, {"pMax": 0}, make_rec(carrier_id))]
+        )
+        counts = stats.outcome_counts()
+        assert sum(counts.values()) == 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SmartLaunchConfig(premature_unlock_rate=1.5)

@@ -1,0 +1,87 @@
+import pytest
+
+from repro.config.rulebook import Rule, RuleBook
+from repro.ops.son import (
+    ComplianceViolation,
+    SONComplianceChecker,
+    ViolationKind,
+)
+
+
+@pytest.fixture()
+def carrier_id(dataset):
+    return sorted(dataset.store.singular_values("pMax"))[5]
+
+
+class TestAudit:
+    def test_generated_store_is_domain_compliant(self, dataset):
+        checker = SONComplianceChecker(dataset.network, dataset.store)
+        sample = [c.carrier_id for c in dataset.network.carriers()][:50]
+        report = checker.audit(sample)
+        assert report.by_kind()[ViolationKind.OUT_OF_DOMAIN] == 0
+        assert report.carriers_audited == 50
+        assert report.values_audited > 0
+
+    def test_out_of_domain_detected(self, dataset, carrier_id):
+        checker = SONComplianceChecker(dataset.network, dataset.store)
+        # Inject an illegal value behind the store's back.
+        dataset.store._singular[carrier_id]["pMax"] = 999  # type: ignore[attr-defined]
+        try:
+            violations = checker.audit_carrier(carrier_id)
+            kinds = {v.kind for v in violations}
+            assert ViolationKind.OUT_OF_DOMAIN in kinds
+        finally:
+            dataset.store.set_singular(carrier_id, "pMax", 12.6)
+
+    def test_missing_required_parameter(self, dataset, carrier_id):
+        checker = SONComplianceChecker(
+            dataset.network,
+            dataset.store,
+            required_parameters=["actInterFreqLB"],
+        )
+        violations = checker.audit_carrier(carrier_id)
+        assert any(
+            v.kind is ViolationKind.MISSING_VALUE
+            and v.parameter == "actInterFreqLB"
+            for v in violations
+        )
+
+    def test_rulebook_deviation_on_enumeration(self, dataset, carrier_id, catalog):
+        rulebook = RuleBook(catalog)
+        rulebook.add_rule(Rule("actInterFreqLB", True))
+        dataset.store.set_singular(carrier_id, "actInterFreqLB", False)
+        checker = SONComplianceChecker(
+            dataset.network, dataset.store, rulebook=rulebook
+        )
+        violations = checker.audit_carrier(carrier_id)
+        assert any(
+            v.kind is ViolationKind.RULEBOOK_DEVIATION for v in violations
+        )
+
+    def test_range_parameters_not_pinned_by_book(self, dataset, carrier_id, catalog):
+        """SON's limitation: a legal range value passes even if unusual."""
+        rulebook = RuleBook(catalog)
+        rulebook.add_rule(Rule("pMax", 12.6))
+        checker = SONComplianceChecker(
+            dataset.network, dataset.store, rulebook=rulebook
+        )
+        dataset.store.set_singular(carrier_id, "pMax", 54.0)  # legal, unusual
+        violations = checker.audit_carrier(carrier_id)
+        assert not any(
+            v.parameter == "pMax"
+            and v.kind is ViolationKind.RULEBOOK_DEVIATION
+            for v in violations
+        )
+
+    def test_summary_text(self, dataset):
+        checker = SONComplianceChecker(dataset.network, dataset.store)
+        sample = [c.carrier_id for c in dataset.network.carriers()][:10]
+        report = checker.audit(sample)
+        assert "audited" in report.summary()
+
+    def test_violation_str(self, carrier_id):
+        v = ComplianceViolation(
+            carrier_id, "pMax", ViolationKind.OUT_OF_DOMAIN, 999
+        )
+        assert "pMax" in str(v)
+        assert "out of domain" in str(v)

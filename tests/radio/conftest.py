@@ -1,0 +1,14 @@
+"""Radio tests exercise configuration-consequence paths that write to
+the store; isolate them from the session-shared dataset."""
+
+import pytest
+
+from repro.datagen.generator import generate_dataset
+from repro.datagen.profiles import GenerationProfile, four_market_profile
+
+
+@pytest.fixture(scope="package")
+def dataset():
+    base = four_market_profile(scale=0.004, seed=9191)
+    profile = GenerationProfile(markets=base.markets[:2], seed=base.seed)
+    return generate_dataset(profile)

@@ -1,0 +1,100 @@
+import pytest
+
+from repro.radio.kpi import CarrierKPI, carrier_kpi
+from repro.radio.loadbalance import Assignment, rebalance
+from repro.radio.users import UserEquipment
+
+
+class TestAssignment:
+    def test_assign_and_move(self, dataset):
+        carriers = [c.carrier_id for c in dataset.network.carriers()][:2]
+        assignment = Assignment()
+        assignment.assign(0, carriers[0])
+        assert assignment.user_to_carrier[0] == carriers[0]
+        assignment.assign(0, carriers[1])
+        assert assignment.user_to_carrier[0] == carriers[1]
+        assert 0 not in assignment.users_by_carrier[carriers[0]]
+
+    def test_load_percent(self, dataset):
+        carrier_id = next(dataset.network.carriers()).carrier_id
+        assignment = Assignment()
+        for i in range(5):
+            assignment.assign(i, carrier_id)
+        assert assignment.load_of(carrier_id, capacity=10) == 50.0
+        assert assignment.load_of(carrier_id, capacity=0) == 100.0
+
+
+class TestRebalance:
+    def test_overloaded_carrier_sheds_users(self, dataset):
+        network = dataset.network
+        store = dataset.store
+        # Find a carrier with a different-frequency X2 neighbor.
+        source = None
+        for carrier in network.carriers():
+            neighbors = network.x2.carrier_neighbors(carrier.carrier_id)
+            if any(
+                network.carrier(n).frequency_mhz != carrier.frequency_mhz
+                for n in neighbors
+            ):
+                source = carrier
+                break
+        assert source is not None
+        users = [
+            UserEquipment(i, source.location, 2.0) for i in range(200)
+        ]
+        assignment = Assignment()
+        for user in users:
+            assignment.assign(user.index, source.carrier_id)
+        moved = rebalance(network, store, users, assignment, rounds=3)
+        # A carrier jammed with 200 users is far above any threshold.
+        assert moved > 0
+        assert len(assignment.users_by_carrier[source.carrier_id]) < 200
+
+    def test_balanced_carrier_untouched(self, dataset):
+        network = dataset.network
+        store = dataset.store
+        carrier = next(network.carriers())
+        users = [UserEquipment(0, carrier.location, 2.0)]
+        assignment = Assignment()
+        assignment.assign(0, carrier.carrier_id)
+        moved = rebalance(network, store, users, assignment)
+        assert moved == 0
+
+
+class TestCarrierKPI:
+    def make_kpi(self, n_users, demand=4.0, bandwidth_users=None, dataset=None):
+        carrier = next(dataset.network.carriers())
+        users = {
+            i: UserEquipment(i, carrier.location, demand) for i in range(n_users)
+        }
+        assignment = Assignment()
+        for i in range(n_users):
+            assignment.assign(i, carrier.carrier_id)
+        return carrier_kpi(
+            carrier, dataset.store, users, assignment, offered=n_users
+        )
+
+    def test_idle_carrier_healthy(self, dataset):
+        carrier = next(dataset.network.carriers())
+        kpi = carrier_kpi(carrier, dataset.store, {}, Assignment(), offered=0)
+        assert kpi.healthy
+        assert kpi.connected_users == 0
+
+    def test_light_load_high_throughput(self, dataset):
+        kpi = self.make_kpi(3, dataset=dataset)
+        assert kpi.mean_throughput_mbps == pytest.approx(4.0)
+        assert kpi.drop_rate == 0.0
+        assert kpi.healthy
+
+    def test_heavy_load_degrades(self, dataset):
+        kpi = self.make_kpi(500, dataset=dataset)
+        assert kpi.mean_throughput_mbps < 4.0
+        assert kpi.drop_rate > 0.0
+
+    def test_admission_rate(self, dataset):
+        carrier = next(dataset.network.carriers())
+        users = {0: UserEquipment(0, carrier.location, 2.0)}
+        assignment = Assignment()
+        assignment.assign(0, carrier.carrier_id)
+        kpi = carrier_kpi(carrier, dataset.store, users, assignment, offered=4)
+        assert kpi.admission_rate == pytest.approx(0.25)

@@ -1,0 +1,158 @@
+"""Handover semantics of the pair-wise parameters.
+
+Built on a controlled two-eNodeB corridor so the effects of a3Offset /
+hysA3Offset / timeToTriggerA3 / cellIndividualOffset are unambiguous.
+"""
+
+import pytest
+
+from repro.config.catalog import build_default_catalog
+from repro.config.store import ConfigurationStore, PairKey
+from repro.netmodel.attributes import CarrierAttributes
+from repro.netmodel.carrier import Carrier
+from repro.netmodel.enodeb import ENodeB
+from repro.netmodel.geo import GeoPoint
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.netmodel.market import Market
+from repro.netmodel.network import Network
+from repro.netmodel.topology import build_x2_graph
+from repro.radio.mobility import MobilitySimulator, straight_path
+from repro.types import Timezone
+
+from tests.netmodel.test_attributes import make_values
+
+SEPARATION_KM = 4.0
+
+
+def build_corridor(pair_config=None):
+    """Two eNodeBs 4 km apart, one 700 MHz carrier each (face 0)."""
+    market_id = MarketId(0)
+    market = Market(market_id, "Corridor", Timezone.EASTERN, GeoPoint(40.0, -74.0))
+    enodebs = []
+    for i in range(2):
+        enodeb = ENodeB(
+            ENodeBId(market_id, i),
+            GeoPoint(40.0, -74.0).offset_km(0.0, SEPARATION_KM * i),
+        )
+        enodeb.add_carrier(
+            Carrier(
+                CarrierId(enodeb.enodeb_id, 0, 0),
+                CarrierAttributes(make_values(market="Corridor")),
+                enodeb.location,
+            )
+        )
+        market.add_enodeb(enodeb)
+        enodebs.append(enodeb)
+    network = Network()
+    network.add_market(market)
+    network.x2 = build_x2_graph(enodebs, radius_km=6.0, max_degree=2)
+
+    store = ConfigurationStore(build_default_catalog())
+    ids = [next(e.carriers()).carrier_id for e in enodebs]
+    for cid in ids:
+        store.set_singular(cid, "pMax", 36)
+        store.set_singular(cid, "qrxlevmin", -120)
+    for a, b in ((ids[0], ids[1]), (ids[1], ids[0])):
+        config = dict(pair_config or {})
+        config.setdefault("a3Offset", 1)
+        config.setdefault("hysA3Offset", 1)
+        config.setdefault("timeToTriggerA3", 160)
+        config.setdefault("cellIndividualOffset", 0)
+        for name, value in config.items():
+            store.set_pairwise(PairKey(a, b), name, value)
+    return network, store, ids
+
+
+def walk_corridor(network, store, steps=400, overshoot_km=1.0):
+    simulator = MobilitySimulator(network, store)
+    start = GeoPoint(40.0, -74.0).offset_km(0.0, -overshoot_km)
+    end = GeoPoint(40.0, -74.0).offset_km(0.0, SEPARATION_KM + overshoot_km)
+    return simulator.walk(straight_path(start, end, steps))
+
+
+class TestHandoverBasics:
+    def test_walk_hands_over_once(self):
+        network, store, ids = build_corridor()
+        result = walk_corridor(network, store)
+        assert result.handover_count == 1
+        assert result.handovers[0].source == ids[0]
+        assert result.handovers[0].target == ids[1]
+        assert result.ping_pong_count == 0
+        assert result.radio_link_failures == 0
+
+    def test_serving_history_tracks_walk(self):
+        network, store, ids = build_corridor()
+        result = walk_corridor(network, store)
+        assert result.serving_history[0] == ids[0]
+        assert result.serving_history[-1] == ids[1]
+
+    def test_handover_near_midpoint(self):
+        network, store, _ = build_corridor()
+        result = walk_corridor(network, store, steps=400)
+        # Symmetric powers: handover should fire near the path middle.
+        assert 120 <= result.handovers[0].step <= 280
+
+
+class TestParameterSemantics:
+    def test_higher_hysteresis_delays_handover(self):
+        late_points = {}
+        for hysteresis in (0.5, 8):
+            network, store, _ = build_corridor({"hysA3Offset": hysteresis})
+            result = walk_corridor(network, store)
+            assert result.handover_count >= 1
+            late_points[hysteresis] = result.handovers[0].step
+        assert late_points[8] > late_points[0.5]
+
+    def test_cio_biases_toward_neighbor(self):
+        steps_by_cio = {}
+        for cio in (0, 12):
+            network, store, _ = build_corridor({"cellIndividualOffset": cio})
+            result = walk_corridor(network, store)
+            steps_by_cio[cio] = result.handovers[0].step
+        # A positive CIO toward the neighbor lowers the bar: earlier HO.
+        assert steps_by_cio[12] < steps_by_cio[0]
+
+    def test_longer_time_to_trigger_delays_handover(self):
+        steps_by_ttt = {}
+        for ttt in (0, 2000):
+            network, store, _ = build_corridor({"timeToTriggerA3": ttt})
+            result = walk_corridor(network, store)
+            steps_by_ttt[ttt] = result.handovers[0].step
+        assert steps_by_ttt[2000] > steps_by_ttt[0]
+
+    def test_zero_margin_causes_ping_pong_on_wobbly_walk(self):
+        """A UE lingering at the cell edge with no hysteresis and no
+        time-to-trigger ping-pongs; sane margins prevent it."""
+        def wobble(network, store):
+            simulator = MobilitySimulator(network, store)
+            center = GeoPoint(40.0, -74.0).offset_km(0.0, SEPARATION_KM / 2)
+            # Oscillate around the midpoint.
+            path = []
+            for i in range(200):
+                offset = 0.25 if i % 20 < 10 else -0.25
+                path.append(center.offset_km(0.0, offset))
+            return simulator.walk(path)
+
+        network, store, _ = build_corridor(
+            {"a3Offset": -15, "hysA3Offset": 0, "timeToTriggerA3": 0}
+        )
+        sloppy = wobble(network, store)
+        network, store, _ = build_corridor(
+            {"a3Offset": 3, "hysA3Offset": 5, "timeToTriggerA3": 640}
+        )
+        sane = wobble(network, store)
+        assert sloppy.ping_pong_count > sane.ping_pong_count
+        assert sane.handover_count <= 1
+
+
+class TestPathHelper:
+    def test_straight_path_endpoints(self):
+        a, b = GeoPoint(0, 0), GeoPoint(1, 1)
+        path = straight_path(a, b, 11)
+        assert path[0] == a
+        assert path[-1] == b
+        assert len(path) == 11
+
+    def test_path_needs_two_steps(self):
+        with pytest.raises(ValueError):
+            straight_path(GeoPoint(0, 0), GeoPoint(1, 1), 1)

@@ -1,0 +1,59 @@
+"""Property-based tests for the radio layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netmodel.geo import GeoPoint
+from repro.radio.mobility import straight_path
+from repro.radio.signal import path_loss_db, received_power_dbm
+from repro.types import Band
+
+bands = st.sampled_from(list(Band))
+distances = st.floats(min_value=0.0, max_value=500.0)
+powers = st.floats(min_value=0.0, max_value=60.0)
+
+
+class TestSignalProperties:
+    @given(bands, distances, distances)
+    def test_path_loss_monotone(self, band, d1, d2):
+        lo, hi = sorted((d1, d2))
+        assert path_loss_db(band, lo) <= path_loss_db(band, hi) + 1e-9
+
+    @given(bands, distances)
+    def test_low_band_never_worse(self, band, distance):
+        assert path_loss_db(Band.LOW, distance) <= path_loss_db(band, distance)
+
+    @given(powers, bands, distances)
+    def test_received_power_linear_in_transmit_power(self, power, band, distance):
+        base = received_power_dbm(power, band, distance)
+        boosted = received_power_dbm(power + 3.0, band, distance)
+        assert boosted == pytest.approx(base + 3.0)
+
+    @given(powers, bands, distances)
+    def test_received_below_transmit(self, power, band, distance):
+        assert received_power_dbm(power, band, distance) < power
+
+
+class TestPathProperties:
+    @given(
+        st.floats(-80, 80), st.floats(-170, 170),
+        st.floats(-80, 80), st.floats(-170, 170),
+        st.integers(2, 50),
+    )
+    @settings(max_examples=50)
+    def test_straight_path_shape(self, lat1, lon1, lat2, lon2, steps):
+        a, b = GeoPoint(lat1, lon1), GeoPoint(lat2, lon2)
+        path = straight_path(a, b, steps)
+        assert len(path) == steps
+        assert path[0] == a
+        assert path[-1].lat == pytest.approx(b.lat)
+        assert path[-1].lon == pytest.approx(b.lon)
+
+    @given(st.integers(3, 30))
+    def test_straight_path_evenly_spaced(self, steps):
+        a, b = GeoPoint(10.0, 20.0), GeoPoint(11.0, 21.0)
+        path = straight_path(a, b, steps)
+        gaps = [
+            path[i].distance_km(path[i + 1]) for i in range(len(path) - 1)
+        ]
+        assert max(gaps) - min(gaps) < 0.05 * max(gaps) + 1e-9

@@ -1,0 +1,48 @@
+import pytest
+
+from repro.radio.signal import covers, path_loss_db, received_power_dbm
+from repro.types import Band
+
+
+class TestPathLoss:
+    def test_monotone_in_distance(self):
+        for band in Band:
+            assert path_loss_db(band, 1.0) < path_loss_db(band, 2.0)
+            assert path_loss_db(band, 2.0) < path_loss_db(band, 10.0)
+
+    def test_low_band_propagates_best(self):
+        for distance in (0.5, 1.0, 5.0):
+            assert path_loss_db(Band.LOW, distance) < path_loss_db(
+                Band.MID, distance
+            )
+            assert path_loss_db(Band.MID, distance) < path_loss_db(
+                Band.HIGH, distance
+            )
+
+    def test_distance_clamped_near_site(self):
+        assert path_loss_db(Band.LOW, 0.0) == path_loss_db(Band.LOW, 0.01)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            path_loss_db(Band.LOW, -1.0)
+
+
+class TestReceivedPower:
+    def test_higher_power_reaches_further(self):
+        weak = received_power_dbm(10.0, Band.MID, 2.0)
+        strong = received_power_dbm(40.0, Band.MID, 2.0)
+        assert strong == weak + 30.0
+
+    def test_covers_respects_qrxlevmin(self):
+        # At 1 km on low band with 30 dBm: received = 30 - 100 = -70 dBm.
+        assert covers(30.0, Band.LOW, 1.0, qrxlevmin_dbm=-80.0)
+        assert not covers(30.0, Band.LOW, 1.0, qrxlevmin_dbm=-60.0)
+
+    def test_coverage_shrinks_with_stricter_qrxlevmin(self):
+        def max_covered_km(qrx):
+            distance = 0.1
+            while covers(30.0, Band.LOW, distance, qrx) and distance < 100:
+                distance *= 1.1
+            return distance
+
+        assert max_covered_km(-120.0) > max_covered_km(-90.0)

@@ -1,0 +1,106 @@
+import pytest
+
+from repro.ops import SimulationKPIMonitor
+from repro.radio import RadioSimulator
+from repro.types import Band
+
+
+@pytest.fixture(scope="module")
+def report(dataset):
+    return RadioSimulator(dataset.network, dataset.store, seed=3).run()
+
+
+class TestSimulator:
+    def test_population_served(self, report):
+        assert report.users_total > 0
+        assert report.connection_rate > 0.9
+
+    def test_kpis_cover_all_carriers(self, dataset, report):
+        assert len(report.kpis) == dataset.network.carrier_count()
+
+    def test_traffic_exists(self, report):
+        assert sum(k.connected_users for k in report.kpis.values()) == (
+            report.users_connected
+        )
+
+    def test_deterministic(self, dataset, report):
+        again = RadioSimulator(dataset.network, dataset.store, seed=3).run()
+        assert again.users_total == report.users_total
+        assert {
+            cid: k.connected_users for cid, k in again.kpis.items()
+        } == {cid: k.connected_users for cid, k in report.kpis.items()}
+
+    def test_seed_changes_population(self, dataset, report):
+        other = RadioSimulator(dataset.network, dataset.store, seed=4).run()
+        assert other.users_total != report.users_total
+
+    def test_scoped_to_enodebs(self, dataset):
+        scope = dataset.network.markets[0].enodebs[:2]
+        simulator = RadioSimulator(
+            dataset.network, dataset.store, enodebs=scope, seed=1
+        )
+        report = simulator.run()
+        scoped_ids = {c.carrier_id for e in scope for c in e.carriers()}
+        assert set(report.kpis) == scoped_ids
+
+    def test_low_band_carries_wide_area_traffic(self, dataset, report):
+        """Low band reaches further, so distant users land there."""
+        by_band = {band: 0 for band in Band}
+        for cid, kpi in report.kpis.items():
+            by_band[dataset.network.carrier(cid).band] += kpi.connected_users
+        assert by_band[Band.LOW] > 0
+
+
+class TestConfigurationConsequences:
+    """Configuration changes must have physical effects."""
+
+    def test_killing_power_removes_coverage(self, dataset):
+        enodeb = max(
+            dataset.network.markets[0].enodebs,
+            key=lambda e: e.carrier_count(),
+        )
+        simulator = RadioSimulator(
+            dataset.network, dataset.store, enodebs=[enodeb], seed=2
+        )
+        before = simulator.run()
+        busy = max(
+            before.kpis.values(), key=lambda k: k.connected_users
+        )
+        if busy.connected_users == 0:
+            pytest.skip("no traffic in scope")
+        original_pmax = dataset.store.get_singular(busy.carrier_id, "pMax")
+        original_qrx = dataset.store.get_singular(busy.carrier_id, "qrxlevmin")
+        try:
+            dataset.store.set_singular(busy.carrier_id, "pMax", 0)
+            dataset.store.set_singular(busy.carrier_id, "qrxlevmin", -44)
+            after = simulator.run()
+            degraded = after.kpis[busy.carrier_id]
+            assert degraded.connected_users < busy.connected_users
+        finally:
+            if original_pmax is not None:
+                dataset.store.set_singular(busy.carrier_id, "pMax", original_pmax)
+            if original_qrx is not None:
+                dataset.store.set_singular(
+                    busy.carrier_id, "qrxlevmin", original_qrx
+                )
+
+    def test_simulation_monitor_detects_bad_push(self, dataset):
+        monitor = SimulationKPIMonitor(dataset.network, dataset.store)
+        # Find a carrier with simulated traffic in its neighborhood scope.
+        target = None
+        for carrier in dataset.network.carriers():
+            report = monitor.observe(carrier.carrier_id, changed=False)
+            if report.healthy and report.throughput_mbps > 10.0:
+                target = carrier.carrier_id
+                break
+        if target is None:
+            pytest.skip("no healthy busy carrier found in tiny dataset")
+        monitor.snapshot(target)
+        original = dataset.store.get_singular(target, "qrxlevmin")
+        dataset.store.set_singular(target, "qrxlevmin", -44)
+        dataset.store.set_singular(target, "pMax", 0)
+        degraded = monitor.observe(target, changed=True)
+        restored_count = monitor.rollback(target)
+        assert restored_count > 0
+        assert dataset.store.get_singular(target, "qrxlevmin") == original
+        assert not degraded.healthy

@@ -1,0 +1,93 @@
+import pytest
+
+from repro.radio.selection import (
+    evaluate_candidates,
+    practical_capacity,
+    select_carrier,
+)
+from repro.radio.users import UserEquipment, place_users
+from repro.types import Band
+
+
+@pytest.fixture(scope="module")
+def enodebs(dataset):
+    return list(dataset.network.enodebs())
+
+
+class TestPlaceUsers:
+    def test_population_positive(self, enodebs):
+        users = place_users(enodebs, seed=1)
+        assert len(users) > 0
+        assert all(u.demand_mbps > 0 for u in users)
+
+    def test_deterministic(self, enodebs):
+        a = place_users(enodebs, seed=1)
+        b = place_users(enodebs, seed=1)
+        assert [u.location for u in a] == [u.location for u in b]
+
+    def test_density_factor_scales_population(self, enodebs):
+        low = place_users(enodebs, seed=1, density_factor=0.5)
+        high = place_users(enodebs, seed=1, density_factor=2.0)
+        assert len(high) > len(low)
+
+    def test_invalid_density(self, enodebs):
+        with pytest.raises(ValueError):
+            place_users(enodebs, density_factor=0.0)
+
+    def test_user_demand_validation(self, enodebs):
+        with pytest.raises(ValueError):
+            UserEquipment(0, enodebs[0].location, demand_mbps=0.0)
+
+
+class TestSelection:
+    def test_candidates_sorted_by_priority(self, dataset):
+        enodeb = dataset.network.markets[0].enodebs[0]
+        user = UserEquipment(0, enodeb.location, 2.0)
+        carriers = list(enodeb.carriers())
+        evaluations = evaluate_candidates(user, carriers, dataset.store)
+        keys = [e.priority_key for e in evaluations]
+        assert keys == sorted(keys)
+
+    def test_nearby_user_covered(self, dataset):
+        enodeb = dataset.network.markets[0].enodebs[0]
+        user = UserEquipment(0, enodeb.location, 2.0)
+        evaluations = evaluate_candidates(
+            user, list(enodeb.carriers()), dataset.store
+        )
+        assert any(e.covered for e in evaluations)
+
+    def test_far_user_not_covered(self, dataset):
+        enodeb = dataset.network.markets[0].enodebs[0]
+        far = enodeb.location.offset_km(500.0, 0.0)
+        user = UserEquipment(0, far, 2.0)
+        evaluations = evaluate_candidates(
+            user, list(enodeb.carriers()), dataset.store
+        )
+        assert not any(e.covered for e in evaluations)
+
+    def test_select_connects_or_reports_first_choice(self, dataset):
+        enodeb = dataset.network.markets[0].enodebs[0]
+        user = UserEquipment(0, enodeb.location, 2.0)
+        connected, first = select_carrier(
+            user, list(enodeb.carriers()), dataset.store, {}
+        )
+        assert connected is not None
+        assert first is not None
+
+    def test_full_carrier_spills(self, dataset):
+        enodeb = dataset.network.markets[0].enodebs[0]
+        user = UserEquipment(0, enodeb.location, 2.0)
+        carriers = list(enodeb.carriers())
+        empty, first = select_carrier(user, carriers, dataset.store, {})
+        # Saturate the first choice; the UE must land elsewhere.
+        connections = {first.carrier_id: 10**9}
+        spilled, first2 = select_carrier(user, carriers, dataset.store, connections)
+        assert first2 == first
+        if spilled is not None:
+            assert spilled.carrier_id != first.carrier_id
+
+    def test_practical_capacity_positive_and_bounded(self, dataset):
+        for carrier in list(dataset.network.carriers())[:20]:
+            capacity = practical_capacity(dataset.store, carrier)
+            bandwidth = int(carrier.attributes["channel_bandwidth"])
+            assert 1 <= capacity <= bandwidth * 4

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_requires_valid_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "bogus"])
+
+    def test_all_experiments_accepted(self):
+        parser = build_parser()
+        for experiment_id in EXPERIMENTS:
+            args = parser.parse_args(["experiment", experiment_id])
+            assert args.id == experiment_id
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in out
+
+    def test_generate_tiny(self, capsys):
+        assert main(["generate", "--workload", "tiny"]) == 0
+        assert "Network(" in capsys.readouterr().out
+
+    def test_experiment_with_workload_override(self, capsys, tmp_path):
+        output = tmp_path / "fig4.txt"
+        code = main(
+            [
+                "experiment",
+                "fig4",
+                "--workload",
+                "tiny",
+                "-o",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig 4" in out
+        assert "Fig 4" in output.read_text()
+
+    def test_experiment_table3_on_tiny(self, capsys):
+        assert main(["experiment", "table3", "--workload", "tiny"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+
+class TestScaleOverride:
+    def test_generate_with_scale(self, capsys):
+        assert main(["generate", "--workload", "four-markets", "--scale", "0.003"]) == 0
+        out = capsys.readouterr().out
+        assert "4 markets" in out

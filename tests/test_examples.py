@@ -1,0 +1,57 @@
+"""Smoke tests: the runnable examples must stay runnable.
+
+The three 0.01-scale examples share the workload cache, so this module
+costs one small dataset generation.  The learner-comparison example is
+exercised implicitly by the Table 4 experiment tests (same code path)
+and skipped here for runtime.
+"""
+
+import importlib
+import sys
+
+import pytest
+
+
+def run_example(name, capsys):
+    module = importlib.import_module(f"examples.{name}")
+    module.main()
+    return capsys.readouterr().out
+
+
+@pytest.fixture(autouse=True, scope="module")
+def examples_on_path():
+    sys.path.insert(0, ".")
+    yield
+    sys.path.remove(".")
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "recommendations for" in out
+        assert "depends on" in out
+
+    def test_new_carrier_launch(self, capsys):
+        out = run_example("new_carrier_launch", capsys)
+        assert "launch outcome:" in out
+        assert "vendor initial configuration" in out
+
+    def test_radio_impact(self, capsys):
+        out = run_example("radio_impact", capsys)
+        assert "baseline:" in out
+        assert "rolled back" in out
+
+    def test_bring_your_own_data(self, capsys):
+        out = run_example("bring_your_own_data", capsys)
+        assert "exported snapshot" in out
+        assert "recommendations for" in out
+
+    def test_handover_tuning(self, capsys):
+        out = run_example("handover_tuning", capsys)
+        assert "ping-pongs" in out
+        assert "handover relation" in out
+
+    def test_mismatch_audit(self, capsys):
+        out = run_example("mismatch_audit", capsys)
+        assert "audited" in out
+        assert "engineer labeling" in out

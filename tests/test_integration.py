@@ -1,0 +1,142 @@
+"""End-to-end integration tests across subsystems."""
+
+import pytest
+
+from repro.config.managed_objects import build_vendor_schema
+from repro.config.rulebook import RuleBook
+from repro.config.templates import ConfigTemplate
+from repro.core import AuricEngine, NewCarrierRequest, RecommendationPipeline
+from repro.eval.engineers import label_mismatches
+from repro.eval.runner import EvaluationRunner
+from repro.ops.controller import ConfigPushController
+from repro.ops.ems import ElementManagementSystem, EMSConfig
+from repro.ops.monitoring import KPIMonitor
+from repro.ops.smartlaunch import LaunchOutcome, SmartLaunch, SmartLaunchConfig
+from repro.types import Vendor
+
+from tests.conftest import ENGINE_PARAMETERS
+
+
+class TestLearnThenRecommend:
+    """The paper's primary loop: learn on existing carriers, recommend."""
+
+    def test_loo_accuracy_beats_naive_baseline(self, dataset, engine):
+        """CF must beat always-predicting the global mode."""
+        from collections import Counter
+
+        runner = EvaluationRunner(dataset)
+        result = runner.loo_accuracy(
+            engine, ["pMax"], max_targets_per_parameter=250, scopes=("global",)
+        )
+        values = list(dataset.store.singular_values("pMax").values())
+        mode_share = Counter(values).most_common(1)[0][1] / len(values)
+        assert result.parameter_accuracy_global["pMax"] > mode_share
+
+    def test_mismatches_labelable(self, dataset, engine):
+        runner = EvaluationRunner(dataset)
+        result = runner.loo_accuracy(
+            engine,
+            list(ENGINE_PARAMETERS),
+            max_targets_per_parameter=200,
+            scopes=("local",),
+        )
+        labeled, counts = label_mismatches(
+            dataset.provenance, result.mismatches_local
+        )
+        assert len(labeled) == len(result.mismatches_local)
+        assert sum(counts.values()) == len(labeled)
+
+
+class TestNewCarrierLaunchFlow:
+    """New carrier: pipeline recommendation -> SmartLaunch push."""
+
+    def test_full_launch(self, dataset, engine, catalog):
+        enodeb = dataset.network.markets[0].enodebs[0]
+        template_carrier = list(enodeb.carriers())[0]
+        request = NewCarrierRequest(
+            attributes=template_carrier.attributes, enodeb_id=enodeb.enodeb_id
+        )
+        pipeline = RecommendationPipeline(engine, RuleBook(catalog))
+        recommendation = pipeline.recommend(
+            request, parameters=["pMax", "inactivityTimer"]
+        )
+        assert len(recommendation) == 2
+
+        ems = ElementManagementSystem(
+            dataset.network,
+            dataset.store,
+            EMSConfig(base_timeout_rate=0.0, per_parameter_timeout_rate=0.0),
+        )
+        schema = build_vendor_schema(Vendor.VENDOR_A, catalog)
+        controller = ConfigPushController(ems, ConfigTemplate(schema))
+        monitor = KPIMonitor(dataset.store, degradation_rate=0.0)
+        workflow = SmartLaunch(
+            controller, monitor, SmartLaunchConfig(premature_unlock_rate=0.0)
+        )
+
+        target = template_carrier.carrier_id
+        vendor_config = {
+            name: rec.value
+            for name, rec in recommendation.recommendations.items()
+        }
+        # Perturb one vendor value so the push has something to do.
+        vendor_config["pMax"] = 0
+        record = workflow.launch(target, vendor_config, recommendation)
+        if recommendation.recommendations["pMax"].confident and (
+            recommendation.recommendations["pMax"].value != 0
+        ):
+            assert record.outcome is LaunchOutcome.LAUNCHED_WITH_CHANGES
+            assert (
+                dataset.store.get_singular(target, "pMax")
+                == recommendation.recommendations["pMax"].value
+            )
+        else:
+            assert record.outcome in (
+                LaunchOutcome.LAUNCHED_NO_CHANGES,
+                LaunchOutcome.LAUNCHED_WITH_CHANGES,
+            )
+
+    def test_recommendations_respect_catalog_legality(
+        self, dataset, engine, catalog
+    ):
+        enodeb = dataset.network.markets[1].enodebs[0]
+        request = NewCarrierRequest(
+            attributes=next(enodeb.carriers()).attributes,
+            enodeb_id=enodeb.enodeb_id,
+        )
+        pipeline = RecommendationPipeline(engine, RuleBook(catalog))
+        recommendation = pipeline.recommend(request)
+        for name, rec in recommendation.recommendations.items():
+            assert catalog.spec(name).contains(rec.value)
+
+
+class TestRulebookVsAuric:
+    """Auric should beat the static rule-book baseline on tuned networks."""
+
+    def test_auric_beats_default_rulebook(self, dataset, engine):
+        rulebook = RuleBook(dataset.catalog)
+        values = dataset.store.singular_values("pMax")
+        sample = sorted(values)[:200]
+        auric_hits = 0
+        book_hits = 0
+        for carrier_id in sample:
+            truth = values[carrier_id]
+            rec = engine.recommend_for_carrier("pMax", carrier_id, local=True)
+            if rec.value == truth:
+                auric_hits += 1
+            attributes = dataset.network.carrier(carrier_id).attributes
+            if rulebook.value_for("pMax", attributes) == truth:
+                book_hits += 1
+        assert auric_hits > book_hits
+
+
+class TestDeterminismAcrossRuns:
+    def test_engine_recommendations_deterministic(self, dataset):
+        a = AuricEngine(dataset.network, dataset.store).fit(["pMax"])
+        b = AuricEngine(dataset.network, dataset.store).fit(["pMax"])
+        sample = sorted(dataset.store.singular_values("pMax"))[:50]
+        for carrier_id in sample:
+            ra = a.recommend_for_carrier("pMax", carrier_id)
+            rb = b.recommend_for_carrier("pMax", carrier_id)
+            assert ra.value == rb.value
+            assert ra.support == rb.support

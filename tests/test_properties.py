@@ -1,0 +1,211 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.catalog import build_default_catalog
+from repro.config.values import quantize
+from repro.eval.skewness import skewness
+from repro.eval.splits import kfold_indices, stratified_sample_indices
+from repro.learners.chi_square import (
+    chi_square_statistic,
+    contingency_table,
+    test_independence,
+)
+from repro.learners.encoding import LabelCodec, OneHotEncoder
+from repro.learners.metrics import accuracy_score, entropy, gini_impurity
+from repro.netmodel.geo import GeoPoint, haversine_km
+
+CATALOG = build_default_catalog()
+RANGE_SPECS = CATALOG.range_parameters()
+
+geo_points = st.builds(
+    GeoPoint,
+    st.floats(min_value=-89.0, max_value=89.0),
+    st.floats(min_value=-179.0, max_value=179.0),
+)
+
+categorical_value = st.sampled_from(["a", "b", "c", "d", 1, 2, 700])
+
+
+class TestGeoProperties:
+    @given(geo_points, geo_points)
+    def test_haversine_symmetric_and_nonnegative(self, a, b):
+        d = haversine_km(a, b)
+        assert d >= 0.0
+        assert d == pytest.approx(haversine_km(b, a), rel=1e-9, abs=1e-9)
+
+    @given(geo_points)
+    def test_haversine_identity(self, p):
+        assert haversine_km(p, p) == 0.0
+
+    @given(geo_points, geo_points, geo_points)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        assert haversine_km(a, c) <= (
+            haversine_km(a, b) + haversine_km(b, c) + 1e-6
+        )
+
+    @given(
+        geo_points,
+        st.floats(min_value=-50, max_value=50),
+        st.floats(min_value=-50, max_value=50),
+    )
+    @settings(max_examples=50)
+    def test_offset_stays_valid(self, p, north, east):
+        moved = p.offset_km(north, east)
+        assert -90.0 <= moved.lat <= 90.0
+        assert -180.0 <= moved.lon <= 180.0
+
+
+class TestQuantizeProperties:
+    @given(
+        st.sampled_from(RANGE_SPECS),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    )
+    def test_quantized_value_always_legal(self, spec, raw):
+        assert spec.contains(quantize(spec, raw))
+
+    @given(st.sampled_from(RANGE_SPECS), st.floats(-1e5, 1e5))
+    def test_quantize_idempotent(self, spec, raw):
+        once = quantize(spec, float(raw))
+        twice = quantize(spec, float(once))
+        assert once == twice
+
+    @given(st.sampled_from(RANGE_SPECS))
+    def test_endpoints_quantize_to_themselves_or_legal(self, spec):
+        assert quantize(spec, spec.minimum) == spec.legal_values(limit=1)[0]
+
+
+class TestEncodingProperties:
+    @given(
+        st.lists(
+            st.tuples(categorical_value, categorical_value),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_one_hot_rows_sum_to_column_count(self, rows):
+        enc = OneHotEncoder().fit(rows)
+        X = enc.transform(rows)
+        assert np.all(X.sum(axis=1) == len(rows[0]))
+        assert np.all((X == 0) | (X == 1))
+
+    @given(
+        st.lists(
+            st.tuples(categorical_value, categorical_value),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_identical_rows_encode_identically(self, rows):
+        enc = OneHotEncoder().fit(rows)
+        X = enc.transform([rows[0], rows[0]])
+        assert np.array_equal(X[0], X[1])
+
+    @given(st.lists(st.sampled_from(["x", "y", 3, True]), min_size=1, max_size=50))
+    def test_label_codec_roundtrip(self, labels):
+        codec = LabelCodec().fit(labels)
+        assert codec.decode(codec.encode(labels)) == labels
+
+
+class TestMetricProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=8))
+    def test_gini_bounds(self, counts):
+        g = gini_impurity(np.array(counts, dtype=float))
+        k = len(counts)
+        assert 0.0 <= g <= 1.0 - 1.0 / k + 1e-9
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=8))
+    def test_entropy_nonnegative_bounded(self, counts):
+        e = entropy(np.array(counts, dtype=float))
+        assert 0.0 <= e <= math.log2(len(counts)) + 1e-9
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=50))
+    def test_accuracy_self_is_one(self, labels):
+        assert accuracy_score(labels, labels) == 1.0
+
+
+class TestChiSquareProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("ab"), st.sampled_from("xyz")),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_statistic_nonnegative(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        table, _, _ = contingency_table(xs, ys)
+        assert chi_square_statistic(table) >= 0.0
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abc"), st.sampled_from("xy")),
+            min_size=2,
+            max_size=100,
+        )
+    )
+    def test_cramers_v_in_unit_interval(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        result = test_independence(xs, ys)
+        assert 0.0 <= result.cramers_v <= 1.0
+
+    @given(st.lists(st.sampled_from("ab"), min_size=1, max_size=50))
+    def test_perfect_copy_maximal_association(self, xs):
+        if len(set(xs)) < 2:
+            return
+        result = test_independence(xs, list(xs))
+        assert result.cramers_v == pytest.approx(1.0)
+
+
+class TestSplitProperties:
+    @given(st.integers(min_value=4, max_value=200), st.integers(2, 4))
+    def test_kfold_partitions(self, n, k):
+        if n < k:
+            return
+        all_test = []
+        for train, test in kfold_indices(n, k, seed=0):
+            assert len(train) + len(test) == n
+            all_test.extend(test.tolist())
+        assert sorted(all_test) == list(range(n))
+
+    @given(
+        st.lists(st.sampled_from("abcde"), min_size=1, max_size=100),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_stratified_sample_size_and_validity(self, labels, size):
+        picked = stratified_sample_indices(labels, size, seed=0)
+        assert len(picked) == min(size, len(labels))
+        assert all(0 <= i < len(labels) for i in picked)
+        assert picked == sorted(set(picked))
+
+
+class TestSkewnessProperties:
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=100))
+    def test_skewness_finite(self, values):
+        assert math.isfinite(skewness(values))
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=60))
+    def test_skewness_antisymmetric_under_negation(self, values):
+        assert skewness([-v for v in values]) == pytest.approx(
+            -skewness(values), rel=1e-6, abs=1e-9
+        )
+
+    @given(
+        st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=60),
+        st.floats(-100, 100),
+    )
+    def test_skewness_shift_invariant(self, values, shift):
+        # A spread comparable to the shift is needed for the property to
+        # survive floating-point cancellation.
+        if float(np.std(values)) < 1e-3:
+            return
+        assert skewness([v + shift for v in values]) == pytest.approx(
+            skewness(values), rel=1e-4, abs=1e-6
+        )

@@ -1,0 +1,139 @@
+"""Property-based tests on domain objects (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.catalog import build_default_catalog
+from repro.config.rulebook import Rule, RuleBook
+from repro.config.store import ConfigurationStore, PairKey
+from repro.datagen.latent_rules import build_latent_rules
+from repro.netmodel.attributes import CarrierAttributes
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+
+from tests.netmodel.test_attributes import make_values
+
+CATALOG = build_default_catalog()
+SINGULAR_SPECS = CATALOG.singular_parameters()
+PAIRWISE_SPECS = CATALOG.pairwise_parameters()
+
+carrier_ids = st.builds(
+    CarrierId,
+    st.builds(ENodeBId, st.builds(MarketId, st.integers(0, 30)), st.integers(0, 500)),
+    st.integers(0, 2),
+    st.integers(0, 9),
+)
+
+
+def legal_value_strategy(spec):
+    count = spec.value_count()
+    return st.integers(0, min(count, 5000) - 1).map(
+        lambda k: spec.legal_values(limit=min(count, 5000))[k]
+    )
+
+
+class TestIdentifierProperties:
+    @given(carrier_ids, carrier_ids)
+    def test_ordering_total_and_consistent(self, a, b):
+        assert (a < b) or (b < a) or (a == b)
+        if a < b:
+            assert not b < a
+
+    @given(carrier_ids)
+    def test_str_is_unique_per_id(self, a):
+        # Same id -> same string; different components -> different string.
+        assert str(a) == str(
+            CarrierId(ENodeBId(a.market, a.enodeb.index), a.face, a.slot)
+        )
+
+
+class TestStoreProperties:
+    @given(
+        st.sampled_from(SINGULAR_SPECS[:10]),
+        carrier_ids,
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_singular_roundtrip_any_legal_value(self, spec, carrier_id, data):
+        value = data.draw(legal_value_strategy(spec))
+        store = ConfigurationStore(CATALOG)
+        store.set_singular(carrier_id, spec.name, value)
+        assert store.get_singular(carrier_id, spec.name) == value
+        assert store.total_value_count() == 1
+
+    @given(
+        st.sampled_from(PAIRWISE_SPECS[:6]),
+        carrier_ids,
+        carrier_ids,
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_pairwise_roundtrip_any_legal_value(self, spec, a, b, data):
+        if a == b:
+            return
+        value = data.draw(legal_value_strategy(spec))
+        store = ConfigurationStore(CATALOG)
+        pair = PairKey(a, b)
+        store.set_pairwise(pair, spec.name, value)
+        assert store.get_pairwise(pair, spec.name) == value
+        assert store.get_pairwise(pair.reversed(), spec.name) is None
+
+
+class TestRulebookProperties:
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_lookup_value_always_legal(self, data):
+        spec = data.draw(st.sampled_from(SINGULAR_SPECS[:12]))
+        book = RuleBook(CATALOG)
+        value = data.draw(legal_value_strategy(spec))
+        condition_attr = data.draw(
+            st.sampled_from(["morphology", "carrier_frequency", "vendor"])
+        )
+        attrs = CarrierAttributes(make_values())
+        book.add_rule(
+            Rule(spec.name, value, ((condition_attr, attrs[condition_attr]),))
+        )
+        resolved = book.value_for(spec.name, attrs)
+        assert spec.contains(resolved)
+
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_more_specific_rule_never_loses(self, data):
+        spec = data.draw(st.sampled_from(SINGULAR_SPECS[:12]))
+        generic = data.draw(legal_value_strategy(spec))
+        specific = data.draw(legal_value_strategy(spec))
+        attrs = CarrierAttributes(make_values())
+        book = RuleBook(CATALOG)
+        book.add_rule(Rule(spec.name, generic))
+        book.add_rule(
+            Rule(
+                spec.name,
+                specific,
+                (("morphology", attrs["morphology"]),
+                 ("carrier_frequency", attrs["carrier_frequency"])),
+            )
+        )
+        assert book.lookup(spec.name, attrs) == specific
+
+
+class TestLatentRuleProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_pools_always_legal_for_any_seed(self, seed):
+        rules = build_latent_rules(CATALOG, seed)
+        for name, rule in list(rules.items())[:12]:
+            spec = CATALOG.spec(name)
+            for value in rule.pool[:20]:
+                assert spec.contains(value)
+
+    @given(
+        st.integers(0, 10**6),
+        st.sampled_from(["base", "terrain", "local:x"]),
+        st.tuples(st.sampled_from([700, 1900]), st.sampled_from("ab")),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rule_values_deterministic_and_in_pool(self, seed, variant, combo):
+        rules = build_latent_rules(CATALOG, seed)
+        rule = rules["pMax"]
+        value = rule.value_for(combo, variant)
+        assert value == rule.value_for(combo, variant)
+        assert value in rule.pool

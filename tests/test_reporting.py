@@ -1,0 +1,51 @@
+import pytest
+
+from repro.reporting.series import format_series
+from repro.reporting.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 3.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert "2.50" in text  # float formatting
+        assert "x" in text
+
+    def test_title_prepended(self):
+        text = format_table(["c"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded to the same width
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[0.123456]], float_format="{:.4f}")
+        assert "0.1235" in text
+
+    def test_ints_not_float_formatted(self):
+        text = format_table(["v"], [[7]])
+        assert "7" in text
+        assert "7.00" not in text
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series(
+            "x", [1, 2], {"alpha": [0.1, 0.2], "beta": [0.3, 0.4]}
+        )
+        assert "alpha" in text
+        assert "0.100" in text
+        assert "0.400" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"s": [0.1]})
+
+    def test_empty_series_ok(self):
+        text = format_series("x", [1, 2], {})
+        assert "x" in text

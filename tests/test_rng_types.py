@@ -1,0 +1,76 @@
+"""Tests for the RNG helpers, shared types and the top-level API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import ReproError, ConfigurationError, NotFittedError
+from repro.rng import DEFAULT_SEED, derive, derive_seed, make_rng
+from repro.types import Band, CarrierType, Morphology, Timezone, Vendor
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_derive_label_isolation(self):
+        a = derive(1, "alpha").random()
+        b = derive(1, "beta").random()
+        assert a != b
+
+    def test_derive_deterministic(self):
+        assert derive(1, "x").random() == derive(1, "x").random()
+
+    def test_derive_seed_matches_derive(self):
+        seed = derive_seed(1, "x")
+        assert np.random.default_rng(seed).random() == derive(1, "x").random()
+
+    def test_seed_changes_streams(self):
+        assert derive(1, "x").random() != derive(2, "x").random()
+
+    def test_default_seed_is_sigcomm_date(self):
+        assert DEFAULT_SEED == 20210823
+
+
+class TestEnums:
+    def test_band_values(self):
+        assert {b.value for b in Band} == {"LB", "MB", "HB"}
+
+    def test_morphologies(self):
+        assert {m.value for m in Morphology} == {"urban", "suburban", "rural"}
+
+    def test_vendors(self):
+        assert len(Vendor) == 3
+
+    def test_timezones(self):
+        assert len(Timezone) == 4
+
+    def test_carrier_types_include_firstnet_and_nbiot(self):
+        values = {t.value for t in CarrierType}
+        assert "FirstNet" in values
+        assert "NB-IoT" in values
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        assert issubclass(ConfigurationError, ReproError)
+        assert issubclass(NotFittedError, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ConfigurationError("x")
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self, dataset):
+        engine = repro.AuricEngine(dataset.network, dataset.store).fit(["pMax"])
+        carrier = next(dataset.network.carriers()).carrier_id
+        rec = engine.recommend_for_carrier("pMax", carrier)
+        assert rec.parameter == "pMax"
