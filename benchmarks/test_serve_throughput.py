@@ -1,0 +1,126 @@
+"""Benchmark: recommendation-service throughput, warm vs cold vs refit.
+
+Three serving strategies for the same request stream:
+
+* **warm** — a long-lived :class:`~repro.serve.RecommendationService`
+  with a populated vote cache (the steady state of section 5's
+  deployment),
+* **cold** — the same service with its cache invalidated every round
+  (every request pays a full vote), and
+* **per-request refit** — the fit-per-call pattern the experiments use,
+  as a baseline: a fresh engine fitted for every single request.
+
+The last test asserts the ordering the serving layer exists to provide:
+the warm path must be orders of magnitude faster than refitting.
+"""
+
+import time
+
+import pytest
+
+from repro.config.rulebook import RuleBook
+from repro.core import AuricEngine, NewCarrierRequest
+from repro.serve import RecommendationService
+
+SERVE_PARAMETERS = ["pMax", "inactivityTimer"]
+N_REQUESTS = 200
+
+
+@pytest.fixture(scope="module")
+def serve_engine(four_market_dataset):
+    return AuricEngine(
+        four_market_dataset.network, four_market_dataset.store
+    ).fit(SERVE_PARAMETERS)
+
+
+@pytest.fixture(scope="module")
+def request_stream(four_market_dataset):
+    stream = []
+    for enodeb in four_market_dataset.network.enodebs():
+        for carrier in enodeb.carriers():
+            stream.append(
+                NewCarrierRequest(
+                    attributes=carrier.attributes, enodeb_id=enodeb.enodeb_id
+                )
+            )
+            if len(stream) == N_REQUESTS:
+                return stream
+    return stream
+
+
+def make_service(dataset, engine):
+    return RecommendationService(engine, RuleBook(dataset.catalog))
+
+
+def test_warm_service_throughput(
+    benchmark, four_market_dataset, serve_engine, request_stream
+):
+    service = make_service(four_market_dataset, serve_engine)
+    service.recommend_batch(request_stream, parameters=SERVE_PARAMETERS)
+
+    results = benchmark.pedantic(
+        lambda: service.recommend_batch(
+            request_stream, parameters=SERVE_PARAMETERS
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(results) == len(request_stream)
+    assert service.metrics.cache_hit_rate > 0.5
+
+
+def test_cold_service_throughput(
+    benchmark, four_market_dataset, serve_engine, request_stream
+):
+    service = make_service(four_market_dataset, serve_engine)
+
+    def cold_batch():
+        service.invalidate()
+        return service.recommend_batch(
+            request_stream, parameters=SERVE_PARAMETERS
+        )
+
+    results = benchmark.pedantic(cold_batch, rounds=3, iterations=1)
+    assert len(results) == len(request_stream)
+
+
+def test_per_request_refit_baseline(
+    benchmark, four_market_dataset, request_stream
+):
+    """The pattern the service replaces: fit an engine per request."""
+    request = request_stream[0]
+
+    def refit_and_recommend():
+        engine = AuricEngine(
+            four_market_dataset.network, four_market_dataset.store
+        ).fit(SERVE_PARAMETERS)
+        return make_service(four_market_dataset, engine).recommend(
+            request, parameters=SERVE_PARAMETERS
+        )
+
+    result = benchmark.pedantic(refit_and_recommend, rounds=3, iterations=1)
+    assert result.recommendations["pMax"].value is not None
+
+
+def test_warm_path_beats_per_request_refit(
+    four_market_dataset, serve_engine, request_stream
+):
+    """Acceptance: warm-path latency measurably below per-request refit."""
+    sample = request_stream[:50]
+    service = make_service(four_market_dataset, serve_engine)
+    service.recommend_batch(sample, parameters=SERVE_PARAMETERS)
+
+    started = time.perf_counter()
+    service.recommend_batch(sample, parameters=SERVE_PARAMETERS)
+    warm_per_request = (time.perf_counter() - started) / len(sample)
+
+    started = time.perf_counter()
+    engine = AuricEngine(
+        four_market_dataset.network, four_market_dataset.store
+    ).fit(SERVE_PARAMETERS)
+    make_service(four_market_dataset, engine).recommend(
+        sample[0], parameters=SERVE_PARAMETERS
+    )
+    refit_per_request = time.perf_counter() - started
+
+    assert warm_per_request * 10 < refit_per_request

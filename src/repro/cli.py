@@ -3,28 +3,44 @@
 Usage::
 
     python -m repro list
-    python -m repro generate --workload four-markets --scale 0.02
+    python -m repro generate --workload four-markets --scale 0.02 --seed 7
     python -m repro experiment fig4
     python -m repro experiment table4 -o table4.txt
+    python -m repro serve-batch snapshot.json requests.json \
+        --parameters pMax,qHyst --save-artifact engine.json
 
 ``experiment`` accepts every id in :data:`repro.experiments.EXPERIMENTS`;
-results render in the paper's table/series layout.
+results render in the paper's table/series layout.  ``serve-batch``
+loads a snapshot (``repro.dataio`` format), fits or loads a persistent
+engine artifact, and answers a batch of new-carrier requests through
+:class:`repro.serve.RecommendationService`, printing each
+recommendation and the service metrics.
+
+``--seed`` propagates into workload construction (``generate``) and
+engine fitting (``serve-batch``) so runs are reproducible end-to-end
+from the command line.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.datagen import four_markets_workload, full_network_workload, tiny_workload
 from repro.experiments import EXPERIMENTS, run_experiment
+from repro.rng import DEFAULT_SEED
 
 _WORKLOADS = {
-    "tiny": lambda scale: tiny_workload(),
-    "four-markets": lambda scale: four_markets_workload(scale=scale),
-    "full-network": lambda scale: full_network_workload(scale=scale),
+    "tiny": lambda scale, seed: tiny_workload(seed=seed),
+    "four-markets": lambda scale, seed: four_markets_workload(scale=scale, seed=seed),
+    "full-network": lambda scale, seed: full_network_workload(scale=scale, seed=seed),
 }
+
+
+def _build_workload(name: str, scale: Optional[float], seed: Optional[int]):
+    return _WORKLOADS[name](scale, seed if seed is not None else DEFAULT_SEED)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,6 +59,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="four-markets",
     )
     generate.add_argument("--scale", type=float, default=None)
+    generate.add_argument(
+        "--seed", type=int, default=None,
+        help="generation seed (default: the library seed)",
+    )
+    generate.add_argument(
+        "-o", "--output", default=None,
+        help="also export the snapshot JSON here",
+    )
 
     experiment = sub.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument("id", choices=sorted(EXPERIMENTS))
@@ -54,9 +78,123 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--scale", type=float, default=None)
     experiment.add_argument(
+        "--seed", type=int, default=None,
+        help="seed for the overridden workload",
+    )
+    experiment.add_argument(
         "-o", "--output", default=None, help="also write the rendering here"
     )
+
+    serve = sub.add_parser(
+        "serve-batch",
+        help="serve a batch of new-carrier requests from a snapshot",
+    )
+    serve.add_argument("snapshot", help="snapshot JSON (repro.dataio format)")
+    serve.add_argument("requests", help="requests JSON (list or {'requests': [...]})")
+    serve.add_argument(
+        "--parameters", default=None,
+        help="comma-separated parameters to serve "
+        "(default: every singular range parameter)",
+    )
+    serve.add_argument(
+        "--artifact", default=None,
+        help="load this fitted engine artifact instead of fitting",
+    )
+    serve.add_argument(
+        "--save-artifact", default=None,
+        help="persist the fitted engine artifact here",
+    )
+    serve.add_argument(
+        "--no-verify-artifact", action="store_true",
+        help="serve an artifact even if it was fitted on another snapshot",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None,
+        help="engine fit seed (reproducible attribute-selection sampling)",
+    )
+    serve.add_argument("--cache-size", type=int, default=None)
+    serve.add_argument(
+        "-o", "--output", default=None, help="also write the renderings here"
+    )
     return parser
+
+
+def _run_serve_batch(args) -> int:
+    # Imported lazily so `repro list` stays fast.
+    from repro.config.rulebook import RuleBook
+    from repro.core.auric import AuricConfig, AuricEngine
+    from repro.dataio import load_dataset_json
+    from repro.serve import (
+        RecommendationService,
+        load_engine,
+        requests_from_json,
+        save_engine,
+    )
+    from repro.serve.service import DEFAULT_CACHE_SIZE
+
+    from repro.exceptions import ReproError
+
+    snapshot = load_dataset_json(args.snapshot)
+    parameters = (
+        [p for p in args.parameters.split(",") if p]
+        if args.parameters is not None
+        else None
+    )
+    if parameters:
+        for name in parameters:
+            if name not in snapshot.store.catalog:
+                print(f"error: unknown parameter {name!r}", file=sys.stderr)
+                return 2
+            if snapshot.store.catalog.spec(name).is_pairwise:
+                print(
+                    f"error: {name} is pair-wise and needs a neighbor "
+                    "carrier; serve-batch answers singular parameters only",
+                    file=sys.stderr,
+                )
+                return 2
+
+    if args.artifact is not None:
+        try:
+            engine = load_engine(
+                args.artifact,
+                snapshot.network,
+                snapshot.store,
+                verify_fingerprint=not args.no_verify_artifact,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print(
+                "hint: --no-verify-artifact serves an artifact fitted on "
+                "another snapshot",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        config = AuricConfig(seed=args.seed) if args.seed is not None else None
+        engine = AuricEngine(snapshot.network, snapshot.store, config).fit(
+            parameters
+        )
+    if args.save_artifact is not None:
+        save_engine(engine, args.save_artifact)
+
+    service = RecommendationService(
+        engine,
+        rulebook=RuleBook(snapshot.store.catalog),
+        cache_size=args.cache_size or DEFAULT_CACHE_SIZE,
+    )
+    with open(args.requests) as handle:
+        requests = requests_from_json(json.load(handle))
+
+    lines: List[str] = []
+    for result in service.recommend_batch(requests, parameters=parameters):
+        lines.append(str(result))
+    lines.append(f"service metrics: {service.metrics.summary()}")
+    text = "\n".join(lines)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -68,14 +206,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "generate":
-        dataset = _WORKLOADS[args.workload](args.scale)
+        dataset = _build_workload(args.workload, args.scale, args.seed)
         print(dataset.summary())
+        if args.output:
+            from repro.dataio import export_dataset_json
+
+            export_dataset_json(dataset, args.output)
+            print(f"snapshot written to {args.output}")
         return 0
 
     if args.command == "experiment":
         kwargs = {}
         if args.workload is not None:
-            kwargs["dataset"] = _WORKLOADS[args.workload](args.scale)
+            kwargs["dataset"] = _build_workload(args.workload, args.scale, args.seed)
         result = run_experiment(args.id, **kwargs)
         text = result.render()
         print(text)
@@ -83,6 +226,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.output, "w") as handle:
                 handle.write(text + "\n")
         return 0
+
+    if args.command == "serve-batch":
+        return _run_serve_batch(args)
 
     return 2  # unreachable with required=True
 

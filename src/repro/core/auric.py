@@ -78,6 +78,70 @@ class _ParameterModel:
     def weight_of(self, key: Hashable) -> float:
         return self.weights.get(key, 1.0)
 
+    def add_sample(
+        self,
+        key: Hashable,
+        row: Row,
+        label: ParameterValue,
+        weight: float = 1.0,
+    ) -> None:
+        """Add one configured value to the fitted vote indexes.
+
+        The incremental-refresh path (``repro.serve.refresh``): a newly
+        activated carrier's values join the electorate without re-running
+        attribute selection — the dependency structure is kept until the
+        next full refit.  Replaces any existing sample under ``key``.
+        """
+        if weight < 0.0:
+            raise ValueError(f"vote weight for {key} must be >= 0")
+        if key in self.samples:
+            self.remove_sample(key)
+        cell = self.cell_key(row)
+        self.cell_index.setdefault(cell, Counter())[label] += weight
+        self.global_counts[label] += weight
+        self.samples[key] = (cell, label)
+        source = key.carrier if isinstance(key, PairKey) else key
+        self.by_carrier.setdefault(source, []).append(key)
+        if weight != 1.0:
+            self.weights[key] = weight
+        for level, index in self._relaxed.items():
+            index.setdefault(cell[:level], Counter())[label] += weight
+
+    def remove_sample(self, key: Hashable) -> None:
+        """Remove one configured value from the fitted vote indexes."""
+        if key not in self.samples:
+            return
+        cell, label = self.samples.pop(key)
+        weight = self.weights.pop(key, 1.0)
+        self._drop_votes(self.cell_index, cell, label, weight)
+        self.global_counts[label] -= weight
+        if self.global_counts[label] <= 1e-12:
+            del self.global_counts[label]
+        source = key.carrier if isinstance(key, PairKey) else key
+        keys = self.by_carrier.get(source)
+        if keys is not None:
+            keys.remove(key)
+            if not keys:
+                del self.by_carrier[source]
+        for level, index in self._relaxed.items():
+            self._drop_votes(index, cell[:level], label, weight)
+
+    @staticmethod
+    def _drop_votes(
+        index: Dict[Tuple[AttributeValue, ...], Counter],
+        cell: Tuple[AttributeValue, ...],
+        label: ParameterValue,
+        weight: float,
+    ) -> None:
+        counter = index.get(cell)
+        if counter is None:
+            return
+        counter[label] -= weight
+        if counter[label] <= 1e-12:
+            del counter[label]
+        if not counter:
+            del index[cell]
+
     def relaxed_index(
         self, level: int
     ) -> Dict[Tuple[AttributeValue, ...], Counter]:
@@ -156,6 +220,22 @@ class AuricEngine:
 
     def fitted_parameters(self) -> List[str]:
         return sorted(self._models)
+
+    def fitted_models(self) -> Dict[str, _ParameterModel]:
+        """The fitted per-parameter models (live references, not copies).
+
+        The persistence layer (``repro.serve.artifacts``) serializes
+        these; everything else should go through the recommend calls.
+        """
+        return dict(self._models)
+
+    def install_model(self, name: str, model: _ParameterModel) -> None:
+        """Install a fitted model directly (artifact load / refresher swap)."""
+        if model.spec.name != name:
+            raise ValueError(
+                f"model is for {model.spec.name!r}, cannot install as {name!r}"
+            )
+        self._models[name] = model
 
     def _collect_samples(
         self, spec: ParameterSpec

@@ -39,6 +39,21 @@ class NewCarrierRequest:
         return "new-carrier"
 
 
+def resolve_neighborhood(
+    engine: AuricEngine, request: NewCarrierRequest
+) -> Set[CarrierId]:
+    """The local voters for a new-carrier request: its explicit ANR
+    neighbors plus, when the eNodeB is known, the co-sited carriers and
+    their X2 neighborhoods (shared with :mod:`repro.serve.service`)."""
+    voters: Set[CarrierId] = set(request.neighbor_carriers)
+    if request.enodeb_id is not None:
+        enodeb = engine.network.enodeb(request.enodeb_id)
+        for carrier in enodeb.carriers():
+            voters.add(carrier.carrier_id)
+            voters |= engine.neighborhood_of(carrier.carrier_id)
+    return voters
+
+
 class RecommendationPipeline:
     """Auric engine + rule-book fallback, packaged for launch workflows."""
 
@@ -47,13 +62,7 @@ class RecommendationPipeline:
         self.rulebook = rulebook
 
     def _neighborhood(self, request: NewCarrierRequest) -> Set[CarrierId]:
-        voters: Set[CarrierId] = set(request.neighbor_carriers)
-        if request.enodeb_id is not None:
-            enodeb = self.engine.network.enodeb(request.enodeb_id)
-            for carrier in enodeb.carriers():
-                voters.add(carrier.carrier_id)
-                voters |= self.engine.neighborhood_of(carrier.carrier_id)
-        return voters
+        return resolve_neighborhood(self.engine, request)
 
     def recommend(
         self,

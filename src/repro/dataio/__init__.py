@@ -16,6 +16,7 @@ from repro.dataio.export import (
     export_attributes_csv,
     export_dataset_json,
     export_parameter_csv,
+    snapshot_fingerprint,
 )
 from repro.dataio.load import load_dataset_json, snapshot_from_dict
 
@@ -24,6 +25,7 @@ __all__ = [
     "export_attributes_csv",
     "export_dataset_json",
     "export_parameter_csv",
+    "snapshot_fingerprint",
     "load_dataset_json",
     "snapshot_from_dict",
 ]

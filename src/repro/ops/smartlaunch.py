@@ -20,15 +20,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.core.pipeline import NewCarrierRequest
 from repro.core.recommendation import CarrierRecommendation
+from repro.exceptions import RecommendationError
 from repro.netmodel.identifiers import CarrierId
 from repro.ops.controller import ConfigPushController, PushOutcome, PushResult
 from repro.ops.monitoring import KPIMonitor
 from repro.ops.prechecks import run_prechecks
 from repro.rng import derive
 from repro.types import ParameterValue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.service import RecommendationService
 
 
 class LaunchOutcome(enum.Enum):
@@ -146,11 +151,46 @@ class SmartLaunch:
         controller: ConfigPushController,
         monitor: KPIMonitor,
         config: Optional[SmartLaunchConfig] = None,
+        service: Optional["RecommendationService"] = None,
     ) -> None:
         self.controller = controller
         self.monitor = monitor
         self.config = config or SmartLaunchConfig()
+        #: Optional long-lived recommendation service.  With it, launch
+        #: entries may carry a :class:`NewCarrierRequest` instead of a
+        #: pre-computed recommendation — the workflow asks the service
+        #: (one persistent fitted engine, cached voting) instead of the
+        #: caller refitting an engine per carrier.
+        self.service = service
         self._rng = derive(self.config.seed, "smartlaunch")
+
+    def _resolve_recommendation(
+        self,
+        recommendation: Union[CarrierRecommendation, NewCarrierRequest],
+        parameters: Optional[Sequence[str]] = None,
+    ) -> CarrierRecommendation:
+        if isinstance(recommendation, CarrierRecommendation):
+            return recommendation
+        if self.service is None:
+            raise RecommendationError(
+                "launch entry is a NewCarrierRequest but SmartLaunch has "
+                "no recommendation service attached"
+            )
+        return self.service.recommend(recommendation, parameters=parameters)
+
+    def launch_request(
+        self,
+        carrier_id: CarrierId,
+        vendor_config: Dict[str, ParameterValue],
+        request: NewCarrierRequest,
+        parameters: Optional[Sequence[str]] = None,
+    ) -> LaunchRecord:
+        """Launch one carrier, recommendations served by the service."""
+        return self.launch(
+            carrier_id,
+            vendor_config,
+            self._resolve_recommendation(request, parameters),
+        )
 
     def launch(
         self,
@@ -229,8 +269,19 @@ class SmartLaunch:
         self,
         launches: Iterable[tuple],
     ) -> LaunchStats:
-        """Launch a sequence of (carrier_id, vendor_config, recommendation)."""
+        """Launch a sequence of (carrier_id, vendor_config, recommendation).
+
+        The third element may be a pre-computed
+        :class:`CarrierRecommendation` or, when a service is attached, a
+        :class:`NewCarrierRequest` the service resolves at launch time.
+        """
         stats = LaunchStats()
         for carrier_id, vendor_config, recommendation in launches:
-            stats.add(self.launch(carrier_id, vendor_config, recommendation))
+            stats.add(
+                self.launch(
+                    carrier_id,
+                    vendor_config,
+                    self._resolve_recommendation(recommendation),
+                )
+            )
         return stats

@@ -1,0 +1,60 @@
+"""repro.serve — persistent model artifacts + a long-lived service.
+
+The deployment-facing layer: train the Auric engine once, persist the
+fitted state as a versioned artifact, and serve many recommendation
+requests from one process — with caching, metrics, cold-start fallback
+to the rule-book, and incremental refresh as the network grows.
+
+* :mod:`repro.serve.artifacts` — save/load a fitted engine with
+  recommendation-identical round-trips.
+* :mod:`repro.serve.service` — the thread-safe
+  :class:`RecommendationService` with LRU vote caching and explicit
+  invalidation.
+* :mod:`repro.serve.refresh` — incremental electorate updates and
+  full refits with stale-but-available swapping.
+* :mod:`repro.serve.metrics` — counters and latency histograms
+  exported as plain dicts.
+"""
+
+from repro.serve.artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactError,
+    artifact_summary,
+    engine_from_dict,
+    engine_to_dict,
+    load_engine,
+    save_engine,
+)
+from repro.serve.metrics import LatencyHistogram, ServiceMetrics
+from repro.serve.refresh import (
+    EngineRefresher,
+    GrowthReplay,
+    RefreshResult,
+    store_subset,
+)
+from repro.serve.service import (
+    DEFAULT_CACHE_SIZE,
+    RecommendationService,
+    request_from_dict,
+    requests_from_json,
+)
+
+__all__ = [
+    "request_from_dict",
+    "requests_from_json",
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactError",
+    "artifact_summary",
+    "engine_from_dict",
+    "engine_to_dict",
+    "load_engine",
+    "save_engine",
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "EngineRefresher",
+    "GrowthReplay",
+    "RefreshResult",
+    "store_subset",
+    "DEFAULT_CACHE_SIZE",
+    "RecommendationService",
+]

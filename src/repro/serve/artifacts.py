@@ -1,0 +1,211 @@
+"""Persistent engine artifacts: train once, save, load, serve.
+
+Every recommendation path in the repository used to refit the Auric
+engine in-process and discard the fitted state.  This module serializes
+a fitted :class:`~repro.core.auric.AuricEngine` — per-parameter
+dependent attributes, vote samples and weights, plus the
+:class:`~repro.core.auric.AuricConfig` — to a schema-versioned JSON
+document, and loads it back so that a reloaded engine produces
+recommendations *identical* to the engine that was fitted live.
+
+Identity is guaranteed by serializing the raw per-target samples in
+their original (sorted-key) order and rebuilding every derived index —
+cell index, global counts, by-carrier index — by replaying that order,
+exactly as ``AuricEngine._fit_parameter`` accumulated them.  Weighted
+(float) vote counts therefore sum in the same order and land on the
+same values bit-for-bit.
+
+Artifacts embed the :func:`~repro.dataio.export.snapshot_fingerprint`
+of the snapshot the engine was fitted on; loading against a different
+snapshot raises unless explicitly allowed (the refresh layer serves
+stale-but-available models on purpose).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.config.store import ConfigurationStore, PairKey
+from repro.core.auric import AuricConfig, AuricEngine, _ParameterModel
+from repro.dataio.export import snapshot_fingerprint
+from repro.dataio.keys import (
+    carrier_key_from_str,
+    carrier_key_to_str,
+    pair_key_from_str,
+    pair_key_to_str,
+)
+from repro.exceptions import RecommendationError
+from repro.netmodel.network import Network
+
+#: Version of the artifact document schema (bump on layout changes).
+ARTIFACT_SCHEMA_VERSION = 1
+
+_ARTIFACT_KIND = "auric-engine-artifact"
+
+
+class ArtifactError(RecommendationError):
+    """A malformed, incompatible or mismatched engine artifact."""
+
+
+def _key_to_str(key: Hashable, pairwise: bool) -> str:
+    return pair_key_to_str(key) if pairwise else carrier_key_to_str(key)
+
+
+def _key_from_str(text: str, pairwise: bool) -> Hashable:
+    return pair_key_from_str(text) if pairwise else carrier_key_from_str(text)
+
+
+def _model_to_dict(model: _ParameterModel) -> Dict:
+    pairwise = model.spec.is_pairwise
+    return {
+        "parameter": model.spec.name,
+        "pairwise": pairwise,
+        "dependent_columns": list(model.dependent_columns),
+        "dependent_names": list(model.dependent_names),
+        # (key, cell, label) triples in fit order — everything else is
+        # derived from these on load.
+        "samples": [
+            [_key_to_str(key, pairwise), list(cell), label]
+            for key, (cell, label) in model.samples.items()
+        ],
+        "weights": {
+            _key_to_str(key, pairwise): weight
+            for key, weight in model.weights.items()
+        },
+    }
+
+
+def _model_from_dict(payload: Dict, engine: AuricEngine) -> _ParameterModel:
+    spec = engine.catalog.spec(payload["parameter"])
+    pairwise = bool(payload["pairwise"])
+    if spec.is_pairwise != pairwise:
+        raise ArtifactError(
+            f"artifact says {spec.name} is "
+            f"{'pair-wise' if pairwise else 'singular'}, catalog disagrees"
+        )
+    weights: Dict[Hashable, float] = {
+        _key_from_str(text, pairwise): float(weight)
+        for text, weight in payload.get("weights", {}).items()
+    }
+    dependent = tuple(int(c) for c in payload["dependent_columns"])
+
+    cell_index: Dict[Tuple, Counter] = {}
+    global_counts: Counter = Counter()
+    samples: Dict[Hashable, Tuple[Tuple, object]] = {}
+    by_carrier: Dict = {}
+    for text, cell_list, label in payload["samples"]:
+        key = _key_from_str(text, pairwise)
+        cell = tuple(cell_list)
+        weight = weights.get(key, 1.0)
+        cell_index.setdefault(cell, Counter())[label] += weight
+        global_counts[label] += weight
+        samples[key] = (cell, label)
+        source = key.carrier if isinstance(key, PairKey) else key
+        by_carrier.setdefault(source, []).append(key)
+
+    return _ParameterModel(
+        spec=spec,
+        dependent_columns=dependent,
+        dependent_names=tuple(payload["dependent_names"]),
+        cell_index=cell_index,
+        global_counts=global_counts,
+        samples=samples,
+        by_carrier=by_carrier,
+        weights=weights,
+    )
+
+
+def engine_to_dict(
+    engine: AuricEngine, fingerprint: Optional[str] = None
+) -> Dict:
+    """The JSON-serializable form of a fitted engine."""
+    if fingerprint is None:
+        fingerprint = snapshot_fingerprint(engine.network, engine.store)
+    config = engine.config
+    return {
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "kind": _ARTIFACT_KIND,
+        "snapshot_fingerprint": fingerprint,
+        "config": {
+            "support_threshold": config.support_threshold,
+            "p_value": config.p_value,
+            "min_effect_size": config.min_effect_size,
+            "selection": config.selection,
+            "hops": config.hops,
+            "min_local_votes": config.min_local_votes,
+            "max_fit_samples": config.max_fit_samples,
+            "seed": config.seed,
+        },
+        "models": [
+            _model_to_dict(model)
+            for _, model in sorted(engine.fitted_models().items())
+        ],
+    }
+
+
+def engine_from_dict(
+    payload: Dict,
+    network: Network,
+    store: ConfigurationStore,
+    verify_fingerprint: bool = True,
+) -> AuricEngine:
+    """Rebuild a fitted engine from :func:`engine_to_dict` output.
+
+    ``network`` and ``store`` are the snapshot to serve against (loaded
+    separately, e.g. via :mod:`repro.dataio`).  With
+    ``verify_fingerprint`` the snapshot must be the one the engine was
+    fitted on; pass ``False`` to serve a stale model deliberately.
+    """
+    if payload.get("kind") != _ARTIFACT_KIND:
+        raise ArtifactError(f"not an engine artifact: kind={payload.get('kind')!r}")
+    version = payload.get("schema_version")
+    if version != ARTIFACT_SCHEMA_VERSION:
+        raise ArtifactError(f"unsupported artifact schema version {version!r}")
+    if verify_fingerprint:
+        actual = snapshot_fingerprint(network, store)
+        expected = payload.get("snapshot_fingerprint")
+        if expected != actual:
+            raise ArtifactError(
+                "artifact was fitted on a different snapshot "
+                f"(artifact {str(expected)[:12]}…, snapshot {actual[:12]}…); "
+                "pass verify_fingerprint=False to serve it anyway"
+            )
+    config = AuricConfig(**payload["config"])
+    engine = AuricEngine(network, store, config)
+    for model_payload in payload["models"]:
+        model = _model_from_dict(model_payload, engine)
+        engine.install_model(model.spec.name, model)
+    return engine
+
+
+def save_engine(engine: AuricEngine, path: str) -> Dict:
+    """Persist a fitted engine; returns the written payload."""
+    payload = engine_to_dict(engine)
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return payload
+
+
+def load_engine(
+    path: str,
+    network: Network,
+    store: ConfigurationStore,
+    verify_fingerprint: bool = True,
+) -> AuricEngine:
+    """Load an engine artifact written by :func:`save_engine`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return engine_from_dict(payload, network, store, verify_fingerprint)
+
+
+def artifact_summary(payload: Dict) -> str:
+    """One line describing an artifact (CLI output)."""
+    models: List[Dict] = payload.get("models", [])
+    samples = sum(len(m.get("samples", [])) for m in models)
+    return (
+        f"engine artifact v{payload.get('schema_version')}: "
+        f"{len(models)} parameter models, {samples} samples, "
+        f"snapshot {str(payload.get('snapshot_fingerprint'))[:12]}…"
+    )

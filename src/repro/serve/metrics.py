@@ -1,0 +1,175 @@
+"""Service metrics: counters and latency histograms.
+
+A long-lived recommendation service needs observable behaviour — cache
+effectiveness, how often the rule-book cold-start path fires, how much
+voting evidence backs the answers, how long snapshot refreshes take.
+Everything here is plain Python (no client library): counters and
+fixed-bucket histograms behind one lock, exported as a plain dict so
+tests and the CLI can assert on or print them directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds) — tuned for an in-process service
+#: where a cache hit is microseconds and a cold vote is milliseconds.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: Default refresh-duration buckets (seconds) — refits are much slower.
+DEFAULT_REFRESH_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+
+class LatencyHistogram:
+    """A fixed-bucket cumulative histogram (Prometheus-style ``le``)."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)  # +inf tail
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket that
+        contains the ``q``-th observation (conservative)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, bound in enumerate(self.buckets):
+            seen += self.counts[index]
+            if seen >= target:
+                return bound
+        return float("inf")
+
+    def as_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "buckets": {
+                **{str(b): c for b, c in zip(self.buckets, self.counts)},
+                "+inf": self.counts[-1],
+            },
+        }
+
+
+class ServiceMetrics:
+    """Counters + histograms for one :class:`RecommendationService`.
+
+    Thread-safe: the service answers requests from many threads, and the
+    refresher records from a background thread.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.parameters_served = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.fallbacks = 0
+        self.invalidations = 0
+        self.refreshes = 0
+        self.votes = 0.0
+        self.request_latency = LatencyHistogram()
+        self.refresh_duration = LatencyHistogram(DEFAULT_REFRESH_BUCKETS)
+
+    # -- recording ----------------------------------------------------------
+
+    def record_request(self, latency_s: float, parameters: int) -> None:
+        with self._lock:
+            self.requests += 1
+            self.parameters_served += parameters
+            self.request_latency.observe(latency_s)
+
+    def record_cache(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def record_votes(self, matched: float) -> None:
+        with self._lock:
+            self.votes += matched
+
+    def record_fallback(self) -> None:
+        with self._lock:
+            self.fallbacks += 1
+
+    def record_invalidation(self, entries_dropped: int = 0) -> None:
+        with self._lock:
+            self.invalidations += 1
+
+    def record_refresh(self, duration_s: float) -> None:
+        with self._lock:
+            self.refreshes += 1
+            self.refresh_duration.observe(duration_s)
+
+    # -- derived rates ------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def fallback_rate(self) -> float:
+        served = self.parameters_served
+        return self.fallbacks / served if served else 0.0
+
+    @property
+    def votes_per_request(self) -> float:
+        return self.votes / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> Dict:
+        """A plain-dict export (for tests, the CLI and log lines)."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "parameters_served": self.parameters_served,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_hit_rate": self.cache_hit_rate,
+                "fallbacks": self.fallbacks,
+                "fallback_rate": self.fallback_rate,
+                "invalidations": self.invalidations,
+                "refreshes": self.refreshes,
+                "votes": self.votes,
+                "votes_per_request": self.votes_per_request,
+                "request_latency": self.request_latency.as_dict(),
+                "refresh_duration": self.refresh_duration.as_dict(),
+            }
+
+    def summary(self) -> str:
+        """A one-paragraph human rendering for the CLI."""
+        d = self.as_dict()
+        return (
+            f"requests={d['requests']} parameters={d['parameters_served']} "
+            f"cache_hit_rate={d['cache_hit_rate']:.1%} "
+            f"fallbacks={d['fallbacks']} ({d['fallback_rate']:.1%}) "
+            f"votes/request={d['votes_per_request']:.1f} "
+            f"mean_latency={d['request_latency']['mean'] * 1e3:.3f}ms "
+            f"refreshes={d['refreshes']}"
+        )

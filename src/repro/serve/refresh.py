@@ -1,0 +1,211 @@
+"""Snapshot refresh for a serving engine.
+
+Networks grow continuously (the paper's opening observation; the
+deployment stream of Table 5), so a long-lived service cannot fit once
+and serve forever.  Two refresh modes are provided:
+
+* **Incremental add** — when carriers are activated, their configured
+  values join the existing vote indexes *without* re-running attribute
+  selection.  This is cheap (no chi-square pass) and keeps the learned
+  dependency structure until the next full refit — the degradation
+  trade-off real serving systems make.
+* **Full refit** — a complete re-fit on the current snapshot, built
+  outside the service lock and swapped in atomically
+  (:meth:`RecommendationService.refresh_snapshot`), so the stale engine
+  keeps serving until the new one is ready.
+
+:class:`GrowthReplay` drives the incremental path from a
+:class:`~repro.datagen.growth.GrowthTimeline`: it replays the
+deployment story quarter by quarter, activating each quarter's launch
+stream into the serving engine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+from repro.config.store import ConfigurationStore
+from repro.core.auric import AuricEngine
+from repro.datagen.growth import GrowthTimeline
+from repro.netmodel.identifiers import CarrierId
+from repro.serve.service import RecommendationService
+
+
+def store_subset(
+    store: ConfigurationStore, carriers: Iterable[CarrierId]
+) -> ConfigurationStore:
+    """A new store holding only the given carriers' values.
+
+    Pair-wise values are kept only when *both* endpoints are included —
+    a pair toward a not-yet-activated carrier does not exist yet.
+    """
+    keep = set(carriers)
+    out = ConfigurationStore(store.catalog)
+    for carrier in store.carriers():
+        if carrier in keep:
+            for name, value in store.carrier_config(carrier).items():
+                out.set_singular(carrier, name, value)
+    for pair in store.pairs():
+        if pair.carrier in keep and pair.neighbor in keep:
+            for name, value in store.pair_config(pair).items():
+                out.set_pairwise(pair, name, value)
+    return out
+
+
+@dataclass
+class RefreshResult:
+    """What one refresh did."""
+
+    mode: str  # "incremental" or "full"
+    duration_s: float
+    #: parameter → number of vote samples added (incremental only).
+    added: Dict[str, int] = field(default_factory=dict)
+    generation: int = 0
+
+    @property
+    def total_added(self) -> int:
+        return sum(self.added.values())
+
+
+class EngineRefresher:
+    """Keeps a service's engine in step with a growing network."""
+
+    def __init__(self, service: RecommendationService):
+        self.service = service
+
+    def incremental_add(
+        self,
+        carrier_ids: Sequence[CarrierId],
+        source_store: Optional[ConfigurationStore] = None,
+        active: Optional[Set[CarrierId]] = None,
+    ) -> RefreshResult:
+        """Activate carriers into the serving engine's vote indexes.
+
+        ``source_store`` is where the new carriers' configured values
+        live (defaults to the engine's own store).  ``active`` is the
+        set of carriers already serving votes; pair-wise values join
+        only when their other endpoint is active (or also activating).
+        With ``active=None`` every other endpoint is assumed active.
+        """
+        started = time.perf_counter()
+        engine = self.service.engine
+        source = source_store if source_store is not None else engine.store
+        new = set(carrier_ids)
+        added: Dict[str, int] = {}
+
+        for name, model in sorted(engine.fitted_models().items()):
+            count = 0
+            if model.spec.is_pairwise:
+                for pair, value in sorted(source.pairwise_values(name).items()):
+                    if not self._pair_eligible(pair, new, active):
+                        continue
+                    if engine.store is not source:
+                        engine.store.set_pairwise(pair, name, value)
+                    model.add_sample(pair, engine.pair_row(pair), value)
+                    count += 1
+            else:
+                for carrier_id in sorted(new):
+                    value = source.get_singular(carrier_id, name)
+                    if value is None:
+                        continue
+                    if engine.store is not source:
+                        engine.store.set_singular(carrier_id, name, value)
+                    model.add_sample(
+                        carrier_id, engine.carrier_row(carrier_id), value
+                    )
+                    count += 1
+            if count:
+                added[name] = count
+                self.service.invalidate(name)
+
+        duration = time.perf_counter() - started
+        self.service.metrics.record_refresh(duration)
+        return RefreshResult(
+            mode="incremental",
+            duration_s=duration,
+            added=added,
+            generation=self.service.generation,
+        )
+
+    @staticmethod
+    def _pair_eligible(
+        pair, new: Set[CarrierId], active: Optional[Set[CarrierId]]
+    ) -> bool:
+        if pair.carrier in new:
+            return active is None or pair.neighbor in active or pair.neighbor in new
+        if pair.neighbor in new:
+            return active is None or pair.carrier in active
+        return False
+
+    def full_refit(
+        self, parameters: Optional[Sequence[str]] = None
+    ) -> RefreshResult:
+        """Re-fit from scratch on the current snapshot and swap it in.
+
+        Attribute selection runs again, so dependency structure learned
+        incrementally-stale models are replaced.  The old engine serves
+        until the swap (stale-but-available).
+        """
+        started = time.perf_counter()
+        old = self.service.engine
+        if parameters is None:
+            parameters = old.fitted_parameters()
+        fresh = AuricEngine(old.network, old.store, old.config).fit(parameters)
+        generation = self.service.refresh_snapshot(fresh)
+        duration = time.perf_counter() - started
+        self.service.metrics.record_refresh(duration)
+        return RefreshResult(
+            mode="full", duration_s=duration, generation=generation
+        )
+
+
+class GrowthReplay:
+    """Replay a deployment timeline into a serving engine.
+
+    Built for the simulation loop: fit the service on the carriers
+    active at some starting quarter (see :func:`store_subset`), then
+    ``advance_to`` later quarters as the campaign progresses — each
+    quarter's launch stream joins the electorate incrementally.
+    """
+
+    def __init__(
+        self,
+        service: RecommendationService,
+        timeline: GrowthTimeline,
+        source_store: ConfigurationStore,
+        start_quarter: int = 0,
+    ) -> None:
+        self.refresher = EngineRefresher(service)
+        self.timeline = timeline
+        self.source_store = source_store
+        self.quarter = start_quarter
+        self._active: Set[CarrierId] = {
+            carrier_id
+            for carrier_id, q in timeline.activation_quarter.items()
+            if q <= start_quarter
+        }
+
+    @property
+    def active_carriers(self) -> Set[CarrierId]:
+        return set(self._active)
+
+    def advance_to(self, quarter: int) -> RefreshResult:
+        """Activate every carrier launched in (current, quarter]."""
+        if quarter < self.quarter:
+            raise ValueError("cannot replay the timeline backwards")
+        launched: list = []
+        for q in range(self.quarter + 1, quarter + 1):
+            launched.extend(self.timeline.launched_in(q))
+        self.quarter = quarter
+        if not launched:
+            # Nothing activated; still a (trivial) refresh for metrics.
+            return self.refresher.incremental_add(
+                [], self.source_store, self._active
+            )
+        result = self.refresher.incremental_add(
+            launched, self.source_store, self._active
+        )
+        self._active.update(launched)
+        return result

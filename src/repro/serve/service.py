@@ -1,0 +1,366 @@
+"""The long-lived recommendation service.
+
+A :class:`RecommendationService` owns a fitted engine plus its network
+snapshot and answers :class:`~repro.core.pipeline.NewCarrierRequest`\\ s
+for as long as the process lives — the deployment shape of section 5 of
+the paper, where Auric runs as an ongoing service feeding the push
+controller, rather than the fit-per-call pattern the experiments use.
+
+Design points:
+
+* **Thread-safe.** All public entry points take one re-entrant lock;
+  the engine is swapped atomically on refresh, so in-flight requests
+  always see a complete model (stale-but-available serving).
+* **LRU-cached voting.** A parameter recommendation for a new carrier
+  depends only on (dependent-attribute cell, neighborhood scope) — two
+  requests that agree on the attributes the parameter depends on and on
+  their local voters get the same answer, so the vote is computed once.
+  The cache is invalidated when the snapshot refreshes and, per
+  parameter, when a :class:`~repro.ops.history.ChangeLog` entry lands.
+* **Cold-start fallback.** A parameter with no fitted model, or a vote
+  that cannot produce a value, falls back to the operational rule-book
+  (mirroring :class:`~repro.core.pipeline.RecommendationPipeline`) and
+  increments the fallback metric instead of raising.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.config.rulebook import RuleBook
+from repro.core.auric import AuricEngine
+from repro.core.pipeline import NewCarrierRequest, resolve_neighborhood
+from repro.core.recommendation import CarrierRecommendation, ParameterRecommendation
+from repro.dataio.keys import carrier_key_from_str
+from repro.exceptions import RecommendationError, UnknownParameterError
+from repro.netmodel.attributes import CarrierAttributes
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.serve.metrics import ServiceMetrics
+
+#: Default number of cached (parameter, cell, scope) votes.
+DEFAULT_CACHE_SIZE = 4096
+
+
+def request_from_dict(payload: Dict) -> NewCarrierRequest:
+    """Build a request from its JSON form.
+
+    Shape: ``{"attributes": {...}, "enodeb": "market.index" | null,
+    "neighbors": ["m.e.f.s", ...]}`` — ``enodeb`` uses the same key
+    format as the snapshot's X2 eNodeB edges, ``neighbors`` the carrier
+    key format of :mod:`repro.dataio.keys`.
+    """
+    enodeb_id = None
+    enodeb_text = payload.get("enodeb")
+    if enodeb_text is not None:
+        market, index = (int(p) for p in str(enodeb_text).split("."))
+        enodeb_id = ENodeBId(MarketId(market), index)
+    neighbors = tuple(
+        carrier_key_from_str(text) for text in payload.get("neighbors", ())
+    )
+    return NewCarrierRequest(
+        attributes=CarrierAttributes(payload["attributes"]),
+        enodeb_id=enodeb_id,
+        neighbor_carriers=neighbors,
+    )
+
+
+def requests_from_json(payload) -> List[NewCarrierRequest]:
+    """Parse a request batch: either a bare list or ``{"requests": [...]}``."""
+    if isinstance(payload, dict):
+        payload = payload.get("requests", [])
+    return [request_from_dict(item) for item in payload]
+
+
+class _LRUCache:
+    """A minimal LRU mapping (not thread-safe; the service locks)."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, ParameterRecommendation]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> Optional[ParameterRecommendation]:
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: ParameterRecommendation) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> int:
+        dropped = len(self._data)
+        self._data.clear()
+        return dropped
+
+    def drop_parameter(self, parameter: str) -> int:
+        """Drop every entry belonging to one parameter (keys lead with it)."""
+        stale = [k for k in self._data if k[0] == parameter]
+        for key in stale:
+            del self._data[key]
+        return len(stale)
+
+
+class RecommendationService:
+    """Serves configuration recommendations from a persistent engine."""
+
+    def __init__(
+        self,
+        engine: AuricEngine,
+        rulebook: Optional[RuleBook] = None,
+        metrics: Optional[ServiceMetrics] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        self._lock = threading.RLock()
+        self._engine = engine
+        self.rulebook = rulebook
+        self.metrics = metrics or ServiceMetrics()
+        self._cache = _LRUCache(cache_size)
+        #: Bumped on every snapshot refresh; lets callers detect swaps.
+        self.generation = 0
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        network,
+        store,
+        parameters: Optional[Sequence[str]] = None,
+        config=None,
+        rulebook: Optional[RuleBook] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> "RecommendationService":
+        """Fit an engine on a snapshot and wrap it in a service."""
+        engine = AuricEngine(network, store, config).fit(parameters)
+        if rulebook is None:
+            rulebook = RuleBook(store.catalog)
+        return cls(engine, rulebook, cache_size=cache_size)
+
+    # -- engine access -------------------------------------------------------
+
+    @property
+    def engine(self) -> AuricEngine:
+        with self._lock:
+            return self._engine
+
+    def fitted_parameters(self) -> List[str]:
+        with self._lock:
+            return self._engine.fitted_parameters()
+
+    def cache_len(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    # -- serving -------------------------------------------------------------
+
+    def recommend(
+        self,
+        request: NewCarrierRequest,
+        parameters: Optional[Sequence[str]] = None,
+        include_enumerations: bool = True,
+    ) -> CarrierRecommendation:
+        """The full configuration recommendation for one new carrier."""
+        started = time.perf_counter()
+        with self._lock:
+            engine = self._engine
+            catalog = engine.catalog
+            names = self._parameter_names(
+                catalog, parameters, include_enumerations
+            )
+            row = request.attributes.as_tuple()
+            neighborhood = resolve_neighborhood(engine, request)
+            scope_key = frozenset(neighborhood) if neighborhood else None
+            result = CarrierRecommendation(target=request.label())
+            for name in names:
+                result.add(
+                    self._recommend_parameter(
+                        engine, name, request, row, neighborhood, scope_key
+                    )
+                )
+        self.metrics.record_request(time.perf_counter() - started, len(names))
+        return result
+
+    def recommend_batch(
+        self,
+        requests: Sequence[NewCarrierRequest],
+        parameters: Optional[Sequence[str]] = None,
+        include_enumerations: bool = True,
+    ) -> List[CarrierRecommendation]:
+        """Serve a batch of requests (in order)."""
+        return [
+            self.recommend(request, parameters, include_enumerations)
+            for request in requests
+        ]
+
+    def _parameter_names(
+        self,
+        catalog,
+        parameters: Optional[Sequence[str]],
+        include_enumerations: bool,
+    ) -> List[str]:
+        if parameters is not None:
+            for name in parameters:
+                if catalog.spec(name).is_pairwise:
+                    raise RecommendationError(
+                        f"{name} is pair-wise; use recommend_neighbors()"
+                    )
+            return list(parameters)
+        names = [s.name for s in catalog.singular_parameters()]
+        if include_enumerations and self.rulebook is not None:
+            names += [
+                s.name
+                for s in catalog.enumeration_parameters()
+                if s.kind.value == "singular"
+            ]
+        return names
+
+    def recommend_neighbors(
+        self,
+        request: NewCarrierRequest,
+        parameters: Optional[Sequence[str]] = None,
+    ) -> Dict[CarrierId, CarrierRecommendation]:
+        """Pair-wise (handover) recommendations toward each declared
+        neighbor of the request.
+
+        Pair-wise parameters are configured per (carrier, neighbor)
+        pair, so they need the request's ``neighbor_carriers`` to be
+        populated (from ANR data); requests without neighbors get an
+        empty result.
+        """
+        started = time.perf_counter()
+        served = 0
+        with self._lock:
+            engine = self._engine
+            if parameters is None:
+                names = [s.name for s in engine.catalog.pairwise_parameters()]
+            else:
+                names = list(parameters)
+            for name in names:
+                if not engine.catalog.spec(name).is_pairwise:
+                    raise RecommendationError(
+                        f"{name} is singular; use recommend()"
+                    )
+            own = request.attributes.as_tuple()
+            neighborhood = resolve_neighborhood(engine, request)
+            scope_key = frozenset(neighborhood) if neighborhood else None
+            results: Dict[CarrierId, CarrierRecommendation] = {}
+            for neighbor_id in request.neighbor_carriers:
+                row = own + engine.carrier_row(neighbor_id)
+                result = CarrierRecommendation(
+                    target=f"{request.label()}->{neighbor_id}"
+                )
+                for name in names:
+                    result.add(
+                        self._recommend_parameter(
+                            engine, name, request, row, neighborhood, scope_key
+                        )
+                    )
+                    served += 1
+                results[neighbor_id] = result
+        self.metrics.record_request(time.perf_counter() - started, served)
+        return results
+
+    def _recommend_parameter(
+        self,
+        engine: AuricEngine,
+        name: str,
+        request: NewCarrierRequest,
+        row: Tuple,
+        neighborhood: Set[CarrierId],
+        scope_key: Optional[frozenset],
+    ) -> ParameterRecommendation:
+        spec = engine.catalog.spec(name)
+        fitted = spec.is_range and name in engine._models
+        if fitted:
+            # The vote depends only on the dependent-attribute cell and
+            # the neighborhood scope — the cache key.
+            cell = engine._models[name].cell_key(row)
+            key = (name, cell, scope_key, self.generation)
+        else:
+            # Rule-book lookups depend on the full attribute vector.
+            key = (name, row, None, self.generation)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.metrics.record_cache(hit=True)
+            return cached
+        self.metrics.record_cache(hit=False)
+
+        rec: Optional[ParameterRecommendation] = None
+        if fitted:
+            try:
+                if neighborhood:
+                    rec = engine.recommend_local(name, row, neighborhood, exclude=None)
+                else:
+                    rec = engine.recommend_global(name, row, exclude=None)
+                self.metrics.record_votes(rec.matched)
+            except RecommendationError:
+                rec = None  # fall through to the rule-book
+        if rec is None:
+            rec = self._rulebook_fallback(name, request)
+        self._cache.put(key, rec)
+        return rec
+
+    def _rulebook_fallback(
+        self, name: str, request: NewCarrierRequest
+    ) -> ParameterRecommendation:
+        if self.rulebook is None:
+            raise RecommendationError(
+                f"cannot recommend {name}: not fitted and no rule-book fallback"
+            )
+        self.metrics.record_fallback()
+        return ParameterRecommendation(
+            parameter=name,
+            value=self.rulebook.value_for(name, request.attributes),
+            support=1.0,
+            matched=0.0,
+            confident=False,
+            scope="rulebook",
+        )
+
+    # -- invalidation & refresh ---------------------------------------------
+
+    def invalidate(self, parameter: Optional[str] = None) -> int:
+        """Drop cached votes — all of them, or one parameter's.
+
+        Returns the number of entries dropped.
+        """
+        with self._lock:
+            if parameter is None:
+                dropped = self._cache.clear()
+            else:
+                dropped = self._cache.drop_parameter(parameter)
+        self.metrics.record_invalidation(dropped)
+        return dropped
+
+    def notify_change(self, carrier_id: CarrierId, parameter: str) -> None:
+        """A configuration change landed (e.g. a ChangeLog entry): the
+        electorate for ``parameter`` shifted, so its cached votes are
+        stale.  Unknown parameters are ignored — the change cannot have
+        been cached."""
+        try:
+            with self._lock:
+                self._engine.catalog.spec(parameter)
+        except UnknownParameterError:
+            return
+        self.invalidate(parameter)
+
+    def refresh_snapshot(self, engine: AuricEngine) -> int:
+        """Atomically swap in a newly fitted engine (new snapshot).
+
+        The old engine keeps serving until the swap; the cache is
+        cleared and the generation bumped.  Returns the new generation.
+        """
+        with self._lock:
+            self._engine = engine
+            self.generation += 1
+            self._cache.clear()
+            return self.generation

@@ -1,0 +1,41 @@
+"""Serving-layer fixtures.
+
+Refresh and push-notification tests mutate the store and the fitted
+vote indexes, so the serve suite generates its own dataset (the ops
+pattern) instead of sharing the session-wide one.
+"""
+
+import pytest
+
+from repro.config.rulebook import RuleBook
+from repro.core import AuricEngine
+from repro.datagen.generator import generate_dataset
+from repro.datagen.profiles import GenerationProfile, four_market_profile
+
+#: One low-variability singular, one high-variability singular, one
+#: pair-wise — the same mix the session-wide engine uses.
+SERVE_PARAMETERS = ("pMax", "inactivityTimer", "hysA3Offset")
+
+
+@pytest.fixture(scope="package")
+def dataset():
+    base = four_market_profile(scale=0.004, seed=909)
+    profile = GenerationProfile(markets=base.markets[:2], seed=base.seed)
+    return generate_dataset(profile)
+
+
+@pytest.fixture(scope="package")
+def network(dataset):
+    return dataset.network
+
+
+@pytest.fixture(scope="package")
+def fitted_engine(dataset):
+    return AuricEngine(dataset.network, dataset.store).fit(
+        list(SERVE_PARAMETERS)
+    )
+
+
+@pytest.fixture(scope="package")
+def rulebook(dataset):
+    return RuleBook(dataset.catalog)

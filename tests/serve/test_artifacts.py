@@ -1,0 +1,117 @@
+"""Artifact round-trips: fit once → save → load → identical answers."""
+
+import json
+
+import pytest
+
+from repro.core import AuricEngine
+from repro.core.auric import AuricConfig
+from repro.serve import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactError,
+    artifact_summary,
+    engine_from_dict,
+    engine_to_dict,
+    load_engine,
+    save_engine,
+)
+
+from .conftest import SERVE_PARAMETERS
+
+
+@pytest.fixture(scope="module")
+def reloaded(fitted_engine, dataset, tmp_path_factory):
+    path = tmp_path_factory.mktemp("artifacts") / "engine.json"
+    save_engine(fitted_engine, str(path))
+    return load_engine(str(path), dataset.network, dataset.store)
+
+
+class TestRoundTripIdentity:
+    def test_fitted_parameters_survive(self, fitted_engine, reloaded):
+        assert reloaded.fitted_parameters() == fitted_engine.fitted_parameters()
+
+    def test_dependent_attributes_survive(self, fitted_engine, reloaded):
+        for name in SERVE_PARAMETERS:
+            assert reloaded.dependent_attribute_names(
+                name
+            ) == fitted_engine.dependent_attribute_names(name)
+
+    @pytest.mark.parametrize("parameter", ["pMax", "inactivityTimer"])
+    @pytest.mark.parametrize("local", [True, False], ids=["local", "global"])
+    def test_singular_recommendations_identical(
+        self, fitted_engine, reloaded, dataset, parameter, local
+    ):
+        """Leave-one-out recommendations — the paper's evaluation path —
+        must be *exactly* equal (value, support, matched, scope)."""
+        carriers = sorted(dataset.store.singular_values(parameter))[:80]
+        assert carriers
+        for carrier_id in carriers:
+            live = fitted_engine.recommend_for_carrier(
+                parameter, carrier_id, local=local, leave_one_out=True
+            )
+            persisted = reloaded.recommend_for_carrier(
+                parameter, carrier_id, local=local, leave_one_out=True
+            )
+            assert live == persisted
+
+    @pytest.mark.parametrize("local", [True, False], ids=["local", "global"])
+    def test_pairwise_recommendations_identical(
+        self, fitted_engine, reloaded, dataset, local
+    ):
+        pairs = sorted(dataset.store.pairwise_values("hysA3Offset"))[:80]
+        assert pairs
+        for pair in pairs:
+            live = fitted_engine.recommend_for_pair(
+                "hysA3Offset", pair, local=local, leave_one_out=True
+            )
+            persisted = reloaded.recommend_for_pair(
+                "hysA3Offset", pair, local=local, leave_one_out=True
+            )
+            assert live == persisted
+
+    def test_resave_is_byte_identical(self, fitted_engine, reloaded):
+        """Serializing the reloaded engine reproduces the artifact
+        byte-for-byte — the round trip loses nothing."""
+        original = json.dumps(engine_to_dict(fitted_engine), sort_keys=True)
+        resaved = json.dumps(engine_to_dict(reloaded), sort_keys=True)
+        assert original == resaved
+
+    def test_config_survives(self, dataset, tmp_path):
+        config = AuricConfig(support_threshold=0.6, min_local_votes=5, seed=99)
+        engine = AuricEngine(dataset.network, dataset.store, config).fit(["pMax"])
+        path = tmp_path / "engine.json"
+        save_engine(engine, str(path))
+        loaded = load_engine(str(path), dataset.network, dataset.store)
+        assert loaded.config == config
+
+
+class TestArtifactValidation:
+    def test_rejects_unknown_schema_version(self, fitted_engine, dataset):
+        payload = engine_to_dict(fitted_engine)
+        payload["schema_version"] = ARTIFACT_SCHEMA_VERSION + 1
+        with pytest.raises(ArtifactError, match="schema version"):
+            engine_from_dict(payload, dataset.network, dataset.store)
+
+    def test_rejects_wrong_kind(self, fitted_engine, dataset):
+        payload = engine_to_dict(fitted_engine)
+        payload["kind"] = "something-else"
+        with pytest.raises(ArtifactError, match="not an engine artifact"):
+            engine_from_dict(payload, dataset.network, dataset.store)
+
+    def test_rejects_snapshot_mismatch(self, fitted_engine, dataset):
+        payload = engine_to_dict(fitted_engine)
+        payload["snapshot_fingerprint"] = "0" * 64
+        with pytest.raises(ArtifactError, match="different snapshot"):
+            engine_from_dict(payload, dataset.network, dataset.store)
+
+    def test_mismatch_override(self, fitted_engine, dataset):
+        payload = engine_to_dict(fitted_engine)
+        payload["snapshot_fingerprint"] = "0" * 64
+        engine = engine_from_dict(
+            payload, dataset.network, dataset.store, verify_fingerprint=False
+        )
+        assert engine.fitted_parameters() == fitted_engine.fitted_parameters()
+
+    def test_summary_renders(self, fitted_engine):
+        text = artifact_summary(engine_to_dict(fitted_engine))
+        assert "3 parameter models" in text

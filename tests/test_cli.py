@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.datagen import tiny_workload
 from repro.experiments import EXPERIMENTS
 
 
@@ -60,3 +63,123 @@ class TestScaleOverride:
         assert main(["generate", "--workload", "four-markets", "--scale", "0.003"]) == 0
         out = capsys.readouterr().out
         assert "4 markets" in out
+
+
+class TestSeedAndExport:
+    def test_generate_export_is_seed_reproducible(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        other = tmp_path / "c.json"
+        assert main(["generate", "--workload", "tiny", "--seed", "5",
+                     "-o", str(first)]) == 0
+        assert main(["generate", "--workload", "tiny", "--seed", "5",
+                     "-o", str(second)]) == 0
+        assert main(["generate", "--workload", "tiny", "--seed", "6",
+                     "-o", str(other)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+        assert first.read_bytes() != other.read_bytes()
+
+
+class TestServeBatch:
+    @pytest.fixture()
+    def snapshot(self, tmp_path, capsys):
+        path = tmp_path / "snapshot.json"
+        assert main(["generate", "--workload", "tiny", "-o", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    @pytest.fixture()
+    def requests_file(self, tmp_path):
+        dataset = tiny_workload()  # the same dataset `generate` exported
+        payload = []
+        for carrier in list(dataset.network.carriers())[:4]:
+            enodeb = carrier.carrier_id.enodeb
+            payload.append(
+                {
+                    "attributes": dict(carrier.attributes.values),
+                    "enodeb": f"{enodeb.market.index}.{enodeb.index}",
+                }
+            )
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps({"requests": payload}))
+        return path
+
+    def test_serve_batch_end_to_end(self, snapshot, requests_file, capsys):
+        code = main(
+            [
+                "serve-batch",
+                str(snapshot),
+                str(requests_file),
+                "--parameters",
+                "pMax,inactivityTimer",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pMax" in out
+        assert "inactivityTimer" in out
+        assert "service metrics:" in out
+        assert "requests=4" in out
+
+    def test_artifact_round_trip_matches_fit(
+        self, snapshot, requests_file, tmp_path, capsys
+    ):
+        """Fitting+saving, then serving from the loaded artifact, must
+        print identical recommendations."""
+        artifact = tmp_path / "engine.json"
+        fit_out = tmp_path / "fit.txt"
+        load_out = tmp_path / "load.txt"
+        base = [str(snapshot), str(requests_file), "--parameters", "pMax"]
+        assert main(["serve-batch", *base, "--save-artifact", str(artifact),
+                     "-o", str(fit_out)]) == 0
+        assert artifact.exists()
+        assert main(["serve-batch", *base, "--artifact", str(artifact),
+                     "-o", str(load_out)]) == 0
+        capsys.readouterr()
+
+        def recommendations(path):
+            return [
+                line for line in path.read_text().splitlines()
+                if not line.startswith("service metrics:")
+            ]
+
+        assert recommendations(fit_out) == recommendations(load_out)
+
+    def test_unknown_parameter_is_a_clean_error(
+        self, snapshot, requests_file, capsys
+    ):
+        code = main(
+            ["serve-batch", str(snapshot), str(requests_file),
+             "--parameters", "pMaxx"]
+        )
+        assert code == 2
+        assert "unknown parameter 'pMaxx'" in capsys.readouterr().err
+
+    def test_pairwise_parameter_is_a_clean_error(
+        self, snapshot, requests_file, capsys
+    ):
+        code = main(
+            ["serve-batch", str(snapshot), str(requests_file),
+             "--parameters", "hysA3Offset"]
+        )
+        assert code == 2
+        assert "pair-wise" in capsys.readouterr().err
+
+    def test_artifact_snapshot_mismatch_is_a_clean_error(
+        self, snapshot, requests_file, tmp_path, capsys
+    ):
+        artifact = tmp_path / "engine.json"
+        assert main(["serve-batch", str(snapshot), str(requests_file),
+                     "--parameters", "pMax",
+                     "--save-artifact", str(artifact)]) == 0
+        other = tmp_path / "other.json"
+        assert main(["generate", "--workload", "tiny", "--seed", "6",
+                     "-o", str(other)]) == 0
+        capsys.readouterr()
+        code = main(["serve-batch", str(other), str(requests_file),
+                     "--artifact", str(artifact)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "different snapshot" in err
+        assert "--no-verify-artifact" in err
