@@ -1,0 +1,123 @@
+"""Benchmark: serial vs process-pool fit and LOO evaluation.
+
+Times the same work twice — ``jobs=1`` and ``jobs=N`` — asserts the
+results are identical (the :mod:`repro.parallel` determinism contract),
+and records the wall-clock numbers in
+``benchmarks/results/BENCH_parallel.json``.
+
+Environment knobs:
+
+* ``REPRO_PARALLEL_SCALE`` — four-market workload scale (default 0.02)
+* ``REPRO_PARALLEL_JOBS``  — parallel worker count (default 4)
+
+The recorded document includes ``cpu_count``: on a single-core runner
+the pool is pure overhead and the speedup honestly reads below 1; on a
+multi-core machine the fan-out across parameters and LOO folds is what
+the speedup measures.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.core import AuricEngine
+from repro.datagen import four_markets_workload
+from repro.eval.runner import EvaluationRunner
+from repro.experiments.parameter_selection import evaluation_parameters
+
+SCALE = float(os.environ.get("REPRO_PARALLEL_SCALE", "0.02"))
+JOBS = int(os.environ.get("REPRO_PARALLEL_JOBS", "4"))
+MAX_TARGETS = 500
+
+
+@pytest.fixture(scope="module")
+def parallel_dataset():
+    return four_markets_workload(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def parallel_parameters(parallel_dataset):
+    return evaluation_parameters(parallel_dataset)
+
+
+def _models_equal(a, b) -> bool:
+    if set(a) != set(b):
+        return False
+    return all(
+        a[name].dependent_columns == b[name].dependent_columns
+        and a[name].cell_index == b[name].cell_index
+        and a[name].global_counts == b[name].global_counts
+        and a[name].samples == b[name].samples
+        for name in a
+    )
+
+
+def test_parallel_matches_serial_and_records_speedup(
+    parallel_dataset, parallel_parameters, results_dir
+):
+    dataset = parallel_dataset
+    parameters = parallel_parameters
+
+    started = time.perf_counter()
+    serial_engine = AuricEngine(dataset.network, dataset.store).fit(
+        parameters, jobs=1
+    )
+    fit_serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel_engine = AuricEngine(dataset.network, dataset.store).fit(
+        parameters, jobs=JOBS
+    )
+    fit_parallel_s = time.perf_counter() - started
+
+    assert _models_equal(
+        serial_engine.fitted_models(), parallel_engine.fitted_models()
+    )
+
+    runner = EvaluationRunner(dataset)
+    started = time.perf_counter()
+    serial = runner.loo_accuracy(
+        serial_engine, parameters,
+        max_targets_per_parameter=MAX_TARGETS, jobs=1,
+    )
+    loo_serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = runner.loo_accuracy(
+        serial_engine, parameters,
+        max_targets_per_parameter=MAX_TARGETS, jobs=JOBS,
+    )
+    loo_parallel_s = time.perf_counter() - started
+
+    assert serial.parameter_accuracy_local == parallel.parameter_accuracy_local
+    assert serial.parameter_accuracy_global == parallel.parameter_accuracy_global
+    assert serial.mismatches_local == parallel.mismatches_local
+    assert serial.mismatches_global == parallel.mismatches_global
+    assert serial.evaluated == parallel.evaluated
+
+    document = {
+        "cpu_count": multiprocessing.cpu_count(),
+        "jobs": JOBS,
+        "scale": SCALE,
+        "parameters": len(parameters),
+        "targets_evaluated": serial.evaluated,
+        "fit": {
+            "serial_s": fit_serial_s,
+            "parallel_s": fit_parallel_s,
+            "speedup": fit_serial_s / fit_parallel_s if fit_parallel_s else None,
+        },
+        "loo": {
+            "serial_s": loo_serial_s,
+            "parallel_s": loo_parallel_s,
+            "speedup": loo_serial_s / loo_parallel_s if loo_parallel_s else None,
+        },
+        "identical_results": True,
+    }
+    path = results_dir / "BENCH_parallel.json"
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"\n{json.dumps(document, indent=2)}")

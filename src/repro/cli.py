@@ -4,10 +4,10 @@ Usage::
 
     python -m repro list
     python -m repro generate --workload four-markets --scale 0.02 --seed 7
-    python -m repro experiment fig4
-    python -m repro experiment table4 -o table4.txt
+    python -m repro experiment fig4 --jobs 4
+    python -m repro experiment table4 -o table4.txt --format json
     python -m repro serve-batch snapshot.json requests.json \
-        --parameters pMax,qHyst --save-artifact engine.json
+        --parameters pMax,qHyst --save-artifact engine.json -j 2
 
 ``experiment`` accepts every id in :data:`repro.experiments.EXPERIMENTS`;
 results render in the paper's table/series layout.  ``serve-batch``
@@ -16,14 +16,25 @@ engine artifact, and answers a batch of new-carrier requests through
 :class:`repro.serve.RecommendationService`, printing each
 recommendation and the service metrics.
 
-``--seed`` propagates into workload construction (``generate``) and
-engine fitting (``serve-batch``) so runs are reproducible end-to-end
-from the command line.
+The work-producing subcommands share one option vocabulary:
+
+* ``--jobs/-j N`` fans engine fitting and LOO evaluation across N
+  worker processes (:mod:`repro.parallel`; ``0`` = all cores).  Results
+  are identical to ``-j 1`` by construction.  ``generate`` accepts the
+  flag for interface consistency, but generation itself is
+  single-process.
+* ``--seed`` propagates into workload construction (``generate``,
+  ``experiment``) and engine fitting (``serve-batch``) so runs are
+  reproducible end-to-end from the command line.
+* ``--format table`` (default) renders the human tables; ``--format
+  json`` emits one machine-readable JSON document instead.
+* ``-o/--output`` additionally writes whatever was printed to a file.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 from typing import List, Optional
@@ -43,32 +54,62 @@ def _build_workload(name: str, scale: Optional[float], seed: Optional[int]):
     return _WORKLOADS[name](scale, seed if seed is not None else DEFAULT_SEED)
 
 
+def _common_options() -> argparse.ArgumentParser:
+    """The option vocabulary every work-producing subcommand shares."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for fitting/evaluation (0 = all cores, "
+        "default 1; results are identical at any value)",
+    )
+    common.add_argument(
+        "--seed", type=int, default=None,
+        help="random seed (default: the library seed)",
+    )
+    common.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: table)",
+    )
+    common.add_argument(
+        "-o", "--output", default=None,
+        help="also write the printed output to this file",
+    )
+    return common
+
+
+def _workload_options() -> argparse.ArgumentParser:
+    workload = argparse.ArgumentParser(add_help=False)
+    workload.add_argument("--scale", type=float, default=None)
+    return workload
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Auric (SIGCOMM 2021) reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_options()
+    workload = _workload_options()
 
     sub.add_parser("list", help="list available experiments")
 
-    generate = sub.add_parser("generate", help="generate a synthetic workload")
+    generate = sub.add_parser(
+        "generate",
+        parents=[common, workload],
+        help="generate a synthetic workload",
+    )
     generate.add_argument(
         "--workload",
         choices=sorted(_WORKLOADS),
         default="four-markets",
     )
-    generate.add_argument("--scale", type=float, default=None)
-    generate.add_argument(
-        "--seed", type=int, default=None,
-        help="generation seed (default: the library seed)",
-    )
-    generate.add_argument(
-        "-o", "--output", default=None,
-        help="also export the snapshot JSON here",
-    )
 
-    experiment = sub.add_parser("experiment", help="run one paper experiment")
+    experiment = sub.add_parser(
+        "experiment",
+        parents=[common, workload],
+        help="run one paper experiment",
+    )
     experiment.add_argument("id", choices=sorted(EXPERIMENTS))
     experiment.add_argument(
         "--workload",
@@ -76,17 +117,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the experiment's default workload",
     )
-    experiment.add_argument("--scale", type=float, default=None)
-    experiment.add_argument(
-        "--seed", type=int, default=None,
-        help="seed for the overridden workload",
-    )
-    experiment.add_argument(
-        "-o", "--output", default=None, help="also write the rendering here"
-    )
 
     serve = sub.add_parser(
         "serve-batch",
+        parents=[common],
         help="serve a batch of new-carrier requests from a snapshot",
     )
     serve.add_argument("snapshot", help="snapshot JSON (repro.dataio format)")
@@ -108,21 +142,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify-artifact", action="store_true",
         help="serve an artifact even if it was fitted on another snapshot",
     )
-    serve.add_argument(
-        "--seed", type=int, default=None,
-        help="engine fit seed (reproducible attribute-selection sampling)",
-    )
     serve.add_argument("--cache-size", type=int, default=None)
-    serve.add_argument(
-        "-o", "--output", default=None, help="also write the renderings here"
-    )
     return parser
+
+
+def _emit(text: str, args) -> None:
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+
+
+def _run_generate(args) -> int:
+    dataset = _build_workload(args.workload, args.scale, args.seed)
+    snapshot_path = None
+    if args.output and args.format == "table":
+        # Historical behaviour: -o on the table rendering exports the
+        # snapshot itself (the JSON document goes to -o under --format
+        # json instead).
+        snapshot_path = args.output
+    if snapshot_path:
+        from repro.dataio import export_dataset_json
+
+        export_dataset_json(dataset, snapshot_path)
+    if args.format == "json":
+        singular, pairwise = dataset.store.value_counts()
+        document = {
+            "command": "generate",
+            "workload": args.workload,
+            "scale": args.scale,
+            "seed": args.seed if args.seed is not None else DEFAULT_SEED,
+            "summary": dataset.summary(),
+            "markets": len(dataset.network.markets),
+            "singular_values": singular,
+            "pairwise_values": pairwise,
+        }
+        _emit(json.dumps(document, indent=2), args)
+        return 0
+    print(dataset.summary())
+    if snapshot_path:
+        print(f"snapshot written to {snapshot_path}")
+    return 0
+
+
+def _run_experiment(args) -> int:
+    kwargs = {}
+    run = EXPERIMENTS[args.id]
+    if args.workload is not None:
+        kwargs["dataset"] = _build_workload(args.workload, args.scale, args.seed)
+    if args.jobs != 1 and "jobs" in inspect.signature(run).parameters:
+        kwargs["jobs"] = args.jobs
+    result = run_experiment(args.id, **kwargs)
+    text = result.render()
+    if args.format == "json":
+        document = {
+            "command": "experiment",
+            "experiment": args.id,
+            "workload": args.workload,
+            "jobs": args.jobs,
+            "render": text,
+        }
+        _emit(json.dumps(document, indent=2), args)
+        return 0
+    _emit(text, args)
+    return 0
 
 
 def _run_serve_batch(args) -> int:
     # Imported lazily so `repro list` stays fast.
     from repro.config.rulebook import RuleBook
     from repro.core.auric import AuricConfig, AuricEngine
+    from repro.core.recommendation import RecommendRequest
     from repro.dataio import load_dataset_json
     from repro.serve import (
         RecommendationService,
@@ -172,7 +262,7 @@ def _run_serve_batch(args) -> int:
     else:
         config = AuricConfig(seed=args.seed) if args.seed is not None else None
         engine = AuricEngine(snapshot.network, snapshot.store, config).fit(
-            parameters
+            parameters, jobs=args.jobs
         )
     if args.save_artifact is not None:
         save_engine(engine, args.save_artifact)
@@ -184,16 +274,43 @@ def _run_serve_batch(args) -> int:
     )
     with open(args.requests) as handle:
         requests = requests_from_json(json.load(handle))
+    unified = [
+        RecommendRequest.from_new_carrier(
+            request,
+            parameters=tuple(parameters) if parameters is not None else None,
+        )
+        for request in requests
+    ]
+    results = service.handle_batch(unified)
+
+    if args.format == "json":
+        document = {
+            "command": "serve-batch",
+            "jobs": args.jobs,
+            "results": [
+                {
+                    "target": result.recommendation.target,
+                    "values": {
+                        name: rec.value
+                        for name, rec in sorted(
+                            result.recommendation.recommendations.items()
+                        )
+                    },
+                    "scopes": result.scope_counts(),
+                    "duration_s": result.duration_s,
+                }
+                for result in results
+            ],
+            "metrics": service.metrics.as_dict(),
+        }
+        _emit(json.dumps(document, indent=2), args)
+        return 0
 
     lines: List[str] = []
-    for result in service.recommend_batch(requests, parameters=parameters):
-        lines.append(str(result))
+    for result in results:
+        lines.append(str(result.recommendation))
     lines.append(f"service metrics: {service.metrics.summary()}")
-    text = "\n".join(lines)
-    print(text)
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text + "\n")
+    _emit("\n".join(lines), args)
     return 0
 
 
@@ -206,26 +323,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "generate":
-        dataset = _build_workload(args.workload, args.scale, args.seed)
-        print(dataset.summary())
-        if args.output:
-            from repro.dataio import export_dataset_json
-
-            export_dataset_json(dataset, args.output)
-            print(f"snapshot written to {args.output}")
-        return 0
+        return _run_generate(args)
 
     if args.command == "experiment":
-        kwargs = {}
-        if args.workload is not None:
-            kwargs["dataset"] = _build_workload(args.workload, args.scale, args.seed)
-        result = run_experiment(args.id, **kwargs)
-        text = result.render()
-        print(text)
-        if args.output:
-            with open(args.output, "w") as handle:
-                handle.write(text + "\n")
-        return 0
+        return _run_experiment(args)
 
     if args.command == "serve-batch":
         return _run_serve_batch(args)

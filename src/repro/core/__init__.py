@@ -11,6 +11,8 @@ from repro.core.pipeline import NewCarrierRequest, RecommendationPipeline
 from repro.core.recommendation import (
     CarrierRecommendation,
     ParameterRecommendation,
+    RecommendRequest,
+    RecommendResult,
 )
 from repro.core.scope import GlobalScope, LocalScope, Scope
 
@@ -21,6 +23,8 @@ __all__ = [
     "RecommendationPipeline",
     "CarrierRecommendation",
     "ParameterRecommendation",
+    "RecommendRequest",
+    "RecommendResult",
     "GlobalScope",
     "LocalScope",
     "Scope",

@@ -13,6 +13,7 @@ carrier's own configured value must not vote for itself.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
@@ -22,7 +23,12 @@ import numpy as np
 from repro.config.parameters import ParameterCatalog, ParameterSpec
 from repro.config.store import ConfigurationStore, PairKey
 from repro.exceptions import RecommendationError, UnknownParameterError
-from repro.core.recommendation import ParameterRecommendation
+from repro.core.recommendation import (
+    CarrierRecommendation,
+    ParameterRecommendation,
+    RecommendRequest,
+    RecommendResult,
+)
 from repro.learners.collaborative_filtering import CollaborativeFilteringRecommender
 from repro.netmodel.attributes import ATTRIBUTE_SCHEMA
 from repro.netmodel.identifiers import CarrierId
@@ -201,6 +207,7 @@ class AuricEngine:
         self,
         parameters: Optional[Sequence[str]] = None,
         vote_weights: Optional[Dict[Hashable, float]] = None,
+        jobs: int = 1,
     ) -> "AuricEngine":
         """Learn dependency models for the given (or all range) parameters.
 
@@ -209,11 +216,30 @@ class AuricEngine:
         extension: carriers whose configuration historically improved
         service performance can carry more support than carriers whose
         KPIs degraded after tuning.  Unlisted targets weigh 1.
+
+        ``jobs`` fans per-parameter fitting out across a process pool
+        (:mod:`repro.parallel`); every parameter's attribute selection
+        draws from its own derived RNG stream, so the fitted models are
+        identical to the serial path regardless of worker count.
+        ``jobs=1`` (the default) stays in-process.
         """
         if parameters is None:
             specs = self.catalog.range_parameters()
         else:
             specs = [self.catalog.spec(name) for name in parameters]
+        if jobs != 1 and len(specs) > 1:
+            from repro.parallel.fit import fit_parameter_models
+
+            fitted = fit_parameter_models(
+                self.network,
+                self.store,
+                self.config,
+                [spec.name for spec in specs],
+                vote_weights=vote_weights,
+                jobs=jobs,
+            )
+            self._models.update(fitted)
+            return self
         for spec in specs:
             self._models[spec.name] = self._fit_parameter(spec, vote_weights)
         return self
@@ -541,6 +567,112 @@ class AuricEngine:
             neighborhood.add(pair.carrier)
             return self.recommend_local(parameter, row, neighborhood, exclude)
         return self.recommend_global(parameter, row, exclude)
+
+    def recommend_for_targets(
+        self,
+        parameter: str,
+        keys: Sequence[Hashable],
+        local: bool = True,
+        leave_one_out: bool = True,
+    ) -> List[ParameterRecommendation]:
+        """Recommend one parameter for many existing targets at once.
+
+        ``keys`` are carrier ids (singular parameters) or pair keys
+        (pair-wise); the model and spec checks are hoisted out of the
+        loop.  This is the bulk path the LOO evaluation sweeps — serial
+        and parallel alike — drive, so both scopes of an evaluation
+        fold make exactly the same per-target calls.
+        """
+        model = self._model(parameter)
+        if model.spec.is_pairwise:
+            return [
+                self.recommend_for_pair(parameter, key, local, leave_one_out)
+                for key in keys
+            ]
+        return [
+            self.recommend_for_carrier(parameter, key, local, leave_one_out)
+            for key in keys
+        ]
+
+    # -- unified request API -----------------------------------------------------
+
+    def request_neighborhood(self, request) -> Set[CarrierId]:
+        """Local voters for a new-carrier-shaped request: its explicit
+        ANR neighbors plus, when the launch eNodeB is known, the
+        co-sited carriers and their X2 neighborhoods."""
+        voters: Set[CarrierId] = set(request.neighbor_carriers)
+        if request.enodeb_id is not None:
+            enodeb = self.network.enodeb(request.enodeb_id)
+            for carrier in enodeb.carriers():
+                voters.add(carrier.carrier_id)
+                voters |= self.neighborhood_of(carrier.carrier_id)
+        return voters
+
+    def resolve_request(
+        self, request: RecommendRequest
+    ) -> Tuple["CarrierAttributes", Row, Set[CarrierId], Optional[Hashable]]:
+        """Resolve a unified request against the snapshot.
+
+        Returns ``(attributes, row, neighborhood, exclude)``: existing
+        carriers get their stored attributes, X2 neighborhood and (under
+        leave-one-out) their own key as the excluded voter; new carriers
+        get the declared attributes and the launch neighborhood.  A
+        non-local request resolves to an empty neighborhood, which every
+        layer treats as "vote globally".
+        """
+        if request.carrier_id is not None:
+            attributes = self.network.carrier(request.carrier_id).attributes
+            row = self.carrier_row(request.carrier_id)
+            neighborhood = (
+                self.neighborhood_of(request.carrier_id)
+                if request.local
+                else set()
+            )
+            exclude = request.carrier_id if request.leave_one_out else None
+            return attributes, row, neighborhood, exclude
+        attributes = request.attributes
+        row = attributes.as_tuple()
+        neighborhood = (
+            self.request_neighborhood(request) if request.local else set()
+        )
+        return attributes, row, neighborhood, None
+
+    def handle(self, request: RecommendRequest) -> RecommendResult:
+        """Serve one unified request straight from the engine.
+
+        The engine layer knows only fitted range parameters — no
+        rule-book fallback: ``parameters`` defaults to every fitted
+        singular parameter and ``include_enumerations`` has no effect
+        here (the pipeline and service layers honour it).
+        """
+        started = time.perf_counter()
+        _, row, neighborhood, exclude = self.resolve_request(request)
+        if request.parameters is not None:
+            names = list(request.parameters)
+            for name in names:
+                if self._model(name).spec.is_pairwise:
+                    raise RecommendationError(
+                        f"{name} is pair-wise; use recommend_for_pair"
+                    )
+        else:
+            names = [
+                name
+                for name in self.fitted_parameters()
+                if not self._models[name].spec.is_pairwise
+            ]
+        result = CarrierRecommendation(target=request.label())
+        for name in names:
+            if neighborhood:
+                result.add(self.recommend_local(name, row, neighborhood, exclude))
+            else:
+                result.add(self.recommend_global(name, row, exclude))
+        return RecommendResult(
+            request=request,
+            recommendation=result,
+            source="engine",
+            duration_s=time.perf_counter() - started,
+            exclude=exclude,
+        )
 
     # -- introspection ----------------------------------------------------------
 

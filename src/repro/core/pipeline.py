@@ -11,12 +11,19 @@ rule-book, exactly the deployment behaviour described in sections 5-6.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.config.rulebook import RuleBook
 from repro.core.auric import AuricEngine
-from repro.core.recommendation import CarrierRecommendation, ParameterRecommendation
+from repro.core.recommendation import (
+    CarrierRecommendation,
+    ParameterRecommendation,
+    RecommendRequest,
+    RecommendResult,
+    warn_deprecated_signature,
+)
 from repro.exceptions import RecommendationError
 from repro.netmodel.attributes import CarrierAttributes
 from repro.netmodel.identifiers import CarrierId, ENodeBId
@@ -45,13 +52,23 @@ def resolve_neighborhood(
     """The local voters for a new-carrier request: its explicit ANR
     neighbors plus, when the eNodeB is known, the co-sited carriers and
     their X2 neighborhoods (shared with :mod:`repro.serve.service`)."""
-    voters: Set[CarrierId] = set(request.neighbor_carriers)
-    if request.enodeb_id is not None:
-        enodeb = engine.network.enodeb(request.enodeb_id)
-        for carrier in enodeb.carriers():
-            voters.add(carrier.carrier_id)
-            voters |= engine.neighborhood_of(carrier.carrier_id)
-    return voters
+    return engine.request_neighborhood(request)
+
+
+def default_parameter_names(
+    catalog, rulebook: Optional[RuleBook], include_enumerations: bool
+) -> List[str]:
+    """The parameter set a rule-book-backed layer serves by default:
+    every singular range parameter, plus the singular enumerations when
+    a rule-book can answer them (shared by pipeline and service)."""
+    names = [s.name for s in catalog.singular_parameters()]
+    if include_enumerations and rulebook is not None:
+        names += [
+            s.name
+            for s in catalog.enumeration_parameters()
+            if s.kind.value == "singular"
+        ]
+    return names
 
 
 class RecommendationPipeline:
@@ -64,27 +81,23 @@ class RecommendationPipeline:
     def _neighborhood(self, request: NewCarrierRequest) -> Set[CarrierId]:
         return resolve_neighborhood(self.engine, request)
 
-    def recommend(
-        self,
-        request: NewCarrierRequest,
-        parameters: Optional[Sequence[str]] = None,
-        include_enumerations: bool = True,
-    ) -> CarrierRecommendation:
-        """The full configuration recommendation for a new carrier."""
-        catalog = self.engine.catalog
-        if parameters is None:
-            names = [s.name for s in catalog.singular_parameters()]
-            if include_enumerations and self.rulebook is not None:
-                names += [
-                    s.name
-                    for s in catalog.enumeration_parameters()
-                    if s.kind.value == "singular"
-                ]
-        else:
-            names = list(parameters)
+    def handle(self, request: RecommendRequest) -> RecommendResult:
+        """Serve one unified request: engine vote with rule-book fallback.
 
-        row = request.attributes.as_tuple()
-        neighborhood = self._neighborhood(request)
+        This is the canonical entry point; the positional
+        :meth:`recommend` signature survives as a deprecated shim.
+        """
+        started = time.perf_counter()
+        catalog = self.engine.catalog
+        if request.parameters is not None:
+            names = list(request.parameters)
+        else:
+            names = default_parameter_names(
+                catalog, self.rulebook, request.include_enumerations
+            )
+        attributes, row, neighborhood, exclude = self.engine.resolve_request(
+            request
+        )
         result = CarrierRecommendation(target=request.label())
         for name in names:
             spec = catalog.spec(name)
@@ -92,10 +105,12 @@ class RecommendationPipeline:
                 try:
                     if neighborhood:
                         rec = self.engine.recommend_local(
-                            name, row, neighborhood, exclude=None
+                            name, row, neighborhood, exclude=exclude
                         )
                     else:
-                        rec = self.engine.recommend_global(name, row, exclude=None)
+                        rec = self.engine.recommend_global(
+                            name, row, exclude=exclude
+                        )
                     result.add(rec)
                     continue
                 except RecommendationError:
@@ -107,11 +122,39 @@ class RecommendationPipeline:
             result.add(
                 ParameterRecommendation(
                     parameter=name,
-                    value=self.rulebook.value_for(name, request.attributes),
+                    value=self.rulebook.value_for(name, attributes),
                     support=1.0,
                     matched=0.0,
                     confident=False,
                     scope="rulebook",
                 )
             )
-        return result
+        return RecommendResult(
+            request=request,
+            recommendation=result,
+            source="pipeline",
+            duration_s=time.perf_counter() - started,
+            exclude=exclude,
+        )
+
+    def recommend(
+        self,
+        request: NewCarrierRequest,
+        parameters: Optional[Sequence[str]] = None,
+        include_enumerations: bool = True,
+    ) -> CarrierRecommendation:
+        """The full configuration recommendation for a new carrier.
+
+        .. deprecated:: use :meth:`handle` with a
+           :class:`~repro.core.recommendation.RecommendRequest`.
+        """
+        warn_deprecated_signature(
+            "RecommendationPipeline.recommend(NewCarrierRequest, ...)",
+            "RecommendationPipeline.handle",
+        )
+        unified = RecommendRequest.from_new_carrier(
+            request,
+            parameters=tuple(parameters) if parameters is not None else None,
+            include_enumerations=include_enumerations,
+        )
+        return self.handle(unified).recommendation

@@ -1,11 +1,33 @@
-"""Recommendation result types."""
+"""Recommendation request/result types.
+
+This module is the single vocabulary every recommendation entry point
+speaks: the engine (:meth:`repro.core.auric.AuricEngine.handle`), the
+launch pipeline (:meth:`repro.core.pipeline.RecommendationPipeline.handle`)
+and the long-lived service
+(:meth:`repro.serve.service.RecommendationService.handle`) all accept a
+:class:`RecommendRequest` and return a :class:`RecommendResult`.  The
+older per-layer signatures survive as thin deprecated shims over the
+unified path.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
+from repro.netmodel.attributes import CarrierAttributes
+from repro.netmodel.identifiers import CarrierId, ENodeBId
 from repro.types import ParameterValue
+
+
+def warn_deprecated_signature(old: str, new: str) -> None:
+    """Emit the standard deprecation warning for a legacy entry point."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} with a RecommendRequest instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -71,3 +93,105 @@ class CarrierRecommendation:
         lines = [f"recommendations for {self.target}:"]
         lines.extend(f"  {rec}" for _, rec in sorted(self.recommendations.items()))
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RecommendRequest:
+    """One recommendation query, understood by every entry point.
+
+    The target is either a genuinely *new* carrier (``attributes`` set,
+    optionally with a launch ``enodeb_id`` and/or explicit ANR
+    ``neighbor_carriers`` for local voting) or an *existing* carrier
+    (``carrier_id`` set — its attributes and X2 neighborhood come from
+    the network snapshot, and ``leave_one_out`` excludes its own
+    configured values from the vote, the paper's evaluation
+    methodology).
+
+    ``parameters`` restricts the query (None = the layer's default set);
+    ``include_enumerations`` lets layers with a rule-book also fill
+    enumeration parameters; ``local=False`` forces network-wide voting.
+    """
+
+    attributes: Optional[CarrierAttributes] = None
+    carrier_id: Optional[CarrierId] = None
+    enodeb_id: Optional[ENodeBId] = None
+    neighbor_carriers: Tuple[CarrierId, ...] = ()
+    parameters: Optional[Tuple[str, ...]] = None
+    include_enumerations: bool = True
+    local: bool = True
+    leave_one_out: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.attributes is None) == (self.carrier_id is None):
+            raise ValueError(
+                "exactly one of attributes (new carrier) or carrier_id "
+                "(existing carrier) must identify the target"
+            )
+        if self.leave_one_out and self.carrier_id is None:
+            raise ValueError(
+                "leave_one_out only applies to existing-carrier targets"
+            )
+
+    @classmethod
+    def from_new_carrier(
+        cls,
+        request,
+        parameters: Optional[Tuple[str, ...]] = None,
+        include_enumerations: bool = True,
+        local: bool = True,
+    ) -> "RecommendRequest":
+        """Adapt a legacy :class:`~repro.core.pipeline.NewCarrierRequest`
+        (or anything with its attributes/enodeb_id/neighbor_carriers
+        shape) to the unified request type."""
+        return cls(
+            attributes=request.attributes,
+            enodeb_id=request.enodeb_id,
+            neighbor_carriers=tuple(request.neighbor_carriers),
+            parameters=tuple(parameters) if parameters is not None else None,
+            include_enumerations=include_enumerations,
+            local=local,
+        )
+
+    def label(self) -> str:
+        if self.carrier_id is not None:
+            return str(self.carrier_id)
+        if self.enodeb_id is not None:
+            return f"new-carrier@{self.enodeb_id}"
+        return "new-carrier"
+
+
+@dataclass
+class RecommendResult:
+    """What a recommendation entry point answered, plus provenance.
+
+    ``source`` names the layer that served the query ("engine",
+    "pipeline" or "service"), ``duration_s`` its wall-clock cost, and
+    ``exclude`` the leave-one-out key (if any) that was withheld from
+    the electorate.
+    """
+
+    request: RecommendRequest
+    recommendation: CarrierRecommendation
+    source: str = ""
+    duration_s: float = 0.0
+    exclude: Optional[Hashable] = None
+
+    @property
+    def parameters(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.recommendation.recommendations))
+
+    def scope_counts(self) -> Dict[str, int]:
+        """How many parameters each vote scope answered."""
+        counts: Dict[str, int] = {}
+        for rec in self.recommendation.recommendations.values():
+            counts[rec.scope] = counts.get(rec.scope, 0) + 1
+        return counts
+
+    def value_map(self, confident_only: bool = False) -> Dict[str, ParameterValue]:
+        return self.recommendation.value_map(confident_only)
+
+    def __len__(self) -> int:
+        return len(self.recommendation)
+
+    def __str__(self) -> str:
+        return str(self.recommendation)

@@ -24,10 +24,43 @@ from repro.eval.splits import kfold_indices, uniform_sample_indices
 from repro.learners.base import Learner
 from repro.learners.metrics import accuracy_score
 from repro.netmodel.identifiers import MarketId
-from repro.rng import derive
+from repro.rng import derive, derive_seed
 from repro.types import ParameterValue
 
 Mismatch = Tuple[str, Hashable, ParameterValue, ParameterValue]
+
+
+def evaluate_loo_chunk(
+    engine: AuricEngine,
+    parameter: str,
+    samples: ParameterSamples,
+    indices: Sequence[int],
+    scopes: Tuple[str, ...],
+) -> Tuple[Dict[str, int], Dict[str, List[Mismatch]]]:
+    """Leave-one-out-evaluate one parameter over a chunk of target indices.
+
+    The shared inner loop of the serial sweep and the process-pool
+    workers (:mod:`repro.parallel.evaluate`): per scope, bulk-recommend
+    the chunk's targets with the target's own value excluded and count
+    hits, collecting mismatches in target order.  Returns
+    ``(hits per scope, mismatches per scope)``.
+    """
+    hits = {scope: 0 for scope in scopes}
+    mismatches: Dict[str, List[Mismatch]] = {scope: [] for scope in scopes}
+    keys = [samples.keys[i] for i in indices]
+    for scope in scopes:
+        recommendations = engine.recommend_for_targets(
+            parameter, keys, local=(scope == "local"), leave_one_out=True
+        )
+        for i, rec in zip(indices, recommendations):
+            truth = samples.labels[i]
+            if rec.value == truth:
+                hits[scope] += 1
+            else:
+                mismatches[scope].append(
+                    (parameter, samples.keys[i], truth, rec.value)
+                )
+    return hits, mismatches
 
 
 @dataclass
@@ -123,23 +156,21 @@ class EvaluationRunner:
 
     # -- leave-one-out CF evaluation (sections 4.3.2-4.3.3) -----------------
 
-    def loo_accuracy(
+    def loo_plan(
         self,
-        engine: AuricEngine,
         parameters: Sequence[str],
         market_id: Optional[MarketId] = None,
         max_targets_per_parameter: Optional[int] = 2000,
-        scopes: Tuple[str, ...] = ("local", "global"),
-    ) -> LocalVsGlobalResult:
-        """Leave-one-out accuracy of the fitted Auric engine.
+    ) -> List[Tuple[str, List[int]]]:
+        """The LOO evaluation plan: ``(parameter, target indices)`` pairs.
 
-        Each evaluated target's own value is excluded from the vote; the
-        recommendation is compared against the currently configured
-        value.  Mismatches are collected per scope for Fig 12 labeling.
+        Target subsampling happens here, in the master, from a stable
+        per-parameter derived seed — so the plan is reproducible across
+        processes and interpreter runs (``hash()``-free) and the
+        process-pool path evaluates exactly the targets the serial path
+        would.
         """
-        from repro.config.store import PairKey  # local import to avoid cycle
-
-        result = LocalVsGlobalResult()
+        plan: List[Tuple[str, List[int]]] = []
         for parameter in parameters:
             samples = self.view.samples(parameter, market_id)
             if not len(samples):
@@ -151,31 +182,47 @@ class EvaluationRunner:
             ):
                 indices = uniform_sample_indices(
                     len(indices), max_targets_per_parameter,
-                    seed=self.seed + hash(parameter) % 1000,
+                    seed=derive_seed(self.seed, f"loo-targets:{parameter}"),
                 )
-            spec = self.dataset.catalog.spec(parameter)
-            hits = {scope: 0 for scope in scopes}
-            for i in indices:
-                key = samples.keys[i]
-                truth = samples.labels[i]
-                for scope in scopes:
-                    local = scope == "local"
-                    if spec.is_pairwise:
-                        rec = engine.recommend_for_pair(
-                            parameter, key, local=local, leave_one_out=True
-                        )
-                    else:
-                        rec = engine.recommend_for_carrier(
-                            parameter, key, local=local, leave_one_out=True
-                        )
-                    if rec.value == truth:
-                        hits[scope] += 1
-                    else:
-                        mismatch = (parameter, key, truth, rec.value)
-                        if local:
-                            result.mismatches_local.append(mismatch)
-                        else:
-                            result.mismatches_global.append(mismatch)
+            plan.append((parameter, indices))
+        return plan
+
+    def loo_accuracy(
+        self,
+        engine: AuricEngine,
+        parameters: Sequence[str],
+        market_id: Optional[MarketId] = None,
+        max_targets_per_parameter: Optional[int] = 2000,
+        scopes: Tuple[str, ...] = ("local", "global"),
+        jobs: int = 1,
+    ) -> LocalVsGlobalResult:
+        """Leave-one-out accuracy of the fitted Auric engine.
+
+        Each evaluated target's own value is excluded from the vote; the
+        recommendation is compared against the currently configured
+        value.  Mismatches are collected per scope for Fig 12 labeling.
+
+        ``jobs`` fans the evaluation out across a process pool
+        (:mod:`repro.parallel.evaluate`); the sampled target indices are
+        decided here first, so the parallel result — accuracies and
+        mismatch lists alike — is identical to ``jobs=1``.
+        """
+        plan = self.loo_plan(parameters, market_id, max_targets_per_parameter)
+        if jobs != 1 and plan:
+            from repro.parallel.evaluate import parallel_loo_accuracy
+
+            return parallel_loo_accuracy(engine, plan, market_id, scopes, jobs)
+        result = LocalVsGlobalResult()
+        for parameter, indices in plan:
+            samples = self.view.samples(parameter, market_id)
+            hits, mismatches = evaluate_loo_chunk(
+                engine, parameter, samples, indices, scopes
+            )
+            for scope in scopes:
+                if scope == "local":
+                    result.mismatches_local.extend(mismatches[scope])
+                else:
+                    result.mismatches_global.extend(mismatches[scope])
             n = len(indices)
             if "local" in scopes:
                 result.parameter_accuracy_local[parameter] = hits["local"] / n
@@ -190,6 +237,7 @@ class EvaluationRunner:
         parameter: str,
         max_targets_per_market: int = 500,
         scope: str = "local",
+        jobs: int = 1,
     ) -> Dict[str, float]:
         """LOO accuracy of one parameter per market (the Fig 11 series)."""
         out: Dict[str, float] = {}
@@ -200,6 +248,7 @@ class EvaluationRunner:
                 market_id=market.market_id,
                 max_targets_per_parameter=max_targets_per_market,
                 scopes=(scope,),
+                jobs=jobs,
             )
             accuracy = (
                 result.parameter_accuracy_local

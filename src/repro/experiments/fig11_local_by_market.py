@@ -59,6 +59,7 @@ def run(
     top_parameters: int = 4,
     max_targets_per_market: int = 300,
     engine: Optional[AuricEngine] = None,
+    jobs: int = 1,
 ) -> Fig11Result:
     """Evaluate the local learner per market on the most variable params."""
     if dataset is None:
@@ -66,11 +67,16 @@ def run(
     distinct = distinct_values_per_parameter(dataset.store)
     parameters = sorted(distinct, key=lambda p: -distinct[p])[:top_parameters]
     if engine is None:
-        engine = AuricEngine(dataset.network, dataset.store).fit(parameters)
+        engine = AuricEngine(dataset.network, dataset.store).fit(
+            parameters, jobs=jobs
+        )
     runner = EvaluationRunner(dataset)
     accuracy = {
         parameter: runner.loo_accuracy_by_market(
-            engine, parameter, max_targets_per_market=max_targets_per_market
+            engine,
+            parameter,
+            max_targets_per_market=max_targets_per_market,
+            jobs=jobs,
         )
         for parameter in parameters
     }

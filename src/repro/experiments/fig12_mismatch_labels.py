@@ -78,19 +78,23 @@ def run(
     parameters: Optional[Sequence[str]] = None,
     max_targets_per_parameter: int = 1500,
     engine: Optional[AuricEngine] = None,
+    jobs: int = 1,
 ) -> Fig12Result:
     if dataset is None:
         dataset = full_network_workload()
     if parameters is None:
         parameters = evaluation_parameters(dataset)
     if engine is None:
-        engine = AuricEngine(dataset.network, dataset.store).fit(parameters)
+        engine = AuricEngine(dataset.network, dataset.store).fit(
+            parameters, jobs=jobs
+        )
     runner = EvaluationRunner(dataset)
     result = runner.loo_accuracy(
         engine,
         parameters,
         max_targets_per_parameter=max_targets_per_parameter,
         scopes=("local",),
+        jobs=jobs,
     )
     labeled, counts = label_mismatches(dataset.provenance, result.mismatches_local)
     return Fig12Result(

@@ -66,8 +66,13 @@ def run(
     parameters: Optional[Sequence[str]] = None,
     max_targets_per_parameter: int = 1500,
     engine: Optional[AuricEngine] = None,
+    jobs: int = 1,
 ) -> LocalVsGlobalExperiment:
-    """Run the LOO local-vs-global comparison on a workload."""
+    """Run the LOO local-vs-global comparison on a workload.
+
+    ``jobs`` parallelizes both the engine fit and the LOO sweep; the
+    numbers are identical to ``jobs=1`` by construction.
+    """
     if dataset is None:
         dataset = (
             full_network_workload()
@@ -77,12 +82,15 @@ def run(
     if parameters is None:
         parameters = evaluation_parameters(dataset)
     if engine is None:
-        engine = AuricEngine(dataset.network, dataset.store).fit(parameters)
+        engine = AuricEngine(dataset.network, dataset.store).fit(
+            parameters, jobs=jobs
+        )
     runner = EvaluationRunner(dataset)
     result = runner.loo_accuracy(
         engine,
         parameters,
         max_targets_per_parameter=max_targets_per_parameter,
+        jobs=jobs,
     )
     return LocalVsGlobalExperiment(
         workload=workload, result=result, parameters=list(parameters)

@@ -11,10 +11,70 @@ paper's evaluation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats
+
+
+def factorize(values: Sequence[Hashable]) -> Tuple[np.ndarray, List[Hashable]]:
+    """Integer-encode a categorical sequence in first-appearance order.
+
+    Returns ``(codes, uniques)`` where ``codes[i] == uniques.index(values[i])``.
+    First-appearance ordering (not sorted order) keeps downstream
+    contingency tables byte-identical to the historical dict-based
+    builder for a fixed dataset order.
+
+    Numpy arrays with a non-object dtype (including pre-encoded integer
+    columns) take a fully vectorized path; lists and object arrays fall
+    back to a single dict-encoding pass.
+    """
+    if isinstance(values, np.ndarray) and values.dtype != np.dtype(object):
+        if values.ndim != 1:
+            raise ValueError("can only factorize 1-dimensional arrays")
+        uniq, first, inverse = np.unique(
+            values, return_index=True, return_inverse=True
+        )
+        order = np.argsort(first, kind="stable")
+        rank = np.empty(len(uniq), dtype=np.intp)
+        rank[order] = np.arange(len(uniq), dtype=np.intp)
+        codes = rank[inverse.reshape(-1)]
+        uniques = [u.item() if isinstance(u, np.generic) else u for u in uniq[order]]
+        return codes, uniques
+    index: Dict[Hashable, int] = {}
+    codes = np.fromiter(
+        (index.setdefault(v, len(index)) for v in values),
+        dtype=np.intp,
+        count=len(values),
+    )
+    return codes, list(index)
+
+
+def contingency_from_codes(
+    x_codes: np.ndarray,
+    y_codes: np.ndarray,
+    n_rows: Optional[int] = None,
+    n_cols: Optional[int] = None,
+) -> np.ndarray:
+    """The observed-count table for two pre-encoded integer columns.
+
+    One vectorized ``bincount`` pass — no per-cell Python dict.  Codes
+    must be non-negative; ``n_rows``/``n_cols`` default to the observed
+    maxima.
+    """
+    if len(x_codes) != len(y_codes):
+        raise ValueError("xs and ys must have equal length")
+    if len(x_codes) == 0:
+        raise ValueError("cannot build a contingency table from zero samples")
+    if n_rows is None:
+        n_rows = int(x_codes.max()) + 1
+    if n_cols is None:
+        n_cols = int(y_codes.max()) + 1
+    flat = np.asarray(x_codes, dtype=np.intp) * n_cols + np.asarray(
+        y_codes, dtype=np.intp
+    )
+    counts = np.bincount(flat, minlength=n_rows * n_cols)
+    return counts.reshape(n_rows, n_cols).astype(np.float64)
 
 
 def contingency_table(
@@ -26,27 +86,17 @@ def contingency_table(
     the number of samples with ``xs == row_values[a]`` and
     ``ys == col_values[b]``.  Row/column orders follow first appearance,
     which keeps tables deterministic for a fixed dataset order.
+
+    Accepts plain sequences, numpy arrays, and pre-encoded integer
+    columns alike; counting is a single vectorized pass.
     """
     if len(xs) != len(ys):
         raise ValueError("xs and ys must have equal length")
-    if not xs:
+    if len(xs) == 0:
         raise ValueError("cannot build a contingency table from zero samples")
-    row_index: Dict[Hashable, int] = {}
-    col_index: Dict[Hashable, int] = {}
-    cells: Dict[Tuple[int, int], int] = {}
-    for x, y in zip(xs, ys):
-        r = row_index.setdefault(x, len(row_index))
-        c = col_index.setdefault(y, len(col_index))
-        cells[(r, c)] = cells.get((r, c), 0) + 1
-    table = np.zeros((len(row_index), len(col_index)), dtype=np.float64)
-    for (r, c), count in cells.items():
-        table[r, c] = count
-    rows = [None] * len(row_index)
-    cols = [None] * len(col_index)
-    for value, index in row_index.items():
-        rows[index] = value
-    for value, index in col_index.items():
-        cols[index] = value
+    x_codes, rows = factorize(xs)
+    y_codes, cols = factorize(ys)
+    table = contingency_from_codes(x_codes, y_codes, len(rows), len(cols))
     return table, rows, cols
 
 
@@ -94,6 +144,17 @@ class ChiSquareResult:
 DEFAULT_MIN_STRATUM_SIZE = 8
 
 
+def _subtable_from_codes(
+    x_codes: np.ndarray, y_codes: np.ndarray
+) -> Tuple[np.ndarray, int, int]:
+    """Contingency table of a code subset, re-encoded to the values that
+    actually appear (first-appearance order), as the dict builder did."""
+    sub_x, x_uniques = factorize(x_codes)
+    sub_y, y_uniques = factorize(y_codes)
+    table = contingency_from_codes(sub_x, sub_y, len(x_uniques), len(y_uniques))
+    return table, len(x_uniques), len(y_uniques)
+
+
 def test_conditional_independence(
     xs: Sequence[Hashable],
     ys: Sequence[Hashable],
@@ -122,6 +183,8 @@ def test_conditional_independence(
     groups: Dict[Hashable, List[int]] = {}
     for i, stratum in enumerate(strata):
         groups.setdefault(stratum, []).append(i)
+    x_codes, _ = factorize(xs)
+    y_codes, _ = factorize(ys)
 
     total_statistic = 0.0
     total_dof = 0
@@ -130,16 +193,15 @@ def test_conditional_independence(
     for indices in groups.values():
         if len(indices) < min_stratum_size:
             continue
-        sub_x = [xs[i] for i in indices]
-        sub_y = [ys[i] for i in indices]
-        table, rows, cols = contingency_table(sub_x, sub_y)
-        dof = (len(rows) - 1) * (len(cols) - 1)
+        idx = np.asarray(indices, dtype=np.intp)
+        table, n_rows, n_cols = _subtable_from_codes(x_codes[idx], y_codes[idx])
+        dof = (n_rows - 1) * (n_cols - 1)
         if dof == 0:
             continue
         total_statistic += chi_square_statistic(table)
         total_dof += dof
         effective_n += len(indices)
-        min_dim_weighted += len(indices) * min(len(rows) - 1, len(cols) - 1)
+        min_dim_weighted += len(indices) * min(n_rows - 1, n_cols - 1)
     if total_dof == 0 or effective_n == 0:
         return ChiSquareResult(0.0, 0, float("inf"), p_value, False, 0.0)
     critical = float(stats.chi2.ppf(1.0 - p_value, total_dof))
@@ -152,6 +214,21 @@ def test_conditional_independence(
         p_value,
         total_statistic > critical,
         min(v, 1.0),
+    )
+
+
+def _result_from_table(
+    table: np.ndarray, n_rows: int, n_cols: int, p_value: float
+) -> ChiSquareResult:
+    dof = (n_rows - 1) * (n_cols - 1)
+    if dof == 0:
+        return ChiSquareResult(0.0, 0, float("inf"), p_value, False)
+    statistic = chi_square_statistic(table)
+    critical = float(stats.chi2.ppf(1.0 - p_value, dof))
+    n = float(table.sum())
+    v = float(np.sqrt(statistic / (n * min(n_rows - 1, n_cols - 1))))
+    return ChiSquareResult(
+        statistic, dof, critical, p_value, statistic > critical, min(v, 1.0)
     )
 
 
@@ -168,16 +245,34 @@ def test_independence(  # noqa: PT028 - library function, not a pytest test
     if not 0.0 < p_value < 1.0:
         raise ValueError("p_value must be in (0, 1)")
     table, rows, cols = contingency_table(xs, ys)
-    dof = (len(rows) - 1) * (len(cols) - 1)
-    if dof == 0:
-        return ChiSquareResult(0.0, 0, float("inf"), p_value, False)
-    statistic = chi_square_statistic(table)
-    critical = float(stats.chi2.ppf(1.0 - p_value, dof))
-    n = float(table.sum())
-    v = float(np.sqrt(statistic / (n * min(len(rows) - 1, len(cols) - 1))))
-    return ChiSquareResult(
-        statistic, dof, critical, p_value, statistic > critical, min(v, 1.0)
-    )
+    return _result_from_table(table, len(rows), len(cols), p_value)
+
+
+def marginal_tests(
+    columns: Sequence[Sequence[Hashable]],
+    labels: Sequence[Hashable],
+    p_value: float = 0.01,
+) -> List[ChiSquareResult]:
+    """Chi-square test of every attribute column against one label vector.
+
+    The batched fitting entry point: the label vector is integer-encoded
+    once and each column's contingency table is a single ``bincount``
+    pass, instead of re-hashing every (sample, column) pair through a
+    Python dict per test.  Results are element-wise identical to calling
+    :func:`test_independence` per column.
+    """
+    if not 0.0 < p_value < 1.0:
+        raise ValueError("p_value must be in (0, 1)")
+    y_codes, y_uniques = factorize(labels)
+    n_cols = len(y_uniques)
+    results: List[ChiSquareResult] = []
+    for xs in columns:
+        if len(xs) != len(labels):
+            raise ValueError("every column must match the label count")
+        x_codes, x_uniques = factorize(xs)
+        table = contingency_from_codes(x_codes, y_codes, len(x_uniques), n_cols)
+        results.append(_result_from_table(table, len(x_uniques), n_cols, p_value))
+    return results
 
 
 # These are statistical tests, not pytest tests; prevent collection when

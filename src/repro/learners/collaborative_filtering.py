@@ -30,12 +30,14 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import ColdStartError
 from repro.learners.base import Label, Learner, Row
 from repro.learners.chi_square import (
     ChiSquareResult,
+    marginal_tests,
     test_conditional_independence,
-    test_independence,
 )
 from repro.types import AttributeValue
 
@@ -139,22 +141,26 @@ class CollaborativeFilteringRecommender(Learner):
             raise ValueError("weights length must match rows")
         n_columns = len(rows[0])
         labels = list(labels)
+        # One pass over the sample matrix: every attribute column is
+        # materialized once and the label vector is encoded once, so the
+        # marginal stage no longer re-hashes raw values per sample.
+        matrix = np.empty((len(rows), n_columns), dtype=object)
+        for i, row in enumerate(rows):
+            matrix[i, :] = row
+        columns = [matrix[:, col] for col in range(n_columns)]
 
         # Marginal tests: candidate ranking plus per-column diagnostics.
-        ranked: List[Tuple[float, int]] = []
-        self._test_results = []
-        for col in range(n_columns):
-            result = test_independence(
-                [row[col] for row in rows], labels, self.p_value
-            )
-            self._test_results.append(result)
-            # Candidacy needs only statistical dependence; the effect-size
-            # floor is applied at the conditional stage, where a weak
-            # marginal association can still prove strong once dominant
-            # attributes are absorbed (e.g. a carrier type that only
-            # matters on low-band carriers).
-            if result.dependent:
-                ranked.append((result.statistic, col))
+        self._test_results = marginal_tests(columns, labels, self.p_value)
+        # Candidacy needs only statistical dependence; the effect-size
+        # floor is applied at the conditional stage, where a weak
+        # marginal association can still prove strong once dominant
+        # attributes are absorbed (e.g. a carrier type that only
+        # matters on low-band carriers).
+        ranked = [
+            (result.statistic, col)
+            for col, result in enumerate(self._test_results)
+            if result.dependent
+        ]
         ranked.sort(key=lambda item: (-item[0], item[1]))
 
         if self.selection == "marginal":
@@ -180,12 +186,12 @@ class CollaborativeFilteringRecommender(Learner):
         selected: List[int] = []
         remaining = [col for _, col in ranked]
         while remaining:
-            strata = [tuple(row[c] for c in selected) for row in rows]
+            strata = list(map(tuple, matrix[:, selected]))
             best_col = None
             best_statistic = 0.0
             for col in remaining:
                 result = test_conditional_independence(
-                    [row[col] for row in rows], labels, strata, self.p_value
+                    columns[col], labels, strata, self.p_value
                 )
                 if not result.dependent or result.cramers_v < self.min_effect_size:
                     continue
@@ -283,8 +289,30 @@ class CollaborativeFilteringRecommender(Learner):
             )
         raise ColdStartError("the recommender has no training data to vote with")
 
+    def recommend_many(self, rows: Sequence[Row]) -> List[VoteOutcome]:
+        """Vote for a batch of rows, computing each distinct cell once.
+
+        A vote depends only on the row's values at the dependent
+        attributes (every relaxation prefix is a prefix of that key), so
+        rows that agree there share one :class:`VoteOutcome`.  On the
+        bulk paths — LOO evaluation sweeps and full service refits —
+        this collapses thousands of per-row votes into one vote per
+        distinct dependent-attribute cell.
+        """
+        self._require_fitted()
+        cache: Dict[Tuple[AttributeValue, ...], VoteOutcome] = {}
+        out: List[VoteOutcome] = []
+        for row in rows:
+            key = tuple(row[col] for col in self._dependent)
+            outcome = cache.get(key)
+            if outcome is None:
+                outcome = self.vote(row)
+                cache[key] = outcome
+            out.append(outcome)
+        return out
+
     def _predict(self, rows: Sequence[Row]) -> List[Label]:
-        return [self.vote(row).value for row in rows]
+        return [outcome.value for outcome in self.recommend_many(rows)]
 
     def predict_confident(self, rows: Sequence[Row]) -> List[Optional[Label]]:
         """Like predict, but None where support misses the threshold.
@@ -292,9 +320,7 @@ class CollaborativeFilteringRecommender(Learner):
         The operational layer (section 5) only pushes confident
         recommendations; an unconfident vote leaves the vendor value.
         """
-        self._require_fitted()
-        out: List[Optional[Label]] = []
-        for row in rows:
-            outcome = self.vote(row)
-            out.append(outcome.value if outcome.confident else None)
-        return out
+        return [
+            outcome.value if outcome.confident else None
+            for outcome in self.recommend_many(rows)
+        ]

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.pipeline import NewCarrierRequest
-from repro.core.recommendation import CarrierRecommendation
+from repro.core.recommendation import CarrierRecommendation, RecommendRequest
 from repro.exceptions import RecommendationError
 from repro.netmodel.identifiers import CarrierId
 from repro.ops.controller import ConfigPushController, PushOutcome, PushResult
@@ -176,7 +176,11 @@ class SmartLaunch:
                 "launch entry is a NewCarrierRequest but SmartLaunch has "
                 "no recommendation service attached"
             )
-        return self.service.recommend(recommendation, parameters=parameters)
+        unified = RecommendRequest.from_new_carrier(
+            recommendation,
+            parameters=tuple(parameters) if parameters is not None else None,
+        )
+        return self.service.handle(unified).recommendation
 
     def launch_request(
         self,

@@ -1,0 +1,28 @@
+"""Process-pool execution layer for engine fitting and LOO evaluation.
+
+The layer fans embarrassingly-parallel work — per-parameter fits,
+per-parameter leave-one-out folds — across a pool of worker processes
+while keeping every result byte-identical to the serial path:
+
+* the shared snapshot payload crosses the process boundary **once per
+  worker**, not once per task (fork start methods inherit it for free;
+  spawn pickles it through the pool initializer);
+* all randomness is decided in the master (sampled fold indices) or
+  drawn from per-parameter derived RNG streams (attribute selection),
+  so results cannot depend on worker count or scheduling;
+* results are merged in task submission order.
+
+``jobs=1`` — or any failure to stand a pool up — runs the exact same
+task functions in-process.
+"""
+
+from repro.parallel.pool import resolve_jobs, run_tasks
+from repro.parallel.fit import fit_parameter_models
+from repro.parallel.evaluate import parallel_loo_accuracy
+
+__all__ = [
+    "resolve_jobs",
+    "run_tasks",
+    "fit_parameter_models",
+    "parallel_loo_accuracy",
+]

@@ -1,0 +1,138 @@
+"""The process pool: one-time payload transfer and serial fallback.
+
+Workers receive a single *payload* object (the network snapshot, the
+configuration store, a fitted engine, ...) exactly once:
+
+* **fork** (Linux default): the parent publishes the payload in this
+  module's globals immediately before creating the pool; forked workers
+  inherit the parent's address space, so no serialization happens at
+  all.
+* **spawn / forkserver**: the payload is pickled once and handed to
+  every worker through the pool initializer — still once per *worker*,
+  never once per task.
+
+Task functions must be module-level (picklable by reference) and reach
+the payload through :func:`get_payload`.  Per-payload worker state
+(rebuilt views, sample caches) should be keyed on the payload's
+*identity* — see :mod:`repro.parallel.fit` — so it survives for the
+pool's lifetime and also behaves correctly under the serial fallback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: The per-process shared payload.  In the master it is set transiently
+#: (around a fork-context pool's lifetime, or a serial run); in workers
+#: it is set once at startup and lives until the pool shuts down.
+_PAYLOAD: Any = None
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means all cores."""
+    if jobs is None or jobs == 0:
+        return multiprocessing.cpu_count()
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+    return jobs
+
+
+def get_payload() -> Any:
+    """The shared payload, from a worker task function."""
+    if _PAYLOAD is None:
+        raise RuntimeError(
+            "no worker payload is installed; task functions must run "
+            "through repro.parallel.pool.run_tasks"
+        )
+    return _PAYLOAD
+
+
+def _init_worker(payload_bytes: Optional[bytes] = None) -> None:
+    """Pool initializer: install the payload in a spawned worker."""
+    global _PAYLOAD
+    if payload_bytes is not None:
+        _PAYLOAD = pickle.loads(payload_bytes)
+
+
+def _run_serial(
+    payload: Any, fn: Callable[[T], R], tasks: Sequence[T]
+) -> List[R]:
+    """Run the task functions in-process against the same payload."""
+    global _PAYLOAD
+    previous = _PAYLOAD
+    _PAYLOAD = payload
+    try:
+        return [fn(task) for task in tasks]
+    finally:
+        _PAYLOAD = previous
+
+
+def _make_executor(n_workers: int) -> ProcessPoolExecutor:
+    if "fork" in multiprocessing.get_all_start_methods():
+        # Workers inherit _PAYLOAD from the parent's address space;
+        # run_tasks publishes it before this call.
+        return ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=multiprocessing.get_context("fork")
+        )
+    payload_bytes = pickle.dumps(_PAYLOAD, protocol=pickle.HIGHEST_PROTOCOL)
+    return ProcessPoolExecutor(
+        max_workers=n_workers,
+        initializer=_init_worker,
+        initargs=(payload_bytes,),
+    )
+
+
+def run_tasks(
+    payload: Any,
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    jobs: int = 1,
+) -> List[R]:
+    """Run ``fn`` over ``tasks`` against a shared payload.
+
+    Results come back in task order regardless of completion order, so
+    callers can merge deterministically.  With ``jobs=1`` (after
+    :func:`resolve_jobs` normalization), a single task, or a pool that
+    cannot be created or breaks mid-run, the tasks run serially
+    in-process — same functions, same payload, same results.
+    """
+    jobs = resolve_jobs(jobs)
+    tasks = list(tasks)
+    if jobs == 1 or len(tasks) <= 1:
+        return _run_serial(payload, fn, tasks)
+
+    global _PAYLOAD
+    previous = _PAYLOAD
+    _PAYLOAD = payload
+    try:
+        try:
+            executor = _make_executor(min(jobs, len(tasks)))
+        except (OSError, ValueError, PermissionError) as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc}); running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(task) for task in tasks]
+        try:
+            futures = [executor.submit(fn, task) for task in tasks]
+            return [future.result() for future in futures]
+        except (BrokenProcessPool, OSError) as exc:
+            warnings.warn(
+                f"process pool failed ({exc}); re-running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(task) for task in tasks]
+        finally:
+            executor.shutdown(wait=True)
+    finally:
+        _PAYLOAD = previous

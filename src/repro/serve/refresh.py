@@ -140,19 +140,24 @@ class EngineRefresher:
         return False
 
     def full_refit(
-        self, parameters: Optional[Sequence[str]] = None
+        self, parameters: Optional[Sequence[str]] = None, jobs: int = 1
     ) -> RefreshResult:
         """Re-fit from scratch on the current snapshot and swap it in.
 
         Attribute selection runs again, so dependency structure learned
         incrementally-stale models are replaced.  The old engine serves
-        until the swap (stale-but-available).
+        until the swap (stale-but-available).  ``jobs`` fans the
+        per-parameter fits across a process pool (the refit happens
+        outside the service lock, so parallel workers never contend
+        with serving traffic).
         """
         started = time.perf_counter()
         old = self.service.engine
         if parameters is None:
             parameters = old.fitted_parameters()
-        fresh = AuricEngine(old.network, old.store, old.config).fit(parameters)
+        fresh = AuricEngine(old.network, old.store, old.config).fit(
+            parameters, jobs=jobs
+        )
         generation = self.service.refresh_snapshot(fresh)
         duration = time.perf_counter() - started
         self.service.metrics.record_refresh(duration)

@@ -32,8 +32,18 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.config.rulebook import RuleBook
 from repro.core.auric import AuricEngine
-from repro.core.pipeline import NewCarrierRequest, resolve_neighborhood
-from repro.core.recommendation import CarrierRecommendation, ParameterRecommendation
+from repro.core.pipeline import (
+    NewCarrierRequest,
+    default_parameter_names,
+    resolve_neighborhood,
+)
+from repro.core.recommendation import (
+    CarrierRecommendation,
+    ParameterRecommendation,
+    RecommendRequest,
+    RecommendResult,
+    warn_deprecated_signature,
+)
 from repro.dataio.keys import carrier_key_from_str
 from repro.exceptions import RecommendationError, UnknownParameterError
 from repro.netmodel.attributes import CarrierAttributes
@@ -162,32 +172,70 @@ class RecommendationService:
 
     # -- serving -------------------------------------------------------------
 
+    def handle(self, request: RecommendRequest) -> RecommendResult:
+        """Serve one unified request from the persistent engine.
+
+        The canonical entry point (shared request/result vocabulary with
+        the pipeline and the raw engine); the positional
+        :meth:`recommend` signature survives as a deprecated shim.
+        Existing-carrier targets resolve their attributes and X2
+        neighborhood from the serving snapshot, and leave-one-out
+        queries exclude the target's own configured values from the
+        vote — cache keys incorporate the exclusion, so evaluation
+        traffic never pollutes launch-serving entries.
+        """
+        started = time.perf_counter()
+        with self._lock:
+            engine = self._engine
+            catalog = engine.catalog
+            names = self._parameter_names(
+                catalog, request.parameters, request.include_enumerations
+            )
+            attributes, row, neighborhood, exclude = engine.resolve_request(
+                request
+            )
+            scope_key = frozenset(neighborhood) if neighborhood else None
+            result = CarrierRecommendation(target=request.label())
+            for name in names:
+                result.add(
+                    self._recommend_parameter(
+                        engine, name, attributes, row, neighborhood,
+                        scope_key, exclude,
+                    )
+                )
+        duration = time.perf_counter() - started
+        self.metrics.record_request(duration, len(names))
+        return RecommendResult(
+            request=request,
+            recommendation=result,
+            source="service",
+            duration_s=duration,
+            exclude=exclude,
+        )
+
+    def handle_batch(
+        self, requests: Sequence[RecommendRequest]
+    ) -> List[RecommendResult]:
+        """Serve a batch of unified requests (in order)."""
+        return [self.handle(request) for request in requests]
+
     def recommend(
         self,
         request: NewCarrierRequest,
         parameters: Optional[Sequence[str]] = None,
         include_enumerations: bool = True,
     ) -> CarrierRecommendation:
-        """The full configuration recommendation for one new carrier."""
-        started = time.perf_counter()
-        with self._lock:
-            engine = self._engine
-            catalog = engine.catalog
-            names = self._parameter_names(
-                catalog, parameters, include_enumerations
-            )
-            row = request.attributes.as_tuple()
-            neighborhood = resolve_neighborhood(engine, request)
-            scope_key = frozenset(neighborhood) if neighborhood else None
-            result = CarrierRecommendation(target=request.label())
-            for name in names:
-                result.add(
-                    self._recommend_parameter(
-                        engine, name, request, row, neighborhood, scope_key
-                    )
-                )
-        self.metrics.record_request(time.perf_counter() - started, len(names))
-        return result
+        """The full configuration recommendation for one new carrier.
+
+        .. deprecated:: use :meth:`handle` with a
+           :class:`~repro.core.recommendation.RecommendRequest`.
+        """
+        warn_deprecated_signature(
+            "RecommendationService.recommend(NewCarrierRequest, ...)",
+            "RecommendationService.handle",
+        )
+        return self.handle(self._to_unified(request, parameters,
+                                            include_enumerations)).recommendation
 
     def recommend_batch(
         self,
@@ -195,11 +243,31 @@ class RecommendationService:
         parameters: Optional[Sequence[str]] = None,
         include_enumerations: bool = True,
     ) -> List[CarrierRecommendation]:
-        """Serve a batch of requests (in order)."""
+        """Serve a batch of requests (in order).
+
+        Accepts legacy :class:`NewCarrierRequest` items (adapted to the
+        unified request type) as well as :class:`RecommendRequest`\\ s.
+        """
         return [
-            self.recommend(request, parameters, include_enumerations)
+            self.handle(
+                request
+                if isinstance(request, RecommendRequest)
+                else self._to_unified(request, parameters, include_enumerations)
+            ).recommendation
             for request in requests
         ]
+
+    @staticmethod
+    def _to_unified(
+        request: NewCarrierRequest,
+        parameters: Optional[Sequence[str]],
+        include_enumerations: bool,
+    ) -> RecommendRequest:
+        return RecommendRequest.from_new_carrier(
+            request,
+            parameters=tuple(parameters) if parameters is not None else None,
+            include_enumerations=include_enumerations,
+        )
 
     def _parameter_names(
         self,
@@ -214,14 +282,9 @@ class RecommendationService:
                         f"{name} is pair-wise; use recommend_neighbors()"
                     )
             return list(parameters)
-        names = [s.name for s in catalog.singular_parameters()]
-        if include_enumerations and self.rulebook is not None:
-            names += [
-                s.name
-                for s in catalog.enumeration_parameters()
-                if s.kind.value == "singular"
-            ]
-        return names
+        return default_parameter_names(
+            catalog, self.rulebook, include_enumerations
+        )
 
     def recommend_neighbors(
         self,
@@ -261,7 +324,8 @@ class RecommendationService:
                 for name in names:
                     result.add(
                         self._recommend_parameter(
-                            engine, name, request, row, neighborhood, scope_key
+                            engine, name, request.attributes, row,
+                            neighborhood, scope_key, None,
                         )
                     )
                     served += 1
@@ -273,21 +337,23 @@ class RecommendationService:
         self,
         engine: AuricEngine,
         name: str,
-        request: NewCarrierRequest,
+        attributes,
         row: Tuple,
         neighborhood: Set[CarrierId],
         scope_key: Optional[frozenset],
+        exclude: Optional[Hashable],
     ) -> ParameterRecommendation:
         spec = engine.catalog.spec(name)
         fitted = spec.is_range and name in engine._models
         if fitted:
-            # The vote depends only on the dependent-attribute cell and
-            # the neighborhood scope — the cache key.
+            # The vote depends only on the dependent-attribute cell, the
+            # neighborhood scope and the leave-one-out exclusion — the
+            # cache key.
             cell = engine._models[name].cell_key(row)
-            key = (name, cell, scope_key, self.generation)
+            key = (name, cell, scope_key, exclude, self.generation)
         else:
             # Rule-book lookups depend on the full attribute vector.
-            key = (name, row, None, self.generation)
+            key = (name, row, None, None, self.generation)
         cached = self._cache.get(key)
         if cached is not None:
             self.metrics.record_cache(hit=True)
@@ -298,20 +364,20 @@ class RecommendationService:
         if fitted:
             try:
                 if neighborhood:
-                    rec = engine.recommend_local(name, row, neighborhood, exclude=None)
+                    rec = engine.recommend_local(
+                        name, row, neighborhood, exclude=exclude
+                    )
                 else:
-                    rec = engine.recommend_global(name, row, exclude=None)
+                    rec = engine.recommend_global(name, row, exclude=exclude)
                 self.metrics.record_votes(rec.matched)
             except RecommendationError:
                 rec = None  # fall through to the rule-book
         if rec is None:
-            rec = self._rulebook_fallback(name, request)
+            rec = self._rulebook_fallback(name, attributes)
         self._cache.put(key, rec)
         return rec
 
-    def _rulebook_fallback(
-        self, name: str, request: NewCarrierRequest
-    ) -> ParameterRecommendation:
+    def _rulebook_fallback(self, name: str, attributes) -> ParameterRecommendation:
         if self.rulebook is None:
             raise RecommendationError(
                 f"cannot recommend {name}: not fitted and no rule-book fallback"
@@ -319,7 +385,7 @@ class RecommendationService:
         self.metrics.record_fallback()
         return ParameterRecommendation(
             parameter=name,
-            value=self.rulebook.value_for(name, request.attributes),
+            value=self.rulebook.value_for(name, attributes),
             support=1.0,
             matched=0.0,
             confident=False,

@@ -1,7 +1,11 @@
 import numpy as np
 import pytest
 
-from repro.eval.splits import kfold_indices, stratified_sample_indices
+from repro.eval.splits import (
+    kfold_indices,
+    stratified_sample_indices,
+    uniform_sample_indices,
+)
 
 
 class TestKFold:
@@ -68,3 +72,36 @@ class TestStratifiedSample:
         assert stratified_sample_indices(labels, 20, seed=5) == (
             stratified_sample_indices(labels, 20, seed=5)
         )
+
+    def test_different_seeds_diverge(self):
+        labels = ["a", "b", "c", "d"] * 50
+        a = stratified_sample_indices(labels, 40, seed=1)
+        b = stratified_sample_indices(labels, 40, seed=2)
+        assert a != b
+
+    def test_rare_class_survives_sampling_and_folding(self):
+        """A one-in-200 label must survive stratified sampling, and the
+        sampled set must still k-fold cleanly."""
+        labels = ["common"] * 199 + ["rare"]
+        picked = stratified_sample_indices(labels, 30, seed=0)
+        assert "rare" in {labels[i] for i in picked}
+        tested = []
+        for train, test in kfold_indices(len(picked), 3, seed=0):
+            assert set(train) | set(test) == set(range(len(picked)))
+            tested.extend(test.tolist())
+        assert sorted(tested) == list(range(len(picked)))
+
+
+class TestUniformSample:
+    def test_deterministic_per_seed(self):
+        assert uniform_sample_indices(100, 20, seed=9) == (
+            uniform_sample_indices(100, 20, seed=9)
+        )
+
+    def test_different_seeds_diverge(self):
+        assert uniform_sample_indices(500, 100, seed=1) != (
+            uniform_sample_indices(500, 100, seed=2)
+        )
+
+    def test_returns_everything_when_size_sufficient(self):
+        assert uniform_sample_indices(5, 10) == [0, 1, 2, 3, 4]

@@ -3,7 +3,10 @@ import pytest
 
 from repro.learners.chi_square import (
     chi_square_statistic,
+    contingency_from_codes,
     contingency_table,
+    factorize,
+    marginal_tests,
     test_conditional_independence,
     test_independence,
 )
@@ -31,6 +34,74 @@ class TestContingencyTable:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             contingency_table([], [])
+
+    def test_numpy_arrays_match_lists(self):
+        xs = ["a", "a", "b", "b", "b"]
+        ys = [1, 2, 1, 1, 2]
+        from_lists = contingency_table(xs, ys)
+        from_arrays = contingency_table(np.array(xs), np.array(ys))
+        assert np.array_equal(from_lists[0], from_arrays[0])
+        assert from_lists[1] == from_arrays[1]
+        assert from_lists[2] == from_arrays[2]
+
+    def test_empty_numpy_rejected(self):
+        # np.array truthiness is not len-based; must still be a clean error.
+        with pytest.raises(ValueError):
+            contingency_table(np.array([]), np.array([]))
+
+    def test_mixed_type_column_falls_back_safely(self):
+        xs = ["a", 1, "a", None, 1]
+        ys = [0, 1, 0, 1, 1]
+        table, row_values, _ = contingency_table(xs, ys)
+        assert row_values == ["a", 1, None]
+        assert table.sum() == len(xs)
+
+
+class TestFactorizeAndCodes:
+    def test_first_appearance_order(self):
+        codes, uniques = factorize(["b", "a", "b", "c"])
+        assert uniques == ["b", "a", "c"]
+        assert codes.tolist() == [0, 1, 0, 2]
+
+    def test_numpy_input_matches_list_input(self):
+        values = [3, 1, 3, 2, 1]
+        list_codes, list_uniques = factorize(values)
+        array_codes, array_uniques = factorize(np.array(values))
+        assert list_codes.tolist() == array_codes.tolist()
+        assert list_uniques == array_uniques
+
+    def test_pre_encoded_codes_match_contingency_table(self):
+        xs = ["a", "a", "b", "b", "b"]
+        ys = [1, 2, 1, 1, 2]
+        x_codes, x_uniques = factorize(xs)
+        y_codes, y_uniques = factorize(ys)
+        table = contingency_from_codes(
+            x_codes, y_codes, len(x_uniques), len(y_uniques)
+        )
+        reference, _, _ = contingency_table(xs, ys)
+        assert np.array_equal(table, reference)
+
+    def test_code_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            contingency_from_codes(np.array([0]), np.array([0, 1]))
+
+
+class TestMarginalTests:
+    def test_matches_per_column_test_independence(self):
+        rng = np.random.default_rng(0)
+        labels = rng.choice(["p", "q", "r"], size=200).tolist()
+        columns = [
+            [f"{label}!" for label in labels],  # dependent copy
+            rng.choice(["x", "y"], size=200).tolist(),  # independent
+        ]
+        batched = marginal_tests(columns, labels, p_value=0.01)
+        for column, result in zip(columns, batched):
+            single = test_independence(column, labels, p_value=0.01)
+            assert result.statistic == pytest.approx(single.statistic)
+            assert result.dof == single.dof
+            assert result.dependent == single.dependent
+        assert batched[0].dependent
+        assert not batched[1].dependent
 
 
 class TestChiSquareStatistic:

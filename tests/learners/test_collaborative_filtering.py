@@ -171,6 +171,33 @@ class TestValidationAndExplain:
         assert "recommend" in text
 
 
+class TestRecommendMany:
+    def test_matches_single_row_votes(self):
+        rows, labels = rule_dataset()
+        model = CollaborativeFilteringRecommender().fit(rows, labels)
+        outcomes = model.recommend_many(rows[:50])
+        for row, outcome in zip(rows[:50], outcomes):
+            single = model.vote(row)
+            assert outcome == single
+
+    def test_memoizes_identical_dependent_cells(self):
+        rows, labels = rule_dataset()
+        model = CollaborativeFilteringRecommender().fit(rows, labels)
+        # Two rows agreeing on the dependent attributes (0 and 2) share
+        # one memoized VoteOutcome even if irrelevant columns differ.
+        base = rows[0]
+        twin = (base[0], "DIFFERENT", base[2], "999")
+        outcomes = model.recommend_many([base, twin])
+        assert outcomes[0] is outcomes[1]
+
+    def test_predict_goes_through_bulk_path(self):
+        rows, labels = rule_dataset()
+        model = CollaborativeFilteringRecommender().fit(rows, labels)
+        assert model.predict(rows[:20]) == [
+            outcome.value for outcome in model.recommend_many(rows[:20])
+        ]
+
+
 class TestSelectionStrategies:
     def test_marginal_mode_keeps_more_attributes(self):
         rows, labels = rule_dataset()

@@ -1,0 +1,60 @@
+"""Tests for the process-pool layer itself."""
+
+import multiprocessing
+
+import pytest
+
+import repro.parallel.pool as pool_module
+from repro.parallel.pool import get_payload, resolve_jobs, run_tasks
+
+
+def _offset_square(x):
+    # Module-level so it pickles by reference into workers.
+    return get_payload() + x * x
+
+
+class TestResolveJobs:
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(1) == 1
+
+    def test_zero_and_none_mean_all_cores(self):
+        assert resolve_jobs(0) == multiprocessing.cpu_count()
+        assert resolve_jobs(None) == multiprocessing.cpu_count()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestRunTasks:
+    def test_serial_results_in_task_order(self):
+        assert run_tasks(10, _offset_square, [1, 2, 3], jobs=1) == [11, 14, 19]
+
+    def test_parallel_matches_serial(self):
+        tasks = list(range(7))
+        serial = run_tasks(100, _offset_square, tasks, jobs=1)
+        parallel = run_tasks(100, _offset_square, tasks, jobs=2)
+        assert parallel == serial
+
+    def test_payload_is_cleared_afterwards(self):
+        run_tasks(5, _offset_square, [1, 2], jobs=2)
+        assert pool_module._PAYLOAD is None
+        with pytest.raises(RuntimeError):
+            get_payload()
+
+    def test_pool_unavailable_falls_back_to_serial(self, monkeypatch):
+        def broken(n_workers):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(pool_module, "_make_executor", broken)
+        with pytest.warns(RuntimeWarning, match="running serially"):
+            results = run_tasks(10, _offset_square, [1, 2, 3], jobs=4)
+        assert results == [11, 14, 19]
+
+    def test_single_task_never_stands_up_a_pool(self, monkeypatch):
+        def exploding(n_workers):  # pragma: no cover - must not run
+            raise AssertionError("pool should not be created for one task")
+
+        monkeypatch.setattr(pool_module, "_make_executor", exploding)
+        assert run_tasks(1, _offset_square, [4], jobs=8) == [17]
