@@ -14,6 +14,7 @@ The last test asserts the ordering the serving layer exists to provide:
 the warm path must be orders of magnitude faster than refitting.
 """
 
+import os
 import time
 
 import pytest
@@ -124,3 +125,25 @@ def test_warm_path_beats_per_request_refit(
     refit_per_request = time.perf_counter() - started
 
     assert warm_per_request * 10 < refit_per_request
+
+
+def test_metrics_exposition(
+    four_market_dataset, serve_engine, request_stream
+):
+    """Serving the stream yields a well-formed Prometheus exposition.
+
+    Set ``REPRO_METRICS_DUMP=<path>`` to also write the text — the CI
+    serve smoke uploads it as a build artifact.
+    """
+    service = make_service(four_market_dataset, serve_engine)
+    service.recommend_batch(request_stream, parameters=SERVE_PARAMETERS)
+
+    text = service.metrics.to_prometheus_text()
+    assert "# TYPE repro_service_requests_total counter" in text
+    assert "repro_service_request_latency_seconds_bucket" in text
+    assert 'le="+Inf"' in text
+
+    dump = os.environ.get("REPRO_METRICS_DUMP")
+    if dump:
+        with open(dump, "w") as handle:
+            handle.write(text)

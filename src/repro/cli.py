@@ -29,6 +29,16 @@ The work-producing subcommands share one option vocabulary:
 * ``--format table`` (default) renders the human tables; ``--format
   json`` emits one machine-readable JSON document instead.
 * ``-o/--output`` additionally writes whatever was printed to a file.
+* ``--trace PATH`` exports every tracing span the run produced (master
+  process *and* pool workers, re-parented into one trace) as JSON
+  lines; ``--log-level``/``-v`` turn on key=value structured logging.
+
+``explain`` answers one leave-one-out recommendation with full
+provenance — the chi-square-selected attributes (with achieved
+p-values), the vote distribution and the serving disposition behind
+every value.  ``metrics`` runs a small serving exercise against the
+unified metrics registry and prints the registry in Prometheus text
+(or JSON) exposition.
 """
 
 from __future__ import annotations
@@ -73,6 +83,20 @@ def _common_options() -> argparse.ArgumentParser:
     common.add_argument(
         "-o", "--output", default=None,
         help="also write the printed output to this file",
+    )
+    common.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="export tracing spans (master + pool workers) to this "
+        "JSONL file",
+    )
+    common.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error", "critical"),
+        help="enable key=value structured logging at this level",
+    )
+    common.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="shortcut for --log-level info (-vv: debug)",
     )
     return common
 
@@ -143,6 +167,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve an artifact even if it was fitted on another snapshot",
     )
     serve.add_argument("--cache-size", type=int, default=None)
+
+    explain = sub.add_parser(
+        "explain",
+        parents=[common, workload],
+        help="explain one leave-one-out recommendation (provenance)",
+    )
+    explain.add_argument(
+        "--workload",
+        choices=sorted(_WORKLOADS),
+        default="tiny",
+        help="workload to fit and explain against (default: tiny)",
+    )
+    explain.add_argument(
+        "--parameters", default="pMax,inactivityTimer",
+        help="comma-separated parameters to explain "
+        "(default: pMax,inactivityTimer)",
+    )
+    explain.add_argument(
+        "--carrier", default=None,
+        help="existing carrier to explain (default: the first carrier "
+        "in the snapshot); leave-one-out excludes its own values",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        parents=[common, workload],
+        help="exercise the serving path and dump the metrics registry",
+    )
+    metrics.add_argument(
+        "--workload",
+        choices=sorted(_WORKLOADS),
+        default="tiny",
+        help="workload for the serving exercise (default: tiny)",
+    )
+    metrics.add_argument(
+        "--parameters", default="pMax,inactivityTimer",
+        help="comma-separated parameters to serve",
+    )
+    metrics.add_argument(
+        "--requests", type=int, default=20,
+        help="leave-one-out requests to serve (default: 20)",
+    )
     return parser
 
 
@@ -314,6 +380,119 @@ def _run_serve_batch(args) -> int:
     return 0
 
 
+def _build_service(args, parameters: List[str]):
+    """Fit a service over the chosen workload (explain / metrics)."""
+    from repro.config.rulebook import RuleBook
+    from repro.core.auric import AuricConfig, AuricEngine
+    from repro.serve import RecommendationService
+
+    dataset = _build_workload(args.workload, args.scale, args.seed)
+    for name in parameters:
+        if name not in dataset.store.catalog:
+            raise SystemExit(f"error: unknown parameter {name!r}")
+    config = AuricConfig(seed=args.seed) if args.seed is not None else None
+    engine = AuricEngine(dataset.network, dataset.store, config).fit(
+        parameters, jobs=args.jobs
+    )
+    service = RecommendationService(
+        engine, rulebook=RuleBook(dataset.store.catalog)
+    )
+    return dataset, service
+
+
+def _run_explain(args) -> int:
+    from repro.core.recommendation import RecommendRequest
+    from repro.dataio.keys import carrier_key_from_str
+
+    parameters = [p for p in args.parameters.split(",") if p]
+    dataset, service = _build_service(args, parameters)
+    if args.carrier is not None:
+        carrier_id = carrier_key_from_str(args.carrier)
+    else:
+        carrier_id = sorted(dataset.store.carriers())[0]
+    request = RecommendRequest(
+        carrier_id=carrier_id,
+        parameters=tuple(parameters),
+        leave_one_out=True,
+        explain=True,
+    )
+    result = service.handle(request)
+    explanation = result.explain
+
+    if args.format == "json":
+        document = {
+            "command": "explain",
+            "workload": args.workload,
+            "carrier": str(carrier_id),
+            "explanation": explanation.to_dict() if explanation else None,
+        }
+        _emit(json.dumps(document, indent=2), args)
+        return 0
+    _emit(str(explanation), args)
+    return 0
+
+
+def _run_metrics(args) -> int:
+    from repro.core.recommendation import RecommendRequest
+    from repro.obs import metrics as obs_metrics
+    from repro.serve.metrics import ServiceMetrics
+
+    # A fresh registry per run: the exposition covers exactly this
+    # exercise, even when main() is driven repeatedly in-process.
+    registry = obs_metrics.MetricsRegistry()
+    previous = obs_metrics.get_registry()
+    obs_metrics.set_registry(registry)
+    try:
+        parameters = [p for p in args.parameters.split(",") if p]
+        dataset, service = _build_service(args, parameters)
+        # Route the service's own instruments into the same registry so
+        # one exposition covers the whole run.
+        service.metrics = ServiceMetrics(registry=registry)
+        carriers = sorted(dataset.store.carriers())
+        for index in range(max(args.requests, 0)):
+            carrier_id = carriers[index % len(carriers)]
+            service.handle(
+                RecommendRequest(
+                    carrier_id=carrier_id,
+                    parameters=tuple(parameters),
+                    leave_one_out=True,
+                )
+            )
+    finally:
+        obs_metrics.set_registry(previous)
+
+    if args.format == "json":
+        document = {"command": "metrics", "registry": registry.to_dict()}
+        _emit(json.dumps(document, indent=2), args)
+        return 0
+    _emit(registry.to_prometheus_text().rstrip("\n"), args)
+    return 0
+
+
+def _configure_observability(args):
+    """Wire --trace / --log-level / -v; returns a cleanup callable."""
+    from repro.obs import logs, tracing
+
+    level = getattr(args, "log_level", None)
+    verbose = getattr(args, "verbose", 0)
+    if level is None and verbose:
+        level = "debug" if verbose > 1 else "info"
+    if level is not None:
+        logs.configure_logging(level)
+
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return lambda: None
+    exporter = tracing.JsonlExporter(trace_path)
+    tracing.configure([exporter])
+
+    def cleanup() -> None:
+        tracing.disable()
+        exporter.close()
+
+    return cleanup
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -322,14 +501,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(experiment_id)
         return 0
 
-    if args.command == "generate":
-        return _run_generate(args)
+    cleanup = _configure_observability(args)
+    try:
+        if args.command == "generate":
+            return _run_generate(args)
 
-    if args.command == "experiment":
-        return _run_experiment(args)
+        if args.command == "experiment":
+            return _run_experiment(args)
 
-    if args.command == "serve-batch":
-        return _run_serve_batch(args)
+        if args.command == "serve-batch":
+            return _run_serve_batch(args)
+
+        if args.command == "explain":
+            return _run_explain(args)
+
+        if args.command == "metrics":
+            return _run_metrics(args)
+    finally:
+        cleanup()
 
     return 2  # unreachable with required=True
 

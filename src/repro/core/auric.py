@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
+from scipy import stats as _scipy_stats
 
 from repro.config.parameters import ParameterCatalog, ParameterSpec
 from repro.config.store import ConfigurationStore, PairKey
@@ -30,6 +31,13 @@ from repro.core.recommendation import (
     RecommendResult,
 )
 from repro.learners.collaborative_filtering import CollaborativeFilteringRecommender
+from repro.obs import tracing
+from repro.obs.provenance import (
+    AttributeDependence,
+    ParameterExplanation,
+    ResultExplanation,
+    VoteShare,
+)
 from repro.netmodel.attributes import ATTRIBUTE_SCHEMA
 from repro.netmodel.identifiers import CarrierId
 from repro.netmodel.network import Network
@@ -37,6 +45,30 @@ from repro.rng import derive
 from repro.types import AttributeValue, ParameterValue
 
 Row = Tuple[AttributeValue, ...]
+
+
+def _attribute_dependence(
+    name: str, column: int, result
+) -> AttributeDependence:
+    """Provenance record for one chi-square-selected attribute.
+
+    ``result.p_value`` is the selection threshold; the achieved p-value
+    is recovered from the statistic and degrees of freedom.
+    """
+    achieved = (
+        float(_scipy_stats.chi2.sf(result.statistic, result.dof))
+        if result.dof > 0
+        else 1.0
+    )
+    return AttributeDependence(
+        name=name,
+        column=column,
+        statistic=float(result.statistic),
+        dof=int(result.dof),
+        p_value=achieved,
+        significance=float(result.p_value),
+        cramers_v=float(result.cramers_v),
+    )
 
 
 @dataclass(frozen=True)
@@ -75,6 +107,10 @@ class _ParameterModel:
     by_carrier: Dict[CarrierId, List[Hashable]]
     # sparse vote weights (targets not listed weigh 1.0)
     weights: Dict[Hashable, float] = field(default_factory=dict)
+    #: Chi-square provenance of the dependent attributes, strongest
+    #: dependency first (empty on models fitted before this field or
+    #: loaded from pre-provenance artifacts).
+    dependent_stats: Tuple[AttributeDependence, ...] = ()
     # lazily-built vote indexes for relaxed (prefix) matches; level k
     # matches on the first k dependent attributes (strongest first)
     _relaxed: Dict[int, Dict[Tuple[AttributeValue, ...], Counter]] = field(
@@ -181,6 +217,10 @@ class AuricEngine:
         self.catalog: ParameterCatalog = store.catalog
         self._models: Dict[str, _ParameterModel] = {}
         self._row_cache: Dict[CarrierId, Row] = {}
+        # When True, _finish captures the full vote distribution on each
+        # ParameterRecommendation (set around explain-flagged requests;
+        # the hot path leaves it off).
+        self._capture_votes = False
 
     # -- data access --------------------------------------------------------
 
@@ -227,22 +267,25 @@ class AuricEngine:
             specs = self.catalog.range_parameters()
         else:
             specs = [self.catalog.spec(name) for name in parameters]
-        if jobs != 1 and len(specs) > 1:
-            from repro.parallel.fit import fit_parameter_models
+        with tracing.span(
+            "engine.fit", parameters=len(specs), jobs=jobs
+        ):
+            if jobs != 1 and len(specs) > 1:
+                from repro.parallel.fit import fit_parameter_models
 
-            fitted = fit_parameter_models(
-                self.network,
-                self.store,
-                self.config,
-                [spec.name for spec in specs],
-                vote_weights=vote_weights,
-                jobs=jobs,
-            )
-            self._models.update(fitted)
+                fitted = fit_parameter_models(
+                    self.network,
+                    self.store,
+                    self.config,
+                    [spec.name for spec in specs],
+                    vote_weights=vote_weights,
+                    jobs=jobs,
+                )
+                self._models.update(fitted)
+                return self
+            for spec in specs:
+                self._models[spec.name] = self._fit_parameter(spec, vote_weights)
             return self
-        for spec in specs:
-            self._models[spec.name] = self._fit_parameter(spec, vote_weights)
-        return self
 
     def fitted_parameters(self) -> List[str]:
         return sorted(self._models)
@@ -282,6 +325,17 @@ class AuricEngine:
         spec: ParameterSpec,
         vote_weights: Optional[Dict[Hashable, float]] = None,
     ) -> _ParameterModel:
+        with tracing.span("engine.fit_parameter", parameter=spec.name) as sp:
+            model = self._fit_parameter_impl(spec, vote_weights)
+            sp.set("samples", len(model.samples))
+            sp.set("dependent", list(model.dependent_names))
+            return model
+
+    def _fit_parameter_impl(
+        self,
+        spec: ParameterSpec,
+        vote_weights: Optional[Dict[Hashable, float]] = None,
+    ) -> _ParameterModel:
         keys, rows, labels = self._collect_samples(spec)
         if not keys:
             raise RecommendationError(
@@ -305,6 +359,12 @@ class AuricEngine:
         ).fit(fit_rows, fit_labels)
         dependent = recommender.dependent_attributes
         names = self.attribute_names(spec)
+        dependent_stats = tuple(
+            _attribute_dependence(
+                names[col], col, recommender.test_result(col)
+            )
+            for col in dependent
+        )
 
         cell_index: Dict[Tuple[AttributeValue, ...], Counter] = {}
         global_counts: Counter = Counter()
@@ -335,6 +395,7 @@ class AuricEngine:
             samples=samples,
             by_carrier=by_carrier,
             weights=weights,
+            dependent_stats=dependent_stats,
         )
 
     def _model(self, parameter: str) -> _ParameterModel:
@@ -371,6 +432,12 @@ class AuricEngine:
         total = sum(counter.values())
         value, top = counter.most_common(1)[0]
         support = top / total if total else 0.0
+        votes: Tuple[Tuple[ParameterValue, float], ...] = ()
+        if self._capture_votes:
+            votes = tuple(
+                (vote_value, float(weight))
+                for vote_value, weight in counter.most_common()
+            )
         return ParameterRecommendation(
             parameter=model.spec.name,
             value=value,
@@ -379,6 +446,7 @@ class AuricEngine:
             confident=support >= self.config.support_threshold,
             scope=scope,
             dependent_attributes=model.dependent_names,
+            votes=votes,
         )
 
     def recommend_global(
@@ -646,35 +714,109 @@ class AuricEngine:
         here (the pipeline and service layers honour it).
         """
         started = time.perf_counter()
-        _, row, neighborhood, exclude = self.resolve_request(request)
-        if request.parameters is not None:
-            names = list(request.parameters)
-            for name in names:
-                if self._model(name).spec.is_pairwise:
-                    raise RecommendationError(
-                        f"{name} is pair-wise; use recommend_for_pair"
-                    )
-        else:
-            names = [
-                name
-                for name in self.fitted_parameters()
-                if not self._models[name].spec.is_pairwise
-            ]
-        result = CarrierRecommendation(target=request.label())
-        for name in names:
-            if neighborhood:
-                result.add(self.recommend_local(name, row, neighborhood, exclude))
+        with tracing.span("engine.handle", target=request.label()) as sp:
+            _, row, neighborhood, exclude = self.resolve_request(request)
+            if request.parameters is not None:
+                names = list(request.parameters)
+                for name in names:
+                    if self._model(name).spec.is_pairwise:
+                        raise RecommendationError(
+                            f"{name} is pair-wise; use recommend_for_pair"
+                        )
             else:
-                result.add(self.recommend_global(name, row, exclude))
-        return RecommendResult(
-            request=request,
-            recommendation=result,
-            source="engine",
-            duration_s=time.perf_counter() - started,
-            exclude=exclude,
-        )
+                names = [
+                    name
+                    for name in self.fitted_parameters()
+                    if not self._models[name].spec.is_pairwise
+                ]
+            sp.set("parameters", len(names))
+            result = CarrierRecommendation(target=request.label())
+            previous_capture = self._capture_votes
+            self._capture_votes = request.explain or previous_capture
+            try:
+                for name in names:
+                    if neighborhood:
+                        result.add(
+                            self.recommend_local(name, row, neighborhood, exclude)
+                        )
+                    else:
+                        result.add(self.recommend_global(name, row, exclude))
+            finally:
+                self._capture_votes = previous_capture
+            explanation = None
+            if request.explain:
+                explanation = ResultExplanation(
+                    target=request.label(), source="engine"
+                )
+                context = tracing.current_context()
+                if context is not None:
+                    explanation.trace_id = context[0]
+                for name, rec in result.recommendations.items():
+                    explanation.parameters[name] = self.explain_parameter(
+                        rec,
+                        row,
+                        neighborhood=neighborhood if request.local else None,
+                    )
+            return RecommendResult(
+                request=request,
+                recommendation=result,
+                source="engine",
+                duration_s=time.perf_counter() - started,
+                exclude=exclude,
+                explain=explanation,
+            )
 
     # -- introspection ----------------------------------------------------------
+
+    def explain_parameter(
+        self,
+        recommendation: ParameterRecommendation,
+        row: Row,
+        neighborhood: Optional[Set[CarrierId]] = None,
+        cache: Optional[str] = None,
+        fallback_reason: Optional[str] = None,
+    ) -> ParameterExplanation:
+        """Build the provenance record behind one recommendation.
+
+        Pairs the fitted model's chi-square dependency statistics with
+        the target row's values on those attributes and the vote
+        distribution captured on the recommendation (when the request
+        asked for it).  The serving layer adds its own cache/fallback
+        disposition via ``cache`` / ``fallback_reason``.
+        """
+        model = self._models.get(recommendation.parameter)
+        dependencies: Tuple[AttributeDependence, ...] = ()
+        attribute_values: Tuple[Tuple[str, AttributeValue], ...] = ()
+        if model is not None:
+            dependencies = model.dependent_stats
+            attribute_values = tuple(
+                zip(model.dependent_names, model.cell_key(row))
+            )
+        total = sum(weight for _, weight in recommendation.votes)
+        votes = tuple(
+            VoteShare(
+                value=value,
+                weight=weight,
+                share=weight / total if total else 0.0,
+            )
+            for value, weight in recommendation.votes
+        )
+        return ParameterExplanation(
+            parameter=recommendation.parameter,
+            value=recommendation.value,
+            support=recommendation.support,
+            matched=recommendation.matched,
+            confident=recommendation.confident,
+            scope=recommendation.scope,
+            dependencies=dependencies,
+            attribute_values=attribute_values,
+            votes=votes,
+            neighborhood_size=(
+                len(neighborhood) if neighborhood is not None else None
+            ),
+            cache=cache,
+            fallback_reason=fallback_reason,
+        )
 
     def dependent_attribute_names(self, parameter: str) -> Tuple[str, ...]:
         return self._model(parameter).dependent_names

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.config.rulebook import RuleBook
 from repro.core.auric import AuricEngine
@@ -27,6 +27,8 @@ from repro.core.recommendation import (
 from repro.exceptions import RecommendationError
 from repro.netmodel.attributes import CarrierAttributes
 from repro.netmodel.identifiers import CarrierId, ENodeBId
+from repro.obs import tracing
+from repro.obs.provenance import ResultExplanation
 
 
 @dataclass(frozen=True)
@@ -88,54 +90,84 @@ class RecommendationPipeline:
         :meth:`recommend` signature survives as a deprecated shim.
         """
         started = time.perf_counter()
-        catalog = self.engine.catalog
-        if request.parameters is not None:
-            names = list(request.parameters)
-        else:
-            names = default_parameter_names(
-                catalog, self.rulebook, request.include_enumerations
+        with tracing.span("pipeline.handle", target=request.label()) as sp:
+            catalog = self.engine.catalog
+            if request.parameters is not None:
+                names = list(request.parameters)
+            else:
+                names = default_parameter_names(
+                    catalog, self.rulebook, request.include_enumerations
+                )
+            sp.set("parameters", len(names))
+            attributes, row, neighborhood, exclude = self.engine.resolve_request(
+                request
             )
-        attributes, row, neighborhood, exclude = self.engine.resolve_request(
-            request
-        )
-        result = CarrierRecommendation(target=request.label())
-        for name in names:
-            spec = catalog.spec(name)
-            if spec.is_range and name in self.engine.fitted_parameters():
-                try:
-                    if neighborhood:
-                        rec = self.engine.recommend_local(
-                            name, row, neighborhood, exclude=exclude
-                        )
+            result = CarrierRecommendation(target=request.label())
+            fallback_reasons: Dict[str, str] = {}
+            previous_capture = self.engine._capture_votes
+            self.engine._capture_votes = request.explain or previous_capture
+            try:
+                for name in names:
+                    spec = catalog.spec(name)
+                    if spec.is_range and name in self.engine.fitted_parameters():
+                        try:
+                            if neighborhood:
+                                rec = self.engine.recommend_local(
+                                    name, row, neighborhood, exclude=exclude
+                                )
+                            else:
+                                rec = self.engine.recommend_global(
+                                    name, row, exclude=exclude
+                                )
+                            result.add(rec)
+                            continue
+                        except RecommendationError as error:
+                            # fall through to the rule-book
+                            fallback_reasons[name] = f"vote failed: {error}"
+                    elif spec.is_range:
+                        fallback_reasons[name] = "parameter not fitted (cold start)"
                     else:
-                        rec = self.engine.recommend_global(
-                            name, row, exclude=exclude
+                        fallback_reasons[name] = "enumeration parameter (rule-book)"
+                    if self.rulebook is None:
+                        raise RecommendationError(
+                            f"cannot recommend {name}: not fitted and no "
+                            f"rule-book fallback"
                         )
-                    result.add(rec)
-                    continue
-                except RecommendationError:
-                    pass  # fall through to the rule-book
-            if self.rulebook is None:
-                raise RecommendationError(
-                    f"cannot recommend {name}: not fitted and no rule-book fallback"
+                    result.add(
+                        ParameterRecommendation(
+                            parameter=name,
+                            value=self.rulebook.value_for(name, attributes),
+                            support=1.0,
+                            matched=0.0,
+                            confident=False,
+                            scope="rulebook",
+                        )
+                    )
+            finally:
+                self.engine._capture_votes = previous_capture
+            explanation = None
+            if request.explain:
+                explanation = ResultExplanation(
+                    target=request.label(), source="pipeline"
                 )
-            result.add(
-                ParameterRecommendation(
-                    parameter=name,
-                    value=self.rulebook.value_for(name, attributes),
-                    support=1.0,
-                    matched=0.0,
-                    confident=False,
-                    scope="rulebook",
-                )
+                context = tracing.current_context()
+                if context is not None:
+                    explanation.trace_id = context[0]
+                for name, rec in result.recommendations.items():
+                    explanation.parameters[name] = self.engine.explain_parameter(
+                        rec,
+                        row,
+                        neighborhood=neighborhood if request.local else None,
+                        fallback_reason=fallback_reasons.get(name),
+                    )
+            return RecommendResult(
+                request=request,
+                recommendation=result,
+                source="pipeline",
+                duration_s=time.perf_counter() - started,
+                exclude=exclude,
+                explain=explanation,
             )
-        return RecommendResult(
-            request=request,
-            recommendation=result,
-            source="pipeline",
-            duration_s=time.perf_counter() - started,
-            exclude=exclude,
-        )
 
     def recommend(
         self,

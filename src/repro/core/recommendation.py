@@ -18,6 +18,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.netmodel.attributes import CarrierAttributes
 from repro.netmodel.identifiers import CarrierId, ENodeBId
+from repro.obs.provenance import ResultExplanation
 from repro.types import ParameterValue
 
 
@@ -40,6 +41,11 @@ class ParameterRecommendation:
     the winning value's share of the vote, ``matched`` the number of
     carriers that voted.  ``confident`` is True when support reaches the
     engine's threshold (75% in the paper).
+
+    ``votes`` is the full vote distribution (winner first) as
+    ``(value, weight)`` pairs.  It is captured only when the request
+    asked for provenance (``RecommendRequest.explain``); the hot voting
+    path leaves it empty.
     """
 
     parameter: str
@@ -49,6 +55,7 @@ class ParameterRecommendation:
     confident: bool
     scope: str
     dependent_attributes: Tuple[str, ...] = ()
+    votes: Tuple[Tuple[ParameterValue, float], ...] = ()
 
     def __str__(self) -> str:
         marker = "" if self.confident else " (low support)"
@@ -110,6 +117,10 @@ class RecommendRequest:
     ``parameters`` restricts the query (None = the layer's default set);
     ``include_enumerations`` lets layers with a rule-book also fill
     enumeration parameters; ``local=False`` forces network-wide voting.
+    ``explain=True`` asks the serving layer to attach a
+    :class:`~repro.obs.provenance.ResultExplanation` — the chi-square
+    dependencies, vote distribution and serving disposition behind every
+    recommended value — to the result.
     """
 
     attributes: Optional[CarrierAttributes] = None
@@ -120,6 +131,7 @@ class RecommendRequest:
     include_enumerations: bool = True
     local: bool = True
     leave_one_out: bool = False
+    explain: bool = False
 
     def __post_init__(self) -> None:
         if (self.attributes is None) == (self.carrier_id is None):
@@ -167,7 +179,8 @@ class RecommendResult:
     ``source`` names the layer that served the query ("engine",
     "pipeline" or "service"), ``duration_s`` its wall-clock cost, and
     ``exclude`` the leave-one-out key (if any) that was withheld from
-    the electorate.
+    the electorate.  ``explain`` carries the per-parameter provenance
+    records when the request asked for them (None otherwise).
     """
 
     request: RecommendRequest
@@ -175,6 +188,7 @@ class RecommendResult:
     source: str = ""
     duration_s: float = 0.0
     exclude: Optional[Hashable] = None
+    explain: Optional[ResultExplanation] = None
 
     @property
     def parameters(self) -> Tuple[str, ...]:

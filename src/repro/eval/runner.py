@@ -24,6 +24,7 @@ from repro.eval.splits import kfold_indices, uniform_sample_indices
 from repro.learners.base import Learner
 from repro.learners.metrics import accuracy_score
 from repro.netmodel.identifiers import MarketId
+from repro.obs import tracing
 from repro.rng import derive, derive_seed
 from repro.types import ParameterValue
 
@@ -48,18 +49,21 @@ def evaluate_loo_chunk(
     hits = {scope: 0 for scope in scopes}
     mismatches: Dict[str, List[Mismatch]] = {scope: [] for scope in scopes}
     keys = [samples.keys[i] for i in indices]
-    for scope in scopes:
-        recommendations = engine.recommend_for_targets(
-            parameter, keys, local=(scope == "local"), leave_one_out=True
-        )
-        for i, rec in zip(indices, recommendations):
-            truth = samples.labels[i]
-            if rec.value == truth:
-                hits[scope] += 1
-            else:
-                mismatches[scope].append(
-                    (parameter, samples.keys[i], truth, rec.value)
-                )
+    with tracing.span(
+        "eval.loo_chunk", parameter=parameter, targets=len(indices)
+    ):
+        for scope in scopes:
+            recommendations = engine.recommend_for_targets(
+                parameter, keys, local=(scope == "local"), leave_one_out=True
+            )
+            for i, rec in zip(indices, recommendations):
+                truth = samples.labels[i]
+                if rec.value == truth:
+                    hits[scope] += 1
+                else:
+                    mismatches[scope].append(
+                        (parameter, samples.keys[i], truth, rec.value)
+                    )
     return hits, mismatches
 
 
@@ -211,7 +215,20 @@ class EvaluationRunner:
         if jobs != 1 and plan:
             from repro.parallel.evaluate import parallel_loo_accuracy
 
-            return parallel_loo_accuracy(engine, plan, market_id, scopes, jobs)
+            with tracing.span("eval.loo", parameters=len(plan), jobs=jobs):
+                return parallel_loo_accuracy(
+                    engine, plan, market_id, scopes, jobs
+                )
+        with tracing.span("eval.loo", parameters=len(plan), jobs=1):
+            return self._loo_serial(engine, plan, market_id, scopes)
+
+    def _loo_serial(
+        self,
+        engine: AuricEngine,
+        plan: List[Tuple[str, List[int]]],
+        market_id: Optional[MarketId],
+        scopes: Tuple[str, ...],
+    ) -> LocalVsGlobalResult:
         result = LocalVsGlobalResult()
         for parameter, indices in plan:
             samples = self.view.samples(parameter, market_id)

@@ -1,0 +1,97 @@
+"""repro.obs — unified observability for the Auric reproduction.
+
+Three pillars, all zero-cost when disabled:
+
+* :mod:`repro.obs.metrics` — a process-wide metrics registry
+  (counters, gauges, fixed-bucket histograms) with Prometheus-text and
+  JSON exposition,
+* :mod:`repro.obs.tracing` — nested wall-clock spans with context
+  propagation across the :mod:`repro.parallel` process pool,
+* :mod:`repro.obs.provenance` — typed "why this value" records
+  attached to recommendation results and audit history.
+
+Plus :mod:`repro.obs.logs`, a ``key=value`` structured-logging setup
+shared by the CLI and the serving/ops layers.
+"""
+
+from repro.obs.logs import KeyValueFormatter, configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    BucketHistogram,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullInstrument,
+    NullRegistry,
+    counter,
+    disable as disable_metrics,
+    enable as enable_metrics,
+    enabled as metrics_enabled,
+    gauge,
+    get_registry,
+    histogram,
+    set_registry,
+)
+from repro.obs.provenance import (
+    AttributeDependence,
+    ParameterExplanation,
+    ResultExplanation,
+    VoteShare,
+)
+from repro.obs.tracing import (
+    JsonlExporter,
+    RingBufferExporter,
+    Span,
+    Tracer,
+    collect,
+    configure as configure_tracing,
+    current_context,
+    disable as disable_tracing,
+    get_tracer,
+    ingest,
+    span,
+    span_from_context,
+    active as tracing_active,
+)
+
+__all__ = [
+    "AttributeDependence",
+    "BucketHistogram",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlExporter",
+    "KeyValueFormatter",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullInstrument",
+    "NullRegistry",
+    "ParameterExplanation",
+    "ResultExplanation",
+    "RingBufferExporter",
+    "Span",
+    "Tracer",
+    "VoteShare",
+    "collect",
+    "configure_logging",
+    "configure_tracing",
+    "counter",
+    "current_context",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "gauge",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "ingest",
+    "metrics_enabled",
+    "set_registry",
+    "span",
+    "span_from_context",
+    "tracing_active",
+]

@@ -1,0 +1,111 @@
+"""Structured logging: a ``key=value`` formatter and one-call setup.
+
+The repo's layers log through standard :mod:`logging` loggers named
+after their modules (``repro.serve.refresh``, ``repro.ops.smartlaunch``
+...).  :func:`configure_logging` wires the root ``repro`` logger to
+stderr with :class:`KeyValueFormatter`, which renders records as
+
+    ts=2021-08-23T16:04:05 level=info logger=repro.serve.refresh msg="full refit" duration_s=1.93
+
+so operators can grep one line per event without a log-parsing stack.
+The CLI exposes this via ``--log-level`` / ``-v``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from typing import Optional
+
+__all__ = ["KeyValueFormatter", "configure_logging", "get_logger"]
+
+#: Attributes every LogRecord carries; anything else was passed via
+#: ``extra=`` and gets rendered as an additional key=value pair.
+_STANDARD_ATTRS = frozenset(
+    (
+        "name",
+        "msg",
+        "args",
+        "levelname",
+        "levelno",
+        "pathname",
+        "filename",
+        "module",
+        "exc_info",
+        "exc_text",
+        "stack_info",
+        "lineno",
+        "funcName",
+        "created",
+        "msecs",
+        "relativeCreated",
+        "thread",
+        "threadName",
+        "processName",
+        "process",
+        "message",
+        "asctime",
+        "taskName",
+    )
+)
+
+
+def _quote(value: object) -> str:
+    text = str(value)
+    if text == "" or any(ch in text for ch in (" ", '"', "=")):
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Renders records as ``ts=... level=... logger=... msg=... k=v``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        ts = time.strftime(
+            "%Y-%m-%dT%H:%M:%S", time.localtime(record.created)
+        )
+        parts = [
+            f"ts={ts}",
+            f"level={record.levelname.lower()}",
+            f"logger={record.name}",
+            f"msg={_quote(record.getMessage())}",
+        ]
+        for key in sorted(record.__dict__):
+            if key in _STANDARD_ATTRS or key.startswith("_"):
+                continue
+            parts.append(f"{key}={_quote(record.__dict__[key])}")
+        if record.exc_info:
+            parts.append(f"exc={_quote(self.formatException(record.exc_info))}")
+        return " ".join(parts)
+
+
+def configure_logging(
+    level: str = "warning", stream=None, logger_name: str = "repro"
+) -> logging.Logger:
+    """Point the ``repro`` logger hierarchy at a key=value stream handler.
+
+    Idempotent: re-invoking replaces the previously installed handler
+    (so ``-v`` and ``--log-level`` can be applied repeatedly in tests)
+    instead of stacking duplicates.
+    """
+    resolved = logging.getLevelName(level.upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    logger = logging.getLogger(logger_name)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(KeyValueFormatter())
+    handler.set_name("repro-obs-keyvalue")
+    for existing in list(logger.handlers):
+        if existing.get_name() == handler.get_name():
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(resolved)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Fetch a namespaced logger (thin alias kept for discoverability)."""
+    return logging.getLogger(name)

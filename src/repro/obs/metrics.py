@@ -1,0 +1,611 @@
+"""The unified metrics registry: counters, gauges, fixed-bucket histograms.
+
+One registry owns every instrument behind a single lock; instruments are
+created (or fetched, get-or-create) by name through
+:meth:`MetricsRegistry.counter` / :meth:`~MetricsRegistry.gauge` /
+:meth:`~MetricsRegistry.histogram`, optionally with label names.  The
+registry exports itself two ways:
+
+* :meth:`MetricsRegistry.to_prometheus_text` — the Prometheus text
+  exposition format (``# HELP`` / ``# TYPE`` headers, cumulative
+  ``_bucket{le=...}`` series with a ``+Inf`` tail, ``_sum``/``_count``),
+* :meth:`MetricsRegistry.to_dict` / :meth:`MetricsRegistry.from_dict` —
+  a JSON-round-trippable plain-dict form.
+
+Instrumented library code never talks to a registry directly — it goes
+through the module-level :func:`counter` / :func:`gauge` /
+:func:`histogram` helpers, which proxy to the process-global registry.
+That global defaults to :data:`NULL_REGISTRY`, whose instruments are
+shared no-op singletons, so instrumentation is zero-cost until
+:func:`enable` installs a real registry (the ``repro metrics`` CLI
+command, tests, or an embedding service).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "BucketHistogram",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullInstrument",
+    "NullRegistry",
+    "counter",
+    "disable",
+    "enable",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "set_registry",
+]
+
+#: Default histogram buckets (seconds): microseconds for cache hits up
+#: to tens of seconds for full refits.
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def _validate_buckets(buckets: Sequence[float]) -> Tuple[float, ...]:
+    values = tuple(float(b) for b in buckets)
+    if not values:
+        raise ValueError("histogram needs at least one bucket bound")
+    if list(values) != sorted(values) or len(set(values)) != len(values):
+        raise ValueError(
+            "histogram buckets must be strictly increasing, got "
+            f"{list(values)}"
+        )
+    return values
+
+
+class BucketHistogram:
+    """A fixed-bucket cumulative histogram (Prometheus-style ``le``).
+
+    The standalone data core, shared by the registry's
+    :class:`Histogram` instrument and by
+    :class:`repro.serve.metrics.LatencyHistogram` (an alias kept for
+    compatibility).  ``counts[i]`` is the number of observations that
+    landed in bucket ``i`` (non-cumulative); the last slot is the
+    ``+Inf`` tail.
+    """
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.buckets: Tuple[float, ...] = _validate_buckets(buckets)
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)  # +inf tail
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket that
+        contains the ``q``-th observation (conservative)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, bound in enumerate(self.buckets):
+            seen += self.counts[index]
+            if seen >= target:
+                return bound
+        return float("inf")
+
+    def cumulative_counts(self) -> List[Tuple[str, int]]:
+        """``(le, cumulative count)`` pairs ending at ``+Inf == count``."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            running += bucket_count
+            out.append((_format_number(bound), running))
+        out.append(("+Inf", running + self.counts[-1]))
+        return out
+
+    def as_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "buckets": {
+                **{str(b): c for b, c in zip(self.buckets, self.counts)},
+                "+inf": self.counts[-1],
+            },
+        }
+
+
+def _format_number(value: float) -> str:
+    """Render a sample value the way Prometheus text expects."""
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labelnames: Tuple[str, ...], labelvalues: Tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + pairs + "}"
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Instrument:
+    """One (metric family, label values) series."""
+
+    kind = ""
+
+    def __init__(self, family: "_Family", labelvalues: Tuple[str, ...]):
+        self._family = family
+        self._lock = family._lock
+        self._labelvalues = labelvalues
+
+    @property
+    def name(self) -> str:
+        return self._family.name
+
+    @property
+    def labelvalues(self) -> Tuple[str, ...]:
+        return self._labelvalues
+
+    def labels(self, *values, **kwargs) -> "_Instrument":
+        return self._family.labels(*values, **kwargs)
+
+
+class Counter(_Instrument):
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, family: "_Family", labelvalues: Tuple[str, ...]):
+        super().__init__(family, labelvalues)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, family: "_Family", labelvalues: Tuple[str, ...]):
+        super().__init__(family, labelvalues)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Instrument):
+    """A registered fixed-bucket histogram series."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        family: "_Family",
+        labelvalues: Tuple[str, ...],
+        buckets: Sequence[float],
+    ):
+        super().__init__(family, labelvalues)
+        self._data = BucketHistogram(buckets)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._data.observe(value)
+
+    @property
+    def buckets(self) -> Tuple[float, ...]:
+        return self._data.buckets
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._data.count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._data.total
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._data.mean
+
+    def quantile(self, q: float) -> float:
+        with self._lock:
+            return self._data.quantile(q)
+
+    def as_dict(self) -> Dict:
+        with self._lock:
+            return self._data.as_dict()
+
+
+class _Family:
+    """A named metric family: label names plus its child series."""
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Tuple[str, ...],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ):
+        self._lock = registry._lock
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = labelnames
+        self.buckets = buckets
+        self._children: "Dict[Tuple[str, ...], _Instrument]" = {}
+
+    def _make_child(self, labelvalues: Tuple[str, ...]) -> _Instrument:
+        if self.kind == "counter":
+            return Counter(self, labelvalues)
+        if self.kind == "gauge":
+            return Gauge(self, labelvalues)
+        return Histogram(self, labelvalues, self.buckets or DEFAULT_BUCKETS)
+
+    def labels(self, *values, **kwargs) -> _Instrument:
+        """The child series for one label-value combination."""
+        if kwargs:
+            if values:
+                raise ValueError("pass label values positionally or by name")
+            try:
+                values = tuple(str(kwargs[name]) for name in self.labelnames)
+            except KeyError as exc:
+                raise ValueError(
+                    f"metric {self.name} needs labels {self.labelnames}"
+                ) from exc
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes {len(self.labelnames)} label "
+                f"values {self.labelnames}, got {len(values)}"
+            )
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._make_child(values)
+                self._children[values] = child
+            return child
+
+    def children(self) -> List[_Instrument]:
+        with self._lock:
+            return [self._children[k] for k in sorted(self._children)]
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms behind one lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: "Dict[str, _Family]" = {}
+
+    # -- instrument creation -------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _Family:
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        labelnames = tuple(labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name} already registered as a "
+                        f"{family.kind} with labels {family.labelnames}"
+                    )
+                return family
+            family = _Family(
+                self,
+                name,
+                help_text,
+                kind,
+                labelnames,
+                _validate_buckets(buckets) if buckets is not None else None,
+            )
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ):
+        """Get or create a counter (the unlabeled child when no labels)."""
+        family = self._family(name, help_text, "counter", labelnames)
+        return family if labelnames else family.labels()
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ):
+        family = self._family(name, help_text, "gauge", labelnames)
+        return family if labelnames else family.labels()
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ):
+        family = self._family(name, help_text, "histogram", labelnames, buckets)
+        return family if labelnames else family.labels()
+
+    # -- introspection -------------------------------------------------------
+
+    def families(self) -> List[_Family]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[_Family]:
+        with self._lock:
+            return self._families.get(name)
+
+    # -- exposition ----------------------------------------------------------
+
+    def to_prometheus_text(self) -> str:
+        """The Prometheus text exposition format."""
+        lines: List[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for child in family.children():
+                label_text = _format_labels(family.labelnames, child.labelvalues)
+                if family.kind == "histogram":
+                    data = child._data
+                    with self._lock:
+                        cumulative = data.cumulative_counts()
+                        total, count = data.total, data.count
+                    for le, cum in cumulative:
+                        bucket_labels = _format_labels(
+                            family.labelnames + ("le",),
+                            child.labelvalues + (le,),
+                        )
+                        lines.append(
+                            f"{family.name}_bucket{bucket_labels} {cum}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{label_text} {_format_number(total)}"
+                    )
+                    lines.append(f"{family.name}_count{label_text} {count}")
+                else:
+                    lines.append(
+                        f"{family.name}{label_text} "
+                        f"{_format_number(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> Dict:
+        """A JSON-serializable dump (round-trips via :meth:`from_dict`)."""
+        out: Dict = {}
+        for family in self.families():
+            series = []
+            for child in family.children():
+                labels = dict(zip(family.labelnames, child.labelvalues))
+                if family.kind == "histogram":
+                    with self._lock:
+                        series.append(
+                            {
+                                "labels": labels,
+                                "count": child._data.count,
+                                "sum": child._data.total,
+                                "counts": list(child._data.counts),
+                            }
+                        )
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            entry: Dict = {
+                "type": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "series": series,
+            }
+            if family.kind == "histogram":
+                entry["buckets"] = list(family.buckets or DEFAULT_BUCKETS)
+            out[family.name] = entry
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output."""
+        registry = cls()
+        for name in sorted(payload):
+            entry = payload[name]
+            kind = entry["type"]
+            labelnames = tuple(entry.get("labelnames", ()))
+            if kind == "histogram":
+                family = registry._family(
+                    name, entry.get("help", ""), kind, labelnames,
+                    entry.get("buckets", DEFAULT_BUCKETS),
+                )
+            else:
+                family = registry._family(
+                    name, entry.get("help", ""), kind, labelnames
+                )
+            for series in entry.get("series", ()):
+                labels = series.get("labels", {})
+                values = tuple(str(labels[n]) for n in labelnames)
+                child = family.labels(*values) if labelnames else family.labels()
+                if kind == "histogram":
+                    child._data.count = int(series["count"])
+                    child._data.total = float(series["sum"])
+                    child._data.counts = [int(c) for c in series["counts"]]
+                else:
+                    child._value = float(series["value"])
+        return registry
+
+
+class NullInstrument:
+    """A shared no-op stand-in for every instrument type."""
+
+    __slots__ = ()
+    kind = "null"
+    name = ""
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def labels(self, *values, **kwargs) -> "NullInstrument":
+        return self
+
+    def as_dict(self) -> Dict:
+        return {}
+
+
+_NULL_INSTRUMENT = NullInstrument()
+
+
+class NullRegistry:
+    """The disabled registry: every instrument is the shared no-op."""
+
+    def counter(self, name, help_text="", labelnames=()):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, help_text="", labelnames=()):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, help_text="", buckets=DEFAULT_BUCKETS, labelnames=()):
+        return _NULL_INSTRUMENT
+
+    def families(self) -> List:
+        return []
+
+    def get(self, name: str) -> None:
+        return None
+
+    def to_prometheus_text(self) -> str:
+        return ""
+
+    def to_dict(self) -> Dict:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()
+
+#: The process-global registry instrumented code records into.
+_REGISTRY = NULL_REGISTRY
+
+
+def get_registry():
+    """The current process-global registry (null when disabled)."""
+    return _REGISTRY
+
+
+def set_registry(registry) -> None:
+    """Install a registry (or :data:`NULL_REGISTRY`) as the global."""
+    global _REGISTRY
+    _REGISTRY = registry
+
+
+def enable() -> MetricsRegistry:
+    """Install (or return the already-installed) real global registry."""
+    global _REGISTRY
+    if not isinstance(_REGISTRY, MetricsRegistry):
+        _REGISTRY = MetricsRegistry()
+    return _REGISTRY
+
+
+def disable() -> None:
+    """Return the global registry to the zero-cost null implementation."""
+    global _REGISTRY
+    _REGISTRY = NULL_REGISTRY
+
+
+def enabled() -> bool:
+    return isinstance(_REGISTRY, MetricsRegistry)
+
+
+def counter(name: str, help_text: str = "", labelnames: Sequence[str] = ()):
+    """A counter on the global registry (no-op while disabled)."""
+    return _REGISTRY.counter(name, help_text, labelnames)
+
+
+def gauge(name: str, help_text: str = "", labelnames: Sequence[str] = ()):
+    """A gauge on the global registry (no-op while disabled)."""
+    return _REGISTRY.gauge(name, help_text, labelnames)
+
+
+def histogram(
+    name: str,
+    help_text: str = "",
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+    labelnames: Sequence[str] = (),
+):
+    """A histogram on the global registry (no-op while disabled)."""
+    return _REGISTRY.histogram(name, help_text, buckets, labelnames)

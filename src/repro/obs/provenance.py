@@ -1,0 +1,228 @@
+"""Recommendation provenance: *why* a value was recommended.
+
+Section 5 of the paper ("Lessons learned") reports that engineers act
+on recommendations only when they can check the evidence — which
+attributes the chi-square tests selected, how strong the vote was.
+This module defines the typed provenance records every recommendation
+entry point can attach to its :class:`~repro.core.recommendation.
+RecommendResult` when the request sets ``explain=True``:
+
+* :class:`AttributeDependence` — one chi-square-selected attribute with
+  its test statistic, achieved p-value and Cramér's V,
+* :class:`ParameterExplanation` — one parameter's full story: the
+  dependent attributes, the target's values on them, the vote
+  distribution with support and matched-carrier count, the serving
+  disposition (cache hit/miss, cold-start fallback reason),
+* :class:`ResultExplanation` — the per-request envelope.
+
+All records are plain dataclasses with ``to_dict``/``from_dict`` (JSON
+audit trails: the push controller's ChangeLog, SmartLaunch launch
+records) and ``lines()`` human renderings (the ``repro explain`` CLI).
+This module deliberately imports nothing from the engine layers so the
+core, serving and ops layers can all depend on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class AttributeDependence:
+    """One dependent attribute selected by the chi-square tests."""
+
+    name: str
+    column: int
+    statistic: float
+    dof: int
+    #: Achieved p-value of the test (survival of the chi-square CDF at
+    #: the statistic) — not the selection threshold.
+    p_value: float
+    #: The significance threshold the selection ran at (0.01 paper).
+    significance: float
+    cramers_v: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "column": self.column,
+            "statistic": self.statistic,
+            "dof": self.dof,
+            "p_value": self.p_value,
+            "significance": self.significance,
+            "cramers_v": self.cramers_v,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AttributeDependence":
+        return cls(
+            name=payload["name"],
+            column=int(payload["column"]),
+            statistic=float(payload["statistic"]),
+            dof=int(payload["dof"]),
+            p_value=float(payload["p_value"]),
+            significance=float(payload["significance"]),
+            cramers_v=float(payload["cramers_v"]),
+        )
+
+
+@dataclass(frozen=True)
+class VoteShare:
+    """One value's slice of the electorate."""
+
+    value: Any
+    weight: float
+    share: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"value": self.value, "weight": self.weight, "share": self.share}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "VoteShare":
+        return cls(
+            value=payload["value"],
+            weight=float(payload["weight"]),
+            share=float(payload["share"]),
+        )
+
+
+@dataclass(frozen=True)
+class ParameterExplanation:
+    """The full evidence behind one parameter recommendation."""
+
+    parameter: str
+    value: Any
+    support: float
+    matched: float
+    confident: bool
+    scope: str
+    #: Chi-square-selected attributes, strongest dependency first.
+    dependencies: Tuple[AttributeDependence, ...] = ()
+    #: The target's values on the dependent attributes.
+    attribute_values: Tuple[Tuple[str, Any], ...] = ()
+    #: The vote distribution (winner first), when captured.
+    votes: Tuple[VoteShare, ...] = ()
+    #: Local voters available to the request (None = global vote).
+    neighborhood_size: Optional[int] = None
+    #: Serving-cache disposition: "hit", "miss" or None (no cache layer).
+    cache: Optional[str] = None
+    #: Why the vote fell back (cold start / unfitted), when it did.
+    fallback_reason: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "parameter": self.parameter,
+            "value": self.value,
+            "support": self.support,
+            "matched": self.matched,
+            "confident": self.confident,
+            "scope": self.scope,
+            "dependencies": [d.to_dict() for d in self.dependencies],
+            "attribute_values": [list(pair) for pair in self.attribute_values],
+            "votes": [v.to_dict() for v in self.votes],
+            "neighborhood_size": self.neighborhood_size,
+            "cache": self.cache,
+            "fallback_reason": self.fallback_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ParameterExplanation":
+        return cls(
+            parameter=payload["parameter"],
+            value=payload["value"],
+            support=float(payload["support"]),
+            matched=float(payload["matched"]),
+            confident=bool(payload["confident"]),
+            scope=payload["scope"],
+            dependencies=tuple(
+                AttributeDependence.from_dict(d)
+                for d in payload.get("dependencies", ())
+            ),
+            attribute_values=tuple(
+                (name, value)
+                for name, value in payload.get("attribute_values", ())
+            ),
+            votes=tuple(
+                VoteShare.from_dict(v) for v in payload.get("votes", ())
+            ),
+            neighborhood_size=payload.get("neighborhood_size"),
+            cache=payload.get("cache"),
+            fallback_reason=payload.get("fallback_reason"),
+        )
+
+    def lines(self) -> List[str]:
+        """Human rendering, one parameter block."""
+        marker = "confident" if self.confident else "below threshold"
+        out = [
+            f"{self.parameter} = {self.value!r} "
+            f"[{self.scope}, {self.support:.0%} support of "
+            f"{self.matched:g} matching carriers, {marker}]"
+        ]
+        if self.dependencies:
+            out.append("  depends on (chi-square):")
+            values = dict(self.attribute_values)
+            for dep in self.dependencies:
+                shown = values.get(dep.name, "?")
+                out.append(
+                    f"    {dep.name}={shown} "
+                    f"(statistic={dep.statistic:.1f}, p={dep.p_value:.3g}, "
+                    f"V={dep.cramers_v:.2f})"
+                )
+        elif self.scope != "rulebook":
+            out.append("  depends on: (no dependent attributes found)")
+        if self.votes:
+            rendered = ", ".join(
+                f"{v.value!r}: {v.weight:g} ({v.share:.0%})"
+                for v in self.votes
+            )
+            out.append(f"  votes: {rendered}")
+        if self.neighborhood_size is not None:
+            out.append(f"  local voters available: {self.neighborhood_size}")
+        if self.cache is not None:
+            out.append(f"  cache: {self.cache}")
+        if self.fallback_reason is not None:
+            out.append(f"  fallback: {self.fallback_reason}")
+        return out
+
+
+@dataclass
+class ResultExplanation:
+    """Provenance for one full recommendation result."""
+
+    target: str
+    source: str
+    parameters: Dict[str, ParameterExplanation] = field(default_factory=dict)
+    trace_id: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "source": self.source,
+            "trace_id": self.trace_id,
+            "parameters": {
+                name: explanation.to_dict()
+                for name, explanation in sorted(self.parameters.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ResultExplanation":
+        return cls(
+            target=payload["target"],
+            source=payload["source"],
+            trace_id=payload.get("trace_id"),
+            parameters={
+                name: ParameterExplanation.from_dict(entry)
+                for name, entry in payload.get("parameters", {}).items()
+            },
+        )
+
+    def lines(self) -> List[str]:
+        out = [f"explanation for {self.target} (source={self.source}):"]
+        for _, explanation in sorted(self.parameters.items()):
+            out.extend("  " + line for line in explanation.lines())
+        return out
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines())

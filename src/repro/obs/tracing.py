@@ -1,0 +1,352 @@
+"""Lightweight tracing: nested wall-clock spans with exporters.
+
+A span records one timed operation — ``span("engine.fit")``,
+``span("service.handle")`` — with a name, attributes, and its position
+in the trace tree (``trace_id`` / ``span_id`` / ``parent_id``).  The
+current span is tracked in a :mod:`contextvars` variable, so nesting
+works across threads and ``async`` alike, and finished spans flow to
+exporters:
+
+* :class:`RingBufferExporter` — the last N spans in memory (tests,
+  the CLI, embedded debugging),
+* :class:`JsonlExporter` — one JSON object per line, append-only
+  (the CLI's ``--trace <path>``).
+
+**Process-pool propagation.**  The master captures its current context
+with :func:`current_context` and ships it to workers alongside the
+task; a worker runs its work under :func:`collect` (a buffering tracer)
+rooted at :func:`span_from_context`, and returns the finished spans
+with the result.  The master feeds them back through :func:`ingest`, so
+worker spans land in the master's exporters re-parented under the span
+that dispatched them — one coherent trace across processes (see
+:func:`repro.parallel.pool.run_tasks`).
+
+Tracing is **zero-cost when disabled**: with no tracer configured,
+:func:`span` returns a shared no-op context manager and records
+nothing.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "JsonlExporter",
+    "RingBufferExporter",
+    "Span",
+    "Tracer",
+    "active",
+    "collect",
+    "configure",
+    "current_context",
+    "disable",
+    "get_tracer",
+    "ingest",
+    "span",
+    "span_from_context",
+]
+
+#: (trace_id, span_id) of the span currently executing in this context.
+_CURRENT: "contextvars.ContextVar[Optional[Tuple[str, str]]]" = (
+    contextvars.ContextVar("repro_obs_current_span", default=None)
+)
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One finished (or in-flight) timed operation."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_time",
+        "duration_s",
+        "attributes",
+        "pid",
+        "status",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        attributes: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_time = time.time()
+        self.duration_s = 0.0
+        self.attributes = attributes or {}
+        self.pid = os.getpid()
+        self.status = "ok"
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span."""
+        self.attributes[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "duration_s": self.duration_s,
+            "attributes": self.attributes,
+            "pid": self.pid,
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        out = cls(
+            payload["name"],
+            payload["trace_id"],
+            payload["span_id"],
+            payload.get("parent_id"),
+            dict(payload.get("attributes", {})),
+        )
+        out.start_time = float(payload.get("start_time", 0.0))
+        out.duration_s = float(payload.get("duration_s", 0.0))
+        out.pid = int(payload.get("pid", 0))
+        out.status = payload.get("status", "ok")
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, {self.duration_s * 1e3:.3f}ms)"
+        )
+
+
+class RingBufferExporter:
+    """Keeps the most recent ``capacity`` finished spans in memory."""
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be positive")
+        self._lock = threading.Lock()
+        self._spans: "deque[Span]" = deque(maxlen=capacity)
+
+    def export(self, span_obj: Span) -> None:
+        with self._lock:
+            self._spans.append(span_obj)
+
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> List[Span]:
+        with self._lock:
+            out = list(self._spans)
+            self._spans.clear()
+            return out
+
+
+class JsonlExporter:
+    """Appends one JSON object per finished span to a file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = open(path, "a")
+
+    def export(self, span_obj: Span) -> None:
+        line = json.dumps(span_obj.to_dict(), default=str)
+        with self._lock:
+            if self._handle.closed:  # pragma: no cover - post-close export
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+class _ListExporter:
+    """Collects spans into a plain list (the worker-side collector)."""
+
+    def __init__(self):
+        self.spans: List[Span] = []
+
+    def export(self, span_obj: Span) -> None:
+        self.spans.append(span_obj)
+
+
+class Tracer:
+    """Creates spans and fans finished ones out to exporters."""
+
+    def __init__(self, exporters: Sequence = ()):
+        self.exporters = list(exporters)
+
+    def start(
+        self,
+        name: str,
+        attributes: Optional[Dict[str, Any]] = None,
+        parent: Optional[Tuple[str, str]] = None,
+    ) -> "_SpanHandle":
+        if parent is None:
+            parent = _CURRENT.get()
+        if parent is None:
+            trace_id, parent_id = _new_id(), None
+        else:
+            trace_id, parent_id = parent
+        span_obj = Span(name, trace_id, _new_id(), parent_id, attributes)
+        return _SpanHandle(self, span_obj)
+
+    def finish(self, span_obj: Span) -> None:
+        for exporter in self.exporters:
+            exporter.export(span_obj)
+
+
+class _SpanHandle:
+    """Context manager wrapping one in-flight span."""
+
+    __slots__ = ("_tracer", "span", "_token", "_started")
+
+    def __init__(self, tracer: Tracer, span_obj: Span):
+        self._tracer = tracer
+        self.span = span_obj
+        self._token = None
+        self._started = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        self.span.set(key, value)
+
+    def __enter__(self) -> "_SpanHandle":
+        self._token = _CURRENT.set((self.span.trace_id, self.span.span_id))
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.span.duration_s = time.perf_counter() - self._started
+        if exc_type is not None:
+            self.span.status = f"error:{exc_type.__name__}"
+        _CURRENT.reset(self._token)
+        self._tracer.finish(self.span)
+
+
+class _NullSpanHandle:
+    """The shared no-op handle returned while tracing is disabled."""
+
+    __slots__ = ()
+    span = None
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+#: The process-global tracer; ``None`` means tracing is disabled.
+_TRACER: Optional[Tracer] = None
+
+
+def configure(exporters: Sequence) -> Tracer:
+    """Install a tracer with the given exporters as the global."""
+    global _TRACER
+    _TRACER = Tracer(exporters)
+    return _TRACER
+
+
+def disable() -> None:
+    global _TRACER
+    _TRACER = None
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _TRACER
+
+
+def active() -> bool:
+    return _TRACER is not None
+
+
+def span(name: str, **attributes):
+    """Open a span under the current context (no-op while disabled)."""
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.start(name, attributes or None)
+
+
+def current_context() -> Optional[Tuple[str, str]]:
+    """``(trace_id, span_id)`` of the current span, for propagation."""
+    return _CURRENT.get()
+
+
+def span_from_context(
+    context: Optional[Tuple[str, str]], name: str, **attributes
+):
+    """Open a span parented at an explicitly propagated context.
+
+    Used on the far side of a process boundary: the master's
+    :func:`current_context` travels with the task, and the worker's
+    spans nest under it even though the worker has no local parent.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    parent = tuple(context) if context is not None else None
+    return tracer.start(name, attributes or None, parent=parent)
+
+
+class collect:
+    """Context manager: buffer this context's spans into a list.
+
+    Temporarily replaces the global tracer with a collecting one;
+    ``as`` yields the list finished spans accumulate into.  Used by
+    pool workers to hand their spans back to the master.
+    """
+
+    def __init__(self):
+        self._exporter = _ListExporter()
+        self._previous: Optional[Tracer] = None
+
+    def __enter__(self) -> List[Span]:
+        global _TRACER
+        self._previous = _TRACER
+        _TRACER = Tracer([self._exporter])
+        return self._exporter.spans
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _TRACER
+        _TRACER = self._previous
+
+
+def ingest(spans: Iterable) -> int:
+    """Feed spans (objects or dicts) through the global tracer's
+    exporters — the master-side merge of worker span batches."""
+    tracer = _TRACER
+    if tracer is None:
+        return 0
+    merged = 0
+    for item in spans:
+        span_obj = item if isinstance(item, Span) else Span.from_dict(item)
+        tracer.finish(span_obj)
+        merged += 1
+    return merged

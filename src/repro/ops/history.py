@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.netmodel.identifiers import CarrierId
 from repro.types import ParameterValue
@@ -41,6 +41,11 @@ class ChangeRecord:
     new_value: ParameterValue
     source: ChangeSource
     batch_id: Optional[str] = None
+    #: Optional recommendation provenance (the JSON form of a
+    #: :class:`repro.obs.provenance.ParameterExplanation`): *why* the
+    #: pushed value was recommended.  Excluded from equality so audits
+    #: with and without provenance compare on the change itself.
+    provenance: Optional[Dict] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return (
@@ -65,6 +70,7 @@ class ChangeLog:
         new_value: ParameterValue,
         source: ChangeSource,
         batch_id: Optional[str] = None,
+        provenance: Optional[Dict] = None,
     ) -> ChangeRecord:
         entry = ChangeRecord(
             sequence=len(self._records),
@@ -74,6 +80,7 @@ class ChangeLog:
             new_value=new_value,
             source=source,
             batch_id=batch_id,
+            provenance=provenance,
         )
         self._records.append(entry)
         self._by_carrier.setdefault(carrier_id, []).append(entry.sequence)
@@ -86,10 +93,21 @@ class ChangeLog:
         changes: Iterable[tuple],
         source: ChangeSource,
         batch_id: Optional[str] = None,
+        provenance: Optional[Mapping[str, Dict]] = None,
     ) -> List[ChangeRecord]:
-        """Record (parameter, old, new) tuples as one batch."""
+        """Record (parameter, old, new) tuples as one batch.
+
+        ``provenance`` optionally maps parameter names to their
+        recommendation-provenance dicts; parameters without an entry are
+        recorded without provenance.
+        """
         return [
-            self.record(carrier_id, parameter, old, new, source, batch_id)
+            self.record(
+                carrier_id, parameter, old, new, source, batch_id,
+                provenance=(
+                    provenance.get(parameter) if provenance is not None else None
+                ),
+            )
             for parameter, old, new in changes
         ]
 

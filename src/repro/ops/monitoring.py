@@ -18,6 +18,7 @@ from typing import Dict, List, Mapping, Optional
 
 from repro.config.store import ConfigurationStore
 from repro.netmodel.identifiers import CarrierId
+from repro.obs import metrics as obs_metrics
 from repro.rng import derive
 from repro.types import ParameterValue
 
@@ -68,18 +69,29 @@ class KPIMonitor:
         """Draw a KPI report; changed carriers carry the degradation risk."""
         degraded = changed and self._rng.random() < self.degradation_rate
         if degraded:
-            return KPIReport(
+            report = KPIReport(
                 carrier_id=carrier_id,
                 throughput_mbps=float(self._rng.uniform(1.0, 8.0)),
                 drop_rate=float(self._rng.uniform(0.03, 0.10)),
                 admission_rate=float(self._rng.uniform(0.80, 0.94)),
             )
-        return KPIReport(
-            carrier_id=carrier_id,
-            throughput_mbps=float(self._rng.uniform(25.0, 90.0)),
-            drop_rate=float(self._rng.uniform(0.001, 0.01)),
-            admission_rate=float(self._rng.uniform(0.97, 1.0)),
-        )
+        else:
+            report = KPIReport(
+                carrier_id=carrier_id,
+                throughput_mbps=float(self._rng.uniform(25.0, 90.0)),
+                drop_rate=float(self._rng.uniform(0.001, 0.01)),
+                admission_rate=float(self._rng.uniform(0.97, 1.0)),
+            )
+        self._record_observation(report)
+        return report
+
+    @staticmethod
+    def _record_observation(report: KPIReport) -> None:
+        obs_metrics.counter(
+            "repro_kpi_observations_total",
+            "Post-launch KPI observations by health",
+            labelnames=("healthy",),
+        ).labels(str(report.healthy).lower()).inc()
 
     def rollback(self, carrier_id: CarrierId) -> int:
         """Restore the pre-change configuration; returns values restored."""
@@ -96,6 +108,9 @@ class KPIMonitor:
                 )
             self.store.set_singular(carrier_id, name, value)
         self.rollbacks.append(carrier_id)
+        obs_metrics.counter(
+            "repro_rollbacks_total", "Post-launch configuration rollbacks"
+        ).inc()
         return len(snapshot)
 
 

@@ -19,13 +19,25 @@ The two fall-out causes the paper reports are both modelled:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
+import logging
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.pipeline import NewCarrierRequest
 from repro.core.recommendation import CarrierRecommendation, RecommendRequest
 from repro.exceptions import RecommendationError
 from repro.netmodel.identifiers import CarrierId
+from repro.obs import tracing
+from repro.obs.provenance import ResultExplanation
 from repro.ops.controller import ConfigPushController, PushOutcome, PushResult
 from repro.ops.monitoring import KPIMonitor
 from repro.ops.prechecks import run_prechecks
@@ -34,6 +46,8 @@ from repro.types import ParameterValue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.service import RecommendationService
+
+logger = logging.getLogger(__name__)
 
 
 class LaunchOutcome(enum.Enum):
@@ -65,6 +79,10 @@ class SmartLaunchConfig:
     #: controller's push lands.
     premature_unlock_rate: float = 0.10
     seed: int = 314
+    #: Ask the recommendation service for provenance on every resolved
+    #: request; the explanation rides on the launch record and the
+    #: pushed changes' audit-log entries.
+    explain: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.premature_unlock_rate <= 1.0:
@@ -80,6 +98,9 @@ class LaunchRecord:
     changes_recommended: int
     parameters_pushed: int
     push_result: Optional[PushResult] = None
+    #: Recommendation provenance, when the workflow asked for it
+    #: (:attr:`SmartLaunchConfig.explain`).
+    explanation: Optional[ResultExplanation] = None
 
 
 @dataclass
@@ -169,8 +190,21 @@ class SmartLaunch:
         recommendation: Union[CarrierRecommendation, NewCarrierRequest],
         parameters: Optional[Sequence[str]] = None,
     ) -> CarrierRecommendation:
+        return self._resolve(recommendation, parameters)[0]
+
+    def _resolve(
+        self,
+        recommendation: Union[CarrierRecommendation, NewCarrierRequest],
+        parameters: Optional[Sequence[str]] = None,
+    ) -> Tuple[CarrierRecommendation, Optional[ResultExplanation]]:
+        """Resolve a launch entry to (recommendation, explanation).
+
+        Pre-computed recommendations carry no explanation; service
+        resolutions request one when the workflow's ``explain`` knob is
+        on.
+        """
         if isinstance(recommendation, CarrierRecommendation):
-            return recommendation
+            return recommendation, None
         if self.service is None:
             raise RecommendationError(
                 "launch entry is a NewCarrierRequest but SmartLaunch has "
@@ -180,7 +214,10 @@ class SmartLaunch:
             recommendation,
             parameters=tuple(parameters) if parameters is not None else None,
         )
-        return self.service.handle(unified).recommendation
+        if self.config.explain:
+            unified = replace(unified, explain=True)
+        result = self.service.handle(unified)
+        return result.recommendation, result.explain
 
     def launch_request(
         self,
@@ -190,10 +227,9 @@ class SmartLaunch:
         parameters: Optional[Sequence[str]] = None,
     ) -> LaunchRecord:
         """Launch one carrier, recommendations served by the service."""
+        recommendation, explanation = self._resolve(request, parameters)
         return self.launch(
-            carrier_id,
-            vendor_config,
-            self._resolve_recommendation(request, parameters),
+            carrier_id, vendor_config, recommendation, explanation
         )
 
     def launch(
@@ -201,13 +237,40 @@ class SmartLaunch:
         carrier_id: CarrierId,
         vendor_config: Dict[str, ParameterValue],
         recommendation: CarrierRecommendation,
+        explanation: Optional[ResultExplanation] = None,
     ) -> LaunchRecord:
         """Run the full workflow for one new carrier.
 
         ``vendor_config`` is the initial configuration the integration
         vendor set; the controller pushes only Auric's confident
-        mismatches against it.
+        mismatches against it.  ``explanation`` (when the resolution
+        produced one) rides on the launch record and is audited with
+        the pushed changes.
         """
+        with tracing.span("ops.launch", carrier=str(carrier_id)) as sp:
+            record = self._launch(
+                carrier_id, vendor_config, recommendation, explanation
+            )
+            record.explanation = explanation
+            sp.set("outcome", record.outcome.value)
+            logger.info(
+                "carrier launch finished",
+                extra={
+                    "carrier": str(carrier_id),
+                    "outcome": record.outcome.value,
+                    "changes_recommended": record.changes_recommended,
+                    "parameters_pushed": record.parameters_pushed,
+                },
+            )
+            return record
+
+    def _launch(
+        self,
+        carrier_id: CarrierId,
+        vendor_config: Dict[str, ParameterValue],
+        recommendation: CarrierRecommendation,
+        explanation: Optional[ResultExplanation] = None,
+    ) -> LaunchRecord:
         ems = self.controller.ems
         network = ems.network
         ems.lock_carrier(carrier_id)  # new carriers arrive locked
@@ -229,7 +292,9 @@ class SmartLaunch:
             ems.unlock_carrier(carrier_id)
 
         self.monitor.snapshot(carrier_id)
-        push = self.controller.push(carrier_id, vendor_config, recommendation)
+        push = self.controller.push(
+            carrier_id, vendor_config, recommendation, provenance=explanation
+        )
         ems.unlock_carrier(carrier_id)
 
         if push.outcome is PushOutcome.SKIPPED_UNLOCKED:
@@ -281,11 +346,8 @@ class SmartLaunch:
         """
         stats = LaunchStats()
         for carrier_id, vendor_config, recommendation in launches:
+            resolved, explanation = self._resolve(recommendation)
             stats.add(
-                self.launch(
-                    carrier_id,
-                    vendor_config,
-                    self._resolve_recommendation(recommendation),
-                )
+                self.launch(carrier_id, vendor_config, resolved, explanation)
             )
         return stats

@@ -25,7 +25,9 @@ import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.obs import tracing
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -60,6 +62,27 @@ def _init_worker(payload_bytes: Optional[bytes] = None) -> None:
     global _PAYLOAD
     if payload_bytes is not None:
         _PAYLOAD = pickle.loads(payload_bytes)
+
+
+def _run_traced(
+    wrapped: Tuple[Optional[Tuple[str, str]], Callable[[T], R], T]
+) -> Tuple[R, List[dict]]:
+    """Worker-side shim: run one task under a span collector.
+
+    The master ships its ``(trace_id, span_id)`` context with the task;
+    the worker buffers every span it creates (re-rooted at that context
+    via :func:`repro.obs.tracing.span_from_context`) and returns them as
+    dicts alongside the result, for the master to
+    :func:`~repro.obs.tracing.ingest` on the ordered merge.  Buffering
+    also shields fork-inherited exporters (e.g. an open trace file)
+    from duplicate worker-side writes.
+    """
+    context, fn, task = wrapped
+    name = getattr(fn, "__name__", "task")
+    with tracing.collect() as collected:
+        with tracing.span_from_context(context, f"pool.task:{name}"):
+            result = fn(task)
+    return result, [span_obj.to_dict() for span_obj in collected]
 
 
 def _run_serial(
@@ -107,32 +130,53 @@ def run_tasks(
     jobs = resolve_jobs(jobs)
     tasks = list(tasks)
     if jobs == 1 or len(tasks) <= 1:
-        return _run_serial(payload, fn, tasks)
+        # Serial tasks run in-process, so their spans nest naturally
+        # under the caller's current span — no propagation needed.
+        with tracing.span("pool.run", mode="serial", tasks=len(tasks)):
+            return _run_serial(payload, fn, tasks)
 
     global _PAYLOAD
     previous = _PAYLOAD
     _PAYLOAD = payload
     try:
-        try:
-            executor = _make_executor(min(jobs, len(tasks)))
-        except (OSError, ValueError, PermissionError) as exc:
-            warnings.warn(
-                f"process pool unavailable ({exc}); running serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return [fn(task) for task in tasks]
-        try:
-            futures = [executor.submit(fn, task) for task in tasks]
-            return [future.result() for future in futures]
-        except (BrokenProcessPool, OSError) as exc:
-            warnings.warn(
-                f"process pool failed ({exc}); re-running serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return [fn(task) for task in tasks]
-        finally:
-            executor.shutdown(wait=True)
+        with tracing.span(
+            "pool.run", mode="pool", tasks=len(tasks), jobs=jobs
+        ):
+            try:
+                executor = _make_executor(min(jobs, len(tasks)))
+            except (OSError, ValueError, PermissionError) as exc:
+                warnings.warn(
+                    f"process pool unavailable ({exc}); running serially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return [fn(task) for task in tasks]
+            try:
+                if tracing.active():
+                    # Ship the master's span context with each task;
+                    # workers return their spans with the result and the
+                    # ordered merge re-parents them into this trace.
+                    context = tracing.current_context()
+                    futures = [
+                        executor.submit(_run_traced, (context, fn, task))
+                        for task in tasks
+                    ]
+                    results: List[R] = []
+                    for future in futures:
+                        result, worker_spans = future.result()
+                        tracing.ingest(worker_spans)
+                        results.append(result)
+                    return results
+                futures = [executor.submit(fn, task) for task in tasks]
+                return [future.result() for future in futures]
+            except (BrokenProcessPool, OSError) as exc:
+                warnings.warn(
+                    f"process pool failed ({exc}); re-running serially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return [fn(task) for task in tasks]
+            finally:
+                executor.shutdown(wait=True)
     finally:
         _PAYLOAD = previous

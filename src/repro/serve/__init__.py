@@ -12,8 +12,9 @@ to the rule-book, and incremental refresh as the network grows.
   invalidation.
 * :mod:`repro.serve.refresh` — incremental electorate updates and
   full refits with stale-but-available swapping.
-* :mod:`repro.serve.metrics` — counters and latency histograms
-  exported as plain dicts.
+* :mod:`repro.serve.metrics` — the service-facing facade over the
+  unified :mod:`repro.obs` metrics registry: the historical plain-dict
+  export plus Prometheus text exposition.
 """
 
 from repro.serve.artifacts import (
@@ -25,7 +26,12 @@ from repro.serve.artifacts import (
     load_engine,
     save_engine,
 )
-from repro.serve.metrics import LatencyHistogram, ServiceMetrics
+from repro.serve.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_REFRESH_BUCKETS,
+    LatencyHistogram,
+    ServiceMetrics,
+)
 from repro.serve.refresh import (
     EngineRefresher,
     GrowthReplay,
@@ -49,6 +55,8 @@ __all__ = [
     "engine_to_dict",
     "load_engine",
     "save_engine",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_REFRESH_BUCKETS",
     "LatencyHistogram",
     "ServiceMetrics",
     "EngineRefresher",

@@ -38,6 +38,7 @@ from repro.dataio.keys import (
 )
 from repro.exceptions import RecommendationError
 from repro.netmodel.network import Network
+from repro.obs.provenance import AttributeDependence
 
 #: Version of the artifact document schema (bump on layout changes).
 ARTIFACT_SCHEMA_VERSION = 1
@@ -74,6 +75,11 @@ def _model_to_dict(model: _ParameterModel) -> Dict:
             _key_to_str(key, pairwise): weight
             for key, weight in model.weights.items()
         },
+        # Chi-square provenance for the selected attributes; additive —
+        # pre-provenance artifacts simply lack the key.
+        "dependent_stats": [
+            stat.to_dict() for stat in model.dependent_stats
+        ],
     }
 
 
@@ -114,6 +120,10 @@ def _model_from_dict(payload: Dict, engine: AuricEngine) -> _ParameterModel:
         samples=samples,
         by_carrier=by_carrier,
         weights=weights,
+        dependent_stats=tuple(
+            AttributeDependence.from_dict(item)
+            for item in payload.get("dependent_stats", ())
+        ),
     )
 
 

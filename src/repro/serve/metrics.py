@@ -1,17 +1,26 @@
-"""Service metrics: counters and latency histograms.
+"""Service metrics: a thin facade over the unified obs registry.
 
 A long-lived recommendation service needs observable behaviour — cache
 effectiveness, how often the rule-book cold-start path fires, how much
 voting evidence backs the answers, how long snapshot refreshes take.
-Everything here is plain Python (no client library): counters and
-fixed-bucket histograms behind one lock, exported as a plain dict so
-tests and the CLI can assert on or print them directly.
+The counters and histograms themselves now live in a
+:class:`repro.obs.metrics.MetricsRegistry` (one per
+:class:`ServiceMetrics` instance, always on, independent of the
+process-global registry); this module keeps the historical recording
+API — ``record_request`` / ``record_cache`` / … — and the exact
+``as_dict()`` / ``summary()`` shapes tests and the CLI rely on, while
+gaining the registry's Prometheus text exposition for free.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    BucketHistogram,
+    MetricsRegistry,
+)
 
 #: Default latency buckets (seconds) — tuned for an in-process service
 #: where a cache hit is microseconds and a cold vote is milliseconds.
@@ -24,108 +33,123 @@ DEFAULT_LATENCY_BUCKETS = (
 DEFAULT_REFRESH_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
 
 
-class LatencyHistogram:
-    """A fixed-bucket cumulative histogram (Prometheus-style ``le``)."""
+class LatencyHistogram(BucketHistogram):
+    """A fixed-bucket cumulative histogram (Prometheus-style ``le``).
 
-    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
-        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
-            raise ValueError("histogram buckets must be strictly increasing")
-        self.buckets: Tuple[float, ...] = tuple(buckets)
-        self.counts: List[int] = [0] * (len(self.buckets) + 1)  # +inf tail
-        self.total = 0.0
-        self.count = 0
+    Kept as a compatibility alias of
+    :class:`repro.obs.metrics.BucketHistogram`; the only difference is
+    the service-tuned default bucket layout.
+    """
 
-    def observe(self, value: float) -> None:
-        self.total += value
-        self.count += 1
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Approximate quantile: the upper bound of the bucket that
-        contains the ``q``-th observation (conservative)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        if self.count == 0:
-            return 0.0
-        target = q * self.count
-        seen = 0
-        for index, bound in enumerate(self.buckets):
-            seen += self.counts[index]
-            if seen >= target:
-                return bound
-        return float("inf")
-
-    def as_dict(self) -> Dict:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "buckets": {
-                **{str(b): c for b, c in zip(self.buckets, self.counts)},
-                "+inf": self.counts[-1],
-            },
-        }
+    def __init__(self, buckets=DEFAULT_LATENCY_BUCKETS):
+        super().__init__(buckets)
 
 
 class ServiceMetrics:
     """Counters + histograms for one :class:`RecommendationService`.
 
     Thread-safe: the service answers requests from many threads, and the
-    refresher records from a background thread.
+    refresher records from a background thread; every instrument sits
+    behind the backing registry's single lock.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.requests = 0
-        self.parameters_served = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.fallbacks = 0
-        self.invalidations = 0
-        self.refreshes = 0
-        self.votes = 0.0
-        self.request_latency = LatencyHistogram()
-        self.refresh_duration = LatencyHistogram(DEFAULT_REFRESH_BUCKETS)
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        #: The backing registry; expose it so embedders can scrape the
+        #: service in Prometheus text form (:meth:`to_prometheus_text`).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._requests = reg.counter(
+            "repro_service_requests_total", "Recommendation requests served"
+        )
+        self._parameters = reg.counter(
+            "repro_service_parameters_served_total",
+            "Parameter recommendations served",
+        )
+        self._cache = reg.counter(
+            "repro_service_cache_lookups_total",
+            "Vote-cache lookups by result",
+            labelnames=("result",),
+        )
+        self._fallbacks = reg.counter(
+            "repro_service_fallbacks_total",
+            "Cold-start rule-book fallbacks served",
+        )
+        self._invalidations = reg.counter(
+            "repro_service_invalidations_total", "Vote-cache invalidations"
+        )
+        self._refreshes = reg.counter(
+            "repro_service_refreshes_total", "Engine snapshot refreshes"
+        )
+        self._votes = reg.counter(
+            "repro_service_votes_total", "Matched-carrier votes counted"
+        )
+        self.request_latency = reg.histogram(
+            "repro_service_request_latency_seconds",
+            "Request latency",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.refresh_duration = reg.histogram(
+            "repro_service_refresh_duration_seconds",
+            "Snapshot refresh duration",
+            buckets=DEFAULT_REFRESH_BUCKETS,
+        )
 
     # -- recording ----------------------------------------------------------
 
     def record_request(self, latency_s: float, parameters: int) -> None:
-        with self._lock:
-            self.requests += 1
-            self.parameters_served += parameters
-            self.request_latency.observe(latency_s)
+        self._requests.inc()
+        self._parameters.inc(parameters)
+        self.request_latency.observe(latency_s)
 
     def record_cache(self, hit: bool) -> None:
-        with self._lock:
-            if hit:
-                self.cache_hits += 1
-            else:
-                self.cache_misses += 1
+        self._cache.labels("hit" if hit else "miss").inc()
 
     def record_votes(self, matched: float) -> None:
-        with self._lock:
-            self.votes += matched
+        self._votes.inc(matched)
 
     def record_fallback(self) -> None:
-        with self._lock:
-            self.fallbacks += 1
+        self._fallbacks.inc()
 
     def record_invalidation(self, entries_dropped: int = 0) -> None:
-        with self._lock:
-            self.invalidations += 1
+        self._invalidations.inc()
 
     def record_refresh(self, duration_s: float) -> None:
-        with self._lock:
-            self.refreshes += 1
-            self.refresh_duration.observe(duration_s)
+        self._refreshes.inc()
+        self.refresh_duration.observe(duration_s)
+
+    # -- counter views ------------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def parameters_served(self) -> int:
+        return int(self._parameters.value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._cache.labels("hit").value)
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._cache.labels("miss").value)
+
+    @property
+    def fallbacks(self) -> int:
+        return int(self._fallbacks.value)
+
+    @property
+    def invalidations(self) -> int:
+        return int(self._invalidations.value)
+
+    @property
+    def refreshes(self) -> int:
+        return int(self._refreshes.value)
+
+    @property
+    def votes(self) -> float:
+        return self._votes.value
 
     # -- derived rates ------------------------------------------------------
 
@@ -141,26 +165,30 @@ class ServiceMetrics:
 
     @property
     def votes_per_request(self) -> float:
-        return self.votes / self.requests if self.requests else 0.0
+        requests = self.requests
+        return self.votes / requests if requests else 0.0
 
     def as_dict(self) -> Dict:
         """A plain-dict export (for tests, the CLI and log lines)."""
-        with self._lock:
-            return {
-                "requests": self.requests,
-                "parameters_served": self.parameters_served,
-                "cache_hits": self.cache_hits,
-                "cache_misses": self.cache_misses,
-                "cache_hit_rate": self.cache_hit_rate,
-                "fallbacks": self.fallbacks,
-                "fallback_rate": self.fallback_rate,
-                "invalidations": self.invalidations,
-                "refreshes": self.refreshes,
-                "votes": self.votes,
-                "votes_per_request": self.votes_per_request,
-                "request_latency": self.request_latency.as_dict(),
-                "refresh_duration": self.refresh_duration.as_dict(),
-            }
+        return {
+            "requests": self.requests,
+            "parameters_served": self.parameters_served,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "fallbacks": self.fallbacks,
+            "fallback_rate": self.fallback_rate,
+            "invalidations": self.invalidations,
+            "refreshes": self.refreshes,
+            "votes": self.votes,
+            "votes_per_request": self.votes_per_request,
+            "request_latency": self.request_latency.as_dict(),
+            "refresh_duration": self.refresh_duration.as_dict(),
+        }
+
+    def to_prometheus_text(self) -> str:
+        """The backing registry in Prometheus text exposition format."""
+        return self.registry.to_prometheus_text()
 
     def summary(self) -> str:
         """A one-paragraph human rendering for the CLI."""

@@ -22,6 +22,7 @@ stream into the serving engine.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Sequence, Set
@@ -30,7 +31,10 @@ from repro.config.store import ConfigurationStore
 from repro.core.auric import AuricEngine
 from repro.datagen.growth import GrowthTimeline
 from repro.netmodel.identifiers import CarrierId
+from repro.obs import tracing
 from repro.serve.service import RecommendationService
+
+logger = logging.getLogger(__name__)
 
 
 def store_subset(
@@ -90,6 +94,20 @@ class EngineRefresher:
         With ``active=None`` every other endpoint is assumed active.
         """
         started = time.perf_counter()
+        with tracing.span(
+            "refresh.incremental", carriers=len(carrier_ids)
+        ):
+            return self._incremental_add(
+                started, carrier_ids, source_store, active
+            )
+
+    def _incremental_add(
+        self,
+        started: float,
+        carrier_ids: Sequence[CarrierId],
+        source_store: Optional[ConfigurationStore],
+        active: Optional[Set[CarrierId]],
+    ) -> RefreshResult:
         engine = self.service.engine
         source = source_store if source_store is not None else engine.store
         new = set(carrier_ids)
@@ -122,6 +140,15 @@ class EngineRefresher:
 
         duration = time.perf_counter() - started
         self.service.metrics.record_refresh(duration)
+        logger.info(
+            "incremental refresh applied",
+            extra={
+                "carriers": len(new),
+                "samples_added": sum(added.values()),
+                "parameters": len(added),
+                "duration_s": round(duration, 6),
+            },
+        )
         return RefreshResult(
             mode="incremental",
             duration_s=duration,
@@ -152,18 +179,29 @@ class EngineRefresher:
         with serving traffic).
         """
         started = time.perf_counter()
-        old = self.service.engine
-        if parameters is None:
-            parameters = old.fitted_parameters()
-        fresh = AuricEngine(old.network, old.store, old.config).fit(
-            parameters, jobs=jobs
-        )
-        generation = self.service.refresh_snapshot(fresh)
-        duration = time.perf_counter() - started
-        self.service.metrics.record_refresh(duration)
-        return RefreshResult(
-            mode="full", duration_s=duration, generation=generation
-        )
+        with tracing.span("refresh.full", jobs=jobs) as sp:
+            old = self.service.engine
+            if parameters is None:
+                parameters = old.fitted_parameters()
+            sp.set("parameters", len(parameters))
+            fresh = AuricEngine(old.network, old.store, old.config).fit(
+                parameters, jobs=jobs
+            )
+            generation = self.service.refresh_snapshot(fresh)
+            duration = time.perf_counter() - started
+            self.service.metrics.record_refresh(duration)
+            logger.info(
+                "full refit swapped in",
+                extra={
+                    "parameters": len(parameters),
+                    "generation": generation,
+                    "jobs": jobs,
+                    "duration_s": round(duration, 6),
+                },
+            )
+            return RefreshResult(
+                mode="full", duration_s=duration, generation=generation
+            )
 
 
 class GrowthReplay:

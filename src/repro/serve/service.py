@@ -48,6 +48,8 @@ from repro.dataio.keys import carrier_key_from_str
 from repro.exceptions import RecommendationError, UnknownParameterError
 from repro.netmodel.attributes import CarrierAttributes
 from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.obs import tracing
+from repro.obs.provenance import ResultExplanation
 from repro.serve.metrics import ServiceMetrics
 
 #: Default number of cached (parameter, cell, scope) votes.
@@ -185,33 +187,56 @@ class RecommendationService:
         traffic never pollutes launch-serving entries.
         """
         started = time.perf_counter()
-        with self._lock:
-            engine = self._engine
-            catalog = engine.catalog
-            names = self._parameter_names(
-                catalog, request.parameters, request.include_enumerations
-            )
-            attributes, row, neighborhood, exclude = engine.resolve_request(
-                request
-            )
-            scope_key = frozenset(neighborhood) if neighborhood else None
-            result = CarrierRecommendation(target=request.label())
-            for name in names:
-                result.add(
-                    self._recommend_parameter(
-                        engine, name, attributes, row, neighborhood,
-                        scope_key, exclude,
-                    )
+        with tracing.span("service.handle", target=request.label()) as sp:
+            explanation = None
+            with self._lock:
+                engine = self._engine
+                catalog = engine.catalog
+                names = self._parameter_names(
+                    catalog, request.parameters, request.include_enumerations
                 )
-        duration = time.perf_counter() - started
-        self.metrics.record_request(duration, len(names))
-        return RecommendResult(
-            request=request,
-            recommendation=result,
-            source="service",
-            duration_s=duration,
-            exclude=exclude,
-        )
+                attributes, row, neighborhood, exclude = engine.resolve_request(
+                    request
+                )
+                scope_key = frozenset(neighborhood) if neighborhood else None
+                result = CarrierRecommendation(target=request.label())
+                dispositions: Dict[str, Tuple[str, Optional[str]]] = {}
+                for name in names:
+                    rec, disposition, fallback_reason = self._recommend_parameter(
+                        engine, name, attributes, row, neighborhood,
+                        scope_key, exclude, explain=request.explain,
+                    )
+                    result.add(rec)
+                    dispositions[name] = (disposition, fallback_reason)
+                if request.explain:
+                    explanation = ResultExplanation(
+                        target=request.label(), source="service"
+                    )
+                    context = tracing.current_context()
+                    if context is not None:
+                        explanation.trace_id = context[0]
+                    for name, rec in result.recommendations.items():
+                        cache_state, fallback_reason = dispositions[name]
+                        explanation.parameters[name] = engine.explain_parameter(
+                            rec,
+                            row,
+                            neighborhood=(
+                                neighborhood if request.local else None
+                            ),
+                            cache=cache_state,
+                            fallback_reason=fallback_reason,
+                        )
+            duration = time.perf_counter() - started
+            sp.set("parameters", len(names))
+            self.metrics.record_request(duration, len(names))
+            return RecommendResult(
+                request=request,
+                recommendation=result,
+                source="service",
+                duration_s=duration,
+                exclude=exclude,
+                explain=explanation,
+            )
 
     def handle_batch(
         self, requests: Sequence[RecommendRequest]
@@ -322,12 +347,11 @@ class RecommendationService:
                     target=f"{request.label()}->{neighbor_id}"
                 )
                 for name in names:
-                    result.add(
-                        self._recommend_parameter(
-                            engine, name, request.attributes, row,
-                            neighborhood, scope_key, None,
-                        )
+                    rec, _, _ = self._recommend_parameter(
+                        engine, name, request.attributes, row,
+                        neighborhood, scope_key, None,
                     )
+                    result.add(rec)
                     served += 1
                 results[neighbor_id] = result
         self.metrics.record_request(time.perf_counter() - started, served)
@@ -342,7 +366,14 @@ class RecommendationService:
         neighborhood: Set[CarrierId],
         scope_key: Optional[frozenset],
         exclude: Optional[Hashable],
-    ) -> ParameterRecommendation:
+        explain: bool = False,
+    ) -> Tuple[ParameterRecommendation, str, Optional[str]]:
+        """One parameter's recommendation plus its serving disposition.
+
+        Returns ``(recommendation, cache_state, fallback_reason)`` where
+        ``cache_state`` is ``"hit"`` or ``"miss"`` and
+        ``fallback_reason`` is non-None when the rule-book answered.
+        """
         spec = engine.catalog.spec(name)
         fitted = spec.is_range and name in engine._models
         if fitted:
@@ -355,27 +386,46 @@ class RecommendationService:
             # Rule-book lookups depend on the full attribute vector.
             key = (name, row, None, None, self.generation)
         cached = self._cache.get(key)
-        if cached is not None:
-            self.metrics.record_cache(hit=True)
-            return cached
-        self.metrics.record_cache(hit=False)
+        cache_state = "hit" if cached is not None else "miss"
+        self.metrics.record_cache(hit=cached is not None)
+        if cached is not None and not (explain and fitted and not cached.votes):
+            fallback_reason = (
+                None if cached.scope != "rulebook"
+                else "served cached rule-book value"
+            )
+            return cached, cache_state, fallback_reason
+        # Cache miss — or an explain request whose cached entry lacks the
+        # vote distribution: recompute with vote capture on (the reported
+        # cache state stays "hit" so the explanation reflects how plain
+        # serving would have answered).
 
+        fallback_reason: Optional[str] = None
         rec: Optional[ParameterRecommendation] = None
-        if fitted:
-            try:
-                if neighborhood:
-                    rec = engine.recommend_local(
-                        name, row, neighborhood, exclude=exclude
-                    )
-                else:
-                    rec = engine.recommend_global(name, row, exclude=exclude)
-                self.metrics.record_votes(rec.matched)
-            except RecommendationError:
-                rec = None  # fall through to the rule-book
-        if rec is None:
-            rec = self._rulebook_fallback(name, attributes)
+        previous_capture = engine._capture_votes
+        engine._capture_votes = explain or previous_capture
+        try:
+            if fitted:
+                try:
+                    if neighborhood:
+                        rec = engine.recommend_local(
+                            name, row, neighborhood, exclude=exclude
+                        )
+                    else:
+                        rec = engine.recommend_global(name, row, exclude=exclude)
+                    self.metrics.record_votes(rec.matched)
+                except RecommendationError as error:
+                    rec = None  # fall through to the rule-book
+                    fallback_reason = f"vote failed: {error}"
+            elif spec.is_range:
+                fallback_reason = "parameter not fitted (cold start)"
+            else:
+                fallback_reason = "enumeration parameter (rule-book)"
+            if rec is None:
+                rec = self._rulebook_fallback(name, attributes)
+        finally:
+            engine._capture_votes = previous_capture
         self._cache.put(key, rec)
-        return rec
+        return rec, cache_state, fallback_reason
 
     def _rulebook_fallback(self, name: str, attributes) -> ParameterRecommendation:
         if self.rulebook is None:

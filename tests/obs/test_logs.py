@@ -1,0 +1,68 @@
+"""Tests for the key=value structured-logging setup."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logs import KeyValueFormatter, configure_logging, get_logger
+
+
+@pytest.fixture()
+def fresh_logger():
+    logger = logging.getLogger("repro")
+    saved = list(logger.handlers)
+    yield logger
+    logger.handlers = saved
+
+
+class TestConfigureLogging:
+    def test_emits_key_value_lines(self, fresh_logger):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        get_logger("repro.serve.refresh").info(
+            "incremental refresh applied",
+            extra={"carriers": 3, "duration_s": 0.25},
+        )
+        line = stream.getvalue().strip()
+        assert 'msg="incremental refresh applied"' in line
+        assert "level=info" in line
+        assert "carriers=3" in line
+        assert "duration_s=0.25" in line
+        assert "logger=repro.serve.refresh" in line
+
+    def test_reconfiguration_is_idempotent(self, fresh_logger):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        configure_logging("info", stream=stream)
+        keyvalue = [
+            handler
+            for handler in fresh_logger.handlers
+            if handler.name == "repro-obs-keyvalue"
+        ]
+        assert len(keyvalue) == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("chatty")
+
+    def test_level_filters(self, fresh_logger):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        get_logger("repro.x").info("quiet")
+        get_logger("repro.x").warning("loud")
+        output = stream.getvalue()
+        assert "quiet" not in output
+        assert "loud" in output
+
+
+class TestFormatter:
+    def test_quotes_and_escapes(self):
+        formatter = KeyValueFormatter()
+        record = logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1,
+            'say "hi"', (), None,
+        )
+        line = formatter.format(record)
+        assert 'msg="say \\"hi\\""' in line
+        assert line.startswith("ts=")

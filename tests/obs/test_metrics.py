@@ -1,0 +1,205 @@
+"""Tests for the unified metrics registry and its expositions."""
+
+import re
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    BucketHistogram,
+    MetricsRegistry,
+    NullInstrument,
+)
+from repro.serve.metrics import LatencyHistogram, ServiceMetrics
+
+_SAMPLE = re.compile(r"^(\w+)(\{[^}]*\})? (.+)$")
+
+
+def parse_prometheus(text):
+    """(name, labels-text) → float value for every sample line."""
+    samples = {}
+    helps, types = {}, {}
+    for line in text.strip().splitlines():
+        if line.startswith("# HELP "):
+            _, _, name, help_text = line.split(" ", 3)
+            helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            types[name] = kind
+            continue
+        match = _SAMPLE.match(line)
+        assert match is not None, f"unparseable sample line: {line!r}"
+        name, labels, value = match.groups()
+        samples[(name, labels or "")] = float(value)
+    return samples, helps, types
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter_monotonic(self, registry):
+        counter = registry.counter("repro_things_total", "things")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_series(self, registry):
+        first = registry.counter("repro_things_total")
+        second = registry.counter("repro_things_total")
+        first.inc()
+        assert second.value == 1.0
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("repro_things_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_things_total")
+
+    def test_labels(self, registry):
+        family = registry.counter(
+            "repro_pushes_total", "pushes", labelnames=("outcome",)
+        )
+        family.labels("pushed").inc()
+        family.labels(outcome="pushed").inc()
+        family.labels("timeout").inc()
+        assert family.labels("pushed").value == 2.0
+        with pytest.raises(ValueError, match="label"):
+            family.labels("a", "b")
+
+    def test_gauge_moves_both_ways(self, registry):
+        gauge = registry.gauge("repro_depth")
+        gauge.set(5)
+        gauge.dec(2)
+        gauge.inc()
+        assert gauge.value == 4.0
+
+    def test_bucket_validation_message_names_offenders(self):
+        with pytest.raises(ValueError) as excinfo:
+            BucketHistogram(buckets=(0.1, 0.5, 0.5, 1.0))
+        assert "strictly increasing" in str(excinfo.value)
+        assert "[0.1, 0.5, 0.5, 1.0]" in str(excinfo.value)
+
+
+class TestPrometheusText:
+    @pytest.fixture()
+    def text(self, registry):
+        registry.counter("repro_requests_total", "Requests served").inc(7)
+        family = registry.counter(
+            "repro_pushes_total", "Pushes by outcome", labelnames=("outcome",)
+        )
+        family.labels("pushed").inc(3)
+        family.labels("timeout").inc()
+        histogram = registry.histogram(
+            "repro_latency_seconds", "Latency", buckets=(0.001, 0.01, 0.1)
+        )
+        for value in (0.0004, 0.002, 0.05, 3.0):
+            histogram.observe(value)
+        return registry.to_prometheus_text()
+
+    def test_parses_and_has_headers(self, text):
+        samples, helps, types = parse_prometheus(text)
+        assert helps["repro_requests_total"] == "Requests served"
+        assert types["repro_latency_seconds"] == "histogram"
+        assert samples[("repro_requests_total", "")] == 7.0
+        assert samples[("repro_pushes_total", '{outcome="pushed"}')] == 3.0
+
+    def test_bucket_series_is_cumulative_with_inf_tail(self, text):
+        samples, _, _ = parse_prometheus(text)
+        buckets = []
+        for line in text.splitlines():  # exposition order, not sorted
+            match = _SAMPLE.match(line)
+            if match and match.group(1) == "repro_latency_seconds_bucket":
+                buckets.append((match.group(2), float(match.group(3))))
+        values = [value for _, value in buckets]
+        assert values == sorted(values), "bucket counts must be cumulative"
+        assert buckets[-1][0] == '{le="+Inf"}'
+        assert buckets[-1][1] == samples[("repro_latency_seconds_count", "")]
+
+    def test_sum_and_count_consistent(self, text):
+        samples, _, _ = parse_prometheus(text)
+        assert samples[("repro_latency_seconds_count", "")] == 4.0
+        assert samples[("repro_latency_seconds_sum", "")] == pytest.approx(
+            0.0004 + 0.002 + 0.05 + 3.0
+        )
+
+
+class TestJsonRoundTrip:
+    def test_registry_round_trips(self, registry):
+        registry.counter("repro_requests_total", "Requests").inc(5)
+        family = registry.gauge("repro_depth", "Depth", labelnames=("queue",))
+        family.labels("fit").set(2)
+        histogram = registry.histogram(
+            "repro_latency_seconds", "Latency", buckets=(0.01, 0.1)
+        )
+        histogram.observe(0.05)
+
+        payload = registry.to_dict()
+        rebuilt = MetricsRegistry.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+        assert rebuilt.to_prometheus_text() == registry.to_prometheus_text()
+
+
+class TestGlobalRegistry:
+    def test_disabled_by_default_instruments_are_null(self):
+        assert not obs_metrics.enabled()
+        instrument = obs_metrics.counter("repro_things_total")
+        assert isinstance(instrument, NullInstrument)
+        instrument.inc()  # must be a silent no-op
+        assert instrument.labels("x") is instrument
+
+    def test_enable_routes_module_proxies(self):
+        registry = obs_metrics.enable()
+        try:
+            obs_metrics.counter("repro_things_total", "things").inc()
+            family = registry.get("repro_things_total")
+            assert family is not None
+            assert family.labels().value == 1.0
+            assert "repro_things_total 1" in registry.to_prometheus_text()
+        finally:
+            obs_metrics.disable()
+        assert not obs_metrics.enabled()
+
+
+class TestServiceMetricsFacade:
+    def test_as_dict_shape_preserved(self):
+        metrics = ServiceMetrics()
+        metrics.record_request(0.002, parameters=3)
+        metrics.record_cache(hit=True)
+        metrics.record_cache(hit=False)
+        metrics.record_votes(12.0)
+        metrics.record_fallback()
+        metrics.record_refresh(0.5)
+
+        exported = metrics.as_dict()
+        assert exported["requests"] == 1
+        assert exported["parameters_served"] == 3
+        assert exported["cache_hits"] == 1
+        assert exported["cache_misses"] == 1
+        assert exported["cache_hit_rate"] == 0.5
+        assert exported["votes"] == 12.0
+        assert exported["votes_per_request"] == 12.0
+        assert exported["refreshes"] == 1
+        assert exported["request_latency"]["count"] == 1
+        assert exported["refresh_duration"]["count"] == 1
+        assert "requests=1" in metrics.summary()
+
+    def test_backed_by_registry_exposition(self):
+        metrics = ServiceMetrics()
+        metrics.record_request(0.002, parameters=2)
+        samples, _, _ = parse_prometheus(metrics.to_prometheus_text())
+        assert samples[("repro_service_requests_total", "")] == 1.0
+        assert samples[("repro_service_parameters_served_total", "")] == 2.0
+
+    def test_latency_histogram_alias(self):
+        histogram = LatencyHistogram()
+        assert isinstance(histogram, BucketHistogram)
+        histogram.observe(0.0002)
+        histogram.observe(0.002)
+        assert histogram.count == 2
+        assert histogram.quantile(1.0) >= 0.002
+        assert histogram.mean == pytest.approx(0.0011)

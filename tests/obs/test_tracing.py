@@ -1,0 +1,152 @@
+"""Tests for tracing spans, exporters and cross-process propagation."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import JsonlExporter, RingBufferExporter, Span
+from repro.parallel.pool import run_tasks
+
+
+@pytest.fixture()
+def ring():
+    exporter = RingBufferExporter()
+    tracing.configure([exporter])
+    yield exporter
+    tracing.disable()
+
+
+def _traced_double(task):
+    """Pool task: does one unit of traced work (module-level: picklable)."""
+    with tracing.span("work.unit", task=task):
+        return task * 2
+
+
+class TestSpans:
+    def test_disabled_spans_are_free(self):
+        tracing.disable()
+        assert not tracing.active()
+        with tracing.span("anything") as sp:
+            sp.set("ignored", 1)  # the null handle absorbs everything
+        assert tracing.current_context() is None
+
+    def test_nesting_and_parentage(self, ring):
+        with tracing.span("outer") as outer:
+            with tracing.span("inner", detail="x"):
+                pass
+        spans = {span.name: span for span in ring.spans()}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner"].trace_id == spans["outer"].trace_id
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].attributes["detail"] == "x"
+        assert spans["inner"].duration_s >= 0.0
+        del outer
+
+    def test_sibling_roots_get_distinct_traces(self, ring):
+        with tracing.span("first"):
+            pass
+        with tracing.span("second"):
+            pass
+        first, second = ring.spans()
+        assert first.trace_id != second.trace_id
+
+    def test_error_status_recorded(self, ring):
+        with pytest.raises(ValueError):
+            with tracing.span("doomed"):
+                raise ValueError("boom")
+        (span,) = ring.spans()
+        assert span.status == "error:ValueError"
+
+    def test_span_round_trips_through_dict(self, ring):
+        with tracing.span("outer", answer=42):
+            pass
+        (span,) = ring.spans()
+        rebuilt = Span.from_dict(json.loads(json.dumps(span.to_dict())))
+        assert rebuilt.to_dict() == span.to_dict()
+
+
+class TestJsonlExporter:
+    def test_writes_one_json_object_per_span(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        exporter = JsonlExporter(str(path))
+        tracing.configure([exporter])
+        try:
+            with tracing.span("outer"):
+                with tracing.span("inner"):
+                    pass
+        finally:
+            tracing.disable()
+            exporter.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert {entry["name"] for entry in lines} == {"outer", "inner"}
+        by_id = {entry["span_id"]: entry for entry in lines}
+        inner = next(e for e in lines if e["name"] == "inner")
+        assert by_id[inner["parent_id"]]["name"] == "outer"
+
+
+class TestPoolPropagation:
+    def test_worker_spans_reparent_into_master_trace(self, ring):
+        with tracing.span("root"):
+            results = run_tasks(None, _traced_double, [1, 2, 3], jobs=2)
+        assert results == [2, 4, 6]
+
+        spans = ring.spans()
+        by_id = {span.span_id: span for span in spans}
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+
+        root = by_name["root"][0]
+        pool_run = by_name["pool.run"][0]
+        assert pool_run.parent_id == root.span_id
+
+        # Every span — master's and the workers' — lands in one trace.
+        assert {span.trace_id for span in spans} == {root.trace_id}
+
+        tasks = by_name["pool.task:_traced_double"]
+        assert len(tasks) == 3
+        for task_span in tasks:
+            assert task_span.parent_id == pool_run.span_id
+
+        units = by_name["work.unit"]
+        assert len(units) == 3
+        for unit in units:
+            assert by_id[unit.parent_id].name == "pool.task:_traced_double"
+
+        # The pool actually fanned out: some spans came from other pids.
+        worker_pids = {span.pid for span in units}
+        assert worker_pids, "worker spans missing"
+        if pool_run.attributes.get("mode") == "pool":
+            assert any(pid != os.getpid() for pid in worker_pids)
+
+    def test_serial_path_nests_without_propagation(self, ring):
+        with tracing.span("root"):
+            results = run_tasks(None, _traced_double, [5], jobs=1)
+        assert results == [10]
+        spans = {span.name: span for span in ring.spans()}
+        assert spans["pool.run"].attributes["mode"] == "serial"
+        assert spans["work.unit"].parent_id == spans["pool.run"].span_id
+        assert spans["work.unit"].pid == os.getpid()
+
+
+class TestIngest:
+    def test_collect_and_ingest_rebuild_parentage(self, ring):
+        with tracing.span("master") as master:
+            context = tracing.current_context()
+            del master
+        # Simulate the worker side: collect spans under a shipped context.
+        with tracing.collect() as collected:
+            with tracing.span_from_context(context, "remote.unit"):
+                pass
+        assert len(collected) == 1
+        assert not ring.spans() or all(
+            span.name != "remote.unit" for span in ring.spans()
+        ), "collected spans must not leak to the configured exporters"
+        tracing.ingest([span.to_dict() for span in collected])
+        remote = next(
+            span for span in ring.spans() if span.name == "remote.unit"
+        )
+        assert remote.trace_id == context[0]
+        assert remote.parent_id == context[1]

@@ -183,3 +183,62 @@ class TestServeBatch:
         assert code == 2
         assert "different snapshot" in err
         assert "--no-verify-artifact" in err
+
+
+class TestObservabilityCommands:
+    def test_explain_prints_provenance(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        assert "explanation for" in out
+        assert "depends on (chi-square)" in out
+        assert "support" in out
+        assert "pMax" in out and "inactivityTimer" in out
+
+    def test_explain_json(self, capsys):
+        assert main(["explain", "--format", "json",
+                     "--parameters", "pMax"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        explanation = document["explanation"]
+        parameters = explanation["parameters"]
+        assert set(parameters) == {"pMax"}
+        entry = parameters["pMax"]
+        assert 0.0 <= entry["support"] <= 1.0
+        assert entry["votes"], "explain must capture the vote distribution"
+        for dependence in entry["dependencies"]:
+            assert 0.0 <= dependence["p_value"] <= 1.0
+
+    def test_metrics_prometheus_text(self, capsys):
+        assert main(["metrics", "--requests", "4",
+                     "--parameters", "pMax"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_service_requests_total counter" in out
+        assert "repro_service_requests_total 4" in out
+        assert "repro_service_request_latency_seconds_bucket" in out
+        assert 'le="+Inf"' in out
+
+    def test_metrics_json(self, capsys):
+        assert main(["metrics", "--format", "json", "--requests", "2",
+                     "--parameters", "pMax"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        registry = document["registry"]
+        requests = registry["repro_service_requests_total"]
+        assert requests["series"][0]["value"] == 2.0
+
+    def test_trace_flag_writes_nested_spans(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["explain", "--parameters", "pMax",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        spans = [json.loads(line)
+                 for line in trace.read_text().splitlines()]
+        names = {span["name"] for span in spans}
+        assert "service.handle" in names
+        assert "engine.fit" in names
+        by_id = {span["span_id"]: span for span in spans}
+        fit_children = [span for span in spans
+                        if span["name"] == "engine.fit_parameter"]
+        assert fit_children
+        for child in fit_children:
+            assert by_id[child["parent_id"]]["name"] in (
+                "engine.fit", "pool.task:_fit_task"
+            )
