@@ -77,6 +77,12 @@ def _common_options() -> argparse.ArgumentParser:
         help="random seed (default: the library seed)",
     )
     common.add_argument(
+        "--no-columnar", action="store_true",
+        help="pin the engine to the legacy tuple/Counter path instead "
+        "of the columnar fast paths (results are identical either way; "
+        "A/B escape hatch)",
+    )
+    common.add_argument(
         "--format", choices=("table", "json"), default="table",
         help="output format (default: table)",
     )
@@ -212,6 +218,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _engine_config(args):
+    """An :class:`AuricConfig` reflecting --seed / --no-columnar, or
+    ``None`` when every engine option is at its default."""
+    from repro.core.auric import AuricConfig
+
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if getattr(args, "no_columnar", False):
+        kwargs["columnar"] = False
+    return AuricConfig(**kwargs) if kwargs else None
+
+
 def _emit(text: str, args) -> None:
     print(text)
     if args.output:
@@ -277,7 +296,7 @@ def _run_experiment(args) -> int:
 def _run_serve_batch(args) -> int:
     # Imported lazily so `repro list` stays fast.
     from repro.config.rulebook import RuleBook
-    from repro.core.auric import AuricConfig, AuricEngine
+    from repro.core.auric import AuricEngine
     from repro.core.recommendation import RecommendRequest
     from repro.dataio import load_dataset_json
     from repro.serve import (
@@ -326,10 +345,9 @@ def _run_serve_batch(args) -> int:
             )
             return 2
     else:
-        config = AuricConfig(seed=args.seed) if args.seed is not None else None
-        engine = AuricEngine(snapshot.network, snapshot.store, config).fit(
-            parameters, jobs=args.jobs
-        )
+        engine = AuricEngine(
+            snapshot.network, snapshot.store, _engine_config(args)
+        ).fit(parameters, jobs=args.jobs)
     if args.save_artifact is not None:
         save_engine(engine, args.save_artifact)
 
@@ -383,15 +401,14 @@ def _run_serve_batch(args) -> int:
 def _build_service(args, parameters: List[str]):
     """Fit a service over the chosen workload (explain / metrics)."""
     from repro.config.rulebook import RuleBook
-    from repro.core.auric import AuricConfig, AuricEngine
+    from repro.core.auric import AuricEngine
     from repro.serve import RecommendationService
 
     dataset = _build_workload(args.workload, args.scale, args.seed)
     for name in parameters:
         if name not in dataset.store.catalog:
             raise SystemExit(f"error: unknown parameter {name!r}")
-    config = AuricConfig(seed=args.seed) if args.seed is not None else None
-    engine = AuricEngine(dataset.network, dataset.store, config).fit(
+    engine = AuricEngine(dataset.network, dataset.store, _engine_config(args)).fit(
         parameters, jobs=args.jobs
     )
     service = RecommendationService(

@@ -23,6 +23,18 @@ from scipy import stats as _scipy_stats
 
 from repro.config.parameters import ParameterCatalog, ParameterSpec
 from repro.config.store import ConfigurationStore, PairKey
+from repro.core.columnar import (
+    NO_EXCLUDE,
+    CellVoteTable,
+    ColumnarCapacityError,
+    ColumnarSnapshot,
+    EncodedVotes,
+    LocalVoteIndex,
+    grouped_votes,
+    pack_capacity,
+    pack_columns,
+    plurality,
+)
 from repro.exceptions import RecommendationError, UnknownParameterError
 from repro.core.recommendation import (
     CarrierRecommendation,
@@ -90,6 +102,11 @@ class AuricConfig:
     #: index always uses every sample).  None = no cap.
     max_fit_samples: Optional[int] = 30000
     seed: int = 7
+    #: Fit from the one-time integer-encoded snapshot
+    #: (:mod:`repro.core.columnar`) instead of re-materializing raw
+    #: attribute tuples per parameter.  Results are bit-identical either
+    #: way; the flag exists for A/B benchmarking and as an escape hatch.
+    columnar: bool = True
 
 
 @dataclass
@@ -116,6 +133,27 @@ class _ParameterModel:
     _relaxed: Dict[int, Dict[Tuple[AttributeValue, ...], Counter]] = field(
         default_factory=dict, repr=False
     )
+    # lazily-built per-cell plurality table (exact-cell global votes);
+    # invalidated whenever the vote indexes change
+    _vote_table: Optional[CellVoteTable] = field(
+        default=None, repr=False, compare=False
+    )
+    # lazily-built vectorized neighborhood index (local votes);
+    # invalidated alongside the vote table
+    _local_index: Optional[LocalVoteIndex] = field(
+        default=None, repr=False, compare=False
+    )
+    # lazily-built per-relaxation-level plurality tables; invalidated
+    # alongside the vote table
+    _relaxed_tables: Dict[int, CellVoteTable] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    # fit-time encoded vote columns (columnar fits only); lets the
+    # lazy structures above build vectorized. Dropped the moment the
+    # electorate diverges from the fit-time arrays.
+    _encoded: Optional[EncodedVotes] = field(
+        default=None, repr=False, compare=False
+    )
 
     def weight_of(self, key: Hashable) -> float:
         return self.weights.get(key, 1.0)
@@ -138,6 +176,10 @@ class _ParameterModel:
             raise ValueError(f"vote weight for {key} must be >= 0")
         if key in self.samples:
             self.remove_sample(key)
+        self._vote_table = None
+        self._local_index = None
+        self._relaxed_tables = {}
+        self._encoded = None
         cell = self.cell_key(row)
         self.cell_index.setdefault(cell, Counter())[label] += weight
         self.global_counts[label] += weight
@@ -153,6 +195,10 @@ class _ParameterModel:
         """Remove one configured value from the fitted vote indexes."""
         if key not in self.samples:
             return
+        self._vote_table = None
+        self._local_index = None
+        self._relaxed_tables = {}
+        self._encoded = None
         cell, label = self.samples.pop(key)
         weight = self.weights.pop(key, 1.0)
         self._drop_votes(self.cell_index, cell, label, weight)
@@ -192,9 +238,17 @@ class _ParameterModel:
         index = self._relaxed.get(level)
         if index is None:
             index = {}
-            for key, (cell, label) in self.samples.items():
-                prefix = cell[:level]
-                index.setdefault(prefix, Counter())[label] += self.weight_of(key)
+            weights = self.weights
+            if weights:
+                for key, (cell, label) in self.samples.items():
+                    prefix = cell[:level]
+                    index.setdefault(prefix, Counter())[label] += weights.get(
+                        key, 1.0
+                    )
+            else:
+                for cell, label in self.samples.values():
+                    prefix = cell[:level]
+                    index.setdefault(prefix, Counter())[label] += 1.0
             self._relaxed[level] = index
         return index
 
@@ -217,6 +271,7 @@ class AuricEngine:
         self.catalog: ParameterCatalog = store.catalog
         self._models: Dict[str, _ParameterModel] = {}
         self._row_cache: Dict[CarrierId, Row] = {}
+        self._columnar: Optional[ColumnarSnapshot] = None
         # When True, _finish captures the full vote distribution on each
         # ParameterRecommendation (set around explain-flagged requests;
         # the hot path leaves it off).
@@ -270,6 +325,10 @@ class AuricEngine:
         with tracing.span(
             "engine.fit", parameters=len(specs), jobs=jobs
         ):
+            if self.config.columnar:
+                # One encoding pass shared by every parameter fit (and
+                # shipped to pool workers via shared memory).
+                self.ensure_columnar(specs)
             if jobs != 1 and len(specs) > 1:
                 from repro.parallel.fit import fit_parameter_models
 
@@ -280,12 +339,54 @@ class AuricEngine:
                     [spec.name for spec in specs],
                     vote_weights=vote_weights,
                     jobs=jobs,
+                    columnar=self._columnar,
                 )
                 self._models.update(fitted)
                 return self
             for spec in specs:
                 self._models[spec.name] = self._fit_parameter(spec, vote_weights)
             return self
+
+    def ensure_columnar(
+        self, specs: Sequence[ParameterSpec] = ()
+    ) -> ColumnarSnapshot:
+        """The engine's columnar snapshot, encoded on first use and
+        extended in place with any not-yet-encoded parameters."""
+        if self._columnar is None:
+            self._columnar = ColumnarSnapshot.encode(
+                self.network, self.store, specs
+            )
+        else:
+            for spec in specs:
+                self._columnar.add_parameter(self.store, spec)
+        return self._columnar
+
+    def attach_columnar(self, snapshot: ColumnarSnapshot) -> None:
+        """Adopt an already-encoded snapshot (artifact load / pool
+        worker) so fitting skips the encoding pass.  The snapshot must
+        describe this engine's network and store."""
+        self._columnar = snapshot
+
+    def columnar_snapshot(self) -> Optional[ColumnarSnapshot]:
+        """The engine's encoded snapshot, or ``None`` before the first
+        columnar fit (the persistence layer saves it when present)."""
+        return self._columnar
+
+    def invalidate_columnar(self, parameter: Optional[str] = None) -> None:
+        """Drop stale encoded columns after the store mutates.
+
+        The columnar snapshot is a one-time encoding of the store; the
+        incremental-refresh path writes new configured values into the
+        store, so the affected parameter's label columns (or, with
+        ``parameter=None``, the whole snapshot) must be re-encoded on
+        next use.
+        """
+        if self._columnar is None:
+            return
+        if parameter is None:
+            self._columnar = None
+        else:
+            self._columnar.parameters.pop(parameter, None)
 
     def fitted_parameters(self) -> List[str]:
         return sorted(self._models)
@@ -336,6 +437,13 @@ class AuricEngine:
         spec: ParameterSpec,
         vote_weights: Optional[Dict[Hashable, float]] = None,
     ) -> _ParameterModel:
+        if self.config.columnar:
+            try:
+                return self._fit_parameter_columnar(spec, vote_weights)
+            except ColumnarCapacityError:
+                # Vocabularies too large for int64 cell packing — fall
+                # back to the tuple-keyed path for this parameter.
+                pass
         keys, rows, labels = self._collect_samples(spec)
         if not keys:
             raise RecommendationError(
@@ -398,6 +506,163 @@ class AuricEngine:
             dependent_stats=dependent_stats,
         )
 
+    def _fit_parameter_columnar(
+        self,
+        spec: ParameterSpec,
+        vote_weights: Optional[Dict[Hashable, float]] = None,
+    ) -> _ParameterModel:
+        """Fit one parameter from the encoded snapshot.
+
+        Byte-identical to ``_fit_parameter_impl``: codes are bijective
+        with raw values per column (same first-appearance order), so
+        attribute selection sees identical contingency tables, and the
+        grouped-vote kernel emits (cell, label) groups in the exact
+        insertion order the per-sample loop produced — replaying them
+        rebuilds the same dicts, Counters and float sums.
+        """
+        columnar = self.ensure_columnar([spec])
+        columns = columnar.parameter(spec.name)
+        n_samples = len(columns)
+        if n_samples == 0:
+            raise RecommendationError(
+                f"no configured values for parameter {spec.name}; cannot fit"
+            )
+        row_codes = columnar.row_codes(spec.name)
+        label_codes = columns.label_codes
+        sizes = columnar.column_sizes(spec.name)
+
+        fit_codes, fit_label_codes = row_codes, label_codes
+        cap = self.config.max_fit_samples
+        if cap is not None and n_samples > cap:
+            rng = derive(self.config.seed, f"fit-sample:{spec.name}")
+            picked = rng.choice(n_samples, size=cap, replace=False)
+            picked.sort()
+            fit_codes = row_codes[picked]
+            fit_label_codes = label_codes[picked]
+
+        recommender = CollaborativeFilteringRecommender(
+            support_threshold=self.config.support_threshold,
+            p_value=self.config.p_value,
+            min_effect_size=self.config.min_effect_size,
+            selection=self.config.selection,
+        ).fit_encoded(fit_codes, fit_label_codes, column_sizes=sizes)
+        dependent = recommender.dependent_attributes
+        names = self.attribute_names(spec)
+        dependent_stats = tuple(
+            _attribute_dependence(
+                names[col], col, recommender.test_result(col)
+            )
+            for col in dependent
+        )
+
+        keys = columns.keys(columnar.carrier_ids)
+        label_vocab = columns.label_vocab
+        weights: Dict[Hashable, float] = {}
+        weight_array: Optional[np.ndarray] = None
+        if vote_weights is not None:
+            weight_list = []
+            for key in keys:
+                weight = float(vote_weights.get(key, 1.0))
+                if weight < 0.0:
+                    raise ValueError(f"vote weight for {key} must be >= 0")
+                if weight != 1.0:
+                    weights[key] = weight
+                weight_list.append(weight)
+            weight_array = np.asarray(weight_list, dtype=np.float64)
+
+        capacity = pack_capacity(sizes, dependent)  # may raise
+        if capacity > 2**62 // max(len(label_vocab), 1):
+            raise ColumnarCapacityError(
+                f"cell x label key space of {spec.name} exceeds int64 capacity"
+            )
+        cell_codes = pack_columns(row_codes, dependent, sizes)
+        group_cells, group_labels, group_totals = grouped_votes(
+            cell_codes, label_codes, len(label_vocab), weight_array
+        )
+
+        # Decode every distinct packed cell in one pass per column.
+        uniq_codes = np.unique(group_cells)
+        if dependent:
+            decoded_columns = []
+            remaining = uniq_codes
+            for col in dependent:
+                size = max(int(sizes[col]), 1)
+                vocab = columnar.column_vocab(spec.name, col)
+                decoded_columns.append(
+                    [vocab[code] for code in (remaining % size).tolist()]
+                )
+                remaining = remaining // size
+            decoded = list(zip(*decoded_columns))
+        else:
+            decoded = [()] * len(uniq_codes)
+        cell_tuples: Dict[int, Tuple[AttributeValue, ...]] = dict(
+            zip(uniq_codes.tolist(), decoded)
+        )
+
+        cell_index: Dict[Tuple[AttributeValue, ...], Counter] = {}
+        for code, label_code, total in zip(
+            group_cells.tolist(), group_labels.tolist(), group_totals.tolist()
+        ):
+            cell_index.setdefault(cell_tuples[code], Counter())[
+                label_vocab[label_code]
+            ] = total
+
+        label_uniques, label_firsts = np.unique(label_codes, return_index=True)
+        if weight_array is None:
+            label_totals = np.bincount(
+                label_codes, minlength=len(label_vocab)
+            ).astype(np.float64)
+        else:
+            label_totals = np.bincount(
+                label_codes, weights=weight_array, minlength=len(label_vocab)
+            )
+        global_counts: Counter = Counter()
+        for code in label_uniques[np.argsort(label_firsts, kind="stable")].tolist():
+            global_counts[label_vocab[code]] = float(label_totals[code])
+
+        samples: Dict[Hashable, Tuple[Tuple[AttributeValue, ...], ParameterValue]] = {}
+        by_carrier: Dict[CarrierId, List[Hashable]] = {}
+        cell_code_list = cell_codes.tolist()
+        label_code_list = label_codes.tolist()
+        pairwise = spec.is_pairwise
+        for i, key in enumerate(keys):
+            samples[key] = (
+                cell_tuples[cell_code_list[i]],
+                label_vocab[label_code_list[i]],
+            )
+            source = key.carrier if pairwise else key
+            by_carrier.setdefault(source, []).append(key)
+
+        model = _ParameterModel(
+            spec=spec,
+            dependent_columns=dependent,
+            dependent_names=tuple(names[c] for c in dependent),
+            cell_index=cell_index,
+            global_counts=global_counts,
+            samples=samples,
+            by_carrier=by_carrier,
+            weights=weights,
+            dependent_stats=dependent_stats,
+        )
+        if not weights:
+            # Keep the encoded columns: the lazy plurality/relaxed/local
+            # structures then build vectorized from them instead of
+            # replaying per-sample dict loops.  Weighted models skip the
+            # stash — their fast paths are gated off anyway.
+            model._encoded = EncodedVotes(
+                cell_codes=cell_codes,
+                label_codes=label_codes,
+                label_vocab=label_vocab,
+                prefix_sizes=[int(sizes[col]) for col in dependent],
+                cell_tuples=cell_tuples,
+                dep_vocabs=[
+                    columnar.column_vocab(spec.name, col) for col in dependent
+                ],
+                sources=columns.sources,
+                carrier_ids=columnar.carrier_ids,
+            )
+        return model
+
     def _model(self, parameter: str) -> _ParameterModel:
         try:
             return self._models[parameter]
@@ -414,14 +679,144 @@ class AuricEngine:
         cell: Tuple[AttributeValue, ...],
         exclude: Optional[Hashable],
     ) -> Counter:
-        counter = Counter(model.cell_index.get(cell, Counter()))
+        """The cell's vote counter after leave-one-out exclusion.
+
+        With no exclusion applicable this returns the *stored* counter
+        uncopied — callers read (``most_common``, ``sum``) but must not
+        mutate; the copy happens only when an exclusion actually
+        modifies the counts.
+        """
+        counter = model.cell_index.get(cell)
+        if counter is None:
+            return Counter()
         if exclude is not None and exclude in model.samples:
             ex_cell, ex_label = model.samples[exclude]
             if ex_cell == cell and counter.get(ex_label, 0) > 0:
+                counter = Counter(counter)
                 counter[ex_label] -= model.weight_of(exclude)
                 if counter[ex_label] <= 1e-12:
                     del counter[ex_label]
         return counter
+
+    def _cell_vote_table(
+        self, model: _ParameterModel
+    ) -> Optional[CellVoteTable]:
+        """The model's precomputed plurality table, or ``None`` when the
+        exact fast path cannot be used (weighted votes make the LOO
+        ``top - 1`` arithmetic inexact; vote capture needs the full
+        distribution; ``columnar=False`` pins the engine to the legacy
+        path for A/B comparison)."""
+        if self._capture_votes or model.weights or not self.config.columnar:
+            return None
+        table = model._vote_table
+        if table is None:
+            encoded = model._encoded
+            if encoded is not None:
+                table = encoded.vote_table()
+            else:
+                table = CellVoteTable(model.cell_index)
+            model._vote_table = table
+        return table
+
+    def _table_outcome(
+        self,
+        model: _ParameterModel,
+        table: CellVoteTable,
+        cell: Tuple[AttributeValue, ...],
+        exclude: Optional[Hashable],
+    ) -> Optional[ParameterRecommendation]:
+        """Answer an exact-cell global vote from the plurality table.
+
+        ``None`` means the table cannot answer exactly (unknown cell or
+        the exclusion empties it) and the caller must take the legacy
+        path — whose outcome is identical whenever the table *does*
+        answer.
+        """
+        exclude_label: object = NO_EXCLUDE
+        if exclude is not None:
+            sample = model.samples.get(exclude)
+            if sample is not None and sample[0] == cell:
+                exclude_label = sample[1]
+        outcome = table.vote(cell, exclude_label)
+        if outcome is None:
+            return None
+        value, top, total = outcome
+        support = top / total if total else 0.0
+        return ParameterRecommendation(
+            parameter=model.spec.name,
+            value=value,
+            support=support,
+            matched=float(total),
+            confident=support >= self.config.support_threshold,
+            scope="global",
+            dependent_attributes=model.dependent_names,
+            votes=(),
+        )
+
+    def _relaxed_table(
+        self, model: _ParameterModel, level: int
+    ) -> CellVoteTable:
+        """The plurality table over the level-``level`` relaxed index
+        (built on first use, invalidated with the vote table)."""
+        table = model._relaxed_tables.get(level)
+        if table is None:
+            encoded = model._encoded
+            if encoded is not None:
+                table = encoded.relaxed_table(level)
+            else:
+                table = CellVoteTable(model.relaxed_index(level))
+            model._relaxed_tables[level] = table
+        return table
+
+    def _recommend_global_fast(
+        self,
+        model: _ParameterModel,
+        parameter: str,
+        cell: Tuple[AttributeValue, ...],
+        exclude: Optional[Hashable],
+    ) -> ParameterRecommendation:
+        """Relaxed-level global vote from per-level plurality tables.
+
+        Reached only when the exact-cell table vote returned ``None`` —
+        which implies the legacy exact-cell counter is empty (unknown
+        cell, or a singleton cell emptied by the exclusion) — so the
+        walk down the relaxation levels picks up exactly where the
+        Counter path would.  The global-distribution tail stays on the
+        Counter copy; it is both rare and cheap.
+        """
+        ex_cell = None
+        ex_label = None
+        if exclude is not None:
+            sample = model.samples.get(exclude)
+            if sample is not None:
+                ex_cell, ex_label = sample
+        for level in range(len(cell) - 1, 0, -1):
+            table = self._relaxed_table(model, level)
+            exclude_label: object = NO_EXCLUDE
+            if ex_cell is not None and ex_cell[:level] == cell[:level]:
+                exclude_label = ex_label
+            outcome = table.vote(cell[:level], exclude_label)
+            if outcome is not None:
+                value, top, total = outcome
+                support = top / total if total else 0.0
+                return ParameterRecommendation(
+                    parameter=parameter,
+                    value=value,
+                    support=support,
+                    matched=float(total),
+                    confident=support >= self.config.support_threshold,
+                    scope="global-relaxed",
+                    dependent_attributes=model.dependent_names,
+                    votes=(),
+                )
+        fallback = Counter(model.global_counts)
+        if ex_label is not None:
+            fallback[ex_label] -= 1.0  # weight 1.0 under the table gate
+            if fallback[ex_label] <= 1e-12:
+                del fallback[ex_label]
+        if not fallback:
+            raise RecommendationError(f"no votes available for {parameter}")
+        return self._finish(model, fallback, "global-fallback")
 
     def _finish(
         self,
@@ -462,6 +857,25 @@ class AuricEngine:
         """
         model = self._model(parameter)
         cell = model.cell_key(row)
+        table = self._cell_vote_table(model)
+        if table is not None:
+            outcome = self._table_outcome(model, table, cell, exclude)
+            if outcome is not None:
+                return outcome
+            return self._recommend_global_fast(model, parameter, cell, exclude)
+        return self._recommend_global_slow(model, parameter, cell, exclude)
+
+    def _recommend_global_slow(
+        self,
+        model: _ParameterModel,
+        parameter: str,
+        cell: Tuple[AttributeValue, ...],
+        exclude: Optional[Hashable],
+    ) -> ParameterRecommendation:
+        """The Counter-based global vote: exact cell, relaxed prefixes,
+        global fallback.  The plurality-table fast path answers the
+        common exact-cell case; everything else (unknown cells, emptied
+        cells, weighted models, vote capture) lands here."""
         counter = self._vote_counter(model, cell, exclude)
         if counter:
             return self._finish(model, counter, "global")
@@ -516,6 +930,26 @@ class AuricEngine:
         """
         model = self._model(parameter)
         cell = model.cell_key(row)
+        outcome = self._local_vote(model, cell, neighborhood, exclude)
+        if outcome is not None:
+            return outcome
+        return self.recommend_global(parameter, row, exclude)
+
+    def _local_vote(
+        self,
+        model: _ParameterModel,
+        cell: Tuple[AttributeValue, ...],
+        neighborhood: Set[CarrierId],
+        exclude: Optional[Hashable],
+    ) -> Optional[ParameterRecommendation]:
+        """The two local signals of :meth:`recommend_local`; ``None``
+        when neither stands and the global vote must decide."""
+        if self.config.min_local_votes >= 1:
+            table = self._cell_vote_table(model)
+            if table is not None:
+                return self._local_vote_fast(
+                    model, table, cell, neighborhood, exclude
+                )
         exact_counter: Counter = Counter()
         all_counter: Counter = Counter()
         voters_by_label: Dict[ParameterValue, List[Hashable]] = {}
@@ -545,7 +979,118 @@ class AuricEngine:
             ):
                 return outcome
 
-        return self.recommend_global(parameter, row, exclude)
+        return None
+
+    def _local_vote_index(self, model: _ParameterModel) -> LocalVoteIndex:
+        index = model._local_index
+        if index is None:
+            encoded = model._encoded
+            if encoded is not None:
+                index = LocalVoteIndex.from_encoded(encoded, model.samples)
+            else:
+                index = LocalVoteIndex(model.samples, model.by_carrier)
+            model._local_index = index
+        return index
+
+    def _local_vote_fast(
+        self,
+        model: _ParameterModel,
+        table: CellVoteTable,
+        cell: Tuple[AttributeValue, ...],
+        neighborhood: Set[CarrierId],
+        exclude: Optional[Hashable],
+    ) -> Optional[ParameterRecommendation]:
+        """:meth:`_local_vote` over the vectorized neighborhood index.
+
+        Bit-identical to the Counter loop: the electorate is visited in
+        the same order (so plurality tie-breaks agree), every vote
+        counts exactly 1 (the :meth:`_cell_vote_table` gate excludes
+        weighted models), and the cluster-tuning probe answers each
+        voter's cell-majority question from the plurality table.
+        """
+        index = self._local_vote_index(model)
+        pos = index.electorate(neighborhood, exclude)
+        if pos is None:
+            return None
+        labels = index.label_codes[pos]
+        total_all = len(labels)
+        threshold = self.config.support_threshold
+        min_votes = self.config.min_local_votes
+        target_slot = index.cell_slot.get(cell)
+        if target_slot is not None:
+            exact_labels = labels[index.cell_codes[pos] == target_slot]
+            total_exact = len(exact_labels)
+            if total_exact >= min_votes:
+                code, top = plurality(exact_labels.tolist())
+                support = top / total_exact
+                # A handful of local voters is a weaker sample than the
+                # network-wide cell; only a confident local consensus is
+                # allowed to override the global vote.
+                if support >= threshold:
+                    return self._local_outcome(
+                        model, index.labels[code], top, total_exact, "local"
+                    )
+        if total_all >= min_votes:
+            labels_list = labels.tolist()
+            code, top = plurality(labels_list)
+            support = top / total_all
+            if support >= threshold:
+                value = index.labels[code]
+                voter_pos = pos[labels == code]
+                if self._is_tuned_cluster_fast(index, table, voter_pos, value):
+                    return self._local_outcome(
+                        model, value, top, total_all, "local-cluster"
+                    )
+        return None
+
+    def _local_outcome(
+        self,
+        model: _ParameterModel,
+        value: ParameterValue,
+        top: int,
+        total: int,
+        scope: str,
+    ) -> ParameterRecommendation:
+        support = top / total
+        return ParameterRecommendation(
+            parameter=model.spec.name,
+            value=value,
+            support=support,
+            matched=float(total),
+            confident=support >= self.config.support_threshold,
+            scope=scope,
+            dependent_attributes=model.dependent_names,
+            votes=(),
+        )
+
+    def _is_tuned_cluster_fast(
+        self,
+        index: LocalVoteIndex,
+        table: CellVoteTable,
+        voter_pos: np.ndarray,
+        value: ParameterValue,
+    ) -> bool:
+        """:meth:`_is_tuned_cluster` answered from the plurality table:
+        removing a voter's own vote and asking for its cell's remaining
+        majority is exactly the table's leave-one-out query."""
+        codes = index.cell_codes[voter_pos].tolist()
+        if len(set(codes)) < 2:
+            return False
+        cells = index.cells
+        anomalous = 0
+        evidence = 0
+        for code in codes:
+            outcome = table.vote(cells[code], value)
+            if outcome is None:
+                # A singleton cell says nothing about the network norm;
+                # it is neither evidence for nor against tuning.
+                continue
+            evidence += 1
+            if outcome[0] != value:
+                anomalous += 1
+        if evidence < 2:
+            return False
+        return anomalous >= 0.5 * evidence
 
     def _is_tuned_cluster(
         self,
@@ -650,17 +1195,59 @@ class AuricEngine:
         loop.  This is the bulk path the LOO evaluation sweeps — serial
         and parallel alike — drive, so both scopes of an evaluation
         fold make exactly the same per-target calls.
+
+        Targets that are fitted samples skip the row re-materialization
+        (their dependent-attribute cell is stored on the model) and
+        answer exact-cell global votes from the plurality table; both
+        shortcuts reproduce the per-target calls bit for bit, and any
+        case the table cannot answer takes the per-target path.
         """
         model = self._model(parameter)
-        if model.spec.is_pairwise:
+        pairwise = model.spec.is_pairwise
+        table = self._cell_vote_table(model)
+        if table is None:
+            if pairwise:
+                return [
+                    self.recommend_for_pair(parameter, key, local, leave_one_out)
+                    for key in keys
+                ]
             return [
-                self.recommend_for_pair(parameter, key, local, leave_one_out)
+                self.recommend_for_carrier(parameter, key, local, leave_one_out)
                 for key in keys
             ]
-        return [
-            self.recommend_for_carrier(parameter, key, local, leave_one_out)
-            for key in keys
-        ]
+        out: List[ParameterRecommendation] = []
+        for key in keys:
+            sample = model.samples.get(key)
+            if sample is None:
+                out.append(
+                    self.recommend_for_pair(parameter, key, local, leave_one_out)
+                    if pairwise
+                    else self.recommend_for_carrier(
+                        parameter, key, local, leave_one_out
+                    )
+                )
+                continue
+            cell = sample[0]
+            exclude = key if leave_one_out else None
+            if local:
+                if pairwise:
+                    # The source carrier's other pairs are legitimate
+                    # voters too.
+                    neighborhood = self.neighborhood_of(key.carrier)
+                    neighborhood.add(key.carrier)
+                else:
+                    neighborhood = self.neighborhood_of(key)
+                outcome = self._local_vote(model, cell, neighborhood, exclude)
+                if outcome is not None:
+                    out.append(outcome)
+                    continue
+            outcome = self._table_outcome(model, table, cell, exclude)
+            if outcome is None:
+                outcome = self._recommend_global_fast(
+                    model, parameter, cell, exclude
+                )
+            out.append(outcome)
+        return out
 
     # -- unified request API -----------------------------------------------------
 

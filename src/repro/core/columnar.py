@@ -1,0 +1,918 @@
+"""Columnar snapshot store and vectorized voting kernels.
+
+The engine's fitting and evaluation workload is dominated by bulk
+passes over the carrier population: all ~65 range parameters fit over
+the same attribute matrix, and the LOO sweep revisits every sample.
+The historical path re-materialized per-carrier Python tuples for each
+parameter and counted votes one ``Counter`` update at a time.
+
+This module encodes the snapshot **once** into integer code columns:
+
+* one ``int32`` matrix of carrier attribute codes (rows follow the
+  sorted carrier-id order; one vocab table per attribute column, codes
+  assigned in first-appearance order over that same sorted order), and
+* per parameter, the sample topology (``sources``/``neighbors`` carrier
+  row indices, in sorted-key order) plus a label code column with its
+  own vocab.
+
+On top of the codes sit three kernels, all built from ``np.unique`` /
+``np.bincount``:
+
+* :func:`pack_columns` — mixed-radix packing of a column subset into a
+  single ``int64`` key per row (with an explicit capacity guard;
+  callers fall back to the tuple-based path when vocabularies are too
+  large to pack, which cannot happen at the schema's cardinalities).
+* :func:`grouped_votes` — every distinct (cell, label) pair's total
+  vote weight in one shot, emitted in first-appearance order so that
+  replaying the groups reproduces the historical ``Counter`` insertion
+  order *byte for byte*.
+* :class:`CellVoteTable` — per-cell plurality winner, runner-up and
+  totals precomputed with one vectorized sort, so a global vote (and
+  its leave-one-out variant) is an O(1) lookup instead of a ``Counter``
+  copy.
+
+Everything downstream is bit-identical to the legacy path by
+construction: codes are bijective with raw values per column, and all
+orderings replay the historical first-appearance/insertion orders.
+
+For ``--jobs N`` pools under the *spawn* start method, the snapshot's
+arrays travel to workers through one ``multiprocessing.shared_memory``
+segment instead of the payload pickle (see :mod:`repro.parallel.shm`);
+``__getstate__``/``__setstate__`` handle both directions and fall back
+to plain pickling whenever shared memory is unavailable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config.parameters import ParameterSpec
+from repro.config.store import ConfigurationStore, PairKey
+from repro.exceptions import RecommendationError
+from repro.netmodel.attributes import ATTRIBUTE_SCHEMA
+from repro.netmodel.identifiers import CarrierId
+from repro.netmodel.network import Network
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing
+from repro.types import AttributeValue, ParameterValue
+
+#: Packed cell keys must stay clear of int64 overflow, including the
+#: final ``* n_labels`` step of :func:`grouped_votes`.
+PACK_CAPACITY_LIMIT = 2**62
+
+
+class ColumnarCapacityError(RecommendationError):
+    """Vocabularies too large to pack into one int64 key.
+
+    Callers catch this and fall back to the tuple-keyed legacy path;
+    the synthetic and production schemas are orders of magnitude below
+    the limit, so this is a guard rail, not an expected mode.
+    """
+
+
+def pack_capacity(sizes: Sequence[int], columns: Sequence[int]) -> int:
+    """The key-space size of packing ``columns`` with the given vocab
+    ``sizes``; raises :class:`ColumnarCapacityError` past the limit."""
+    capacity = 1
+    for col in columns:
+        capacity *= max(int(sizes[col]), 1)
+        if capacity > PACK_CAPACITY_LIMIT:
+            raise ColumnarCapacityError(
+                f"cell key space {capacity} exceeds int64 packing capacity"
+            )
+    return capacity
+
+
+def pack_columns(
+    matrix: np.ndarray, columns: Sequence[int], sizes: Sequence[int]
+) -> np.ndarray:
+    """Mixed-radix-pack a subset of code columns into one int64 per row.
+
+    ``matrix[:, columns[0]]`` is the least-significant digit, so two
+    rows get equal keys iff they agree on every packed column.  Codes
+    must be non-negative and below their column's ``sizes`` entry.
+    """
+    pack_capacity(sizes, columns)
+    packed = np.zeros(len(matrix), dtype=np.int64)
+    stride = 1
+    for col in columns:
+        packed += matrix[:, col].astype(np.int64) * stride
+        stride *= max(int(sizes[col]), 1)
+    return packed
+
+
+def unpack_key(
+    key: int, columns: Sequence[int], sizes: Sequence[int]
+) -> Tuple[int, ...]:
+    """Invert :func:`pack_columns` for a single key (code per column)."""
+    codes = []
+    remaining = int(key)
+    for col in columns:
+        size = max(int(sizes[col]), 1)
+        codes.append(remaining % size)
+        remaining //= size
+    return tuple(codes)
+
+
+def grouped_votes(
+    cell_codes: np.ndarray,
+    label_codes: np.ndarray,
+    n_labels: int,
+    weights: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Total vote weight of every distinct (cell, label) pair.
+
+    Returns ``(cells, labels, totals)`` ordered by each pair's first
+    appearance in the sample order — replaying them with
+    ``setdefault(cell, Counter())[label] = total`` rebuilds exactly the
+    dict/Counter insertion order (and, weights being accumulated by
+    ``bincount`` in array order, exactly the same float sums) as the
+    historical per-sample loop.
+    """
+    n_labels = max(int(n_labels), 1)
+    packed = cell_codes * n_labels + label_codes
+    uniq, first, inverse, counts = np.unique(
+        packed, return_index=True, return_inverse=True, return_counts=True
+    )
+    if weights is None:
+        totals = counts.astype(np.float64)
+    else:
+        totals = np.bincount(
+            inverse.reshape(-1),
+            weights=np.asarray(weights, dtype=np.float64),
+            minlength=len(uniq),
+        )
+    order = np.argsort(first, kind="stable")
+    uniq = uniq[order]
+    obs_metrics.counter(
+        "repro_vote_vectorized_cells_total",
+        "Distinct vote cells computed by vectorized kernels",
+    ).inc(float(len(uniq)))
+    return uniq // n_labels, uniq % n_labels, totals[order]
+
+
+#: Sentinel distinguishing "no leave-one-out exclusion" from excluding
+#: a label that happens to be None.
+NO_EXCLUDE = object()
+
+
+class CellVoteTable:
+    """Per-cell plurality stats for O(1) exact-cell global votes.
+
+    For every cell the table holds the total weight, the plurality
+    winner ``(value1, top1)`` and the strongest *other* label
+    ``(value2, top2)`` — each resolved with ``Counter.most_common``'s
+    tie-break (first-inserted label wins) — which is exactly enough to
+    answer both the plain vote and any single-sample leave-one-out
+    exclusion without touching a ``Counter``.  Only valid for models
+    whose weights are all 1.0: integer-valued float counts make the
+    ``top1 - 1`` exclusion arithmetic exact.
+
+    :meth:`vote` returns ``None`` whenever the precomputed stats cannot
+    answer exactly (unknown cell, or the exclusion empties the cell);
+    callers fall back to the legacy path, which is bit-identical by
+    definition.
+    """
+
+    __slots__ = (
+        "_slots",
+        "_value1",
+        "_value2",
+        "_top1",
+        "_top2",
+        "_pos1",
+        "_pos2",
+        "_totals",
+    )
+
+    def __init__(self, cell_index: Dict[Tuple, "Counter"]) -> None:
+        slots: Dict[Tuple, int] = {}
+        cell_ids: List[int] = []
+        entry_labels: List[ParameterValue] = []
+        entry_counts: List[float] = []
+        for slot, (cell, counter) in enumerate(cell_index.items()):
+            slots[cell] = slot
+            for label, count in counter.items():
+                cell_ids.append(slot)
+                entry_labels.append(label)
+                entry_counts.append(float(count))
+        self._build(
+            slots,
+            np.asarray(cell_ids, dtype=np.intp),
+            entry_labels,
+            np.asarray(entry_counts, dtype=np.float64),
+        )
+
+    @classmethod
+    def from_grouped(
+        cls,
+        group_cells: np.ndarray,
+        group_labels: np.ndarray,
+        group_totals: np.ndarray,
+        decode_cells: Callable[[np.ndarray], List[Tuple]],
+        label_vocab: Sequence[ParameterValue],
+    ) -> "CellVoteTable":
+        """Build directly from :func:`grouped_votes` output.
+
+        The groups arrive in (cell, label)-pair first-appearance order;
+        restricted to one cell that equals the Counter's label insertion
+        order, so every plurality and leave-one-out tie-break matches a
+        table built from the materialized dict index.  ``decode_cells``
+        maps an array of packed keys to raw cell tuples in one call.
+        """
+        uniq, first, inverse = np.unique(
+            group_cells, return_index=True, return_inverse=True
+        )
+        order = np.argsort(first, kind="stable")
+        rank = np.empty(len(uniq), dtype=np.intp)
+        rank[order] = np.arange(len(uniq), dtype=np.intp)
+        cells = decode_cells(uniq[order])
+        table = cls.__new__(cls)
+        table._build(
+            {cell: slot for slot, cell in enumerate(cells)},
+            rank[inverse.reshape(-1)],
+            [label_vocab[code] for code in group_labels.tolist()],
+            np.asarray(group_totals, dtype=np.float64),
+        )
+        return table
+
+    def _build(
+        self,
+        slots: Dict[Tuple, int],
+        cells: np.ndarray,
+        entry_labels: List[ParameterValue],
+        counts: np.ndarray,
+    ) -> None:
+        self._slots = slots
+        n_cells = len(slots)
+        positions = np.arange(len(cells), dtype=np.intp)
+        # Sort by (cell, count desc, insertion position): the first
+        # entry of each cell block is most_common(1), the second is the
+        # strongest remaining label under the same tie-break.
+        order = np.lexsort((positions, -counts, cells))
+        sorted_cells = cells[order]
+        starts = np.searchsorted(sorted_cells, np.arange(n_cells, dtype=np.intp))
+        sizes = np.bincount(cells, minlength=n_cells)
+        top1_entries = order[starts]
+        self._top1 = counts[top1_entries]
+        self._pos1 = positions[top1_entries]
+        self._value1 = [entry_labels[i] for i in top1_entries.tolist()]
+        has_second = sizes >= 2
+        second_starts = np.where(has_second, starts + 1, starts)
+        top2_entries = order[second_starts]
+        top2 = np.where(has_second, counts[top2_entries], 0.0)
+        self._top2 = top2
+        self._pos2 = np.where(has_second, positions[top2_entries], -1)
+        self._value2 = [
+            entry_labels[i] if second else None
+            for i, second in zip(top2_entries.tolist(), has_second.tolist())
+        ]
+        self._totals = np.bincount(cells, weights=counts, minlength=n_cells)
+        obs_metrics.counter(
+            "repro_vote_vectorized_cells_total",
+            "Distinct vote cells computed by vectorized kernels",
+        ).inc(float(n_cells))
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def vote(
+        self, cell: Tuple, exclude_label: object = NO_EXCLUDE
+    ) -> Optional[Tuple[ParameterValue, float, float]]:
+        """``(value, top, total)`` of the cell's (possibly LOO-adjusted)
+        vote, or ``None`` when the legacy path must answer instead."""
+        slot = self._slots.get(cell)
+        if slot is None:
+            return None
+        top1 = self._top1[slot]
+        total = self._totals[slot]
+        if exclude_label is NO_EXCLUDE:
+            return self._value1[slot], top1, total
+        # One vote of exclude_label (weight 1.0, guaranteed present by
+        # the caller) leaves the cell.
+        total -= 1.0
+        if total <= 0.0:
+            return None  # cell emptied; legacy path relaxes the match
+        if exclude_label != self._value1[slot]:
+            # A non-winning label lost a vote: since its count was
+            # strictly below top1 (or tied but inserted later), the
+            # winner is unchanged.
+            return self._value1[slot], top1, total
+        reduced = top1 - 1.0
+        top2 = self._top2[slot]
+        if self._pos2[slot] < 0 or reduced > top2:
+            return self._value1[slot], reduced, total
+        if reduced < top2:
+            return self._value2[slot], top2, total
+        # Tie after the exclusion: Counter.most_common keeps the
+        # first-inserted of the tied labels.
+        if self._pos1[slot] < self._pos2[slot]:
+            return self._value1[slot], reduced, total
+        return self._value2[slot], top2, total
+
+
+def plurality(label_codes: Sequence[int]) -> Tuple[int, int]:
+    """``(winner code, count)`` of a small code sequence, with
+    ``Counter.most_common``'s first-inserted tie-break."""
+    from collections import Counter
+
+    return Counter(label_codes).most_common(1)[0]
+
+
+class LocalVoteIndex:
+    """Vectorized neighborhood gather for local (1-hop) votes.
+
+    The historical local vote walked every neighborhood carrier's sample
+    keys through three dicts per sample (``samples``, ``weights``,
+    ``voters_by_label``) — hashing composite dataclass keys millions of
+    times across a LOO sweep.  This index assigns each fitted sample a
+    dense position once, interns its cell and label as small integer
+    codes, and stores each carrier's sample positions as one array; a
+    neighborhood's electorate is then a concatenation of per-carrier
+    position arrays and its vote a ``Counter`` over an integer slice.
+
+    Only valid for models whose weights are all 1.0 (the same gate as
+    :class:`CellVoteTable`): every vote then counts exactly one, so
+    integer counts equal the historical float sums.
+    """
+
+    __slots__ = (
+        "key_pos",
+        "positions_by_carrier",
+        "cell_codes",
+        "label_codes",
+        "cell_slot",
+        "cells",
+        "labels",
+    )
+
+    def __init__(
+        self,
+        samples: Dict[Hashable, Tuple[Tuple, ParameterValue]],
+        by_carrier: Dict[CarrierId, List[Hashable]],
+    ) -> None:
+        n = len(samples)
+        key_pos: Dict[Hashable, int] = {}
+        cell_slot: Dict[Tuple, int] = {}
+        label_slot: Dict[ParameterValue, int] = {}
+        cells: List[Tuple] = []
+        labels: List[ParameterValue] = []
+        cell_codes = np.empty(n, dtype=np.intp)
+        label_codes = np.empty(n, dtype=np.intp)
+        for i, (key, (cell, label)) in enumerate(samples.items()):
+            key_pos[key] = i
+            code = cell_slot.get(cell)
+            if code is None:
+                code = cell_slot[cell] = len(cells)
+                cells.append(cell)
+            cell_codes[i] = code
+            lcode = label_slot.get(label)
+            if lcode is None:
+                lcode = label_slot[label] = len(labels)
+                labels.append(label)
+            label_codes[i] = lcode
+        self.key_pos = key_pos
+        self.cell_slot = cell_slot
+        self.cells = cells
+        self.labels = labels
+        self.cell_codes = cell_codes
+        self.label_codes = label_codes
+        self.positions_by_carrier = {
+            carrier: np.fromiter(
+                (key_pos[k] for k in keys), dtype=np.intp, count=len(keys)
+            )
+            for carrier, keys in by_carrier.items()
+        }
+        obs_metrics.counter(
+            "repro_vote_vectorized_cells_total",
+            "Distinct vote cells computed by vectorized kernels",
+        ).inc(float(len(cells)))
+
+    @classmethod
+    def from_encoded(
+        cls,
+        encoded: "EncodedVotes",
+        samples: Dict[Hashable, Tuple[Tuple, ParameterValue]],
+    ) -> "LocalVoteIndex":
+        """Build from a fit-time :class:`EncodedVotes` stash.
+
+        Equivalent to the dict constructor: the stash's arrays are in
+        sample insertion order, its label vocab *is* the label
+        first-appearance order, and cell codes are re-ranked to
+        first-appearance here — only the per-sample Python loop (and
+        its millions of tuple hashes) is replaced by array kernels.
+        """
+        index = cls.__new__(cls)
+        index.key_pos = dict(zip(samples, range(len(samples))))
+        uniq, first, inverse = np.unique(
+            encoded.cell_codes, return_index=True, return_inverse=True
+        )
+        order = np.argsort(first, kind="stable")
+        rank = np.empty(len(uniq), dtype=np.intp)
+        rank[order] = np.arange(len(uniq), dtype=np.intp)
+        index.cell_codes = rank[inverse.reshape(-1)]
+        index.cells = [
+            encoded.cell_tuples[code] for code in uniq[order].tolist()
+        ]
+        index.cell_slot = {cell: slot for slot, cell in enumerate(index.cells)}
+        index.label_codes = encoded.label_codes.astype(np.intp)
+        index.labels = list(encoded.label_vocab)
+        sort_order = np.argsort(encoded.sources, kind="stable").astype(np.intp)
+        slots, counts = np.unique(encoded.sources, return_counts=True)
+        chunks = np.split(sort_order, np.cumsum(counts)[:-1])
+        carrier_ids = encoded.carrier_ids
+        index.positions_by_carrier = {
+            carrier_ids[slot]: chunk
+            for slot, chunk in zip(slots.tolist(), chunks)
+        }
+        obs_metrics.counter(
+            "repro_vote_vectorized_cells_total",
+            "Distinct vote cells computed by vectorized kernels",
+        ).inc(float(len(index.cells)))
+        return index
+
+    def electorate(
+        self, neighborhood, exclude: Optional[Hashable]
+    ) -> Optional[np.ndarray]:
+        """Sample positions voting from ``neighborhood``, in the same
+        (neighborhood iteration x per-carrier insertion) order the
+        historical loop visited them, minus the excluded target."""
+        chunks = []
+        positions = self.positions_by_carrier
+        for carrier in neighborhood:
+            pos = positions.get(carrier)
+            if pos is not None:
+                chunks.append(pos)
+        if not chunks:
+            return None
+        pos = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        if exclude is not None:
+            excluded = self.key_pos.get(exclude)
+            if excluded is not None:
+                pos = pos[pos != excluded]
+        return pos if len(pos) else None
+
+
+class EncodedVotes:
+    """Fit-time stash of one model's encoded vote columns.
+
+    Captured by the columnar fit (sample order = sorted-key order) and
+    consumed to build the plurality table, every relaxed-level table and
+    the local vote index with array kernels instead of per-sample dict
+    loops.  Describes the fit-time electorate only: the owning model
+    drops the stash whenever its samples change (``add_sample`` /
+    ``remove_sample``), and it is never captured for weighted models —
+    the same gate the fast paths already apply.
+    """
+
+    __slots__ = (
+        "cell_codes",
+        "label_codes",
+        "label_vocab",
+        "prefix_sizes",
+        "cell_tuples",
+        "dep_vocabs",
+        "sources",
+        "carrier_ids",
+    )
+
+    def __init__(
+        self,
+        cell_codes: np.ndarray,
+        label_codes: np.ndarray,
+        label_vocab: List[ParameterValue],
+        prefix_sizes: List[int],
+        cell_tuples: Dict[int, Tuple],
+        dep_vocabs: List[List[AttributeValue]],
+        sources: np.ndarray,
+        carrier_ids: List[CarrierId],
+    ) -> None:
+        self.cell_codes = cell_codes
+        self.label_codes = label_codes
+        self.label_vocab = label_vocab
+        self.prefix_sizes = prefix_sizes
+        self.cell_tuples = cell_tuples
+        self.dep_vocabs = dep_vocabs
+        self.sources = sources
+        self.carrier_ids = carrier_ids
+
+    def vote_table(self) -> CellVoteTable:
+        """The exact-cell plurality table, built vectorized."""
+        groups = grouped_votes(
+            self.cell_codes, self.label_codes, len(self.label_vocab)
+        )
+        tuples = self.cell_tuples
+        return CellVoteTable.from_grouped(
+            *groups,
+            lambda keys: [tuples[key] for key in keys.tolist()],
+            self.label_vocab,
+        )
+
+    def relaxed_table(self, level: int) -> CellVoteTable:
+        """The plurality table over level-``level`` cell prefixes.
+
+        Mixed-radix packing puts the first dependent column at stride 1,
+        so a prefix key is just the full key modulo the product of the
+        first ``level`` vocab sizes — no repacking pass needed.
+        """
+        modulo = 1
+        for size in self.prefix_sizes[:level]:
+            modulo *= max(int(size), 1)
+        groups = grouped_votes(
+            self.cell_codes % modulo, self.label_codes, len(self.label_vocab)
+        )
+        return CellVoteTable.from_grouped(
+            *groups,
+            lambda keys: self._decode_prefixes(keys, level),
+            self.label_vocab,
+        )
+
+    def _decode_prefixes(
+        self, keys: np.ndarray, level: int
+    ) -> List[Tuple[AttributeValue, ...]]:
+        """Unpack an array of prefix keys column by column (one modulo
+        pass per column instead of a Python loop per key)."""
+        columns = []
+        remaining = keys
+        for vocab, size in zip(self.dep_vocabs[:level], self.prefix_sizes[:level]):
+            size = max(int(size), 1)
+            columns.append([vocab[code] for code in (remaining % size).tolist()])
+            remaining = remaining // size
+        return list(zip(*columns))
+
+
+class ParameterColumns:
+    """One parameter's encoded samples over a :class:`ColumnarSnapshot`.
+
+    ``sources`` (and ``neighbors`` for pair-wise parameters) index into
+    the snapshot's carrier rows, in sorted-key order — the same order
+    the engine's ``_collect_samples`` produces — so the original target
+    keys are rebuilt on demand instead of being stored (or pickled, or
+    persisted) as object lists.
+    """
+
+    __slots__ = (
+        "parameter",
+        "pairwise",
+        "sources",
+        "neighbors",
+        "label_codes",
+        "label_vocab",
+        "_keys",
+    )
+
+    def __init__(
+        self,
+        parameter: str,
+        pairwise: bool,
+        sources: np.ndarray,
+        neighbors: Optional[np.ndarray],
+        label_codes: np.ndarray,
+        label_vocab: List[ParameterValue],
+    ) -> None:
+        self.parameter = parameter
+        self.pairwise = pairwise
+        self.sources = sources
+        self.neighbors = neighbors
+        self.label_codes = label_codes
+        self.label_vocab = label_vocab
+        self._keys: Optional[List[Hashable]] = None
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    @classmethod
+    def encode(
+        cls,
+        store: ConfigurationStore,
+        spec: ParameterSpec,
+        carrier_slots: Dict[CarrierId, int],
+    ) -> "ParameterColumns":
+        if spec.is_pairwise:
+            values = store.pairwise_values(spec.name)
+            keys: List[Hashable] = sorted(values)
+            sources = np.fromiter(
+                (carrier_slots[k.carrier] for k in keys),
+                dtype=np.int32,
+                count=len(keys),
+            )
+            neighbors = np.fromiter(
+                (carrier_slots[k.neighbor] for k in keys),
+                dtype=np.int32,
+                count=len(keys),
+            )
+        else:
+            values = store.singular_values(spec.name)
+            keys = sorted(values)
+            sources = np.fromiter(
+                (carrier_slots[k] for k in keys), dtype=np.int32, count=len(keys)
+            )
+            neighbors = None
+        vocab_map: Dict[ParameterValue, int] = {}
+        label_codes = np.fromiter(
+            (vocab_map.setdefault(values[k], len(vocab_map)) for k in keys),
+            dtype=np.int32,
+            count=len(keys),
+        )
+        columns = cls(
+            parameter=spec.name,
+            pairwise=spec.is_pairwise,
+            sources=sources,
+            neighbors=neighbors,
+            label_codes=label_codes,
+            label_vocab=list(vocab_map),
+        )
+        columns._keys = keys
+        return columns
+
+    def keys(self, carrier_ids: Sequence[CarrierId]) -> List[Hashable]:
+        """The target keys in stored (sorted) order, rebuilt lazily."""
+        if self._keys is None:
+            if self.pairwise:
+                self._keys = [
+                    PairKey(carrier_ids[s], carrier_ids[n])
+                    for s, n in zip(self.sources.tolist(), self.neighbors.tolist())
+                ]
+            else:
+                self._keys = [carrier_ids[s] for s in self.sources.tolist()]
+        return self._keys
+
+    def labels(self) -> List[ParameterValue]:
+        """The configured values in stored order (decoded)."""
+        vocab = self.label_vocab
+        return [vocab[code] for code in self.label_codes.tolist()]
+
+    def to_dict(self) -> Dict:
+        return {
+            "parameter": self.parameter,
+            "pairwise": self.pairwise,
+            "sources": self.sources.tolist(),
+            "neighbors": None if self.neighbors is None else self.neighbors.tolist(),
+            "label_codes": self.label_codes.tolist(),
+            "label_vocab": list(self.label_vocab),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ParameterColumns":
+        neighbors = payload["neighbors"]
+        return cls(
+            parameter=payload["parameter"],
+            pairwise=bool(payload["pairwise"]),
+            sources=np.asarray(payload["sources"], dtype=np.int32),
+            neighbors=(
+                None if neighbors is None else np.asarray(neighbors, dtype=np.int32)
+            ),
+            label_codes=np.asarray(payload["label_codes"], dtype=np.int32),
+            label_vocab=list(payload["label_vocab"]),
+        )
+
+
+class ColumnarSnapshot:
+    """Integer-encoded snapshot: attribute code matrix + label columns.
+
+    Built once per :meth:`AuricEngine.fit` (or loaded from a serve
+    artifact) and shared by every parameter fit, vote-table build and
+    pool worker.  Treat as immutable once built — pool transport and
+    the engine's caches rely on it.
+    """
+
+    def __init__(
+        self,
+        carrier_ids: List[CarrierId],
+        codes: np.ndarray,
+        vocabs: List[List[AttributeValue]],
+        parameters: Optional[Dict[str, ParameterColumns]] = None,
+    ) -> None:
+        self.carrier_ids = carrier_ids
+        self.codes = codes
+        self.vocabs = vocabs
+        self.parameters: Dict[str, ParameterColumns] = parameters or {}
+        self._carrier_slots: Optional[Dict[CarrierId, int]] = None
+        self._shm_segment = None  # worker-side attachment handle
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def encode(
+        cls,
+        network: Network,
+        store: ConfigurationStore,
+        specs: Sequence[ParameterSpec] = (),
+    ) -> "ColumnarSnapshot":
+        """Encode a snapshot's attribute matrix and parameter columns."""
+        started = time.perf_counter()
+        with tracing.span("columnar.encode", parameters=len(specs)) as span:
+            carrier_ids = sorted(
+                carrier.carrier_id for carrier in network.carriers()
+            )
+            n_attrs = len(ATTRIBUTE_SCHEMA.names)
+            codes = np.empty((len(carrier_ids), n_attrs), dtype=np.int32)
+            vocab_maps: List[Dict[AttributeValue, int]] = [
+                {} for _ in range(n_attrs)
+            ]
+            for i, carrier_id in enumerate(carrier_ids):
+                row = network.carrier(carrier_id).attributes.as_tuple()
+                for j, value in enumerate(row):
+                    vocab = vocab_maps[j]
+                    code = vocab.get(value)
+                    if code is None:
+                        code = vocab[value] = len(vocab)
+                    codes[i, j] = code
+            snapshot = cls(
+                carrier_ids=carrier_ids,
+                codes=codes,
+                vocabs=[list(vocab) for vocab in vocab_maps],
+            )
+            for spec in specs:
+                snapshot.add_parameter(store, spec)
+            span.set("carriers", len(carrier_ids))
+            elapsed = time.perf_counter() - started
+            span.set("seconds", round(elapsed, 6))
+        obs_metrics.counter(
+            "repro_columnar_encode_seconds_total",
+            "Wall-clock seconds spent encoding columnar snapshots",
+        ).inc(elapsed)
+        return snapshot
+
+    def add_parameter(
+        self, store: ConfigurationStore, spec: ParameterSpec
+    ) -> ParameterColumns:
+        """Encode one parameter's samples (idempotent)."""
+        columns = self.parameters.get(spec.name)
+        if columns is None:
+            columns = ParameterColumns.encode(store, spec, self.carrier_slots())
+            self.parameters[spec.name] = columns
+        return columns
+
+    # -- access -----------------------------------------------------------
+
+    def carrier_slots(self) -> Dict[CarrierId, int]:
+        """Carrier id -> row index in the code matrix (cached)."""
+        if self._carrier_slots is None:
+            self._carrier_slots = {
+                carrier_id: i for i, carrier_id in enumerate(self.carrier_ids)
+            }
+        return self._carrier_slots
+
+    def has_parameter(self, name: str) -> bool:
+        return name in self.parameters
+
+    def parameter(self, name: str) -> ParameterColumns:
+        try:
+            return self.parameters[name]
+        except KeyError:
+            raise RecommendationError(
+                f"parameter {name} is not encoded in this columnar snapshot"
+            ) from None
+
+    def n_attributes(self) -> int:
+        return self.codes.shape[1]
+
+    def row_codes(self, name: str) -> np.ndarray:
+        """The encoded sample-attribute matrix for one parameter.
+
+        Singular parameters: one row per configured carrier.  Pair-wise:
+        own attributes then neighbor attributes, matching the layout of
+        ``AuricEngine.pair_row``.
+        """
+        columns = self.parameter(name)
+        own = self.codes[columns.sources]
+        if not columns.pairwise:
+            return own
+        return np.concatenate((own, self.codes[columns.neighbors]), axis=1)
+
+    def column_vocab(self, name: str, column: int) -> List[AttributeValue]:
+        """The vocab of one row column (own/neighbor halves share)."""
+        return self.vocabs[column % self.n_attributes()]
+
+    def column_sizes(self, name: str) -> List[int]:
+        """Per-row-column vocab sizes, aligned with :meth:`row_codes`."""
+        sizes = [len(vocab) for vocab in self.vocabs]
+        if self.parameter(name).pairwise:
+            return sizes + sizes
+        return sizes
+
+    def decode_cell(
+        self, name: str, columns: Sequence[int], key: int
+    ) -> Tuple[AttributeValue, ...]:
+        """Decode one packed cell key back to its raw attribute values."""
+        sizes = self.column_sizes(name)
+        codes = unpack_key(key, columns, sizes)
+        return tuple(
+            self.column_vocab(name, col)[code]
+            for col, code in zip(columns, codes)
+        )
+
+    # -- persistence ------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (serve artifacts)."""
+        from repro.dataio.keys import carrier_key_to_str
+
+        return {
+            "carrier_ids": [carrier_key_to_str(c) for c in self.carrier_ids],
+            "codes": self.codes.tolist(),
+            "vocabs": [list(vocab) for vocab in self.vocabs],
+            "parameters": [
+                columns.to_dict() for _, columns in sorted(self.parameters.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ColumnarSnapshot":
+        from repro.dataio.keys import carrier_key_from_str
+
+        return cls(
+            carrier_ids=[carrier_key_from_str(t) for t in payload["carrier_ids"]],
+            codes=np.asarray(payload["codes"], dtype=np.int32),
+            vocabs=[list(vocab) for vocab in payload["vocabs"]],
+            parameters={
+                columns["parameter"]: ParameterColumns.from_dict(columns)
+                for columns in payload["parameters"]
+            },
+        )
+
+    # -- pool transport ---------------------------------------------------
+
+    def _arrays(self) -> List[Tuple[str, Optional[str], np.ndarray]]:
+        """Every numpy buffer with its (attribute, parameter) address."""
+        arrays: List[Tuple[str, Optional[str], np.ndarray]] = [
+            ("codes", None, self.codes)
+        ]
+        for name, columns in self.parameters.items():
+            arrays.append(("sources", name, columns.sources))
+            if columns.neighbors is not None:
+                arrays.append(("neighbors", name, columns.neighbors))
+            arrays.append(("label_codes", name, columns.label_codes))
+        return arrays
+
+    def __getstate__(self) -> Dict:
+        from repro.parallel import shm
+
+        state = {
+            "carrier_ids": self.carrier_ids,
+            "vocabs": self.vocabs,
+            "parameters": {
+                name: {
+                    "parameter": columns.parameter,
+                    "pairwise": columns.pairwise,
+                    "label_vocab": columns.label_vocab,
+                }
+                for name, columns in self.parameters.items()
+            },
+        }
+        arrays = self._arrays()
+        segment = None
+        if shm.exporting():
+            total = 0
+            for _, _, array in arrays:
+                total = shm.aligned(total) + array.nbytes
+            segment = shm.create_segment(total)
+        if segment is None:
+            # Plain pickle: serial paths, fork pools, shm unavailable.
+            state["arrays"] = [
+                (field, name, array) for field, name, array in arrays
+            ]
+            return state
+        offset = 0
+        layouts = []
+        for field, name, array in arrays:
+            offset = shm.aligned(offset)
+            layout = shm.write_array(segment, array, offset)
+            layouts.append((field, name, layout))
+            offset += array.nbytes
+        state["shm_name"] = segment.name
+        state["shm_layouts"] = layouts
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.carrier_ids = state["carrier_ids"]
+        self.vocabs = state["vocabs"]
+        self._carrier_slots = None
+        self._shm_segment = None
+        meta = state["parameters"]
+        buffers: Dict[Tuple[str, Optional[str]], np.ndarray] = {}
+        if "shm_name" in state:
+            from repro.parallel import shm
+
+            segment = shm.attach_segment(state["shm_name"])
+            self._shm_segment = segment  # keep the mapping alive
+            for field, name, layout in state["shm_layouts"]:
+                buffers[(field, name)] = shm.read_array(segment, layout)
+        else:
+            for field, name, array in state["arrays"]:
+                buffers[(field, name)] = array
+        self.codes = buffers[("codes", None)]
+        self.parameters = {}
+        for name, columns_meta in meta.items():
+            self.parameters[name] = ParameterColumns(
+                parameter=columns_meta["parameter"],
+                pairwise=columns_meta["pairwise"],
+                sources=buffers[("sources", name)],
+                neighbors=buffers.get(("neighbors", name)),
+                label_codes=buffers[("label_codes", name)],
+                label_vocab=columns_meta["label_vocab"],
+            )

@@ -8,8 +8,7 @@ the predictee vector Y (one configuration parameter).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
 from repro.config.parameters import ParameterSpec
 from repro.config.store import ConfigurationStore, PairKey
@@ -21,24 +20,56 @@ from repro.types import AttributeValue, ParameterValue
 Row = Tuple[AttributeValue, ...]
 
 
-@dataclass
 class ParameterSamples:
-    """All samples of one parameter: aligned keys, rows and labels."""
+    """All samples of one parameter: aligned keys, rows and labels.
 
-    parameter: str
-    keys: List[Hashable]
-    rows: List[Row]
-    labels: List[ParameterValue]
+    ``rows`` materialize lazily: the LOO evaluation sweep votes from the
+    engine's stored cells and only ever touches ``keys``/``labels``, so
+    building one attribute tuple per sample up front was pure overhead
+    there.  Paths that do train raw learners (``compare_learners``)
+    trigger the build on first access and it is cached thereafter.
+    """
+
+    __slots__ = ("parameter", "keys", "labels", "_rows", "_row_builder")
+
+    def __init__(
+        self,
+        parameter: str,
+        keys: List[Hashable],
+        labels: List[ParameterValue],
+        rows: Optional[List[Row]] = None,
+        row_builder: Optional[Callable[[Hashable], Row]] = None,
+    ) -> None:
+        if rows is None and row_builder is None:
+            raise ValueError("either rows or row_builder is required")
+        self.parameter = parameter
+        self.keys = keys
+        self.labels = labels
+        self._rows = rows
+        self._row_builder = row_builder
+
+    @property
+    def rows(self) -> List[Row]:
+        if self._rows is None:
+            builder = self._row_builder
+            self._rows = [builder(key) for key in self.keys]
+        return self._rows
 
     def __len__(self) -> int:
         return len(self.keys)
 
     def subset(self, indices: Sequence[int]) -> "ParameterSamples":
+        """An index-selected view; stays lazy if rows were never built."""
         return ParameterSamples(
             parameter=self.parameter,
             keys=[self.keys[i] for i in indices],
-            rows=[self.rows[i] for i in indices],
             labels=[self.labels[i] for i in indices],
+            rows=(
+                None
+                if self._rows is None
+                else [self._rows[i] for i in indices]
+            ),
+            row_builder=self._row_builder,
         )
 
 
@@ -86,16 +117,16 @@ class LearningView:
                 for k in values
                 if market_id is None or k.carrier.market == market_id
             )
-            rows = [self.pair_row(k) for k in keys]
+            row_builder: Callable[[Hashable], Row] = self.pair_row
         else:
             values = self.store.singular_values(parameter)
             keys = sorted(
                 k for k in values if market_id is None or k.market == market_id
             )
-            rows = [self.carrier_row(k) for k in keys]
+            row_builder = self.carrier_row
         return ParameterSamples(
             parameter=parameter,
             keys=keys,
-            rows=rows,
             labels=[values[k] for k in keys],
+            row_builder=row_builder,
         )

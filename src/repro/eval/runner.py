@@ -93,6 +93,19 @@ class EvaluationRunner:
         self.dataset = dataset
         self.view = LearningView(dataset.network, dataset.store)
         self.seed = seed
+        self._samples_cache: Dict[Tuple, ParameterSamples] = {}
+
+    def samples(
+        self, parameter: str, market_id: Optional[MarketId] = None
+    ) -> ParameterSamples:
+        """Per-(parameter, market) sample sets, cached for the runner's
+        lifetime — the LOO planner and sweep share one key sort."""
+        cache_key = (parameter, market_id)
+        samples = self._samples_cache.get(cache_key)
+        if samples is None:
+            samples = self.view.samples(parameter, market_id)
+            self._samples_cache[cache_key] = samples
+        return samples
 
     # -- global-learner comparison (Table 4 / Fig 10) ----------------------
 
@@ -118,7 +131,7 @@ class EvaluationRunner:
         )
         results = ParameterAccuracy()
         for parameter in parameters:
-            samples = self.view.samples(parameter, market_id)
+            samples = self.samples(parameter, market_id)
             if len(samples) < folds * 2:
                 continue
             if (
@@ -176,7 +189,7 @@ class EvaluationRunner:
         """
         plan: List[Tuple[str, List[int]]] = []
         for parameter in parameters:
-            samples = self.view.samples(parameter, market_id)
+            samples = self.samples(parameter, market_id)
             if not len(samples):
                 continue
             indices = list(range(len(samples)))
@@ -231,7 +244,7 @@ class EvaluationRunner:
     ) -> LocalVsGlobalResult:
         result = LocalVsGlobalResult()
         for parameter, indices in plan:
-            samples = self.view.samples(parameter, market_id)
+            samples = self.samples(parameter, market_id)
             hits, mismatches = evaluate_loo_chunk(
                 engine, parameter, samples, indices, scopes
             )

@@ -32,14 +32,8 @@ def factorize(values: Sequence[Hashable]) -> Tuple[np.ndarray, List[Hashable]]:
     if isinstance(values, np.ndarray) and values.dtype != np.dtype(object):
         if values.ndim != 1:
             raise ValueError("can only factorize 1-dimensional arrays")
-        uniq, first, inverse = np.unique(
-            values, return_index=True, return_inverse=True
-        )
-        order = np.argsort(first, kind="stable")
-        rank = np.empty(len(uniq), dtype=np.intp)
-        rank[order] = np.arange(len(uniq), dtype=np.intp)
-        codes = rank[inverse.reshape(-1)]
-        uniques = [u.item() if isinstance(u, np.generic) else u for u in uniq[order]]
+        codes, ordered = _factorize_codes(values)
+        uniques = [u.item() if isinstance(u, np.generic) else u for u in ordered]
         return codes, uniques
     index: Dict[Hashable, int] = {}
     codes = np.fromiter(
@@ -48,6 +42,41 @@ def factorize(values: Sequence[Hashable]) -> Tuple[np.ndarray, List[Hashable]]:
         count=len(values),
     )
     return codes, list(index)
+
+
+def _factorize_codes(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`factorize` for a non-object 1-D array, without decoding the
+    unique values to Python objects: ``(codes, ordered_uniques)`` where
+    the uniques stay a numpy array in first-appearance order."""
+    uniq, first, inverse = np.unique(
+        values, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first, kind="stable")
+    rank = np.empty(len(uniq), dtype=np.intp)
+    rank[order] = np.arange(len(uniq), dtype=np.intp)
+    return rank[inverse.reshape(-1)], uniq[order]
+
+
+def _encoded_column(
+    values: Sequence[Hashable],
+) -> Tuple[np.ndarray, int]:
+    """Codes plus a distinct-count bound for one stratified-test column.
+
+    A pre-encoded non-negative integer column passes through untouched:
+    the stratified builder only re-ranks codes *within* each stratum
+    (first-appearance order), so any bijective encoding yields identical
+    tables, and the bound merely sizes the key packing.  Anything else
+    is factorized.
+    """
+    if (
+        isinstance(values, np.ndarray)
+        and values.ndim == 1
+        and np.issubdtype(values.dtype, np.integer)
+        and (len(values) == 0 or int(values.min()) >= 0)
+    ):
+        return values, int(values.max()) + 1 if len(values) else 0
+    codes, uniques = factorize(values)
+    return codes, len(uniques)
 
 
 def contingency_from_codes(
@@ -155,6 +184,35 @@ def _subtable_from_codes(
     return table, len(x_uniques), len(y_uniques)
 
 
+def _stratum_local_codes(
+    stratum_codes: np.ndarray, codes: np.ndarray, n_strata: int, n_values: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Re-encode ``codes`` *within each stratum* in first-appearance
+    order, for every stratum at once.
+
+    Returns ``(local_codes, counts)`` where ``local_codes[i]`` is the
+    rank of ``codes[i]``'s first appearance among its stratum's distinct
+    values (exactly the code the per-stratum dict re-encoder assigned)
+    and ``counts[s]`` is stratum ``s``'s number of distinct values.
+    """
+    pair = stratum_codes.astype(np.int64) * n_values + codes
+    uniq, first, inverse = np.unique(
+        pair, return_index=True, return_inverse=True
+    )
+    pair_stratum = (uniq // n_values).astype(np.intp)
+    counts = np.bincount(pair_stratum, minlength=n_strata)
+    # Rank each stratum's distinct values by first appearance: sort the
+    # unique pairs by (stratum, first position) and number them within
+    # their stratum block.
+    order = np.lexsort((first, pair_stratum))
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    rank = np.empty(len(uniq), dtype=np.intp)
+    rank[order] = np.arange(len(uniq), dtype=np.intp) - np.repeat(
+        starts, counts
+    )
+    return rank[inverse.reshape(-1)], counts
+
+
 def test_conditional_independence(
     xs: Sequence[Hashable],
     ys: Sequence[Hashable],
@@ -180,11 +238,29 @@ def test_conditional_independence(
         raise ValueError("xs, ys and strata must have equal length")
     if not 0.0 < p_value < 1.0:
         raise ValueError("p_value must be in (0, 1)")
+    if isinstance(strata, np.ndarray) and strata.dtype != np.dtype(object):
+        # Pre-encoded strata (the columnar fit path packs the selected
+        # columns into one integer key per sample) take the fully
+        # vectorized builder — pre-encoded x/y columns skip their
+        # factorize pass entirely; the object path below is the
+        # historical implementation, kept as the ``columnar=False``
+        # A/B reference.
+        x_codes, n_x = _encoded_column(xs)
+        y_codes, n_y = _encoded_column(ys)
+        return _conditional_from_encoded(
+            x_codes,
+            n_x,
+            y_codes,
+            n_y,
+            strata,
+            p_value,
+            min_stratum_size,
+        )
+    x_codes, x_uniques = factorize(xs)
+    y_codes, y_uniques = factorize(ys)
     groups: Dict[Hashable, List[int]] = {}
     for i, stratum in enumerate(strata):
         groups.setdefault(stratum, []).append(i)
-    x_codes, _ = factorize(xs)
-    y_codes, _ = factorize(ys)
 
     total_statistic = 0.0
     total_dof = 0
@@ -200,8 +276,84 @@ def test_conditional_independence(
             continue
         total_statistic += chi_square_statistic(table)
         total_dof += dof
-        effective_n += len(indices)
-        min_dim_weighted += len(indices) * min(n_rows - 1, n_cols - 1)
+        effective_n += len(idx)
+        min_dim_weighted += len(idx) * min(n_rows - 1, n_cols - 1)
+    return _pooled_result(
+        total_statistic, total_dof, effective_n, min_dim_weighted, p_value
+    )
+
+
+def _conditional_from_encoded(
+    x_codes: np.ndarray,
+    n_x: int,
+    y_codes: np.ndarray,
+    n_y: int,
+    strata: np.ndarray,
+    p_value: float,
+    min_stratum_size: int,
+) -> ChiSquareResult:
+    """The stratified test over pre-encoded integer strata.
+
+    All per-stratum contingency tables are laid out by one vectorized
+    pass — within-stratum first-appearance re-encoding via
+    :func:`_stratum_local_codes`, then a single ``bincount`` over
+    per-stratum cell offsets — producing, stratum for stratum, exactly
+    the tables (same counts, same row/column order, visited in the same
+    first-appearance stratum order) the dict builder produced, so the
+    pooled statistic accumulates identical floats.
+    """
+    stratum_codes, stratum_uniques = _factorize_codes(strata)
+    sizes_all = np.bincount(stratum_codes, minlength=len(stratum_uniques))
+    keep = sizes_all >= min_stratum_size
+
+    total_statistic = 0.0
+    total_dof = 0
+    effective_n = 0
+    min_dim_weighted = 0.0
+    if keep.any():
+        mask = keep[stratum_codes]
+        remap = np.cumsum(keep) - 1  # old stratum id -> dense kept id
+        s = remap[stratum_codes[mask]]
+        n_strata = int(keep.sum())
+        sub_x, nx = _stratum_local_codes(s, x_codes[mask], n_strata, n_x)
+        sub_y, ny = _stratum_local_codes(s, y_codes[mask], n_strata, n_y)
+        cells = nx * ny
+        offsets = np.concatenate(([0], np.cumsum(cells)[:-1]))
+        flat = offsets[s] + sub_x * ny[s] + sub_y
+        counts = np.bincount(flat, minlength=int(cells.sum()))
+        nx_list = nx.tolist()
+        ny_list = ny.tolist()
+        offset_list = offsets.tolist()
+        size_list = sizes_all[keep].tolist()
+        for t in range(n_strata):
+            n_rows = nx_list[t]
+            n_cols = ny_list[t]
+            dof = (n_rows - 1) * (n_cols - 1)
+            if dof == 0:
+                continue
+            start = offset_list[t]
+            table = (
+                counts[start : start + n_rows * n_cols]
+                .astype(np.float64)
+                .reshape(n_rows, n_cols)
+            )
+            total_statistic += chi_square_statistic(table)
+            total_dof += dof
+            effective_n += size_list[t]
+            min_dim_weighted += size_list[t] * min(n_rows - 1, n_cols - 1)
+    return _pooled_result(
+        total_statistic, total_dof, effective_n, min_dim_weighted, p_value
+    )
+
+
+def _pooled_result(
+    total_statistic: float,
+    total_dof: int,
+    effective_n: int,
+    min_dim_weighted: float,
+    p_value: float,
+) -> ChiSquareResult:
+    """The pooled CMH-style outcome shared by both stratified builders."""
     if total_dof == 0 or effective_n == 0:
         return ChiSquareResult(0.0, 0, float("inf"), p_value, False, 0.0)
     critical = float(stats.chi2.ppf(1.0 - p_value, total_dof))
@@ -263,16 +415,27 @@ def marginal_tests(
     """
     if not 0.0 < p_value < 1.0:
         raise ValueError("p_value must be in (0, 1)")
-    y_codes, y_uniques = factorize(labels)
-    n_cols = len(y_uniques)
+    y_codes, n_cols = _codes_and_count(labels)
     results: List[ChiSquareResult] = []
     for xs in columns:
         if len(xs) != len(labels):
             raise ValueError("every column must match the label count")
-        x_codes, x_uniques = factorize(xs)
-        table = contingency_from_codes(x_codes, y_codes, len(x_uniques), n_cols)
-        results.append(_result_from_table(table, len(x_uniques), n_cols, p_value))
+        x_codes, n_rows = _codes_and_count(xs)
+        table = contingency_from_codes(x_codes, y_codes, n_rows, n_cols)
+        results.append(_result_from_table(table, n_rows, n_cols, p_value))
     return results
+
+
+def _codes_and_count(values: Sequence[Hashable]) -> Tuple[np.ndarray, int]:
+    """First-appearance codes and distinct count, skipping the Python
+    decode of the unique values (which only :func:`factorize` callers
+    need).  The re-rank is kept — contingency row/column order feeds the
+    statistic's float summation."""
+    if isinstance(values, np.ndarray) and values.dtype != np.dtype(object):
+        codes, ordered = _factorize_codes(values)
+        return codes, len(ordered)
+    codes, uniques = factorize(values)
+    return codes, len(uniques)
 
 
 # These are statistical tests, not pytest tests; prevent collection when

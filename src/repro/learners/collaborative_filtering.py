@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import ColdStartError
+from repro.exceptions import ColdStartError, NotFittedError
 from repro.learners.base import Label, Learner, Row
 from repro.learners.chi_square import (
     ChiSquareResult,
@@ -119,6 +119,9 @@ class CollaborativeFilteringRecommender(Learner):
         # first.
         self._indexes: List[Dict[Tuple[AttributeValue, ...], Counter]] = []
         self._prefixes: List[Tuple[int, ...]] = []
+        # Lazily-derived per-dependent-column vocabularies (value ->
+        # positive code) backing the vectorized recommend_many grouping.
+        self._vote_vocabs: Optional[List[Dict[AttributeValue, int]]] = None
 
     # -- fitting ----------------------------------------------------------
 
@@ -149,6 +152,78 @@ class CollaborativeFilteringRecommender(Learner):
             matrix[i, :] = row
         columns = [matrix[:, col] for col in range(n_columns)]
 
+        self._select(
+            columns,
+            labels,
+            lambda selected: list(map(tuple, matrix[:, selected])),
+        )
+        self._build_indexes(rows, labels, weights)
+        self._fitted = True
+        return self
+
+    def fit_encoded(
+        self,
+        code_matrix: np.ndarray,
+        label_codes: np.ndarray,
+        column_sizes: Optional[Sequence[int]] = None,
+    ) -> "CollaborativeFilteringRecommender":
+        """Attribute selection over pre-encoded integer code columns.
+
+        The columnar fit path (:mod:`repro.core.columnar`) encodes the
+        attribute matrix once per snapshot; this entry point runs the
+        same marginal + stepwise-conditional selection directly on the
+        code columns.  Per column, codes are bijective with the raw
+        values and assigned in the same first-appearance order, so every
+        contingency table — and therefore every statistic, ranking and
+        selected attribute — is bit-identical to :meth:`fit` on the
+        decoded rows.  Strata for the conditional stage are packed into
+        one int64 key per sample instead of per-sample value tuples.
+
+        Selection only: the tuple-keyed vote indexes need raw rows, so
+        :meth:`vote` raises until a voting fit runs (the engine builds
+        its own vectorized vote tables instead).
+        """
+        code_matrix = np.ascontiguousarray(code_matrix)
+        if code_matrix.ndim != 2:
+            raise ValueError("code_matrix must be 2-dimensional")
+        n_samples, n_columns = code_matrix.shape
+        if n_samples == 0:
+            raise ValueError("cannot fit a learner on an empty dataset")
+        label_codes = np.asarray(label_codes)
+        if len(label_codes) != n_samples:
+            raise ValueError("label_codes length must match code_matrix rows")
+        if column_sizes is None:
+            column_sizes = [
+                int(code_matrix[:, col].max()) + 1 for col in range(n_columns)
+            ]
+        columns = [code_matrix[:, col] for col in range(n_columns)]
+
+        def strata_fn(selected: List[int]) -> np.ndarray:
+            if not selected:
+                return np.zeros(n_samples, dtype=np.int64)
+            from repro.core.columnar import pack_columns
+
+            return pack_columns(code_matrix, selected, column_sizes)
+
+        self._select(columns, label_codes, strata_fn)
+        self._prefixes = [
+            self._dependent[:length]
+            for length in range(len(self._dependent), -1, -1)
+        ]
+        self._indexes = []
+        self._vote_vocabs = None
+        self._fitted = True
+        return self
+
+    def _select(self, columns, labels, strata_fn) -> None:
+        """Marginal ranking plus (for ``selection="conditional"``)
+        stepwise forward selection; sets ``_test_results``/``_dependent``.
+
+        ``strata_fn(selected)`` must return the per-sample stratum keys
+        for the currently-selected columns — value tuples on the raw
+        path, packed integer keys on the encoded path; both group the
+        samples identically.
+        """
         # Marginal tests: candidate ranking plus per-column diagnostics.
         self._test_results = marginal_tests(columns, labels, self.p_value)
         # Candidacy needs only statistical dependence; the effect-size
@@ -169,9 +244,7 @@ class CollaborativeFilteringRecommender(Learner):
                 for _, col in ranked
                 if self._test_results[col].cramers_v >= self.min_effect_size
             )
-            self._build_indexes(rows, labels, weights)
-            self._fitted = True
-            return self
+            return
 
         # Stepwise forward selection with conditional chi-square tests:
         # each round, every remaining candidate is tested for association
@@ -186,7 +259,7 @@ class CollaborativeFilteringRecommender(Learner):
         selected: List[int] = []
         remaining = [col for _, col in ranked]
         while remaining:
-            strata = list(map(tuple, matrix[:, selected]))
+            strata = strata_fn(selected)
             best_col = None
             best_statistic = 0.0
             for col in remaining:
@@ -202,9 +275,6 @@ class CollaborativeFilteringRecommender(Learner):
             selected.append(best_col)
             remaining.remove(best_col)
         self._dependent = tuple(selected)
-        self._build_indexes(rows, labels, weights)
-        self._fitted = True
-        return self
 
     def _build_indexes(
         self,
@@ -217,6 +287,7 @@ class CollaborativeFilteringRecommender(Learner):
             for length in range(len(self._dependent), -1, -1)
         ]
         self._indexes = []
+        self._vote_vocabs = None
         for prefix in self._prefixes:
             index: Dict[Tuple[AttributeValue, ...], Counter] = {}
             for i, row in enumerate(rows):
@@ -256,27 +327,39 @@ class CollaborativeFilteringRecommender(Learner):
 
     # -- prediction -------------------------------------------------------
 
-    def vote(self, row: Row) -> VoteOutcome:
-        """Run the voting procedure for one new carrier."""
+    def _require_vote_indexes(self) -> None:
         self._require_fitted()
+        if not self._indexes:
+            raise NotFittedError(
+                f"{self.name} was fitted from encoded columns (attribute "
+                "selection only); refit with fit()/fit_weighted() to vote"
+            )
+
+    def vote(self, row: Row) -> VoteOutcome:
+        """Run the voting procedure for one new carrier.
+
+        The loop probes level 0 (the full dependent-attribute match)
+        first, so ``exact_match_exists`` falls out of that probe; each
+        probed level's total weight is computed exactly once.
+        """
+        self._require_vote_indexes()
         last_level = len(self._prefixes) - 1
-        exact_match_exists = bool(
-            self._indexes
-            and self._indexes[0].get(tuple(row[col] for col in self._prefixes[0]))
-        )
+        exact_match_exists = False
         for level, (prefix, index) in enumerate(zip(self._prefixes, self._indexes)):
             key = tuple(row[col] for col in prefix)
             counter = index.get(key)
+            if level == 0:
+                exact_match_exists = bool(counter)
             if not counter:
                 continue
-            if level < last_level and sum(counter.values()) < self.min_matched:
+            total = sum(counter.values())
+            if level < last_level and total < self.min_matched:
                 continue
             if level > 0 and not exact_match_exists and self.fallback == "error":
                 raise ColdStartError(
                     "no existing carrier matches the dependent attributes "
                     f"{self._prefixes[0]} of the new carrier"
                 )
-            total = sum(counter.values())
             value, top = counter.most_common(1)[0]
             support = top / total if total > 0 else 0.0
             return VoteOutcome(
@@ -289,17 +372,45 @@ class CollaborativeFilteringRecommender(Learner):
             )
         raise ColdStartError("the recommender has no training data to vote with")
 
+    def _cell_vocabs(self) -> List[Dict[AttributeValue, int]]:
+        """Per-dependent-column value vocabularies, derived lazily from
+        the exact-match index keys (code 0 is reserved for unseen)."""
+        if self._vote_vocabs is None:
+            vocabs: List[Dict[AttributeValue, int]] = [
+                {} for _ in self._dependent
+            ]
+            for key in self._indexes[0]:
+                for j, value in enumerate(key):
+                    vocab = vocabs[j]
+                    if value not in vocab:
+                        vocab[value] = len(vocab) + 1
+            self._vote_vocabs = vocabs
+        return self._vote_vocabs
+
+    #: Below this batch size the dict-cache path wins (no array setup).
+    _VECTORIZE_MIN_ROWS = 32
+
     def recommend_many(self, rows: Sequence[Row]) -> List[VoteOutcome]:
         """Vote for a batch of rows, computing each distinct cell once.
 
         A vote depends only on the row's values at the dependent
         attributes (every relaxation prefix is a prefix of that key), so
-        rows that agree there share one :class:`VoteOutcome`.  On the
-        bulk paths — LOO evaluation sweeps and full service refits —
-        this collapses thousands of per-row votes into one vote per
-        distinct dependent-attribute cell.
+        rows that agree there share one :class:`VoteOutcome`.  Large
+        batches group rows by an int64-packed cell code (``np.unique``)
+        instead of hashing one value tuple per row; unseen values share
+        code 0, which is sound because a value absent from the training
+        index can never match at any relaxation level that includes its
+        column.  On the bulk paths — LOO evaluation sweeps and full
+        service refits — this collapses thousands of per-row votes into
+        one vote per distinct dependent-attribute cell.
         """
-        self._require_fitted()
+        self._require_vote_indexes()
+        if not isinstance(rows, (list, tuple)):
+            rows = list(rows)
+        if len(rows) >= self._VECTORIZE_MIN_ROWS and self._dependent:
+            vectorized = self._recommend_many_vectorized(rows)
+            if vectorized is not None:
+                return vectorized
         cache: Dict[Tuple[AttributeValue, ...], VoteOutcome] = {}
         out: List[VoteOutcome] = []
         for row in rows:
@@ -310,6 +421,40 @@ class CollaborativeFilteringRecommender(Learner):
                 cache[key] = outcome
             out.append(outcome)
         return out
+
+    def _recommend_many_vectorized(
+        self, rows: Sequence[Row]
+    ) -> Optional[List[VoteOutcome]]:
+        """Group rows by packed cell code; ``None`` when the cell key
+        space cannot pack into int64 (the caller then hashes tuples)."""
+        from repro.core.columnar import (
+            ColumnarCapacityError,
+            pack_capacity,
+            pack_columns,
+        )
+        from repro.obs import metrics as obs_metrics
+
+        vocabs = self._cell_vocabs()
+        sizes = [len(vocab) + 1 for vocab in vocabs]
+        columns = list(range(len(sizes)))
+        try:
+            pack_capacity(sizes, columns)
+        except ColumnarCapacityError:
+            return None
+        codes = np.empty((len(rows), len(columns)), dtype=np.int64)
+        for j, col in enumerate(self._dependent):
+            vocab = vocabs[j]
+            codes[:, j] = [vocab.get(row[col], 0) for row in rows]
+        packed = pack_columns(codes, columns, sizes)
+        _, first, inverse = np.unique(
+            packed, return_index=True, return_inverse=True
+        )
+        outcomes = [self.vote(rows[i]) for i in first.tolist()]
+        obs_metrics.counter(
+            "repro_vote_vectorized_cells_total",
+            "Distinct vote cells computed by vectorized kernels",
+        ).inc(float(len(outcomes)))
+        return [outcomes[group] for group in inverse.reshape(-1).tolist()]
 
     def _predict(self, rows: Sequence[Row]) -> List[Label]:
         return [outcome.value for outcome in self.recommend_many(rows)]

@@ -4,7 +4,11 @@ The master decides *what* to evaluate — which parameters, which sampled
 target indices (so the subsampling RNG never runs in a worker) — and
 fans contiguous index chunks out across the pool.  The payload is the
 fitted engine; each worker rebuilds its learning view once and caches
-per-parameter sample sets for the pool's lifetime.  Chunks come back in
+per-parameter sample sets for the pool's lifetime (sample rows stay
+lazy — the LOO sweep votes from the engine's stored cells, so the raw
+attribute tuples are never materialized).  Under a *spawn* pool the
+engine's columnar snapshot travels through shared memory rather than
+the payload pickle (:mod:`repro.parallel.shm`).  Chunks come back in
 submission order and merge into the same
 :class:`~repro.eval.runner.LocalVsGlobalResult` the serial sweep
 produces: identical accuracies, identical mismatch lists in identical

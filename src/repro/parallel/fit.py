@@ -7,11 +7,17 @@ subsampling draws from a per-parameter derived RNG stream
 (``derive(seed, "fit-sample:<name>")``), so a parameter's fitted model
 never depends on which worker fit it or what else that worker fit
 before.
+
+When the master has already encoded the snapshot into a
+:class:`~repro.core.columnar.ColumnarSnapshot`, it rides along in the
+payload — inherited for free under *fork*, and shipped through one
+shared-memory segment (zero-copy attach, see :mod:`repro.parallel.shm`)
+instead of the payload pickle under *spawn* — so no worker re-encodes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Optional, Sequence
 
 from repro.parallel.pool import get_payload, run_tasks
 
@@ -26,9 +32,12 @@ def _worker_engine():
 
     payload = get_payload()
     if _STATE["payload"] is not payload:
-        network, store, config, _ = payload
+        network, store, config, _, columnar = payload
         _STATE["payload"] = payload
-        _STATE["engine"] = AuricEngine(network, store, config)
+        engine = AuricEngine(network, store, config)
+        if columnar is not None:
+            engine.attach_columnar(columnar)
+        _STATE["engine"] = engine
     return _STATE["engine"]
 
 
@@ -46,12 +55,14 @@ def fit_parameter_models(
     parameters: Sequence[str],
     vote_weights: Optional[Dict[Hashable, float]] = None,
     jobs: int = 1,
+    columnar=None,
 ) -> Dict[str, object]:
     """Fit dependency models for many parameters across a process pool.
 
     Returns ``{parameter: _ParameterModel}`` in input order, identical
-    to fitting the same parameters serially on one engine.
+    to fitting the same parameters serially on one engine.  ``columnar``
+    optionally carries the master's encoded snapshot to the workers.
     """
-    payload = (network, store, config, vote_weights)
+    payload = (network, store, config, vote_weights, columnar)
     results = run_tasks(payload, _fit_task, list(parameters), jobs=jobs)
     return dict(results)

@@ -21,6 +21,7 @@ pool's lifetime and also behaves correctly under the serial fallback.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -28,6 +29,13 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.obs import tracing
+from repro.parallel import shm
+
+#: Environment override for the pool start method ("fork", "spawn",
+#: "forkserver").  Unset, the pool prefers fork where available; forcing
+#: "spawn" exercises the pickle + shared-memory payload transport on
+#: platforms whose default is fork.
+START_METHOD_ENV = "REPRO_POOL_START_METHOD"
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -98,19 +106,66 @@ def _run_serial(
         _PAYLOAD = previous
 
 
-def _make_executor(n_workers: int) -> ProcessPoolExecutor:
-    if "fork" in multiprocessing.get_all_start_methods():
+def _start_method() -> Optional[str]:
+    """The pool start method: the env override when valid, else fork
+    where available, else the platform default (``None``)."""
+    available = multiprocessing.get_all_start_methods()
+    requested = os.environ.get(START_METHOD_ENV)
+    if requested:
+        if requested in available:
+            return requested
+        warnings.warn(
+            f"{START_METHOD_ENV}={requested!r} is not available on this "
+            f"platform (choices: {available}); using the default",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    if "fork" in available:
+        return "fork"
+    return None
+
+
+def _make_executor(n_workers: int) -> Tuple[ProcessPoolExecutor, Optional[List]]:
+    """Build the pool; returns ``(executor, shm_manifest)``.
+
+    A non-``None`` manifest lists the shared-memory segments created
+    while pickling the payload (spawn/forkserver only); the caller must
+    :func:`repro.parallel.shm.release` it after the pool shuts down.
+    """
+    method = _start_method()
+    if method == "fork":
         # Workers inherit _PAYLOAD from the parent's address space;
         # run_tasks publishes it before this call.
-        return ProcessPoolExecutor(
-            max_workers=n_workers, mp_context=multiprocessing.get_context("fork")
+        return (
+            ProcessPoolExecutor(
+                max_workers=n_workers,
+                mp_context=multiprocessing.get_context("fork"),
+            ),
+            None,
         )
-    payload_bytes = pickle.dumps(_PAYLOAD, protocol=pickle.HIGHEST_PROTOCOL)
-    return ProcessPoolExecutor(
-        max_workers=n_workers,
-        initializer=_init_worker,
-        initargs=(payload_bytes,),
-    )
+    manifest: Optional[List] = None
+    if shm.SHM_AVAILABLE:
+        # Shm-aware payload members (the columnar snapshot) divert
+        # their large arrays into shared segments during this pickle;
+        # workers attach them zero-copy inside _init_worker's loads.
+        with shm.export_session() as session:
+            payload_bytes = pickle.dumps(_PAYLOAD, protocol=pickle.HIGHEST_PROTOCOL)
+        manifest = session or None
+    else:  # pragma: no cover - platform without shared memory
+        payload_bytes = pickle.dumps(_PAYLOAD, protocol=pickle.HIGHEST_PROTOCOL)
+    context = multiprocessing.get_context(method) if method else None
+    try:
+        executor = ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(payload_bytes,),
+        )
+    except BaseException:
+        if manifest is not None:
+            shm.release(manifest)
+        raise
+    return executor, manifest
 
 
 def run_tasks(
@@ -142,8 +197,9 @@ def run_tasks(
         with tracing.span(
             "pool.run", mode="pool", tasks=len(tasks), jobs=jobs
         ):
+            manifest: Optional[List] = None
             try:
-                executor = _make_executor(min(jobs, len(tasks)))
+                executor, manifest = _make_executor(min(jobs, len(tasks)))
             except (OSError, ValueError, PermissionError) as exc:
                 warnings.warn(
                     f"process pool unavailable ({exc}); running serially",
@@ -178,5 +234,9 @@ def run_tasks(
                 return [fn(task) for task in tasks]
             finally:
                 executor.shutdown(wait=True)
+                if manifest is not None:
+                    # Workers have attached (or died); the master can
+                    # drop its segments now.
+                    shm.release(manifest)
     finally:
         _PAYLOAD = previous

@@ -1,0 +1,161 @@
+"""Shared-memory segments for zero-copy pool payload transport.
+
+Spawned pool workers normally receive the payload as one pickle blob
+(:mod:`repro.parallel.pool`).  Large numpy buffers — the columnar
+snapshot's encoded attribute matrices — do not need to travel through
+that blob at all: the master copies them once into
+``multiprocessing.shared_memory`` segments and pickles only small
+*descriptors* (segment name, dtype, shape); each worker attaches the
+segment and maps the arrays back as read-only views without copying.
+
+The protocol is deliberately explicit:
+
+* The master wraps payload pickling in :func:`export_session`.  Only
+  inside that session do shm-aware objects (``ColumnarSnapshot``)
+  replace their arrays with descriptors; everywhere else they pickle
+  as plain arrays, which keeps artifacts, caches and the serial path
+  oblivious to this module.
+* Every segment created during the session lands in the session
+  manifest.  The master calls :func:`release` after the pool has shut
+  down — workers hold their own attachments open, so unlinking after
+  shutdown is safe on every platform.
+* Attach-side segments are unregistered from the
+  ``resource_tracker`` (it would otherwise unlink them when the
+  *worker* exits, racing the master and other workers — fixed upstream
+  only in Python 3.13's ``track=False``).
+
+When shared memory is unavailable (platform, permissions, exhausted
+``/dev/shm``), everything silently falls back to the plain pickle path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import resource_tracker, shared_memory
+
+    SHM_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+    SHM_AVAILABLE = False
+
+#: Manifest of segments created during the current export session, or
+#: ``None`` when no session is active (the common case).
+_ACTIVE: Optional[List["shared_memory.SharedMemory"]] = None
+
+
+@dataclass(frozen=True)
+class SegmentLayout:
+    """Where one array lives inside a shared segment."""
+
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+
+def exporting() -> bool:
+    """Whether an export session is active (and shm is usable)."""
+    return SHM_AVAILABLE and _ACTIVE is not None
+
+
+@contextmanager
+def export_session() -> Iterator[List]:
+    """Collect the shared-memory segments created while pickling.
+
+    Yields the manifest; the caller must :func:`release` it once the
+    consumers (pool workers) are guaranteed to have attached — in
+    practice, after ``executor.shutdown(wait=True)``.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("shared-memory export sessions do not nest")
+    manifest: List = []
+    _ACTIVE = manifest
+    try:
+        yield manifest
+    finally:
+        _ACTIVE = None
+
+
+def create_segment(nbytes: int):
+    """A new shared segment registered with the active session.
+
+    Returns ``None`` when no session is active or the segment cannot be
+    created — callers fall back to pickling their arrays inline.
+    """
+    if not exporting():
+        return None
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1))
+    except OSError:  # /dev/shm full, permissions, ...
+        return None
+    _ACTIVE.append(segment)
+    obs_metrics.counter(
+        "repro_columnar_shm_bytes_total",
+        "Bytes exported through shared-memory payload segments",
+    ).inc(float(nbytes))
+    return segment
+
+
+def attach_segment(name: str):
+    """Attach an existing segment by name (worker side).
+
+    The attachment is unregistered from the resource tracker so worker
+    exit does not unlink a segment the master still owns.
+    """
+    if not SHM_AVAILABLE:  # pragma: no cover - guarded by callers
+        raise RuntimeError("shared memory is not available on this platform")
+    segment = shared_memory.SharedMemory(name=name)
+    try:  # pragma: no cover - tracker internals vary across versions
+        resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass
+    return segment
+
+
+def write_array(segment, array: np.ndarray, offset: int) -> SegmentLayout:
+    """Copy ``array`` into ``segment`` at ``offset``; returns its layout."""
+    array = np.ascontiguousarray(array)
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf, offset=offset)
+    view[...] = array
+    return SegmentLayout(dtype=array.dtype.str, shape=tuple(array.shape), offset=offset)
+
+
+def read_array(segment, layout: SegmentLayout) -> np.ndarray:
+    """A read-only array view over ``segment`` described by ``layout``."""
+    array = np.ndarray(
+        layout.shape,
+        dtype=np.dtype(layout.dtype),
+        buffer=segment.buf,
+        offset=layout.offset,
+    )
+    array.flags.writeable = False
+    return array
+
+
+def aligned(offset: int, alignment: int = 16) -> int:
+    """Round ``offset`` up to the next ``alignment`` boundary."""
+    return (offset + alignment - 1) // alignment * alignment
+
+
+def release(manifest: List, unlink: bool = True) -> None:
+    """Close (and by default unlink) every segment in a manifest."""
+    for segment in manifest:
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover
+            pass
+        if unlink:
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+    manifest.clear()

@@ -29,6 +29,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.config.store import ConfigurationStore, PairKey
 from repro.core.auric import AuricConfig, AuricEngine, _ParameterModel
+from repro.core.columnar import ColumnarSnapshot
 from repro.dataio.export import snapshot_fingerprint
 from repro.dataio.keys import (
     carrier_key_from_str,
@@ -41,7 +42,13 @@ from repro.netmodel.network import Network
 from repro.obs.provenance import AttributeDependence
 
 #: Version of the artifact document schema (bump on layout changes).
-ARTIFACT_SCHEMA_VERSION = 1
+#: v2 adds the optional ``columnar`` snapshot section and the
+#: ``config.columnar`` flag; both are additive, so v1 documents still
+#: load (the engine re-encodes on first use).
+ARTIFACT_SCHEMA_VERSION = 2
+
+#: Schema versions :func:`engine_from_dict` accepts.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 _ARTIFACT_KIND = "auric-engine-artifact"
 
@@ -134,7 +141,7 @@ def engine_to_dict(
     if fingerprint is None:
         fingerprint = snapshot_fingerprint(engine.network, engine.store)
     config = engine.config
-    return {
+    payload = {
         "schema_version": ARTIFACT_SCHEMA_VERSION,
         "kind": _ARTIFACT_KIND,
         "snapshot_fingerprint": fingerprint,
@@ -147,12 +154,20 @@ def engine_to_dict(
             "min_local_votes": config.min_local_votes,
             "max_fit_samples": config.max_fit_samples,
             "seed": config.seed,
+            "columnar": config.columnar,
         },
         "models": [
             _model_to_dict(model)
             for _, model in sorted(engine.fitted_models().items())
         ],
     }
+    # Persist the encoded snapshot when the engine holds one, so a
+    # loaded serving engine skips the one-time encoding pass.  Purely
+    # additive: loaders without the key re-encode on first use.
+    snapshot = engine.columnar_snapshot()
+    if snapshot is not None:
+        payload["columnar"] = snapshot.to_dict()
+    return payload
 
 
 def engine_from_dict(
@@ -171,7 +186,7 @@ def engine_from_dict(
     if payload.get("kind") != _ARTIFACT_KIND:
         raise ArtifactError(f"not an engine artifact: kind={payload.get('kind')!r}")
     version = payload.get("schema_version")
-    if version != ARTIFACT_SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise ArtifactError(f"unsupported artifact schema version {version!r}")
     if verify_fingerprint:
         actual = snapshot_fingerprint(network, store)
@@ -184,6 +199,8 @@ def engine_from_dict(
             )
     config = AuricConfig(**payload["config"])
     engine = AuricEngine(network, store, config)
+    if "columnar" in payload:
+        engine.attach_columnar(ColumnarSnapshot.from_dict(payload["columnar"]))
     for model_payload in payload["models"]:
         model = _model_from_dict(model_payload, engine)
         engine.install_model(model.spec.name, model)

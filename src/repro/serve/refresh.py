@@ -136,6 +136,10 @@ class EngineRefresher:
                     count += 1
             if count:
                 added[name] = count
+                # The store gained values for this parameter: its
+                # encoded label columns no longer match and must be
+                # re-encoded before the next columnar fit.
+                engine.invalidate_columnar(name)
                 self.service.invalidate(name)
 
         duration = time.perf_counter() - started

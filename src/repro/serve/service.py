@@ -465,6 +465,10 @@ class RecommendationService:
         try:
             with self._lock:
                 self._engine.catalog.spec(parameter)
+                # The configured value changed under the snapshot: the
+                # parameter's encoded label column is stale alongside the
+                # cached votes.
+                self._engine.invalidate_columnar(parameter)
         except UnknownParameterError:
             return
         self.invalidate(parameter)

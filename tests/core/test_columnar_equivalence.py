@@ -1,0 +1,134 @@
+"""Legacy-vs-columnar equivalence: the byte-identity contract.
+
+``AuricConfig(columnar=False)`` pins the engine to the historical
+tuple/Counter implementation end to end (fitting *and* every voting
+fast path).  These tests fit both engines over several generation
+seeds and assert the fitted state and the LOO evaluation are
+*identical* — not approximately equal — down to Counter insertion
+order, float vote sums and mismatch lists.
+"""
+
+import pytest
+
+from repro.core.auric import AuricConfig, AuricEngine
+from repro.datagen.generator import generate_dataset
+from repro.datagen.profiles import GenerationProfile, four_market_profile
+from repro.eval.runner import EvaluationRunner
+
+SEEDS = (7, 11, 23)
+PARAMETERS_PER_SEED = 4
+MAX_TARGETS = 120
+
+
+def _dataset(seed: int):
+    base = four_market_profile()
+    return generate_dataset(
+        GenerationProfile(markets=base.markets[:1], seed=seed)
+    )
+
+
+def _fittable_parameters(dataset, count):
+    names = []
+    for name in sorted(dataset.store.catalog.names):
+        spec = dataset.store.catalog.spec(name)
+        values = (
+            dataset.store.pairwise_values(name)
+            if spec.is_pairwise
+            else dataset.store.singular_values(name)
+        )
+        if values:
+            names.append(name)
+        if len(names) >= count:
+            break
+    return names
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def engine_pair(request):
+    dataset = _dataset(request.param)
+    parameters = _fittable_parameters(dataset, PARAMETERS_PER_SEED)
+    legacy = AuricEngine(
+        dataset.network, dataset.store, AuricConfig(columnar=False)
+    ).fit(parameters)
+    columnar = AuricEngine(
+        dataset.network, dataset.store, AuricConfig(columnar=True)
+    ).fit(parameters)
+    return dataset, parameters, legacy, columnar
+
+
+class TestFittedStateIdentical:
+    def test_dependent_attributes(self, engine_pair):
+        _, parameters, legacy, columnar = engine_pair
+        for name in parameters:
+            a, b = legacy._models[name], columnar._models[name]
+            assert a.dependent_columns == b.dependent_columns
+            assert a.dependent_names == b.dependent_names
+            assert a.dependent_stats == b.dependent_stats
+
+    def test_vote_indexes_including_insertion_order(self, engine_pair):
+        _, parameters, legacy, columnar = engine_pair
+        for name in parameters:
+            a, b = legacy._models[name], columnar._models[name]
+            assert a.cell_index == b.cell_index
+            assert list(a.cell_index) == list(b.cell_index)
+            for cell in a.cell_index:
+                assert list(a.cell_index[cell].items()) == list(
+                    b.cell_index[cell].items()
+                )
+            assert a.global_counts == b.global_counts
+            assert list(a.global_counts.items()) == list(
+                b.global_counts.items()
+            )
+
+    def test_samples_and_topology(self, engine_pair):
+        _, parameters, legacy, columnar = engine_pair
+        for name in parameters:
+            a, b = legacy._models[name], columnar._models[name]
+            assert a.samples == b.samples
+            assert list(a.samples) == list(b.samples)
+            assert a.by_carrier == b.by_carrier
+            assert a.weights == b.weights
+
+
+class TestEvaluationIdentical:
+    def test_loo_accuracy_and_mismatches(self, engine_pair):
+        dataset, parameters, legacy, columnar = engine_pair
+        legacy_result = EvaluationRunner(dataset, seed=11).loo_accuracy(
+            legacy, parameters, max_targets_per_parameter=MAX_TARGETS
+        )
+        columnar_result = EvaluationRunner(dataset, seed=11).loo_accuracy(
+            columnar, parameters, max_targets_per_parameter=MAX_TARGETS
+        )
+        assert (
+            legacy_result.parameter_accuracy_local
+            == columnar_result.parameter_accuracy_local
+        )
+        assert (
+            legacy_result.parameter_accuracy_global
+            == columnar_result.parameter_accuracy_global
+        )
+        assert legacy_result.mismatches_local == columnar_result.mismatches_local
+        assert (
+            legacy_result.mismatches_global == columnar_result.mismatches_global
+        )
+        assert legacy_result.evaluated == columnar_result.evaluated
+
+    def test_single_recommendations_identical(self, engine_pair):
+        _, parameters, legacy, columnar = engine_pair
+        for name in parameters:
+            model = legacy._models[name]
+            keys = list(model.samples)[:40]
+            for local in (False, True):
+                a = legacy.recommend_for_targets(
+                    name, keys, local=local, leave_one_out=True
+                )
+                b = columnar.recommend_for_targets(
+                    name, keys, local=local, leave_one_out=True
+                )
+                assert [
+                    (r.value, r.support, r.matched, r.scope, r.confident)
+                    for r in a
+                ] == [
+                    (r.value, r.support, r.matched, r.scope, r.confident)
+                    for r in b
+                ]

@@ -56,7 +56,12 @@ class TestGlobalRelaxation:
             pytest.skip("needs at least two dependent attributes")
         row = self.alien_row(pmax_engine, dataset, depth=1)
         first = pmax_engine.recommend_global("pMax", row)
-        assert model._relaxed  # lazily built on first use
+        # Lazily built on first use: the columnar path caches per-level
+        # plurality tables directly; the legacy path caches the raw
+        # relaxed Counter indexes as well.
+        assert model._relaxed_tables
+        if model._encoded is None:
+            assert model._relaxed
         second = pmax_engine.recommend_global("pMax", row)
         assert first.value == second.value
         assert first.support == second.support

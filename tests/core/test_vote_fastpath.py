@@ -1,0 +1,155 @@
+"""Regression tests for the voting fast paths.
+
+Covers the two small optimizations that ride along with the columnar
+work:
+
+* :meth:`AuricEngine._vote_counter` returns the *stored* counter
+  uncopied when no leave-one-out exclusion applies (the hot path of a
+  plain recommendation), and copies only when an exclusion actually
+  modifies the counts.
+* :meth:`CollaborativeFilteringRecommender.vote` computes each probed
+  level's total once and derives ``exact_match_exists`` from the
+  level-0 probe — same outcomes, one pass.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import AuricConfig, AuricEngine
+from repro.core.columnar import CellVoteTable
+from repro.exceptions import ColdStartError
+from repro.learners.collaborative_filtering import (
+    CollaborativeFilteringRecommender,
+)
+
+
+class TestVoteCounterNoCopy:
+    def test_no_exclusion_returns_stored_counter_uncopied(self, engine):
+        model = engine._model("pMax")
+        cell = next(iter(model.cell_index))
+        counter = engine._vote_counter(model, cell, exclude=None)
+        assert counter is model.cell_index[cell]
+
+    def test_irrelevant_exclusion_returns_stored_counter_uncopied(
+        self, engine
+    ):
+        model = engine._model("pMax")
+        cells = iter(model.cell_index)
+        cell = next(cells)
+        # An exclusion key living in a *different* cell does not modify
+        # this cell's counts, so no copy is needed.
+        other_key = next(
+            key
+            for key, (sample_cell, _) in model.samples.items()
+            if sample_cell != cell
+        )
+        counter = engine._vote_counter(model, cell, exclude=other_key)
+        assert counter is model.cell_index[cell]
+
+    def test_applicable_exclusion_copies(self, engine):
+        model = engine._model("pMax")
+        key, (cell, label) = next(iter(model.samples.items()))
+        counter = engine._vote_counter(model, cell, exclude=key)
+        stored = model.cell_index[cell]
+        assert counter is not stored
+        # The stored counter is untouched; the copy lost one vote.
+        assert sum(counter.values()) == sum(stored.values()) - 1.0
+
+    def test_unknown_cell_returns_empty(self, engine):
+        model = engine._model("pMax")
+        assert engine._vote_counter(
+            model, ("no-such-cell",), exclude=None
+        ) == Counter()
+
+
+class TestVoteTableConsistentWithCounters(object):
+    def test_table_agrees_with_stored_counters(self, engine):
+        model = engine._model("pMax")
+        table = CellVoteTable(model.cell_index)
+        for cell, counter in model.cell_index.items():
+            value, top, total = table.vote(cell)
+            assert (value, top) == counter.most_common(1)[0]
+            assert total == sum(counter.values())
+
+
+# Both columns are needed to predict the label, so the chi-square
+# selection keeps both and the voter has a level to relax into.
+ROWS = [
+    ("urban", 10), ("urban", 20), ("rural", 10), ("rural", 20),
+] * 8
+LABELS = ["a", "b", "c", "d"] * 8
+
+
+def _fitted_cf(**kwargs):
+    recommender = CollaborativeFilteringRecommender(
+        min_matched=1, **kwargs
+    )
+    recommender.fit(ROWS, LABELS)
+    return recommender
+
+
+class TestCollaborativeFilteringVote:
+    def test_exact_match_vote(self):
+        recommender = _fitted_cf()
+        outcome = recommender.vote(("urban", 10))
+        assert outcome.value == "a"
+        assert not outcome.fallback_used
+
+    def test_relaxed_vote_marks_fallback(self):
+        recommender = _fitted_cf()
+        if len(recommender.dependent_attributes) < 2:
+            pytest.skip("needs >= 2 dependent attributes to relax")
+        outcome = recommender.vote(("urban", 99))
+        assert outcome.fallback_used
+
+    def test_error_fallback_raises_cold_start_without_exact_match(self):
+        recommender = _fitted_cf(fallback="error")
+        if len(recommender.dependent_attributes) < 2:
+            pytest.skip("needs >= 2 dependent attributes to relax")
+        with pytest.raises(ColdStartError):
+            recommender.vote(("urban", 99))
+
+    def test_error_fallback_still_answers_exact_matches(self):
+        recommender = _fitted_cf(fallback="error")
+        assert recommender.vote(("rural", 10)).value == "c"
+
+    def test_support_is_top_over_level_total(self):
+        recommender = _fitted_cf()
+        outcome = recommender.vote(("urban", 10))
+        index = recommender._indexes[0]
+        key = tuple(
+            ("urban", 10)[col] for col in recommender._prefixes[0]
+        )
+        counter = index[key]
+        assert outcome.matched_weight == sum(counter.values())
+        assert outcome.support == (
+            counter.most_common(1)[0][1] / sum(counter.values())
+        )
+
+
+class TestFastPathGating:
+    def test_columnar_false_disables_vote_table(self, dataset):
+        engine = AuricEngine(
+            dataset.network, dataset.store, AuricConfig(columnar=False)
+        ).fit(["pMax"])
+        model = engine._model("pMax")
+        assert engine._cell_vote_table(model) is None
+
+    def test_columnar_true_builds_and_caches_vote_table(self, engine):
+        model = engine._model("pMax")
+        table = engine._cell_vote_table(model)
+        assert table is not None
+        assert engine._cell_vote_table(model) is table
+
+    def test_add_sample_invalidates_fast_path_caches(self, dataset):
+        engine = AuricEngine(dataset.network, dataset.store).fit(["pMax"])
+        model = engine._model("pMax")
+        engine._cell_vote_table(model)
+        engine._local_vote_index(model)
+        key, (cell, label) = next(iter(model.samples.items()))
+        row = engine.carrier_row(key)
+        model.add_sample(key, row, label)
+        assert model._vote_table is None
+        assert model._local_index is None
+        assert model._relaxed_tables == {}

@@ -1,0 +1,120 @@
+"""Shared-memory transport of the columnar snapshot.
+
+Outside an export session the snapshot pickles its arrays inline (the
+serial path, artifacts, fork pools); inside one it ships descriptors
+into a ``multiprocessing.shared_memory`` segment and workers attach
+zero-copy.  Both directions — and the spawn-pool end-to-end identity —
+are covered here.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import AuricEngine
+from repro.core.columnar import ColumnarSnapshot
+from repro.parallel import shm
+from repro.parallel.pool import START_METHOD_ENV
+
+
+def _snapshot(dataset, count=2):
+    specs = []
+    for name in sorted(dataset.store.catalog.names):
+        spec = dataset.store.catalog.spec(name)
+        values = (
+            dataset.store.pairwise_values(name)
+            if spec.is_pairwise
+            else dataset.store.singular_values(name)
+        )
+        if values:
+            specs.append(spec)
+        if len(specs) >= count:
+            break
+    return ColumnarSnapshot.encode(dataset.network, dataset.store, specs)
+
+
+def _assert_same_snapshot(a: ColumnarSnapshot, b: ColumnarSnapshot) -> None:
+    assert b.carrier_ids == a.carrier_ids
+    assert np.array_equal(b.codes, a.codes)
+    assert b.vocabs == a.vocabs
+    assert set(b.parameters) == set(a.parameters)
+    for name, columns in a.parameters.items():
+        other = b.parameters[name]
+        assert np.array_equal(other.sources, columns.sources)
+        assert np.array_equal(other.label_codes, columns.label_codes)
+        assert other.label_vocab == columns.label_vocab
+
+
+class TestPickleFallback:
+    def test_plain_pickle_outside_export_session(self, dataset):
+        snapshot = _snapshot(dataset)
+        state = snapshot.__getstate__()
+        assert "arrays" in state and "shm_name" not in state
+        _assert_same_snapshot(snapshot, pickle.loads(pickle.dumps(snapshot)))
+
+
+@pytest.mark.skipif(not shm.SHM_AVAILABLE, reason="no shared memory")
+class TestSharedMemoryTransport:
+    def test_export_session_ships_descriptors(self, dataset):
+        snapshot = _snapshot(dataset)
+        with shm.export_session() as manifest:
+            blob = pickle.dumps(snapshot)
+            assert manifest, "no segment was created"
+            # The attach side maps the arrays back without copying.
+            rebuilt = pickle.loads(blob)
+            _assert_same_snapshot(snapshot, rebuilt)
+            assert rebuilt._shm_segment is not None
+            assert not rebuilt.codes.flags.writeable
+            del rebuilt
+            shm.release(manifest)
+
+    def test_segment_released_after_session(self, dataset):
+        snapshot = _snapshot(dataset)
+        with shm.export_session() as manifest:
+            pickle.dumps(snapshot)
+            names = [segment.name for segment in manifest]
+            shm.release(manifest)
+        assert manifest == []
+        from multiprocessing import shared_memory
+
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_sessions_do_not_nest(self):
+        with shm.export_session() as manifest:
+            with pytest.raises(RuntimeError):
+                with shm.export_session():
+                    pass
+            shm.release(manifest)
+
+    def test_create_segment_inactive_returns_none(self):
+        assert shm.create_segment(128) is None
+
+
+class TestSpawnPoolIdentity:
+    def test_spawn_fit_matches_serial(self, dataset):
+        """A spawn-start pool (shm transport active) fits byte-identical
+        models to the serial path."""
+        parameters = ["pMax", "inactivityTimer"]
+        serial = AuricEngine(dataset.network, dataset.store).fit(parameters)
+        previous = os.environ.get(START_METHOD_ENV)
+        os.environ[START_METHOD_ENV] = "spawn"
+        try:
+            pooled = AuricEngine(dataset.network, dataset.store).fit(
+                parameters, jobs=2
+            )
+        finally:
+            if previous is None:
+                del os.environ[START_METHOD_ENV]
+            else:
+                os.environ[START_METHOD_ENV] = previous
+        for name in parameters:
+            a, b = serial._models[name], pooled._models[name]
+            assert a.dependent_columns == b.dependent_columns
+            assert a.cell_index == b.cell_index
+            assert list(a.cell_index) == list(b.cell_index)
+            assert a.global_counts == b.global_counts
+            assert a.samples == b.samples

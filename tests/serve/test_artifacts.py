@@ -115,3 +115,50 @@ class TestArtifactValidation:
     def test_summary_renders(self, fitted_engine):
         text = artifact_summary(engine_to_dict(fitted_engine))
         assert "3 parameter models" in text
+
+
+class TestColumnarPersistence:
+    """Schema v2: the encoded snapshot travels with the artifact."""
+
+    def test_v2_artifact_carries_columnar_section(self, fitted_engine):
+        payload = engine_to_dict(fitted_engine)
+        assert payload["schema_version"] == 2
+        assert "columnar" in payload
+        assert payload["config"]["columnar"] is True
+        encoded = payload["columnar"]
+        assert encoded["carrier_ids"]
+        assert {p["parameter"] for p in encoded["parameters"]} >= set(
+            SERVE_PARAMETERS
+        )
+
+    def test_loaded_engine_adopts_encoded_snapshot(self, reloaded):
+        snapshot = reloaded.columnar_snapshot()
+        assert snapshot is not None
+        for name in SERVE_PARAMETERS:
+            assert snapshot.has_parameter(name)
+
+    def test_v1_artifact_still_loads(self, fitted_engine, dataset):
+        """Pre-columnar documents lack the section and the config flag;
+        they load with defaults and re-encode on first use."""
+        payload = json.loads(json.dumps(engine_to_dict(fitted_engine)))
+        payload["schema_version"] = 1
+        payload.pop("columnar")
+        payload["config"].pop("columnar")
+        engine = engine_from_dict(payload, dataset.network, dataset.store)
+        assert engine.columnar_snapshot() is None
+        assert engine.config.columnar is True
+        assert engine.fitted_parameters() == fitted_engine.fitted_parameters()
+
+    def test_legacy_config_round_trips_without_snapshot(self, dataset, tmp_path):
+        config = AuricConfig(columnar=False)
+        engine = AuricEngine(dataset.network, dataset.store, config).fit(
+            ["pMax"]
+        )
+        payload = engine_to_dict(engine)
+        assert payload["config"]["columnar"] is False
+        assert "columnar" not in payload
+        path = tmp_path / "legacy.json"
+        save_engine(engine, str(path))
+        loaded = load_engine(str(path), dataset.network, dataset.store)
+        assert loaded.config.columnar is False
+        assert loaded.columnar_snapshot() is None

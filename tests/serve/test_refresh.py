@@ -121,6 +121,28 @@ class TestIncrementalAdd:
         assert service.metrics.refreshes == 1
         assert service.metrics.refresh_duration.count == 1
 
+    def test_incremental_drops_stale_encoded_columns(
+        self, dataset, timeline, initial_carriers
+    ):
+        """The store mutates under the engine's columnar snapshot: the
+        affected parameters' encoded columns must be re-encoded before
+        the next columnar fit."""
+        service, replay = make_replay_service(dataset, timeline, initial_carriers)
+        engine = service.engine
+        snapshot = engine.columnar_snapshot()
+        assert snapshot is not None
+        result = replay.advance_to(START_QUARTER + 2)
+        if not result.total_added:
+            pytest.skip("no carriers launched in the replayed quarters")
+        for name in result.added:
+            assert not snapshot.has_parameter(name)
+        # Refitting an updated parameter re-encodes from the mutated
+        # store and picks up the new electorate.
+        name = next(iter(result.added))
+        before = len(engine.fitted_models()[name].samples)
+        engine.fit([name])
+        assert len(engine.fitted_models()[name].samples) == before
+
     def test_advance_backwards_rejected(self, dataset, timeline, initial_carriers):
         _, replay = make_replay_service(dataset, timeline, initial_carriers)
         with pytest.raises(ValueError, match="backwards"):
