@@ -147,3 +147,78 @@ def test_metrics_exposition(
     if dump:
         with open(dump, "w") as handle:
             handle.write(text)
+
+
+def test_health_instrumentation_overhead(
+    four_market_dataset, serve_engine, request_stream, results_dir
+):
+    """Acceptance: drift tracking + the sampling profiler cost < 5% on
+    the warm serve path (tunable via ``REPRO_HEALTH_MAX_OVERHEAD``).
+
+    Two identical warm services serve the same stream; one carries the
+    full health instrumentation (sampled drift window + wall-clock
+    profiler).  Timings interleave round-by-round and the best round
+    wins, so scheduler noise hits both sides equally.  The measured
+    overhead lands in ``benchmarks/results/BENCH_health.json``.
+    """
+    import json
+
+    from repro.obs.profiler import SamplingProfiler
+
+    max_overhead = float(os.environ.get("REPRO_HEALTH_MAX_OVERHEAD", "0.05"))
+    rounds, batches_per_round = 7, 3
+
+    plain = make_service(four_market_dataset, serve_engine)
+    instrumented = make_service(four_market_dataset, serve_engine)
+    instrumented.enable_drift_tracking(sample_every=8)
+    profiler = SamplingProfiler(interval=0.002)
+
+    def timed_batches(service):
+        started = time.perf_counter()
+        for _ in range(batches_per_round):
+            service.recommend_batch(
+                request_stream, parameters=SERVE_PARAMETERS
+            )
+        return time.perf_counter() - started
+
+    # Warm both vote caches before any timing.
+    timed_batches(plain)
+    timed_batches(instrumented)
+
+    plain_s, instrumented_s = [], []
+    for _ in range(rounds):
+        plain_s.append(timed_batches(plain))
+        with profiler:
+            instrumented_s.append(timed_batches(instrumented))
+
+    # The instrumentation was genuinely on while measured.
+    requests_served = (rounds + 1) * batches_per_round * len(request_stream)
+    assert instrumented.drift_window.seen == requests_served
+    assert instrumented.drift_window.sampled > 0
+    assert profiler.samples > 0
+
+    best_plain, best_instrumented = min(plain_s), min(instrumented_s)
+    overhead = (best_instrumented - best_plain) / best_plain
+
+    report = instrumented.drift_report()
+    document = {
+        "requests_per_batch": len(request_stream),
+        "rounds": rounds,
+        "batches_per_round": batches_per_round,
+        "plain_best_s": best_plain,
+        "instrumented_best_s": best_instrumented,
+        "overhead": overhead,
+        "max_overhead": max_overhead,
+        "profiler_samples": profiler.samples,
+        "drift_window_sampled": instrumented.drift_window.sampled,
+        "drift_psi_max": None if report is None else report.psi_max,
+    }
+    path = results_dir / "BENCH_health.json"
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"\nhealth overhead benchmark: {json.dumps(document, indent=2)}")
+
+    assert overhead < max_overhead, (
+        f"health instrumentation overhead {overhead:.2%} exceeds "
+        f"{max_overhead:.0%} (plain {best_plain:.4f}s vs "
+        f"instrumented {best_instrumented:.4f}s)"
+    )

@@ -215,7 +215,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--requests", type=int, default=20,
         help="leave-one-out requests to serve (default: 20)",
     )
+
+    health = sub.add_parser(
+        "health",
+        parents=[common, workload],
+        help="serve an exercise stream and report drift / SLO / profile "
+        "health (exit 0 healthy, 1 degraded, 2 failing)",
+    )
+    _health_options(health)
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        parents=[common, workload],
+        help="write a static-HTML health snapshot (metrics, drift, "
+        "SLOs, top profile frames)",
+    )
+    _health_options(dashboard)
     return parser
+
+
+def _health_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``health`` and ``dashboard``."""
+    parser.add_argument(
+        "--workload",
+        choices=sorted(_WORKLOADS),
+        default="tiny",
+        help="workload to fit and exercise (default: tiny)",
+    )
+    parser.add_argument(
+        "--snapshot", default=None,
+        help="snapshot JSON (repro.dataio format) to fit/serve instead "
+        "of a generated workload",
+    )
+    parser.add_argument(
+        "--parameters", default="pMax,inactivityTimer",
+        help="comma-separated parameters to serve",
+    )
+    parser.add_argument(
+        "--artifact", default=None,
+        help="load this fitted engine artifact instead of fitting",
+    )
+    parser.add_argument(
+        "--save-artifact", default=None,
+        help="persist the fitted engine artifact here",
+    )
+    parser.add_argument(
+        "--no-verify-artifact", action="store_true",
+        help="serve an artifact even if it was fitted on another snapshot",
+    )
+    parser.add_argument(
+        "--live", default=None, metavar="PATH",
+        help="live snapshot JSON to score drift against (default: the "
+        "served request stream itself)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=None,
+        help="leave-one-out requests to serve (default: two passes over "
+        "the carrier population — stationary by construction, and the "
+        "second pass exercises the vote cache)",
+    )
+    parser.add_argument(
+        "--shadow-targets", type=int, default=25,
+        help="LOO targets per parameter for the shadow accuracy audit "
+        "(0 disables; default: 25)",
+    )
+    parser.add_argument(
+        "--no-profile", action="store_true",
+        help="skip the sampling wall-clock profiler",
+    )
+    parser.add_argument(
+        "--profile-output", default=None, metavar="PATH",
+        help="write flamegraph-collapsed profiler stacks here",
+    )
+    parser.add_argument(
+        "--slo-latency-p99", type=float, default=0.1,
+        help="latency SLO: p99 served-request seconds (default: 0.1)",
+    )
 
 
 def _engine_config(args):
@@ -486,6 +561,163 @@ def _run_metrics(args) -> int:
     return 0
 
 
+def _collect_health(args):
+    """The shared engine behind ``health`` and ``dashboard``.
+
+    Fits (or loads) an engine, serves a leave-one-out exercise stream
+    through a drift-tracking service under the sampling profiler, runs
+    the shadow accuracy audit, scores drift (against ``--live`` or the
+    served stream) and evaluates the stock SLOs.  Returns
+    ``(HealthReport, MetricsRegistry)``.
+    """
+    from repro.config.rulebook import RuleBook
+    from repro.core.auric import AuricEngine
+    from repro.core.recommendation import RecommendRequest
+    from repro.dataio import load_dataset_json
+    from repro.eval.runner import EvaluationRunner
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.health import HealthReport, attribute_distributions
+    from repro.obs.profiler import SamplingProfiler
+    from repro.obs.slo import SLOEngine, default_service_slos
+    from repro.serve import RecommendationService, load_engine, save_engine
+    from repro.serve.metrics import ServiceMetrics
+
+    if args.snapshot is not None:
+        dataset = load_dataset_json(args.snapshot)
+    else:
+        dataset = _build_workload(args.workload, args.scale, args.seed)
+    parameters = [p for p in args.parameters.split(",") if p]
+    for name in parameters:
+        if name not in dataset.store.catalog:
+            raise SystemExit(f"error: unknown parameter {name!r}")
+
+    # A fresh registry, installed globally for the duration so the
+    # drift/shadow-audit gauges and the service instruments land in one
+    # exposition the SLO rules can read.
+    registry = obs_metrics.MetricsRegistry()
+    previous = obs_metrics.get_registry()
+    obs_metrics.set_registry(registry)
+    try:
+        if args.artifact is not None:
+            engine = load_engine(
+                args.artifact,
+                dataset.network,
+                dataset.store,
+                verify_fingerprint=not args.no_verify_artifact,
+            )
+        else:
+            engine = AuricEngine(
+                dataset.network, dataset.store, _engine_config(args)
+            ).fit(parameters, jobs=args.jobs)
+        if args.save_artifact is not None:
+            save_engine(engine, args.save_artifact)
+
+        service = RecommendationService(
+            engine, rulebook=RuleBook(dataset.store.catalog)
+        )
+        service.metrics = ServiceMetrics(registry=registry)
+        service.enable_drift_tracking(sample_every=1)
+
+        notes: List[str] = []
+        profiler = None
+        if not args.no_profile:
+            profiler = SamplingProfiler(interval=0.002).start()
+        try:
+            carriers = sorted(dataset.store.carriers())
+            # Default: two passes over the population — the stream then
+            # matches the fitted distributions exactly (stationary by
+            # construction) and the second pass exercises the vote cache.
+            requests = (
+                args.requests
+                if args.requests is not None
+                else 2 * len(carriers)
+            )
+            for index in range(max(requests, 0)):
+                service.handle(
+                    RecommendRequest(
+                        carrier_id=carriers[index % len(carriers)],
+                        parameters=tuple(parameters),
+                        leave_one_out=True,
+                    )
+                )
+            if args.shadow_targets > 0:
+                runner = EvaluationRunner(
+                    dataset,
+                    seed=args.seed if args.seed is not None else DEFAULT_SEED,
+                )
+                runner.shadow_audit(
+                    engine,
+                    parameters,
+                    max_targets_per_parameter=args.shadow_targets,
+                )
+        finally:
+            if profiler is not None:
+                profiler.stop()
+
+        if args.live is not None:
+            live = load_dataset_json(args.live)
+            drift = service.drift_report(
+                attribute_distributions(live.network)
+            )
+            notes.append(f"drift scored against live snapshot {args.live}")
+        else:
+            drift = service.drift_report()
+            notes.append(
+                f"drift scored over the served stream "
+                f"({service.drift_window.sampled} sampled requests)"
+            )
+        if drift is None:
+            notes.append(
+                "no drift baseline (pre-v3 artifact?) — drift not scored"
+            )
+
+        slo = SLOEngine(
+            default_service_slos(latency_p99=args.slo_latency_p99)
+        ).evaluate(registry)
+
+        profile = ()
+        if profiler is not None:
+            profile = profiler.top(10)
+            if args.profile_output is not None:
+                stacks = profiler.write_collapsed(args.profile_output)
+                notes.append(
+                    f"{stacks} collapsed stacks written to "
+                    f"{args.profile_output}"
+                )
+        report = HealthReport(
+            drift=drift, slo=slo, profile=profile, notes=notes
+        )
+        return report, registry
+    finally:
+        obs_metrics.set_registry(previous)
+
+
+def _run_health(args) -> int:
+    report, registry = _collect_health(args)
+    if args.format == "json":
+        document = {
+            "command": "health",
+            "report": report.to_dict(),
+            "registry": registry.to_dict(),
+        }
+        _emit(json.dumps(document, indent=2), args)
+    else:
+        _emit(report.to_text(), args)
+    return report.exit_code
+
+
+def _run_dashboard(args) -> int:
+    from repro.obs.dashboard import render_dashboard
+
+    report, registry = _collect_health(args)
+    html = render_dashboard(report, registry=registry)
+    path = args.output or "dashboard.html"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    print(f"dashboard written to {path} (status: {report.status})")
+    return 0
+
+
 def _configure_observability(args):
     """Wire --trace / --log-level / -v; returns a cleanup callable."""
     from repro.obs import logs, tracing
@@ -502,9 +734,13 @@ def _configure_observability(args):
         return lambda: None
     exporter = tracing.JsonlExporter(trace_path)
     tracing.configure([exporter])
+    # Flush the JSONL file even when the run exits abnormally (atexit,
+    # SIGTERM/SIGINT) — a killed serve-batch keeps its spans.
+    tracing.install_exit_flush(exporter)
 
     def cleanup() -> None:
         tracing.disable()
+        tracing.uninstall_exit_flush(exporter)
         exporter.close()
 
     return cleanup
@@ -534,6 +770,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         if args.command == "metrics":
             return _run_metrics(args)
+
+        if args.command == "health":
+            return _run_health(args)
+
+        if args.command == "dashboard":
+            return _run_dashboard(args)
     finally:
         cleanup()
 

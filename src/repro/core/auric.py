@@ -44,6 +44,7 @@ from repro.core.recommendation import (
 )
 from repro.learners.collaborative_filtering import CollaborativeFilteringRecommender
 from repro.obs import tracing
+from repro.obs.health import DriftBaseline
 from repro.obs.provenance import (
     AttributeDependence,
     ParameterExplanation,
@@ -272,6 +273,11 @@ class AuricEngine:
         self._models: Dict[str, _ParameterModel] = {}
         self._row_cache: Dict[CarrierId, Row] = {}
         self._columnar: Optional[ColumnarSnapshot] = None
+        #: Fit-time attribute/parameter distributions — the population
+        #: the models saw.  Captured by :meth:`fit`, persisted in serve
+        #: artifacts and scored against live snapshots by
+        #: :class:`repro.obs.health.DriftDetector`.
+        self.drift_baseline: Optional[DriftBaseline] = None
         # When True, _finish captures the full vote distribution on each
         # ParameterRecommendation (set around explain-flagged requests;
         # the hot path leaves it off).
@@ -342,9 +348,17 @@ class AuricEngine:
                     columnar=self._columnar,
                 )
                 self._models.update(fitted)
-                return self
-            for spec in specs:
-                self._models[spec.name] = self._fit_parameter(spec, vote_weights)
+            else:
+                for spec in specs:
+                    self._models[spec.name] = self._fit_parameter(
+                        spec, vote_weights
+                    )
+            # Baseline must be captured here, at fit time — a snapshot
+            # mutated after fit has, by definition, drifted from what
+            # the models learned.
+            self.drift_baseline = DriftBaseline.capture(
+                self.network, self.store, parameters=sorted(self._models)
+            )
             return self
 
     def ensure_columnar(

@@ -261,6 +261,60 @@ class EvaluationRunner:
             result.evaluated += n
         return result
 
+    def shadow_audit(
+        self,
+        engine: AuricEngine,
+        parameters: Optional[Sequence[str]] = None,
+        max_targets_per_parameter: int = 50,
+        scope: str = "global",
+    ) -> Dict[str, float]:
+        """A cheap LOO spot-check feeding the accuracy SLO.
+
+        Samples a small per-parameter target set (deterministic via the
+        runner's derived seeds) and leave-one-out-evaluates the *fitted*
+        engine against the currently configured values — the shadow
+        traffic a live deployment would replay off the serving path.
+        Publishes ``repro_shadow_audit_accuracy`` (mean over parameters)
+        and per-parameter ``repro_shadow_audit_parameter_accuracy``
+        gauges on the global registry, which the stock
+        ``shadow-accuracy`` SLO rule (:mod:`repro.obs.slo`) reads.
+        Returns the per-parameter accuracies.
+        """
+        from repro.obs import metrics
+
+        if parameters is None:
+            parameters = engine.fitted_parameters()
+        with tracing.span(
+            "eval.shadow_audit", parameters=len(parameters)
+        ) as sp:
+            result = self.loo_accuracy(
+                engine,
+                parameters,
+                max_targets_per_parameter=max_targets_per_parameter,
+                scopes=(scope,),
+            )
+            accuracies = (
+                result.parameter_accuracy_local
+                if scope == "local"
+                else result.parameter_accuracy_global
+            )
+            per_parameter = metrics.gauge(
+                "repro_shadow_audit_parameter_accuracy",
+                "Shadow LOO audit accuracy per parameter",
+                labelnames=("parameter",),
+            )
+            for name, accuracy in accuracies.items():
+                per_parameter.labels(parameter=name).set(accuracy)
+            if accuracies:
+                mean = sum(accuracies.values()) / len(accuracies)
+                metrics.gauge(
+                    "repro_shadow_audit_accuracy",
+                    "Mean shadow LOO audit accuracy across parameters",
+                ).set(mean)
+                sp.set("accuracy", round(mean, 4))
+            sp.set("targets", result.evaluated)
+            return dict(accuracies)
+
     def loo_accuracy_by_market(
         self,
         engine: AuricEngine,

@@ -11,12 +11,23 @@ Three pillars, all zero-cost when disabled:
   attached to recommendation results and audit history.
 
 Plus :mod:`repro.obs.logs`, a ``key=value`` structured-logging setup
-shared by the CLI and the serving/ops layers.
+shared by the CLI and the serving/ops layers, and the health layer that
+turns the raw instruments into operational signal:
+
+* :mod:`repro.obs.health` — fit-time distribution baselines scored
+  against live snapshots (PSI + chi-square drift detection) and the
+  aggregated :class:`HealthReport` behind ``repro health``,
+* :mod:`repro.obs.slo` — declarative service-level objectives over
+  existing registry instruments with error-budget accounting,
+* :mod:`repro.obs.profiler` — a sampling wall-clock profiler emitting
+  flamegraph-ready collapsed stacks with span attribution,
+* :mod:`repro.obs.dashboard` — a static-HTML health snapshot.
 """
 
 from repro.obs.logs import KeyValueFormatter, configure_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
     BucketHistogram,
     Counter,
     Gauge,
@@ -49,19 +60,61 @@ from repro.obs.tracing import (
     configure as configure_tracing,
     current_context,
     disable as disable_tracing,
+    flush_exit_exporters,
     get_tracer,
     ingest,
+    install_exit_flush,
     span,
     span_from_context,
+    uninstall_exit_flush,
     active as tracing_active,
+)
+
+# The health layer builds on metrics/tracing/logs above, so these
+# imports must stay below them (they read the partially-initialized
+# package during import).
+from repro.obs.dashboard import render_dashboard
+from repro.obs.health import (
+    AttributeDrift,
+    DriftBaseline,
+    DriftDetector,
+    DriftReport,
+    DriftThresholds,
+    DriftWindow,
+    HealthReport,
+    chi_square_drift,
+    population_stability_index,
+)
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.slo import (
+    ErrorBudget,
+    SLOEngine,
+    SLOReport,
+    SLOResult,
+    SLORule,
+    default_service_slos,
 )
 
 __all__ = [
     "AttributeDependence",
+    "AttributeDrift",
     "BucketHistogram",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DriftBaseline",
+    "DriftDetector",
+    "DriftReport",
+    "DriftThresholds",
+    "DriftWindow",
+    "ErrorBudget",
     "Gauge",
+    "HealthReport",
+    "SLOEngine",
+    "SLOReport",
+    "SLOResult",
+    "SLORule",
+    "SamplingProfiler",
     "Histogram",
     "JsonlExporter",
     "KeyValueFormatter",
@@ -75,23 +128,30 @@ __all__ = [
     "Span",
     "Tracer",
     "VoteShare",
+    "chi_square_drift",
     "collect",
     "configure_logging",
     "configure_tracing",
     "counter",
     "current_context",
+    "default_service_slos",
     "disable_metrics",
     "disable_tracing",
     "enable_metrics",
+    "flush_exit_exporters",
     "gauge",
     "get_logger",
     "get_registry",
     "get_tracer",
     "histogram",
     "ingest",
+    "install_exit_flush",
     "metrics_enabled",
+    "population_stability_index",
+    "render_dashboard",
     "set_registry",
     "span",
     "span_from_context",
     "tracing_active",
+    "uninstall_exit_flush",
 ]

@@ -1,0 +1,136 @@
+"""A static-HTML snapshot of service health.
+
+``render_dashboard`` turns a :class:`repro.obs.health.HealthReport`
+(plus, optionally, the metrics registry it was computed from) into one
+self-contained HTML page — no JavaScript, no external assets — suitable
+for a CI artifact or a cron-driven ops page.  ``repro dashboard``
+writes it to disk.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Optional
+
+from repro.obs.health import HealthReport
+
+__all__ = ["render_dashboard"]
+
+_STATUS_COLORS = {
+    "healthy": "#2e7d32",
+    "ok": "#2e7d32",
+    "stationary": "#2e7d32",
+    "no_data": "#607d8b",
+    "insufficient": "#607d8b",
+    "degraded": "#ef6c00",
+    "drifting": "#ef6c00",
+    "moderate": "#ef6c00",
+    "failing": "#c62828",
+    "stale": "#c62828",
+    "major": "#c62828",
+}
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem;
+       color: #212121; max-width: 70rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; font-size: 0.9rem; }
+th, td { text-align: left; padding: 0.3rem 0.6rem;
+         border-bottom: 1px solid #e0e0e0; }
+th { background: #fafafa; }
+td.num { font-variant-numeric: tabular-nums; text-align: right; }
+.badge { display: inline-block; padding: 0.1rem 0.5rem; border-radius:
+         0.75rem; color: #fff; font-size: 0.8rem; }
+pre { background: #fafafa; border: 1px solid #e0e0e0; padding: 0.75rem;
+      overflow-x: auto; font-size: 0.8rem; }
+"""
+
+
+def _badge(status: str) -> str:
+    color = _STATUS_COLORS.get(status, "#607d8b")
+    return (
+        f'<span class="badge" style="background:{color}">'
+        f"{html.escape(status)}</span>"
+    )
+
+
+def render_dashboard(
+    report: HealthReport,
+    registry=None,
+    title: str = "repro health",
+) -> str:
+    """One self-contained HTML health page."""
+    parts: List[str] = [
+        "<!doctype html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)} {_badge(report.status)}</h1>",
+        f"<p>exit code {report.exit_code}</p>",
+    ]
+
+    if report.drift is not None:
+        drift = report.drift
+        parts.append(
+            f"<h2>Drift {_badge(drift.verdict)}"
+            f" <small>psi_max={drift.psi_max:.4f}</small></h2>"
+        )
+        parts.append(
+            "<table><tr><th>attribute</th><th>psi</th><th>p-value</th>"
+            "<th>n</th><th>verdict</th></tr>"
+        )
+        for d in drift.attributes:
+            parts.append(
+                f"<tr><td>{html.escape(d.attribute)}</td>"
+                f'<td class="num">{d.psi:.4f}</td>'
+                f'<td class="num">{d.p_value:.4f}</td>'
+                f'<td class="num">{d.n_actual}</td>'
+                f"<td>{_badge(d.verdict)}</td></tr>"
+            )
+        parts.append("</table>")
+
+    if report.slo is not None:
+        slo = report.slo
+        parts.append(
+            f"<h2>SLOs {_badge(getattr(slo, 'status', 'ok'))}</h2>"
+        )
+        parts.append(
+            "<table><tr><th>rule</th><th>status</th><th>value</th>"
+            "<th>objective</th><th>events</th><th>budget used</th></tr>"
+        )
+        for result in getattr(slo, "results", []):
+            value = "–" if result.value is None else f"{result.value:.4f}"
+            parts.append(
+                f"<tr><td>{html.escape(result.rule.name)}</td>"
+                f"<td>{_badge(result.status)}</td>"
+                f'<td class="num">{value}</td>'
+                f'<td class="num">{html.escape(result.rule.comparator)}'
+                f"{result.rule.objective:g}</td>"
+                f'<td class="num">{result.events}</td>'
+                f'<td class="num">{result.budget_used:.2f}</td></tr>'
+            )
+        parts.append("</table>")
+
+    if report.profile:
+        parts.append("<h2>Top profile stacks</h2>")
+        parts.append(
+            "<table><tr><th>samples</th><th>collapsed stack</th></tr>"
+        )
+        for stack, samples in list(report.profile)[:15]:
+            parts.append(
+                f'<tr><td class="num">{samples}</td>'
+                f"<td><code>{html.escape(stack)}</code></td></tr>"
+            )
+        parts.append("</table>")
+
+    for note in report.notes:
+        parts.append(f"<p><em>{html.escape(note)}</em></p>")
+
+    if registry is not None:
+        text = registry.to_prometheus_text()
+        if text:
+            parts.append("<h2>Metrics</h2>")
+            parts.append(f"<pre>{html.escape(text)}</pre>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts)

@@ -29,6 +29,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 __all__ = [
     "BucketHistogram",
     "Counter",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -49,6 +51,16 @@ __all__ = [
 DEFAULT_BUCKETS = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
     0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Request-latency buckets (seconds) — tuned for an in-process service
+#: where a cache hit is microseconds and a cold vote is milliseconds.
+#: Shared by the serving facade (`repro.serve.metrics`) and the health
+#: layer's latency SLO rules, so quantiles are computed over one bucket
+#: layout.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
 )
 
 

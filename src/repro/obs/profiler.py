@@ -1,0 +1,188 @@
+"""A sampling wall-clock profiler with span attribution.
+
+A background thread wakes every ``interval`` seconds, snapshots every
+other thread's Python stack via :func:`sys._current_frames`, and folds
+each into a flamegraph-ready *collapsed stack* — ``frame;frame;frame``
+root-first, with a sample count.  When span tracking is on, the sampled
+thread's open span names (maintained by
+:func:`repro.obs.tracing.track_thread_spans`) are prepended as
+``span:<name>`` frames, so the flamegraph shows wall-clock *per
+operation* (``span:service.handle;…``) rather than only per function.
+
+Sampling costs one ``sys._current_frames`` walk per tick on the
+profiler thread — nothing is installed on the profiled threads
+themselves (no ``sys.settrace``), which is what keeps the overhead low
+enough to leave on in serve-batch (gated <5% by
+``benchmarks/test_serve_throughput.py``).
+
+```python
+with SamplingProfiler(interval=0.005) as profiler:
+    serve_lots_of_requests()
+profiler.write_collapsed("profile.txt")   # flamegraph.pl-compatible
+profiler.top(5)                           # [(stack, samples), ...]
+```
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import metrics, tracing
+
+__all__ = ["SamplingProfiler"]
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    module = os.path.basename(code.co_filename)
+    if module.endswith(".py"):
+        module = module[:-3]
+    return f"{module}:{code.co_name}"
+
+
+class SamplingProfiler:
+    """Samples thread stacks into collapsed-stack counts.
+
+    ``interval`` is the sampling period in seconds; ``with_spans``
+    switches on cross-thread span bookkeeping for the duration (span
+    frames appear only for spans opened while the profiler runs);
+    ``max_depth`` bounds the recorded stack depth.  Restartable: a
+    stopped profiler keeps its samples until :meth:`clear`.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.005,
+        with_spans: bool = True,
+        max_depth: int = 64,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.with_spans = with_spans
+        self.max_depth = max_depth
+        self._lock = threading.Lock()
+        self._stacks: Dict[str, int] = {}
+        self._samples = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        if self.running:
+            return self
+        if self.with_spans:
+            tracing.track_thread_spans(True)
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        thread = self._thread
+        if thread is None:
+            return self
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+        if self.with_spans:
+            tracing.track_thread_spans(False)
+        metrics.counter(
+            "repro_profiler_samples_total",
+            "Stack samples captured by the wall-clock profiler",
+        ).inc(self.samples)
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- sampling ------------------------------------------------------------
+
+    def _run(self) -> None:
+        own_ident = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            self._sample(own_ident)
+
+    def _sample(self, own_ident: int) -> None:
+        try:
+            frames = sys._current_frames()
+        except Exception:  # pragma: no cover - interpreter teardown
+            return
+        collapsed: List[str] = []
+        for ident, frame in frames.items():
+            if ident == own_ident:
+                continue
+            stack: List[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                stack.append(_frame_label(frame))
+                frame = frame.f_back
+                depth += 1
+            stack.reverse()
+            if self.with_spans:
+                spans = tracing.thread_span_stack(ident)
+                if spans:
+                    stack = [f"span:{name}" for name in spans] + stack
+            collapsed.append(";".join(stack))
+        with self._lock:
+            self._samples += 1
+            for key in collapsed:
+                self._stacks[key] = self._stacks.get(key, 0) + 1
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return self._samples
+
+    def collapsed(self) -> Dict[str, int]:
+        """``{collapsed_stack: samples}`` over everything captured."""
+        with self._lock:
+            return dict(self._stacks)
+
+    def top(self, n: int = 10) -> List[Tuple[str, int]]:
+        """The ``n`` hottest collapsed stacks, most-sampled first."""
+        with self._lock:
+            ranked = sorted(
+                self._stacks.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        return ranked[:n]
+
+    def span_totals(self) -> Dict[str, int]:
+        """Samples attributed to each root span name (``span:`` frames)."""
+        totals: Dict[str, int] = {}
+        for stack, count in self.collapsed().items():
+            head = stack.split(";", 1)[0]
+            if head.startswith("span:"):
+                name = head[len("span:"):]
+                totals[name] = totals.get(name, 0) + count
+        return totals
+
+    def write_collapsed(self, path) -> int:
+        """Write ``stack count`` lines (flamegraph.pl input format)."""
+        lines = [
+            f"{stack} {count}"
+            for stack, count in sorted(self.collapsed().items())
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+        return len(lines)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._stacks.clear()
+            self._samples = 0

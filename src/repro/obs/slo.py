@@ -1,0 +1,441 @@
+"""A declarative SLO engine over the unified metrics registry.
+
+Rules describe objectives on instruments that already exist —
+latency quantiles from histograms, hit/total ratios from labeled
+counters, thresholds on gauges — so the serving and operational layers
+gain service-level objectives without any new recording code:
+
+```python
+from repro.obs.slo import SLOEngine, SLORule, default_service_slos
+
+engine = SLOEngine(default_service_slos())
+report = engine.evaluate(registry)
+print(report.status)          # ok | degraded | failing
+```
+
+Each :meth:`SLOEngine.evaluate` pass checks every rule, keeps per-rule
+error-budget accounting across passes (a rule with a 99% objective may
+fail 1% of evaluations before its budget is spent), publishes
+``repro_slo_*`` instruments on the *global* registry and emits a
+structured-log warning plus an ``slo.alert`` span for every breached
+rule — all zero-cost while metrics/tracing are disabled.
+
+Statuses per rule: ``ok``, ``degraded`` (objective breached),
+``failing`` (breached beyond the rule's tolerance band, or error budget
+exhausted) and ``no_data`` (instrument absent or under ``min_events``
+observations — treated as ok so cold systems do not page).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs import metrics, tracing
+from repro.obs.logs import get_logger
+
+__all__ = [
+    "ErrorBudget",
+    "SLOEngine",
+    "SLOReport",
+    "SLOResult",
+    "SLORule",
+    "default_service_slos",
+]
+
+logger = get_logger("obs.slo")
+
+_STATUS_RANK = {"no_data": 0, "ok": 0, "degraded": 1, "failing": 2}
+
+#: Evaluation passes required before error-budget exhaustion escalates
+#: a degraded rule to failing (one bad pass is not a spent budget).
+MIN_BUDGET_EVALUATIONS = 10
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One declarative objective over an existing instrument.
+
+    ``kind`` selects how ``metric`` is read:
+
+    * ``quantile`` — ``metric`` is a histogram; the checked value is its
+      ``quantile`` (default p99) and ``min_events`` gates on its count.
+    * ``ratio`` — checked value is ``sum(metric{labels})`` divided by
+      ``sum(denominator{denominator_labels})``; ``min_events`` gates on
+      the denominator.
+    * ``value`` — checked value is the (summed) gauge/counter reading.
+
+    ``comparator`` is ``"<="`` (objective is a ceiling) or ``">="``
+    (a floor).  A breach within ``tolerance`` (relative) is ``degraded``;
+    beyond it, ``failing``.  ``budget`` is the tolerated fraction of
+    evaluation passes that may breach before the error budget is spent
+    (0.01 = 99% of passes must meet the objective).
+    """
+
+    name: str
+    metric: str
+    objective: float
+    kind: str = "value"  # value | quantile | ratio
+    comparator: str = "<="
+    quantile: float = 0.99
+    labels: Mapping[str, str] = field(default_factory=dict)
+    denominator: str = ""
+    denominator_labels: Mapping[str, str] = field(default_factory=dict)
+    min_events: int = 1
+    tolerance: float = 0.5
+    budget: float = 0.05
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("value", "quantile", "ratio"):
+            raise ValueError(f"unknown SLO rule kind {self.kind!r}")
+        if self.comparator not in ("<=", ">="):
+            raise ValueError(f"unknown SLO comparator {self.comparator!r}")
+        if self.kind == "ratio" and not self.denominator:
+            raise ValueError(f"ratio rule {self.name!r} needs a denominator")
+
+    def meets(self, value: float) -> bool:
+        if self.comparator == "<=":
+            return value <= self.objective
+        return value >= self.objective
+
+    def within_tolerance(self, value: float) -> bool:
+        """Breached, but inside the degraded (not failing) band?"""
+        span = abs(self.objective) * self.tolerance
+        if self.comparator == "<=":
+            return value <= self.objective + span
+        return value >= self.objective - span
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "objective": self.objective,
+            "kind": self.kind,
+            "comparator": self.comparator,
+            "quantile": self.quantile,
+            "labels": dict(self.labels),
+            "denominator": self.denominator,
+            "denominator_labels": dict(self.denominator_labels),
+            "min_events": self.min_events,
+            "tolerance": self.tolerance,
+            "budget": self.budget,
+            "description": self.description,
+        }
+
+
+@dataclass
+class ErrorBudget:
+    """Breach accounting for one rule across evaluation passes."""
+
+    evaluations: int = 0
+    violations: int = 0
+
+    def record(self, violated: bool) -> None:
+        self.evaluations += 1
+        if violated:
+            self.violations += 1
+
+    def used(self, budget: float) -> float:
+        """Fraction of the budget consumed (1.0 = exhausted)."""
+        if self.evaluations == 0 or budget <= 0:
+            return 0.0
+        return (self.violations / self.evaluations) / budget
+
+    def to_dict(self) -> Dict:
+        return {
+            "evaluations": self.evaluations,
+            "violations": self.violations,
+        }
+
+
+@dataclass
+class SLOResult:
+    """One rule's outcome for one evaluation pass."""
+
+    rule: SLORule
+    status: str  # ok | degraded | failing | no_data
+    value: Optional[float]
+    events: int
+    budget_used: float
+
+    def line(self) -> str:
+        value = "-" if self.value is None else f"{self.value:.4f}"
+        return (
+            f"{self.rule.name:<20s} {self.status:<8s} "
+            f"value={value} objective={self.rule.comparator}"
+            f"{self.rule.objective:g} events={self.events} "
+            f"budget_used={self.budget_used:.2f}"
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.rule.name,
+            "status": self.status,
+            "value": self.value,
+            "objective": self.rule.objective,
+            "comparator": self.rule.comparator,
+            "events": self.events,
+            "budget_used": self.budget_used,
+            "description": self.rule.description,
+        }
+
+
+@dataclass
+class SLOReport:
+    """All rule outcomes from one evaluation pass."""
+
+    results: List[SLOResult]
+
+    @property
+    def status(self) -> str:
+        worst = 0
+        for result in self.results:
+            worst = max(worst, _STATUS_RANK[result.status])
+        return {0: "ok", 1: "degraded", 2: "failing"}[worst]
+
+    @property
+    def alerts(self) -> List[SLOResult]:
+        return [r for r in self.results if r.status in ("degraded", "failing")]
+
+    def lines(self) -> List[str]:
+        return [result.line() for result in self.results]
+
+    def to_dict(self) -> Dict:
+        return {
+            "status": self.status,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+
+def _match_labels(family, instrument, labels: Mapping[str, str]) -> bool:
+    if not labels:
+        return True
+    for name, wanted in labels.items():
+        try:
+            index = family.labelnames.index(name)
+        except ValueError:
+            return False
+        if instrument.labelvalues[index] != str(wanted):
+            return False
+    return True
+
+
+def _summed_value(registry, name: str, labels: Mapping[str, str]):
+    """Sum a counter/gauge family's matching children (None = absent)."""
+    family = registry.get(name)
+    if family is None:
+        return None
+    total = 0.0
+    found = False
+    for child in family.children():
+        if _match_labels(family, child, labels):
+            total += child.value
+            found = True
+    return total if found else None
+
+
+class SLOEngine:
+    """Evaluates a rule set against a registry, with budget memory."""
+
+    def __init__(self, rules: Sequence[SLORule]) -> None:
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO rule names in {names}")
+        self.rules: Tuple[SLORule, ...] = tuple(rules)
+        self.budgets: Dict[str, ErrorBudget] = {
+            rule.name: ErrorBudget() for rule in self.rules
+        }
+
+    # -- reading instruments -------------------------------------------------
+
+    def _measure(self, registry, rule: SLORule):
+        """One rule's ``(value, events)``; value None means no data."""
+        if rule.kind == "quantile":
+            family = registry.get(rule.metric)
+            if family is None:
+                return None, 0
+            children = [
+                c for c in family.children()
+                if _match_labels(family, c, rule.labels)
+            ]
+            if not children:
+                return None, 0
+            child = children[0]
+            count = int(child.count)
+            if count == 0:
+                return None, 0
+            return float(child.quantile(rule.quantile)), count
+        if rule.kind == "ratio":
+            numerator = _summed_value(registry, rule.metric, rule.labels)
+            denominator = _summed_value(
+                registry, rule.denominator, rule.denominator_labels
+            )
+            if denominator is None or denominator <= 0:
+                return None, 0
+            return float((numerator or 0.0) / denominator), int(denominator)
+        value = _summed_value(registry, rule.metric, rule.labels)
+        if value is None:
+            return None, 0
+        return float(value), 1
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, registry) -> SLOReport:
+        """Check every rule; publish instruments and alert on breaches."""
+        results: List[SLOResult] = []
+        status_gauge = metrics.gauge(
+            "repro_slo_status",
+            "Per-rule SLO status (0 ok, 1 degraded, 2 failing)",
+            labelnames=("rule",),
+        )
+        budget_gauge = metrics.gauge(
+            "repro_slo_budget_used",
+            "Fraction of each rule's error budget consumed",
+            labelnames=("rule",),
+        )
+        violations = metrics.counter(
+            "repro_slo_violations_total",
+            "SLO evaluation passes that breached, per rule",
+            labelnames=("rule",),
+        )
+        for rule in self.rules:
+            value, events = self._measure(registry, rule)
+            budget = self.budgets[rule.name]
+            if value is None or events < rule.min_events:
+                status = "no_data"
+                budget.record(False)
+            elif rule.meets(value):
+                status = "ok"
+                budget.record(False)
+            else:
+                budget.record(True)
+                status = (
+                    "degraded" if rule.within_tolerance(value) else "failing"
+                )
+                # Budget exhaustion escalates a degraded rule, but only
+                # once the violation *rate* is meaningful — a single
+                # breached pass is not a spent budget.
+                if (
+                    budget.evaluations >= MIN_BUDGET_EVALUATIONS
+                    and budget.used(rule.budget) >= 1.0
+                ):
+                    status = "failing"
+            budget_used = budget.used(rule.budget)
+            results.append(
+                SLOResult(
+                    rule=rule,
+                    status=status,
+                    value=value,
+                    events=events,
+                    budget_used=budget_used,
+                )
+            )
+            status_gauge.labels(rule=rule.name).set(
+                float(_STATUS_RANK[status])
+            )
+            budget_gauge.labels(rule=rule.name).set(budget_used)
+            if status in ("degraded", "failing"):
+                violations.labels(rule=rule.name).inc()
+                with tracing.span(
+                    "slo.alert",
+                    rule=rule.name,
+                    status=status,
+                    value=value,
+                    objective=rule.objective,
+                ):
+                    logger.warning(
+                        "slo breach",
+                        extra={
+                            "rule": rule.name,
+                            "status": status,
+                            "value": round(value, 6),
+                            "objective": rule.objective,
+                            "comparator": rule.comparator,
+                            "budget_used": round(budget_used, 4),
+                        },
+                    )
+        return SLOReport(results=results)
+
+
+def default_service_slos(
+    latency_p99: float = 0.1,
+    cache_hit_min: float = 0.2,
+    fallback_max: float = 0.5,
+    rollback_max: float = 0.05,
+    drift_psi_max: float = 0.25,
+    shadow_accuracy_min: float = 0.5,
+) -> List[SLORule]:
+    """The stock rule set for a :class:`RecommendationService` + ops loop.
+
+    Reads the service's instruments (route them into the evaluated
+    registry with ``ServiceMetrics(registry=...)``), the global
+    ``ops.monitoring`` counters, the drift gauges published by
+    :meth:`repro.obs.health.DriftReport.record` and the shadow-audit
+    accuracy gauge from :meth:`repro.eval.runner.Evaluator.shadow_audit`.
+    Rules over absent instruments report ``no_data`` and stay green.
+    """
+    return [
+        SLORule(
+            name="latency-p99",
+            kind="quantile",
+            metric="repro_service_request_latency_seconds",
+            quantile=0.99,
+            objective=latency_p99,
+            comparator="<=",
+            min_events=20,
+            description="p99 served-request latency (seconds)",
+        ),
+        SLORule(
+            name="cache-hit-ratio",
+            kind="ratio",
+            metric="repro_service_cache_lookups_total",
+            labels={"result": "hit"},
+            denominator="repro_service_cache_lookups_total",
+            objective=cache_hit_min,
+            comparator=">=",
+            min_events=50,
+            description="vote-cache hit ratio on a warm service",
+        ),
+        SLORule(
+            name="fallback-rate",
+            kind="ratio",
+            metric="repro_service_fallbacks_total",
+            denominator="repro_service_requests_total",
+            objective=fallback_max,
+            comparator="<=",
+            min_events=20,
+            description="rule-book/cold-start fallback rate",
+        ),
+        SLORule(
+            name="rollback-rate",
+            kind="ratio",
+            metric="repro_rollbacks_total",
+            denominator="repro_push_total",
+            objective=rollback_max,
+            comparator="<=",
+            min_events=1,
+            description="post-launch KPI rollbacks per push",
+        ),
+        SLORule(
+            name="drift-psi",
+            kind="value",
+            metric="repro_drift_psi_max",
+            objective=drift_psi_max,
+            comparator="<=",
+            # Drift is a refit recommendation, not a serving outage:
+            # however large the shift, the rule degrades — failing is
+            # reserved for user-facing objectives (latency, accuracy).
+            tolerance=float("inf"),
+            description="largest PSI across baselined distributions",
+        ),
+        SLORule(
+            name="shadow-accuracy",
+            kind="value",
+            metric="repro_shadow_audit_accuracy",
+            objective=shadow_accuracy_min,
+            comparator=">=",
+            tolerance=0.9,
+            description="leave-one-out shadow-audit accuracy",
+        ),
+    ]

@@ -28,9 +28,11 @@ nothing.
 
 from __future__ import annotations
 
+import atexit
 import contextvars
 import json
 import os
+import signal
 import threading
 import time
 import uuid
@@ -47,10 +49,15 @@ __all__ = [
     "configure",
     "current_context",
     "disable",
+    "flush_exit_exporters",
     "get_tracer",
     "ingest",
+    "install_exit_flush",
     "span",
     "span_from_context",
+    "thread_span_stack",
+    "track_thread_spans",
+    "uninstall_exit_flush",
 ]
 
 #: (trace_id, span_id) of the span currently executing in this context.
@@ -234,6 +241,10 @@ class _SpanHandle:
     def __enter__(self) -> "_SpanHandle":
         self._token = _CURRENT.set((self.span.trace_id, self.span.span_id))
         self._started = time.perf_counter()
+        if _TRACK_THREAD_SPANS:
+            _THREAD_SPANS.setdefault(
+                threading.get_ident(), []
+            ).append(self.span.name)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -241,6 +252,10 @@ class _SpanHandle:
         if exc_type is not None:
             self.span.status = f"error:{exc_type.__name__}"
         _CURRENT.reset(self._token)
+        if _TRACK_THREAD_SPANS:
+            stack = _THREAD_SPANS.get(threading.get_ident())
+            if stack and stack[-1] == self.span.name:
+                stack.pop()
         self._tracer.finish(self.span)
 
 
@@ -336,6 +351,133 @@ class collect:
     def __exit__(self, exc_type, exc, tb) -> None:
         global _TRACER
         _TRACER = self._previous
+
+
+# -- thread-span bookkeeping (profiler attribution) --------------------------
+
+#: thread ident -> stack of open span names.  Maintained by
+#: :class:`_SpanHandle` only while :func:`track_thread_spans` has turned
+#: the flag on (the sampling profiler does), so ordinary tracing pays a
+#: single falsy global check per span.
+_THREAD_SPANS: Dict[int, List[str]] = {}
+_TRACK_THREAD_SPANS = False
+
+
+def track_thread_spans(enabled: bool) -> None:
+    """Switch cross-thread span bookkeeping on or off.
+
+    The sampling profiler (:mod:`repro.obs.profiler`) cannot read
+    another thread's :mod:`contextvars`, so while it runs, span handles
+    additionally push/pop their names on a per-thread stack readable
+    from the sampling thread via :func:`thread_span_stack`.
+    """
+    global _TRACK_THREAD_SPANS
+    _TRACK_THREAD_SPANS = bool(enabled)
+    if not enabled:
+        _THREAD_SPANS.clear()
+
+
+def thread_span_stack(thread_id: int) -> Tuple[str, ...]:
+    """The open span names of one thread, outermost first (snapshot)."""
+    stack = _THREAD_SPANS.get(thread_id)
+    return tuple(stack) if stack else ()
+
+
+# -- exit-path flushing -------------------------------------------------------
+
+#: Exporters to flush/close when the interpreter exits (normally or on
+#: SIGTERM/SIGINT), so ``--trace`` JSONL files are not truncated when a
+#: CLI run dies mid-flight.
+_EXIT_EXPORTERS: List = []
+_ATEXIT_REGISTERED = False
+#: signum -> handler that was installed before ours (chained after flush).
+_PREVIOUS_SIGNAL_HANDLERS: Dict[int, Any] = {}
+
+_EXIT_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+
+def flush_exit_exporters() -> int:
+    """Flush/close every registered exit exporter (idempotent).
+
+    Returns the number of exporters flushed.  Called from the
+    :mod:`atexit` hook and the signal path; safe to invoke directly.
+    """
+    flushed = 0
+    for exporter in list(_EXIT_EXPORTERS):
+        close = getattr(exporter, "close", None) or getattr(
+            exporter, "flush", None
+        )
+        if close is None:
+            continue
+        try:
+            close()
+            flushed += 1
+        except Exception:  # pragma: no cover - best-effort on teardown
+            pass
+    return flushed
+
+
+def _handle_exit_signal(signum, frame) -> None:
+    """Flush exporters, then hand the signal to whoever had it before."""
+    flush_exit_exporters()
+    previous = _PREVIOUS_SIGNAL_HANDLERS.get(signum)
+    if callable(previous) and previous not in (
+        signal.SIG_DFL, signal.SIG_IGN, signal.default_int_handler
+    ):
+        previous(signum, frame)
+        return
+    if previous is signal.SIG_IGN:
+        return
+    # Default disposition: restore it and re-raise so the process dies
+    # with the correct signal exit status.
+    signal.signal(signum, signal.SIG_DFL)
+    try:
+        signal.raise_signal(signum)
+    except AttributeError:  # pragma: no cover - python < 3.8
+        os.kill(os.getpid(), signum)
+
+
+def install_exit_flush(exporter) -> None:
+    """Close ``exporter`` when the process exits — normally or by signal.
+
+    Registers one :mod:`atexit` hook (first call only) and, when running
+    in the main thread, wraps the SIGTERM/SIGINT handlers with a
+    flush-then-chain shim.  The CLI installs its ``--trace``
+    :class:`JsonlExporter` here so spans survive abnormal exits.
+    """
+    global _ATEXIT_REGISTERED
+    if exporter not in _EXIT_EXPORTERS:
+        _EXIT_EXPORTERS.append(exporter)
+    if not _ATEXIT_REGISTERED:
+        atexit.register(flush_exit_exporters)
+        _ATEXIT_REGISTERED = True
+    if not _PREVIOUS_SIGNAL_HANDLERS:
+        try:
+            for signum in _EXIT_SIGNALS:
+                _PREVIOUS_SIGNAL_HANDLERS[signum] = signal.signal(
+                    signum, _handle_exit_signal
+                )
+        except ValueError:  # pragma: no cover - not the main thread
+            _PREVIOUS_SIGNAL_HANDLERS.clear()
+
+
+def uninstall_exit_flush(exporter) -> None:
+    """Drop an exporter from the exit path (clean CLI shutdown).
+
+    When the last exporter is removed, the original signal handlers are
+    restored (the atexit hook stays registered but becomes a no-op).
+    """
+    try:
+        _EXIT_EXPORTERS.remove(exporter)
+    except ValueError:
+        pass
+    if not _EXIT_EXPORTERS and _PREVIOUS_SIGNAL_HANDLERS:
+        try:
+            for signum, previous in _PREVIOUS_SIGNAL_HANDLERS.items():
+                signal.signal(signum, previous)
+        except ValueError:  # pragma: no cover - not the main thread
+            pass
+        _PREVIOUS_SIGNAL_HANDLERS.clear()
 
 
 def ingest(spans: Iterable) -> int:

@@ -18,8 +18,11 @@ from typing import Dict, List, Mapping, Optional
 
 from repro.config.store import ConfigurationStore
 from repro.netmodel.identifiers import CarrierId
-from repro.obs import metrics as obs_metrics
+from repro.obs import metrics as obs_metrics, tracing
+from repro.obs.logs import get_logger
 from repro.rng import derive
+
+logger = get_logger("ops.monitoring")
 from repro.types import ParameterValue
 
 
@@ -98,20 +101,30 @@ class KPIMonitor:
         snapshot = self._snapshots.get(carrier_id)
         if snapshot is None:
             return 0
-        for name, value in snapshot.items():
-            current = self.store.get_singular(carrier_id, name)
-            if self.changelog is not None and current != value:
-                from repro.ops.history import ChangeSource
+        with tracing.span(
+            "ops.rollback", carrier=str(carrier_id), values=len(snapshot)
+        ):
+            for name, value in snapshot.items():
+                current = self.store.get_singular(carrier_id, name)
+                if self.changelog is not None and current != value:
+                    from repro.ops.history import ChangeSource
 
-                self.changelog.record(
-                    carrier_id, name, current, value, ChangeSource.ROLLBACK
-                )
-            self.store.set_singular(carrier_id, name, value)
-        self.rollbacks.append(carrier_id)
-        obs_metrics.counter(
-            "repro_rollbacks_total", "Post-launch configuration rollbacks"
-        ).inc()
-        return len(snapshot)
+                    self.changelog.record(
+                        carrier_id, name, current, value, ChangeSource.ROLLBACK
+                    )
+                self.store.set_singular(carrier_id, name, value)
+            self.rollbacks.append(carrier_id)
+            obs_metrics.counter(
+                "repro_rollbacks_total", "Post-launch configuration rollbacks"
+            ).inc()
+            logger.warning(
+                "configuration rolled back",
+                extra={
+                    "carrier": str(carrier_id),
+                    "values_restored": len(snapshot),
+                },
+            )
+            return len(snapshot)
 
 
 class SimulationKPIMonitor(KPIMonitor):

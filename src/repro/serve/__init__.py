@@ -33,6 +33,7 @@ from repro.serve.metrics import (
     ServiceMetrics,
 )
 from repro.serve.refresh import (
+    DriftCheck,
     EngineRefresher,
     GrowthReplay,
     RefreshResult,
@@ -59,6 +60,7 @@ __all__ = [
     "DEFAULT_REFRESH_BUCKETS",
     "LatencyHistogram",
     "ServiceMetrics",
+    "DriftCheck",
     "EngineRefresher",
     "GrowthReplay",
     "RefreshResult",

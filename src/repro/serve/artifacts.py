@@ -39,16 +39,19 @@ from repro.dataio.keys import (
 )
 from repro.exceptions import RecommendationError
 from repro.netmodel.network import Network
+from repro.obs.health import DriftBaseline
 from repro.obs.provenance import AttributeDependence
 
 #: Version of the artifact document schema (bump on layout changes).
 #: v2 adds the optional ``columnar`` snapshot section and the
-#: ``config.columnar`` flag; both are additive, so v1 documents still
-#: load (the engine re-encodes on first use).
-ARTIFACT_SCHEMA_VERSION = 2
+#: ``config.columnar`` flag; v3 adds the optional ``drift_baseline``
+#: section (fit-time value distributions for
+#: :class:`repro.obs.health.DriftDetector`).  All additive, so v1/v2
+#: documents still load (the engine re-encodes / re-captures on demand).
+ARTIFACT_SCHEMA_VERSION = 3
 
 #: Schema versions :func:`engine_from_dict` accepts.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 _ARTIFACT_KIND = "auric-engine-artifact"
 
@@ -167,6 +170,11 @@ def engine_to_dict(
     snapshot = engine.columnar_snapshot()
     if snapshot is not None:
         payload["columnar"] = snapshot.to_dict()
+    # Fit-time distribution baseline for drift detection (v3, additive):
+    # a loaded engine can score live snapshots against the population
+    # the persisted models were fitted on.
+    if engine.drift_baseline is not None:
+        payload["drift_baseline"] = engine.drift_baseline.to_dict()
     return payload
 
 
@@ -201,6 +209,10 @@ def engine_from_dict(
     engine = AuricEngine(network, store, config)
     if "columnar" in payload:
         engine.attach_columnar(ColumnarSnapshot.from_dict(payload["columnar"]))
+    if "drift_baseline" in payload:
+        engine.drift_baseline = DriftBaseline.from_dict(
+            payload["drift_baseline"]
+        )
     for model_payload in payload["models"]:
         model = _model_from_dict(model_payload, engine)
         engine.install_model(model.spec.name, model)

@@ -18,15 +18,9 @@ from typing import Dict, Optional
 
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
     BucketHistogram,
     MetricsRegistry,
-)
-
-#: Default latency buckets (seconds) — tuned for an in-process service
-#: where a cache hit is microseconds and a cold vote is milliseconds.
-DEFAULT_LATENCY_BUCKETS = (
-    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
-    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
 )
 
 #: Default refresh-duration buckets (seconds) — refits are much slower.

@@ -32,6 +32,7 @@ from repro.core.auric import AuricEngine
 from repro.datagen.growth import GrowthTimeline
 from repro.netmodel.identifiers import CarrierId
 from repro.obs import tracing
+from repro.obs.health import DriftReport
 from repro.serve.service import RecommendationService
 
 logger = logging.getLogger(__name__)
@@ -73,11 +74,63 @@ class RefreshResult:
         return sum(self.added.values())
 
 
-class EngineRefresher:
-    """Keeps a service's engine in step with a growing network."""
+@dataclass
+class DriftCheck:
+    """Outcome of one drift check against the serving baseline."""
 
-    def __init__(self, service: RecommendationService):
+    #: None when the engine has no baseline or nothing live was scored.
+    report: Optional[DriftReport]
+    #: The verdict recommends a full refit (moderate or major drift).
+    refit_recommended: bool
+    #: The refit that ran, when :attr:`EngineRefresher.auto_refit` is on.
+    refreshed: Optional[RefreshResult] = None
+
+    @property
+    def refit_triggered(self) -> bool:
+        return self.refreshed is not None
+
+
+class EngineRefresher:
+    """Keeps a service's engine in step with a growing network.
+
+    With ``auto_refit`` on, :meth:`check_drift` escalates a stale drift
+    verdict straight into :meth:`full_refit`; the default merely
+    *recommends*, leaving the refit decision to the operator (the
+    paper's §6 posture: automation proposes, humans approve).
+    """
+
+    def __init__(
+        self, service: RecommendationService, auto_refit: bool = False
+    ):
         self.service = service
+        self.auto_refit = auto_refit
+
+    def check_drift(self, live=None, jobs: int = 1) -> DriftCheck:
+        """Score drift and (optionally) act on a stale verdict.
+
+        ``live`` overrides the service's sampled request window — pass
+        :func:`repro.obs.health.attribute_distributions` output to score
+        a whole candidate snapshot.
+        """
+        report = self.service.drift_report(live)
+        if report is None or not report.stale:
+            return DriftCheck(
+                report=report, refit_recommended=False
+            )
+        logger.warning(
+            "drift check recommends refit",
+            extra={
+                "verdict": report.verdict,
+                "psi_max": round(report.psi_max, 4),
+                "auto_refit": self.auto_refit,
+            },
+        )
+        if not self.auto_refit:
+            return DriftCheck(report=report, refit_recommended=True)
+        result = self.full_refit(jobs=jobs)
+        return DriftCheck(
+            report=report, refit_recommended=True, refreshed=result
+        )
 
     def incremental_add(
         self,

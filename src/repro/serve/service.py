@@ -49,6 +49,12 @@ from repro.exceptions import RecommendationError, UnknownParameterError
 from repro.netmodel.attributes import CarrierAttributes
 from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
 from repro.obs import tracing
+from repro.obs.health import (
+    DriftDetector,
+    DriftReport,
+    DriftThresholds,
+    DriftWindow,
+)
 from repro.obs.provenance import ResultExplanation
 from repro.serve.metrics import ServiceMetrics
 
@@ -140,6 +146,11 @@ class RecommendationService:
         self._cache = _LRUCache(cache_size)
         #: Bumped on every snapshot refresh; lets callers detect swaps.
         self.generation = 0
+        #: Live request-attribute window for drift scoring; None until
+        #: :meth:`enable_drift_tracking` — the hot path pays one ``is
+        #: None`` check while disabled.
+        self._drift_window: Optional[DriftWindow] = None
+        self._drift_thresholds = DriftThresholds()
 
     @classmethod
     def from_snapshot(
@@ -198,6 +209,8 @@ class RecommendationService:
                 attributes, row, neighborhood, exclude = engine.resolve_request(
                     request
                 )
+                if self._drift_window is not None:
+                    self._drift_window.observe(attributes.values)
                 scope_key = frozenset(neighborhood) if neighborhood else None
                 result = CarrierRecommendation(target=request.label())
                 dispositions: Dict[str, Tuple[str, Optional[str]]] = {}
@@ -442,6 +455,59 @@ class RecommendationService:
             scope="rulebook",
         )
 
+    # -- drift tracking ------------------------------------------------------
+
+    def enable_drift_tracking(
+        self,
+        sample_every: int = 8,
+        thresholds: Optional[DriftThresholds] = None,
+    ) -> DriftWindow:
+        """Start sampling served-request attributes for drift scoring.
+
+        Every ``sample_every``-th request's resolved attribute vector is
+        folded into a :class:`~repro.obs.health.DriftWindow`;
+        :meth:`drift_report` scores it against the engine's fit-time
+        baseline.  Idempotent — re-enabling keeps the existing window.
+        """
+        with self._lock:
+            if thresholds is not None:
+                self._drift_thresholds = thresholds
+            if self._drift_window is None:
+                self._drift_window = DriftWindow(sample_every=sample_every)
+            return self._drift_window
+
+    @property
+    def drift_window(self) -> Optional[DriftWindow]:
+        with self._lock:
+            return self._drift_window
+
+    def drift_baseline(self):
+        """The serving engine's fit-time baseline (None when absent —
+        e.g. an engine loaded from a pre-v3 artifact)."""
+        with self._lock:
+            return self._engine.drift_baseline
+
+    def drift_report(self, live=None) -> Optional[DriftReport]:
+        """Score live distributions against the fit-time baseline.
+
+        ``live`` is a ``{name: {category: count}}`` mapping; when
+        omitted, the sampled request window is scored.  Returns None
+        when the engine carries no baseline or there is nothing live to
+        score; otherwise publishes the ``repro_drift_*`` gauges
+        (zero-cost while the global registry is disabled) and returns
+        the report.
+        """
+        with self._lock:
+            baseline = self._engine.drift_baseline
+            thresholds = self._drift_thresholds
+            if live is None and self._drift_window is not None:
+                live = self._drift_window.counts()
+        if baseline is None or not live:
+            return None
+        report = DriftDetector(baseline, thresholds).score(live)
+        report.record()
+        return report
+
     # -- invalidation & refresh ---------------------------------------------
 
     def invalidate(self, parameter: Optional[str] = None) -> int:
@@ -483,4 +549,8 @@ class RecommendationService:
             self._engine = engine
             self.generation += 1
             self._cache.clear()
+            # The new engine carries a new baseline; the window sampled
+            # against the old one would read as spurious drift.
+            if self._drift_window is not None:
+                self._drift_window.clear()
             return self.generation

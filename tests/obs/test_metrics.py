@@ -203,3 +203,76 @@ class TestServiceMetricsFacade:
         assert histogram.count == 2
         assert histogram.quantile(1.0) >= 0.002
         assert histogram.mean == pytest.approx(0.0011)
+
+
+class TestExpositionEdgeCases:
+    """Prometheus text-format corners: escaping, +Inf ordering, labeled
+    histogram JSON round-trips."""
+
+    def test_label_value_escaping(self, registry):
+        family = registry.counter(
+            "repro_weird_total", "Weird labels", labelnames=("path",)
+        )
+        family.labels('a\\b"c\nd').inc()
+        text = registry.to_prometheus_text()
+        # One escaped sample line: backslash, quote and newline encoded.
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith("repro_weird_total{")
+        )
+        assert line == 'repro_weird_total{path="a\\\\b\\"c\\nd"} 1'
+        # The document still parses line-by-line (no raw newline leaked
+        # out of the label value).
+        assert 'c\nd"' not in text
+
+    def test_escaped_labels_round_trip_through_dict(self, registry):
+        family = registry.gauge(
+            "repro_weird", "Weird", labelnames=("path",)
+        )
+        family.labels('a\\b"c\nd').set(4.0)
+        rebuilt = MetricsRegistry.from_dict(registry.to_dict())
+        assert rebuilt.to_prometheus_text() == registry.to_prometheus_text()
+
+    def test_inf_tail_follows_finite_buckets_per_labelset(self, registry):
+        family = registry.histogram(
+            "repro_latency_seconds",
+            "Latency",
+            buckets=(0.01, 0.1),
+            labelnames=("path",),
+        )
+        family.labels("vote").observe(0.5)
+        family.labels("cache").observe(0.005)
+        lines = [
+            line
+            for line in registry.to_prometheus_text().splitlines()
+            if line.startswith("repro_latency_seconds_bucket")
+        ]
+        # Per label set: finite buckets ascending, then exactly one +Inf.
+        assert len(lines) == 6
+        for start in (0, 3):
+            chunk = lines[start:start + 3]
+            les = [
+                line.split('le="')[1].split('"')[0] for line in chunk
+            ]
+            assert les == ["0.01", "0.1", "+Inf"]
+            values = [float(line.rsplit(" ", 1)[1]) for line in chunk]
+            assert values == sorted(values)
+
+    def test_labeled_histogram_from_dict_round_trip(self, registry):
+        family = registry.histogram(
+            "repro_latency_seconds",
+            "Latency",
+            buckets=(0.001, 0.01, 0.1),
+            labelnames=("path", "scope"),
+        )
+        family.labels("vote", "local").observe(0.05)
+        family.labels("vote", "local").observe(0.002)
+        family.labels("cache", "global").observe(0.0005)
+
+        payload = registry.to_dict()
+        rebuilt = MetricsRegistry.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+        assert rebuilt.to_prometheus_text() == registry.to_prometheus_text()
+        child = rebuilt.get("repro_latency_seconds").labels("vote", "local")
+        assert child.count == 2
+        assert child.quantile(1.0) >= 0.01

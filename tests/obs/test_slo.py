@@ -1,0 +1,238 @@
+"""Tests for the declarative SLO engine."""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    MIN_BUDGET_EVALUATIONS,
+    ErrorBudget,
+    SLOEngine,
+    SLORule,
+    default_service_slos,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+def rule(**overrides):
+    base = dict(name="r", metric="repro_metric", objective=1.0)
+    base.update(overrides)
+    return SLORule(**base)
+
+
+class TestRuleValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            rule(kind="average")
+
+    def test_rejects_unknown_comparator(self):
+        with pytest.raises(ValueError, match="comparator"):
+            rule(comparator="==")
+
+    def test_ratio_needs_denominator(self):
+        with pytest.raises(ValueError, match="denominator"):
+            rule(kind="ratio")
+
+    def test_engine_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine([rule(), rule()])
+
+    def test_meets_and_tolerance_bands(self):
+        ceiling = rule(objective=0.1, comparator="<=", tolerance=0.5)
+        assert ceiling.meets(0.1)
+        assert not ceiling.meets(0.11)
+        assert ceiling.within_tolerance(0.14)   # <= 0.15
+        assert not ceiling.within_tolerance(0.2)
+        floor = rule(objective=0.8, comparator=">=", tolerance=0.25)
+        assert floor.meets(0.8)
+        assert floor.within_tolerance(0.61)     # >= 0.6
+        assert not floor.within_tolerance(0.5)
+
+
+class TestErrorBudget:
+    def test_usage_fraction(self):
+        budget = ErrorBudget()
+        for violated in (True, False, False, False):
+            budget.record(violated)
+        # 25% violation rate against a 50% budget: half consumed.
+        assert budget.used(0.5) == pytest.approx(0.5)
+
+    def test_empty_and_zero_budget_are_safe(self):
+        assert ErrorBudget().used(0.05) == 0.0
+        budget = ErrorBudget()
+        budget.record(True)
+        assert budget.used(0.0) == 0.0
+
+
+class TestMeasurement:
+    def test_value_rule_sums_children(self, registry):
+        family = registry.counter(
+            "repro_metric", labelnames=("outcome",)
+        )
+        family.labels("a").inc(2)
+        family.labels("b").inc(3)
+        report = SLOEngine([rule(objective=10.0)]).evaluate(registry)
+        assert report.results[0].value == 5.0
+        assert report.results[0].status == "ok"
+
+    def test_value_rule_label_filter(self, registry):
+        family = registry.counter("repro_metric", labelnames=("outcome",))
+        family.labels("a").inc(2)
+        family.labels("b").inc(3)
+        report = SLOEngine(
+            [rule(objective=10.0, labels={"outcome": "b"})]
+        ).evaluate(registry)
+        assert report.results[0].value == 3.0
+
+    def test_quantile_rule_reads_histogram(self, registry):
+        histogram = registry.histogram(
+            "repro_metric", buckets=(0.01, 0.1, 1.0)
+        )
+        for _ in range(30):
+            histogram.observe(0.005)
+        report = SLOEngine(
+            [rule(kind="quantile", quantile=0.99, objective=0.1,
+                  min_events=20)]
+        ).evaluate(registry)
+        result = report.results[0]
+        assert result.status == "ok"
+        assert result.events == 30
+
+    def test_ratio_rule_divides_families(self, registry):
+        lookups = registry.counter(
+            "repro_metric", labelnames=("result",)
+        )
+        for _ in range(30):
+            lookups.labels("hit").inc()
+        for _ in range(70):
+            lookups.labels("miss").inc()
+        report = SLOEngine([
+            rule(
+                kind="ratio",
+                labels={"result": "hit"},
+                denominator="repro_metric",
+                objective=0.2,
+                comparator=">=",
+            )
+        ]).evaluate(registry)
+        result = report.results[0]
+        assert result.value == pytest.approx(0.3)
+        assert result.events == 100
+        assert result.status == "ok"
+
+    def test_absent_metric_is_no_data(self, registry):
+        report = SLOEngine([rule()]).evaluate(registry)
+        assert report.results[0].status == "no_data"
+        assert report.results[0].value is None
+        assert report.status == "ok"
+
+    def test_under_min_events_is_no_data(self, registry):
+        registry.counter("repro_metric").inc()
+        report = SLOEngine([rule(min_events=5)]).evaluate(registry)
+        # value rule events are 1; min_events=5 keeps it quiet.
+        assert report.results[0].status == "no_data"
+
+
+class TestStatuses:
+    def test_breach_within_tolerance_degrades(self, registry):
+        registry.gauge("repro_metric").set(1.2)
+        report = SLOEngine([rule(tolerance=0.5)]).evaluate(registry)
+        assert report.results[0].status == "degraded"
+        assert report.status == "degraded"
+
+    def test_breach_beyond_tolerance_fails(self, registry):
+        registry.gauge("repro_metric").set(2.0)
+        report = SLOEngine([rule(tolerance=0.5)]).evaluate(registry)
+        assert report.results[0].status == "failing"
+        assert report.status == "failing"
+        assert report.alerts == report.results
+
+    def test_infinite_tolerance_never_fails(self, registry):
+        registry.gauge("repro_metric").set(1e9)
+        report = SLOEngine(
+            [rule(tolerance=float("inf"))]
+        ).evaluate(registry)
+        assert report.results[0].status == "degraded"
+
+    def test_budget_exhaustion_needs_min_evaluations(self, registry):
+        registry.gauge("repro_metric").set(1.2)
+        engine = SLOEngine([rule(tolerance=0.5, budget=0.05)])
+        # Every pass breaches, so the budget is nominally exhausted
+        # immediately — but escalation waits for a meaningful rate.
+        for i in range(MIN_BUDGET_EVALUATIONS - 1):
+            assert engine.evaluate(registry).results[0].status == "degraded"
+        assert engine.evaluate(registry).results[0].status == "failing"
+
+    def test_budget_survives_across_passes(self, registry):
+        registry.gauge("repro_metric").set(0.5)
+        engine = SLOEngine([rule()])
+        engine.evaluate(registry)
+        engine.evaluate(registry)
+        assert engine.budgets["r"].evaluations == 2
+        assert engine.budgets["r"].violations == 0
+
+
+class TestPublication:
+    def test_breach_publishes_instruments_and_alerts(self, registry):
+        registry.gauge("repro_metric").set(2.0)
+        published = obs_metrics.enable()
+        try:
+            SLOEngine([rule(tolerance=0.5)]).evaluate(registry)
+            text = published.to_prometheus_text()
+            assert 'repro_slo_status{rule="r"} 2' in text
+            assert 'repro_slo_violations_total{rule="r"} 1' in text
+            assert 'repro_slo_budget_used{rule="r"}' in text
+        finally:
+            obs_metrics.disable()
+
+    def test_evaluate_is_free_while_disabled(self, registry):
+        obs_metrics.disable()
+        registry.gauge("repro_metric").set(2.0)
+        report = SLOEngine([rule()]).evaluate(registry)
+        # Evaluation still works; publication lands on null instruments.
+        assert report.status == "failing"
+        assert not obs_metrics.enabled()
+
+
+class TestDefaultRules:
+    def test_names_unique_and_engine_accepts(self):
+        rules = default_service_slos()
+        assert len({r.name for r in rules}) == len(rules)
+        SLOEngine(rules)
+
+    def test_cold_registry_is_all_green(self, registry):
+        report = SLOEngine(default_service_slos()).evaluate(registry)
+        assert report.status == "ok"
+        assert all(r.status == "no_data" for r in report.results)
+
+    def test_drift_rule_degrades_but_never_fails(self, registry):
+        registry.gauge(
+            "repro_drift_psi_max", "largest PSI"
+        ).set(50.0)
+        report = SLOEngine(default_service_slos()).evaluate(registry)
+        by_name = {r.rule.name: r for r in report.results}
+        assert by_name["drift-psi"].status == "degraded"
+        assert report.status == "degraded"
+
+    def test_latency_objective_configurable(self, registry):
+        histogram = registry.histogram(
+            "repro_service_request_latency_seconds",
+            buckets=(0.001, 0.01, 0.1),
+        )
+        for _ in range(25):
+            histogram.observe(0.05)
+        strict = SLOEngine(default_service_slos(latency_p99=1e-9))
+        report = strict.evaluate(registry)
+        by_name = {r.rule.name: r for r in report.results}
+        assert by_name["latency-p99"].status == "failing"
+
+    def test_report_round_trips_to_dict(self, registry):
+        payload = SLOEngine(default_service_slos()).evaluate(
+            registry
+        ).to_dict()
+        assert payload["status"] == "ok"
+        assert len(payload["results"]) == len(default_service_slos())

@@ -150,3 +150,124 @@ class TestIngest:
         )
         assert remote.trace_id == context[0]
         assert remote.parent_id == context[1]
+
+
+class TestExitFlush:
+    """--trace exporters survive abnormal exits (atexit + signal path)."""
+
+    def test_flush_closes_registered_exporter(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        exporter = JsonlExporter(str(path))
+        tracing.configure([exporter])
+        try:
+            with tracing.span("will.survive"):
+                pass
+            tracing.install_exit_flush(exporter)
+            flushed = tracing.flush_exit_exporters()
+            assert flushed >= 1
+            lines = path.read_text().strip().splitlines()
+            assert json.loads(lines[0])["name"] == "will.survive"
+        finally:
+            tracing.uninstall_exit_flush(exporter)
+            tracing.disable()
+            exporter.close()
+
+    def test_flush_is_idempotent_and_uninstall_removes(self, tmp_path):
+        exporter = JsonlExporter(str(tmp_path / "t.jsonl"))
+        tracing.install_exit_flush(exporter)
+        assert tracing.flush_exit_exporters() == 1
+        assert tracing.flush_exit_exporters() == 1  # close() is safe twice
+        tracing.uninstall_exit_flush(exporter)
+        assert tracing.flush_exit_exporters() == 0
+
+    def test_signal_flushes_then_chains_to_previous_handler(self, tmp_path):
+        import signal as _signal
+
+        path = tmp_path / "sig.jsonl"
+        seen = []
+        previous = _signal.signal(
+            _signal.SIGTERM, lambda signum, frame: seen.append(signum)
+        )
+        exporter = JsonlExporter(str(path))
+        tracing.configure([exporter])
+        try:
+            with tracing.span("killed.mid.run"):
+                pass
+            tracing.install_exit_flush(exporter)
+            _signal.raise_signal(_signal.SIGTERM)
+            # Our handler flushed the exporter, then chained to the
+            # recording handler installed above (process stays alive).
+            assert seen == [_signal.SIGTERM]
+            lines = path.read_text().strip().splitlines()
+            assert json.loads(lines[0])["name"] == "killed.mid.run"
+        finally:
+            tracing.uninstall_exit_flush(exporter)
+            tracing.disable()
+            exporter.close()
+            _signal.signal(_signal.SIGTERM, previous)
+
+    def test_uninstall_restores_previous_signal_handler(self):
+        import signal as _signal
+
+        marker = lambda signum, frame: None  # noqa: E731
+        previous = _signal.signal(_signal.SIGTERM, marker)
+        exporter = RingBufferExporter()
+        try:
+            tracing.install_exit_flush(exporter)
+            assert _signal.getsignal(_signal.SIGTERM) is not marker
+            tracing.uninstall_exit_flush(exporter)
+            assert _signal.getsignal(_signal.SIGTERM) is marker
+        finally:
+            _signal.signal(_signal.SIGTERM, previous)
+
+
+class TestThreadSpanTracking:
+    """Cross-thread span stacks for the sampling profiler."""
+
+    def test_disabled_by_default(self, ring):
+        import threading
+
+        with tracing.span("untracked"):
+            assert tracing.thread_span_stack(threading.get_ident()) == ()
+
+    def test_tracked_stack_follows_nesting(self, ring):
+        import threading
+
+        ident = threading.get_ident()
+        tracing.track_thread_spans(True)
+        try:
+            with tracing.span("outer"):
+                assert tracing.thread_span_stack(ident) == ("outer",)
+                with tracing.span("inner"):
+                    assert tracing.thread_span_stack(ident) == (
+                        "outer", "inner",
+                    )
+                assert tracing.thread_span_stack(ident) == ("outer",)
+            assert tracing.thread_span_stack(ident) == ()
+        finally:
+            tracing.track_thread_spans(False)
+
+    def test_other_threads_are_visible(self, ring):
+        import threading
+
+        started = threading.Event()
+        release = threading.Event()
+        idents = []
+
+        def worker():
+            with tracing.span("worker.op"):
+                idents.append(threading.get_ident())
+                started.set()
+                release.wait(timeout=5)
+
+        tracing.track_thread_spans(True)
+        try:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            assert started.wait(timeout=5)
+            assert tracing.thread_span_stack(idents[0]) == ("worker.op",)
+            release.set()
+            thread.join(timeout=5)
+            assert tracing.thread_span_stack(idents[0]) == ()
+        finally:
+            tracing.track_thread_spans(False)

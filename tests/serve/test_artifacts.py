@@ -122,7 +122,7 @@ class TestColumnarPersistence:
 
     def test_v2_artifact_carries_columnar_section(self, fitted_engine):
         payload = engine_to_dict(fitted_engine)
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == ARTIFACT_SCHEMA_VERSION
         assert "columnar" in payload
         assert payload["config"]["columnar"] is True
         encoded = payload["columnar"]
@@ -162,3 +162,41 @@ class TestColumnarPersistence:
         loaded = load_engine(str(path), dataset.network, dataset.store)
         assert loaded.config.columnar is False
         assert loaded.columnar_snapshot() is None
+
+
+class TestDriftBaselinePersistence:
+    """Schema v3: the fit-time drift baseline travels with the artifact."""
+
+    def test_v3_artifact_carries_drift_baseline(self, fitted_engine):
+        payload = engine_to_dict(fitted_engine)
+        assert payload["schema_version"] == 3
+        baseline = payload["drift_baseline"]
+        assert baseline["carrier_count"] > 0
+        assert "carrier_frequency" in baseline["attributes"]
+        assert set(baseline["parameters"]) >= set(SERVE_PARAMETERS)
+
+    def test_loaded_engine_keeps_baseline(self, fitted_engine, reloaded):
+        assert reloaded.drift_baseline is not None
+        assert (
+            reloaded.drift_baseline.to_dict()
+            == fitted_engine.drift_baseline.to_dict()
+        )
+
+    def test_v2_artifact_still_loads(self, fitted_engine, dataset):
+        """Pre-drift documents lack the baseline section; they load and
+        serve (the baseline stays None until the next fit)."""
+        payload = json.loads(json.dumps(engine_to_dict(fitted_engine)))
+        payload["schema_version"] = 2
+        payload.pop("drift_baseline")
+        engine = engine_from_dict(payload, dataset.network, dataset.store)
+        assert engine.drift_baseline is None
+        assert engine.fitted_parameters() == fitted_engine.fitted_parameters()
+
+    def test_baseline_json_round_trips(self, fitted_engine, dataset, tmp_path):
+        path = tmp_path / "engine.json"
+        save_engine(fitted_engine, str(path))
+        loaded = load_engine(str(path), dataset.network, dataset.store)
+        assert (
+            loaded.drift_baseline.to_dict()
+            == fitted_engine.drift_baseline.to_dict()
+        )

@@ -205,3 +205,86 @@ class TestFullRefit:
         assert service.cache_len() == 0
         after = service.recommend(request, parameters=["pMax"])
         assert after.recommendations["pMax"].value is not None
+
+
+class TestDriftRefreshCycle:
+    """check_drift: stationary streams stay quiet, shifts trigger."""
+
+    def _make_service(self, dataset):
+        engine = AuricEngine(dataset.network, dataset.store).fit(["pMax"])
+        service = RecommendationService(engine)
+        service.enable_drift_tracking(sample_every=1)
+        return service
+
+    def _serve_population(self, service, dataset):
+        """One pass over every carrier — the baseline population, so
+        the sampled window is stationary by construction."""
+        from repro.core.recommendation import RecommendRequest
+
+        for carrier in dataset.network.carriers():
+            service.handle(
+                RecommendRequest(
+                    carrier_id=carrier.carrier_id,
+                    parameters=("pMax",),
+                    leave_one_out=True,
+                )
+            )
+
+    def test_stationary_stream_never_alerts(self, dataset):
+        service = self._make_service(dataset)
+        refresher = EngineRefresher(service)
+        for cycle in range(10):
+            self._serve_population(service, dataset)
+            check = refresher.check_drift()
+            assert check.report is not None, f"cycle {cycle}: no report"
+            assert check.report.verdict == "healthy"
+            assert not check.refit_recommended
+            assert not check.refit_triggered
+
+    def test_injected_shift_flagged_within_one_cycle(self, dataset):
+        from repro.obs.health import attribute_distributions
+
+        service = self._make_service(dataset)
+        refresher = EngineRefresher(service)
+        live = attribute_distributions(dataset.network)
+        total = sum(live["hardware"].values())
+        live["hardware"] = {"RRH9": total}
+        check = refresher.check_drift(live=live)
+        assert check.report is not None
+        assert check.report.stale
+        assert check.refit_recommended
+        # Default posture: recommend only, never refit on its own.
+        assert check.refreshed is None
+        assert not check.refit_triggered
+
+    def test_auto_refit_swaps_engine_and_resets_window(self, dataset):
+        from repro.obs.health import attribute_distributions
+
+        service = self._make_service(dataset)
+        refresher = EngineRefresher(service, auto_refit=True)
+        self._serve_population(service, dataset)
+        assert service.drift_window.seen > 0
+        stale_engine = service.engine
+        live = attribute_distributions(dataset.network)
+        total = sum(live["hardware"].values())
+        live["hardware"] = {"RRH9": total}
+        check = refresher.check_drift(live=live)
+        assert check.refit_triggered
+        assert check.refreshed.mode == "full"
+        assert service.engine is not stale_engine
+        # The fresh fit carries a fresh baseline, and the swap clears
+        # the sampled window — drift restarts from the new generation.
+        assert service.drift_baseline() is not None
+        assert service.drift_window.seen == 0
+        assert refresher.check_drift().report is None
+
+    def test_drift_report_none_without_window_or_baseline(self, dataset):
+        engine = AuricEngine(dataset.network, dataset.store).fit(["pMax"])
+        service = RecommendationService(engine)
+        # Tracking never enabled and no live override: nothing to score.
+        assert service.drift_report() is None
+        engine.drift_baseline = None
+        service.enable_drift_tracking(sample_every=1)
+        self._serve_population(service, dataset)
+        # Window populated but the baseline is gone (pre-v3 artifact).
+        assert service.drift_report() is None

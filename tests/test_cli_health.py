@@ -1,0 +1,117 @@
+"""End-to-end tests for ``repro health`` / ``repro dashboard``.
+
+Exit-code semantics are the contract: 0 healthy, 1 degraded (drift),
+2 failing (a user-facing SLO breached beyond tolerance).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def paths(tmp_path_factory):
+    """A fitted-snapshot universe shared by every test in the module:
+    the tiny snapshot, a four-markets snapshot (a genuinely different
+    population — drifted relative to tiny) and an engine artifact."""
+    root = tmp_path_factory.mktemp("cli-health")
+    tiny = root / "tiny.json"
+    four = root / "four.json"
+    artifact = root / "engine.json"
+    assert main(["generate", "--workload", "tiny", "-o", str(tiny)]) == 0
+    assert (
+        main(["generate", "--workload", "four-markets", "--scale", "0.004",
+              "-o", str(four)])
+        == 0
+    )
+    code = main([
+        "health", "--snapshot", str(tiny),
+        "--save-artifact", str(artifact),
+        "--no-profile", "--shadow-targets", "5",
+    ])
+    assert code == 0
+    return {"tiny": tiny, "four": four, "artifact": artifact}
+
+
+def health(paths, *extra):
+    """Run ``repro health`` against the prebuilt artifact."""
+    return main([
+        "health", "--snapshot", str(paths["tiny"]),
+        "--artifact", str(paths["artifact"]),
+        "--no-profile", "--shadow-targets", "0", *extra,
+    ])
+
+
+class TestExitCodes:
+    def test_stationary_stream_is_healthy(self, paths, capsys):
+        assert health(paths) == 0
+        out = capsys.readouterr().out
+        assert "health: healthy" in out
+
+    def test_drifted_live_snapshot_degrades(self, paths, capsys):
+        code = health(paths, "--live", str(paths["four"]))
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "health: degraded" in out
+        assert "stale" in out
+
+    def test_breached_slo_fails(self, paths, capsys):
+        # An impossible latency objective forces the p99 rule to
+        # failing — the exit code reserved for user-facing breaches.
+        code = health(paths, "--slo-latency-p99", "1e-9")
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "health: failing" in out
+        assert "latency-p99" in out
+
+    def test_unknown_parameter_rejected(self, paths):
+        with pytest.raises(SystemExit, match="unknown parameter"):
+            health(paths, "--parameters", "bogusKnob")
+
+
+class TestDocuments:
+    def test_json_document_shape(self, paths, capsys):
+        code = health(paths, "--format", "json")
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["command"] == "health"
+        report = document["report"]
+        assert report["status"] == "healthy"
+        assert report["drift"]["verdict"] == "healthy"
+        drifted = {a["attribute"] for a in report["drift"]["attributes"]}
+        assert "carrier_frequency" in drifted
+        slo_names = {r["name"] for r in report["slo"]["results"]}
+        assert {"latency-p99", "cache-hit-ratio", "drift-psi"} <= slo_names
+        # The registry exposition rides along for offline scraping.
+        assert "repro_service_requests_total" in document["registry"]
+
+    def test_profiler_writes_collapsed_stacks(self, paths, capsys, tmp_path):
+        stacks = tmp_path / "profile.txt"
+        code = main([
+            "health", "--snapshot", str(paths["tiny"]),
+            "--artifact", str(paths["artifact"]),
+            "--shadow-targets", "0",
+            "--profile-output", str(stacks),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        for line in stacks.read_text().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack and int(count) >= 1
+
+    def test_dashboard_writes_html(self, paths, capsys, tmp_path):
+        page = tmp_path / "dash.html"
+        code = main([
+            "dashboard", "--snapshot", str(paths["tiny"]),
+            "--artifact", str(paths["artifact"]),
+            "--no-profile", "--shadow-targets", "0",
+            "-o", str(page),
+        ])
+        assert code == 0
+        assert "dashboard written" in capsys.readouterr().out
+        html = page.read_text()
+        assert html.lower().startswith("<!doctype html>")
+        assert "repro health" in html
+        assert "repro_service_requests_total" in html
