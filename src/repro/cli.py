@@ -33,6 +33,14 @@ The work-producing subcommands share one option vocabulary:
   process *and* pool workers, re-parented into one trace) as JSON
   lines; ``--log-level``/``-v`` turn on key=value structured logging.
 
+``serve`` boots the sharded asyncio HTTP front end
+(:mod:`repro.serve.front`) over a workload or snapshot — consistent-hash
+routing, micro-batch coalescing, admission control, zero-downtime
+``/admin/swap`` — and either serves until interrupted or, with
+``--storm N``, fires an audited self-test storm (optionally hot-swapping
+mid-run via ``--swap-at``) and exits 0 only when every answer was
+correct.
+
 ``explain`` answers one leave-one-out recommendation with full
 provenance — the chi-square-selected attributes (with achieved
 p-values), the vote distribution and the serving disposition behind
@@ -173,6 +181,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve an artifact even if it was fitted on another snapshot",
     )
     serve.add_argument("--cache-size", type=int, default=None)
+
+    front = sub.add_parser(
+        "serve",
+        parents=[common, workload],
+        help="run the sharded HTTP serving front end (optionally fire a "
+        "self-test storm and exit)",
+    )
+    front.add_argument(
+        "--workload",
+        choices=sorted(_WORKLOADS),
+        default="tiny",
+        help="workload to fit and serve (default: tiny)",
+    )
+    front.add_argument(
+        "--snapshot", default=None,
+        help="snapshot JSON (repro.dataio format) to serve instead of a "
+        "generated workload",
+    )
+    front.add_argument(
+        "--parameters", default="pMax,inactivityTimer",
+        help="comma-separated singular parameters to serve",
+    )
+    front.add_argument("--host", default="127.0.0.1")
+    front.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0 = ephemeral; the bound port is printed)",
+    )
+    front.add_argument(
+        "--shards", type=int, default=2,
+        help="engine shards behind the consistent-hash ring (default 2)",
+    )
+    front.add_argument(
+        "--max-inflight", type=int, default=512,
+        help="global admission ceiling before 503 shedding (default 512)",
+    )
+    front.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="micro-batch coalescing window in milliseconds (default 2.0)",
+    )
+    front.add_argument(
+        "--max-batch", type=int, default=32,
+        help="flush a micro-batch at this size regardless of the window",
+    )
+    front.add_argument(
+        "--max-queue", type=int, default=256,
+        help="per-shard batch queue bound (default 256)",
+    )
+    front.add_argument("--cache-size", type=int, default=None)
+    front.add_argument(
+        "--storm", type=int, default=None, metavar="N",
+        help="self-test mode: fire N audited requests at the booted "
+        "server, print the report and exit (0 iff error rate is 0)",
+    )
+    front.add_argument(
+        "--connections", type=int, default=8,
+        help="concurrent storm connections (default 8)",
+    )
+    front.add_argument(
+        "--swap-at", type=float, default=None, metavar="FRACTION",
+        help="fire one hot swap after this fraction of the storm "
+        "(e.g. 0.5; storm mode only)",
+    )
 
     explain = sub.add_parser(
         "explain",
@@ -473,6 +543,115 @@ def _run_serve_batch(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    """Boot the sharded HTTP front end; optionally storm-test it."""
+    import time
+
+    from repro.config.rulebook import RuleBook
+    from repro.core.auric import AuricEngine
+    from repro.core.recommendation import RecommendRequest
+    from repro.dataio import load_dataset_json
+    from repro.dataio.keys import carrier_key_to_str
+    from repro.obs import metrics as obs_metrics
+    from repro.serve import RecommendationService
+    from repro.serve.front import (
+        FrontConfig,
+        ShardSet,
+        StormProfile,
+        run_storm,
+        serve_in_thread,
+    )
+    from repro.serve.service import DEFAULT_CACHE_SIZE
+
+    if args.snapshot is not None:
+        dataset = load_dataset_json(args.snapshot)
+    else:
+        dataset = _build_workload(args.workload, args.scale, args.seed)
+    parameters = [p for p in args.parameters.split(",") if p]
+    for name in parameters:
+        if name not in dataset.store.catalog:
+            print(f"error: unknown parameter {name!r}", file=sys.stderr)
+            return 2
+        if dataset.store.catalog.spec(name).is_pairwise:
+            print(
+                f"error: {name} is pair-wise; the front end serves "
+                "singular parameters",
+                file=sys.stderr,
+            )
+            return 2
+
+    obs_metrics.enable()
+    engine = AuricEngine(
+        dataset.network, dataset.store, _engine_config(args)
+    ).fit(parameters, jobs=args.jobs)
+    shard_set = ShardSet(
+        engine,
+        RuleBook(dataset.store.catalog),
+        shards=args.shards,
+        cache_size=args.cache_size or DEFAULT_CACHE_SIZE,
+        max_queue=args.max_queue,
+    )
+    config = FrontConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        max_inflight=args.max_inflight,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        cache_size=args.cache_size or DEFAULT_CACHE_SIZE,
+        parameters=tuple(parameters),
+    )
+    handle = serve_in_thread(shard_set, config)
+    try:
+        print(
+            f"serving on {args.host}:{handle.port} "
+            f"({args.shards} shards, {len(parameters)} parameters)",
+            flush=True,
+        )
+        if args.storm is None:
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                return 0
+
+        # Storm self-test: audit every answer against the same engine
+        # served directly, so a mid-storm hot swap that surfaced a wrong
+        # or partial value would fail the run.
+        carriers = sorted(dataset.store.carriers())[: max(args.connections * 4, 16)]
+        payloads = [{"carrier": carrier_key_to_str(c)} for c in carriers]
+        oracle = RecommendationService(engine, RuleBook(dataset.store.catalog))
+        expected = []
+        for carrier_id in carriers:
+            result = oracle.handle(
+                RecommendRequest(
+                    carrier_id=carrier_id, parameters=tuple(parameters)
+                )
+            )
+            expected.append(
+                {
+                    name: rec.value
+                    for name, rec in result.recommendation.recommendations.items()
+                }
+            )
+        profile = StormProfile(
+            requests=args.storm,
+            connections=args.connections,
+            swap_at=args.swap_at,
+            swap_jobs=args.jobs,
+        )
+        report = run_storm(
+            args.host, handle.port, payloads, profile, expected
+        )
+        document = {"command": "serve", "storm": report.to_dict()}
+        _emit(json.dumps(document, indent=2), args)
+        return 0 if report.error_rate == 0.0 and report.ok == report.sent else 1
+    finally:
+        handle.stop()
+        shard_set.stop()
+
+
 def _build_service(args, parameters: List[str]):
     """Fit a service over the chosen workload (explain / metrics)."""
     from repro.config.rulebook import RuleBook
@@ -764,6 +943,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         if args.command == "serve-batch":
             return _run_serve_batch(args)
+
+        if args.command == "serve":
+            return _run_serve(args)
 
         if args.command == "explain":
             return _run_explain(args)

@@ -413,6 +413,29 @@ class AuricEngine:
         """
         return dict(self._models)
 
+    def warm_votes(self, parameters: Optional[Sequence[str]] = None) -> int:
+        """Pre-build the lazy per-parameter vote structures.
+
+        The plurality tables and local vote index are normally built on
+        first use; a serving tier that shares one engine across shard
+        worker threads warms them up front so the lazy builds happen
+        once, before concurrent traffic arrives (the builds are
+        deterministic and idempotent, so a race is only wasted work —
+        warming removes even that).  Returns the number of models
+        warmed.
+        """
+        names = parameters if parameters is not None else self.fitted_parameters()
+        warmed = 0
+        for name in names:
+            model = self._models.get(name)
+            if model is None:
+                continue
+            if self._cell_vote_table(model) is not None:
+                self._relaxed_table(model, max(len(model.dependent_columns) - 1, 0))
+            self._local_vote_index(model)
+            warmed += 1
+        return warmed
+
     def install_model(self, name: str, model: _ParameterModel) -> None:
         """Install a fitted model directly (artifact load / refresher swap)."""
         if model.spec.name != name:

@@ -13,14 +13,19 @@ while keeping every result byte-identical to the serial path:
 * results are merged in task submission order.
 
 ``jobs=1`` — or any failure to stand a pool up — runs the exact same
-task functions in-process.
+task functions in-process.  The requested ``--jobs`` is a ceiling, not
+a promise: :func:`~repro.parallel.pool.effective_jobs` lowers it to
+what the host (``os.cpu_count()``) and the workload (``work_hint``)
+can profitably use, so asking for parallelism never costs more than
+serial (set ``REPRO_POOL_ADAPTIVE=0`` to disable the cutover).
 """
 
-from repro.parallel.pool import resolve_jobs, run_tasks
+from repro.parallel.pool import effective_jobs, resolve_jobs, run_tasks
 from repro.parallel.fit import fit_parameter_models
 from repro.parallel.evaluate import parallel_loo_accuracy
 
 __all__ = [
+    "effective_jobs",
     "resolve_jobs",
     "run_tasks",
     "fit_parameter_models",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.parallel.pool import get_payload, resolve_jobs, run_tasks
+from repro.parallel.pool import effective_jobs, get_payload, run_tasks
 
 # Per-process worker state keyed on payload identity (see repro.parallel.fit).
 _STATE: Dict[str, object] = {"payload": None, "view": None, "samples": None}
@@ -73,7 +73,11 @@ def parallel_loo_accuracy(
     indices already sampled by the master — across a process pool."""
     from repro.eval.runner import LocalVsGlobalResult
 
-    jobs = resolve_jobs(jobs)
+    # The hint is the total LOO target count: each target is one cheap
+    # vote, so small sweeps collapse to serial before chunking happens
+    # and the chunks match the workers that will actually exist.
+    total_targets = sum(len(indices) for _parameter, indices in plan)
+    jobs = effective_jobs(jobs, total_targets, work_hint=total_targets)
     tasks = []
     for parameter, indices in plan:
         for chunk in split_evenly(indices, jobs):

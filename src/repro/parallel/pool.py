@@ -37,6 +37,15 @@ from repro.parallel import shm
 #: platforms whose default is fork.
 START_METHOD_ENV = "REPRO_POOL_START_METHOD"
 
+#: Set to ``"0"`` to disable the adaptive serial/parallel cutover and
+#: honor the requested ``--jobs`` literally (the pool test suite uses
+#: this to exercise the worker path on single-core hosts).
+ADAPTIVE_ENV = "REPRO_POOL_ADAPTIVE"
+
+#: Minimum cheap work units (see ``work_hint``) a second worker must
+#: bring along before standing up a pool is worth its setup cost.
+MIN_WORK_PER_WORKER = 2048
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -53,6 +62,39 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
     return jobs
+
+
+def effective_jobs(
+    jobs: Optional[int], n_tasks: int, work_hint: Optional[int] = None
+) -> int:
+    """The worker count actually worth using — the adaptive cutover.
+
+    ``--jobs`` is a *ceiling*, not a promise: a process pool wider than
+    the machine loses to serial (the ``BENCH_parallel.json`` regression
+    — 0.6x on a 1-core host), and fanning out a workload whose total
+    work is smaller than the pool's setup cost loses no matter how many
+    cores exist.  Three reductions apply, in order:
+
+    * never more workers than tasks,
+    * never more workers than ``os.cpu_count()`` — on a single-core
+      host every ``--jobs`` value degrades to serial,
+    * when the caller supplies ``work_hint`` (an estimate of cheap unit
+      operations, e.g. LOO targets), never more workers than
+      ``work_hint // MIN_WORK_PER_WORKER`` — tiny sweeps stay serial
+      even on wide machines.
+
+    ``REPRO_POOL_ADAPTIVE=0`` disables the last two reductions so tests
+    can force the worker path regardless of the host.
+    """
+    jobs = resolve_jobs(jobs)
+    jobs = min(jobs, n_tasks) if n_tasks else 1
+    if os.environ.get(ADAPTIVE_ENV, "1") == "0":
+        return max(jobs, 1)
+    cores = os.cpu_count() or 1
+    jobs = min(jobs, cores)
+    if work_hint is not None:
+        jobs = min(jobs, max(work_hint // MIN_WORK_PER_WORKER, 1))
+    return max(jobs, 1)
 
 
 def get_payload() -> Any:
@@ -173,17 +215,21 @@ def run_tasks(
     fn: Callable[[T], R],
     tasks: Sequence[T],
     jobs: int = 1,
+    work_hint: Optional[int] = None,
 ) -> List[R]:
     """Run ``fn`` over ``tasks`` against a shared payload.
 
     Results come back in task order regardless of completion order, so
-    callers can merge deterministically.  With ``jobs=1`` (after
-    :func:`resolve_jobs` normalization), a single task, or a pool that
-    cannot be created or breaks mid-run, the tasks run serially
-    in-process — same functions, same payload, same results.
+    callers can merge deterministically.  The requested ``jobs`` is a
+    ceiling: :func:`effective_jobs` lowers it to what the host and the
+    workload (``work_hint``, total cheap work units) can actually use,
+    so ``--jobs N`` never loses to serial.  With an effective worker
+    count of 1, a single task, or a pool that cannot be created or
+    breaks mid-run, the tasks run serially in-process — same functions,
+    same payload, same results.
     """
-    jobs = resolve_jobs(jobs)
     tasks = list(tasks)
+    jobs = effective_jobs(jobs, len(tasks), work_hint)
     if jobs == 1 or len(tasks) <= 1:
         # Serial tasks run in-process, so their spans nest naturally
         # under the caller's current span — no propagation needed.

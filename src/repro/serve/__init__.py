@@ -15,6 +15,14 @@ to the rule-book, and incremental refresh as the network grows.
 * :mod:`repro.serve.metrics` — the service-facing facade over the
   unified :mod:`repro.obs` metrics registry: the historical plain-dict
   export plus Prometheus text exposition.
+* :mod:`repro.serve.validation` — structured payload validation
+  (:class:`RequestValidationError` names the field and reason; the
+  front end's 400 body).
+* :mod:`repro.serve.front` — the sharded asyncio HTTP front end
+  (consistent-hash routing, micro-batch coalescing, admission control,
+  zero-downtime hot swap).  Imported explicitly — ``from
+  repro.serve.front import ...`` — so library users of the in-process
+  service never pay for the network stack.
 """
 
 from repro.serve.artifacts import (
@@ -45,10 +53,18 @@ from repro.serve.service import (
     request_from_dict,
     requests_from_json,
 )
+from repro.serve.validation import (
+    RequestValidationError,
+    unified_request_from_dict,
+    unified_requests_from_json,
+)
 
 __all__ = [
     "request_from_dict",
     "requests_from_json",
+    "RequestValidationError",
+    "unified_request_from_dict",
+    "unified_requests_from_json",
     "ARTIFACT_SCHEMA_VERSION",
     "ArtifactError",
     "artifact_summary",

@@ -1,0 +1,142 @@
+"""Admission control and load shedding for the serving front end.
+
+Two bounds protect the tier:
+
+* a **global in-flight ceiling** (``max_inflight``) — requests admitted
+  but not yet answered, across every shard.  This is the knob that
+  keeps a launch storm from queueing unbounded work in front of the
+  engine;
+* a **per-shard queue bound** (``max_queue``) — a hot market cannot
+  monopolize the tier; its shard sheds while the others keep serving.
+
+A request that would exceed either bound is *shed*: the server answers
+a structured 503 whose body (:meth:`OverloadError.to_dict`) names the
+exhausted resource, the current depth and a ``retry_after_ms`` hint
+derived from the recent service rate — the client-visible half of the
+backpressure loop.  Shed decisions are counted per reason in
+``repro_front_shed_total`` and the in-flight level is exported through
+``repro_front_inflight``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.exceptions import ReproError
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["AdmissionController", "OverloadError"]
+
+#: Fallback retry hint when no latency estimate is available yet.
+DEFAULT_RETRY_AFTER_MS = 50
+
+
+class OverloadError(ReproError):
+    """The front end is shedding load; the payload is the 503 body."""
+
+    def __init__(
+        self,
+        reason: str,
+        limit: int,
+        depth: int,
+        retry_after_ms: int = DEFAULT_RETRY_AFTER_MS,
+        shard: Optional[int] = None,
+    ) -> None:
+        self.reason = reason
+        self.limit = limit
+        self.depth = depth
+        self.retry_after_ms = retry_after_ms
+        self.shard = shard
+        where = f" (shard {shard})" if shard is not None else ""
+        super().__init__(
+            f"overloaded{where}: {reason} at {depth}/{limit}; "
+            f"retry in {retry_after_ms}ms"
+        )
+
+    def to_dict(self) -> Dict:
+        body: Dict = {
+            "error": "overloaded",
+            "reason": self.reason,
+            "limit": self.limit,
+            "depth": self.depth,
+            "retry_after_ms": self.retry_after_ms,
+        }
+        if self.shard is not None:
+            body["shard"] = self.shard
+        return body
+
+
+class AdmissionController:
+    """Bounded-admission accounting shared by every front-end endpoint.
+
+    Thread-safe: the asyncio loop admits, shard worker threads release
+    (through the completion callbacks).
+    """
+
+    def __init__(self, max_inflight: int) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        self.max_inflight = max_inflight
+        self._lock = threading.Lock()
+        self._inflight = 0
+        #: Smoothed per-request service time (seconds) feeding the
+        #: Retry-After hint; seeded pessimistically.
+        self._ewma_latency_s = 0.005
+        self._inflight_gauge = obs_metrics.gauge(
+            "repro_front_inflight",
+            "Requests admitted by the front end and not yet answered",
+        )
+        self._shed_counter = obs_metrics.counter(
+            "repro_front_shed_total",
+            "Requests shed by admission control",
+            labelnames=("reason",),
+        )
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def retry_after_ms(self, backlog: int) -> int:
+        """A drain-time hint: backlog × smoothed service time."""
+        with self._lock:
+            latency = self._ewma_latency_s
+        return max(int(backlog * latency * 1000), DEFAULT_RETRY_AFTER_MS)
+
+    def admit(self, weight: int = 1) -> None:
+        """Admit ``weight`` requests or raise :class:`OverloadError`."""
+        with self._lock:
+            if self._inflight + weight > self.max_inflight:
+                depth = self._inflight
+                latency = self._ewma_latency_s
+                self._shed_counter.labels(reason="max_inflight").inc(weight)
+                raise OverloadError(
+                    reason="max_inflight",
+                    limit=self.max_inflight,
+                    depth=depth,
+                    retry_after_ms=max(
+                        int(depth * latency * 1000), DEFAULT_RETRY_AFTER_MS
+                    ),
+                )
+            self._inflight += weight
+            self._inflight_gauge.set(self._inflight)
+
+    def shed_queue_full(self, shard: int, limit: int, depth: int) -> OverloadError:
+        """Record a per-shard queue shed and build its 503."""
+        self._shed_counter.labels(reason="shard_queue").inc()
+        return OverloadError(
+            reason="shard_queue",
+            limit=limit,
+            depth=depth,
+            retry_after_ms=self.retry_after_ms(depth),
+            shard=shard,
+        )
+
+    def release(self, weight: int = 1, latency_s: Optional[float] = None) -> None:
+        """A request finished (answered or failed); update accounting."""
+        with self._lock:
+            self._inflight = max(self._inflight - weight, 0)
+            self._inflight_gauge.set(self._inflight)
+            if latency_s is not None and latency_s >= 0.0:
+                self._ewma_latency_s += 0.2 * (latency_s - self._ewma_latency_s)

@@ -1,0 +1,115 @@
+"""Micro-batch coalescing of concurrent single-carrier requests.
+
+During a launch storm many independent clients ask for one carrier
+each within the same few milliseconds.  Serving them one-by-one pays
+the per-call dispatch overhead N times; the engine's vectorized
+columnar kernels are happiest when handed a batch.  The coalescer
+holds each shard's arrivals for at most ``window_s`` (the
+``--batch-window-ms`` knob) or until ``max_batch`` accumulate —
+whichever comes first — then flushes the whole run as a single
+``handle_batch`` call on the shard worker.
+
+The window is a latency *budget*, not a fixed delay: the timer arms on
+the first request of a batch, so an isolated request waits the window
+once and a storm flushes early on size.  Batch sizes are observed in
+``repro_front_batch_size`` — the distribution is the direct measure of
+how much coalescing the storm achieved.
+
+The coalescer is confined to the asyncio event loop (submit and flush
+both run there); only the flush *callback* hands work to a shard
+thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.recommendation import RecommendRequest
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["Coalescer"]
+
+#: Batch-size histogram buckets (requests per flush).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: One coalesced entry: the request and the future its response resolves.
+Entry = Tuple[RecommendRequest, "asyncio.Future"]
+
+
+class Coalescer:
+    """Accumulates one shard's requests into micro-batches."""
+
+    def __init__(
+        self,
+        flush: Callable[[List[Entry]], None],
+        window_s: float,
+        max_batch: int,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError("batch window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self._flush_fn = flush
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._loop = loop
+        self._pending: List[Entry] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._batch_histogram = obs_metrics.histogram(
+            "repro_front_batch_size",
+            "Coalesced requests per shard batch",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self._coalesced_counter = obs_metrics.counter(
+            "repro_front_coalesced_total",
+            "Requests that shared a flush with at least one other request",
+        )
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def _get_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            self._loop = asyncio.get_event_loop()
+        return self._loop
+
+    def submit(self, request: RecommendRequest) -> "asyncio.Future":
+        """Queue one request; returns the future its result resolves."""
+        loop = self._get_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((request, future))
+        if len(self._pending) >= self.max_batch:
+            self.flush_now()
+        elif self._timer is None:
+            if self.window_s == 0:
+                self.flush_now()
+            else:
+                self._timer = loop.call_later(self.window_s, self.flush_now)
+        return future
+
+    def flush_now(self) -> int:
+        """Flush the pending batch immediately; returns its size."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return 0
+        batch, self._pending = self._pending, []
+        self._batch_histogram.observe(float(len(batch)))
+        if len(batch) > 1:
+            self._coalesced_counter.inc(len(batch))
+        self._flush_fn(batch)
+        return len(batch)
+
+    def close(self) -> None:
+        """Cancel the timer and fail any stranded entries."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        for _, future in batch:
+            if not future.done():
+                future.set_exception(RuntimeError("coalescer closed"))

@@ -1,0 +1,95 @@
+"""Consistent-hash routing of requests onto engine shards.
+
+Auric's electorate is organized by market (the paper's state-sized
+operational regions), so the front end keeps all of one market's
+traffic on one shard: the shard's vote cache then concentrates that
+market's (cell, scope) keys instead of spreading them across every
+shard's LRU.  The ring hashes each market onto ``replicas`` virtual
+points so adding or removing a shard only remaps ~1/N of the markets —
+the standard consistent-hashing argument — which keeps cache loss
+proportional when an operator resizes the tier.
+
+Routing keys are derived with :func:`shard_key`: existing-carrier and
+launch (eNodeB) targets use their market index; attribute-only
+new-carrier requests fall back to the ``market`` attribute, then to a
+stable hash of the whole attribute vector.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.core.recommendation import RecommendRequest
+
+__all__ = ["HashRing", "shard_key"]
+
+#: Virtual nodes per shard — enough for an even spread at small N.
+DEFAULT_REPLICAS = 64
+
+
+def _stable_hash(key: str) -> int:
+    """A platform-stable 64-bit hash (``hash()`` is salted per process)."""
+    digest = hashlib.md5(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over shard identifiers."""
+
+    def __init__(
+        self, nodes: Sequence[Hashable], replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        nodes = list(nodes)
+        if not nodes:
+            raise ValueError("hash ring needs at least one node")
+        if replicas < 1:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        points: List[Tuple[int, Hashable]] = []
+        for node in nodes:
+            for replica in range(replicas):
+                points.append((_stable_hash(f"{node}#{replica}"), node))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._nodes_at = [n for _, n in points]
+        self._nodes = nodes
+
+    @property
+    def nodes(self) -> List[Hashable]:
+        return list(self._nodes)
+
+    def node_for(self, key: Hashable) -> Hashable:
+        """The shard owning ``key`` (first ring point clockwise)."""
+        point = _stable_hash(str(key))
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._nodes_at[index]
+
+    def distribution(self, keys: Sequence[Hashable]) -> Dict[Hashable, int]:
+        """How many of ``keys`` land on each node (diagnostics)."""
+        counts: Dict[Hashable, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts
+
+
+def shard_key(request: RecommendRequest) -> Hashable:
+    """The routing key for one request.
+
+    Market-affine wherever a market is known — existing carriers and
+    launch requests carry one in their identifier, and new-carrier
+    attribute vectors carry the ``market`` attribute — falling back to
+    a stable hash of the attribute vector so even market-less requests
+    route deterministically.
+    """
+    if request.carrier_id is not None:
+        return f"market:{request.carrier_id.enodeb.market.index}"
+    if request.enodeb_id is not None:
+        return f"market:{request.enodeb_id.market.index}"
+    market = request.attributes.get("market")
+    if market is not None:
+        return f"market:{market}"
+    return f"attrs:{_stable_hash(repr(request.attributes.as_tuple()))}"

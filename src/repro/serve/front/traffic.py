@@ -1,0 +1,337 @@
+"""Launch-storm traffic generation against a running front end.
+
+The paper's deployment reality is bursty: a market activates a wave of
+carriers and every one of them asks for its configuration at once.
+:func:`run_storm` replays that shape — N persistent connections
+hammering the ``/recommend`` endpoint closed-loop, optionally firing a
+mid-run ``/admin/swap`` — and audits the answers:
+
+* every request must be *answered* (a shed 503 is retried after the
+  server's ``retry_after_ms`` hint, honoring backpressure; a request
+  that exhausts its retries or loses its connection counts as
+  **dropped**),
+* when the caller supplies expected values (computed by serving the
+  same payloads directly), every answer is checked — a response whose
+  values differ counts as **incorrect**, which is how the benchmark
+  asserts a hot swap never surfaced a half-swapped or stale engine,
+* latencies are recorded per request (retries included — the client
+  experiences the backoff) and summarized as p50/p99.
+
+The report is the gate artifact: ``BENCH_serve_scale.json`` is one
+:meth:`StormReport.to_dict` plus the swap telemetry.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["StormProfile", "StormReport", "run_storm"]
+
+
+@dataclass
+class StormProfile:
+    """Shape of one storm replay."""
+
+    requests: int = 500
+    connections: int = 8
+    #: Fire one hot swap after this fraction of requests was sent
+    #: (None = no swap).
+    swap_at: Optional[float] = None
+    swap_jobs: int = 1
+    #: Retry budget for shed (503) responses, honoring retry_after_ms.
+    max_retries: int = 25
+    #: Cap on one backoff sleep, seconds (the server's hint is trusted
+    #: below this).
+    max_backoff_s: float = 0.5
+    timeout_s: float = 60.0
+
+
+@dataclass
+class StormReport:
+    """What the storm observed."""
+
+    sent: int = 0
+    ok: int = 0
+    #: Requests never answered successfully (transport failure or
+    #: retries exhausted).
+    dropped: int = 0
+    #: Successful answers whose values differed from the expectation.
+    incorrect: int = 0
+    #: 503 responses absorbed through retry (backpressure working).
+    shed_retried: int = 0
+    #: Non-200/503 statuses seen, by status code.
+    http_errors: Dict[str, int] = field(default_factory=dict)
+    latencies_ms: List[float] = field(default_factory=list)
+    #: Responses seen per shard-set generation (the hot-swap audit).
+    generations: Dict[str, int] = field(default_factory=dict)
+    duration_s: float = 0.0
+    swap: Optional[Dict] = None
+
+    @property
+    def rps(self) -> float:
+        return self.ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        answered = self.sent if self.sent else 1
+        return (self.dropped + self.incorrect) / answered
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+    def to_dict(self) -> Dict:
+        return {
+            "sent": self.sent,
+            "ok": self.ok,
+            "dropped": self.dropped,
+            "incorrect": self.incorrect,
+            "shed_retried": self.shed_retried,
+            "http_errors": dict(self.http_errors),
+            "error_rate": self.error_rate,
+            "rps": round(self.rps, 2),
+            "latency_ms": {
+                "p50": round(self.percentile_ms(0.50), 3),
+                "p99": round(self.percentile_ms(0.99), 3),
+                "mean": round(
+                    sum(self.latencies_ms) / len(self.latencies_ms), 3
+                )
+                if self.latencies_ms
+                else 0.0,
+            },
+            "generations": dict(self.generations),
+            "duration_s": round(self.duration_s, 3),
+            "swap": self.swap,
+        }
+
+
+class _Counter:
+    """A shared take-a-number dispenser for the closed loop."""
+
+    def __init__(self, total: int):
+        self.total = total
+        self._lock = threading.Lock()
+        self._next = 0
+
+    def take(self) -> Optional[int]:
+        with self._lock:
+            if self._next >= self.total:
+                return None
+            value = self._next
+            self._next += 1
+            return value
+
+    def take_overflow(self) -> int:
+        """Dispense past ``total`` — sustain-fire while a swap drains."""
+        with self._lock:
+            value = self._next
+            self._next += 1
+            return value
+
+    @property
+    def dispensed(self) -> int:
+        with self._lock:
+            return self._next
+
+
+def _post_json(
+    conn: http.client.HTTPConnection, path: str, payload
+) -> "http.client.HTTPResponse":
+    body = json.dumps(payload).encode("utf-8")
+    conn.request(
+        "POST", path, body=body, headers={"Content-Type": "application/json"}
+    )
+    return conn.getresponse()
+
+
+def _storm_worker(
+    host: str,
+    port: int,
+    payloads: Sequence[Dict],
+    expected: Optional[Sequence[Optional[Dict]]],
+    counter: _Counter,
+    profile: StormProfile,
+    report: StormReport,
+    lock: threading.Lock,
+    swap_done: Optional[threading.Event] = None,
+) -> None:
+    conn = http.client.HTTPConnection(host, port, timeout=profile.timeout_s)
+    try:
+        while True:
+            index = counter.take()
+            if index is None:
+                # Keep the storm *sustained* while a hot swap is still
+                # draining: a refit slower than the nominal request
+                # budget must still land under live, audited load.
+                if swap_done is not None and not swap_done.is_set():
+                    index = counter.take_overflow()
+                else:
+                    return
+            payload = payloads[index % len(payloads)]
+            started = time.perf_counter()
+            outcome = None  # (status, body) of the final attempt
+            retried_sheds = 0
+            for _attempt in range(profile.max_retries + 1):
+                try:
+                    response = _post_json(conn, "/recommend", payload)
+                    status = response.status
+                    body = response.read()
+                except (
+                    http.client.HTTPException, OSError, ConnectionError
+                ):
+                    # One reconnect per attempt: the server may have
+                    # recycled an idle keep-alive connection.
+                    conn.close()
+                    conn = http.client.HTTPConnection(
+                        host, port, timeout=profile.timeout_s
+                    )
+                    continue
+                if status == 503:
+                    retried_sheds += 1
+                    try:
+                        hint_ms = json.loads(body).get("retry_after_ms", 50)
+                    except (json.JSONDecodeError, AttributeError):
+                        hint_ms = 50
+                    time.sleep(
+                        min(hint_ms / 1000.0, profile.max_backoff_s)
+                    )
+                    continue
+                outcome = (status, body)
+                break
+            latency_ms = (time.perf_counter() - started) * 1000.0
+            with lock:
+                report.sent += 1
+                report.shed_retried += retried_sheds
+                if outcome is None:
+                    report.dropped += 1
+                    continue
+                status, body = outcome
+                if status != 200:
+                    report.http_errors[str(status)] = (
+                        report.http_errors.get(str(status), 0) + 1
+                    )
+                    report.dropped += 1
+                    continue
+                report.ok += 1
+                report.latencies_ms.append(latency_ms)
+                try:
+                    answer = json.loads(body)
+                except json.JSONDecodeError:
+                    report.incorrect += 1
+                    continue
+                generation = str(answer.get("generation", "?"))
+                report.generations[generation] = (
+                    report.generations.get(generation, 0) + 1
+                )
+                if expected is not None:
+                    want = expected[index % len(payloads)]
+                    if want is not None and answer.get("values") != want:
+                        report.incorrect += 1
+    finally:
+        conn.close()
+
+
+def _swap_controller(
+    host: str,
+    port: int,
+    counter: _Counter,
+    profile: StormProfile,
+    report: StormReport,
+    lock: threading.Lock,
+    swap_done: threading.Event,
+) -> None:
+    """Fire one hot swap after ``swap_at`` of the storm was dispensed."""
+    threshold = int(profile.swap_at * profile.requests)
+    while counter.dispensed < threshold:
+        time.sleep(0.005)
+    conn = http.client.HTTPConnection(host, port, timeout=profile.timeout_s)
+    try:
+        started = time.perf_counter()
+        response = _post_json(conn, "/admin/swap", {"jobs": profile.swap_jobs})
+        body = response.read()
+        elapsed = time.perf_counter() - started
+        with lock:
+            if response.status == 200:
+                swap = json.loads(body)
+                swap["client_roundtrip_s"] = round(elapsed, 6)
+                swap["fired_after_requests"] = threshold
+                report.swap = swap
+            else:
+                report.swap = {
+                    "error": f"swap returned HTTP {response.status}",
+                    "body": body.decode("utf-8", "replace"),
+                }
+    except (http.client.HTTPException, OSError, ConnectionError) as exc:
+        with lock:
+            report.swap = {"error": f"swap request failed: {exc}"}
+    finally:
+        swap_done.set()
+        conn.close()
+
+
+def run_storm(
+    host: str,
+    port: int,
+    payloads: Sequence[Dict],
+    profile: Optional[StormProfile] = None,
+    expected: Optional[Sequence[Optional[Dict]]] = None,
+) -> StormReport:
+    """Replay a launch storm and audit every answer.
+
+    ``payloads`` are ``/recommend`` JSON bodies, cycled round-robin
+    across the storm; ``expected[i]`` (optional) is the value map
+    payload ``i`` must answer with, regardless of when the hot swap
+    lands.  With ``swap_at`` set the storm is *sustained*: workers keep
+    firing (and auditing) past the nominal request count until the swap
+    response arrives, so a refit slower than the request budget still
+    completes under live load — ``report.sent`` can exceed
+    ``profile.requests``.
+    """
+    profile = profile or StormProfile()
+    if not payloads:
+        raise ValueError("storm needs at least one request payload")
+    report = StormReport()
+    counter = _Counter(profile.requests)
+    lock = threading.Lock()
+    swap_done = (
+        threading.Event() if profile.swap_at is not None else None
+    )
+    workers = [
+        threading.Thread(
+            target=_storm_worker,
+            args=(
+                host, port, payloads, expected, counter, profile, report,
+                lock, swap_done,
+            ),
+            name=f"storm-{i}",
+            daemon=True,
+        )
+        for i in range(profile.connections)
+    ]
+    controller = None
+    if profile.swap_at is not None:
+        controller = threading.Thread(
+            target=_swap_controller,
+            args=(host, port, counter, profile, report, lock, swap_done),
+            name="storm-swap",
+            daemon=True,
+        )
+    started = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    if controller is not None:
+        controller.start()
+    for worker in workers:
+        worker.join(timeout=profile.timeout_s * 4)
+    if controller is not None:
+        controller.join(timeout=profile.timeout_s * 4)
+    report.duration_s = time.perf_counter() - started
+    return report

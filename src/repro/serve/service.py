@@ -44,10 +44,8 @@ from repro.core.recommendation import (
     RecommendResult,
     warn_deprecated_signature,
 )
-from repro.dataio.keys import carrier_key_from_str
 from repro.exceptions import RecommendationError, UnknownParameterError
-from repro.netmodel.attributes import CarrierAttributes
-from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.netmodel.identifiers import CarrierId
 from repro.obs import tracing
 from repro.obs.health import (
     DriftDetector,
@@ -57,6 +55,10 @@ from repro.obs.health import (
 )
 from repro.obs.provenance import ResultExplanation
 from repro.serve.metrics import ServiceMetrics
+from repro.serve.validation import (
+    new_carrier_request_from_dict,
+    new_carrier_requests_from_json,
+)
 
 #: Default number of cached (parameter, cell, scope) votes.
 DEFAULT_CACHE_SIZE = 4096
@@ -69,27 +71,22 @@ def request_from_dict(payload: Dict) -> NewCarrierRequest:
     "neighbors": ["m.e.f.s", ...]}`` — ``enodeb`` uses the same key
     format as the snapshot's X2 eNodeB edges, ``neighbors`` the carrier
     key format of :mod:`repro.dataio.keys`.
+
+    Malformed payloads raise
+    :class:`~repro.serve.validation.RequestValidationError`, which names
+    the offending field and the reason (the front end's 400 body).
     """
-    enodeb_id = None
-    enodeb_text = payload.get("enodeb")
-    if enodeb_text is not None:
-        market, index = (int(p) for p in str(enodeb_text).split("."))
-        enodeb_id = ENodeBId(MarketId(market), index)
-    neighbors = tuple(
-        carrier_key_from_str(text) for text in payload.get("neighbors", ())
-    )
-    return NewCarrierRequest(
-        attributes=CarrierAttributes(payload["attributes"]),
-        enodeb_id=enodeb_id,
-        neighbor_carriers=neighbors,
-    )
+    return new_carrier_request_from_dict(payload)
 
 
 def requests_from_json(payload) -> List[NewCarrierRequest]:
-    """Parse a request batch: either a bare list or ``{"requests": [...]}``."""
-    if isinstance(payload, dict):
-        payload = payload.get("requests", [])
-    return [request_from_dict(item) for item in payload]
+    """Parse a request batch: either a bare list or ``{"requests": [...]}``.
+
+    Parse failures raise
+    :class:`~repro.serve.validation.RequestValidationError` with the
+    failing item's index in the ``field`` path.
+    """
+    return new_carrier_requests_from_json(payload)
 
 
 class _LRUCache:

@@ -87,6 +87,12 @@ class TestJsonlExporter:
 
 
 class TestPoolPropagation:
+    @pytest.fixture(autouse=True)
+    def _force_pool(self, monkeypatch):
+        # Cross-process propagation needs real workers: disable the
+        # adaptive serial cutover so jobs=2 forks even on one core.
+        monkeypatch.setenv("REPRO_POOL_ADAPTIVE", "0")
+
     def test_worker_spans_reparent_into_master_trace(self, ring):
         with tracing.span("root"):
             results = run_tasks(None, _traced_double, [1, 2, 3], jobs=2)

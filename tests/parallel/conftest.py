@@ -1,0 +1,18 @@
+"""Pin the pool tests to the literal ``--jobs`` worker path.
+
+The adaptive cutover (:func:`repro.parallel.pool.effective_jobs`) caps
+workers at ``os.cpu_count()``, so on a single-core CI host every
+``jobs>1`` test here would silently exercise the serial path instead of
+the pool it is written against.  ``REPRO_POOL_ADAPTIVE=0`` restores the
+literal interpretation; the cutover itself is tested explicitly in
+``test_pool.py::TestEffectiveJobs``.
+"""
+
+import pytest
+
+from repro.parallel.pool import ADAPTIVE_ENV
+
+
+@pytest.fixture(autouse=True)
+def _force_literal_jobs(monkeypatch):
+    monkeypatch.setenv(ADAPTIVE_ENV, "0")

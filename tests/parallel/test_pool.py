@@ -5,12 +5,67 @@ import multiprocessing
 import pytest
 
 import repro.parallel.pool as pool_module
-from repro.parallel.pool import get_payload, resolve_jobs, run_tasks
+from repro.parallel.pool import (
+    ADAPTIVE_ENV,
+    MIN_WORK_PER_WORKER,
+    effective_jobs,
+    get_payload,
+    resolve_jobs,
+    run_tasks,
+)
 
 
 def _offset_square(x):
     # Module-level so it pickles by reference into workers.
     return get_payload() + x * x
+
+
+class TestEffectiveJobs:
+    """The adaptive serial/parallel cutover (REPRO_POOL_ADAPTIVE=1)."""
+
+    @pytest.fixture(autouse=True)
+    def _adaptive_on(self, monkeypatch):
+        # The directory-wide conftest pins the escape hatch; these tests
+        # exercise the cutover itself.
+        monkeypatch.setenv(ADAPTIVE_ENV, "1")
+
+    def test_capped_at_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 2)
+        assert effective_jobs(8, n_tasks=8) == 2
+
+    def test_single_core_host_degrades_to_serial(self, monkeypatch):
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
+        assert effective_jobs(4, n_tasks=100) == 1
+        assert effective_jobs(0, n_tasks=100) == 1
+
+    def test_never_more_workers_than_tasks(self, monkeypatch):
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 16)
+        assert effective_jobs(8, n_tasks=3) == 3
+        assert effective_jobs(8, n_tasks=0) == 1
+
+    def test_small_work_hint_forces_serial(self, monkeypatch):
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 16)
+        assert effective_jobs(8, n_tasks=8, work_hint=10) == 1
+
+    def test_large_work_hint_scales_workers(self, monkeypatch):
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 16)
+        hint = MIN_WORK_PER_WORKER * 3
+        assert effective_jobs(8, n_tasks=8, work_hint=hint) == 3
+        assert effective_jobs(2, n_tasks=8, work_hint=hint) == 2
+
+    def test_escape_hatch_honors_jobs_literally(self, monkeypatch):
+        monkeypatch.setenv(ADAPTIVE_ENV, "0")
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
+        assert effective_jobs(4, n_tasks=100, work_hint=10) == 4
+
+    def test_run_tasks_serializes_on_single_core(self, monkeypatch):
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
+
+        def exploding(n_workers):  # pragma: no cover - must not run
+            raise AssertionError("pool should not be created on 1 core")
+
+        monkeypatch.setattr(pool_module, "_make_executor", exploding)
+        assert run_tasks(10, _offset_square, [1, 2, 3], jobs=4) == [11, 14, 19]
 
 
 class TestResolveJobs:

@@ -1,0 +1,303 @@
+"""Front-end building blocks: ring, admission, coalescer, shards.
+
+Unit-level coverage of :mod:`repro.serve.front` — the HTTP surface has
+its own end-to-end suite in ``test_front_server.py``.
+"""
+
+import asyncio
+import queue
+import threading
+
+import pytest
+
+from repro.core.recommendation import RecommendRequest
+from repro.netmodel.identifiers import CarrierId, ENodeBId, MarketId
+from repro.serve.front import (
+    AdmissionController,
+    Coalescer,
+    HashRing,
+    OverloadError,
+    ShardSet,
+    shard_key,
+)
+
+from .conftest import SERVE_PARAMETERS
+
+SINGULAR = [n for n in SERVE_PARAMETERS if n != "hysA3Offset"]
+
+
+def carrier(market: int, enodeb: int = 0, face: int = 0, slot: int = 0):
+    return CarrierId(ENodeBId(MarketId(market), enodeb), face, slot)
+
+
+class TestHashRing:
+    def test_routing_is_deterministic(self):
+        ring = HashRing(range(4))
+        keys = [f"market:{i}" for i in range(50)]
+        assert [ring.node_for(k) for k in keys] == [
+            ring.node_for(k) for k in keys
+        ]
+
+    def test_every_node_owns_keys(self):
+        ring = HashRing(range(4))
+        distribution = ring.distribution([f"market:{i}" for i in range(200)])
+        assert set(distribution) == {0, 1, 2, 3}
+        assert all(count > 0 for count in distribution.values())
+
+    def test_resize_remaps_a_minority_of_keys(self):
+        keys = [f"market:{i}" for i in range(300)]
+        before = HashRing(range(4))
+        after = HashRing(range(5))
+        moved = sum(
+            1 for k in keys if before.node_for(k) != after.node_for(k)
+        )
+        # Consistent hashing: ~1/5 of keys move to the new node; a
+        # plain modulo rehash would move ~4/5.
+        assert moved < len(keys) / 2
+
+    def test_rejects_empty_ring(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+
+class TestShardKey:
+    def test_existing_carrier_routes_by_market(self):
+        request = RecommendRequest(carrier_id=carrier(market=7))
+        assert shard_key(request) == "market:7"
+
+    def test_launch_request_routes_by_market(self, dataset):
+        enodeb = next(dataset.network.enodebs())
+        template = next(enodeb.carriers())
+        request = RecommendRequest(
+            attributes=template.attributes, enodeb_id=enodeb.enodeb_id
+        )
+        assert shard_key(request) == f"market:{enodeb.enodeb_id.market.index}"
+
+    def test_same_market_lands_on_same_shard(self):
+        ring = HashRing(range(3))
+        keys = {
+            shard_key(RecommendRequest(carrier_id=carrier(2, enodeb=i)))
+            for i in range(10)
+        }
+        assert keys == {"market:2"}
+        assert len({ring.node_for(k) for k in keys}) == 1
+
+
+class TestAdmission:
+    def test_admit_until_ceiling_then_shed(self):
+        admission = AdmissionController(max_inflight=3)
+        for _ in range(3):
+            admission.admit()
+        with pytest.raises(OverloadError) as excinfo:
+            admission.admit()
+        error = excinfo.value
+        assert error.reason == "max_inflight"
+        assert error.limit == 3
+        assert error.depth == 3
+        assert error.retry_after_ms >= 1
+        assert admission.inflight == 3
+
+    def test_release_reopens_admission(self):
+        admission = AdmissionController(max_inflight=1)
+        admission.admit()
+        admission.release(latency_s=0.002)
+        admission.admit()  # must not raise
+        assert admission.inflight == 1
+
+    def test_weighted_admission_for_batches(self):
+        admission = AdmissionController(max_inflight=10)
+        admission.admit(weight=8)
+        with pytest.raises(OverloadError):
+            admission.admit(weight=3)
+        admission.admit(weight=2)
+        assert admission.inflight == 10
+
+    def test_shed_queue_full_builds_structured_body(self):
+        admission = AdmissionController(max_inflight=10)
+        error = admission.shed_queue_full(shard=1, limit=4, depth=4)
+        body = error.to_dict()
+        assert body["error"] == "overloaded"
+        assert body["reason"] == "shard_queue"
+        assert body["shard"] == 1
+        assert body["retry_after_ms"] >= 1
+
+    def test_retry_hint_tracks_observed_latency(self):
+        admission = AdmissionController(max_inflight=10)
+        for _ in range(50):
+            admission.admit()
+            admission.release(latency_s=0.1)
+        assert admission.retry_after_ms(backlog=100) > 1000
+
+
+class TestCoalescer:
+    def _run(self, coro):
+        loop = asyncio.new_event_loop()
+        try:
+            return loop.run_until_complete(coro)
+        finally:
+            loop.close()
+
+    def test_flushes_on_max_batch(self):
+        flushed = []
+
+        async def scenario():
+            coalescer = Coalescer(
+                flush=flushed.append, window_s=10.0, max_batch=3
+            )
+            futures = [coalescer.submit(object()) for _ in range(3)]
+            # max_batch reached: the flush happened synchronously.
+            assert len(flushed) == 1
+            assert len(flushed[0]) == 3
+            assert coalescer.pending == 0
+            for _, future in flushed[0]:
+                future.cancel()
+            await asyncio.sleep(0)
+            return futures
+
+        self._run(scenario())
+
+    def test_flushes_on_window_expiry(self):
+        flushed = []
+
+        async def scenario():
+            coalescer = Coalescer(
+                flush=flushed.append, window_s=0.01, max_batch=100
+            )
+            coalescer.submit(object())
+            coalescer.submit(object())
+            assert flushed == []  # window still open
+            await asyncio.sleep(0.05)
+            assert len(flushed) == 1
+            assert len(flushed[0]) == 2
+            for _, future in flushed[0]:
+                future.cancel()
+
+        self._run(scenario())
+
+    def test_zero_window_flushes_immediately(self):
+        flushed = []
+
+        async def scenario():
+            coalescer = Coalescer(
+                flush=flushed.append, window_s=0.0, max_batch=100
+            )
+            coalescer.submit(object())
+            assert len(flushed) == 1
+            for _, future in flushed[0]:
+                future.cancel()
+
+        self._run(scenario())
+
+    def test_close_fails_stranded_futures(self):
+        async def scenario():
+            coalescer = Coalescer(
+                flush=lambda batch: None, window_s=10.0, max_batch=100
+            )
+            future = coalescer.submit(object())
+            coalescer.close()
+            with pytest.raises(RuntimeError, match="coalescer closed"):
+                await future
+
+        self._run(scenario())
+
+
+@pytest.fixture(scope="module")
+def shard_set(fitted_engine, rulebook):
+    shard_set = ShardSet(fitted_engine, rulebook, shards=2, max_queue=8)
+    yield shard_set
+    shard_set.stop()
+
+
+def _submit_and_wait(shard, requests, timeout=30.0):
+    done = threading.Event()
+    box = {}
+
+    def on_done(results, error):
+        box["results"] = results
+        box["error"] = error
+        done.set()
+
+    shard.submit_batch(requests, on_done)
+    assert done.wait(timeout)
+    if box["error"] is not None:
+        raise box["error"]
+    return box["results"]
+
+
+class TestShardSet:
+    def _request(self, dataset):
+        enodeb = next(dataset.network.enodebs())
+        template = next(enodeb.carriers())
+        return RecommendRequest(
+            attributes=template.attributes,
+            enodeb_id=enodeb.enodeb_id,
+            parameters=tuple(SINGULAR),
+        )
+
+    def test_batches_serve_through_worker_threads(self, shard_set, dataset):
+        request = self._request(dataset)
+        shard = shard_set.shard_for(request)
+        results = _submit_and_wait(shard, [request, request])
+        assert len(results) == 2
+        assert results[0].recommendation.value_map() == (
+            results[1].recommendation.value_map()
+        )
+        assert shard.served >= 2
+
+    def test_routing_is_stable(self, shard_set, dataset):
+        request = self._request(dataset)
+        shard = shard_set.shard_for(request)
+        assert all(
+            shard_set.shard_for(request) is shard for _ in range(10)
+        )
+
+    def test_hot_swap_preserves_answers_and_bumps_generation(
+        self, shard_set, dataset
+    ):
+        request = self._request(dataset)
+        shard = shard_set.shard_for(request)
+        before = _submit_and_wait(shard, [request])[0]
+        generation = shard_set.generation
+        report = shard_set.hot_swap(parameters=list(SERVE_PARAMETERS))
+        assert report.generation == generation + 1
+        assert shard_set.generation == generation + 1
+        assert report.shards == 2
+        assert report.warmed >= len(SERVE_PARAMETERS) - 1
+        after = _submit_and_wait(shard_set.shard_for(request), [request])[0]
+        # Same snapshot, same answer — the swap is invisible to clients.
+        assert after.recommendation.value_map() == (
+            before.recommendation.value_map()
+        )
+
+    def test_queue_bound_raises_queue_full(self, fitted_engine, rulebook):
+        tiny = ShardSet(fitted_engine, rulebook, shards=1, max_queue=1, warm=False)
+        try:
+            shard = tiny.shards[0]
+            # Stall the worker with a slow batch, then overfill the queue.
+            gate = threading.Event()
+
+            class _Stall:
+                def __init__(self):
+                    self.requests = ()
+
+                def __iter__(self):
+                    gate.wait(5.0)
+                    return iter(())
+
+            shard.submit_batch(_Stall(), lambda *_: None)
+            try:
+                with pytest.raises(queue.Full):
+                    for _ in range(4):
+                        shard.submit_batch((), lambda *_: None)
+            finally:
+                gate.set()
+        finally:
+            tiny.stop()
+
+    def test_invalidate_fans_to_every_shard(self, shard_set, dataset):
+        request = self._request(dataset)
+        for service in shard_set.services:
+            service.handle(request)
+        assert all(s.cache_len() > 0 for s in shard_set.services)
+        shard_set.invalidate()
+        assert all(s.cache_len() == 0 for s in shard_set.services)
