@@ -21,6 +21,7 @@ import pytest
 
 from repro.config.rulebook import RuleBook
 from repro.core import AuricEngine, NewCarrierRequest
+from repro.core.recommendation import RecommendRequest
 from repro.serve import RecommendationService
 
 SERVE_PARAMETERS = ["pMax", "inactivityTimer"]
@@ -53,15 +54,29 @@ def make_service(dataset, engine):
     return RecommendationService(engine, RuleBook(dataset.catalog))
 
 
+def serve(service, request, parameters):
+    return service.handle(
+        RecommendRequest.from_new_carrier(request, parameters=tuple(parameters))
+    ).recommendation
+
+
+def serve_batch(service, requests, parameters):
+    unified = [
+        RecommendRequest.from_new_carrier(r, parameters=tuple(parameters))
+        for r in requests
+    ]
+    return [res.recommendation for res in service.handle_batch(unified)]
+
+
 def test_warm_service_throughput(
     benchmark, four_market_dataset, serve_engine, request_stream
 ):
     service = make_service(four_market_dataset, serve_engine)
-    service.recommend_batch(request_stream, parameters=SERVE_PARAMETERS)
+    serve_batch(service, request_stream, SERVE_PARAMETERS)
 
     results = benchmark.pedantic(
-        lambda: service.recommend_batch(
-            request_stream, parameters=SERVE_PARAMETERS
+        lambda: serve_batch(
+            service, request_stream, SERVE_PARAMETERS
         ),
         rounds=3,
         iterations=1,
@@ -77,8 +92,8 @@ def test_cold_service_throughput(
 
     def cold_batch():
         service.invalidate()
-        return service.recommend_batch(
-            request_stream, parameters=SERVE_PARAMETERS
+        return serve_batch(
+            service, request_stream, SERVE_PARAMETERS
         )
 
     results = benchmark.pedantic(cold_batch, rounds=3, iterations=1)
@@ -95,8 +110,10 @@ def test_per_request_refit_baseline(
         engine = AuricEngine(
             four_market_dataset.network, four_market_dataset.store
         ).fit(SERVE_PARAMETERS)
-        return make_service(four_market_dataset, engine).recommend(
-            request, parameters=SERVE_PARAMETERS
+        return serve(
+            make_service(four_market_dataset, engine),
+            request,
+            SERVE_PARAMETERS,
         )
 
     result = benchmark.pedantic(refit_and_recommend, rounds=3, iterations=1)
@@ -109,18 +126,18 @@ def test_warm_path_beats_per_request_refit(
     """Acceptance: warm-path latency measurably below per-request refit."""
     sample = request_stream[:50]
     service = make_service(four_market_dataset, serve_engine)
-    service.recommend_batch(sample, parameters=SERVE_PARAMETERS)
+    serve_batch(service, sample, SERVE_PARAMETERS)
 
     started = time.perf_counter()
-    service.recommend_batch(sample, parameters=SERVE_PARAMETERS)
+    serve_batch(service, sample, SERVE_PARAMETERS)
     warm_per_request = (time.perf_counter() - started) / len(sample)
 
     started = time.perf_counter()
     engine = AuricEngine(
         four_market_dataset.network, four_market_dataset.store
     ).fit(SERVE_PARAMETERS)
-    make_service(four_market_dataset, engine).recommend(
-        sample[0], parameters=SERVE_PARAMETERS
+    serve(
+        make_service(four_market_dataset, engine), sample[0], SERVE_PARAMETERS
     )
     refit_per_request = time.perf_counter() - started
 
@@ -136,7 +153,7 @@ def test_metrics_exposition(
     serve smoke uploads it as a build artifact.
     """
     service = make_service(four_market_dataset, serve_engine)
-    service.recommend_batch(request_stream, parameters=SERVE_PARAMETERS)
+    serve_batch(service, request_stream, SERVE_PARAMETERS)
 
     text = service.metrics.to_prometheus_text()
     assert "# TYPE repro_service_requests_total counter" in text
@@ -176,8 +193,8 @@ def test_health_instrumentation_overhead(
     def timed_batches(service):
         started = time.perf_counter()
         for _ in range(batches_per_round):
-            service.recommend_batch(
-                request_stream, parameters=SERVE_PARAMETERS
+            serve_batch(
+                service, request_stream, SERVE_PARAMETERS
             )
         return time.perf_counter() - started
 

@@ -13,6 +13,7 @@ from repro.config.managed_objects import build_vendor_schema
 from repro.config.rulebook import RuleBook
 from repro.config.templates import ConfigTemplate
 from repro.core import AuricEngine, NewCarrierRequest, RecommendationPipeline
+from repro.core.recommendation import RecommendRequest
 from repro.datagen import four_markets_workload
 from repro.ops import (
     ConfigPushController,
@@ -42,7 +43,9 @@ def main() -> None:
     request = NewCarrierRequest(
         attributes=template.attributes, enodeb_id=enodeb.enodeb_id
     )
-    recommendation = pipeline.recommend(request, parameters=parameters)
+    recommendation = pipeline.handle(
+        RecommendRequest.from_new_carrier(request, parameters=tuple(parameters))
+    ).recommendation
     print("Auric recommendation for the new carrier:")
     print(recommendation)
     print()

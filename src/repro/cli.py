@@ -91,6 +91,13 @@ def _common_options() -> argparse.ArgumentParser:
         "A/B escape hatch)",
     )
     common.add_argument(
+        "--store", choices=("memory", "file", "mmap"), default=None,
+        help="columnar snapshot store backend (default memory; file/"
+        "mmap persist the encoded snapshot next to saved artifacts so "
+        "cold starts open instead of re-encoding — see "
+        "docs/performance.md)",
+    )
+    common.add_argument(
         "--format", choices=("table", "json"), default="table",
         help="output format (default: table)",
     )
@@ -364,8 +371,8 @@ def _health_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _engine_config(args):
-    """An :class:`AuricConfig` reflecting --seed / --no-columnar, or
-    ``None`` when every engine option is at its default."""
+    """An :class:`AuricConfig` reflecting --seed / --no-columnar /
+    --store, or ``None`` when every engine option is at its default."""
     from repro.core.auric import AuricConfig
 
     kwargs = {}
@@ -373,6 +380,8 @@ def _engine_config(args):
         kwargs["seed"] = args.seed
     if getattr(args, "no_columnar", False):
         kwargs["columnar"] = False
+    if getattr(args, "store", None) is not None:
+        kwargs["store"] = args.store
     return AuricConfig(**kwargs) if kwargs else None
 
 

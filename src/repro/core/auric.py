@@ -108,6 +108,11 @@ class AuricConfig:
     #: attribute tuples per parameter.  Results are bit-identical either
     #: way; the flag exists for A/B benchmarking and as an escape hatch.
     columnar: bool = True
+    #: Columnar snapshot persistence backend: "memory" (default, nothing
+    #: leaves the process), "file" (JSON sidecar) or "mmap" (binary
+    #: store opened zero-copy at cold start).  See :mod:`repro.store`;
+    #: serve artifacts reference external stores from schema v4 on.
+    store: str = "memory"
 
 
 @dataclass
@@ -488,11 +493,8 @@ class AuricEngine:
             )
 
         fit_rows, fit_labels = rows, labels
-        cap = self.config.max_fit_samples
-        if cap is not None and len(rows) > cap:
-            rng = derive(self.config.seed, f"fit-sample:{spec.name}")
-            picked = rng.choice(len(rows), size=cap, replace=False)
-            picked.sort()
+        picked = self._fit_sample_positions(spec.name, len(rows))
+        if picked is not None:
             fit_rows = [rows[i] for i in picked]
             fit_labels = [labels[i] for i in picked]
 
@@ -543,6 +545,22 @@ class AuricEngine:
             dependent_stats=dependent_stats,
         )
 
+    def _fit_sample_positions(
+        self, name: str, n_samples: int
+    ) -> Optional[np.ndarray]:
+        """Deterministic (sorted) positions of the chi-square fit
+        subsample, or ``None`` when the cap is off or the population
+        fits under it.  Depends only on config seed + parameter name +
+        population size, so the incremental-refit path can reproduce
+        exactly which samples selection saw."""
+        cap = self.config.max_fit_samples
+        if cap is None or n_samples <= cap:
+            return None
+        rng = derive(self.config.seed, f"fit-sample:{name}")
+        picked = rng.choice(n_samples, size=cap, replace=False)
+        picked.sort()
+        return picked
+
     def _fit_parameter_columnar(
         self,
         spec: ParameterSpec,
@@ -556,7 +574,21 @@ class AuricEngine:
         grouped-vote kernel emits (cell, label) groups in the exact
         insertion order the per-sample loop produced — replaying them
         rebuilds the same dicts, Counters and float sums.
+
+        Split into :meth:`_select_columnar` (chi-square attribute
+        selection) and :meth:`_build_columnar_model` (vote structures)
+        so the incremental-refit path can reuse a previous selection
+        when the changelog provably cannot have altered it.
         """
+        dependent, dependent_stats = self._select_columnar(spec)
+        return self._build_columnar_model(
+            spec, dependent, dependent_stats, vote_weights
+        )
+
+    def _select_columnar(
+        self, spec: ParameterSpec
+    ) -> Tuple[Tuple[int, ...], Tuple[AttributeDependence, ...]]:
+        """Chi-square attribute selection over the encoded snapshot."""
         columnar = self.ensure_columnar([spec])
         columns = columnar.parameter(spec.name)
         n_samples = len(columns)
@@ -569,11 +601,8 @@ class AuricEngine:
         sizes = columnar.column_sizes(spec.name)
 
         fit_codes, fit_label_codes = row_codes, label_codes
-        cap = self.config.max_fit_samples
-        if cap is not None and n_samples > cap:
-            rng = derive(self.config.seed, f"fit-sample:{spec.name}")
-            picked = rng.choice(n_samples, size=cap, replace=False)
-            picked.sort()
+        picked = self._fit_sample_positions(spec.name, n_samples)
+        if picked is not None:
             fit_codes = row_codes[picked]
             fit_label_codes = label_codes[picked]
 
@@ -591,6 +620,29 @@ class AuricEngine:
             )
             for col in dependent
         )
+        return dependent, dependent_stats
+
+    def _build_columnar_model(
+        self,
+        spec: ParameterSpec,
+        dependent: Tuple[int, ...],
+        dependent_stats: Tuple[AttributeDependence, ...],
+        vote_weights: Optional[Dict[Hashable, float]] = None,
+    ) -> _ParameterModel:
+        """Build the vote structures for an already-selected dependency
+        set — exactly what a full fit does after selection, so a model
+        built here is byte-identical to one from a fresh fit with the
+        same selection outcome."""
+        columnar = self.ensure_columnar([spec])
+        columns = columnar.parameter(spec.name)
+        if len(columns) == 0:
+            raise RecommendationError(
+                f"no configured values for parameter {spec.name}; cannot fit"
+            )
+        row_codes = columnar.row_codes(spec.name)
+        label_codes = columns.label_codes
+        sizes = columnar.column_sizes(spec.name)
+        names = self.attribute_names(spec)
 
         keys = columns.keys(columnar.carrier_ids)
         label_vocab = columns.label_vocab

@@ -39,7 +39,10 @@ For ``--jobs N`` pools under the *spawn* start method, the snapshot's
 arrays travel to workers through one ``multiprocessing.shared_memory``
 segment instead of the payload pickle (see :mod:`repro.parallel.shm`);
 ``__getstate__``/``__setstate__`` handle both directions and fall back
-to plain pickling whenever shared memory is unavailable.
+to plain pickling whenever shared memory is unavailable.  A snapshot
+opened from a persisted mmap store (:mod:`repro.store.mmapfile`) skips
+even that copy: while its arrays are still the file's mapped views, the
+pickle carries only ``(path, layouts)`` and workers re-map the file.
 """
 
 from __future__ import annotations
@@ -692,6 +695,10 @@ class ColumnarSnapshot:
         self.parameters: Dict[str, ParameterColumns] = parameters or {}
         self._carrier_slots: Optional[Dict[CarrierId, int]] = None
         self._shm_segment = None  # worker-side attachment handle
+        # Store-file mmap bookkeeping (repro.store.mmapfile attaches a
+        # repro.parallel.shm.FileBacking when the arrays are zero-copy
+        # views over a persisted store file).
+        self._backing = None
 
     # -- construction -----------------------------------------------------
 
@@ -865,6 +872,20 @@ class ColumnarSnapshot:
             },
         }
         arrays = self._arrays()
+        backing = getattr(self, "_backing", None)
+        if backing is not None and all(
+            backing.arrays.get((field, name)) is array
+            for field, name, array in arrays
+        ):
+            # Every buffer is still the store file's mapped view: ship a
+            # (path, layouts) reference and let the consumer re-map the
+            # file — no copy on either side, pages shared host-wide.
+            state["mmap_path"] = backing.path
+            state["mmap_layouts"] = [
+                (field, name, backing.layouts[(field, name)])
+                for field, name, _ in arrays
+            ]
+            return state
         segment = None
         if shm.exporting():
             total = 0
@@ -893,9 +914,26 @@ class ColumnarSnapshot:
         self.vocabs = state["vocabs"]
         self._carrier_slots = None
         self._shm_segment = None
+        self._backing = None
         meta = state["parameters"]
         buffers: Dict[Tuple[str, Optional[str]], np.ndarray] = {}
-        if "shm_name" in state:
+        if "mmap_path" in state:
+            from repro.parallel import shm
+
+            mapped = shm.map_file(state["mmap_path"])
+            layouts: Dict[Tuple[str, Optional[str]], shm.SegmentLayout] = {}
+            for field, name, layout in state["mmap_layouts"]:
+                layouts[(field, name)] = layout
+                buffers[(field, name)] = mapped.read(layout)
+            # Re-attach the backing so onward pickles (nested pools)
+            # stay (path, layouts) references too.
+            self._backing = shm.FileBacking(
+                path=state["mmap_path"],
+                mapped=mapped,
+                layouts=layouts,
+                arrays=dict(buffers),
+            )
+        elif "shm_name" in state:
             from repro.parallel import shm
 
             segment = shm.attach_segment(state["shm_name"])

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, NoReturn, Optional, Set, Tuple
 
 from repro.config.rulebook import RuleBook
 from repro.core.auric import AuricEngine
@@ -22,7 +22,7 @@ from repro.core.recommendation import (
     ParameterRecommendation,
     RecommendRequest,
     RecommendResult,
-    warn_deprecated_signature,
+    reject_retired_signature,
 )
 from repro.exceptions import RecommendationError
 from repro.netmodel.attributes import CarrierAttributes
@@ -86,8 +86,9 @@ class RecommendationPipeline:
     def handle(self, request: RecommendRequest) -> RecommendResult:
         """Serve one unified request: engine vote with rule-book fallback.
 
-        This is the canonical entry point; the positional
-        :meth:`recommend` signature survives as a deprecated shim.
+        This is the canonical entry point; the retired positional
+        :meth:`recommend` signature raises
+        :class:`~repro.core.recommendation.RetiredSignatureError`.
         """
         started = time.perf_counter()
         with tracing.span("pipeline.handle", target=request.label()) as sp:
@@ -169,24 +170,16 @@ class RecommendationPipeline:
                 explain=explanation,
             )
 
-    def recommend(
-        self,
-        request: NewCarrierRequest,
-        parameters: Optional[Sequence[str]] = None,
-        include_enumerations: bool = True,
-    ) -> CarrierRecommendation:
-        """The full configuration recommendation for a new carrier.
+    def recommend(self, *args, **kwargs) -> NoReturn:
+        """Retired legacy entry point — use :meth:`handle`.
 
-        .. deprecated:: use :meth:`handle` with a
-           :class:`~repro.core.recommendation.RecommendRequest`.
+        The positional ``recommend(NewCarrierRequest, ...)`` signature
+        spent a deprecation cycle as a warning shim and is now removed;
+        build a :class:`~repro.core.recommendation.RecommendRequest`
+        (``RecommendRequest.from_new_carrier`` adapts the old request
+        type) and call :meth:`handle`.
         """
-        warn_deprecated_signature(
+        reject_retired_signature(
             "RecommendationPipeline.recommend(NewCarrierRequest, ...)",
             "RecommendationPipeline.handle",
         )
-        unified = RecommendRequest.from_new_carrier(
-            request,
-            parameters=tuple(parameters) if parameters is not None else None,
-            include_enumerations=include_enumerations,
-        )
-        return self.handle(unified).recommendation

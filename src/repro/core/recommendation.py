@@ -6,15 +6,16 @@ launch pipeline (:meth:`repro.core.pipeline.RecommendationPipeline.handle`)
 and the long-lived service
 (:meth:`repro.serve.service.RecommendationService.handle`) all accept a
 :class:`RecommendRequest` and return a :class:`RecommendResult`.  The
-older per-layer signatures survive as thin deprecated shims over the
-unified path.
+older per-layer positional signatures are **retired**: calling one
+raises :class:`RetiredSignatureError` naming the unified replacement
+(they spent a deprecation cycle as warning shims first; see
+``docs/serving.md`` for the migration table).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import Dict, Hashable, List, Mapping, NoReturn, Optional, Tuple
 
 from repro.netmodel.attributes import CarrierAttributes
 from repro.netmodel.identifiers import CarrierId, ENodeBId
@@ -22,12 +23,20 @@ from repro.obs.provenance import ResultExplanation
 from repro.types import ParameterValue
 
 
-def warn_deprecated_signature(old: str, new: str) -> None:
-    """Emit the standard deprecation warning for a legacy entry point."""
-    warnings.warn(
-        f"{old} is deprecated; use {new} with a RecommendRequest instead",
-        DeprecationWarning,
-        stacklevel=3,
+class RetiredSignatureError(TypeError):
+    """A retired legacy entry point was called.
+
+    The per-layer positional recommendation signatures went through a
+    deprecation-warning cycle and are now removed; the error message
+    names the unified replacement.
+    """
+
+
+def reject_retired_signature(old: str, new: str) -> NoReturn:
+    """Raise the standard error for a retired legacy entry point."""
+    raise RetiredSignatureError(
+        f"{old} was retired; use {new} with a RecommendRequest "
+        f"(see docs/serving.md for the migration table)"
     )
 
 

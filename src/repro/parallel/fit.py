@@ -13,12 +13,17 @@ When the master has already encoded the snapshot into a
 payload — inherited for free under *fork*, and shipped through one
 shared-memory segment (zero-copy attach, see :mod:`repro.parallel.shm`)
 instead of the payload pickle under *spawn* — so no worker re-encodes.
+A snapshot opened from an mmap :class:`repro.store.SnapshotStore` goes
+one better: its pickle is just the store *path* plus blob layouts, and
+every worker re-maps the same file read-only (page cache shared across
+the pool) without any segment copy at all.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, Optional, Sequence
 
+from repro.obs import metrics as obs_metrics
 from repro.parallel.pool import get_payload, run_tasks
 
 # Per-process worker state, keyed on payload identity so it is rebuilt
@@ -63,6 +68,11 @@ def fit_parameter_models(
     to fitting the same parameters serially on one engine.  ``columnar``
     optionally carries the master's encoded snapshot to the workers.
     """
+    if columnar is not None and getattr(columnar, "_backing", None) is not None:
+        obs_metrics.counter(
+            "repro_store_pool_reference_total",
+            "Pool fits whose snapshot shipped as an mmap store reference",
+        ).inc(1.0)
     payload = (network, store, config, vote_weights, columnar)
     results = run_tasks(payload, _fit_task, list(parameters), jobs=jobs)
     return dict(results)

@@ -26,13 +26,21 @@ The protocol is deliberately explicit:
 
 When shared memory is unavailable (platform, permissions, exhausted
 ``/dev/shm``), everything silently falls back to the plain pickle path.
+
+A second, even cheaper transport rides on the same layout type: when the
+snapshot's arrays are views over a persisted store file
+(:mod:`repro.store`), the payload ships only ``(path, layouts)`` and the
+worker re-maps the file with :func:`map_file` — no copy on either side,
+and the page cache is shared across every process on the host.
 """
 
 from __future__ import annotations
 
+import mmap as _mmap
+
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -144,6 +152,84 @@ def read_array(segment, layout: SegmentLayout) -> np.ndarray:
 def aligned(offset: int, alignment: int = 16) -> int:
     """Round ``offset`` up to the next ``alignment`` boundary."""
     return (offset + alignment - 1) // alignment * alignment
+
+
+class MappedFile:
+    """A read-only memory map of a snapshot-store file.
+
+    Arrays read from it are zero-copy views over the page cache; keep
+    the object referenced for as long as any view is alive (the owning
+    snapshot holds it through its backing record).
+    """
+
+    __slots__ = ("path", "_file", "_map")
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._file = open(self.path, "rb")
+        try:
+            self._map = _mmap.mmap(
+                self._file.fileno(), 0, access=_mmap.ACCESS_READ
+            )
+        except (ValueError, OSError):
+            self._file.close()
+            raise
+
+    def size(self) -> int:
+        return self._map.size()
+
+    def read(self, layout: SegmentLayout) -> np.ndarray:
+        """A read-only zero-copy view over the mapped file."""
+        count = 1
+        for dim in layout.shape:
+            count *= int(dim)
+        array = np.frombuffer(
+            self._map,
+            dtype=np.dtype(layout.dtype),
+            count=count,
+            offset=layout.offset,
+        )
+        return array.reshape(layout.shape)
+
+    def close(self) -> None:
+        try:
+            self._map.close()
+        finally:
+            self._file.close()
+
+
+def map_file(path: str) -> MappedFile:
+    """Map a store file read-only (service cold start, worker attach)."""
+    mapped = MappedFile(path)
+    obs_metrics.counter(
+        "repro_store_mmap_attach_total",
+        "Read-only mmap attachments of snapshot-store files",
+    ).inc(1.0)
+    obs_metrics.counter(
+        "repro_store_mmap_bytes_total",
+        "Bytes mapped zero-copy from snapshot-store files",
+    ).inc(float(mapped.size()))
+    return mapped
+
+
+@dataclass
+class FileBacking:
+    """Ties a snapshot's arrays to the store file they are mapped from.
+
+    ``ColumnarSnapshot.__getstate__`` consults this record: while every
+    buffer is still the mapped view created at open time, pool payloads
+    carry only ``(path, layouts)`` and workers re-map the file instead
+    of copying arrays through a shared-memory segment.
+    """
+
+    path: str
+    mapped: MappedFile
+    layouts: Dict[Tuple[str, Optional[str]], SegmentLayout] = field(
+        default_factory=dict
+    )
+    arrays: Dict[Tuple[str, Optional[str]], np.ndarray] = field(
+        default_factory=dict
+    )
 
 
 def release(manifest: List, unlink: bool = True) -> None:

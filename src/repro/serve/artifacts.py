@@ -24,6 +24,7 @@ stale-but-available models on purpose).
 from __future__ import annotations
 
 import json
+import os
 from collections import Counter
 from typing import Dict, Hashable, List, Optional, Tuple
 
@@ -46,12 +47,16 @@ from repro.obs.provenance import AttributeDependence
 #: v2 adds the optional ``columnar`` snapshot section and the
 #: ``config.columnar`` flag; v3 adds the optional ``drift_baseline``
 #: section (fit-time value distributions for
-#: :class:`repro.obs.health.DriftDetector`).  All additive, so v1/v2
-#: documents still load (the engine re-encodes / re-captures on demand).
-ARTIFACT_SCHEMA_VERSION = 3
+#: :class:`repro.obs.health.DriftDetector`); v4 adds the
+#: ``config.store`` field and the optional ``columnar_store`` reference
+#: — the encoded snapshot lives in an external
+#: :class:`repro.store.SnapshotStore` file (mmap-openable) next to the
+#: artifact instead of inline JSON.  All additive, so v1–v3 documents
+#: still load (the engine re-encodes / re-captures on demand).
+ARTIFACT_SCHEMA_VERSION = 4
 
 #: Schema versions :func:`engine_from_dict` accepts.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4)
 
 _ARTIFACT_KIND = "auric-engine-artifact"
 
@@ -138,9 +143,17 @@ def _model_from_dict(payload: Dict, engine: AuricEngine) -> _ParameterModel:
 
 
 def engine_to_dict(
-    engine: AuricEngine, fingerprint: Optional[str] = None
+    engine: AuricEngine,
+    fingerprint: Optional[str] = None,
+    columnar_ref: Optional[Dict] = None,
 ) -> Dict:
-    """The JSON-serializable form of a fitted engine."""
+    """The JSON-serializable form of a fitted engine.
+
+    ``columnar_ref`` replaces the inline ``columnar`` section with a
+    reference to an external :class:`repro.store.SnapshotStore` the
+    caller has already persisted the snapshot to (:func:`save_engine`
+    does this for ``config.store != "memory"``).
+    """
     if fingerprint is None:
         fingerprint = snapshot_fingerprint(engine.network, engine.store)
     config = engine.config
@@ -158,6 +171,7 @@ def engine_to_dict(
             "max_fit_samples": config.max_fit_samples,
             "seed": config.seed,
             "columnar": config.columnar,
+            "store": config.store,
         },
         "models": [
             _model_to_dict(model)
@@ -166,10 +180,15 @@ def engine_to_dict(
     }
     # Persist the encoded snapshot when the engine holds one, so a
     # loaded serving engine skips the one-time encoding pass.  Purely
-    # additive: loaders without the key re-encode on first use.
+    # additive: loaders without the key re-encode on first use.  With an
+    # external store, only the (kind, path) reference is embedded — the
+    # bulk arrays live in the store file, opened zero-copy on load.
     snapshot = engine.columnar_snapshot()
     if snapshot is not None:
-        payload["columnar"] = snapshot.to_dict()
+        if columnar_ref is not None:
+            payload["columnar_store"] = dict(columnar_ref)
+        else:
+            payload["columnar"] = snapshot.to_dict()
     # Fit-time distribution baseline for drift detection (v3, additive):
     # a loaded engine can score live snapshots against the population
     # the persisted models were fitted on.
@@ -178,11 +197,26 @@ def engine_to_dict(
     return payload
 
 
+def resolve_store_ref(
+    ref: Dict, base_dir: Optional[str] = None
+) -> "SnapshotStore":
+    """Open the :class:`repro.store.SnapshotStore` named by an artifact's
+    ``columnar_store`` reference (relative paths resolve against the
+    artifact's directory)."""
+    from repro.store import open_store
+
+    path = ref.get("path")
+    if path is not None and not os.path.isabs(path) and base_dir:
+        path = os.path.join(base_dir, path)
+    return open_store(ref.get("kind", "mmap"), path)
+
+
 def engine_from_dict(
     payload: Dict,
     network: Network,
     store: ConfigurationStore,
     verify_fingerprint: bool = True,
+    base_dir: Optional[str] = None,
 ) -> AuricEngine:
     """Rebuild a fitted engine from :func:`engine_to_dict` output.
 
@@ -190,6 +224,8 @@ def engine_from_dict(
     separately, e.g. via :mod:`repro.dataio`).  With
     ``verify_fingerprint`` the snapshot must be the one the engine was
     fitted on; pass ``False`` to serve a stale model deliberately.
+    ``base_dir`` anchors relative ``columnar_store`` references (v4);
+    :func:`load_engine` passes the artifact's directory.
     """
     if payload.get("kind") != _ARTIFACT_KIND:
         raise ArtifactError(f"not an engine artifact: kind={payload.get('kind')!r}")
@@ -207,7 +243,24 @@ def engine_from_dict(
             )
     config = AuricConfig(**payload["config"])
     engine = AuricEngine(network, store, config)
-    if "columnar" in payload:
+    if "columnar_store" in payload:
+        from repro.store import SnapshotStoreError
+
+        snapshot_store = resolve_store_ref(payload["columnar_store"], base_dir)
+        try:
+            snapshot = snapshot_store.load()
+        except (OSError, SnapshotStoreError) as exc:
+            raise ArtifactError(
+                f"cannot open the artifact's columnar store "
+                f"({payload['columnar_store']}): {exc}"
+            ) from exc
+        if snapshot is None:
+            raise ArtifactError(
+                "the artifact references an external columnar store that "
+                f"is missing: {payload['columnar_store']}"
+            )
+        engine.attach_columnar(snapshot)
+    elif "columnar" in payload:
         engine.attach_columnar(ColumnarSnapshot.from_dict(payload["columnar"]))
     if "drift_baseline" in payload:
         engine.drift_baseline = DriftBaseline.from_dict(
@@ -219,9 +272,51 @@ def engine_from_dict(
     return engine
 
 
-def save_engine(engine: AuricEngine, path: str) -> Dict:
-    """Persist a fitted engine; returns the written payload."""
-    payload = engine_to_dict(engine)
+def default_store_path(artifact_path: str, kind: str) -> str:
+    """Where the external columnar store for an artifact lives."""
+    suffix = ".columnar.json" if kind == "file" else ".columnar"
+    return f"{artifact_path}{suffix}"
+
+
+def save_engine(
+    engine: AuricEngine,
+    path: str,
+    snapshot_store: Optional["SnapshotStore"] = None,
+) -> Dict:
+    """Persist a fitted engine; returns the written payload.
+
+    With ``AuricConfig.store`` set to ``"file"`` or ``"mmap"`` (or an
+    explicit ``snapshot_store``), the encoded columnar snapshot is
+    persisted through that store next to the artifact and referenced by
+    relative path — the artifact JSON stays small and the snapshot opens
+    zero-copy on load.
+    """
+    snapshot = engine.columnar_snapshot()
+    if (
+        snapshot_store is None
+        and snapshot is not None
+        and engine.config.store != "memory"
+    ):
+        from repro.store import open_store
+
+        snapshot_store = open_store(
+            engine.config.store,
+            default_store_path(path, engine.config.store),
+        )
+    columnar_ref: Optional[Dict] = None
+    if (
+        snapshot is not None
+        and snapshot_store is not None
+        and snapshot_store.kind != "memory"
+    ):
+        snapshot_store.persist(snapshot)
+        store_path = snapshot_store.path
+        if os.path.dirname(os.path.abspath(store_path)) == os.path.dirname(
+            os.path.abspath(path)
+        ):
+            store_path = os.path.basename(store_path)
+        columnar_ref = {"kind": snapshot_store.kind, "path": store_path}
+    payload = engine_to_dict(engine, columnar_ref=columnar_ref)
     with open(path, "w") as handle:
         json.dump(payload, handle)
     return payload
@@ -236,15 +331,25 @@ def load_engine(
     """Load an engine artifact written by :func:`save_engine`."""
     with open(path) as handle:
         payload = json.load(handle)
-    return engine_from_dict(payload, network, store, verify_fingerprint)
+    return engine_from_dict(
+        payload,
+        network,
+        store,
+        verify_fingerprint,
+        base_dir=os.path.dirname(os.path.abspath(path)),
+    )
 
 
 def artifact_summary(payload: Dict) -> str:
     """One line describing an artifact (CLI output)."""
     models: List[Dict] = payload.get("models", [])
     samples = sum(len(m.get("samples", [])) for m in models)
-    return (
+    line = (
         f"engine artifact v{payload.get('schema_version')}: "
         f"{len(models)} parameter models, {samples} samples, "
         f"snapshot {str(payload.get('snapshot_fingerprint'))[:12]}…"
     )
+    ref = payload.get("columnar_store")
+    if ref:
+        line += f", columnar in {ref.get('kind')} store {ref.get('path')}"
+    return line

@@ -9,10 +9,29 @@ and serve forever.  Two refresh modes are provided:
   selection.  This is cheap (no chi-square pass) and keeps the learned
   dependency structure until the next full refit — the degradation
   trade-off real serving systems make.
+* **Incremental refit** — when a changelog names the (carrier,
+  parameter) cells that actually changed, only the touched parameters
+  are refit: their label columns are re-encoded against the mutated
+  store, the vote structures rebuilt vectorized, and chi-square
+  attribute selection re-run *only when the changes could have altered
+  it* — when the capped fit subsample provably never saw a changed
+  sample (and the sample topology is unchanged), the previous selection
+  is reused, which is byte-identical to re-running it because every
+  chi-square builder re-ranks label codes to within-subsample
+  first-appearance order (bijective-recode invariant).  Untouched
+  parameters keep their models, which a full refit would reproduce
+  bit-for-bit anyway.  The equivalence suite asserts the whole engine
+  matches a full refit on the same changelog.
 * **Full refit** — a complete re-fit on the current snapshot, built
   outside the service lock and swapped in atomically
   (:meth:`RecommendationService.refresh_snapshot`), so the stale engine
   keeps serving until the new one is ready.
+
+A refresher constructed with a :class:`repro.store.SnapshotStore` keeps
+the persisted columnar snapshot in step: incremental adds invalidate
+the touched parameters' columns, refits persist the re-encoded
+snapshot, so a cold-started replica never re-encodes what a warm
+process already wrote out.
 
 :class:`GrowthReplay` drives the incremental path from a
 :class:`~repro.datagen.growth.GrowthTimeline`: it replays the
@@ -25,12 +44,17 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.config.parameters import ParameterSpec
 from repro.config.store import ConfigurationStore
-from repro.core.auric import AuricEngine
+from repro.core.auric import AuricEngine, _ParameterModel
+from repro.core.columnar import ParameterColumns
 from repro.datagen.growth import GrowthTimeline
 from repro.netmodel.identifiers import CarrierId
+from repro.obs import metrics as obs_metrics
 from repro.obs import tracing
 from repro.obs.health import DriftReport
 from repro.serve.service import RecommendationService
@@ -63,11 +87,20 @@ def store_subset(
 class RefreshResult:
     """What one refresh did."""
 
-    mode: str  # "incremental" or "full"
+    mode: str  # "incremental", "incremental-refit" or "full"
     duration_s: float
     #: parameter → number of vote samples added (incremental only).
     added: Dict[str, int] = field(default_factory=dict)
     generation: int = 0
+    #: parameter → number of changed sample positions (incremental
+    #: refit only; -1 when the sample topology itself changed).
+    refitted: Dict[str, int] = field(default_factory=dict)
+    #: touched parameters whose chi-square selection was provably
+    #: unaffected and therefore reused (incremental refit only).
+    reused_selection: Tuple[str, ...] = ()
+    #: touched parameters whose re-encoded columns came out identical
+    #: (e.g. a rollback round-trip) — models kept as-is.
+    skipped: Tuple[str, ...] = ()
 
     @property
     def total_added(self) -> int:
@@ -100,10 +133,17 @@ class EngineRefresher:
     """
 
     def __init__(
-        self, service: RecommendationService, auto_refit: bool = False
+        self,
+        service: RecommendationService,
+        auto_refit: bool = False,
+        snapshot_store: Optional["SnapshotStore"] = None,
     ):
         self.service = service
         self.auto_refit = auto_refit
+        #: Optional :class:`repro.store.SnapshotStore` kept in step with
+        #: the engine's columnar snapshot (invalidated on incremental
+        #: adds, re-persisted after refits).
+        self.snapshot_store = snapshot_store
 
     def check_drift(self, live=None, jobs: int = 1) -> DriftCheck:
         """Score drift and (optionally) act on a stale verdict.
@@ -193,6 +233,8 @@ class EngineRefresher:
                 # encoded label columns no longer match and must be
                 # re-encoded before the next columnar fit.
                 engine.invalidate_columnar(name)
+                if self.snapshot_store is not None:
+                    self.snapshot_store.invalidate(name)
                 self.service.invalidate(name)
 
         duration = time.perf_counter() - started
@@ -223,6 +265,230 @@ class EngineRefresher:
             return active is None or pair.carrier in active
         return False
 
+    def incremental_refit(self, changes, jobs: int = 1) -> RefreshResult:
+        """Refit exactly the parameters a changelog touched.
+
+        ``changes`` is a :class:`repro.ops.history.ChangeLog` (or any
+        iterable of :class:`~repro.ops.history.ChangeRecord`).  For each
+        touched fitted parameter the label column is re-encoded against
+        the mutated store and one of three things happens:
+
+        * the re-encoded column is value-identical (e.g. a rollback
+          round-trip) — the model is kept untouched;
+        * the sample topology is unchanged and every changed position
+          falls outside the deterministic chi-square fit subsample — the
+          previous attribute selection is **reused** (provably identical
+          to re-running it, see the module docstring) and only the vote
+          structures are rebuilt;
+        * otherwise selection re-runs for that one parameter.
+
+        Untouched parameters are never re-encoded or refit.  The result
+        is byte-identical to :meth:`full_refit` over the same store —
+        asserted by the equivalence suite — at a cost proportional to
+        the touched (carrier, parameter) cells, not the network.
+
+        Like :meth:`full_refit`, refit models are unweighted; a model
+        fitted with performance-feedback vote weights loses them for
+        the touched parameters.
+        """
+        records = (
+            changes.all_records() if hasattr(changes, "all_records")
+            else list(changes)
+        )
+        started = time.perf_counter()
+        with tracing.span(
+            "refresh.incremental_refit", changes=len(records)
+        ) as sp:
+            engine = self.service.engine
+            touched: Dict[str, Set[CarrierId]] = {}
+            for record in records:
+                touched.setdefault(record.parameter, set()).add(
+                    record.carrier_id
+                )
+            models = engine.fitted_models()
+            refitted: Dict[str, int] = {}
+            reused: List[str] = []
+            skipped: List[str] = []
+            for name in sorted(touched):
+                model = models.get(name)
+                if model is None:
+                    continue  # not served; nothing fitted to refresh
+                spec = engine.catalog.spec(name)
+                new_model, changed_count, reuse = self._refit_parameter(
+                    engine, spec, model
+                )
+                if new_model is None:
+                    skipped.append(name)
+                    continue
+                engine.install_model(name, new_model)
+                self.service.invalidate(name)
+                self._patch_baseline(engine, name)
+                refitted[name] = changed_count
+                if reuse:
+                    reused.append(name)
+            if refitted and self.snapshot_store is not None:
+                snapshot = engine.columnar_snapshot()
+                if snapshot is not None:
+                    self.snapshot_store.persist(snapshot)
+            duration = time.perf_counter() - started
+            self.service.metrics.record_refresh(duration)
+            obs_metrics.counter(
+                "repro_store_incremental_refit_total",
+                "Changelog-scoped incremental refits",
+            ).inc(1.0)
+            obs_metrics.counter(
+                "repro_store_refit_parameters_total",
+                "Parameters refit by incremental refits",
+            ).inc(float(len(refitted)))
+            obs_metrics.counter(
+                "repro_store_selection_reused_total",
+                "Chi-square selections reused across incremental refits",
+            ).inc(float(len(reused)))
+            obs_metrics.counter(
+                "repro_store_refit_samples_total",
+                "Changed sample positions handled by incremental refits",
+            ).inc(float(sum(c for c in refitted.values() if c > 0)))
+            sp.set("parameters", len(refitted))
+            sp.set("reused_selection", len(reused))
+            logger.info(
+                "incremental refit applied",
+                extra={
+                    "changes": len(records),
+                    "parameters": len(refitted),
+                    "selection_reused": len(reused),
+                    "unchanged": len(skipped),
+                    "duration_s": round(duration, 6),
+                },
+            )
+            return RefreshResult(
+                mode="incremental-refit",
+                duration_s=duration,
+                generation=self.service.generation,
+                refitted=refitted,
+                reused_selection=tuple(reused),
+                skipped=tuple(skipped),
+            )
+
+    def _refit_parameter(
+        self,
+        engine: AuricEngine,
+        spec: ParameterSpec,
+        old_model: _ParameterModel,
+    ) -> Tuple[Optional[_ParameterModel], int, bool]:
+        """Refit one touched parameter; ``(model, changed, reused)``.
+
+        ``model`` is ``None`` when the mutated store encodes to columns
+        value-identical to the fitted ones (keep the old model);
+        ``changed`` counts changed sample positions (-1 when the
+        topology itself changed); ``reused`` flags a reused selection.
+        """
+        if not engine.config.columnar:
+            return engine._fit_parameter(spec), -1, False
+        snapshot = engine.columnar_snapshot()
+        old_columns = (
+            snapshot.parameters.get(spec.name)
+            if snapshot is not None
+            else None
+        )
+        # Re-encode this parameter's label column against the mutated
+        # store (the attribute matrix is untouched by config changes).
+        engine.invalidate_columnar(spec.name)
+        new_columns = engine.ensure_columnar([spec]).parameter(spec.name)
+        changed = self._changed_positions(
+            old_columns, old_model, new_columns, engine
+        )
+        if changed is not None and len(changed) == 0:
+            return None, 0, False
+        if changed is not None:
+            picked = engine._fit_sample_positions(
+                spec.name, len(new_columns)
+            )
+            if picked is not None and not np.isin(changed, picked).any():
+                # Selection only ever saw the picked subsample, whose
+                # labels (and all attribute codes) are unchanged — the
+                # chi-square pass would reproduce the old outcome bit
+                # for bit, so skip straight to the vote rebuild.
+                model = engine._build_columnar_model(
+                    spec,
+                    old_model.dependent_columns,
+                    old_model.dependent_stats,
+                )
+                return model, int(len(changed)), True
+        return (
+            engine._fit_parameter(spec),
+            int(len(changed)) if changed is not None else -1,
+            False,
+        )
+
+    @staticmethod
+    def _changed_positions(
+        old_columns: Optional[ParameterColumns],
+        old_model: _ParameterModel,
+        new_columns: ParameterColumns,
+        engine: AuricEngine,
+    ) -> Optional[np.ndarray]:
+        """Sample positions whose configured value changed, or ``None``
+        when the topology (which targets exist) changed too."""
+        n = len(new_columns)
+        new_labels = np.asarray(new_columns.label_vocab, dtype=object)[
+            new_columns.label_codes
+        ]
+        if old_columns is not None:
+            if len(old_columns) != n:
+                return None
+            if not np.array_equal(old_columns.sources, new_columns.sources):
+                return None
+            if (old_columns.neighbors is None) != (
+                new_columns.neighbors is None
+            ):
+                return None
+            if old_columns.neighbors is not None and not np.array_equal(
+                old_columns.neighbors, new_columns.neighbors
+            ):
+                return None
+            old_labels = np.asarray(old_columns.label_vocab, dtype=object)[
+                old_columns.label_codes
+            ]
+        else:
+            # The columns were already invalidated (service.notify_change
+            # drops them on every push): reconstruct the fitted labels
+            # from the model's samples, which are stored in the same
+            # sorted-key order the encoder uses.
+            samples = old_model.samples
+            if len(samples) != n:
+                return None
+            snapshot = engine.columnar_snapshot()
+            if list(samples.keys()) != new_columns.keys(
+                snapshot.carrier_ids
+            ):
+                return None
+            old_labels = np.asarray(
+                [label for _, label in samples.values()], dtype=object
+            )
+        return np.nonzero(old_labels != new_labels)[0]
+
+    @staticmethod
+    def _patch_baseline(engine: AuricEngine, name: str) -> None:
+        """Re-capture one parameter's drift-baseline distribution.
+
+        Exactly what :meth:`repro.obs.health.DriftBaseline.capture`
+        records for the parameter, patched in place — attributes and
+        carrier count are untouched by configuration changes.
+        """
+        baseline = engine.drift_baseline
+        if baseline is None:
+            return
+        counts: Dict[str, float] = {}
+        for values in (
+            engine.store.singular_values(name),
+            engine.store.pairwise_values(name),
+        ):
+            for value in values.values():
+                key = str(value)
+                counts[key] = counts.get(key, 0.0) + 1.0
+        if counts:
+            baseline.parameters[name] = counts
+
     def full_refit(
         self, parameters: Optional[Sequence[str]] = None, jobs: int = 1
     ) -> RefreshResult:
@@ -245,6 +511,10 @@ class EngineRefresher:
                 parameters, jobs=jobs
             )
             generation = self.service.refresh_snapshot(fresh)
+            if self.snapshot_store is not None:
+                snapshot = fresh.columnar_snapshot()
+                if snapshot is not None:
+                    self.snapshot_store.persist(snapshot)
             duration = time.perf_counter() - started
             self.service.metrics.record_refresh(duration)
             logger.info(

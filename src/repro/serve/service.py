@@ -28,7 +28,9 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict, Hashable, List, NoReturn, Optional, Sequence, Set, Tuple
+)
 
 from repro.config.rulebook import RuleBook
 from repro.core.auric import AuricEngine
@@ -42,7 +44,7 @@ from repro.core.recommendation import (
     ParameterRecommendation,
     RecommendRequest,
     RecommendResult,
-    warn_deprecated_signature,
+    reject_retired_signature,
 )
 from repro.exceptions import RecommendationError, UnknownParameterError
 from repro.netmodel.identifiers import CarrierId
@@ -186,8 +188,9 @@ class RecommendationService:
         """Serve one unified request from the persistent engine.
 
         The canonical entry point (shared request/result vocabulary with
-        the pipeline and the raw engine); the positional
-        :meth:`recommend` signature survives as a deprecated shim.
+        the pipeline and the raw engine); the retired positional
+        :meth:`recommend` signature raises
+        :class:`~repro.core.recommendation.RetiredSignatureError`.
         Existing-carrier targets resolve their attributes and X2
         neighborhood from the serving snapshot, and leave-one-out
         queries exclude the target's own configured values from the
@@ -254,54 +257,25 @@ class RecommendationService:
         """Serve a batch of unified requests (in order)."""
         return [self.handle(request) for request in requests]
 
-    def recommend(
-        self,
-        request: NewCarrierRequest,
-        parameters: Optional[Sequence[str]] = None,
-        include_enumerations: bool = True,
-    ) -> CarrierRecommendation:
-        """The full configuration recommendation for one new carrier.
+    def recommend(self, *args, **kwargs) -> NoReturn:
+        """Retired legacy entry point — use :meth:`handle`.
 
-        .. deprecated:: use :meth:`handle` with a
-           :class:`~repro.core.recommendation.RecommendRequest`.
+        The positional ``recommend(NewCarrierRequest, ...)`` signature
+        spent a deprecation cycle as a warning shim and is now removed;
+        build a :class:`~repro.core.recommendation.RecommendRequest`
+        (``RecommendRequest.from_new_carrier`` adapts the old request
+        type) and call :meth:`handle`.
         """
-        warn_deprecated_signature(
+        reject_retired_signature(
             "RecommendationService.recommend(NewCarrierRequest, ...)",
             "RecommendationService.handle",
         )
-        return self.handle(self._to_unified(request, parameters,
-                                            include_enumerations)).recommendation
 
-    def recommend_batch(
-        self,
-        requests: Sequence[NewCarrierRequest],
-        parameters: Optional[Sequence[str]] = None,
-        include_enumerations: bool = True,
-    ) -> List[CarrierRecommendation]:
-        """Serve a batch of requests (in order).
-
-        Accepts legacy :class:`NewCarrierRequest` items (adapted to the
-        unified request type) as well as :class:`RecommendRequest`\\ s.
-        """
-        return [
-            self.handle(
-                request
-                if isinstance(request, RecommendRequest)
-                else self._to_unified(request, parameters, include_enumerations)
-            ).recommendation
-            for request in requests
-        ]
-
-    @staticmethod
-    def _to_unified(
-        request: NewCarrierRequest,
-        parameters: Optional[Sequence[str]],
-        include_enumerations: bool,
-    ) -> RecommendRequest:
-        return RecommendRequest.from_new_carrier(
-            request,
-            parameters=tuple(parameters) if parameters is not None else None,
-            include_enumerations=include_enumerations,
+    def recommend_batch(self, *args, **kwargs) -> NoReturn:
+        """Retired legacy entry point — use :meth:`handle_batch`."""
+        reject_retired_signature(
+            "RecommendationService.recommend_batch(...)",
+            "RecommendationService.handle_batch",
         )
 
     def _parameter_names(

@@ -1,0 +1,48 @@
+"""``repro.store`` — unified columnar-snapshot persistence.
+
+One :class:`~repro.store.base.SnapshotStore` protocol consumed by serve
+artifacts (save/load), the refresher (persist/invalidate after refits)
+and the pool transport (zero-copy re-map of the store file); see
+:mod:`repro.store.base` for the full rationale and the per-backend
+modules for formats.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.store.base import STORE_KINDS, SnapshotStore, SnapshotStoreError
+from repro.store.jsonfile import FileSnapshotStore
+from repro.store.memory import MemorySnapshotStore
+from repro.store.mmapfile import MmapSnapshotStore
+
+
+def open_store(kind: str, path: Optional[str] = None) -> SnapshotStore:
+    """Construct the store backend named by ``AuricConfig.store``.
+
+    ``memory`` needs no path; ``file`` and ``mmap`` persist at ``path``.
+    """
+    if kind == "memory":
+        return MemorySnapshotStore()
+    if path is None:
+        raise SnapshotStoreError(
+            f"snapshot store kind {kind!r} requires a path"
+        )
+    if kind == "file":
+        return FileSnapshotStore(path)
+    if kind == "mmap":
+        return MmapSnapshotStore(path)
+    raise SnapshotStoreError(
+        f"unknown snapshot store kind {kind!r}; expected one of {STORE_KINDS}"
+    )
+
+
+__all__ = [
+    "STORE_KINDS",
+    "SnapshotStore",
+    "SnapshotStoreError",
+    "MemorySnapshotStore",
+    "FileSnapshotStore",
+    "MmapSnapshotStore",
+    "open_store",
+]

@@ -1,0 +1,223 @@
+"""Memory-mapped binary :class:`SnapshotStore`.
+
+One file holds the whole columnar snapshot:
+
+.. code-block:: text
+
+    bytes 0..8    magic  b"AURSTOR1"
+    bytes 8..16   little-endian uint64: header length H
+    bytes 16..16+H  header JSON (utf-8)
+    (zero padding to the next 16-byte boundary)
+    array blobs, each at a 16-byte-aligned offset
+
+The header carries everything non-numeric — carrier ids, attribute
+vocabularies, per-parameter metadata — plus a layout entry
+``[field, parameter, dtype, shape, relative_offset]`` per array.
+Offsets are relative to the (alignment-rounded) end of the header, so
+the header can be rendered before the blob positions are final.
+
+:meth:`MmapSnapshotStore.load` maps the file with ``mmap.ACCESS_READ``
+and returns a snapshot whose arrays are **read-only zero-copy views**
+over the page cache: cold start is one open + header parse, independent
+of carrier count, and the kernel shares the pages across every process
+that maps the same file.  The snapshot keeps a
+:class:`repro.parallel.shm.FileBacking` record so pool payloads ship as
+``(path, layouts)`` references instead of array copies.
+
+Writes are deterministic — parameters sorted by name, canonical JSON —
+so persisting an unchanged snapshot reproduces the file byte for byte
+(asserted by the artifact round-trip suite).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.columnar import ColumnarSnapshot, ParameterColumns
+from repro.parallel import shm
+from repro.store.base import (
+    SnapshotStore,
+    SnapshotStoreError,
+    clear_stale,
+    mark_stale,
+    read_stale,
+    record_invalidate,
+    record_open,
+    record_persist,
+    remove_file,
+)
+
+MAGIC = b"AURSTOR1"
+FORMAT_VERSION = 1
+_PREFIX = len(MAGIC) + 8  # magic + header-length word
+
+
+def _snapshot_arrays(
+    snapshot: ColumnarSnapshot,
+) -> List[Tuple[str, Optional[str], np.ndarray]]:
+    """Every buffer in the file's canonical (deterministic) order."""
+    arrays: List[Tuple[str, Optional[str], np.ndarray]] = [
+        ("codes", None, snapshot.codes)
+    ]
+    for name in sorted(snapshot.parameters):
+        columns = snapshot.parameters[name]
+        arrays.append(("sources", name, columns.sources))
+        if columns.neighbors is not None:
+            arrays.append(("neighbors", name, columns.neighbors))
+        arrays.append(("label_codes", name, columns.label_codes))
+    return arrays
+
+
+class MmapSnapshotStore(SnapshotStore):
+    kind = "mmap"
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    # -- write ------------------------------------------------------------
+
+    def persist(self, snapshot: ColumnarSnapshot) -> Dict:
+        from repro.dataio.keys import carrier_key_to_str
+
+        started = time.perf_counter()
+        arrays = _snapshot_arrays(snapshot)
+        layouts = []
+        offset = 0
+        for field, name, array in arrays:
+            offset = shm.aligned(offset)
+            layouts.append(
+                [field, name, array.dtype.str, list(array.shape), offset]
+            )
+            offset += array.nbytes
+        header = {
+            "kind": "auric-columnar-store",
+            "format": FORMAT_VERSION,
+            "carrier_ids": [
+                carrier_key_to_str(c) for c in snapshot.carrier_ids
+            ],
+            "vocabs": [list(vocab) for vocab in snapshot.vocabs],
+            "parameters": [
+                {
+                    "parameter": name,
+                    "pairwise": snapshot.parameters[name].pairwise,
+                    "label_vocab": list(snapshot.parameters[name].label_vocab),
+                }
+                for name in sorted(snapshot.parameters)
+            ],
+            "layouts": layouts,
+        }
+        header_bytes = json.dumps(
+            header, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        data_start = shm.aligned(_PREFIX + len(header_bytes))
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(struct.pack("<Q", len(header_bytes)))
+            fh.write(header_bytes)
+            for (_, _, array), layout in zip(arrays, layouts):
+                target = data_start + layout[4]
+                fh.write(b"\x00" * (target - fh.tell()))
+                fh.write(np.ascontiguousarray(array).tobytes())
+        os.replace(tmp, self.path)
+        clear_stale(self.path)
+        nbytes = os.path.getsize(self.path)
+        record_persist(self.kind, time.perf_counter() - started, nbytes)
+        return {
+            "kind": self.kind,
+            "path": self.path,
+            "carriers": len(snapshot.carrier_ids),
+            "parameters": sorted(snapshot.parameters),
+            "bytes": nbytes,
+        }
+
+    # -- read -------------------------------------------------------------
+
+    def _read_header(self) -> Tuple[Dict, int]:
+        with open(self.path, "rb") as fh:
+            magic = fh.read(len(MAGIC))
+            if magic != MAGIC:
+                raise SnapshotStoreError(
+                    f"{self.path} is not an auric mmap store (bad magic)"
+                )
+            (header_len,) = struct.unpack("<Q", fh.read(8))
+            try:
+                header = json.loads(fh.read(header_len).decode("utf-8"))
+            except ValueError as exc:
+                raise SnapshotStoreError(
+                    f"corrupt store header in {self.path}: {exc}"
+                ) from exc
+        if header.get("format", 0) > FORMAT_VERSION:
+            raise SnapshotStoreError(
+                f"{self.path} uses store format {header.get('format')}; "
+                f"this build reads up to {FORMAT_VERSION}"
+            )
+        return header, shm.aligned(_PREFIX + header_len)
+
+    def load(self) -> Optional[ColumnarSnapshot]:
+        from repro.dataio.keys import carrier_key_from_str
+
+        if not self.exists():
+            return None
+        started = time.perf_counter()
+        stale = read_stale(self.path)
+        header, data_start = self._read_header()
+        mapped = shm.map_file(self.path)
+        layouts: Dict[Tuple[str, Optional[str]], shm.SegmentLayout] = {}
+        buffers: Dict[Tuple[str, Optional[str]], np.ndarray] = {}
+        for field, name, dtype, shape, rel_offset in header["layouts"]:
+            layout = shm.SegmentLayout(
+                dtype=dtype, shape=tuple(shape), offset=data_start + rel_offset
+            )
+            layouts[(field, name)] = layout
+            buffers[(field, name)] = mapped.read(layout)
+        parameters: Dict[str, ParameterColumns] = {}
+        for meta in header["parameters"]:
+            name = meta["parameter"]
+            if name in stale:
+                continue
+            parameters[name] = ParameterColumns(
+                parameter=name,
+                pairwise=bool(meta["pairwise"]),
+                sources=buffers[("sources", name)],
+                neighbors=buffers.get(("neighbors", name)),
+                label_codes=buffers[("label_codes", name)],
+                label_vocab=list(meta["label_vocab"]),
+            )
+        snapshot = ColumnarSnapshot(
+            carrier_ids=[
+                carrier_key_from_str(t) for t in header["carrier_ids"]
+            ],
+            codes=buffers[("codes", None)],
+            vocabs=[list(vocab) for vocab in header["vocabs"]],
+            parameters=parameters,
+        )
+        snapshot._backing = shm.FileBacking(
+            path=self.path, mapped=mapped, layouts=layouts, arrays=buffers
+        )
+        record_open(self.kind, time.perf_counter() - started, mapped.size())
+        return snapshot
+
+    # -- lifecycle --------------------------------------------------------
+
+    def invalidate(self, parameter: Optional[str] = None) -> None:
+        if parameter is None:
+            remove_file(self.path)
+        elif self.exists():
+            mark_stale(self.path, parameter)
+        record_invalidate(self.kind)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def describe(self) -> Dict:
+        info: Dict = {"kind": self.kind, "path": self.path}
+        if self.exists():
+            info["bytes"] = os.path.getsize(self.path)
+        return info

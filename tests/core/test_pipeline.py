@@ -2,11 +2,22 @@ import pytest
 
 from repro.config.rulebook import RuleBook
 from repro.core import NewCarrierRequest, RecommendationPipeline
+from repro.core.recommendation import RecommendRequest
 from repro.exceptions import RecommendationError
 from repro.netmodel.attributes import CarrierAttributes
 
 from tests.netmodel.test_attributes import make_values
 from tests.conftest import ENGINE_PARAMETERS
+
+
+def run(pipeline, request, parameters=None):
+    """handle() a new-carrier request and unwrap the recommendation."""
+    return pipeline.handle(
+        RecommendRequest.from_new_carrier(
+            request,
+            parameters=tuple(parameters) if parameters is not None else None,
+        )
+    ).recommendation
 
 
 @pytest.fixture()
@@ -28,7 +39,7 @@ class TestPipeline:
     def test_recommends_fitted_parameters_from_votes(
         self, pipeline, request_for_existing_enodeb
     ):
-        result = pipeline.recommend(
+        result = run(pipeline, 
             request_for_existing_enodeb, parameters=["pMax", "inactivityTimer"]
         )
         assert set(result.recommendations) == {"pMax", "inactivityTimer"}
@@ -38,7 +49,7 @@ class TestPipeline:
     def test_unfitted_parameter_falls_to_rulebook(
         self, pipeline, request_for_existing_enodeb
     ):
-        result = pipeline.recommend(
+        result = run(pipeline, 
             request_for_existing_enodeb, parameters=["qHyst"]
         )
         assert result.recommendations["qHyst"].scope == "rulebook"
@@ -46,23 +57,23 @@ class TestPipeline:
     def test_enumeration_parameters_use_rulebook(
         self, pipeline, request_for_existing_enodeb
     ):
-        result = pipeline.recommend(request_for_existing_enodeb)
+        result = run(pipeline, request_for_existing_enodeb)
         assert result.recommendations["actInterFreqLB"].scope == "rulebook"
 
     def test_default_covers_all_singular_parameters(
         self, pipeline, request_for_existing_enodeb, catalog
     ):
-        result = pipeline.recommend(request_for_existing_enodeb)
+        result = run(pipeline, request_for_existing_enodeb)
         singular = {s.name for s in catalog.singular_parameters()}
         assert singular <= set(result.recommendations)
 
     def test_no_rulebook_raises_for_unfitted(self, engine, request_for_existing_enodeb):
         pipeline = RecommendationPipeline(engine, rulebook=None)
         with pytest.raises(RecommendationError):
-            pipeline.recommend(request_for_existing_enodeb, parameters=["qHyst"])
+            run(pipeline, request_for_existing_enodeb, parameters=["qHyst"])
 
     def test_values_are_legal(self, pipeline, request_for_existing_enodeb, catalog):
-        result = pipeline.recommend(request_for_existing_enodeb)
+        result = run(pipeline, request_for_existing_enodeb)
         for name, rec in result.recommendations.items():
             assert catalog.spec(name).contains(rec.value), name
 
@@ -70,7 +81,7 @@ class TestPipeline:
         request = NewCarrierRequest(
             attributes=CarrierAttributes(make_values(market="Mountain-1"))
         )
-        result = pipeline.recommend(request, parameters=list(ENGINE_PARAMETERS[:1]))
+        result = run(pipeline, request, parameters=list(ENGINE_PARAMETERS[:1]))
         rec = result.recommendations[ENGINE_PARAMETERS[0]]
         assert rec.scope in ("global", "global-relaxed", "global-fallback")
 

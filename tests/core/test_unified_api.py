@@ -10,7 +10,11 @@ import pytest
 
 from repro.config.rulebook import RuleBook
 from repro.core.pipeline import NewCarrierRequest, RecommendationPipeline
-from repro.core.recommendation import RecommendRequest, RecommendResult
+from repro.core.recommendation import (
+    RecommendRequest,
+    RecommendResult,
+    RetiredSignatureError,
+)
 from repro.serve.service import RecommendationService
 
 
@@ -98,13 +102,9 @@ class TestPipelineHandle:
         assert result.duration_s >= 0.0
         assert len(result) > 0
 
-    def test_deprecated_shim_matches_handle(self, pipeline, new_request):
-        with pytest.warns(DeprecationWarning):
-            legacy = pipeline.recommend(new_request, parameters=["pMax"])
-        unified = pipeline.handle(
-            RecommendRequest.from_new_carrier(new_request, parameters=("pMax",))
-        ).recommendation
-        assert legacy.recommendations == unified.recommendations
+    def test_retired_shim_raises(self, pipeline, new_request):
+        with pytest.raises(RetiredSignatureError, match="handle"):
+            pipeline.recommend(new_request, parameters=["pMax"])
 
 
 class TestServiceHandle:
@@ -113,13 +113,13 @@ class TestServiceHandle:
         assert result.source == "service"
         assert result.scope_counts()
 
-    def test_deprecated_shim_matches_handle(self, service, new_request):
-        with pytest.warns(DeprecationWarning):
-            legacy = service.recommend(new_request, parameters=["pMax"])
-        unified = service.handle(
-            RecommendRequest.from_new_carrier(new_request, parameters=("pMax",))
-        ).recommendation
-        assert legacy.recommendations == unified.recommendations
+    def test_retired_shim_raises(self, service, new_request):
+        with pytest.raises(RetiredSignatureError, match="handle"):
+            service.recommend(new_request, parameters=["pMax"])
+
+    def test_retired_batch_shim_raises(self, service, new_request):
+        with pytest.raises(RetiredSignatureError, match="handle_batch"):
+            service.recommend_batch([new_request])
 
     def test_leave_one_out_matches_engine(
         self, service, engine, some_carrier_id

@@ -9,12 +9,41 @@ import pytest
 
 from repro.config.rulebook import RuleBook
 from repro.core import AuricEngine
+from repro.core.recommendation import RecommendRequest
 from repro.datagen.generator import generate_dataset
 from repro.datagen.profiles import GenerationProfile, four_market_profile
 
 #: One low-variability singular, one high-variability singular, one
 #: pair-wise — the same mix the session-wide engine uses.
 SERVE_PARAMETERS = ("pMax", "inactivityTimer", "hysA3Offset")
+
+
+def serve(layer, request, parameters=None, include_enumerations=True):
+    """``handle()`` a new-carrier request through the unified API.
+
+    Adapts a legacy-shaped :class:`~repro.core.pipeline.NewCarrierRequest`
+    and unwraps the :class:`~repro.core.recommendation.RecommendResult`,
+    so call sites keep the old shim's (request, parameters) ergonomics.
+    """
+    return layer.handle(
+        RecommendRequest.from_new_carrier(
+            request,
+            parameters=tuple(parameters) if parameters is not None else None,
+            include_enumerations=include_enumerations,
+        )
+    ).recommendation
+
+
+def serve_batch(layer, requests, parameters=None):
+    """Batch :func:`serve` over the unified ``handle_batch`` path."""
+    unified = [
+        RecommendRequest.from_new_carrier(
+            request,
+            parameters=tuple(parameters) if parameters is not None else None,
+        )
+        for request in requests
+    ]
+    return [result.recommendation for result in layer.handle_batch(unified)]
 
 
 @pytest.fixture(scope="package")

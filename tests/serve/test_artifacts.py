@@ -169,7 +169,7 @@ class TestDriftBaselinePersistence:
 
     def test_v3_artifact_carries_drift_baseline(self, fitted_engine):
         payload = engine_to_dict(fitted_engine)
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == ARTIFACT_SCHEMA_VERSION
         baseline = payload["drift_baseline"]
         assert baseline["carrier_count"] > 0
         assert "carrier_frequency" in baseline["attributes"]
@@ -200,3 +200,98 @@ class TestDriftBaselinePersistence:
             loaded.drift_baseline.to_dict()
             == fitted_engine.drift_baseline.to_dict()
         )
+
+
+class TestExternalStorePersistence:
+    """Schema v4: the encoded snapshot can live in an external
+    :mod:`repro.store` backend referenced by the artifact."""
+
+    def _fit(self, dataset, store_kind):
+        config = AuricConfig(store=store_kind)
+        return AuricEngine(dataset.network, dataset.store, config).fit(
+            list(SERVE_PARAMETERS)
+        )
+
+    @pytest.mark.parametrize("kind", ["file", "mmap"])
+    def test_store_ref_replaces_inline_columnar(self, dataset, tmp_path, kind):
+        engine = self._fit(dataset, kind)
+        path = tmp_path / "engine.json"
+        save_engine(engine, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert payload["config"]["store"] == kind
+        assert "columnar" not in payload
+        ref = payload["columnar_store"]
+        assert ref["kind"] == kind
+        # The ref is relative: the store sits next to the artifact.
+        assert "/" not in ref["path"]
+        assert (tmp_path / ref["path"]).exists()
+
+    @pytest.mark.parametrize("kind", ["file", "mmap"])
+    def test_load_adopts_external_snapshot(self, dataset, tmp_path, kind):
+        engine = self._fit(dataset, kind)
+        path = tmp_path / "engine.json"
+        save_engine(engine, str(path))
+        loaded = load_engine(str(path), dataset.network, dataset.store)
+        snapshot = loaded.columnar_snapshot()
+        assert snapshot is not None
+        for name in SERVE_PARAMETERS:
+            assert snapshot.has_parameter(name)
+        live = engine.recommend_for_carrier(
+            "pMax",
+            sorted(dataset.store.singular_values("pMax"))[0],
+            local=False,
+            leave_one_out=True,
+        )
+        persisted = loaded.recommend_for_carrier(
+            "pMax",
+            sorted(dataset.store.singular_values("pMax"))[0],
+            local=False,
+            leave_one_out=True,
+        )
+        assert live == persisted
+
+    @pytest.mark.parametrize("kind", ["file", "mmap"])
+    def test_save_open_resave_is_byte_identical(self, dataset, tmp_path, kind):
+        """save → load → save to the *same basename* reproduces both the
+        artifact JSON and the store file byte-for-byte."""
+        engine = self._fit(dataset, kind)
+        first = tmp_path / "a" / "engine.json"
+        second = tmp_path / "b" / "engine.json"
+        first.parent.mkdir()
+        second.parent.mkdir()
+        save_engine(engine, str(first))
+        loaded = load_engine(str(first), dataset.network, dataset.store)
+        save_engine(loaded, str(second))
+        assert first.read_bytes() == second.read_bytes()
+        suffix = ".columnar.json" if kind == "file" else ".columnar"
+        store_a = first.parent / f"engine.json{suffix}"
+        store_b = second.parent / f"engine.json{suffix}"
+        assert store_a.read_bytes() == store_b.read_bytes()
+
+    def test_missing_store_file_raises(self, dataset, tmp_path):
+        engine = self._fit(dataset, "mmap")
+        path = tmp_path / "engine.json"
+        save_engine(engine, str(path))
+        (tmp_path / "engine.json.columnar").unlink()
+        with pytest.raises(ArtifactError, match="columnar store"):
+            load_engine(str(path), dataset.network, dataset.store)
+
+    def test_memory_store_keeps_inline_columnar(self, dataset, tmp_path):
+        engine = self._fit(dataset, "memory")
+        path = tmp_path / "engine.json"
+        save_engine(engine, str(path))
+        payload = json.loads(path.read_text())
+        assert "columnar" in payload
+        assert "columnar_store" not in payload
+        assert payload["config"]["store"] == "memory"
+
+    def test_v3_artifact_without_store_field_loads(self, fitted_engine, dataset):
+        """Pre-store documents lack config.store and the ref section;
+        they load with the memory default."""
+        payload = json.loads(json.dumps(engine_to_dict(fitted_engine)))
+        payload["schema_version"] = 3
+        payload["config"].pop("store")
+        engine = engine_from_dict(payload, dataset.network, dataset.store)
+        assert engine.config.store == "memory"
+        assert engine.fitted_parameters() == fitted_engine.fitted_parameters()

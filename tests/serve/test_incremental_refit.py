@@ -1,0 +1,223 @@
+"""Incremental refit: byte-identical to a full refit over the same
+changelog, at a cost scoped to the touched (carrier, parameter) cells.
+
+The hard contract: after ``EngineRefresher.incremental_refit(changes)``
+every fitted model must equal — including Counter insertion order,
+float vote sums and chi-square provenance — what a from-scratch
+``AuricEngine(...).fit(...)`` on the mutated store produces.  Four
+paths are covered:
+
+* changed labels, no fit-subsample cap → per-parameter selection re-runs;
+* changed labels all *outside* the capped fit subsample → the previous
+  selection is provably reusable and only votes rebuild;
+* a rollback round-trip (change then revert) → re-encoded columns are
+  value-identical and the model is kept untouched;
+* a topology change (a new configured target) → full per-parameter
+  refit, reported as ``refitted[name] == -1``.
+"""
+
+import copy
+import pickle
+
+import pytest
+
+from repro.core import AuricEngine
+from repro.core.auric import AuricConfig
+from repro.ops.history import ChangeLog, ChangeSource
+from repro.serve import RecommendationService
+from repro.serve.refresh import EngineRefresher
+from repro.store import MmapSnapshotStore
+
+PARAMETERS = ["pMax", "inactivityTimer", "hysA3Offset"]
+
+
+def model_state(model):
+    """Everything observable about a fitted model, order included."""
+    return pickle.dumps(
+        (
+            model.dependent_columns,
+            model.dependent_names,
+            dict(model.cell_index),
+            dict(model.global_counts),
+            dict(model.samples),
+            {k: list(v) for k, v in model.by_carrier.items()},
+            dict(model.weights),
+            model.dependent_stats,
+        )
+    )
+
+
+def assert_engines_identical(incremental, full):
+    a, b = incremental.fitted_models(), full.fitted_models()
+    assert sorted(a) == sorted(b)
+    for name in sorted(a):
+        assert model_state(a[name]) == model_state(b[name]), name
+
+
+def build(dataset, config):
+    """A service + refresher over a private copy of the config store
+    (these tests mutate configured values)."""
+    store = copy.deepcopy(dataset.store)
+    engine = AuricEngine(dataset.network, store, config).fit(PARAMETERS)
+    service = RecommendationService(engine)
+    return store, engine, service, EngineRefresher(service)
+
+
+def flip_values(store, name, count, log, revert=False):
+    """Change ``count`` carriers' values to another in-use value."""
+    values = store.singular_values(name)
+    keys = sorted(values)[:count]
+    vocab = sorted({v for v in values.values()}, key=repr)
+    for key in keys:
+        old = values[key]
+        new = next(v for v in vocab if v != old)
+        store.set_singular(key, name, new)
+        log.record(key, name, old, new, ChangeSource.MANUAL)
+        if revert:
+            store.set_singular(key, name, old)
+            log.record(key, name, new, old, ChangeSource.ROLLBACK)
+    return keys
+
+
+def full_refit_reference(dataset, store, config):
+    return AuricEngine(dataset.network, store, config).fit(PARAMETERS)
+
+
+class TestEquivalence:
+    def test_uncapped_refit_matches_full(self, dataset):
+        config = AuricConfig(max_fit_samples=None)
+        store, engine, service, refresher = build(dataset, config)
+        log = ChangeLog()
+        flip_values(store, "pMax", 5, log)
+        result = refresher.incremental_refit(log)
+        assert result.mode == "incremental-refit"
+        assert result.refitted == {"pMax": 5}
+        assert result.reused_selection == ()
+        assert_engines_identical(
+            engine, full_refit_reference(dataset, store, config)
+        )
+
+    def test_selection_reuse_matches_full(self, dataset):
+        """A tiny fit-subsample cap makes changed positions land outside
+        the deterministic subsample, so selection is reused — and must
+        still equal a full refit bit for bit (including the chi-square
+        provenance floats)."""
+        config = AuricConfig(max_fit_samples=40)
+        store, engine, service, refresher = build(dataset, config)
+        log = ChangeLog()
+        flip_values(store, "pMax", 3, log)
+        result = refresher.incremental_refit(log)
+        assert_engines_identical(
+            engine, full_refit_reference(dataset, store, config)
+        )
+        if result.reused_selection:
+            assert result.reused_selection == ("pMax",)
+
+    def test_rollback_round_trip_keeps_models(self, dataset):
+        config = AuricConfig()
+        store, engine, service, refresher = build(dataset, config)
+        before = {
+            name: model_state(m)
+            for name, m in engine.fitted_models().items()
+        }
+        log = ChangeLog()
+        flip_values(store, "pMax", 4, log, revert=True)
+        result = refresher.incremental_refit(log)
+        assert result.skipped == ("pMax",)
+        assert result.refitted == {}
+        after = {
+            name: model_state(m)
+            for name, m in engine.fitted_models().items()
+        }
+        assert before == after
+
+    def test_topology_change_forces_full_parameter_refit(self, dataset):
+        config = AuricConfig()
+        store, engine, service, refresher = build(dataset, config)
+        values = store.singular_values("pMax")
+        configured = set(values)
+        missing = sorted(
+            {c.carrier_id for c in dataset.network.carriers()} - configured
+        )
+        if not missing:
+            pytest.skip("every carrier already configures pMax")
+        value = sorted({v for v in values.values()}, key=repr)[0]
+        log = ChangeLog()
+        store.set_singular(missing[0], "pMax", value)
+        log.record(missing[0], "pMax", None, value, ChangeSource.MANUAL)
+        result = refresher.incremental_refit(log)
+        assert result.refitted == {"pMax": -1}
+        assert_engines_identical(
+            engine, full_refit_reference(dataset, store, config)
+        )
+
+    def test_untouched_parameters_keep_their_models(self, dataset):
+        config = AuricConfig()
+        store, engine, service, refresher = build(dataset, config)
+        untouched = {
+            name: engine.fitted_models()[name]
+            for name in ("inactivityTimer", "hysA3Offset")
+        }
+        log = ChangeLog()
+        flip_values(store, "pMax", 2, log)
+        refresher.incremental_refit(log)
+        for name, model in untouched.items():
+            assert engine.fitted_models()[name] is model
+
+
+class TestServiceIntegration:
+    def test_refit_invalidates_served_cache(self, dataset, rulebook):
+        from repro.core.recommendation import RecommendRequest
+
+        config = AuricConfig()
+        store, engine, service, refresher = build(dataset, config)
+        carrier = sorted(store.singular_values("pMax"))[0]
+        service.handle(
+            RecommendRequest(carrier_id=carrier, parameters=("pMax",))
+        )
+        assert service.cache_len() > 0
+        log = ChangeLog()
+        flip_values(store, "pMax", 1, log)
+        refresher.incremental_refit(log)
+        assert service.cache_len() == 0
+
+    def test_drift_baseline_tracks_refit(self, dataset):
+        """The fit-time baseline for the touched parameter must reflect
+        the mutated store, exactly as a fresh capture would."""
+        config = AuricConfig()
+        store, engine, service, refresher = build(dataset, config)
+        log = ChangeLog()
+        flip_values(store, "pMax", 5, log)
+        refresher.incremental_refit(log)
+        fresh = full_refit_reference(dataset, store, config)
+        assert (
+            engine.drift_baseline.parameters["pMax"]
+            == fresh.drift_baseline.parameters["pMax"]
+        )
+
+    def test_snapshot_store_persisted_after_refit(self, dataset, tmp_path):
+        config = AuricConfig()
+        store, engine, service, _ = build(dataset, config)
+        snapshot_store = MmapSnapshotStore(str(tmp_path / "snap.columnar"))
+        refresher = EngineRefresher(service, snapshot_store=snapshot_store)
+        log = ChangeLog()
+        flip_values(store, "pMax", 2, log)
+        refresher.incremental_refit(log)
+        persisted = snapshot_store.load()
+        assert persisted is not None
+        live = engine.columnar_snapshot()
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            persisted.parameters["pMax"].label_codes,
+            live.parameters["pMax"].label_codes,
+        )
+
+    def test_unfitted_touched_parameter_is_ignored(self, dataset):
+        config = AuricConfig()
+        store, engine, service, refresher = build(dataset, config)
+        log = ChangeLog()
+        flip_values(store, "qHyst", 2, log)  # never fitted
+        result = refresher.incremental_refit(log)
+        assert result.refitted == {}
+        assert result.skipped == ()

@@ -15,7 +15,7 @@ from repro.serve import (
     store_subset,
 )
 
-from .conftest import SERVE_PARAMETERS
+from .conftest import SERVE_PARAMETERS, serve
 
 START_QUARTER = 4
 
@@ -111,7 +111,7 @@ class TestIncrementalAdd:
         attrs = dataset.network.carrier(carrier_id).attributes
         from repro.core import NewCarrierRequest
 
-        service.recommend(
+        serve(service, 
             NewCarrierRequest(attributes=attrs), parameters=["pMax"]
         )
         assert service.cache_len() > 0
@@ -191,19 +191,19 @@ class TestFullRefit:
         request = NewCarrierRequest(
             attributes=dataset.network.carrier(carrier_id).attributes
         )
-        before_swap = service.recommend(request, parameters=["pMax"])
+        before_swap = serve(service, request, parameters=["pMax"])
         # Build the replacement outside the service lock…
         replacement = AuricEngine(dataset.network, dataset.store).fit(["pMax"])
         # …the service still answers (old generation) until the swap.
         assert service.engine is stale
-        assert service.recommend(request, parameters=["pMax"]).value_map() == (
+        assert serve(service, request, parameters=["pMax"]).value_map() == (
             before_swap.value_map()
         )
         generation = service.refresh_snapshot(replacement)
         assert generation == 1
         assert service.engine is replacement
         assert service.cache_len() == 0
-        after = service.recommend(request, parameters=["pMax"])
+        after = serve(service, request, parameters=["pMax"])
         assert after.recommendations["pMax"].value is not None
 
 

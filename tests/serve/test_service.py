@@ -21,7 +21,7 @@ from repro.ops.smartlaunch import SmartLaunch, SmartLaunchConfig
 from repro.serve import RecommendationService
 from repro.types import Vendor
 
-from .conftest import SERVE_PARAMETERS
+from .conftest import SERVE_PARAMETERS, serve, serve_batch
 
 SINGULAR = ["pMax", "inactivityTimer"]
 
@@ -52,7 +52,7 @@ class TestServing:
         cache hits — repeated (cell, neighborhood) pairs vote once."""
         unique = make_requests(dataset, 50)
         requests = (unique * 2)[:100]
-        results = service.recommend_batch(requests, parameters=SINGULAR)
+        results = serve_batch(service, requests, parameters=SINGULAR)
         assert len(results) == 100
         metrics = service.metrics.as_dict()
         assert metrics["requests"] == 100
@@ -67,7 +67,7 @@ class TestServing:
         from repro.core.pipeline import resolve_neighborhood
 
         for request in make_requests(dataset, 10):
-            served = service.recommend(request, parameters=["pMax"])
+            served = serve(service, request, parameters=["pMax"])
             neighborhood = resolve_neighborhood(fitted_engine, request)
             row = request.attributes.as_tuple()
             if neighborhood:
@@ -80,7 +80,7 @@ class TestServing:
 
     def test_default_parameters_serve_full_config(self, service, dataset):
         request = make_requests(dataset, 1)[0]
-        result = service.recommend(request)
+        result = serve(service, request)
         singular_range = {
             s.name for s in dataset.catalog.singular_parameters()
         }
@@ -89,7 +89,7 @@ class TestServing:
     def test_pairwise_parameter_rejected_in_recommend(self, service, dataset):
         request = make_requests(dataset, 1)[0]
         with pytest.raises(RecommendationError, match="pair-wise"):
-            service.recommend(request, parameters=["hysA3Offset"])
+            serve(service, request, parameters=["hysA3Offset"])
 
     def test_recommend_neighbors(self, service, fitted_engine, dataset):
         enodeb = next(dataset.network.enodebs())
@@ -112,12 +112,12 @@ class TestServing:
         requests = make_requests(dataset, 20)
         baseline = [
             r.value_map()
-            for r in service.recommend_batch(requests, parameters=SINGULAR)
+            for r in serve_batch(service, requests, parameters=SINGULAR)
         ]
 
         def serve_all(_):
             return [
-                service.recommend(req, parameters=SINGULAR).value_map()
+                serve(service, req, parameters=SINGULAR).value_map()
                 for req in requests
             ]
 
@@ -135,7 +135,7 @@ class TestColdStart:
         not raise."""
         request = make_requests(dataset, 1)[0]
         before = service.metrics.fallbacks
-        result = service.recommend(request, parameters=["qHyst"])
+        result = serve(service, request, parameters=["qHyst"])
         rec = result.recommendations["qHyst"]
         assert rec.scope == "rulebook"
         assert rec.value == rulebook.value_for("qHyst", request.attributes)
@@ -155,7 +155,7 @@ class TestColdStart:
                 morphology="lunar",
             )
         )
-        result = service.recommend(weird, parameters=SINGULAR)
+        result = serve(service, weird, parameters=SINGULAR)
         for name in SINGULAR:
             assert result.recommendations[name].value is not None
 
@@ -163,12 +163,12 @@ class TestColdStart:
         bare = RecommendationService(fitted_engine, rulebook=None)
         request = make_requests(dataset, 1)[0]
         with pytest.raises(RecommendationError, match="no rule-book"):
-            bare.recommend(request, parameters=["qHyst"])
+            serve(bare, request, parameters=["qHyst"])
 
 
 class TestInvalidation:
     def test_invalidate_all(self, service, dataset):
-        service.recommend_batch(make_requests(dataset, 5), parameters=SINGULAR)
+        serve_batch(service, make_requests(dataset, 5), parameters=SINGULAR)
         assert service.cache_len() > 0
         dropped = service.invalidate()
         assert dropped > 0
@@ -176,7 +176,7 @@ class TestInvalidation:
         assert service.metrics.invalidations == 1
 
     def test_invalidate_one_parameter(self, service, dataset):
-        service.recommend_batch(make_requests(dataset, 5), parameters=SINGULAR)
+        serve_batch(service, make_requests(dataset, 5), parameters=SINGULAR)
         total = service.cache_len()
         dropped = service.invalidate("pMax")
         assert 0 < dropped < total
@@ -184,14 +184,14 @@ class TestInvalidation:
 
     def test_notify_change_drops_parameter(self, service, dataset):
         requests = make_requests(dataset, 5)
-        service.recommend_batch(requests, parameters=SINGULAR)
+        serve_batch(service, requests, parameters=SINGULAR)
         total = service.cache_len()
         carrier_id = next(dataset.network.carriers()).carrier_id
         service.notify_change(carrier_id, "pMax")
         assert service.cache_len() < total
 
     def test_notify_change_unknown_parameter_ignored(self, service, dataset):
-        service.recommend_batch(make_requests(dataset, 3), parameters=SINGULAR)
+        serve_batch(service, make_requests(dataset, 3), parameters=SINGULAR)
         total = service.cache_len()
         carrier_id = next(dataset.network.carriers()).carrier_id
         service.notify_change(carrier_id, "notAParameter")
@@ -199,7 +199,7 @@ class TestInvalidation:
 
     def test_refresh_snapshot_swaps_and_clears(self, fitted_engine, rulebook, dataset):
         service = RecommendationService(fitted_engine, rulebook)
-        service.recommend_batch(make_requests(dataset, 3), parameters=SINGULAR)
+        serve_batch(service, make_requests(dataset, 3), parameters=SINGULAR)
         assert service.cache_len() > 0
         generation = service.refresh_snapshot(fitted_engine)
         assert generation == 1
@@ -223,14 +223,14 @@ class TestOpsIntegration:
         return ems, controller
 
     def test_push_invalidates_service_cache(self, service, fitted_engine, dataset):
-        service.recommend_batch(make_requests(dataset, 5), parameters=SINGULAR)
+        serve_batch(service, make_requests(dataset, 5), parameters=SINGULAR)
         pmax_cached = service.invalidate("pMax")
         assert pmax_cached > 0
         # Re-populate, then land a pMax push through the controller.
-        service.recommend_batch(make_requests(dataset, 5), parameters=SINGULAR)
+        serve_batch(service, make_requests(dataset, 5), parameters=SINGULAR)
         ems, controller = self.make_push_stack(dataset, service)
         carrier_id = sorted(dataset.store.singular_values("pMax"))[0]
-        target = service.recommend_batch(
+        target = serve_batch(service, 
             make_requests(dataset, 1), parameters=["pMax"]
         )[0]
         ems.lock_carrier(carrier_id)

@@ -1,0 +1,180 @@
+"""SnapshotStore backends: round-trips, determinism, stale sidecars,
+zero-copy mmap semantics and the pool reference transport."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.columnar import ColumnarSnapshot
+from repro.store import (
+    FileSnapshotStore,
+    MemorySnapshotStore,
+    MmapSnapshotStore,
+    SnapshotStoreError,
+    open_store,
+)
+
+PARAMETERS = ("pMax", "hysA3Offset")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    from repro.datagen import tiny_workload
+
+    return tiny_workload()
+
+
+@pytest.fixture(scope="module")
+def snapshot(dataset):
+    specs = [dataset.catalog.spec(name) for name in PARAMETERS]
+    return ColumnarSnapshot.encode(dataset.network, dataset.store, specs)
+
+
+def make_store(kind, tmp_path):
+    if kind == "memory":
+        return MemorySnapshotStore()
+    if kind == "file":
+        return FileSnapshotStore(str(tmp_path / "snap.columnar.json"))
+    return MmapSnapshotStore(str(tmp_path / "snap.columnar"))
+
+
+def assert_snapshots_equal(a, b):
+    assert [str(c) for c in a.carrier_ids] == [str(c) for c in b.carrier_ids]
+    np.testing.assert_array_equal(a.codes, b.codes)
+    assert [list(v) for v in a.vocabs] == [list(v) for v in b.vocabs]
+    assert sorted(a.parameters) == sorted(b.parameters)
+    for name in a.parameters:
+        ca, cb = a.parameters[name], b.parameters[name]
+        assert ca.pairwise == cb.pairwise
+        np.testing.assert_array_equal(ca.sources, cb.sources)
+        if ca.neighbors is None:
+            assert cb.neighbors is None
+        else:
+            np.testing.assert_array_equal(ca.neighbors, cb.neighbors)
+        # Labels must decode identically (vocab order included — vote
+        # tie-breaking depends on first-appearance code order).
+        assert list(ca.label_vocab) == list(cb.label_vocab)
+        np.testing.assert_array_equal(ca.label_codes, cb.label_codes)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", ["memory", "file", "mmap"])
+    def test_persist_load_round_trips(self, snapshot, tmp_path, kind):
+        store = make_store(kind, tmp_path)
+        info = store.persist(snapshot)
+        assert info["kind"] == kind
+        loaded = store.load()
+        assert loaded is not None
+        assert_snapshots_equal(snapshot, loaded)
+
+    def test_mmap_repersist_is_byte_identical(self, snapshot, tmp_path):
+        """persist(load(x)) reproduces the store file byte for byte —
+        the determinism the artifact resave contract relies on."""
+        first = MmapSnapshotStore(str(tmp_path / "a.columnar"))
+        second = MmapSnapshotStore(str(tmp_path / "b.columnar"))
+        first.persist(snapshot)
+        second.persist(first.load())
+        a = (tmp_path / "a.columnar").read_bytes()
+        b = (tmp_path / "b.columnar").read_bytes()
+        assert a == b
+
+    def test_memory_load_shares_arrays(self, snapshot):
+        store = MemorySnapshotStore()
+        store.persist(snapshot)
+        loaded = store.load()
+        assert loaded.codes is snapshot.codes
+        for name in PARAMETERS:
+            assert (
+                loaded.parameters[name].sources
+                is snapshot.parameters[name].sources
+            )
+
+    def test_load_before_persist_returns_none(self, tmp_path):
+        for kind in ("memory", "file", "mmap"):
+            assert make_store(kind, tmp_path).load() is None
+
+
+class TestStaleSidecar:
+    @pytest.mark.parametrize("kind", ["memory", "file", "mmap"])
+    def test_invalidate_one_parameter_drops_it_on_load(
+        self, snapshot, tmp_path, kind
+    ):
+        store = make_store(kind, tmp_path)
+        store.persist(snapshot)
+        store.invalidate("pMax")
+        loaded = store.load()
+        assert "pMax" not in loaded.parameters
+        assert "hysA3Offset" in loaded.parameters
+
+    @pytest.mark.parametrize("kind", ["memory", "file", "mmap"])
+    def test_persist_clears_staleness(self, snapshot, tmp_path, kind):
+        store = make_store(kind, tmp_path)
+        store.persist(snapshot)
+        store.invalidate("pMax")
+        store.persist(snapshot)
+        loaded = store.load()
+        assert "pMax" in loaded.parameters
+
+    @pytest.mark.parametrize("kind", ["file", "mmap"])
+    def test_invalidate_all_removes_the_file(self, snapshot, tmp_path, kind):
+        store = make_store(kind, tmp_path)
+        store.persist(snapshot)
+        assert store.exists()
+        store.invalidate()
+        assert not store.exists()
+        assert store.load() is None
+
+    def test_sidecar_survives_on_disk(self, snapshot, tmp_path):
+        """A second process opening the same path sees the staleness."""
+        path = str(tmp_path / "snap.columnar")
+        MmapSnapshotStore(path).persist(snapshot)
+        MmapSnapshotStore(path).invalidate("pMax")
+        loaded = MmapSnapshotStore(path).load()
+        assert "pMax" not in loaded.parameters
+
+
+class TestMmapSemantics:
+    def test_loaded_arrays_are_read_only_views(self, snapshot, tmp_path):
+        store = make_store("mmap", tmp_path)
+        store.persist(snapshot)
+        loaded = store.load()
+        assert not loaded.codes.flags.writeable
+        with pytest.raises(ValueError):
+            loaded.codes[0, 0] = 99
+        assert not loaded.parameters["pMax"].label_codes.flags.writeable
+
+    def test_pickle_ships_a_reference_not_the_arrays(self, snapshot, tmp_path):
+        """The pool transport: a mapped snapshot pickles to the store
+        path + layouts, and the receiver re-maps the same file."""
+        store = make_store("mmap", tmp_path)
+        store.persist(snapshot)
+        loaded = store.load()
+        blob = pickle.dumps(loaded)
+        inline = pickle.dumps(snapshot)
+        assert len(blob) < len(inline) / 2
+        revived = pickle.loads(blob)
+        assert_snapshots_equal(snapshot, revived)
+        assert not revived.codes.flags.writeable
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "snap.columnar"
+        path.write_bytes(b"NOTASTORE-------" * 4)
+        with pytest.raises(SnapshotStoreError, match="bad magic"):
+            MmapSnapshotStore(str(path)).load()
+
+
+class TestFactory:
+    def test_memory_needs_no_path(self):
+        assert open_store("memory").kind == "memory"
+
+    @pytest.mark.parametrize("kind", ["file", "mmap"])
+    def test_file_kinds_require_a_path(self, kind, tmp_path):
+        with pytest.raises(SnapshotStoreError, match="requires a path"):
+            open_store(kind)
+        store = open_store(kind, str(tmp_path / "s"))
+        assert store.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SnapshotStoreError, match="unknown"):
+            open_store("carrier-pigeon", "somewhere")

@@ -6,6 +6,7 @@ from repro.config.managed_objects import build_vendor_schema
 from repro.config.rulebook import RuleBook
 from repro.config.templates import ConfigTemplate
 from repro.core import AuricEngine, NewCarrierRequest, RecommendationPipeline
+from repro.core.recommendation import RecommendRequest
 from repro.eval.engineers import label_mismatches
 from repro.eval.runner import EvaluationRunner
 from repro.ops.controller import ConfigPushController
@@ -57,9 +58,11 @@ class TestNewCarrierLaunchFlow:
             attributes=template_carrier.attributes, enodeb_id=enodeb.enodeb_id
         )
         pipeline = RecommendationPipeline(engine, RuleBook(catalog))
-        recommendation = pipeline.recommend(
-            request, parameters=["pMax", "inactivityTimer"]
-        )
+        recommendation = pipeline.handle(
+            RecommendRequest.from_new_carrier(
+                request, parameters=("pMax", "inactivityTimer")
+            )
+        ).recommendation
         assert len(recommendation) == 2
 
         ems = ElementManagementSystem(
@@ -105,7 +108,9 @@ class TestNewCarrierLaunchFlow:
             enodeb_id=enodeb.enodeb_id,
         )
         pipeline = RecommendationPipeline(engine, RuleBook(catalog))
-        recommendation = pipeline.recommend(request)
+        recommendation = pipeline.handle(
+            RecommendRequest.from_new_carrier(request)
+        ).recommendation
         for name, rec in recommendation.recommendations.items():
             assert catalog.spec(name).contains(rec.value)
 
