@@ -39,7 +39,13 @@ routing, micro-batch coalescing, admission control, zero-downtime
 ``/admin/swap`` — and either serves until interrupted or, with
 ``--storm N``, fires an audited self-test storm (optionally hot-swapping
 mid-run via ``--swap-at``) and exits 0 only when every answer was
-correct.
+correct.  With ``--tracing`` the server answers W3C ``traceparent``,
+keeps a span ring behind ``/debug/trace/<id>``, and the storm self-test
+additionally audits one request's span tree end to end; the black-box
+flight recorder (``/debug/flight``, dump on SLO breach / shed burst /
+exit) is on unless ``--no-flight``.  ``trace <trace_id>`` renders a
+trace's span tree from a ``--trace`` JSONL export (``--input``) or a
+running front end (``--url``).
 
 ``explain`` answers one leave-one-out recommendation with full
 provenance — the chi-square-selected attributes (with achieved
@@ -249,6 +255,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--swap-at", type=float, default=None, metavar="FRACTION",
         help="fire one hot swap after this fraction of the storm "
         "(e.g. 0.5; storm mode only)",
+    )
+    front.add_argument(
+        "--tracing", action="store_true",
+        help="enable in-process tracing (the span ring behind "
+        "/debug/trace/<id>); storm mode additionally verifies one "
+        "request's span tree end to end",
+    )
+    front.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="flight-recorder dump directory (default: flight-dumps)",
+    )
+    front.add_argument(
+        "--no-flight", action="store_true",
+        help="disable the black-box flight recorder",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        parents=[common],
+        help="render one trace's span tree from a span JSONL file or a "
+        "running front end",
+    )
+    trace.add_argument("trace_id", help="trace id (16 or 32 hex chars)")
+    trace.add_argument(
+        "--input", default=None, metavar="PATH",
+        help="span JSONL file (a --trace export or a flight dump)",
+    )
+    trace.add_argument(
+        "--url", default=None, metavar="URL",
+        help="base URL of a running front end "
+        "(e.g. http://127.0.0.1:8080); queries /debug/trace/<id>",
     )
 
     explain = sub.add_parser(
@@ -561,6 +598,7 @@ def _run_serve(args) -> int:
     from repro.core.recommendation import RecommendRequest
     from repro.dataio import load_dataset_json
     from repro.dataio.keys import carrier_key_to_str
+    from repro.obs import flight, tracing
     from repro.obs import metrics as obs_metrics
     from repro.serve import RecommendationService
     from repro.serve.front import (
@@ -590,6 +628,16 @@ def _run_serve(args) -> int:
             return 2
 
     obs_metrics.enable()
+    if args.tracing and not tracing.active():
+        # No exporters here: the front end attaches its span ring (the
+        # /debug/trace store) at start; --trace adds a JSONL file.
+        tracing.configure([])
+    recorder = None
+    if not args.no_flight:
+        recorder = flight.configure(
+            dump_dir=args.flight_dir or "flight-dumps"
+        )
+        recorder.arm_exit_dump()
     engine = AuricEngine(
         dataset.network, dataset.store, _engine_config(args)
     ).fit(parameters, jobs=args.jobs)
@@ -654,11 +702,153 @@ def _run_serve(args) -> int:
             args.host, handle.port, payloads, profile, expected
         )
         document = {"command": "serve", "storm": report.to_dict()}
+        trace_ok = True
+        if tracing.active() and recorder is not None:
+            # End-to-end trace audit: pull one served request's trace id
+            # from the flight ring and assert its span tree is complete.
+            summary = _verify_storm_trace(args.host, handle.port)
+            document["trace"] = summary
+            trace_ok = bool(summary.get("complete"))
         _emit(json.dumps(document, indent=2), args)
-        return 0 if report.error_rate == 0.0 and report.ok == report.sent else 1
+        ok = report.error_rate == 0.0 and report.ok == report.sent
+        return 0 if ok and trace_ok else 1
     finally:
         handle.stop()
         shard_set.stop()
+        if recorder is not None:
+            recorder.disarm_exit_dump()
+            flight.disable()
+
+
+#: The span levels one served request must traverse, front door to
+#: engine; ``service.handle`` is the engine-side span.
+_TRACE_LEVELS = (
+    "front.request",
+    "front.admission",
+    "front.coalesce",
+    "shard.handle",
+    "service.handle",
+)
+
+
+def _verify_storm_trace(host: str, port: int) -> dict:
+    """Reconstruct one storm request's trace via the debug endpoints.
+
+    Returns a summary dict: the trace id, span/orphan counts, which
+    :data:`_TRACE_LEVELS` showed up, and ``complete`` — true iff every
+    level is present and no span is orphaned.
+    """
+    import http.client
+
+    if host in ("0.0.0.0", "::"):
+        host = "127.0.0.1"
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", "/debug/flight")
+        response = conn.getresponse()
+        body = json.loads(response.read())
+        if response.status != 200:
+            return {"error": "flight_unavailable", "complete": False}
+        traced = [
+            digest for digest in body.get("digests", [])
+            if digest.get("status") == 200 and digest.get("trace_id")
+        ]
+        if not traced:
+            return {"error": "no_traced_requests", "complete": False}
+        trace_id = traced[-1]["trace_id"]
+        conn.request("GET", f"/debug/trace/{trace_id}")
+        response = conn.getresponse()
+        tree = json.loads(response.read())
+        if response.status != 200:
+            return {
+                "error": "trace_not_found",
+                "trace_id": trace_id,
+                "complete": False,
+            }
+        names = set()
+
+        def walk(nodes):
+            for node in nodes:
+                names.add(node["name"])
+                walk(node["children"])
+
+        walk(tree["roots"])
+        walk(tree["orphans"])
+        levels = {name: name in names for name in _TRACE_LEVELS}
+        return {
+            "trace_id": trace_id,
+            "span_count": tree["span_count"],
+            "orphan_count": tree["orphan_count"],
+            "levels": levels,
+            "complete": tree["orphan_count"] == 0 and all(levels.values()),
+        }
+    finally:
+        conn.close()
+
+
+def _run_trace(args) -> int:
+    """Render one trace's span tree (the ``repro trace <id>`` command)."""
+    from repro.obs import tracing
+
+    trace_id = args.trace_id.strip().lower()
+    if args.input is None and args.url is None:
+        print("error: provide --input PATH or --url URL", file=sys.stderr)
+        return 2
+
+    spans: List[dict] = []
+    if args.input is not None:
+        with open(args.input) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                # Flight dumps interleave meta/digest records; keep
+                # only span-shaped lines.
+                if "span_id" in record and "name" in record:
+                    spans.append(record)
+    else:
+        import http.client
+        from urllib.parse import urlsplit
+
+        parts = urlsplit(
+            args.url if "//" in args.url else f"http://{args.url}"
+        )
+        conn = http.client.HTTPConnection(
+            parts.hostname, parts.port or 80, timeout=30
+        )
+        try:
+            conn.request("GET", f"/debug/trace/{trace_id}")
+            response = conn.getresponse()
+            body = json.loads(response.read())
+        finally:
+            conn.close()
+        if response.status != 200:
+            print(
+                f"error: {body.get('error', 'trace_not_found')} "
+                f"(trace {trace_id})",
+                file=sys.stderr,
+            )
+            return 1
+
+        def flatten(nodes):
+            for node in nodes:
+                children = node.pop("children", [])
+                spans.append(node)
+                flatten(children)
+
+        flatten(body.get("roots", []))
+        flatten(body.get("orphans", []))
+
+    tree = tracing.assemble_trace(spans, trace_id)
+    if not tree.spans:
+        print(f"error: no spans for trace {trace_id}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        _emit(json.dumps(tree.to_dict(), indent=2), args)
+    else:
+        _emit(tree.render(), args)
+    return 0
 
 
 def _build_service(args, parameters: List[str]):
@@ -715,7 +905,7 @@ def _run_explain(args) -> int:
 def _run_metrics(args) -> int:
     from repro.core.recommendation import RecommendRequest
     from repro.obs import metrics as obs_metrics
-    from repro.serve.metrics import ServiceMetrics
+    from repro.obs.metrics import ServiceMetrics
 
     # A fresh registry per run: the exposition covers exactly this
     # exercise, even when main() is driven repeatedly in-process.
@@ -768,7 +958,7 @@ def _collect_health(args):
     from repro.obs.profiler import SamplingProfiler
     from repro.obs.slo import SLOEngine, default_service_slos
     from repro.serve import RecommendationService, load_engine, save_engine
-    from repro.serve.metrics import ServiceMetrics
+    from repro.obs.metrics import ServiceMetrics
 
     if args.snapshot is not None:
         dataset = load_dataset_json(args.snapshot)
@@ -955,6 +1145,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         if args.command == "serve":
             return _run_serve(args)
+
+        if args.command == "trace":
+            return _run_trace(args)
 
         if args.command == "explain":
             return _run_explain(args)

@@ -21,21 +21,26 @@ turns the raw instruments into operational signal:
   existing registry instruments with error-budget accounting,
 * :mod:`repro.obs.profiler` — a sampling wall-clock profiler emitting
   flamegraph-ready collapsed stacks with span attribution,
-* :mod:`repro.obs.dashboard` — a static-HTML health snapshot.
+* :mod:`repro.obs.dashboard` — a static-HTML health snapshot,
+* :mod:`repro.obs.flight` — an always-on black-box flight recorder of
+  recent request digests, dumped on SLO breach / shed burst / SIGTERM.
 """
 
 from repro.obs.logs import KeyValueFormatter, configure_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_REFRESH_BUCKETS,
     BucketHistogram,
     Counter,
     Gauge,
     Histogram,
+    LatencyHistogram,
     MetricsRegistry,
     NULL_REGISTRY,
     NullInstrument,
     NullRegistry,
+    ServiceMetrics,
     counter,
     disable as disable_metrics,
     enable as enable_metrics,
@@ -55,19 +60,34 @@ from repro.obs.tracing import (
     JsonlExporter,
     RingBufferExporter,
     Span,
+    TraceTree,
     Tracer,
+    active_spans,
+    assemble_trace,
     collect,
     configure as configure_tracing,
     current_context,
     disable as disable_tracing,
     flush_exit_exporters,
+    format_traceparent,
     get_tracer,
     ingest,
     install_exit_flush,
+    parse_traceparent,
+    record_span,
     span,
     span_from_context,
     uninstall_exit_flush,
+    use_context,
     active as tracing_active,
+)
+from repro.obs.flight import (
+    FlightRecorder,
+    RequestDigest,
+    configure as configure_flight,
+    disable as disable_flight,
+    get_recorder as get_flight_recorder,
+    record as record_flight,
 )
 
 # The health layer builds on metrics/tracing/logs above, so these
@@ -102,19 +122,24 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_REFRESH_BUCKETS",
     "DriftBaseline",
     "DriftDetector",
     "DriftReport",
     "DriftThresholds",
     "DriftWindow",
     "ErrorBudget",
+    "FlightRecorder",
     "Gauge",
     "HealthReport",
+    "LatencyHistogram",
+    "RequestDigest",
     "SLOEngine",
     "SLOReport",
     "SLOResult",
     "SLORule",
     "SamplingProfiler",
+    "ServiceMetrics",
     "Histogram",
     "JsonlExporter",
     "KeyValueFormatter",
@@ -126,20 +151,27 @@ __all__ = [
     "ResultExplanation",
     "RingBufferExporter",
     "Span",
+    "TraceTree",
     "Tracer",
     "VoteShare",
+    "active_spans",
+    "assemble_trace",
     "chi_square_drift",
     "collect",
+    "configure_flight",
     "configure_logging",
     "configure_tracing",
     "counter",
     "current_context",
     "default_service_slos",
+    "disable_flight",
     "disable_metrics",
     "disable_tracing",
     "enable_metrics",
     "flush_exit_exporters",
+    "format_traceparent",
     "gauge",
+    "get_flight_recorder",
     "get_logger",
     "get_registry",
     "get_tracer",
@@ -147,11 +179,15 @@ __all__ = [
     "ingest",
     "install_exit_flush",
     "metrics_enabled",
+    "parse_traceparent",
     "population_stability_index",
+    "record_flight",
+    "record_span",
     "render_dashboard",
     "set_registry",
     "span",
     "span_from_context",
     "tracing_active",
     "uninstall_exit_flush",
+    "use_context",
 ]

@@ -24,6 +24,7 @@ command, tests, or an embedding service).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
@@ -31,12 +32,15 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_REFRESH_BUCKETS",
     "Gauge",
     "Histogram",
+    "LatencyHistogram",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullInstrument",
     "NullRegistry",
+    "ServiceMetrics",
     "counter",
     "disable",
     "enable",
@@ -80,11 +84,10 @@ class BucketHistogram:
     """A fixed-bucket cumulative histogram (Prometheus-style ``le``).
 
     The standalone data core, shared by the registry's
-    :class:`Histogram` instrument and by
-    :class:`repro.serve.metrics.LatencyHistogram` (an alias kept for
-    compatibility).  ``counts[i]`` is the number of observations that
-    landed in bucket ``i`` (non-cumulative); the last slot is the
-    ``+Inf`` tail.
+    :class:`Histogram` instrument and by :class:`LatencyHistogram` (an
+    alias kept for compatibility).  ``counts[i]`` is the number of
+    observations that landed in bucket ``i`` (non-cumulative); the last
+    slot is the ``+Inf`` tail.
     """
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
@@ -92,15 +95,22 @@ class BucketHistogram:
         self.counts: List[int] = [0] * (len(self.buckets) + 1)  # +inf tail
         self.total = 0.0
         self.count = 0
+        #: bucket index -> ``(trace_id, value, unix_ts)`` of the most
+        #: recent exemplar observation landing in that bucket.  Links a
+        #: p99 bucket straight to a trace id (OpenMetrics exemplars).
+        self.exemplars: Dict[int, Tuple[str, float, float]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         self.total += value
         self.count += 1
-        for index, bound in enumerate(self.buckets):
+        index = len(self.buckets)  # +Inf tail unless a bound matches
+        for i, bound in enumerate(self.buckets):
             if value <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
+                index = i
+                break
+        self.counts[index] += 1
+        if exemplar is not None:
+            self.exemplars[index] = (str(exemplar), float(value), time.time())
 
     @property
     def mean(self) -> float:
@@ -250,9 +260,13 @@ class Histogram(_Instrument):
         super().__init__(family, labelvalues)
         self._data = BucketHistogram(buckets)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         with self._lock:
-            self._data.observe(value)
+            self._data.observe(value, exemplar=exemplar)
+
+    def exemplars(self) -> Dict[int, Tuple[str, float, float]]:
+        with self._lock:
+            return dict(self._data.exemplars)
 
     @property
     def buckets(self) -> Tuple[float, ...]:
@@ -414,8 +428,14 @@ class MetricsRegistry:
 
     # -- exposition ----------------------------------------------------------
 
-    def to_prometheus_text(self) -> str:
-        """The Prometheus text exposition format."""
+    def to_prometheus_text(self, exemplars: bool = False) -> str:
+        """The Prometheus text exposition format.
+
+        With ``exemplars=True``, histogram bucket lines carry their
+        OpenMetrics exemplar suffix (``# {trace_id="..."} value ts``)
+        when one was recorded — off by default because the classic
+        Prometheus text format does not allow it.
+        """
         lines: List[str] = []
         for family in self.families():
             if family.help:
@@ -428,14 +448,20 @@ class MetricsRegistry:
                     with self._lock:
                         cumulative = data.cumulative_counts()
                         total, count = data.total, data.count
-                    for le, cum in cumulative:
+                        bucket_exemplars = dict(data.exemplars)
+                    for index, (le, cum) in enumerate(cumulative):
                         bucket_labels = _format_labels(
                             family.labelnames + ("le",),
                             child.labelvalues + (le,),
                         )
-                        lines.append(
-                            f"{family.name}_bucket{bucket_labels} {cum}"
-                        )
+                        line = f"{family.name}_bucket{bucket_labels} {cum}"
+                        if exemplars and index in bucket_exemplars:
+                            trace_id, value, ts = bucket_exemplars[index]
+                            line += (
+                                f' # {{trace_id="{_escape(trace_id)}"}} '
+                                f"{_format_number(value)} {ts:.3f}"
+                            )
+                        lines.append(line)
                     lines.append(
                         f"{family.name}_sum{label_text} {_format_number(total)}"
                     )
@@ -527,7 +553,7 @@ class NullInstrument:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         pass
 
     def quantile(self, q: float) -> float:
@@ -561,7 +587,7 @@ class NullRegistry:
     def get(self, name: str) -> None:
         return None
 
-    def to_prometheus_text(self) -> str:
+    def to_prometheus_text(self, exemplars: bool = False) -> str:
         return ""
 
     def to_dict(self) -> Dict:
@@ -621,3 +647,180 @@ def histogram(
 ):
     """A histogram on the global registry (no-op while disabled)."""
     return _REGISTRY.histogram(name, help_text, buckets, labelnames)
+
+
+# -- service-facing facade -----------------------------------------------------
+#
+# ServiceMetrics/LatencyHistogram started life in ``repro.serve.metrics``
+# and moved here once the registry became the single source of truth;
+# ``repro.serve.metrics`` remains as a deprecation shim re-exporting
+# these names.
+
+#: Default refresh-duration buckets (seconds) — refits are much slower.
+DEFAULT_REFRESH_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+
+class LatencyHistogram(BucketHistogram):
+    """A :class:`BucketHistogram` with the service-tuned default bucket
+    layout — kept as a compatibility alias for historical callers."""
+
+    def __init__(self, buckets=DEFAULT_LATENCY_BUCKETS):
+        super().__init__(buckets)
+
+
+class ServiceMetrics:
+    """Counters + histograms for one :class:`RecommendationService`.
+
+    Thread-safe: the service answers requests from many threads, and the
+    refresher records from a background thread; every instrument sits
+    behind the backing registry's single lock.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        #: The backing registry; expose it so embedders can scrape the
+        #: service in Prometheus text form (:meth:`to_prometheus_text`).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._requests = reg.counter(
+            "repro_service_requests_total", "Recommendation requests served"
+        )
+        self._parameters = reg.counter(
+            "repro_service_parameters_served_total",
+            "Parameter recommendations served",
+        )
+        self._cache = reg.counter(
+            "repro_service_cache_lookups_total",
+            "Vote-cache lookups by result",
+            labelnames=("result",),
+        )
+        self._fallbacks = reg.counter(
+            "repro_service_fallbacks_total",
+            "Cold-start rule-book fallbacks served",
+        )
+        self._invalidations = reg.counter(
+            "repro_service_invalidations_total", "Vote-cache invalidations"
+        )
+        self._refreshes = reg.counter(
+            "repro_service_refreshes_total", "Engine snapshot refreshes"
+        )
+        self._votes = reg.counter(
+            "repro_service_votes_total", "Matched-carrier votes counted"
+        )
+        self.request_latency = reg.histogram(
+            "repro_service_request_latency_seconds",
+            "Request latency",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.refresh_duration = reg.histogram(
+            "repro_service_refresh_duration_seconds",
+            "Snapshot refresh duration",
+            buckets=DEFAULT_REFRESH_BUCKETS,
+        )
+
+    # -- recording ----------------------------------------------------------
+
+    def record_request(self, latency_s: float, parameters: int) -> None:
+        self._requests.inc()
+        self._parameters.inc(parameters)
+        self.request_latency.observe(latency_s)
+
+    def record_cache(self, hit: bool) -> None:
+        self._cache.labels("hit" if hit else "miss").inc()
+
+    def record_votes(self, matched: float) -> None:
+        self._votes.inc(matched)
+
+    def record_fallback(self) -> None:
+        self._fallbacks.inc()
+
+    def record_invalidation(self, entries_dropped: int = 0) -> None:
+        self._invalidations.inc()
+
+    def record_refresh(self, duration_s: float) -> None:
+        self._refreshes.inc()
+        self.refresh_duration.observe(duration_s)
+
+    # -- counter views ------------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def parameters_served(self) -> int:
+        return int(self._parameters.value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._cache.labels("hit").value)
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._cache.labels("miss").value)
+
+    @property
+    def fallbacks(self) -> int:
+        return int(self._fallbacks.value)
+
+    @property
+    def invalidations(self) -> int:
+        return int(self._invalidations.value)
+
+    @property
+    def refreshes(self) -> int:
+        return int(self._refreshes.value)
+
+    @property
+    def votes(self) -> float:
+        return self._votes.value
+
+    # -- derived rates ------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def fallback_rate(self) -> float:
+        served = self.parameters_served
+        return self.fallbacks / served if served else 0.0
+
+    @property
+    def votes_per_request(self) -> float:
+        requests = self.requests
+        return self.votes / requests if requests else 0.0
+
+    def as_dict(self) -> Dict:
+        """A plain-dict export (for tests, the CLI and log lines)."""
+        return {
+            "requests": self.requests,
+            "parameters_served": self.parameters_served,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "fallbacks": self.fallbacks,
+            "fallback_rate": self.fallback_rate,
+            "invalidations": self.invalidations,
+            "refreshes": self.refreshes,
+            "votes": self.votes,
+            "votes_per_request": self.votes_per_request,
+            "request_latency": self.request_latency.as_dict(),
+            "refresh_duration": self.refresh_duration.as_dict(),
+        }
+
+    def to_prometheus_text(self) -> str:
+        """The backing registry in Prometheus text exposition format."""
+        return self.registry.to_prometheus_text()
+
+    def summary(self) -> str:
+        """A one-paragraph human rendering for the CLI."""
+        d = self.as_dict()
+        return (
+            f"requests={d['requests']} parameters={d['parameters_served']} "
+            f"cache_hit_rate={d['cache_hit_rate']:.1%} "
+            f"fallbacks={d['fallbacks']} ({d['fallback_rate']:.1%}) "
+            f"votes/request={d['votes_per_request']:.1f} "
+            f"mean_latency={d['request_latency']['mean'] * 1e3:.3f}ms "
+            f"refreshes={d['refreshes']}"
+        )

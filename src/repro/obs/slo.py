@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.obs import metrics, tracing
+from repro.obs import flight, metrics, tracing
 from repro.obs.logs import get_logger
 
 __all__ = [
@@ -355,6 +355,12 @@ class SLOEngine:
                             "budget_used": round(budget_used, 4),
                         },
                     )
+                # A breach is exactly when per-request evidence matters:
+                # snapshot the flight recorder's ring (rate-limited per
+                # rule, no-op while recording is disabled).
+                recorder = flight.get_recorder()
+                if recorder is not None:
+                    recorder.dump(f"slo-{rule.name}")
         return SLOReport(results=results)
 
 

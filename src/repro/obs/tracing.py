@@ -35,7 +35,6 @@ import os
 import signal
 import threading
 import time
-import uuid
 from collections import deque
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -43,21 +42,28 @@ __all__ = [
     "JsonlExporter",
     "RingBufferExporter",
     "Span",
+    "TraceTree",
     "Tracer",
     "active",
+    "active_spans",
+    "assemble_trace",
     "collect",
     "configure",
     "current_context",
     "disable",
     "flush_exit_exporters",
+    "format_traceparent",
     "get_tracer",
     "ingest",
     "install_exit_flush",
+    "parse_traceparent",
+    "record_span",
     "span",
     "span_from_context",
     "thread_span_stack",
     "track_thread_spans",
     "uninstall_exit_flush",
+    "use_context",
 ]
 
 #: (trace_id, span_id) of the span currently executing in this context.
@@ -67,7 +73,71 @@ _CURRENT: "contextvars.ContextVar[Optional[Tuple[str, str]]]" = (
 
 
 def _new_id() -> str:
-    return uuid.uuid4().hex[:16]
+    # os.urandom + bytes.hex is ~4x cheaper than uuid4 — ids are minted
+    # on every span, so this is serving-path hot.
+    return os.urandom(8).hex()
+
+
+def _new_trace_id() -> str:
+    """A W3C-width (32 hex chars) trace id for trace roots."""
+    return os.urandom(16).hex()
+
+
+# -- W3C trace-context propagation --------------------------------------------
+
+_TRACEPARENT_VERSION = "00"
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def _is_hex(value: str) -> bool:
+    return bool(value) and set(value) <= _HEX_DIGITS
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[Tuple[str, str]]:
+    """Parse a W3C ``traceparent`` header into a ``(trace_id, span_id)``
+    context, or ``None`` when the header is absent or malformed.
+
+    Accepts ``<version>-<32 hex trace-id>-<16 hex parent-id>-<2 hex
+    flags>``.  Per the spec, all-zero trace or parent ids are invalid,
+    version ``ff`` is invalid, and future versions are accepted as long
+    as the first four fields parse (extra suffix fields are ignored).
+    Malformed input is treated as "no incoming context" rather than an
+    error, so a bad client header can never fail a request.
+    """
+    if not header:
+        return None
+    parts = header.strip().lower().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, parent_id, flags = parts[0], parts[1], parts[2], parts[3]
+    if len(version) != 2 or not _is_hex(version) or version == "ff":
+        return None
+    if version == _TRACEPARENT_VERSION and len(parts) != 4:
+        return None
+    if len(trace_id) != 32 or not _is_hex(trace_id):
+        return None
+    if len(parent_id) != 16 or not _is_hex(parent_id):
+        return None
+    if len(flags) != 2 or not _is_hex(flags):
+        return None
+    if trace_id == "0" * 32 or parent_id == "0" * 16:
+        return None
+    return (trace_id, parent_id)
+
+
+def format_traceparent(context: Optional[Tuple[str, str]]) -> Optional[str]:
+    """Render a ``(trace_id, span_id)`` context as a ``traceparent``
+    header value (sampled flag set), or ``None`` without a context.
+
+    Internal trace ids predating W3C support are 16 hex chars; they are
+    left-padded with zeros to the 32-char wire width.
+    """
+    if context is None:
+        return None
+    trace_id, span_id = context
+    trace_id = str(trace_id).lower().rjust(32, "0")[:32]
+    span_id = str(span_id).lower().rjust(16, "0")[:16]
+    return f"{_TRACEPARENT_VERSION}-{trace_id}-{span_id}-01"
 
 
 class Span:
@@ -167,23 +237,38 @@ class RingBufferExporter:
 
 
 class JsonlExporter:
-    """Appends one JSON object per finished span to a file."""
+    """Appends one JSON object per finished span to a file.
+
+    Thread-safe, and safe against the atexit + signal double-flush: the
+    lock is reentrant so a SIGTERM handler firing while the same thread
+    is mid-``export`` can still :meth:`close` instead of deadlocking,
+    ``close`` is idempotent behind a ``_closed`` flag, and a write
+    racing a signal-path close degrades to a dropped span, never an
+    exception.
+    """
 
     def __init__(self, path: str):
         self.path = path
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
+        self._closed = False
         self._handle = open(path, "a")
 
     def export(self, span_obj: Span) -> None:
         line = json.dumps(span_obj.to_dict(), default=str)
         with self._lock:
-            if self._handle.closed:  # pragma: no cover - post-close export
+            if self._closed or self._handle.closed:
                 return
-            self._handle.write(line + "\n")
-            self._handle.flush()
+            try:
+                self._handle.write(line + "\n")
+                self._handle.flush()
+            except ValueError:  # pragma: no cover - closed under our feet
+                pass
 
     def close(self) -> None:
         with self._lock:
+            if self._closed:
+                return
+            self._closed = True
             if not self._handle.closed:
                 self._handle.close()
 
@@ -213,7 +298,7 @@ class Tracer:
         if parent is None:
             parent = _CURRENT.get()
         if parent is None:
-            trace_id, parent_id = _new_id(), None
+            trace_id, parent_id = _new_trace_id(), None
         else:
             trace_id, parent_id = parent
         span_obj = Span(name, trace_id, _new_id(), parent_id, attributes)
@@ -241,6 +326,9 @@ class _SpanHandle:
     def __enter__(self) -> "_SpanHandle":
         self._token = _CURRENT.set((self.span.trace_id, self.span.span_id))
         self._started = time.perf_counter()
+        # Single-key dict ops are GIL-atomic, so in-flight bookkeeping
+        # costs no lock on the hot path.
+        _ACTIVE_SPANS[self.span.span_id] = self.span
         if _TRACK_THREAD_SPANS:
             _THREAD_SPANS.setdefault(
                 threading.get_ident(), []
@@ -252,6 +340,7 @@ class _SpanHandle:
         if exc_type is not None:
             self.span.status = f"error:{exc_type.__name__}"
         _CURRENT.reset(self._token)
+        _ACTIVE_SPANS.pop(self.span.span_id, None)
         if _TRACK_THREAD_SPANS:
             stack = _THREAD_SPANS.get(threading.get_ident())
             if stack and stack[-1] == self.span.name:
@@ -330,6 +419,64 @@ def span_from_context(
     return tracer.start(name, attributes or None, parent=parent)
 
 
+class use_context:
+    """Context manager: adopt an explicit ``(trace_id, span_id)`` as the
+    current context without opening a span.
+
+    The serving path uses this to run downstream work (shard handling,
+    engine calls) under a request's trace when the code crossing the
+    boundary — a worker thread draining a batch queue — has no
+    :mod:`contextvars` inheritance from the request coroutine.
+    ``None`` leaves the ambient context untouched.
+    """
+
+    __slots__ = ("_context", "_token")
+
+    def __init__(self, context: Optional[Tuple[str, str]]):
+        self._context = tuple(context) if context is not None else None
+        self._token = None
+
+    def __enter__(self) -> "use_context":
+        if self._context is not None:
+            self._token = _CURRENT.set(self._context)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+
+
+def record_span(
+    name: str,
+    context: Optional[Tuple[str, str]],
+    start_time: float,
+    duration_s: float,
+    status: str = "ok",
+    **attributes,
+) -> Optional[Span]:
+    """Emit an already-finished span parented at ``context``.
+
+    For operations whose bounds are only known after the fact — e.g. a
+    request's queue wait is measured when the batch worker dequeues it,
+    long after the wait started.  ``start_time`` is a wall-clock epoch
+    timestamp; returns the exported span, or ``None`` while disabled.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return None
+    if context is None:
+        trace_id, parent_id = _new_trace_id(), None
+    else:
+        trace_id, parent_id = context
+    span_obj = Span(name, trace_id, _new_id(), parent_id, attributes or None)
+    span_obj.start_time = start_time
+    span_obj.duration_s = max(0.0, duration_s)
+    span_obj.status = status
+    tracer.finish(span_obj)
+    return span_obj
+
+
 class collect:
     """Context manager: buffer this context's spans into a list.
 
@@ -351,6 +498,131 @@ class collect:
     def __exit__(self, exc_type, exc, tb) -> None:
         global _TRACER
         _TRACER = self._previous
+
+
+# -- in-flight span tracking (flight-recorder dumps) -------------------------
+
+#: span_id -> Span for every span currently open anywhere in the
+#: process.  Populated by :class:`_SpanHandle` (single-key dict ops are
+#: GIL-atomic, so no lock); read by :func:`active_spans` when the flight
+#: recorder captures a black-box snapshot.
+_ACTIVE_SPANS: Dict[str, Span] = {}
+
+
+def active_spans() -> List[Span]:
+    """Snapshot of every span currently in flight (unordered)."""
+    return list(_ACTIVE_SPANS.values())
+
+
+# -- trace assembly ------------------------------------------------------------
+
+
+class TraceTree:
+    """One trace reassembled from finished spans.
+
+    ``roots`` are the spans without a parent in the trace whose
+    ``parent_id`` is either ``None`` or marked ``remote_parent`` (the
+    parent lives in the caller's process — e.g. a client-sent
+    ``traceparent``).  ``orphans`` are spans that *claim* a local parent
+    that never showed up: a broken propagation link.
+    """
+
+    __slots__ = ("trace_id", "spans", "roots", "children", "orphans")
+
+    def __init__(
+        self,
+        trace_id: str,
+        spans: List[Span],
+        roots: List[Span],
+        children: Dict[str, List[Span]],
+        orphans: List[Span],
+    ):
+        self.trace_id = trace_id
+        self.spans = spans
+        self.roots = roots
+        self.children = children
+        self.orphans = orphans
+
+    def to_dict(self) -> Dict[str, Any]:
+        def node(span_obj: Span) -> Dict[str, Any]:
+            payload = span_obj.to_dict()
+            payload["children"] = [
+                node(child) for child in self.children.get(span_obj.span_id, [])
+            ]
+            return payload
+
+        return {
+            "trace_id": self.trace_id,
+            "span_count": len(self.spans),
+            "orphan_count": len(self.orphans),
+            "roots": [node(root) for root in self.roots],
+            "orphans": [node(orphan) for orphan in self.orphans],
+        }
+
+    def render(self) -> str:
+        """ASCII rendering of the span tree (the ``repro trace`` CLI)."""
+        lines: List[str] = [f"trace {self.trace_id} ({len(self.spans)} spans)"]
+
+        def walk(span_obj: Span, prefix: str, is_last: bool) -> None:
+            connector = "`-- " if is_last else "|-- "
+            detail = f"{span_obj.name}  {span_obj.duration_s * 1e3:.3f}ms"
+            extras = []
+            if span_obj.status != "ok":
+                extras.append(span_obj.status)
+            for key in ("market", "shard", "generation", "batch_size"):
+                if key in span_obj.attributes:
+                    extras.append(f"{key}={span_obj.attributes[key]}")
+            if extras:
+                detail += f"  [{', '.join(extras)}]"
+            lines.append(prefix + connector + detail)
+            kids = self.children.get(span_obj.span_id, [])
+            child_prefix = prefix + ("    " if is_last else "|   ")
+            for i, child in enumerate(kids):
+                walk(child, child_prefix, i == len(kids) - 1)
+
+        for i, root in enumerate(self.roots):
+            walk(root, "", i == len(self.roots) - 1)
+        if self.orphans:
+            lines.append(f"!! {len(self.orphans)} orphan span(s):")
+            for orphan in self.orphans:
+                lines.append(
+                    f"   {orphan.name} (span={orphan.span_id}, "
+                    f"missing parent={orphan.parent_id})"
+                )
+        return "\n".join(lines)
+
+
+def assemble_trace(spans: Iterable, trace_id: str) -> TraceTree:
+    """Rebuild the span tree for one trace id from a span soup.
+
+    Accepts :class:`Span` objects or their dicts (e.g. read back from a
+    :class:`JsonlExporter` file).  Spans whose ``parent_id`` is missing
+    from the trace are split into *roots* (no parent, or the parent is
+    explicitly remote via a truthy ``remote_parent`` attribute) and
+    *orphans* (a local parent that never arrived — a propagation bug).
+    Children sort by start time.
+    """
+    trace_id = str(trace_id).lower()
+    want = {trace_id, trace_id.rjust(32, "0"), trace_id.lstrip("0") or "0"}
+    selected: List[Span] = []
+    for item in spans:
+        span_obj = item if isinstance(item, Span) else Span.from_dict(item)
+        if str(span_obj.trace_id).lower() in want:
+            selected.append(span_obj)
+    selected.sort(key=lambda s: s.start_time)
+    by_id = {s.span_id: s for s in selected}
+    roots: List[Span] = []
+    orphans: List[Span] = []
+    children: Dict[str, List[Span]] = {}
+    for span_obj in selected:
+        parent_id = span_obj.parent_id
+        if parent_id and parent_id in by_id:
+            children.setdefault(parent_id, []).append(span_obj)
+        elif parent_id and not span_obj.attributes.get("remote_parent"):
+            orphans.append(span_obj)
+        else:
+            roots.append(span_obj)
+    return TraceTree(trace_id, selected, roots, children, orphans)
 
 
 # -- thread-span bookkeeping (profiler attribution) --------------------------

@@ -129,8 +129,12 @@ def _run_traced(
     """
     context, fn, task = wrapped
     name = getattr(fn, "__name__", "task")
+    # The shipped parent span lives in the master's process; mark the
+    # boundary so trace assembly over a worker-only span set (a flight
+    # dump cut mid-run) treats these as roots, not orphans.
+    attrs = {"remote_parent": True} if context is not None else {}
     with tracing.collect() as collected:
-        with tracing.span_from_context(context, f"pool.task:{name}"):
+        with tracing.span_from_context(context, f"pool.task:{name}", **attrs):
             result = fn(task)
     return result, [span_obj.to_dict() for span_obj in collected]
 

@@ -12,9 +12,9 @@ to the rule-book, and incremental refresh as the network grows.
   invalidation.
 * :mod:`repro.serve.refresh` — incremental electorate updates and
   full refits with stale-but-available swapping.
-* :mod:`repro.serve.metrics` — the service-facing facade over the
-  unified :mod:`repro.obs` metrics registry: the historical plain-dict
-  export plus Prometheus text exposition.
+* Service metrics live in :mod:`repro.obs.metrics`
+  (:class:`ServiceMetrics`, re-exported here for convenience);
+  :mod:`repro.serve.metrics` is a deprecation shim.
 * :mod:`repro.serve.validation` — structured payload validation
   (:class:`RequestValidationError` names the field and reason; the
   front end's 400 body).
@@ -34,7 +34,7 @@ from repro.serve.artifacts import (
     load_engine,
     save_engine,
 )
-from repro.serve.metrics import (
+from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_REFRESH_BUCKETS,
     LatencyHistogram,

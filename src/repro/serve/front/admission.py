@@ -21,15 +21,23 @@ backpressure loop.  Shed decisions are counted per reason in
 from __future__ import annotations
 
 import threading
+import time
+from collections import deque
 from typing import Dict, Optional
 
 from repro.exceptions import ReproError
+from repro.obs import flight
 from repro.obs import metrics as obs_metrics
 
 __all__ = ["AdmissionController", "OverloadError"]
 
 #: Fallback retry hint when no latency estimate is available yet.
 DEFAULT_RETRY_AFTER_MS = 50
+
+#: Shed-burst detection: this many sheds inside the window triggers a
+#: flight-recorder dump (the recorder rate-limits repeats).
+SHED_BURST_COUNT = 20
+SHED_BURST_WINDOW_S = 1.0
 
 
 class OverloadError(ReproError):
@@ -92,6 +100,26 @@ class AdmissionController:
             "Requests shed by admission control",
             labelnames=("reason",),
         )
+        #: Recent shed timestamps (monotonic) for burst detection.
+        self._shed_times: "deque[float]" = deque(maxlen=SHED_BURST_COUNT)
+
+    def _note_shed(self, reason: str, weight: int = 1) -> None:
+        """Count a shed and dump the flight recorder on a burst.
+
+        A single shed is routine backpressure; ``SHED_BURST_COUNT``
+        sheds inside ``SHED_BURST_WINDOW_S`` is an overload event worth
+        a black-box snapshot.  Caller holds ``self._lock``.
+        """
+        self._shed_counter.labels(reason=reason).inc(weight)
+        now = time.monotonic()
+        self._shed_times.append(now)
+        if (
+            len(self._shed_times) == SHED_BURST_COUNT
+            and now - self._shed_times[0] <= SHED_BURST_WINDOW_S
+        ):
+            recorder = flight.get_recorder()
+            if recorder is not None:
+                recorder.dump("shed-burst")
 
     @property
     def inflight(self) -> int:
@@ -110,7 +138,7 @@ class AdmissionController:
             if self._inflight + weight > self.max_inflight:
                 depth = self._inflight
                 latency = self._ewma_latency_s
-                self._shed_counter.labels(reason="max_inflight").inc(weight)
+                self._note_shed("max_inflight", weight)
                 raise OverloadError(
                     reason="max_inflight",
                     limit=self.max_inflight,
@@ -124,7 +152,8 @@ class AdmissionController:
 
     def shed_queue_full(self, shard: int, limit: int, depth: int) -> OverloadError:
         """Record a per-shard queue shed and build its 503."""
-        self._shed_counter.labels(reason="shard_queue").inc()
+        with self._lock:
+            self._note_shed("shard_queue")
         return OverloadError(
             reason="shard_queue",
             limit=limit,

@@ -23,18 +23,39 @@ thread.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.recommendation import RecommendRequest
 from repro.obs import metrics as obs_metrics
+from repro.serve.front.timings import RequestTimings
 
-__all__ = ["Coalescer"]
+__all__ = ["Coalescer", "Entry"]
 
 #: Batch-size histogram buckets (requests per flush).
 BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
-#: One coalesced entry: the request and the future its response resolves.
-Entry = Tuple[RecommendRequest, "asyncio.Future"]
+
+class Entry:
+    """One coalesced request: the payload, the future its response
+    resolves, and the observability context riding along — the
+    request's trace context (``(trace_id, span_id)`` of its
+    ``front.request`` span, or ``None``) and its
+    :class:`~repro.serve.front.timings.RequestTimings`."""
+
+    __slots__ = ("request", "future", "trace", "timings")
+
+    def __init__(
+        self,
+        request: RecommendRequest,
+        future: "asyncio.Future",
+        trace: Optional[Tuple[str, str]] = None,
+        timings: Optional[RequestTimings] = None,
+    ):
+        self.request = request
+        self.future = future
+        self.trace = trace
+        self.timings = timings
 
 
 class Coalescer:
@@ -76,11 +97,24 @@ class Coalescer:
             self._loop = asyncio.get_event_loop()
         return self._loop
 
-    def submit(self, request: RecommendRequest) -> "asyncio.Future":
-        """Queue one request; returns the future its result resolves."""
+    def submit(
+        self,
+        request: RecommendRequest,
+        trace: Optional[Tuple[str, str]] = None,
+        timings: Optional[RequestTimings] = None,
+    ) -> "asyncio.Future":
+        """Queue one request; returns the future its result resolves.
+
+        ``trace``/``timings`` ride with the entry to the shard worker —
+        the flush timer fires outside the request's coroutine (no
+        :mod:`contextvars` inheritance), so the context must travel
+        explicitly.
+        """
         loop = self._get_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((request, future))
+        if timings is not None:
+            timings.submitted = time.perf_counter()
+        self._pending.append(Entry(request, future, trace, timings))
         if len(self._pending) >= self.max_batch:
             self.flush_now()
         elif self._timer is None:
@@ -98,6 +132,10 @@ class Coalescer:
         if not self._pending:
             return 0
         batch, self._pending = self._pending, []
+        flushed = time.perf_counter()
+        for entry in batch:
+            if entry.timings is not None:
+                entry.timings.flushed = flushed
         self._batch_histogram.observe(float(len(batch)))
         if len(batch) > 1:
             self._coalesced_counter.inc(len(batch))
@@ -110,6 +148,6 @@ class Coalescer:
             self._timer.cancel()
             self._timer = None
         batch, self._pending = self._pending, []
-        for _, future in batch:
-            if not future.done():
-                future.set_exception(RuntimeError("coalescer closed"))
+        for entry in batch:
+            if not entry.future.done():
+                entry.future.set_exception(RuntimeError("coalescer closed"))

@@ -16,7 +16,15 @@ serving discipline behind it is:
   parameter) on every shard.
 * ``GET /healthz`` / ``GET /stats`` / ``GET /metrics`` — liveness, the
   shard-set counters, and the Prometheus exposition of the process
-  registry.
+  registry (exemplars included).
+* ``GET /debug/trace/<trace_id>`` / ``GET /debug/flight`` — the
+  reassembled span tree of one request, and the flight recorder's
+  black-box ring.
+
+Every recommendation request is traced end to end: the server accepts
+and emits W3C ``traceparent``, answers with a ``Server-Timing`` header
+plus a ``timings`` body field (queue/coalesce/engine/serialize), and
+appends a digest to the flight recorder.
 
 The event loop owns parsing, routing, admission and coalescing; shard
 worker threads own the engine calls; completion crosses back with
@@ -31,14 +39,19 @@ import json
 import queue
 import threading
 import time
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.recommendation import RecommendResult
+from repro.obs import flight
 from repro.obs import metrics as obs_metrics
+from repro.obs import tracing
 from repro.serve.front.admission import AdmissionController, OverloadError
 from repro.serve.front.coalesce import Coalescer
+from repro.serve.front.routing import shard_key
 from repro.serve.front.shards import EngineShard, ShardSet
+from repro.serve.front.timings import RequestTimings
 from repro.serve.validation import (
     RequestValidationError,
     unified_request_from_dict,
@@ -99,12 +112,20 @@ class FrontServer:
             "Front-end request latency (admission to response)",
             buckets=obs_metrics.DEFAULT_LATENCY_BUCKETS,
         )
+        #: Span store backing ``/debug/trace/<id>``; attached to the
+        #: global tracer while the server runs (only when tracing is
+        #: enabled at start).
+        self._trace_buffer: Optional[tracing.RingBufferExporter] = None
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> int:
         """Bind and start accepting; returns the bound port."""
         self._loop = asyncio.get_event_loop()
+        tracer = tracing.get_tracer()
+        if tracer is not None:
+            self._trace_buffer = tracing.RingBufferExporter(capacity=8192)
+            tracer.exporters.append(self._trace_buffer)
         for shard in self.shard_set.shards:
             self._coalescers[shard.shard_id] = Coalescer(
                 self._make_flush(shard),
@@ -130,6 +151,10 @@ class FrontServer:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         for coalescer in self._coalescers.values():
             coalescer.close()
+        if self._trace_buffer is not None:
+            tracer = tracing.get_tracer()
+            if tracer is not None and self._trace_buffer in tracer.exporters:
+                tracer.exporters.remove(self._trace_buffer)
 
     @property
     def port(self) -> Optional[int]:
@@ -143,8 +168,10 @@ class FrontServer:
         """The coalescer flush: hand one micro-batch to the shard."""
 
         def flush(batch):
-            requests = [request for request, _ in batch]
-            futures = [future for _, future in batch]
+            requests = [entry.request for entry in batch]
+            futures = [entry.future for entry in batch]
+            traces = [entry.trace for entry in batch]
+            timings = [entry.timings for entry in batch]
 
             def on_done(results, error):
                 # Runs on the shard worker thread.
@@ -153,7 +180,7 @@ class FrontServer:
                 )
 
             try:
-                shard.submit_batch(requests, on_done)
+                shard.submit_batch(requests, on_done, traces, timings)
             except queue.Full:
                 shed = self._admission.shed_queue_full(
                     shard.shard_id, shard.max_queue, shard.depth
@@ -179,21 +206,73 @@ class FrontServer:
             if not future.done():
                 future.set_result((shard.shard_id, result))
 
-    async def _dispatch(self, request) -> Tuple[int, RecommendResult]:
-        """Admit, coalesce and await one request's result."""
+    async def _dispatch(
+        self,
+        request,
+        context: Optional[Tuple[str, str]] = None,
+        timings: Optional[RequestTimings] = None,
+    ) -> Tuple[int, RecommendResult]:
+        """Admit, coalesce and await one request's result.
+
+        ``context`` is the request's ``front.request`` span context; it
+        rides with the coalesced entry so the shard worker can re-root
+        its spans, and the coalesce/queue waits are emitted as
+        retroactive spans once the timings are complete.
+        """
         shard = self.shard_set.shard_for(request)
-        self._admission.admit()
+        with tracing.span("front.admission", shard=shard.shard_id):
+            self._admission.admit()
         started = time.perf_counter()
         try:
-            outcome = await self._coalescers[shard.shard_id].submit(request)
+            outcome = await self._coalescers[shard.shard_id].submit(
+                request, trace=context, timings=timings
+            )
         finally:
             self._admission.release(
                 latency_s=time.perf_counter() - started
             )
+        if context is not None and timings is not None and tracing.active():
+            self._emit_wait_spans(context, timings, shard.shard_id)
         return outcome
 
-    def _result_body(self, shard_id: int, result: RecommendResult) -> Dict:
-        return {
+    def _emit_wait_spans(
+        self,
+        context: Tuple[str, str],
+        timings: RequestTimings,
+        shard_id: int,
+    ) -> None:
+        """Retroactive ``front.coalesce`` / ``front.queue`` spans.
+
+        The waits are only bounded after the shard worker dequeued the
+        batch, so the spans are recorded after the fact, parented at
+        the request's root span and placed on the wall clock via the
+        timings anchor.
+        """
+        if timings.submitted is not None and timings.flushed is not None:
+            tracing.record_span(
+                "front.coalesce",
+                context,
+                timings.wall(timings.submitted),
+                timings.coalesce_s,
+                shard=shard_id,
+            )
+        if timings.flushed is not None and timings.dequeued is not None:
+            tracing.record_span(
+                "front.queue",
+                context,
+                timings.wall(timings.flushed),
+                timings.queue_s,
+                shard=shard_id,
+            )
+
+    def _result_body(
+        self,
+        shard_id: int,
+        result: RecommendResult,
+        timings: Optional[RequestTimings] = None,
+    ) -> Dict:
+        serialize_started = time.perf_counter()
+        body = {
             "target": result.recommendation.target,
             "values": {
                 name: rec.value
@@ -207,24 +286,49 @@ class FrontServer:
             "duration_ms": round(result.duration_s * 1000.0, 3),
             "explain": result.explain.to_dict() if result.explain else None,
         }
+        if timings is not None:
+            if timings.engine_s is None:
+                timings.engine_s = result.duration_s
+            else:
+                timings.engine_s += result.duration_s
+            serialize_s = time.perf_counter() - serialize_started
+            timings.serialize_s = (timings.serialize_s or 0.0) + serialize_s
+        return body
 
     # -- endpoints -----------------------------------------------------------
 
-    async def _post_recommend(self, payload) -> Tuple[int, Dict]:
+    async def _post_recommend(
+        self,
+        payload,
+        context: Optional[Tuple[str, str]] = None,
+        timings: Optional[RequestTimings] = None,
+    ) -> Tuple[int, Dict]:
         request = unified_request_from_dict(
             payload, "request", self.config.parameters
         )
-        shard_id, result = await self._dispatch(request)
-        return 200, self._result_body(shard_id, result)
+        shard_id, result = await self._dispatch(request, context, timings)
+        body = self._result_body(shard_id, result, timings)
+        body["market"] = str(shard_key(request))
+        return 200, body
 
-    async def _post_batch(self, payload) -> Tuple[int, Dict]:
+    async def _post_batch(
+        self,
+        payload,
+        context: Optional[Tuple[str, str]] = None,
+        timings: Optional[RequestTimings] = None,
+    ) -> Tuple[int, Dict]:
         requests = unified_requests_from_json(payload, self.config.parameters)
         if not requests:
             return 200, {"results": []}
         # The client already batched: admit the whole batch, split it
-        # per shard and submit directly — no coalescing window.
-        self._admission.admit(weight=len(requests))
+        # per shard and submit directly — no coalescing window.  One
+        # trace and one (aggregate) timings object cover the batch.
+        with tracing.span("front.admission", batch=len(requests)):
+            self._admission.admit(weight=len(requests))
         started = time.perf_counter()
+        if timings is not None:
+            timings.submitted = started
+            timings.flushed = started
         try:
             groups: Dict[int, List[Tuple[int, object]]] = {}
             for position, request in enumerate(requests):
@@ -243,8 +347,14 @@ class FrontServer:
                         self._resolve_group, _future, results, error
                     )
 
+                group_requests = [r for _, r in entries]
                 try:
-                    shard.submit_batch([r for _, r in entries], on_done)
+                    shard.submit_batch(
+                        group_requests,
+                        on_done,
+                        traces=[context] * len(group_requests),
+                        timings=[timings] * len(group_requests),
+                    )
                 except queue.Full:
                     raise self._admission.shed_queue_full(
                         shard.shard_id, shard.max_queue, shard.depth
@@ -255,7 +365,9 @@ class FrontServer:
             for shard_id, entries, group_future in futures:
                 results = await group_future
                 for (position, _), result in zip(entries, results):
-                    ordered[position] = self._result_body(shard_id, result)
+                    ordered[position] = self._result_body(
+                        shard_id, result, timings
+                    )
             return 200, {"results": ordered}
         finally:
             self._admission.release(
@@ -343,7 +455,9 @@ class FrontServer:
                         )
                         break
                     body = await reader.readexactly(length)
-                status, payload, extra = await self._route(method, path, body)
+                status, payload, extra = await self._route(
+                    method, path, body, headers
+                )
                 state.requests += 1
                 await self._respond(writer, status, payload, extra)
         except (
@@ -385,10 +499,15 @@ class FrontServer:
         return method.upper(), path, headers
 
     async def _route(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, object, Dict[str, str]]:
         started = time.perf_counter()
         endpoint = path.split("?", 1)[0]
+        headers = headers or {}
         extra: Dict[str, str] = {}
         try:
             if method == "GET":
@@ -397,9 +516,17 @@ class FrontServer:
                 elif endpoint == "/stats":
                     status, payload = self._get_stats()
                 elif endpoint == "/metrics":
-                    text = obs_metrics.get_registry().to_prometheus_text()
+                    text = obs_metrics.get_registry().to_prometheus_text(
+                        exemplars=True
+                    )
                     self._count(endpoint, "200", started)
                     return 200, text, {"content-type": "text/plain; version=0.0.4"}
+                elif endpoint == "/debug/flight":
+                    status, payload = self._get_debug_flight()
+                elif endpoint.startswith("/debug/trace/"):
+                    status, payload = self._get_debug_trace(
+                        endpoint[len("/debug/trace/"):]
+                    )
                 else:
                     status, payload = 404, {"error": "not_found", "path": endpoint}
             elif method == "POST":
@@ -409,11 +536,13 @@ class FrontServer:
                     raise RequestValidationError(
                         "body", f"request body is not valid JSON: {exc}"
                     ) from None
-                if endpoint == "/recommend":
-                    status, payload = await self._post_recommend(parsed)
-                elif endpoint == "/batch":
-                    status, payload = await self._post_batch(parsed)
-                elif endpoint == "/admin/swap":
+                if endpoint in ("/recommend", "/batch"):
+                    # The traced request path does its own error
+                    # handling, accounting and response decoration.
+                    return await self._serve_traced(
+                        endpoint, parsed, headers, started
+                    )
+                if endpoint == "/admin/swap":
                     status, payload = await self._post_swap(parsed)
                 elif endpoint == "/admin/invalidate":
                     status, payload = await self._post_invalidate(parsed)
@@ -436,9 +565,139 @@ class FrontServer:
         self._count(endpoint, str(status), started)
         return status, payload, extra
 
-    def _count(self, endpoint: str, status: str, started: float) -> None:
+    async def _serve_traced(
+        self,
+        endpoint: str,
+        parsed,
+        headers: Dict[str, str],
+        started: float,
+    ) -> Tuple[int, object, Dict[str, str]]:
+        """The recommendation path: ``POST /recommend`` and ``/batch``.
+
+        Opens the request's root span (continuing the client's W3C
+        ``traceparent`` when one arrived), decorates the response with
+        ``traceparent`` + ``Server-Timing`` headers and a ``timings``
+        body field, feeds the latency histogram an exemplar and the
+        flight recorder a digest — for every outcome, including sheds.
+        """
+        timings = RequestTimings()
+        incoming = tracing.parse_traceparent(headers.get("traceparent"))
+        extra: Dict[str, str] = {}
+        handler = (
+            self._post_recommend if endpoint == "/recommend" else self._post_batch
+        )
+        context: Optional[Tuple[str, str]] = None
+        try:
+            if tracing.active():
+                attrs: Dict[str, object] = {"endpoint": endpoint}
+                if incoming is not None:
+                    attrs["remote_parent"] = True
+                handle = tracing.span_from_context(
+                    incoming, "front.request", **attrs
+                )
+                with handle:
+                    context = (handle.span.trace_id, handle.span.span_id)
+                    status, payload = await handler(parsed, context, timings)
+                    handle.set("status", status)
+            else:
+                # Tracing off: still mint a context so the response
+                # carries a traceparent and the digest a trace id.
+                trace_id = incoming[0] if incoming else os.urandom(16).hex()
+                context = (trace_id, os.urandom(8).hex())
+                status, payload = await handler(parsed, context, timings)
+        except RequestValidationError as exc:
+            status, payload = 400, exc.to_dict()
+        except OverloadError as exc:
+            status, payload = 503, exc.to_dict()
+            extra["retry-after"] = str(
+                max(exc.retry_after_ms / 1000.0, 0.001)
+            )
+        except Exception as exc:  # noqa: BLE001 - the 500 boundary
+            status, payload = 500, {
+                "error": "internal",
+                "reason": f"{type(exc).__name__}: {exc}",
+            }
+        timings.finished = time.perf_counter()
+        if status == 200 and isinstance(payload, dict):
+            payload["timings"] = timings.breakdown_ms()
+        traceparent = tracing.format_traceparent(context)
+        if traceparent is not None:
+            extra["traceparent"] = traceparent
+        extra["server-timing"] = timings.server_timing()
+        trace_id = context[0] if context is not None else None
+        self._record_digest(trace_id, status, payload, timings)
+        self._count(endpoint, str(status), started, trace_id=trace_id)
+        return status, payload, extra
+
+    def _record_digest(
+        self,
+        trace_id: Optional[str],
+        status: int,
+        payload,
+        timings: RequestTimings,
+    ) -> None:
+        """One flight-recorder digest per recommendation request."""
+        market = shard_id = generation = shed_reason = None
+        if isinstance(payload, dict):
+            market = payload.get("market")
+            shard_id = payload.get("shard")
+            generation = payload.get("generation")
+            if status == 503:
+                shed_reason = payload.get("reason")
+        if generation is None:
+            generation = self.shard_set.generation
+        flight.record(
+            flight.RequestDigest(
+                trace_id=trace_id,
+                market=market,
+                shard=shard_id,
+                generation=generation,
+                status=status,
+                latency_ms=round(timings.total_s * 1000.0, 3),
+                shed_reason=shed_reason,
+            )
+        )
+
+    def _get_debug_trace(self, trace_id: str) -> Tuple[int, Dict]:
+        """``GET /debug/trace/<trace_id>`` — the reassembled span tree."""
+        trace_id = trace_id.strip().strip("/")
+        if not trace_id:
+            return 404, {"error": "not_found", "path": "/debug/trace/"}
+        if self._trace_buffer is None:
+            return 404, {
+                "error": "tracing_disabled",
+                "detail": "start the server with tracing enabled",
+            }
+        tree = tracing.assemble_trace(self._trace_buffer.spans(), trace_id)
+        if not tree.spans:
+            return 404, {"error": "trace_not_found", "trace_id": trace_id}
+        return 200, tree.to_dict()
+
+    def _get_debug_flight(self) -> Tuple[int, Dict]:
+        """``GET /debug/flight`` — recorder stats + recent digests."""
+        recorder = flight.get_recorder()
+        if recorder is None:
+            return 404, {
+                "error": "flight_recorder_disabled",
+                "detail": "start the server with the flight recorder enabled",
+            }
+        stats = recorder.stats()
+        stats["digests"] = [
+            digest.to_dict() for digest in recorder.digests(limit=200)
+        ]
+        return 200, stats
+
+    def _count(
+        self,
+        endpoint: str,
+        status: str,
+        started: float,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self._requests_counter.labels(endpoint=endpoint, status=status).inc()
-        self._latency_histogram.observe(time.perf_counter() - started)
+        self._latency_histogram.observe(
+            time.perf_counter() - started, exemplar=trace_id
+        )
 
     async def _respond(
         self,

@@ -79,15 +79,24 @@ class _SwapSentinel:
 
 
 class _BatchItem:
-    __slots__ = ("requests", "on_done")
+    __slots__ = ("requests", "on_done", "traces", "timings")
 
     def __init__(
         self,
         requests: Sequence[RecommendRequest],
         on_done: Callable[[Optional[List[RecommendResult]], Optional[BaseException]], None],
+        traces: Optional[Sequence] = None,
+        timings: Optional[Sequence] = None,
     ):
         self.requests = requests
         self.on_done = on_done
+        #: Per-request ``(trace_id, span_id)`` contexts (or ``None``s) —
+        #: the shard worker re-roots its spans under each request's
+        #: ``front.request`` span.
+        self.traces = traces
+        #: Per-request :class:`RequestTimings` (or ``None``s) — stamped
+        #: ``dequeued`` when the worker picks the batch up.
+        self.timings = timings
 
 
 class EngineShard:
@@ -127,10 +136,17 @@ class EngineShard:
         self,
         requests: Sequence[RecommendRequest],
         on_done: Callable[[Optional[List[RecommendResult]], Optional[BaseException]], None],
+        traces: Optional[Sequence] = None,
+        timings: Optional[Sequence] = None,
     ) -> None:
         """Enqueue one micro-batch; raises :class:`queue.Full` when the
-        shard's bound is hit (the caller sheds with a structured 503)."""
-        self._queue.put_nowait(_BatchItem(requests, on_done))
+        shard's bound is hit (the caller sheds with a structured 503).
+
+        ``traces``/``timings`` are optional per-request observability
+        context (same length as ``requests``) carried across the
+        thread boundary.
+        """
+        self._queue.put_nowait(_BatchItem(requests, on_done, traces, timings))
         self._depth_gauge.set(float(self._queue.qsize()))
 
     def swap(self, service: RecommendationService) -> threading.Event:
@@ -152,14 +168,49 @@ class EngineShard:
                 self._service = item.service
                 item.done.set()
                 continue
+            if item.timings:
+                dequeued = time.perf_counter()
+                for entry in item.timings:
+                    if entry is not None:
+                        entry.dequeued = dequeued
             try:
-                results = self._service.handle_batch(item.requests)
+                results = self._handle_item(item)
             except BaseException as exc:  # noqa: BLE001 - forwarded to caller
                 item.on_done(None, exc)
             else:
                 self.served += len(results)
                 self.batches += 1
                 item.on_done(results, None)
+
+    def _handle_item(self, item: _BatchItem) -> List[RecommendResult]:
+        """Serve one dequeued micro-batch, under its trace contexts.
+
+        With tracing enabled and propagated contexts present, the batch
+        runs inside a ``front.batch`` span (parented at the first traced
+        request, linking every member trace) and each request is served
+        under its own ``shard.handle`` span re-rooted at that request's
+        ``front.request`` context — so engine/pool spans land in the
+        right trace.  Otherwise this is exactly ``handle_batch``.
+        """
+        traces = item.traces
+        if not tracing.active() or not traces or not any(traces):
+            return self._service.handle_batch(item.requests)
+        first = next(trace for trace in traces if trace)
+        links = [trace[0] for trace in traces if trace]
+        with tracing.span_from_context(
+            first,
+            "front.batch",
+            shard=self.shard_id,
+            batch_size=len(item.requests),
+            links=links,
+        ):
+            results: List[RecommendResult] = []
+            for request, trace in zip(item.requests, traces):
+                with tracing.span_from_context(
+                    trace, "shard.handle", shard=self.shard_id
+                ):
+                    results.append(self._service.handle(request))
+            return results
 
     def stop(self, timeout: float = 5.0) -> None:
         self._queue.put(_STOP)

@@ -1,197 +1,38 @@
-"""Service metrics: a thin facade over the unified obs registry.
+"""Deprecated shim — service metrics now live in :mod:`repro.obs.metrics`.
 
-A long-lived recommendation service needs observable behaviour — cache
-effectiveness, how often the rule-book cold-start path fires, how much
-voting evidence backs the answers, how long snapshot refreshes take.
-The counters and histograms themselves now live in a
-:class:`repro.obs.metrics.MetricsRegistry` (one per
-:class:`ServiceMetrics` instance, always on, independent of the
-process-global registry); this module keeps the historical recording
-API — ``record_request`` / ``record_cache`` / … — and the exact
-``as_dict()`` / ``summary()`` shapes tests and the CLI rely on, while
-gaining the registry's Prometheus text exposition for free.
+``LatencyHistogram`` and ``ServiceMetrics`` were folded into the unified
+observability registry module (they were already backed by it); this
+module survives one deprecation cycle so external imports keep working.
+Import from :mod:`repro.obs.metrics` instead.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import warnings
 
-from repro.obs.metrics import (
+from repro.obs.metrics import (  # noqa: F401 - re-exported compatibility aliases
     DEFAULT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_REFRESH_BUCKETS,
     BucketHistogram,
+    LatencyHistogram,
     MetricsRegistry,
+    ServiceMetrics,
 )
 
-#: Default refresh-duration buckets (seconds) — refits are much slower.
-DEFAULT_REFRESH_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_REFRESH_BUCKETS",
+    "BucketHistogram",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "ServiceMetrics",
+]
 
-
-class LatencyHistogram(BucketHistogram):
-    """A fixed-bucket cumulative histogram (Prometheus-style ``le``).
-
-    Kept as a compatibility alias of
-    :class:`repro.obs.metrics.BucketHistogram`; the only difference is
-    the service-tuned default bucket layout.
-    """
-
-    def __init__(self, buckets=DEFAULT_LATENCY_BUCKETS):
-        super().__init__(buckets)
-
-
-class ServiceMetrics:
-    """Counters + histograms for one :class:`RecommendationService`.
-
-    Thread-safe: the service answers requests from many threads, and the
-    refresher records from a background thread; every instrument sits
-    behind the backing registry's single lock.
-    """
-
-    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
-        #: The backing registry; expose it so embedders can scrape the
-        #: service in Prometheus text form (:meth:`to_prometheus_text`).
-        self.registry = registry if registry is not None else MetricsRegistry()
-        reg = self.registry
-        self._requests = reg.counter(
-            "repro_service_requests_total", "Recommendation requests served"
-        )
-        self._parameters = reg.counter(
-            "repro_service_parameters_served_total",
-            "Parameter recommendations served",
-        )
-        self._cache = reg.counter(
-            "repro_service_cache_lookups_total",
-            "Vote-cache lookups by result",
-            labelnames=("result",),
-        )
-        self._fallbacks = reg.counter(
-            "repro_service_fallbacks_total",
-            "Cold-start rule-book fallbacks served",
-        )
-        self._invalidations = reg.counter(
-            "repro_service_invalidations_total", "Vote-cache invalidations"
-        )
-        self._refreshes = reg.counter(
-            "repro_service_refreshes_total", "Engine snapshot refreshes"
-        )
-        self._votes = reg.counter(
-            "repro_service_votes_total", "Matched-carrier votes counted"
-        )
-        self.request_latency = reg.histogram(
-            "repro_service_request_latency_seconds",
-            "Request latency",
-            buckets=DEFAULT_LATENCY_BUCKETS,
-        )
-        self.refresh_duration = reg.histogram(
-            "repro_service_refresh_duration_seconds",
-            "Snapshot refresh duration",
-            buckets=DEFAULT_REFRESH_BUCKETS,
-        )
-
-    # -- recording ----------------------------------------------------------
-
-    def record_request(self, latency_s: float, parameters: int) -> None:
-        self._requests.inc()
-        self._parameters.inc(parameters)
-        self.request_latency.observe(latency_s)
-
-    def record_cache(self, hit: bool) -> None:
-        self._cache.labels("hit" if hit else "miss").inc()
-
-    def record_votes(self, matched: float) -> None:
-        self._votes.inc(matched)
-
-    def record_fallback(self) -> None:
-        self._fallbacks.inc()
-
-    def record_invalidation(self, entries_dropped: int = 0) -> None:
-        self._invalidations.inc()
-
-    def record_refresh(self, duration_s: float) -> None:
-        self._refreshes.inc()
-        self.refresh_duration.observe(duration_s)
-
-    # -- counter views ------------------------------------------------------
-
-    @property
-    def requests(self) -> int:
-        return int(self._requests.value)
-
-    @property
-    def parameters_served(self) -> int:
-        return int(self._parameters.value)
-
-    @property
-    def cache_hits(self) -> int:
-        return int(self._cache.labels("hit").value)
-
-    @property
-    def cache_misses(self) -> int:
-        return int(self._cache.labels("miss").value)
-
-    @property
-    def fallbacks(self) -> int:
-        return int(self._fallbacks.value)
-
-    @property
-    def invalidations(self) -> int:
-        return int(self._invalidations.value)
-
-    @property
-    def refreshes(self) -> int:
-        return int(self._refreshes.value)
-
-    @property
-    def votes(self) -> float:
-        return self._votes.value
-
-    # -- derived rates ------------------------------------------------------
-
-    @property
-    def cache_hit_rate(self) -> float:
-        lookups = self.cache_hits + self.cache_misses
-        return self.cache_hits / lookups if lookups else 0.0
-
-    @property
-    def fallback_rate(self) -> float:
-        served = self.parameters_served
-        return self.fallbacks / served if served else 0.0
-
-    @property
-    def votes_per_request(self) -> float:
-        requests = self.requests
-        return self.votes / requests if requests else 0.0
-
-    def as_dict(self) -> Dict:
-        """A plain-dict export (for tests, the CLI and log lines)."""
-        return {
-            "requests": self.requests,
-            "parameters_served": self.parameters_served,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_hit_rate": self.cache_hit_rate,
-            "fallbacks": self.fallbacks,
-            "fallback_rate": self.fallback_rate,
-            "invalidations": self.invalidations,
-            "refreshes": self.refreshes,
-            "votes": self.votes,
-            "votes_per_request": self.votes_per_request,
-            "request_latency": self.request_latency.as_dict(),
-            "refresh_duration": self.refresh_duration.as_dict(),
-        }
-
-    def to_prometheus_text(self) -> str:
-        """The backing registry in Prometheus text exposition format."""
-        return self.registry.to_prometheus_text()
-
-    def summary(self) -> str:
-        """A one-paragraph human rendering for the CLI."""
-        d = self.as_dict()
-        return (
-            f"requests={d['requests']} parameters={d['parameters_served']} "
-            f"cache_hit_rate={d['cache_hit_rate']:.1%} "
-            f"fallbacks={d['fallbacks']} ({d['fallback_rate']:.1%}) "
-            f"votes/request={d['votes_per_request']:.1f} "
-            f"mean_latency={d['request_latency']['mean'] * 1e3:.3f}ms "
-            f"refreshes={d['refreshes']}"
-        )
+warnings.warn(
+    "repro.serve.metrics is deprecated; import LatencyHistogram/"
+    "ServiceMetrics from repro.obs.metrics instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

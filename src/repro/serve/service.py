@@ -56,7 +56,7 @@ from repro.obs.health import (
     DriftWindow,
 )
 from repro.obs.provenance import ResultExplanation
-from repro.serve.metrics import ServiceMetrics
+from repro.obs.metrics import ServiceMetrics
 from repro.serve.validation import (
     new_carrier_request_from_dict,
     new_carrier_requests_from_json,

@@ -10,7 +10,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullInstrument,
 )
-from repro.serve.metrics import LatencyHistogram, ServiceMetrics
+from repro.obs.metrics import LatencyHistogram, ServiceMetrics
 
 _SAMPLE = re.compile(r"^(\w+)(\{[^}]*\})? (.+)$")
 

@@ -277,3 +277,183 @@ class TestThreadSpanTracking:
             assert tracing.thread_span_stack(idents[0]) == ()
         finally:
             tracing.track_thread_spans(False)
+
+
+class TestTraceparent:
+    """W3C traceparent parsing/formatting round-trips."""
+
+    def test_valid_header_parses(self):
+        header = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+        assert tracing.parse_traceparent(header) == ("ab" * 16, "cd" * 8)
+
+    def test_case_and_whitespace_normalized(self):
+        header = "  00-" + "AB" * 16 + "-" + "CD" * 8 + "-01  "
+        assert tracing.parse_traceparent(header) == ("ab" * 16, "cd" * 8)
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "nonsense",
+            "00-short-cdcdcdcdcdcdcdcd-01",            # trace id too short
+            "00-" + "ab" * 16 + "-" + "cd" * 8,        # missing flags
+            "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01-extra",  # v00 + extra
+            "00-" + "zz" * 16 + "-" + "cd" * 8 + "-01",  # non-hex trace
+            "00-" + "00" * 16 + "-" + "cd" * 8 + "-01",  # all-zero trace
+            "00-" + "ab" * 16 + "-" + "00" * 8 + "-01",  # all-zero parent
+            "ff-" + "ab" * 16 + "-" + "cd" * 8 + "-01",  # forbidden version
+            "0-" + "ab" * 16 + "-" + "cd" * 8 + "-01",   # 1-char version
+        ],
+    )
+    def test_malformed_headers_are_absent_not_errors(self, header):
+        assert tracing.parse_traceparent(header) is None
+
+    def test_future_version_with_suffix_fields_accepted(self):
+        header = "42-" + "ab" * 16 + "-" + "cd" * 8 + "-01-future-stuff"
+        assert tracing.parse_traceparent(header) == ("ab" * 16, "cd" * 8)
+
+    def test_format_round_trips(self):
+        context = ("ab" * 16, "cd" * 8)
+        assert tracing.parse_traceparent(
+            tracing.format_traceparent(context)
+        ) == context
+
+    def test_format_pads_legacy_short_ids(self):
+        header = tracing.format_traceparent(("deadbeef" * 2, "feed" * 4))
+        parsed = tracing.parse_traceparent(header)
+        assert parsed is not None
+        assert parsed[0].endswith("deadbeef" * 2)
+        assert len(parsed[0]) == 32
+
+    def test_format_none_is_none(self):
+        assert tracing.format_traceparent(None) is None
+
+    def test_root_spans_mint_w3c_width_trace_ids(self, ring):
+        with tracing.span("root"):
+            pass
+        (span,) = ring.spans()
+        assert len(span.trace_id) == 32
+        assert int(span.trace_id, 16) != 0
+
+
+class TestAssembleTrace:
+    def test_tree_structure_and_orphans(self, ring):
+        with tracing.span("root"):
+            with tracing.span("child"):
+                pass
+        # A span claiming a parent that never arrived is an orphan...
+        tracing.record_span("lost", ("x" * 32, "f" * 16), 0.0, 0.1)
+        # ...unless the parent is explicitly remote.
+        tracing.record_span(
+            "remote-rooted", ("x" * 32, "e" * 16), 0.0, 0.1,
+            remote_parent=True,
+        )
+        spans = ring.spans()
+        root_trace = spans[0].trace_id
+        tree = tracing.assemble_trace(spans, root_trace)
+        assert [s.name for s in tree.roots] == ["root"]
+        assert [s.name for s in tree.children[tree.roots[0].span_id]] == [
+            "child"
+        ]
+        assert tree.orphans == []
+
+        lost_tree = tracing.assemble_trace(spans, "x" * 32)
+        assert {s.name for s in lost_tree.orphans} == {"lost"}
+        assert {s.name for s in lost_tree.roots} == {"remote-rooted"}
+
+    def test_accepts_dicts_and_normalizes_short_ids(self, ring):
+        with tracing.span("root"):
+            pass
+        dicts = [span.to_dict() for span in ring.spans()]
+        trace_id = dicts[0]["trace_id"]
+        # Query by the zero-stripped and the padded form alike.
+        for key in (trace_id, trace_id.lstrip("0"), trace_id.rjust(32, "0")):
+            tree = tracing.assemble_trace(dicts, key)
+            assert len(tree.spans) == 1
+
+    def test_render_marks_orphans(self):
+        spans = [
+            {
+                "name": "dangling", "trace_id": "t" * 32,
+                "span_id": "a" * 16, "parent_id": "b" * 16,
+                "start_time": 0.0, "duration_s": 0.001,
+                "attributes": {}, "pid": 1, "status": "ok",
+            }
+        ]
+        rendered = tracing.assemble_trace(spans, "t" * 32).render()
+        assert "!!" in rendered and "dangling" in rendered
+
+    def test_to_dict_counts(self, ring):
+        with tracing.span("root"):
+            with tracing.span("child"):
+                pass
+        tree = tracing.assemble_trace(ring.spans(), ring.spans()[0].trace_id)
+        doc = tree.to_dict()
+        assert doc["span_count"] == 2
+        assert doc["orphan_count"] == 0
+        assert doc["roots"][0]["children"][0]["name"] == "child"
+
+
+class TestJsonlExporterThreadSafety:
+    def test_concurrent_export_and_close(self, tmp_path):
+        """Writers racing a close never raise; the file stays valid JSONL."""
+        import threading
+
+        path = str(tmp_path / "spans.jsonl")
+        exporter = JsonlExporter(path)
+
+        def write_many():
+            for i in range(200):
+                exporter.export(Span(f"s{i}", "t" * 32, f"{i:016d}", None))
+
+        threads = [threading.Thread(target=write_many) for _ in range(4)]
+        for t in threads:
+            t.start()
+        exporter.close()
+        for t in threads:
+            t.join()
+        exporter.close()  # idempotent
+        with open(path) as handle:
+            for line in handle:
+                json.loads(line)
+
+    def test_double_flush_via_exit_path(self, tmp_path):
+        """atexit + signal handler both flushing the same exporter is safe."""
+        path = str(tmp_path / "spans.jsonl")
+        exporter = JsonlExporter(path)
+        exporter.export(Span("one", "t" * 32, "a" * 16, None))
+        tracing.install_exit_flush(exporter)
+        try:
+            assert tracing.flush_exit_exporters() >= 1
+            assert tracing.flush_exit_exporters() >= 1  # second flush: no-op
+        finally:
+            tracing.uninstall_exit_flush(exporter)
+        assert len(open(path).read().splitlines()) == 1
+
+
+class TestSpawnPoolPropagation:
+    def test_spawn_workers_join_master_trace(self, ring, monkeypatch):
+        """Context propagation survives a spawn-start pool — workers
+        share nothing with the master but the shipped context tuple."""
+        import multiprocessing
+
+        from repro.parallel.pool import START_METHOD_ENV
+
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn start method unavailable")
+        monkeypatch.setenv("REPRO_POOL_ADAPTIVE", "0")
+        monkeypatch.setenv(START_METHOD_ENV, "spawn")
+        with tracing.span("root"):
+            results = run_tasks(None, _traced_double, [7, 8], jobs=2)
+        assert results == [14, 16]
+        spans = ring.spans()
+        root = next(s for s in spans if s.name == "root")
+        assert {s.trace_id for s in spans} == {root.trace_id}
+        tasks = [s for s in spans if s.name == "pool.task:_traced_double"]
+        assert len(tasks) == 2
+        # The worker-side boundary spans carry the remote-parent mark,
+        # so a worker-only span set assembles without false orphans.
+        assert all(s.attributes.get("remote_parent") for s in tasks)
+        tree = tracing.assemble_trace(tasks, root.trace_id)
+        assert tree.orphans == []

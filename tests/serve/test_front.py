@@ -149,8 +149,8 @@ class TestCoalescer:
             assert len(flushed) == 1
             assert len(flushed[0]) == 3
             assert coalescer.pending == 0
-            for _, future in flushed[0]:
-                future.cancel()
+            for entry in flushed[0]:
+                entry.future.cancel()
             await asyncio.sleep(0)
             return futures
 
@@ -169,8 +169,8 @@ class TestCoalescer:
             await asyncio.sleep(0.05)
             assert len(flushed) == 1
             assert len(flushed[0]) == 2
-            for _, future in flushed[0]:
-                future.cancel()
+            for entry in flushed[0]:
+                entry.future.cancel()
 
         self._run(scenario())
 
@@ -183,8 +183,8 @@ class TestCoalescer:
             )
             coalescer.submit(object())
             assert len(flushed) == 1
-            for _, future in flushed[0]:
-                future.cancel()
+            for entry in flushed[0]:
+                entry.future.cancel()
 
         self._run(scenario())
 
