@@ -13,6 +13,7 @@ carrier's own configured value must not vote for itself.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -285,8 +286,19 @@ class AuricEngine:
         self.drift_baseline: Optional[DriftBaseline] = None
         # When True, _finish captures the full vote distribution on each
         # ParameterRecommendation (set around explain-flagged requests;
-        # the hot path leaves it off).
-        self._capture_votes = False
+        # the hot path leaves it off).  Thread-local so a concurrent
+        # explain request never flips a plain request on another thread
+        # onto the capture path (the lock-free service serves many
+        # threads from one engine).
+        self._capture_state = threading.local()
+
+    @property
+    def _capture_votes(self) -> bool:
+        return getattr(self._capture_state, "value", False)
+
+    @_capture_votes.setter
+    def _capture_votes(self, value: bool) -> None:
+        self._capture_state.value = value
 
     # -- data access --------------------------------------------------------
 
@@ -954,6 +966,99 @@ class AuricEngine:
             return self._recommend_global_fast(model, parameter, cell, exclude)
         return self._recommend_global_slow(model, parameter, cell, exclude)
 
+    def table_global_votes(
+        self,
+        parameter: str,
+        cells: Sequence[Tuple[AttributeValue, ...]],
+        excludes: Optional[Sequence[Optional[Hashable]]] = None,
+    ) -> List[Optional[ParameterRecommendation]]:
+        """Exact-cell global votes answered straight from the plurality
+        table, vectorized over the batch.
+
+        The batch-serving planner's kernel: all no-exclusion cells are
+        resolved with one :meth:`CellVoteTable.vote_many` gather;
+        leave-one-out entries take the scalar :meth:`_table_outcome`
+        path (rare in serving batches, branchy tie-break).  Entries the
+        table cannot answer — unknown cells, emptied cells, or a model
+        on the legacy/weighted/capture path where there is no table at
+        all — come back as ``None`` and the caller falls through to the
+        per-target vote, exactly like a ``None`` from
+        :meth:`_table_outcome`.  Never raises: a cell with no voters
+        anywhere is still just ``None`` here.
+        """
+        n = len(cells)
+        if excludes is None:
+            excludes = [None] * n
+        model = self._models.get(parameter)
+        if model is None:
+            return [None] * n
+        table = self._cell_vote_table(model)
+        if table is None:
+            return [None] * n
+        out: List[Optional[ParameterRecommendation]] = [None] * n
+        threshold = self.config.support_threshold
+        name = model.spec.name
+        dependent = model.dependent_names
+        plain = [i for i in range(n) if excludes[i] is None]
+        if plain:
+            known, values, tops, totals = table.vote_many(
+                [cells[i] for i in plain]
+            )
+            for j, i in enumerate(plain):
+                if not known[j]:
+                    continue
+                top = tops[j]
+                total = totals[j]
+                support = top / total if total else 0.0
+                out[i] = ParameterRecommendation(
+                    parameter=name,
+                    value=values[j],
+                    support=support,
+                    matched=float(total),
+                    confident=support >= threshold,
+                    scope="global",
+                    dependent_attributes=dependent,
+                    votes=(),
+                )
+        for i in range(n):
+            if excludes[i] is not None:
+                out[i] = self._table_outcome(model, table, cells[i], excludes[i])
+        return out
+
+    def recommend_global_cells(
+        self,
+        parameter: str,
+        cells: Sequence[Tuple[AttributeValue, ...]],
+        excludes: Optional[Sequence[Optional[Hashable]]] = None,
+    ) -> List[ParameterRecommendation]:
+        """Batched :meth:`recommend_global` over precomputed cells.
+
+        Element-wise byte-identical to calling :meth:`recommend_global`
+        on each cell's source row: the vectorized table pass answers
+        the common exact-cell case, and every ``None`` falls through
+        the same relaxed/legacy chain the scalar call uses (including
+        raising :class:`RecommendationError` for a cell with no votes
+        anywhere).
+        """
+        model = self._model(parameter)
+        n = len(cells)
+        if excludes is None:
+            excludes = [None] * n
+        out = self.table_global_votes(parameter, cells, excludes)
+        table = self._cell_vote_table(model)
+        for i in range(n):
+            if out[i] is not None:
+                continue
+            if table is not None:
+                out[i] = self._recommend_global_fast(
+                    model, parameter, cells[i], excludes[i]
+                )
+            else:
+                out[i] = self._recommend_global_slow(
+                    model, parameter, cells[i], excludes[i]
+                )
+        return out
+
     def _recommend_global_slow(
         self,
         model: _ParameterModel,
@@ -1380,6 +1485,19 @@ class AuricEngine:
             self.request_neighborhood(request) if request.local else set()
         )
         return attributes, row, neighborhood, None
+
+    def resolve_many(
+        self, requests: Sequence[RecommendRequest]
+    ) -> List[Tuple["CarrierAttributes", Row, Set[CarrierId], Optional[Hashable]]]:
+        """Resolve a micro-batch of requests in one pass (in order).
+
+        Same contract as :meth:`resolve_request` per element.  Burst
+        traffic repeats carriers and eNodeBs, so the row cache and
+        neighborhood lookups are hot here; hoisting the method lookups
+        keeps the per-request cost to the dict probes themselves.
+        """
+        resolve = self.resolve_request
+        return [resolve(request) for request in requests]
 
     def handle(self, request: RecommendRequest) -> RecommendResult:
         """Serve one unified request straight from the engine.

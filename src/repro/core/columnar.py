@@ -316,6 +316,40 @@ class CellVoteTable:
             return self._value1[slot], reduced, total
         return self._value2[slot], top2, total
 
+    def vote_many(
+        self, cells: Sequence[Tuple]
+    ) -> Tuple[np.ndarray, List[Optional[ParameterValue]], np.ndarray, np.ndarray]:
+        """Plain (no-exclusion) votes for a batch of cells in one pass.
+
+        Returns ``(known, values, tops, totals)`` aligned with
+        ``cells``: ``known[i]`` is False for cells the table has never
+        seen (``values[i]`` is then ``None`` and the caller must take
+        the relaxation path, exactly as a ``None`` from :meth:`vote`).
+        The per-cell stats are gathered with one fancy-indexing pass
+        over the plurality arrays, so a micro-batch's distinct cells
+        cost one numpy gather instead of ``len(cells)`` dict walks;
+        element-wise the results are identical to scalar :meth:`vote`
+        calls (same arrays, same dtypes).
+
+        Leave-one-out exclusions stay on the scalar path: they are rare
+        in serving batches and their tie-break arithmetic is branchy.
+        """
+        n = len(cells)
+        lookup = self._slots.get
+        slots = np.fromiter(
+            (lookup(cell, -1) for cell in cells), dtype=np.intp, count=n
+        )
+        known = slots >= 0
+        safe = np.where(known, slots, 0)
+        tops = self._top1[safe]
+        totals = self._totals[safe]
+        value1 = self._value1
+        values: List[Optional[ParameterValue]] = [
+            value1[slot] if ok else None
+            for slot, ok in zip(slots.tolist(), known.tolist())
+        ]
+        return known, values, tops, totals
+
 
 def plurality(label_codes: Sequence[int]) -> Tuple[int, int]:
     """``(winner code, count)`` of a small code sequence, with

@@ -190,6 +190,10 @@ class RecommendResult:
     ``exclude`` the leave-one-out key (if any) that was withheld from
     the electorate.  ``explain`` carries the per-parameter provenance
     records when the request asked for them (None otherwise).
+    ``generation`` is the serving snapshot generation that answered
+    (service layer only; None elsewhere) — under concurrent snapshot
+    refresh it always matches the engine that actually voted, because
+    the service reads both from one immutable state object.
     """
 
     request: RecommendRequest
@@ -198,6 +202,7 @@ class RecommendResult:
     duration_s: float = 0.0
     exclude: Optional[Hashable] = None
     explain: Optional[ResultExplanation] = None
+    generation: Optional[int] = None
 
     @property
     def parameters(self) -> Tuple[str, ...]:

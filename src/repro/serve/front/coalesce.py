@@ -87,6 +87,15 @@ class Coalescer:
             "repro_front_coalesced_total",
             "Requests that shared a flush with at least one other request",
         )
+        # Distinct request targets per flush: the upper bound on how
+        # many votes the downstream batch planner must compute, so
+        # (batch size − distinct targets) is the dedup opportunity the
+        # coalescing window actually created.
+        self._distinct_histogram = obs_metrics.histogram(
+            "repro_front_batch_distinct_targets",
+            "Distinct request labels per coalesced flush",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
 
     @property
     def pending(self) -> int:
@@ -139,6 +148,12 @@ class Coalescer:
         self._batch_histogram.observe(float(len(batch)))
         if len(batch) > 1:
             self._coalesced_counter.inc(len(batch))
+            labels = {
+                label() if (label := getattr(entry.request, "label", None))
+                else id(entry.request)
+                for entry in batch
+            }
+            self._distinct_histogram.observe(float(len(labels)))
         self._flush_fn(batch)
         return len(batch)
 

@@ -185,12 +185,14 @@ class EngineShard:
     def _handle_item(self, item: _BatchItem) -> List[RecommendResult]:
         """Serve one dequeued micro-batch, under its trace contexts.
 
+        Both paths route through ``handle_batch`` — and so through the
+        one-vote-per-distinct-cell planner for multi-request batches.
         With tracing enabled and propagated contexts present, the batch
         runs inside a ``front.batch`` span (parented at the first traced
-        request, linking every member trace) and each request is served
-        under its own ``shard.handle`` span re-rooted at that request's
-        ``front.request`` context — so engine/pool spans land in the
-        right trace.  Otherwise this is exactly ``handle_batch``.
+        request, linking every member trace) and the service wraps each
+        request's serving in its own ``shard.handle`` span re-rooted at
+        that request's ``front.request`` context — so engine/planner
+        spans land in the right trace.
         """
         traces = item.traces
         if not tracing.active() or not traces or not any(traces):
@@ -204,13 +206,9 @@ class EngineShard:
             batch_size=len(item.requests),
             links=links,
         ):
-            results: List[RecommendResult] = []
-            for request, trace in zip(item.requests, traces):
-                with tracing.span_from_context(
-                    trace, "shard.handle", shard=self.shard_id
-                ):
-                    results.append(self._service.handle(request))
-            return results
+            return self._service.handle_batch(
+                item.requests, traces=traces, shard=self.shard_id
+            )
 
     def stop(self, timeout: float = 5.0) -> None:
         self._queue.put(_STOP)
@@ -228,6 +226,7 @@ class ShardSet:
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_queue: int = DEFAULT_MAX_QUEUE,
         warm: bool = True,
+        batch_planner: bool = True,
     ) -> None:
         if shards < 1:
             raise ValueError("shard count must be positive")
@@ -235,10 +234,16 @@ class ShardSet:
             rulebook = RuleBook(engine.catalog)
         self.rulebook = rulebook
         self.cache_size = cache_size
+        #: Forwarded to every shard service (including hot-swap
+        #: replacements): False pins the serial per-request loop.
+        self.batch_planner = batch_planner
         if warm:
             engine.warm_votes()
         self._services = [
-            RecommendationService(engine, rulebook, cache_size=cache_size)
+            RecommendationService(
+                engine, rulebook, cache_size=cache_size,
+                batch_planner=batch_planner,
+            )
             for _ in range(shards)
         ]
         self._shards = [
@@ -340,7 +345,8 @@ class ShardSet:
 
                 new_services = [
                     RecommendationService(
-                        engine, self.rulebook, cache_size=self.cache_size
+                        engine, self.rulebook, cache_size=self.cache_size,
+                        batch_planner=self.batch_planner,
                     )
                     for _ in self._shards
                 ]

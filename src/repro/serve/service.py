@@ -8,15 +8,31 @@ controller, rather than the fit-per-call pattern the experiments use.
 
 Design points:
 
-* **Thread-safe.** All public entry points take one re-entrant lock;
-  the engine is swapped atomically on refresh, so in-flight requests
-  always see a complete model (stale-but-available serving).
-* **LRU-cached voting.** A parameter recommendation for a new carrier
-  depends only on (dependent-attribute cell, neighborhood scope) — two
-  requests that agree on the attributes the parameter depends on and on
-  their local voters get the same answer, so the vote is computed once.
-  The cache is invalidated when the snapshot refreshes and, per
-  parameter, when a :class:`~repro.ops.history.ChangeLog` entry lands.
+* **Lock-free reads.** The serving state — engine plus its generation
+  counter — lives in one immutable :class:`_EngineState` object that
+  readers load with a single attribute read and writers replace
+  atomically, so concurrent ``handle``/``handle_batch`` calls from
+  shard threads never serialize on a service lock.  A request always
+  sees a consistent (engine, generation) pair: the generation stamped
+  on its result is the generation of the engine that actually voted.
+  Mutators (refresh, invalidation, drift enablement) still take one
+  re-entrant write lock against each other.
+* **Generation-stamped, lock-striped vote cache.** A parameter
+  recommendation for a new carrier depends only on
+  (dependent-attribute cell, neighborhood scope) — two requests that
+  agree on the attributes the parameter depends on and on their local
+  voters get the same answer, so the vote is computed once.  Keys
+  carry the snapshot generation, which makes every pre-swap entry
+  unreachable the moment the snapshot refreshes; entries are spread
+  over independently locked LRU stripes so concurrent readers rarely
+  contend on the same stripe lock.  Per-parameter invalidation (a
+  :class:`~repro.ops.history.ChangeLog` entry) is O(entries dropped)
+  via a per-parameter key index.
+* **Batched serving.** ``handle_batch`` routes multi-request
+  micro-batches through :mod:`repro.serve.batchplan`, which computes
+  each *distinct* (parameter, cell, scope, exclusion) vote exactly
+  once per batch — byte-identical to the serial loop, dispositions and
+  provenance included (``planner=False`` pins the serial loop).
 * **Cold-start fallback.** A parameter with no fitted model, or a vote
   that cannot produce a value, falls back to the operational rule-book
   (mirroring :class:`~repro.core.pipeline.RecommendationPipeline`) and
@@ -92,13 +108,20 @@ def requests_from_json(payload) -> List[NewCarrierRequest]:
 
 
 class _LRUCache:
-    """A minimal LRU mapping (not thread-safe; the service locks)."""
+    """A minimal LRU mapping (not thread-safe; stripes lock around it).
+
+    Every key is a tuple led by the parameter name, and a per-parameter
+    key index is maintained alongside the LRU order so ChangeLog
+    invalidation drops one parameter's entries in O(entries dropped)
+    instead of scanning the whole capacity.
+    """
 
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
         self._data: "OrderedDict[Hashable, ParameterRecommendation]" = OrderedDict()
+        self._by_parameter: Dict[str, Set[Hashable]] = {}
 
     def __len__(self) -> int:
         return len(self._data)
@@ -109,23 +132,125 @@ class _LRUCache:
             self._data.move_to_end(key)
         return value
 
+    def peek(self, key: Hashable) -> Optional[ParameterRecommendation]:
+        """Read without touching the LRU order (batch planning must not
+        perturb the recency the serial replay would produce)."""
+        return self._data.get(key)
+
     def put(self, key: Hashable, value: ParameterRecommendation) -> None:
+        if key not in self._data:
+            self._by_parameter.setdefault(key[0], set()).add(key)
         self._data[key] = value
         self._data.move_to_end(key)
         while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+            evicted, _ = self._data.popitem(last=False)
+            self._unindex(evicted)
+
+    def _unindex(self, key: Hashable) -> None:
+        keys = self._by_parameter.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_parameter[key[0]]
 
     def clear(self) -> int:
         dropped = len(self._data)
         self._data.clear()
+        self._by_parameter.clear()
         return dropped
 
     def drop_parameter(self, parameter: str) -> int:
         """Drop every entry belonging to one parameter (keys lead with it)."""
-        stale = [k for k in self._data if k[0] == parameter]
+        stale = self._by_parameter.pop(parameter, None)
+        if not stale:
+            return 0
         for key in stale:
             del self._data[key]
         return len(stale)
+
+
+#: Lock stripes in the vote cache: enough that shard threads rarely
+#: collide on one stripe lock, few enough that per-stripe LRU capacity
+#: stays meaningful.
+DEFAULT_CACHE_STRIPES = 8
+
+
+class _StripedCache:
+    """A lock-striped LRU: keys hash to one of N independently locked
+    :class:`_LRUCache` stripes.
+
+    Concurrent readers only contend when their keys land on the same
+    stripe; total capacity is split evenly (each stripe gets
+    ``ceil(capacity / stripes)``).  Whole-cache operations (``clear``,
+    ``drop_parameter``, ``__len__``) take the stripe locks one at a
+    time — they are rare control-plane events and need no global
+    atomicity beyond what generation-stamped keys already give.
+    """
+
+    def __init__(self, capacity: int, stripes: int = DEFAULT_CACHE_STRIPES):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        count = max(1, min(stripes, capacity))
+        per_stripe = -(-capacity // count)  # ceil
+        self._stripes = tuple(_LRUCache(per_stripe) for _ in range(count))
+        self._locks = tuple(threading.Lock() for _ in range(count))
+        self._count = count
+
+    def __len__(self) -> int:
+        total = 0
+        for stripe, lock in zip(self._stripes, self._locks):
+            with lock:
+                total += len(stripe)
+        return total
+
+    def _pick(self, key: Hashable) -> int:
+        return hash(key) % self._count
+
+    def get(self, key: Hashable) -> Optional[ParameterRecommendation]:
+        index = self._pick(key)
+        with self._locks[index]:
+            return self._stripes[index].get(key)
+
+    def peek(self, key: Hashable) -> Optional[ParameterRecommendation]:
+        index = self._pick(key)
+        with self._locks[index]:
+            return self._stripes[index].peek(key)
+
+    def put(self, key: Hashable, value: ParameterRecommendation) -> None:
+        index = self._pick(key)
+        with self._locks[index]:
+            self._stripes[index].put(key, value)
+
+    def clear(self) -> int:
+        dropped = 0
+        for stripe, lock in zip(self._stripes, self._locks):
+            with lock:
+                dropped += stripe.clear()
+        return dropped
+
+    def drop_parameter(self, parameter: str) -> int:
+        dropped = 0
+        for stripe, lock in zip(self._stripes, self._locks):
+            with lock:
+                dropped += stripe.drop_parameter(parameter)
+        return dropped
+
+
+class _EngineState:
+    """One immutable (engine, generation) pair.
+
+    Readers grab ``service._state`` once and work against that object
+    for the whole request: the reference swap in
+    :meth:`RecommendationService.refresh_snapshot` is atomic under the
+    GIL, so there is no torn read where a request votes on the new
+    engine but stamps the old generation (or vice versa).
+    """
+
+    __slots__ = ("engine", "generation")
+
+    def __init__(self, engine: AuricEngine, generation: int):
+        self.engine = engine
+        self.generation = generation
 
 
 class RecommendationService:
@@ -137,17 +262,23 @@ class RecommendationService:
         rulebook: Optional[RuleBook] = None,
         metrics: Optional[ServiceMetrics] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        batch_planner: bool = True,
+        cache_stripes: int = DEFAULT_CACHE_STRIPES,
     ) -> None:
-        self._lock = threading.RLock()
-        self._engine = engine
+        #: Serializes mutators (refresh, invalidation, drift config)
+        #: against each other; the read path never takes it.
+        self._write_lock = threading.RLock()
+        self._state = _EngineState(engine, 0)
         self.rulebook = rulebook
         self.metrics = metrics or ServiceMetrics()
-        self._cache = _LRUCache(cache_size)
-        #: Bumped on every snapshot refresh; lets callers detect swaps.
-        self.generation = 0
+        self._cache = _StripedCache(cache_size, cache_stripes)
+        #: When True (default), multi-request ``handle_batch`` calls go
+        #: through the one-vote-per-distinct-cell planner.
+        self.batch_planner = batch_planner
         #: Live request-attribute window for drift scoring; None until
         #: :meth:`enable_drift_tracking` — the hot path pays one ``is
-        #: None`` check while disabled.
+        #: None`` check while disabled.  The window itself is
+        #: internally locked, so observing it needs no service lock.
         self._drift_window: Optional[DriftWindow] = None
         self._drift_thresholds = DriftThresholds()
 
@@ -171,16 +302,18 @@ class RecommendationService:
 
     @property
     def engine(self) -> AuricEngine:
-        with self._lock:
-            return self._engine
+        return self._state.engine
+
+    @property
+    def generation(self) -> int:
+        """Bumped on every snapshot refresh; lets callers detect swaps."""
+        return self._state.generation
 
     def fitted_parameters(self) -> List[str]:
-        with self._lock:
-            return self._engine.fitted_parameters()
+        return self._state.engine.fitted_parameters()
 
     def cache_len(self) -> int:
-        with self._lock:
-            return len(self._cache)
+        return len(self._cache)
 
     # -- serving -------------------------------------------------------------
 
@@ -196,49 +329,54 @@ class RecommendationService:
         queries exclude the target's own configured values from the
         vote — cache keys incorporate the exclusion, so evaluation
         traffic never pollutes launch-serving entries.
+
+        Lock-free: the engine and generation are read once as one
+        immutable state object, and the drift window / metrics sinks
+        are internally synchronized, so concurrent callers proceed in
+        parallel (modulo cache stripe locks).
         """
         started = time.perf_counter()
+        state = self._state
         with tracing.span("service.handle", target=request.label()) as sp:
             explanation = None
-            with self._lock:
-                engine = self._engine
-                catalog = engine.catalog
-                names = self._parameter_names(
-                    catalog, request.parameters, request.include_enumerations
+            engine = state.engine
+            names = self._parameter_names(
+                engine.catalog, request.parameters, request.include_enumerations
+            )
+            attributes, row, neighborhood, exclude = engine.resolve_request(
+                request
+            )
+            drift_window = self._drift_window
+            if drift_window is not None:
+                drift_window.observe(attributes.values)
+            scope_key = frozenset(neighborhood) if neighborhood else None
+            result = CarrierRecommendation(target=request.label())
+            dispositions: Dict[str, Tuple[str, Optional[str]]] = {}
+            for name in names:
+                rec, disposition, fallback_reason = self._recommend_parameter(
+                    engine, state.generation, name, attributes, row,
+                    neighborhood, scope_key, exclude, explain=request.explain,
                 )
-                attributes, row, neighborhood, exclude = engine.resolve_request(
-                    request
+                result.add(rec)
+                dispositions[name] = (disposition, fallback_reason)
+            if request.explain:
+                explanation = ResultExplanation(
+                    target=request.label(), source="service"
                 )
-                if self._drift_window is not None:
-                    self._drift_window.observe(attributes.values)
-                scope_key = frozenset(neighborhood) if neighborhood else None
-                result = CarrierRecommendation(target=request.label())
-                dispositions: Dict[str, Tuple[str, Optional[str]]] = {}
-                for name in names:
-                    rec, disposition, fallback_reason = self._recommend_parameter(
-                        engine, name, attributes, row, neighborhood,
-                        scope_key, exclude, explain=request.explain,
+                context = tracing.current_context()
+                if context is not None:
+                    explanation.trace_id = context[0]
+                for name, rec in result.recommendations.items():
+                    cache_state, fallback_reason = dispositions[name]
+                    explanation.parameters[name] = engine.explain_parameter(
+                        rec,
+                        row,
+                        neighborhood=(
+                            neighborhood if request.local else None
+                        ),
+                        cache=cache_state,
+                        fallback_reason=fallback_reason,
                     )
-                    result.add(rec)
-                    dispositions[name] = (disposition, fallback_reason)
-                if request.explain:
-                    explanation = ResultExplanation(
-                        target=request.label(), source="service"
-                    )
-                    context = tracing.current_context()
-                    if context is not None:
-                        explanation.trace_id = context[0]
-                    for name, rec in result.recommendations.items():
-                        cache_state, fallback_reason = dispositions[name]
-                        explanation.parameters[name] = engine.explain_parameter(
-                            rec,
-                            row,
-                            neighborhood=(
-                                neighborhood if request.local else None
-                            ),
-                            cache=cache_state,
-                            fallback_reason=fallback_reason,
-                        )
             duration = time.perf_counter() - started
             sp.set("parameters", len(names))
             self.metrics.record_request(duration, len(names))
@@ -249,13 +387,42 @@ class RecommendationService:
                 duration_s=duration,
                 exclude=exclude,
                 explain=explanation,
+                generation=state.generation,
             )
 
     def handle_batch(
-        self, requests: Sequence[RecommendRequest]
+        self,
+        requests: Sequence[RecommendRequest],
+        planner: Optional[bool] = None,
+        traces: Optional[Sequence] = None,
+        shard: Optional[int] = None,
     ) -> List[RecommendResult]:
-        """Serve a batch of unified requests (in order)."""
-        return [self.handle(request) for request in requests]
+        """Serve a batch of unified requests (in order).
+
+        ``planner=None`` (the default) routes multi-request batches
+        through the one-vote-per-distinct-cell planner
+        (:mod:`repro.serve.batchplan`) whenever :attr:`batch_planner`
+        is on; ``planner=False`` pins the serial per-request loop
+        (byte-identical results — the equivalence suite holds the two
+        paths to that).  ``traces`` optionally carries one propagated
+        trace context per request (the front end's shard worker passes
+        them) and wraps each request's serving in a ``shard.handle``
+        span parented at its own trace; ``shard`` labels those spans.
+        """
+        use_planner = planner
+        if use_planner is None:
+            use_planner = self.batch_planner and len(requests) > 1
+        if use_planner:
+            from repro.serve.batchplan import execute_batch
+
+            return execute_batch(self, requests, traces=traces, shard=shard)
+        if traces is None:
+            return [self.handle(request) for request in requests]
+        results = []
+        for request, trace in zip(requests, traces):
+            with tracing.span_from_context(trace, "shard.handle", shard=shard):
+                results.append(self.handle(request))
+        return results
 
     def recommend(self, *args, **kwargs) -> NoReturn:
         """Retired legacy entry point — use :meth:`handle`.
@@ -310,40 +477,62 @@ class RecommendationService:
         """
         started = time.perf_counter()
         served = 0
-        with self._lock:
-            engine = self._engine
-            if parameters is None:
-                names = [s.name for s in engine.catalog.pairwise_parameters()]
-            else:
-                names = list(parameters)
-            for name in names:
-                if not engine.catalog.spec(name).is_pairwise:
-                    raise RecommendationError(
-                        f"{name} is singular; use recommend()"
-                    )
-            own = request.attributes.as_tuple()
-            neighborhood = resolve_neighborhood(engine, request)
-            scope_key = frozenset(neighborhood) if neighborhood else None
-            results: Dict[CarrierId, CarrierRecommendation] = {}
-            for neighbor_id in request.neighbor_carriers:
-                row = own + engine.carrier_row(neighbor_id)
-                result = CarrierRecommendation(
-                    target=f"{request.label()}->{neighbor_id}"
+        state = self._state
+        engine = state.engine
+        if parameters is None:
+            names = [s.name for s in engine.catalog.pairwise_parameters()]
+        else:
+            names = list(parameters)
+        for name in names:
+            if not engine.catalog.spec(name).is_pairwise:
+                raise RecommendationError(
+                    f"{name} is singular; use recommend()"
                 )
-                for name in names:
-                    rec, _, _ = self._recommend_parameter(
-                        engine, name, request.attributes, row,
-                        neighborhood, scope_key, None,
-                    )
-                    result.add(rec)
-                    served += 1
-                results[neighbor_id] = result
+        own = request.attributes.as_tuple()
+        neighborhood = resolve_neighborhood(engine, request)
+        scope_key = frozenset(neighborhood) if neighborhood else None
+        results: Dict[CarrierId, CarrierRecommendation] = {}
+        for neighbor_id in request.neighbor_carriers:
+            row = own + engine.carrier_row(neighbor_id)
+            result = CarrierRecommendation(
+                target=f"{request.label()}->{neighbor_id}"
+            )
+            for name in names:
+                rec, _, _ = self._recommend_parameter(
+                    engine, state.generation, name, request.attributes,
+                    row, neighborhood, scope_key, None,
+                )
+                result.add(rec)
+                served += 1
+            results[neighbor_id] = result
         self.metrics.record_request(time.perf_counter() - started, served)
         return results
+
+    @staticmethod
+    def _vote_key(
+        engine: AuricEngine,
+        generation: int,
+        name: str,
+        fitted: bool,
+        row: Tuple,
+        scope_key: Optional[frozenset],
+        exclude: Optional[Hashable],
+    ) -> Tuple:
+        """The cache key for one parameter's vote (shared with the
+        batch planner, whose grouping key it is)."""
+        if fitted:
+            # The vote depends only on the dependent-attribute cell, the
+            # neighborhood scope and the leave-one-out exclusion — the
+            # cache key.
+            cell = engine._models[name].cell_key(row)
+            return (name, cell, scope_key, exclude, generation)
+        # Rule-book lookups depend on the full attribute vector.
+        return (name, row, None, None, generation)
 
     def _recommend_parameter(
         self,
         engine: AuricEngine,
+        generation: int,
         name: str,
         attributes,
         row: Tuple,
@@ -360,15 +549,9 @@ class RecommendationService:
         """
         spec = engine.catalog.spec(name)
         fitted = spec.is_range and name in engine._models
-        if fitted:
-            # The vote depends only on the dependent-attribute cell, the
-            # neighborhood scope and the leave-one-out exclusion — the
-            # cache key.
-            cell = engine._models[name].cell_key(row)
-            key = (name, cell, scope_key, exclude, self.generation)
-        else:
-            # Rule-book lookups depend on the full attribute vector.
-            key = (name, row, None, None, self.generation)
+        key = self._vote_key(
+            engine, generation, name, fitted, row, scope_key, exclude
+        )
         cached = self._cache.get(key)
         cache_state = "hit" if cached is not None else "miss"
         self.metrics.record_cache(hit=cached is not None)
@@ -382,11 +565,37 @@ class RecommendationService:
         # vote distribution: recompute with vote capture on (the reported
         # cache state stays "hit" so the explanation reflects how plain
         # serving would have answered).
+        rec, fallback_reason = self._compute_parameter(
+            engine, name, spec, fitted, attributes, row, neighborhood,
+            exclude, capture=explain,
+        )
+        self._cache.put(key, rec)
+        return rec, cache_state, fallback_reason
 
+    def _compute_parameter(
+        self,
+        engine: AuricEngine,
+        name: str,
+        spec,
+        fitted: bool,
+        attributes,
+        row: Tuple,
+        neighborhood: Set[CarrierId],
+        exclude: Optional[Hashable],
+        capture: bool,
+    ) -> Tuple[ParameterRecommendation, Optional[str]]:
+        """One parameter's vote, uncached: the compute core shared by
+        the serial path and the batch planner.
+
+        Returns ``(recommendation, fallback_reason)``; ``capture``
+        turns vote-distribution capture on for this computation (it is
+        OR-ed with the ambient, thread-local flag, so an enclosing
+        capture context stays in force).
+        """
         fallback_reason: Optional[str] = None
         rec: Optional[ParameterRecommendation] = None
         previous_capture = engine._capture_votes
-        engine._capture_votes = explain or previous_capture
+        engine._capture_votes = capture or previous_capture
         try:
             if fitted:
                 try:
@@ -408,8 +617,7 @@ class RecommendationService:
                 rec = self._rulebook_fallback(name, attributes)
         finally:
             engine._capture_votes = previous_capture
-        self._cache.put(key, rec)
-        return rec, cache_state, fallback_reason
+        return rec, fallback_reason
 
     def _rulebook_fallback(self, name: str, attributes) -> ParameterRecommendation:
         if self.rulebook is None:
@@ -440,7 +648,7 @@ class RecommendationService:
         :meth:`drift_report` scores it against the engine's fit-time
         baseline.  Idempotent — re-enabling keeps the existing window.
         """
-        with self._lock:
+        with self._write_lock:
             if thresholds is not None:
                 self._drift_thresholds = thresholds
             if self._drift_window is None:
@@ -449,14 +657,12 @@ class RecommendationService:
 
     @property
     def drift_window(self) -> Optional[DriftWindow]:
-        with self._lock:
-            return self._drift_window
+        return self._drift_window
 
     def drift_baseline(self):
         """The serving engine's fit-time baseline (None when absent —
         e.g. an engine loaded from a pre-v3 artifact)."""
-        with self._lock:
-            return self._engine.drift_baseline
+        return self._state.engine.drift_baseline
 
     def drift_report(self, live=None) -> Optional[DriftReport]:
         """Score live distributions against the fit-time baseline.
@@ -468,11 +674,10 @@ class RecommendationService:
         (zero-cost while the global registry is disabled) and returns
         the report.
         """
-        with self._lock:
-            baseline = self._engine.drift_baseline
-            thresholds = self._drift_thresholds
-            if live is None and self._drift_window is not None:
-                live = self._drift_window.counts()
+        baseline = self._state.engine.drift_baseline
+        thresholds = self._drift_thresholds
+        if live is None and self._drift_window is not None:
+            live = self._drift_window.counts()
         if baseline is None or not live:
             return None
         report = DriftDetector(baseline, thresholds).score(live)
@@ -486,7 +691,7 @@ class RecommendationService:
 
         Returns the number of entries dropped.
         """
-        with self._lock:
+        with self._write_lock:
             if parameter is None:
                 dropped = self._cache.clear()
             else:
@@ -500,12 +705,13 @@ class RecommendationService:
         stale.  Unknown parameters are ignored — the change cannot have
         been cached."""
         try:
-            with self._lock:
-                self._engine.catalog.spec(parameter)
+            with self._write_lock:
+                engine = self._state.engine
+                engine.catalog.spec(parameter)
                 # The configured value changed under the snapshot: the
                 # parameter's encoded label column is stale alongside the
                 # cached votes.
-                self._engine.invalidate_columnar(parameter)
+                engine.invalidate_columnar(parameter)
         except UnknownParameterError:
             return
         self.invalidate(parameter)
@@ -513,15 +719,20 @@ class RecommendationService:
     def refresh_snapshot(self, engine: AuricEngine) -> int:
         """Atomically swap in a newly fitted engine (new snapshot).
 
-        The old engine keeps serving until the swap; the cache is
-        cleared and the generation bumped.  Returns the new generation.
+        The old engine keeps serving until the swap: readers that
+        loaded the previous state finish against it (stale-but-
+        consistent), new readers pick up the fresh state on their next
+        ``self._state`` load.  The cache needs no flush-before-swap
+        dance — generation-stamped keys make every old entry
+        unreachable the instant the state pointer moves; the clear just
+        releases the memory.  Returns the new generation.
         """
-        with self._lock:
-            self._engine = engine
-            self.generation += 1
+        with self._write_lock:
+            state = _EngineState(engine, self._state.generation + 1)
+            self._state = state
             self._cache.clear()
             # The new engine carries a new baseline; the window sampled
             # against the old one would read as spurious drift.
             if self._drift_window is not None:
                 self._drift_window.clear()
-            return self.generation
+            return state.generation
