@@ -117,6 +117,12 @@ def _common_options() -> argparse.ArgumentParser:
         "JSONL file",
     )
     common.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append engine-lifecycle journal records (fit, refresh, "
+        "hot swap, rollback, ...) to this JSONL file; read it back "
+        "with `repro timeline`",
+    )
+    common.add_argument(
         "--log-level", default=None,
         choices=("debug", "info", "warning", "error", "critical"),
         help="enable key=value structured logging at this level",
@@ -296,6 +302,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--url", default=None, metavar="URL",
         help="base URL of a running front end "
         "(e.g. http://127.0.0.1:8080); queries /debug/trace/<id>",
+    )
+
+    timeline = sub.add_parser(
+        "timeline",
+        parents=[common],
+        help="reconstruct the generation lineage (fits, refreshes, hot "
+        "swaps, rollbacks) from an engine-lifecycle journal",
+    )
+    timeline.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if any transition references a generation the "
+        "journal never recorded (missing parent links)",
     )
 
     explain = sub.add_parser(
@@ -863,6 +881,42 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _run_timeline(args) -> int:
+    """Render the generation DAG from a lifecycle journal
+    (the ``repro timeline`` command)."""
+    from repro.obs import journal as obs_journal
+
+    if args.journal is None:
+        print("error: provide --journal PATH", file=sys.stderr)
+        return 2
+    try:
+        scan = obs_journal.read_journal(args.journal)
+    except OSError as exc:
+        print(f"error: cannot read journal: {exc}", file=sys.stderr)
+        return 2
+    if not scan.records:
+        print(f"error: no journal records in {args.journal}", file=sys.stderr)
+        return 1
+    timeline = obs_journal.assemble_timeline(scan.records)
+    if args.format == "json":
+        payload = timeline.to_dict()
+        payload["skipped_lines"] = scan.skipped
+        _emit(json.dumps(payload, indent=2), args)
+    else:
+        text = timeline.render()
+        if scan.skipped:
+            text += f"\n({scan.skipped} corrupt line(s) skipped)"
+        _emit(text, args)
+    if args.check and not timeline.complete:
+        print(
+            f"error: {len(timeline.missing_parents)} transition(s) "
+            "reference generations the journal never recorded",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _build_service(args, parameters: List[str]):
     """Fit a service over the chosen workload (explain / metrics)."""
     from repro.config.rulebook import RuleBook
@@ -1099,8 +1153,16 @@ def _run_health(args) -> int:
 def _run_dashboard(args) -> int:
     from repro.obs.dashboard import render_dashboard
 
+    from repro.obs import journal as obs_journal
+
     report, registry = _collect_health(args)
-    html = render_dashboard(report, registry=registry)
+    active_journal = obs_journal.get_journal()
+    journal_records = (
+        active_journal.tail() if active_journal is not None else None
+    )
+    html = render_dashboard(
+        report, registry=registry, journal_records=journal_records
+    )
     path = args.output or "dashboard.html"
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(html)
@@ -1119,19 +1181,34 @@ def _configure_observability(args):
     if level is not None:
         logs.configure_logging(level)
 
+    journal_path = getattr(args, "journal", None)
+    journal_handle = None
+    if journal_path is not None and args.command != "timeline":
+        # `timeline` *reads* the journal; don't open it for append (the
+        # torn-tail recovery would truncate a file we only inspect).
+        from repro.obs import journal as obs_journal
+
+        journal_handle = obs_journal.configure(journal_path)
+
     trace_path = getattr(args, "trace", None)
-    if trace_path is None:
-        return lambda: None
-    exporter = tracing.JsonlExporter(trace_path)
-    tracing.configure([exporter])
-    # Flush the JSONL file even when the run exits abnormally (atexit,
-    # SIGTERM/SIGINT) — a killed serve-batch keeps its spans.
-    tracing.install_exit_flush(exporter)
+    exporter = None
+    if trace_path is not None:
+        exporter = tracing.JsonlExporter(trace_path)
+        tracing.configure([exporter])
+        # Flush the JSONL file even when the run exits abnormally
+        # (atexit, SIGTERM/SIGINT) — a killed serve-batch keeps its
+        # spans.
+        tracing.install_exit_flush(exporter)
 
     def cleanup() -> None:
-        tracing.disable()
-        tracing.uninstall_exit_flush(exporter)
-        exporter.close()
+        if exporter is not None:
+            tracing.disable()
+            tracing.uninstall_exit_flush(exporter)
+            exporter.close()
+        if journal_handle is not None:
+            from repro.obs import journal as obs_journal
+
+            obs_journal.disable()
 
     return cleanup
 
@@ -1160,6 +1237,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         if args.command == "trace":
             return _run_trace(args)
+
+        if args.command == "timeline":
+            return _run_timeline(args)
 
         if args.command == "explain":
             return _run_explain(args)

@@ -44,6 +44,8 @@ from repro.core.recommendation import (
     RecommendResult,
 )
 from repro.learners.collaborative_filtering import CollaborativeFilteringRecommender
+from repro.obs import journal as obs_journal
+from repro.obs import metrics as obs_metrics
 from repro.obs import tracing
 from repro.obs.health import DriftBaseline
 from repro.obs.provenance import (
@@ -279,6 +281,15 @@ class AuricEngine:
         self._models: Dict[str, _ParameterModel] = {}
         self._row_cache: Dict[CarrierId, Row] = {}
         self._columnar: Optional[ColumnarSnapshot] = None
+        #: Lifecycle-journal stream id for this engine's fit lineage —
+        #: minted on the first journaled :meth:`fit` so refits of the
+        #: same engine chain into one timeline stream.
+        self.lineage: Optional[str] = None
+        #: Accumulated fit-phase wall clock, keyed ``(phase,
+        #: parameter)`` with phases ``encode`` / ``select`` / ``vote``.
+        #: Reset by :meth:`fit`; pool workers drain it per task via
+        #: :meth:`_take_fit_phases` so the master can aggregate.
+        self._fit_phases: Dict[Tuple[str, str], float] = {}
         #: Fit-time attribute/parameter distributions — the population
         #: the models saw.  Captured by :meth:`fit`, persisted in serve
         #: artifacts and scored against live snapshots by
@@ -321,6 +332,32 @@ class AuricEngine:
 
     # -- fitting --------------------------------------------------------------
 
+    def _phase(self, phase: str, parameter: str, seconds: float) -> None:
+        key = (phase, parameter)
+        self._fit_phases[key] = self._fit_phases.get(key, 0.0) + seconds
+
+    def _take_fit_phases(self) -> Dict[Tuple[str, str], float]:
+        """Drain the accumulated phase timings (pool workers call this
+        after each task so timings ride back on the task result — the
+        worker's metrics registry is disabled, so observing there would
+        be lost)."""
+        phases = self._fit_phases
+        self._fit_phases = {}
+        return phases
+
+    def _observe_fit_phases(self) -> None:
+        """Feed the accumulated breakdown into
+        ``repro_fit_phase_seconds{phase,parameter}`` (master side)."""
+        if not self._fit_phases:
+            return
+        histogram = obs_metrics.histogram(
+            "repro_fit_phase_seconds",
+            "Fit wall-clock by phase (encode / select / vote) and parameter",
+            labelnames=("phase", "parameter"),
+        )
+        for (phase, parameter), seconds in self._fit_phases.items():
+            histogram.labels(phase=phase, parameter=parameter).observe(seconds)
+
     def fit(
         self,
         parameters: Optional[Sequence[str]] = None,
@@ -345,6 +382,8 @@ class AuricEngine:
             specs = self.catalog.range_parameters()
         else:
             specs = [self.catalog.spec(name) for name in parameters]
+        fit_started = time.perf_counter()
+        self._fit_phases = {}
         with tracing.span(
             "engine.fit", parameters=len(specs), jobs=jobs
         ):
@@ -363,6 +402,7 @@ class AuricEngine:
                     vote_weights=vote_weights,
                     jobs=jobs,
                     columnar=self._columnar,
+                    phase_sink=self._fit_phases,
                 )
                 self._models.update(fitted)
             else:
@@ -376,7 +416,43 @@ class AuricEngine:
             self.drift_baseline = DriftBaseline.capture(
                 self.network, self.store, parameters=sorted(self._models)
             )
+            self._observe_fit_phases()
+            self._journal_fit(len(specs), jobs, time.perf_counter() - fit_started)
             return self
+
+    def _journal_fit(self, parameters: int, jobs: int, duration_s: float) -> None:
+        """Record this fit in the lifecycle journal (no-op when the
+        journal is disabled — the snapshot fingerprint is only computed
+        when someone will read it)."""
+        if not obs_journal.active():
+            return
+        if self.lineage is None:
+            self.lineage = obs_journal.mint_stream("engine")
+        phase_totals: Dict[str, float] = {}
+        for (phase, _parameter), seconds in self._fit_phases.items():
+            phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
+        # The columnar content hash is cheap (raw buffer hashing); the
+        # full dataset fingerprint would cost more than the fit itself.
+        # The legacy tuple path has no encoded buffers to hash — a
+        # structural digest (carrier + sample counts) stands in.
+        if self._columnar is not None:
+            snapshot = self._columnar.fingerprint()
+        else:
+            snapshot = (
+                f"legacy-{len(list(self.network.carriers()))}c-"
+                f"{sum(len(m.samples) for m in self._models.values())}s"
+            )
+        obs_journal.record(
+            "fit",
+            scope="engine",
+            stream=self.lineage,
+            generation=0,
+            duration_s=duration_s,
+            fingerprints={"snapshot": snapshot},
+            parameters=parameters,
+            jobs=jobs,
+            phases={k: round(v, 6) for k, v in sorted(phase_totals.items())},
+        )
 
     def ensure_columnar(
         self, specs: Sequence[ParameterSpec] = ()
@@ -384,12 +460,18 @@ class AuricEngine:
         """The engine's columnar snapshot, encoded on first use and
         extended in place with any not-yet-encoded parameters."""
         if self._columnar is None:
+            started = time.perf_counter()
             self._columnar = ColumnarSnapshot.encode(
                 self.network, self.store, specs
             )
+            self._phase("encode", "snapshot", time.perf_counter() - started)
         else:
             for spec in specs:
+                if spec.name in self._columnar.parameters:
+                    continue
+                started = time.perf_counter()
                 self._columnar.add_parameter(self.store, spec)
+                self._phase("encode", spec.name, time.perf_counter() - started)
         return self._columnar
 
     def attach_columnar(self, snapshot: ColumnarSnapshot) -> None:
@@ -510,12 +592,14 @@ class AuricEngine:
             fit_rows = [rows[i] for i in picked]
             fit_labels = [labels[i] for i in picked]
 
+        select_started = time.perf_counter()
         recommender = CollaborativeFilteringRecommender(
             support_threshold=self.config.support_threshold,
             p_value=self.config.p_value,
             min_effect_size=self.config.min_effect_size,
             selection=self.config.selection,
         ).fit(fit_rows, fit_labels)
+        self._phase("select", spec.name, time.perf_counter() - select_started)
         dependent = recommender.dependent_attributes
         names = self.attribute_names(spec)
         dependent_stats = tuple(
@@ -525,6 +609,7 @@ class AuricEngine:
             for col in dependent
         )
 
+        vote_started = time.perf_counter()
         cell_index: Dict[Tuple[AttributeValue, ...], Counter] = {}
         global_counts: Counter = Counter()
         samples: Dict[Hashable, Tuple[Tuple[AttributeValue, ...], ParameterValue]] = {}
@@ -544,6 +629,7 @@ class AuricEngine:
             samples[key] = (cell, label)
             source = key.carrier if isinstance(key, PairKey) else key
             by_carrier.setdefault(source, []).append(key)
+        self._phase("vote", spec.name, time.perf_counter() - vote_started)
 
         return _ParameterModel(
             spec=spec,
@@ -602,6 +688,7 @@ class AuricEngine:
     ) -> Tuple[Tuple[int, ...], Tuple[AttributeDependence, ...]]:
         """Chi-square attribute selection over the encoded snapshot."""
         columnar = self.ensure_columnar([spec])
+        select_started = time.perf_counter()
         columns = columnar.parameter(spec.name)
         n_samples = len(columns)
         if n_samples == 0:
@@ -632,6 +719,7 @@ class AuricEngine:
             )
             for col in dependent
         )
+        self._phase("select", spec.name, time.perf_counter() - select_started)
         return dependent, dependent_stats
 
     def _build_columnar_model(
@@ -646,6 +734,7 @@ class AuricEngine:
         built here is byte-identical to one from a fresh fit with the
         same selection outcome."""
         columnar = self.ensure_columnar([spec])
+        vote_started = time.perf_counter()
         columns = columnar.parameter(spec.name)
         if len(columns) == 0:
             raise RecommendationError(
@@ -762,6 +851,7 @@ class AuricEngine:
                 sources=columns.sources,
                 carrier_ids=columnar.carrier_ids,
             )
+        self._phase("vote", spec.name, time.perf_counter() - vote_started)
         return model
 
     def _model(self, parameter: str) -> _ParameterModel:
@@ -1540,7 +1630,8 @@ class AuricEngine:
             explanation = None
             if request.explain:
                 explanation = ResultExplanation(
-                    target=request.label(), source="engine"
+                    target=request.label(), source="engine",
+                    lineage=self.lineage,
                 )
                 context = tracing.current_context()
                 if context is not None:

@@ -788,6 +788,34 @@ class ColumnarSnapshot:
             self.parameters[spec.name] = columns
         return columns
 
+    def fingerprint(self) -> str:
+        """A content hash of the encoded snapshot (hex, 16 chars).
+
+        Hashes the raw integer buffers instead of re-serializing the
+        dataset, so it is cheap enough for the lifecycle journal to
+        stamp on every fit record: same carriers, same attribute codes,
+        same encoded samples → same fingerprint.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(repr([str(c) for c in self.carrier_ids]).encode())
+        digest.update(np.ascontiguousarray(self.codes).tobytes())
+        digest.update(repr(self.vocabs).encode())
+        for name in sorted(self.parameters):
+            columns = self.parameters[name]
+            digest.update(name.encode())
+            digest.update(np.ascontiguousarray(columns.sources).tobytes())
+            if columns.neighbors is not None:
+                digest.update(
+                    np.ascontiguousarray(columns.neighbors).tobytes()
+                )
+            digest.update(
+                np.ascontiguousarray(columns.label_codes).tobytes()
+            )
+            digest.update(repr(columns.label_vocab).encode())
+        return digest.hexdigest()[:16]
+
     # -- access -----------------------------------------------------------
 
     def carrier_slots(self) -> Dict[CarrierId, int]:

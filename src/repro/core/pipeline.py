@@ -149,7 +149,9 @@ class RecommendationPipeline:
             explanation = None
             if request.explain:
                 explanation = ResultExplanation(
-                    target=request.label(), source="pipeline"
+                    target=request.label(),
+                    source="pipeline",
+                    lineage=self.engine.lineage,
                 )
                 context = tracing.current_context()
                 if context is not None:

@@ -23,7 +23,12 @@ turns the raw instruments into operational signal:
   flamegraph-ready collapsed stacks with span attribution,
 * :mod:`repro.obs.dashboard` — a static-HTML health snapshot,
 * :mod:`repro.obs.flight` — an always-on black-box flight recorder of
-  recent request digests, dumped on SLO breach / shed burst / SIGTERM.
+  recent request digests, dumped on SLO breach / shed burst / SIGTERM,
+* :mod:`repro.obs.journal` — an append-only, fsync-safe JSONL
+  engine-lifecycle journal: every generation transition (fit, refresh,
+  incremental refit, hot swap, push, rollback) records its trigger,
+  drift scores, refit kind, fingerprints and parent generation, and
+  ``repro timeline`` replays the generation DAG.
 """
 
 from repro.obs.logs import KeyValueFormatter, configure_logging, get_logger
@@ -89,6 +94,20 @@ from repro.obs.flight import (
     get_recorder as get_flight_recorder,
     record as record_flight,
 )
+from repro.obs.journal import (
+    EngineJournal,
+    JournalScan,
+    Timeline,
+    TimelineNode,
+    active as journal_active,
+    assemble_timeline,
+    configure as configure_journal,
+    disable as disable_journal,
+    get_journal,
+    mint_stream,
+    read_journal,
+    record as record_journal,
+)
 
 # The health layer builds on metrics/tracing/logs above, so these
 # imports must stay below them (they read the partially-initialized
@@ -128,6 +147,7 @@ __all__ = [
     "DriftReport",
     "DriftThresholds",
     "DriftWindow",
+    "EngineJournal",
     "ErrorBudget",
     "FlightRecorder",
     "Gauge",
@@ -141,6 +161,7 @@ __all__ = [
     "SamplingProfiler",
     "ServiceMetrics",
     "Histogram",
+    "JournalScan",
     "JsonlExporter",
     "KeyValueFormatter",
     "MetricsRegistry",
@@ -151,20 +172,25 @@ __all__ = [
     "ResultExplanation",
     "RingBufferExporter",
     "Span",
+    "Timeline",
+    "TimelineNode",
     "TraceTree",
     "Tracer",
     "VoteShare",
     "active_spans",
+    "assemble_timeline",
     "assemble_trace",
     "chi_square_drift",
     "collect",
     "configure_flight",
+    "configure_journal",
     "configure_logging",
     "configure_tracing",
     "counter",
     "current_context",
     "default_service_slos",
     "disable_flight",
+    "disable_journal",
     "disable_metrics",
     "disable_tracing",
     "enable_metrics",
@@ -172,16 +198,21 @@ __all__ = [
     "format_traceparent",
     "gauge",
     "get_flight_recorder",
+    "get_journal",
     "get_logger",
     "get_registry",
     "get_tracer",
     "histogram",
     "ingest",
     "install_exit_flush",
+    "journal_active",
     "metrics_enabled",
+    "mint_stream",
     "parse_traceparent",
     "population_stability_index",
+    "read_journal",
     "record_flight",
+    "record_journal",
     "record_span",
     "render_dashboard",
     "set_registry",

@@ -58,6 +58,7 @@ def render_dashboard(
     report: HealthReport,
     registry=None,
     title: str = "repro health",
+    journal_records: Optional[List[dict]] = None,
 ) -> str:
     """One self-contained HTML health page."""
     parts: List[str] = [
@@ -120,6 +121,37 @@ def render_dashboard(
             parts.append(
                 f'<tr><td class="num">{samples}</td>'
                 f"<td><code>{html.escape(stack)}</code></td></tr>"
+            )
+        parts.append("</table>")
+
+    if journal_records:
+        from repro.obs.journal import assemble_timeline
+
+        timeline = assemble_timeline(journal_records)
+        gaps = len(timeline.missing_parents)
+        parts.append(
+            "<h2>Engine lifecycle "
+            f"{_badge('ok' if timeline.complete else 'degraded')}"
+            f" <small>{timeline.total_records} records"
+            + (f", {gaps} missing parent link(s)" if gaps else "")
+            + "</small></h2>"
+        )
+        parts.append(f"<pre>{html.escape(timeline.render())}</pre>")
+        parts.append(
+            "<table><tr><th>seq</th><th>event</th><th>scope</th>"
+            "<th>gen</th><th>trigger</th><th>duration</th></tr>"
+        )
+        for entry in journal_records[-15:]:
+            duration = entry.get("duration_s")
+            parts.append(
+                f'<tr><td class="num">{entry.get("seq", "")}</td>'
+                f"<td>{html.escape(str(entry.get('event', '')))}</td>"
+                f"<td>{html.escape(str(entry.get('scope', '')))}</td>"
+                f'<td class="num">{entry.get("generation", "")}</td>'
+                f"<td>{html.escape(str(entry.get('trigger') or ''))}</td>"
+                f'<td class="num">'
+                + ("" if duration is None else f"{duration:.3f}s")
+                + "</td></tr>"
             )
         parts.append("</table>")
 

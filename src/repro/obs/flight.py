@@ -202,6 +202,14 @@ class FlightRecorder:
             "active_spans": active,
             "metrics": metrics_snapshot,
         }
+        # Post-mortems need to know *which engine generation* was
+        # serving — embed the lifecycle journal's head digest when one
+        # is active (imported lazily: journal imports this package).
+        from repro.obs import journal as obs_journal
+
+        active_journal = obs_journal.get_journal()
+        if active_journal is not None:
+            meta["journal"] = active_journal.digest()
         os.makedirs(self.dump_dir, exist_ok=True)
         path = os.path.join(self.dump_dir, f"flight-{seq:04d}-{reason}.jsonl")
         try:

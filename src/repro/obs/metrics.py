@@ -32,7 +32,9 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_MAX_LABEL_SERIES",
     "DEFAULT_REFRESH_BUCKETS",
+    "DROPPED_SERIES_METRIC",
     "Gauge",
     "Histogram",
     "LatencyHistogram",
@@ -40,8 +42,10 @@ __all__ = [
     "NULL_REGISTRY",
     "NullInstrument",
     "NullRegistry",
+    "OVERFLOW_LABEL",
     "ServiceMetrics",
     "counter",
+    "parse_prometheus_labels",
     "disable",
     "enable",
     "gauge",
@@ -56,6 +60,23 @@ DEFAULT_BUCKETS = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
     0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
 )
+
+#: Label-value tuple a family collapses new series onto once it hits the
+#: registry's ``max_label_series`` cap — one catch-all child per family,
+#: so a mis-labelled hot path (say, a raw carrier id used as a label)
+#: cannot grow the registry without bound.
+OVERFLOW_LABEL = "__overflow__"
+
+#: Default per-family series cap.  Generous — the widest legitimate
+#: family is ``repro_fit_phase_seconds{phase,parameter}`` at
+#: (3 phases × #parameters); a four-digit cap only trips on genuinely
+#: unbounded label values.
+DEFAULT_MAX_LABEL_SERIES = 1024
+
+#: Counter tracking series collapsed by the cardinality guard.  Exempt
+#: from the guard itself (its own cardinality is bounded by the number
+#: of families).
+DROPPED_SERIES_METRIC = "repro_metrics_dropped_series_total"
 
 #: Request-latency buckets (seconds) — tuned for an in-process service
 #: where a cache hit is microseconds and a cold vote is milliseconds.
@@ -173,7 +194,64 @@ def _format_labels(labelnames: Tuple[str, ...], labelvalues: Tuple[str, ...]) ->
 
 
 def _escape(value: str) -> str:
+    """Escape a label value per the text exposition format: backslash
+    first (so later escapes are not double-escaped), then double-quote
+    and newline."""
     return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    """Escape HELP text per the exposition format (backslash and
+    newline only — quotes are legal in help docstrings)."""
+    return str(value).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def parse_prometheus_labels(label_text: str) -> Dict[str, str]:
+    """Parse one ``{name="value",...}`` label block back into a dict.
+
+    The inverse of :func:`_format_labels` — a small, strict parser used
+    by the escaping round-trip tests (and handy for scraping our own
+    exposition in-process).  Raises ``ValueError`` on malformed input.
+    """
+    if not label_text:
+        return {}
+    if not (label_text.startswith("{") and label_text.endswith("}")):
+        raise ValueError(f"not a label block: {label_text!r}")
+    body = label_text[1:-1]
+    out: Dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        name = body[i:eq]
+        if not body[eq + 1 : eq + 2] == '"':
+            raise ValueError(f"label {name!r} value is not quoted")
+        i = eq + 2
+        chars: List[str] = []
+        while True:
+            if i >= len(body):
+                raise ValueError("unterminated label value")
+            ch = body[i]
+            if ch == "\\":
+                nxt = body[i + 1 : i + 2]
+                if nxt == "n":
+                    chars.append("\n")
+                elif nxt in ('"', "\\"):
+                    chars.append(nxt)
+                else:
+                    raise ValueError(f"bad escape \\{nxt}")
+                i += 2
+                continue
+            if ch == '"':
+                i += 1
+                break
+            chars.append(ch)
+            i += 1
+        out[name] = "".join(chars)
+        if i < len(body):
+            if body[i] != ",":
+                raise ValueError(f"expected ',' at {i} in {body!r}")
+            i += 1
+    return out
 
 
 class _Instrument:
@@ -309,6 +387,7 @@ class _Family:
         buckets: Optional[Tuple[float, ...]] = None,
     ):
         self._lock = registry._lock
+        self._registry = registry
         self.name = name
         self.help = help_text
         self.kind = kind
@@ -344,9 +423,43 @@ class _Family:
         with self._lock:
             child = self._children.get(values)
             if child is None:
+                if self._at_series_cap():
+                    return self._overflow_child()
                 child = self._make_child(values)
                 self._children[values] = child
             return child
+
+    def _at_series_cap(self) -> bool:
+        """True when a *new* labelled series would breach the registry's
+        cardinality cap.  Existing series keep updating; only creation
+        is collapsed.  Unlabelled families (one child) and the
+        dropped-series counter itself are exempt."""
+        cap = self._registry.max_label_series
+        if cap is None or not self.labelnames:
+            return False
+        if self.name == DROPPED_SERIES_METRIC:
+            return False
+        live = len(self._children)
+        if (OVERFLOW_LABEL,) * len(self.labelnames) in self._children:
+            live -= 1  # the catch-all child doesn't count against the cap
+        return live >= cap
+
+    def _overflow_child(self) -> _Instrument:
+        """Get-or-create the catch-all series and count the drop.
+
+        Called under ``self._lock``; the lock is reentrant, so bumping
+        the dropped-series counter through the registry is safe."""
+        values = (OVERFLOW_LABEL,) * len(self.labelnames)
+        child = self._children.get(values)
+        if child is None:
+            child = self._make_child(values)
+            self._children[values] = child
+        self._registry.counter(
+            DROPPED_SERIES_METRIC,
+            "Label series collapsed to __overflow__ by the cardinality cap",
+            labelnames=("metric",),
+        ).labels(self.name).inc()
+        return child
 
     def children(self) -> List[_Instrument]:
         with self._lock:
@@ -356,9 +469,19 @@ class _Family:
 class MetricsRegistry:
     """Counters, gauges and histograms behind one lock."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self, max_label_series: Optional[int] = DEFAULT_MAX_LABEL_SERIES
+    ) -> None:
+        if max_label_series is not None and max_label_series < 1:
+            raise ValueError("max_label_series must be >= 1 (or None)")
         self._lock = threading.RLock()
         self._families: "Dict[str, _Family]" = {}
+        #: Per-family cap on distinct label-value series; ``None``
+        #: disables the guard.  Once a family holds this many series,
+        #: novel label combinations collapse onto a shared
+        #: ``__overflow__`` child and
+        #: ``repro_metrics_dropped_series_total{metric}`` counts them.
+        self.max_label_series = max_label_series
 
     # -- instrument creation -------------------------------------------------
 
@@ -439,7 +562,9 @@ class MetricsRegistry:
         lines: List[str] = []
         for family in self.families():
             if family.help:
-                lines.append(f"# HELP {family.name} {family.help}")
+                lines.append(
+                    f"# HELP {family.name} {_escape_help(family.help)}"
+                )
             lines.append(f"# TYPE {family.name} {family.kind}")
             for child in family.children():
                 label_text = _format_labels(family.labelnames, child.labelvalues)
@@ -653,8 +778,7 @@ def histogram(
 #
 # ServiceMetrics/LatencyHistogram started life in ``repro.serve.metrics``
 # and moved here once the registry became the single source of truth;
-# ``repro.serve.metrics`` remains as a deprecation shim re-exporting
-# these names.
+# the old module is retired and raises ImportError pointing here.
 
 #: Default refresh-duration buckets (seconds) — refits are much slower.
 DEFAULT_REFRESH_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)

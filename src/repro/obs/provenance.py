@@ -194,12 +194,17 @@ class ResultExplanation:
     source: str
     parameters: Dict[str, ParameterExplanation] = field(default_factory=dict)
     trace_id: Optional[str] = None
+    #: The engine's lifecycle-journal stream id (``engine-N``) — links
+    #: an explanation to the fit/refit records that produced the models
+    #: it describes (``repro timeline``).
+    lineage: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "target": self.target,
             "source": self.source,
             "trace_id": self.trace_id,
+            "lineage": self.lineage,
             "parameters": {
                 name: explanation.to_dict()
                 for name, explanation in sorted(self.parameters.items())
@@ -212,6 +217,7 @@ class ResultExplanation:
             target=payload["target"],
             source=payload["source"],
             trace_id=payload.get("trace_id"),
+            lineage=payload.get("lineage"),
             parameters={
                 name: ParameterExplanation.from_dict(entry)
                 for name, entry in payload.get("parameters", {}).items()

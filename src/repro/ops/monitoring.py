@@ -18,6 +18,7 @@ from typing import Dict, List, Mapping, Optional
 
 from repro.config.store import ConfigurationStore
 from repro.netmodel.identifiers import CarrierId
+from repro.obs import journal as obs_journal
 from repro.obs import metrics as obs_metrics, tracing
 from repro.obs.logs import get_logger
 from repro.rng import derive
@@ -117,6 +118,14 @@ class KPIMonitor:
             obs_metrics.counter(
                 "repro_rollbacks_total", "Post-launch configuration rollbacks"
             ).inc()
+            obs_journal.record(
+                "rollback",
+                scope="ops",
+                trigger="kpi-degradation",
+                carrier=str(carrier_id),
+                values_restored=len(snapshot),
+                parameters=sorted(snapshot),
+            )
             logger.warning(
                 "configuration rolled back",
                 extra={

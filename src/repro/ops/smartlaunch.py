@@ -36,6 +36,7 @@ from repro.core.pipeline import NewCarrierRequest
 from repro.core.recommendation import CarrierRecommendation, RecommendRequest
 from repro.exceptions import RecommendationError
 from repro.netmodel.identifiers import CarrierId
+from repro.obs import journal as obs_journal
 from repro.obs import tracing
 from repro.obs.provenance import ResultExplanation
 from repro.ops.controller import ConfigPushController, PushOutcome, PushResult
@@ -253,6 +254,15 @@ class SmartLaunch:
             )
             record.explanation = explanation
             sp.set("outcome", record.outcome.value)
+            obs_journal.record(
+                "launch",
+                scope="ops",
+                trigger="smartlaunch",
+                carrier=str(carrier_id),
+                outcome=record.outcome.value,
+                changes_recommended=record.changes_recommended,
+                parameters_pushed=record.parameters_pushed,
+            )
             logger.info(
                 "carrier launch finished",
                 extra={

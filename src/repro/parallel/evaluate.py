@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import metrics as obs_metrics
 from repro.parallel.pool import effective_jobs, get_payload, run_tasks
 
 # Per-process worker state keyed on payload identity (see repro.parallel.fit).
@@ -83,6 +84,10 @@ def parallel_loo_accuracy(
         for chunk in split_evenly(indices, jobs):
             tasks.append((parameter, market_id, tuple(chunk), tuple(scopes)))
     outcomes = run_tasks(engine, _loo_task, tasks, jobs=jobs)
+    obs_metrics.counter(
+        "repro_loo_targets_total",
+        "Leave-one-out targets evaluated through the parallel sweep",
+    ).inc(float(total_targets))
 
     result = LocalVsGlobalResult()
     totals: Dict[str, Dict[str, int]] = {

@@ -50,7 +50,10 @@ def _fit_task(parameter: str):
     engine = _worker_engine()
     vote_weights = get_payload()[3]
     spec = engine.catalog.spec(parameter)
-    return parameter, engine._fit_parameter(spec, vote_weights)
+    model = engine._fit_parameter(spec, vote_weights)
+    # Worker registries are disabled, so phase timings ride back on the
+    # task result for the master to observe (see fit-pipeline metrics).
+    return parameter, model, engine._take_fit_phases()
 
 
 def fit_parameter_models(
@@ -61,12 +64,17 @@ def fit_parameter_models(
     vote_weights: Optional[Dict[Hashable, float]] = None,
     jobs: int = 1,
     columnar=None,
+    phase_sink: Optional[Dict] = None,
 ) -> Dict[str, object]:
     """Fit dependency models for many parameters across a process pool.
 
     Returns ``{parameter: _ParameterModel}`` in input order, identical
     to fitting the same parameters serially on one engine.  ``columnar``
     optionally carries the master's encoded snapshot to the workers.
+    ``phase_sink``, when given, accumulates the workers' per-parameter
+    fit-phase wall clock (``{(phase, parameter): seconds}``) so the
+    master can surface ``repro_fit_phase_seconds`` — worker processes
+    run with metrics disabled and cannot observe it themselves.
     """
     if columnar is not None and getattr(columnar, "_backing", None) is not None:
         obs_metrics.counter(
@@ -75,4 +83,10 @@ def fit_parameter_models(
         ).inc(1.0)
     payload = (network, store, config, vote_weights, columnar)
     results = run_tasks(payload, _fit_task, list(parameters), jobs=jobs)
-    return dict(results)
+    fitted = {}
+    for parameter, model, phases in results:
+        fitted[parameter] = model
+        if phase_sink is not None:
+            for key, seconds in phases.items():
+                phase_sink[key] = phase_sink.get(key, 0.0) + seconds
+    return fitted

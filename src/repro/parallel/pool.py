@@ -23,11 +23,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.obs import metrics as obs_metrics
 from repro.obs import tracing
 from repro.parallel import shm
 
@@ -114,9 +116,21 @@ def _init_worker(payload_bytes: Optional[bytes] = None) -> None:
         _PAYLOAD = pickle.loads(payload_bytes)
 
 
+def _task_meta(started: float) -> dict:
+    """Worker-side task metadata shipped back with each result.
+
+    Workers run with metrics disabled (fork-inherited or fresh, the
+    registry is never theirs to own), so the raw observations — when the
+    worker *started* the task (wall clock, comparable to the master's
+    submit time on the same host) and which worker ran it — ride back on
+    the result for the master to turn into ``repro_pool_*`` metrics.
+    """
+    return {"started": started, "pid": os.getpid()}
+
+
 def _run_traced(
     wrapped: Tuple[Optional[Tuple[str, str]], Callable[[T], R], T]
-) -> Tuple[R, List[dict]]:
+) -> Tuple[R, List[dict], dict]:
     """Worker-side shim: run one task under a span collector.
 
     The master ships its ``(trace_id, span_id)`` context with the task;
@@ -127,6 +141,7 @@ def _run_traced(
     also shields fork-inherited exporters (e.g. an open trace file)
     from duplicate worker-side writes.
     """
+    started = time.time()
     context, fn, task = wrapped
     name = getattr(fn, "__name__", "task")
     # The shipped parent span lives in the master's process; mark the
@@ -136,7 +151,63 @@ def _run_traced(
     with tracing.collect() as collected:
         with tracing.span_from_context(context, f"pool.task:{name}", **attrs):
             result = fn(task)
-    return result, [span_obj.to_dict() for span_obj in collected]
+    meta = _task_meta(started)
+    return result, [span_obj.to_dict() for span_obj in collected], meta
+
+
+def _run_timed(wrapped: Tuple[Callable[[T], R], T]) -> Tuple[R, dict]:
+    """Worker-side shim for the untraced path: result + task metadata."""
+    started = time.time()
+    fn, task = wrapped
+    return fn(task), _task_meta(started)
+
+
+class _PoolMetrics:
+    """Master-side aggregation of worker task metadata."""
+
+    def __init__(self, mode: str, jobs: int = 0):
+        registry_on = obs_metrics.enabled()
+        self._tasks = (
+            obs_metrics.counter(
+                "repro_pool_tasks_total",
+                "Pool tasks executed, by execution mode",
+                labelnames=("mode",),
+            )
+            if registry_on
+            else None
+        )
+        self._queue_wait = (
+            obs_metrics.histogram(
+                "repro_pool_queue_wait_seconds",
+                "Submit-to-worker-start latency of pool tasks",
+            )
+            if registry_on
+            else None
+        )
+        self._worker_tasks = (
+            obs_metrics.counter(
+                "repro_pool_worker_tasks_total",
+                "Pool tasks executed, by worker pid",
+                labelnames=("worker",),
+            )
+            if registry_on
+            else None
+        )
+        self.mode = mode
+        if jobs and registry_on:
+            obs_metrics.gauge(
+                "repro_pool_workers", "Workers in the most recent pool run"
+            ).set(float(jobs))
+
+    def task(self, submitted: Optional[float], meta: Optional[dict]) -> None:
+        if self._tasks is None:
+            return
+        self._tasks.labels(mode=self.mode).inc()
+        if meta is None:
+            return
+        if submitted is not None:
+            self._queue_wait.observe(max(meta["started"] - submitted, 0.0))
+        self._worker_tasks.labels(worker=str(meta["pid"])).inc()
 
 
 def _run_serial(
@@ -238,6 +309,9 @@ def run_tasks(
         # Serial tasks run in-process, so their spans nest naturally
         # under the caller's current span — no propagation needed.
         with tracing.span("pool.run", mode="serial", tasks=len(tasks)):
+            metrics = _PoolMetrics("serial")
+            for _ in tasks:
+                metrics.task(None, None)
             return _run_serial(payload, fn, tasks)
 
     global _PAYLOAD
@@ -258,23 +332,36 @@ def run_tasks(
                 )
                 return [fn(task) for task in tasks]
             try:
+                metrics = _PoolMetrics("pool", jobs=jobs)
                 if tracing.active():
                     # Ship the master's span context with each task;
                     # workers return their spans with the result and the
                     # ordered merge re-parents them into this trace.
                     context = tracing.current_context()
                     futures = [
-                        executor.submit(_run_traced, (context, fn, task))
+                        (
+                            time.time(),
+                            executor.submit(_run_traced, (context, fn, task)),
+                        )
                         for task in tasks
                     ]
                     results: List[R] = []
-                    for future in futures:
-                        result, worker_spans = future.result()
+                    for submitted, future in futures:
+                        result, worker_spans, meta = future.result()
                         tracing.ingest(worker_spans)
+                        metrics.task(submitted, meta)
                         results.append(result)
                     return results
-                futures = [executor.submit(fn, task) for task in tasks]
-                return [future.result() for future in futures]
+                futures = [
+                    (time.time(), executor.submit(_run_timed, (fn, task)))
+                    for task in tasks
+                ]
+                results = []
+                for submitted, future in futures:
+                    result, meta = future.result()
+                    metrics.task(submitted, meta)
+                    results.append(result)
+                return results
             except (BrokenProcessPool, OSError) as exc:
                 warnings.warn(
                     f"process pool failed ({exc}); re-running serially",

@@ -17,7 +17,8 @@ to the rule-book, and incremental refresh as the network grows.
   full refits with stale-but-available swapping.
 * Service metrics live in :mod:`repro.obs.metrics`
   (:class:`ServiceMetrics`, re-exported here for convenience);
-  :mod:`repro.serve.metrics` is a deprecation shim.
+  the old ``repro.serve.metrics`` module is retired and raises on
+  import.
 * :mod:`repro.serve.validation` — structured payload validation
   (:class:`RequestValidationError` names the field and reason; the
   front end's 400 body).
@@ -31,6 +32,7 @@ to the rule-book, and incremental refresh as the network grows.
 from repro.serve.artifacts import (
     ARTIFACT_SCHEMA_VERSION,
     ArtifactError,
+    artifact_fingerprint,
     artifact_summary,
     engine_from_dict,
     engine_to_dict,
@@ -71,6 +73,7 @@ __all__ = [
     "unified_requests_from_json",
     "ARTIFACT_SCHEMA_VERSION",
     "ArtifactError",
+    "artifact_fingerprint",
     "artifact_summary",
     "engine_from_dict",
     "engine_to_dict",

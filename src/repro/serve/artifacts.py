@@ -23,6 +23,7 @@ stale-but-available models on purpose).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from collections import Counter
@@ -40,6 +41,7 @@ from repro.dataio.keys import (
 )
 from repro.exceptions import RecommendationError
 from repro.netmodel.network import Network
+from repro.obs import journal as obs_journal
 from repro.obs.health import DriftBaseline
 from repro.obs.provenance import AttributeDependence
 
@@ -272,6 +274,19 @@ def engine_from_dict(
     return engine
 
 
+def artifact_fingerprint(payload: Dict) -> str:
+    """A stable content hash of an artifact payload.
+
+    Canonical-JSON (sorted keys) over the whole document, so two saves
+    of the same fitted engine fingerprint identically and any model or
+    config difference changes it.  Recorded in the lifecycle journal on
+    save/load so a timeline names exactly which artifact crossed the
+    persistence boundary.
+    """
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def default_store_path(artifact_path: str, kind: str) -> str:
     """Where the external columnar store for an artifact lives."""
     suffix = ".columnar.json" if kind == "file" else ".columnar"
@@ -319,6 +334,19 @@ def save_engine(
     payload = engine_to_dict(engine, columnar_ref=columnar_ref)
     with open(path, "w") as handle:
         json.dump(payload, handle)
+    if obs_journal.active():
+        obs_journal.record(
+            "artifact-save",
+            scope="engine",
+            stream=engine.lineage,
+            fingerprints={
+                "snapshot": payload.get("snapshot_fingerprint"),
+                "artifact": artifact_fingerprint(payload),
+            },
+            path=path,
+            schema_version=payload.get("schema_version"),
+            models=len(payload.get("models", [])),
+        )
     return payload
 
 
@@ -331,13 +359,29 @@ def load_engine(
     """Load an engine artifact written by :func:`save_engine`."""
     with open(path) as handle:
         payload = json.load(handle)
-    return engine_from_dict(
+    engine = engine_from_dict(
         payload,
         network,
         store,
         verify_fingerprint,
         base_dir=os.path.dirname(os.path.abspath(path)),
     )
+    if obs_journal.active():
+        if engine.lineage is None:
+            engine.lineage = obs_journal.mint_stream("engine")
+        obs_journal.record(
+            "artifact-load",
+            scope="engine",
+            stream=engine.lineage,
+            fingerprints={
+                "snapshot": payload.get("snapshot_fingerprint"),
+                "artifact": artifact_fingerprint(payload),
+            },
+            path=path,
+            schema_version=payload.get("schema_version"),
+            models=len(payload.get("models", [])),
+        )
+    return engine
 
 
 def artifact_summary(payload: Dict) -> str:

@@ -439,7 +439,9 @@ def execute_batch(
                     explanation = None
                     if explain:
                         explanation = ResultExplanation(
-                            target=plan.label, source="service"
+                            target=plan.label,
+                            source="service",
+                            lineage=engine.lineage,
                         )
                         context = tracing.current_context()
                         if context is not None:

@@ -20,6 +20,9 @@ serving discipline behind it is:
 * ``GET /debug/trace/<trace_id>`` / ``GET /debug/flight`` — the
   reassembled span tree of one request, and the flight recorder's
   black-box ring.
+* ``GET /debug/generations`` — the engine-lifecycle timeline from the
+  process journal: which generation is serving, how it came to be
+  (fit → refresh → hot swap → ...), and the raw recent records.
 
 Every recommendation request is traced end to end: the server accepts
 and emits W3C ``traceparent``, answers with a ``Server-Timing`` header
@@ -521,6 +524,8 @@ class FrontServer:
                     )
                     self._count(endpoint, "200", started)
                     return 200, text, {"content-type": "text/plain; version=0.0.4"}
+                elif endpoint == "/debug/generations":
+                    status, payload = self._get_debug_generations()
                 elif endpoint == "/debug/flight":
                     status, payload = self._get_debug_flight()
                 elif endpoint.startswith("/debug/trace/"):
@@ -672,6 +677,33 @@ class FrontServer:
         if not tree.spans:
             return 404, {"error": "trace_not_found", "trace_id": trace_id}
         return 200, tree.to_dict()
+
+    def _get_debug_generations(self) -> Tuple[int, Dict]:
+        """``GET /debug/generations`` — the lifecycle timeline.
+
+        Resolves the ``generation`` id stamped on response payloads back
+        to the journal records that created it: the assembled timeline
+        plus the raw recent records."""
+        from repro.obs import journal as obs_journal
+
+        active_journal = obs_journal.get_journal()
+        if active_journal is None:
+            return 404, {
+                "error": "journal_disabled",
+                "detail": "start the server with --journal PATH",
+            }
+        records = active_journal.tail()
+        timeline = obs_journal.assemble_timeline(records)
+        return 200, {
+            "serving": {
+                "generation": self.shard_set.generation,
+                "stream": self.shard_set.journal_stream,
+                "shards": len(self.shard_set.shards),
+            },
+            "journal": active_journal.digest(),
+            "timeline": timeline.to_dict(),
+            "records": records,
+        }
 
     def _get_debug_flight(self) -> Tuple[int, Dict]:
         """``GET /debug/flight`` — recorder stats + recent digests."""

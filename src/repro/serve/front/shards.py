@@ -42,6 +42,7 @@ from repro.config.rulebook import RuleBook
 from repro.core.auric import AuricEngine
 from repro.core.recommendation import RecommendRequest, RecommendResult
 from repro.netmodel.identifiers import CarrierId
+from repro.obs import journal as obs_journal
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing
 from repro.serve.front.routing import HashRing, shard_key
@@ -254,6 +255,18 @@ class ShardSet:
         self._swap_lock = threading.Lock()
         #: Bumped once per completed hot swap; rides on every response.
         self.generation = 0
+        #: Lifecycle-journal stream for the tier's generation counter —
+        #: the one clients see on responses.
+        self.journal_stream = obs_journal.mint_stream("front")
+        obs_journal.record(
+            "front-start",
+            scope="front",
+            stream=self.journal_stream,
+            generation=0,
+            shards=shards,
+            engine_stream=engine.lineage,
+            parameters=len(engine.fitted_parameters()),
+        )
         self._swap_gauge = obs_metrics.gauge(
             "repro_front_swap_seconds",
             "Duration of the most recent shard hot-swap (drain + swap)",
@@ -320,6 +333,7 @@ class ShardSet:
         parameters: Optional[Sequence[str]] = None,
         jobs: int = 1,
         warm: bool = True,
+        trigger: Optional[str] = None,
     ) -> SwapReport:
         """Swap a refreshed engine into every shard with zero downtime.
 
@@ -328,7 +342,8 @@ class ShardSet:
         every shard queue) — the old services keep serving throughout.
         The new engine warms, fresh services wrap it, and a FIFO swap
         sentinel lands on each shard queue; see the module docstring
-        for the atomicity argument.
+        for the atomicity argument.  ``trigger`` annotates the
+        lifecycle-journal record (e.g. ``drift``, ``push``, ``storm``).
         """
         with self._swap_lock:
             with tracing.span("front.swap", shards=len(self._shards)) as sp:
@@ -365,6 +380,20 @@ class ShardSet:
                 self._swap_counter.inc()
                 sp.set("generation", self.generation)
                 sp.set("swap_s", round(swap_s, 6))
+                obs_journal.record(
+                    "hot-swap",
+                    scope="front",
+                    stream=self.journal_stream,
+                    generation=self.generation,
+                    parent_generation=self.generation - 1,
+                    trigger=trigger or "manual",
+                    duration_s=refit_s + swap_s,
+                    refit_s=round(refit_s, 6),
+                    swap_s=round(swap_s, 6),
+                    warmed=warmed,
+                    shards=len(self._shards),
+                    engine_stream=engine.lineage,
+                )
                 return SwapReport(
                     generation=self.generation,
                     refit_s=refit_s,

@@ -1,38 +1,13 @@
-"""Deprecated shim — service metrics now live in :mod:`repro.obs.metrics`.
+"""Retired — service metrics live in :mod:`repro.obs.metrics`.
 
-``LatencyHistogram`` and ``ServiceMetrics`` were folded into the unified
-observability registry module (they were already backed by it); this
-module survives one deprecation cycle so external imports keep working.
-Import from :mod:`repro.obs.metrics` instead.
+``LatencyHistogram`` and ``ServiceMetrics`` were folded into the
+unified observability registry module; this path survived one
+deprecation cycle as a re-exporting shim and is now retired.  Importing
+it raises so stale code fails loudly at import time instead of drifting
+further behind.
 """
 
-from __future__ import annotations
-
-import warnings
-
-from repro.obs.metrics import (  # noqa: F401 - re-exported compatibility aliases
-    DEFAULT_BUCKETS,
-    DEFAULT_LATENCY_BUCKETS,
-    DEFAULT_REFRESH_BUCKETS,
-    BucketHistogram,
-    LatencyHistogram,
-    MetricsRegistry,
-    ServiceMetrics,
-)
-
-__all__ = [
-    "DEFAULT_BUCKETS",
-    "DEFAULT_LATENCY_BUCKETS",
-    "DEFAULT_REFRESH_BUCKETS",
-    "BucketHistogram",
-    "LatencyHistogram",
-    "MetricsRegistry",
-    "ServiceMetrics",
-]
-
-warnings.warn(
-    "repro.serve.metrics is deprecated; import LatencyHistogram/"
-    "ServiceMetrics from repro.obs.metrics instead",
-    DeprecationWarning,
-    stacklevel=2,
+raise ImportError(
+    "repro.serve.metrics is retired; import LatencyHistogram/"
+    "ServiceMetrics (and the registry) from repro.obs.metrics instead"
 )

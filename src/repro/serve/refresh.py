@@ -54,12 +54,24 @@ from repro.core.auric import AuricEngine, _ParameterModel
 from repro.core.columnar import ParameterColumns
 from repro.datagen.growth import GrowthTimeline
 from repro.netmodel.identifiers import CarrierId
+from repro.obs import journal as obs_journal
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing
 from repro.obs.health import DriftReport
 from repro.serve.service import RecommendationService
 
 logger = logging.getLogger(__name__)
+
+
+def _drift_payload(report: Optional[DriftReport]) -> Optional[Dict]:
+    """The journal's compact drift summary for a report (or ``None``)."""
+    if report is None:
+        return None
+    return {
+        "verdict": report.verdict,
+        "psi_max": round(report.psi_max, 6),
+        "drifted": [d.attribute for d in report.drifted],
+    }
 
 
 def store_subset(
@@ -153,7 +165,18 @@ class EngineRefresher:
         a whole candidate snapshot.
         """
         report = self.service.drift_report(live)
-        if report is None or not report.stale:
+        stale = report is not None and report.stale
+        obs_journal.record(
+            "drift-check",
+            scope="service",
+            stream=self.service.journal_stream,
+            generation=self.service.generation,
+            parent_generation=self.service.generation,
+            drift=_drift_payload(report),
+            refit_recommended=stale,
+            auto_refit=self.auto_refit,
+        )
+        if not stale:
             return DriftCheck(
                 report=report, refit_recommended=False
             )
@@ -167,7 +190,7 @@ class EngineRefresher:
         )
         if not self.auto_refit:
             return DriftCheck(report=report, refit_recommended=True)
-        result = self.full_refit(jobs=jobs)
+        result = self.full_refit(jobs=jobs, trigger="drift", drift_report=report)
         return DriftCheck(
             report=report, refit_recommended=True, refreshed=result
         )
@@ -239,6 +262,19 @@ class EngineRefresher:
 
         duration = time.perf_counter() - started
         self.service.metrics.record_refresh(duration)
+        if added or carrier_ids:
+            obs_journal.record(
+                "incremental-add",
+                scope="service",
+                stream=self.service.journal_stream,
+                generation=self.service.generation,
+                parent_generation=self.service.generation,
+                trigger="growth",
+                duration_s=duration,
+                carriers=len(new),
+                samples_added=sum(added.values()),
+                parameters=len(added),
+            )
         logger.info(
             "incremental refresh applied",
             extra={
@@ -265,7 +301,9 @@ class EngineRefresher:
             return active is None or pair.carrier in active
         return False
 
-    def incremental_refit(self, changes, jobs: int = 1) -> RefreshResult:
+    def incremental_refit(
+        self, changes, jobs: int = 1, trigger: Optional[str] = None
+    ) -> RefreshResult:
         """Refit exactly the parameters a changelog touched.
 
         ``changes`` is a :class:`repro.ops.history.ChangeLog` (or any
@@ -350,6 +388,26 @@ class EngineRefresher:
             ).inc(float(sum(c for c in refitted.values() if c > 0)))
             sp.set("parameters", len(refitted))
             sp.set("reused_selection", len(reused))
+            # In-place event: incremental refit mutates models under
+            # the same serving generation (parent == generation), so
+            # the timeline annotates the node rather than adding an
+            # edge.  The per-parameter path taken is the record's core.
+            obs_journal.record(
+                "incremental-refit",
+                scope="service",
+                stream=self.service.journal_stream,
+                generation=self.service.generation,
+                parent_generation=self.service.generation,
+                trigger=trigger or "changelog",
+                refit={
+                    "kind": "incremental",
+                    "refitted": dict(refitted),
+                    "reused_selection": list(reused),
+                    "skipped": list(skipped),
+                },
+                duration_s=duration,
+                changes=len(records),
+            )
             logger.info(
                 "incremental refit applied",
                 extra={
@@ -490,7 +548,11 @@ class EngineRefresher:
             baseline.parameters[name] = counts
 
     def full_refit(
-        self, parameters: Optional[Sequence[str]] = None, jobs: int = 1
+        self,
+        parameters: Optional[Sequence[str]] = None,
+        jobs: int = 1,
+        trigger: Optional[str] = None,
+        drift_report: Optional[DriftReport] = None,
     ) -> RefreshResult:
         """Re-fit from scratch on the current snapshot and swap it in.
 
@@ -500,6 +562,10 @@ class EngineRefresher:
         per-parameter fits across a process pool (the refit happens
         outside the service lock, so parallel workers never contend
         with serving traffic).
+
+        ``trigger`` and ``drift_report`` annotate the lifecycle-journal
+        record — :meth:`check_drift` passes them so the journal ties the
+        new generation to the drift scores that caused it.
         """
         started = time.perf_counter()
         with tracing.span("refresh.full", jobs=jobs) as sp:
@@ -517,6 +583,20 @@ class EngineRefresher:
                     self.snapshot_store.persist(snapshot)
             duration = time.perf_counter() - started
             self.service.metrics.record_refresh(duration)
+            obs_journal.record(
+                "full-refit",
+                scope="service",
+                stream=self.service.journal_stream,
+                generation=generation,
+                parent_generation=generation - 1,
+                trigger=trigger or "manual",
+                drift=_drift_payload(drift_report),
+                refit={"kind": "full"},
+                duration_s=duration,
+                parameters=len(parameters),
+                jobs=jobs,
+                engine_stream=fresh.lineage,
+            )
             logger.info(
                 "full refit swapped in",
                 extra={

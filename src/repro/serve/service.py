@@ -64,6 +64,7 @@ from repro.core.recommendation import (
 )
 from repro.exceptions import RecommendationError, UnknownParameterError
 from repro.netmodel.identifiers import CarrierId
+from repro.obs import journal as obs_journal
 from repro.obs import tracing
 from repro.obs.health import (
     DriftDetector,
@@ -281,6 +282,9 @@ class RecommendationService:
         #: internally locked, so observing it needs no service lock.
         self._drift_window: Optional[DriftWindow] = None
         self._drift_thresholds = DriftThresholds()
+        #: Lifecycle-journal stream id: each service is its own
+        #: generation chain (gen 0 at construction, +1 per refresh).
+        self.journal_stream = obs_journal.mint_stream("service")
 
     @classmethod
     def from_snapshot(
@@ -361,7 +365,9 @@ class RecommendationService:
                 dispositions[name] = (disposition, fallback_reason)
             if request.explain:
                 explanation = ResultExplanation(
-                    target=request.label(), source="service"
+                    target=request.label(),
+                    source="service",
+                    lineage=engine.lineage,
                 )
                 context = tracing.current_context()
                 if context is not None:
@@ -735,4 +741,13 @@ class RecommendationService:
             # against the old one would read as spurious drift.
             if self._drift_window is not None:
                 self._drift_window.clear()
+            obs_journal.record(
+                "refresh",
+                scope="service",
+                stream=self.journal_stream,
+                generation=state.generation,
+                parent_generation=state.generation - 1,
+                engine_stream=engine.lineage,
+                parameters=len(engine.fitted_parameters()),
+            )
             return state.generation

@@ -276,3 +276,155 @@ class TestExpositionEdgeCases:
         child = rebuilt.get("repro_latency_seconds").labels("vote", "local")
         assert child.count == 2
         assert child.quantile(1.0) >= 0.01
+
+
+class TestExpositionEscaping:
+    """Label values and HELP text survive the text format round trip."""
+
+    EVIL = 'a\\b"c\nd,e={}'
+
+    def test_label_values_escape_and_parse_back(self, registry):
+        from repro.obs.metrics import parse_prometheus_labels
+
+        registry.counter(
+            "repro_evil_total", "evil", labelnames=("reason",)
+        ).labels(self.EVIL).inc()
+        text = registry.to_prometheus_text()
+        sample = next(
+            line for line in text.splitlines()
+            if line.startswith("repro_evil_total{")
+        )
+        # one physical line per sample, even with a newline in the value
+        assert "\n" not in sample
+        label_text = sample[len("repro_evil_total"):sample.rindex(" ")]
+        assert parse_prometheus_labels(label_text) == {"reason": self.EVIL}
+
+    def test_help_text_is_escaped(self, registry):
+        registry.counter(
+            "repro_helpful_total", "line one\nline two \\ backslash"
+        ).inc()
+        text = registry.to_prometheus_text()
+        help_line = next(
+            line for line in text.splitlines() if line.startswith("# HELP")
+        )
+        assert help_line == (
+            "# HELP repro_helpful_total line one\\nline two \\\\ backslash"
+        )
+
+    def test_histogram_le_and_labels_coexist(self, registry):
+        from repro.obs.metrics import parse_prometheus_labels
+
+        registry.histogram(
+            "repro_evil_seconds", "evil", buckets=(0.1,),
+            labelnames=("path",),
+        ).labels('with"quote').observe(0.05)
+        text = registry.to_prometheus_text()
+        bucket = next(
+            line for line in text.splitlines()
+            if line.startswith("repro_evil_seconds_bucket")
+        )
+        labels = parse_prometheus_labels(
+            bucket[len("repro_evil_seconds_bucket"):bucket.rindex(" ")]
+        )
+        assert labels == {"path": 'with"quote', "le": "0.1"}
+
+    def test_parser_rejects_malformed_blocks(self):
+        from repro.obs.metrics import parse_prometheus_labels
+
+        with pytest.raises(ValueError):
+            parse_prometheus_labels('{a=unquoted}')
+        with pytest.raises(ValueError):
+            parse_prometheus_labels('{a="unterminated}')
+        with pytest.raises(ValueError):
+            parse_prometheus_labels('not-a-block')
+
+
+class TestCardinalityGuard:
+    def test_overflow_collapses_new_series(self):
+        from repro.obs.metrics import DROPPED_SERIES_METRIC, OVERFLOW_LABEL
+
+        registry = MetricsRegistry(max_label_series=3)
+        family = registry.counter(
+            "repro_requests_total", "requests", labelnames=("carrier",)
+        )
+        for index in range(3):
+            family.labels(f"carrier-{index}").inc()
+        overflowed = family.labels("carrier-99")
+        overflowed.inc()
+        family.labels("carrier-100").inc()
+        assert overflowed.labelvalues == (OVERFLOW_LABEL,)
+        # both novel series landed on the same catch-all child
+        assert overflowed.value == 2.0
+        dropped = registry.get(DROPPED_SERIES_METRIC)
+        assert dropped.labels("repro_requests_total").value == 2.0
+
+    def test_existing_series_keep_updating_at_cap(self):
+        registry = MetricsRegistry(max_label_series=2)
+        family = registry.counter(
+            "repro_requests_total", "", labelnames=("carrier",)
+        )
+        family.labels("a").inc()
+        family.labels("b").inc()
+        family.labels("a").inc()  # existing: not collapsed
+        assert family.labels("a").value == 2.0
+        assert registry.get("repro_metrics_dropped_series_total") is None
+
+    def test_overflow_child_does_not_consume_the_cap(self):
+        from repro.obs.metrics import OVERFLOW_LABEL
+
+        registry = MetricsRegistry(max_label_series=1)
+        family = registry.counter(
+            "repro_requests_total", "", labelnames=("carrier",)
+        )
+        family.labels("a").inc()
+        family.labels("b").inc()  # collapses, creating the catch-all
+        # the catch-all child is exempt: "a" still resolves to itself
+        assert family.labels("a").labelvalues == ("a",)
+        assert family.labels("c").labelvalues == (OVERFLOW_LABEL,)
+
+    def test_unlabeled_families_are_exempt(self):
+        registry = MetricsRegistry(max_label_series=1)
+        registry.counter("repro_a_total").inc()
+        registry.counter("repro_b_total").inc()
+        assert registry.get("repro_b_total") is not None
+
+    def test_none_disables_the_guard(self):
+        registry = MetricsRegistry(max_label_series=None)
+        family = registry.counter(
+            "repro_requests_total", "", labelnames=("carrier",)
+        )
+        for index in range(50):
+            family.labels(f"c{index}").inc()
+        assert len(family.children()) == 50
+
+    def test_dropped_series_counter_is_exempt_from_the_guard(self):
+        from repro.obs.metrics import DROPPED_SERIES_METRIC, OVERFLOW_LABEL
+
+        registry = MetricsRegistry(max_label_series=1)
+        for name in ("repro_a_total", "repro_b_total", "repro_c_total"):
+            family = registry.counter(name, "", labelnames=("x",))
+            family.labels("keep").inc()
+            family.labels("drop").inc()
+        dropped = registry.get(DROPPED_SERIES_METRIC)
+        # one child per overflowing family — never collapsed itself
+        values = {child.labelvalues for child in dropped.children()}
+        assert values == {
+            ("repro_a_total",), ("repro_b_total",), ("repro_c_total",)
+        }
+        assert (OVERFLOW_LABEL,) not in values
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_label_series=0)
+
+    def test_overflow_survives_prometheus_and_dict_round_trip(self):
+        registry = MetricsRegistry(max_label_series=1)
+        family = registry.counter(
+            "repro_requests_total", "requests", labelnames=("carrier",)
+        )
+        family.labels("a").inc()
+        family.labels("b").inc()
+        text = registry.to_prometheus_text()
+        assert '__overflow__' in text
+        rebuilt = MetricsRegistry.from_dict(registry.to_dict())
+        assert rebuilt.to_prometheus_text() == text
